@@ -1,0 +1,103 @@
+// B7 — ADT operator dispatch overhead vs. built-in operators.
+// Expected shape: an ADT-registered operator pays a registry lookup and
+// a std::function call per evaluation — a small constant factor over the
+// built-in float path, far from asymptotic.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "bench_common.h"
+
+namespace exodus {
+namespace {
+
+constexpr int kRows = 2000;
+
+Database* Db() {
+  static std::unique_ptr<Database> db = [] {
+    auto d = std::make_unique<Database>();
+    bench::MustExecute(d.get(), R"(
+      define type Sample (x: float8, y: float8, c: Complex, when: Date,
+                          box: Box)
+      create Samples : {Sample}
+    )");
+    for (int i = 0; i < kRows; ++i) {
+      bench::MustExecute(
+          d.get(), "append to Samples (x = " + std::to_string(i % 100) +
+                       ".0, y = 2.0, c = Complex(" + std::to_string(i % 10) +
+                       ".0, 1.0), when = Date(" +
+                       std::to_string(1950 + i % 70) +
+                       ", 6, 15), box = Box(0.0, 0.0, " +
+                       std::to_string(1 + i % 5) + ".0, 2.0))");
+    }
+    return d;
+  }();
+  return db.get();
+}
+
+void BM_BuiltinFloatAdd(benchmark::State& state) {
+  Database* db = Db();  // untimed setup
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(
+        db, "retrieve (S.x + S.y) from S in Samples"));
+  }
+  state.counters["rows"] = kRows;
+}
+BENCHMARK(BM_BuiltinFloatAdd);
+
+void BM_AdtOperatorAdd(benchmark::State& state) {
+  Database* db = Db();  // untimed setup
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(
+        db, "retrieve (S.c + S.c) from S in Samples"));
+  }
+  state.counters["rows"] = kRows;
+}
+BENCHMARK(BM_AdtOperatorAdd);
+
+void BM_AdtMethodCall(benchmark::State& state) {
+  Database* db = Db();  // untimed setup
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(
+        db, "retrieve (S.c.Magnitude) from S in Samples"));
+  }
+}
+BENCHMARK(BM_AdtMethodCall);
+
+void BM_AdtComparablePredicate(benchmark::State& state) {
+  Database* db = Db();  // untimed setup
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(
+        db,
+        "retrieve (count(S)) from S in Samples "
+        "where S.when < Date(\"1/1/1980\")"));
+  }
+}
+BENCHMARK(BM_AdtComparablePredicate);
+
+void BM_AdtIdentifierOperator(benchmark::State& state) {
+  Database* db = Db();  // untimed setup
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(
+        db,
+        "retrieve (count(S)) from S in Samples "
+        "where S.box overlaps Box(0.0, 0.0, 2.0, 2.0)"));
+  }
+}
+BENCHMARK(BM_AdtIdentifierOperator);
+
+void BM_BuiltinFloatPredicate(benchmark::State& state) {
+  Database* db = Db();  // untimed setup
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(
+        db, "retrieve (count(S)) from S in Samples where S.x < 30.0"));
+  }
+}
+BENCHMARK(BM_BuiltinFloatPredicate);
+
+}  // namespace
+}  // namespace exodus
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// B6 — Aggregate evaluation: global vs `over`-partitioned vs correlated
+// subquery aggregates.
+// Expected shape: a global aggregate is one pass; `over` partitioning
+// adds a grouping pass (hash on partition key) but stays near-linear in
+// rows; a correlated aggregate multiplies by the inner range size.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "bench_common.h"
+
+namespace exodus {
+namespace {
+
+std::unique_ptr<Database> BuildDb(int employees, int departments) {
+  auto db = std::make_unique<Database>();
+  bench::MustExecute(db.get(), R"(
+    define type Department (id: int4, name: char[20])
+    define type Kid (allowance: float8)
+    define type Employee (name: char[25], salary: float8,
+                          dept: ref Department, kids: {own ref Kid})
+    create Departments : {Department}
+    create Employees : {Employee}
+  )");
+  for (int d = 0; d < departments; ++d) {
+    bench::MustExecute(db.get(), "append to Departments (id = " +
+                                     std::to_string(d) + ", name = \"d" +
+                                     std::to_string(d) + "\")");
+  }
+  for (int e = 0; e < employees; ++e) {
+    bench::MustExecute(
+        db.get(),
+        "append to Employees (name = \"e" + std::to_string(e) +
+            "\", salary = " + std::to_string(e % 97) +
+            ".0, kids = {(allowance = 1.0), (allowance = 2.0)}, "
+            "dept = D) from D in Departments where D.id = " +
+            std::to_string(e % departments));
+  }
+  return db;
+}
+
+struct Shared {
+  std::unique_ptr<Database> db;
+  int employees = 0, departments = 0;
+};
+Shared g_shared;
+
+Database* DbFor(int employees, int departments) {
+  if (g_shared.employees != employees ||
+      g_shared.departments != departments) {
+    g_shared.db = BuildDb(employees, departments);
+    g_shared.employees = employees;
+    g_shared.departments = departments;
+  }
+  return g_shared.db.get();
+}
+
+void BM_GlobalAggregate(benchmark::State& state) {
+  Database* db = DbFor(static_cast<int>(state.range(0)), 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(
+        db, "retrieve (count(E), sum(E.salary), avg(E.salary)) "
+            "from E in Employees"));
+  }
+}
+BENCHMARK(BM_GlobalAggregate)->Arg(200)->Arg(1000)->Arg(4000);
+
+void BM_PartitionedAggregate(benchmark::State& state) {
+  Database* db = DbFor(static_cast<int>(state.range(0)),
+                       static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(
+        db,
+        "retrieve unique (E.dept.name, avg(E.salary over E.dept)) "
+        "from E in Employees"));
+  }
+  state.counters["groups"] = static_cast<double>(state.range(1));
+}
+BENCHMARK(BM_PartitionedAggregate)
+    ->Args({1000, 4})
+    ->Args({1000, 16})
+    ->Args({1000, 64})
+    ->Args({4000, 16});
+
+void BM_CorrelatedSubqueryAggregate(benchmark::State& state) {
+  Database* db = DbFor(static_cast<int>(state.range(0)), 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(
+        db,
+        "retrieve (E.name, sum(K.allowance from K in E.kids)) "
+        "from E in Employees"));
+  }
+}
+BENCHMARK(BM_CorrelatedSubqueryAggregate)->Arg(200)->Arg(1000)->Arg(4000);
+
+void BM_MedianSetFunction(benchmark::State& state) {
+  Database* db = DbFor(static_cast<int>(state.range(0)), 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(
+        db, "retrieve (median(E.salary)) from E in Employees"));
+  }
+}
+BENCHMARK(BM_MedianSetFunction)->Arg(200)->Arg(1000)->Arg(4000);
+
+void BM_UniqueAggregate(benchmark::State& state) {
+  Database* db = DbFor(static_cast<int>(state.range(0)), 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(
+        db, "retrieve (count(unique E.salary)) from E in Employees"));
+  }
+}
+BENCHMARK(BM_UniqueAggregate)->Arg(200)->Arg(1000);
+
+}  // namespace
+}  // namespace exodus
+
+BENCHMARK_MAIN();

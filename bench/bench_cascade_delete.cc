@@ -1,0 +1,112 @@
+// B5 — Cascade delete of composite (own ref) hierarchies, fanout sweep.
+// Expected shape: deleting an owner is proportional to the size of the
+// owned closure, and a single cascade delete of the parent beats issuing
+// one EXCESS delete per child followed by the parent (statement
+// overhead per object dominates the fine-grained variant).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_common.h"
+
+namespace exodus {
+namespace {
+
+void Setup(Database* db) {
+  bench::MustExecute(db, R"(
+    define type Part (name: char[30], subparts: {own ref Part})
+    create Assemblies : {Part}
+  )");
+}
+
+void AppendAssembly(Database* db, int fanout) {
+  std::string kids = "{";
+  for (int i = 0; i < fanout; ++i) {
+    if (i > 0) kids += ", ";
+    kids += "(name = \"c" + std::to_string(i) + "\", subparts = {";
+    for (int j = 0; j < fanout; ++j) {
+      if (j > 0) kids += ", ";
+      kids += "(name = \"g" + std::to_string(i) + "_" + std::to_string(j) +
+              "\")";
+    }
+    kids += "})";
+  }
+  kids += "}";
+  bench::MustExecute(
+      db, "append to Assemblies (name = \"root\", subparts = " + kids + ")");
+}
+
+void BM_CascadeDelete(benchmark::State& state) {
+  int fanout = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    Setup(&db);
+    AppendAssembly(&db, fanout);
+    state.ResumeTiming();
+    bench::MustExecute(&db, "delete A from A in Assemblies");
+    state.PauseTiming();
+    if (db.heap()->live_count() != 0) std::abort();
+    state.ResumeTiming();
+  }
+  state.counters["objects"] =
+      static_cast<double>(1 + fanout + fanout * fanout);
+}
+BENCHMARK(BM_CascadeDelete)->Arg(2)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_ManualChildByChildDelete(benchmark::State& state) {
+  int fanout = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    Setup(&db);
+    AppendAssembly(&db, fanout);
+    state.ResumeTiming();
+    // Grandchildren, then children, then the root — one statement per
+    // level (each statement still deletes a whole binding set).
+    bench::MustExecute(&db,
+                       "delete G from A in Assemblies, C in A.subparts, "
+                       "G in C.subparts");
+    bench::MustExecute(&db,
+                       "delete C from A in Assemblies, C in A.subparts");
+    bench::MustExecute(&db, "delete A from A in Assemblies");
+    state.PauseTiming();
+    if (db.heap()->live_count() != 0) std::abort();
+    state.ResumeTiming();
+  }
+  state.counters["objects"] =
+      static_cast<double>(1 + fanout + fanout * fanout);
+}
+BENCHMARK(BM_ManualChildByChildDelete)->Arg(2)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_DanglingRefNullification(benchmark::State& state) {
+  // GEM-style integrity: deleting referenced objects leaves dangling
+  // refs that read as null; measure the read path over dangles.
+  Database db;
+  bench::MustExecute(&db, R"(
+    define type Target (x: int4)
+    define type Holder (t: ref Target)
+    create Targets : {Target}
+    create Holders : {Holder}
+  )");
+  for (int i = 0; i < 500; ++i) {
+    bench::MustExecute(&db, "append to Targets (x = " + std::to_string(i) +
+                                ")");
+    bench::MustExecute(&db,
+                       "append to Holders (t = T) from T in Targets "
+                       "where T.x = " +
+                           std::to_string(i));
+  }
+  bench::MustExecute(&db, "delete T from T in Targets where T.x % 2 = 0");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(
+        &db, "retrieve (count(H)) from H in Holders where isnull(H.t)"));
+  }
+}
+BENCHMARK(BM_DanglingRefNullification);
+
+}  // namespace
+}  // namespace exodus
+
+BENCHMARK_MAIN();

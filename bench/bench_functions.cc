@@ -1,0 +1,114 @@
+// B10 — EXCESS function invocation (derived data) vs. inlined
+// expressions and stored attributes.
+// Expected shape: a function call re-binds and executes its body per
+// invocation, costing a multiple of the inlined expression; stored
+// (materialized) attributes are cheapest; procedures add per-binding
+// statement overhead.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "bench_common.h"
+
+namespace exodus {
+namespace {
+
+constexpr int kRows = 1000;
+
+Database* Db() {
+  static std::unique_ptr<Database> db = [] {
+    auto d = std::make_unique<Database>();
+    bench::MustExecute(d.get(), R"(
+      define type Kid (allowance: float8)
+      define type Employee (name: char[25], salary: float8,
+                            wealth_cache: float8, kids: {own ref Kid})
+      create Employees : {Employee}
+    )");
+    for (int i = 0; i < kRows; ++i) {
+      bench::MustExecute(
+          d.get(),
+          "append to Employees (name = \"e" + std::to_string(i) +
+              "\", salary = " + std::to_string(i % 100) +
+              ".0, kids = {(allowance = 1.0), (allowance = 2.0)})");
+    }
+    bench::MustExecute(d.get(), R"(
+      define function Wealth (E: Employee) returns float8 as
+        retrieve (E.salary + sum(K.allowance from K in E.kids))
+    )");
+    bench::MustExecute(d.get(), R"(
+      define procedure CacheWealth (E: Employee) as
+        replace E (wealth_cache = E.salary + 3.0)
+    )");
+    bench::MustExecute(d.get(), "execute CacheWealth(E) from E in Employees");
+    return d;
+  }();
+  return db.get();
+}
+
+void BM_InlineExpression(benchmark::State& state) {
+  Database* db = Db();  // untimed setup
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(
+        db,
+        "retrieve (E.salary + sum(K.allowance from K in E.kids)) "
+        "from E in Employees"));
+  }
+  state.counters["rows"] = kRows;
+}
+BENCHMARK(BM_InlineExpression);
+
+void BM_FunctionCall(benchmark::State& state) {
+  Database* db = Db();  // untimed setup
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bench::MustQuery(db, "retrieve (E.Wealth) from E in Employees"));
+  }
+  state.counters["rows"] = kRows;
+}
+BENCHMARK(BM_FunctionCall);
+
+void BM_MaterializedAttribute(benchmark::State& state) {
+  Database* db = Db();  // untimed setup
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(
+        db, "retrieve (E.wealth_cache) from E in Employees"));
+  }
+  state.counters["rows"] = kRows;
+}
+BENCHMARK(BM_MaterializedAttribute);
+
+void BM_FunctionInPredicate(benchmark::State& state) {
+  Database* db = Db();  // untimed setup
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(
+        db,
+        "retrieve (count(E)) from E in Employees where E.Wealth > 50.0"));
+  }
+}
+BENCHMARK(BM_FunctionInPredicate);
+
+void BM_ProcedurePerBinding(benchmark::State& state) {
+  Database* db = Db();  // untimed setup
+  for (auto _ : state) {
+    bench::MustExecute(db, "execute CacheWealth(E) from E in Employees");
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_ProcedurePerBinding);
+
+void BM_DirectReplacePerBinding(benchmark::State& state) {
+  Database* db = Db();  // untimed setup
+  for (auto _ : state) {
+    bench::MustExecute(
+        db, "replace E (wealth_cache = E.salary + 3.0) from E in Employees");
+  }
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+BENCHMARK(BM_DirectReplacePerBinding);
+
+}  // namespace
+}  // namespace exodus
+
+BENCHMARK_MAIN();

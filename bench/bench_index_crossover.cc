@@ -1,0 +1,108 @@
+// B3 — Full scan vs. B+tree index access, selectivity sweep.
+// Expected shape: the index wins decisively at low selectivity
+// (equality / narrow ranges); as the selected fraction approaches 1 the
+// two converge, since both must touch every object. Hash index matches
+// btree on equality probes.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "bench_common.h"
+
+namespace exodus {
+namespace {
+
+constexpr int kRows = 5000;
+
+std::unique_ptr<Database> BuildDb(bool with_btree, bool with_hash) {
+  auto db = std::make_unique<Database>();
+  bench::MustExecute(db.get(), R"(
+    define type Employee (name: char[25], salary: float8, badge: int4)
+    create Employees : {Employee}
+  )");
+  for (int i = 0; i < kRows; ++i) {
+    bench::MustExecute(db.get(),
+                       "append to Employees (name = \"e" + std::to_string(i) +
+                           "\", salary = " + std::to_string(i % 1000) +
+                           ".0, badge = " + std::to_string(i) + ")");
+  }
+  if (with_btree) {
+    bench::MustExecute(db.get(),
+                       "create index SalBtree on Employees (salary) "
+                       "using btree");
+  }
+  if (with_hash) {
+    bench::MustExecute(db.get(),
+                       "create index BadgeHash on Employees (badge) "
+                       "using hash");
+  }
+  return db;
+}
+
+Database* Db(bool btree, bool hash) {
+  static std::unique_ptr<Database> with_idx = BuildDb(true, true);
+  static std::unique_ptr<Database> no_idx = BuildDb(false, false);
+  return (btree || hash) ? with_idx.get() : no_idx.get();
+}
+
+// state.range(0): selected rows per 1000 (selectivity in permil).
+std::string RangeQuery(int permil) {
+  // salary values are 0..999 uniformly; select salary < permil.
+  return "retrieve (count(E)) from E in Employees where E.salary < " +
+         std::to_string(permil) + ".0";
+}
+
+void BM_ScanSelectivity(benchmark::State& state) {
+  Database* db = Db(false, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bench::MustQuery(db, RangeQuery(static_cast<int>(state.range(0)))));
+  }
+  state.counters["selectivity_permil"] = static_cast<double>(state.range(0));
+}
+
+void BM_BTreeSelectivity(benchmark::State& state) {
+  Database* db = Db(true, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bench::MustQuery(db, RangeQuery(static_cast<int>(state.range(0)))));
+  }
+  state.counters["selectivity_permil"] = static_cast<double>(state.range(0));
+}
+
+BENCHMARK(BM_ScanSelectivity)->Arg(1)->Arg(10)->Arg(100)->Arg(500)->Arg(1000);
+BENCHMARK(BM_BTreeSelectivity)->Arg(1)->Arg(10)->Arg(100)->Arg(500)->Arg(1000);
+
+void BM_ScanEqualityProbe(benchmark::State& state) {
+  Database* db = Db(false, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(
+        db, "retrieve (E.name) from E in Employees where E.badge = 2500"));
+  }
+}
+BENCHMARK(BM_ScanEqualityProbe);
+
+void BM_HashEqualityProbe(benchmark::State& state) {
+  Database* db = Db(true, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(
+        db, "retrieve (E.name) from E in Employees where E.badge = 2500"));
+  }
+}
+BENCHMARK(BM_HashEqualityProbe);
+
+void BM_BTreeEqualityProbe(benchmark::State& state) {
+  Database* db = Db(true, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(
+        db, "retrieve (E.name) from E in Employees where E.salary = 123.0"));
+  }
+}
+BENCHMARK(BM_BTreeEqualityProbe);
+
+}  // namespace
+}  // namespace exodus
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// B8 — Attribute lookup and function dispatch vs. type-lattice depth.
+// Expected shape: resolved attribute sets are flattened at definition
+// time, so attribute access cost is independent of lattice depth; only
+// late-bound function dispatch walks the linearized chain and grows
+// mildly with depth.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "bench_common.h"
+
+namespace exodus {
+namespace {
+
+constexpr int kRows = 1000;
+
+/// Defines a chain T0 <- T1 <- ... <- Tdepth, each level adding one
+/// attribute, an extent of Tdepth objects, and a function on T0 so late
+/// binding must walk the whole chain.
+std::unique_ptr<Database> BuildDb(int depth) {
+  auto db = std::make_unique<Database>();
+  bench::MustExecute(db.get(), "define type T0 (a0: int4)");
+  for (int d = 1; d <= depth; ++d) {
+    bench::MustExecute(db.get(), "define type T" + std::to_string(d) +
+                                     " inherits T" + std::to_string(d - 1) +
+                                     " (a" + std::to_string(d) + ": int4)");
+  }
+  bench::MustExecute(db.get(),
+                     "create Things : {T" + std::to_string(depth) + "}");
+  for (int i = 0; i < kRows; ++i) {
+    bench::MustExecute(db.get(), "append to Things (a0 = " +
+                                     std::to_string(i % 100) + ", a" +
+                                     std::to_string(depth) + " = " +
+                                     std::to_string(i % 7) + ")");
+  }
+  bench::MustExecute(db.get(),
+                     "define function Base (X: T0) returns int4 as "
+                     "retrieve (X.a0 + 1)");
+  return db;
+}
+
+struct Shared {
+  std::unique_ptr<Database> db;
+  int depth = -1;
+};
+Shared g_shared;
+
+Database* DbFor(int depth) {
+  if (g_shared.depth != depth) {
+    g_shared.db = BuildDb(depth);
+    g_shared.depth = depth;
+  }
+  return g_shared.db.get();
+}
+
+void BM_InheritedAttributeAccess(benchmark::State& state) {
+  Database* db = DbFor(static_cast<int>(state.range(0)));
+  // a0 is declared at the root of the chain; access happens through the
+  // flattened layout of the leaf type.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(
+        db, "retrieve (count(X)) from X in Things where X.a0 = 5"));
+  }
+  state.counters["depth"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_InheritedAttributeAccess)->Arg(0)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_LocalAttributeAccess(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  Database* db = DbFor(depth);
+  std::string q = "retrieve (count(X)) from X in Things where X.a" +
+                  std::to_string(depth) + " = 3";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(db, q));
+  }
+  state.counters["depth"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_LocalAttributeAccess)->Arg(0)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_LateBoundFunctionDispatch(benchmark::State& state) {
+  Database* db = DbFor(static_cast<int>(state.range(0)));
+  // Base is defined on T0; dispatch linearizes from the runtime leaf
+  // type up the chain on every call.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(
+        db, "retrieve (count(X)) from X in Things where X.Base > 50"));
+  }
+  state.counters["depth"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_LateBoundFunctionDispatch)->Arg(0)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_TypeDefinitionAtDepth(benchmark::State& state) {
+  // Cost of defining one more type at the bottom of a deep lattice
+  // (attribute-set resolution is linear in inherited attributes).
+  int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    bench::MustExecute(&db, "define type T0 (a0: int4)");
+    for (int d = 1; d <= depth; ++d) {
+      bench::MustExecute(&db, "define type T" + std::to_string(d) +
+                                  " inherits T" + std::to_string(d - 1) +
+                                  " (a" + std::to_string(d) + ": int4)");
+    }
+    state.ResumeTiming();
+    bench::MustExecute(&db, "define type Leaf inherits T" +
+                                std::to_string(depth) + " (z: int4)");
+  }
+}
+BENCHMARK(BM_TypeDefinitionAtDepth)->Arg(2)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace exodus
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// B4 — Nested-set query cost vs. nesting depth and fanout.
+// Expected shape: cost is proportional to the number of (parent, child,
+// ...) bindings enumerated, i.e. roots * fanout^depth; a filter at the
+// outermost level prunes whole subtrees, so pushed-down predicates beat
+// the same predicate at the innermost level.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "bench_common.h"
+
+namespace exodus {
+namespace {
+
+/// Builds `roots` Person objects, each with a kids tree of the given
+/// fanout and depth (depth levels below the root).
+std::unique_ptr<Database> BuildDb(int roots, int fanout, int depth) {
+  auto db = std::make_unique<Database>();
+  bench::MustExecute(db.get(), R"(
+    define type Person (name: char[30], age: int4, kids: {own ref Person})
+    create People : {Person}
+  )");
+  // Build the kids literal bottom-up as EXCESS text.
+  std::function<std::string(int, const std::string&)> subtree =
+      [&](int level, const std::string& prefix) -> std::string {
+    if (level == 0) return "";
+    std::string out = ", kids = {";
+    for (int i = 0; i < fanout; ++i) {
+      if (i > 0) out += ", ";
+      std::string name = prefix + "." + std::to_string(i);
+      out += "(name = \"" + name + "\", age = " + std::to_string(level) +
+             subtree(level - 1, name) + ")";
+    }
+    out += "}";
+    return out;
+  };
+  for (int r = 0; r < roots; ++r) {
+    std::string root_name = "p" + std::to_string(r);
+    bench::MustExecute(db.get(), "append to People (name = \"" + root_name +
+                                     "\", age = " + std::to_string(r % 50) +
+                                     subtree(depth, root_name) + ")");
+  }
+  return db;
+}
+
+struct Key {
+  int roots, fanout, depth;
+  bool operator==(const Key& o) const {
+    return roots == o.roots && fanout == o.fanout && depth == o.depth;
+  }
+};
+Key g_key{0, 0, 0};
+std::unique_ptr<Database> g_db;
+
+Database* DbFor(int roots, int fanout, int depth) {
+  Key k{roots, fanout, depth};
+  if (!(g_key == k)) {
+    g_db = BuildDb(roots, fanout, depth);
+    g_key = k;
+  }
+  return g_db.get();
+}
+
+void BM_NestedIterationDepth2(benchmark::State& state) {
+  Database* db = DbFor(static_cast<int>(state.range(0)),
+                       static_cast<int>(state.range(1)), 2);
+  size_t rows = 0;
+  for (auto _ : state) {
+    rows = bench::MustQuery(
+        db,
+        "retrieve (G.name) from P in People, K in P.kids, G in K.kids "
+        "where G.age >= 0");
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["bindings"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_NestedIterationDepth2)
+    ->Args({10, 2})
+    ->Args({10, 4})
+    ->Args({10, 8})
+    ->Args({40, 4});
+
+void BM_NestedIterationDepth3(benchmark::State& state) {
+  Database* db = DbFor(static_cast<int>(state.range(0)),
+                       static_cast<int>(state.range(1)), 3);
+  size_t rows = 0;
+  for (auto _ : state) {
+    rows = bench::MustQuery(db,
+                            "retrieve (X.name) from P in People, K in "
+                            "P.kids, G in K.kids, X in G.kids");
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["bindings"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_NestedIterationDepth3)->Args({10, 2})->Args({10, 4});
+
+void BM_OuterFilterPrunesSubtrees(benchmark::State& state) {
+  Database* db = DbFor(40, 4, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(
+        db,
+        "retrieve (G.name) from P in People, K in P.kids, G in K.kids "
+        "where P.age = 7"));
+  }
+}
+BENCHMARK(BM_OuterFilterPrunesSubtrees);
+
+void BM_InnerFilterVisitsEverything(benchmark::State& state) {
+  Database* db = DbFor(40, 4, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(
+        db,
+        "retrieve (G.name) from P in People, K in P.kids, G in K.kids "
+        "where G.name = \"p7.0.0\""));
+  }
+}
+BENCHMARK(BM_InnerFilterVisitsEverything);
+
+void BM_QuantifierOverNestedSet(benchmark::State& state) {
+  Database* db = DbFor(40, 4, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(
+        db,
+        "retrieve (P.name) from P in People "
+        "where all K in P.kids : K.age > 0"));
+  }
+}
+BENCHMARK(BM_QuantifierOverNestedSet);
+
+}  // namespace
+}  // namespace exodus
+
+BENCHMARK_MAIN();

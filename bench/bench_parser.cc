@@ -1,0 +1,95 @@
+// B1 — Parser throughput vs. query complexity.
+// Expected shape: parse time grows roughly linearly with token count;
+// the dynamic (ADT-extended) operator table adds only a small constant
+// factor over the bare grammar.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "adt/registry.h"
+#include "bench_common.h"
+#include "excess/parser.h"
+
+namespace exodus {
+namespace {
+
+/// Builds a retrieve with `n` projection terms and `n` conjuncts.
+std::string SyntheticQuery(int n) {
+  std::string q = "retrieve (";
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) q += ", ";
+    q += "E.a" + std::to_string(i) + " + " + std::to_string(i) + ".5";
+  }
+  q += ") from E in Employees where ";
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) q += " and ";
+    q += "E.b" + std::to_string(i) + " > " + std::to_string(i);
+  }
+  return q;
+}
+
+void BM_ParseRetrieve(benchmark::State& state) {
+  std::string query = SyntheticQuery(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    excess::Parser parser(query);
+    auto stmt = parser.ParseSingleStatement();
+    if (!stmt.ok()) std::abort();
+    benchmark::DoNotOptimize(stmt);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(query.size()));
+  state.counters["query_bytes"] = static_cast<double>(query.size());
+}
+BENCHMARK(BM_ParseRetrieve)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ParseWithDynamicOperators(benchmark::State& state) {
+  // Same query, parsed with the full ADT operator table installed.
+  Database db;  // installs Date/Complex/Box operators
+  std::string query = SyntheticQuery(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    excess::Parser parser(query, db.adts());
+    auto stmt = parser.ParseSingleStatement();
+    if (!stmt.ok()) std::abort();
+    benchmark::DoNotOptimize(stmt);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(query.size()));
+}
+BENCHMARK(BM_ParseWithDynamicOperators)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ParseDefineType(benchmark::State& state) {
+  std::string ddl = "define type Wide (";
+  for (int i = 0; i < state.range(0); ++i) {
+    if (i > 0) ddl += ", ";
+    ddl += "a" + std::to_string(i) + ": {own ref Wide}";
+  }
+  ddl += ")";
+  for (auto _ : state) {
+    excess::Parser parser(ddl);
+    auto stmt = parser.ParseSingleStatement();
+    if (!stmt.ok()) std::abort();
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_ParseDefineType)->Arg(4)->Arg(32)->Arg(128);
+
+void BM_UnparseReparseRoundTrip(benchmark::State& state) {
+  std::string query = SyntheticQuery(32);
+  excess::Parser parser(query);
+  auto stmt = parser.ParseSingleStatement();
+  if (!stmt.ok()) std::abort();
+  for (auto _ : state) {
+    std::string text = (*stmt)->ToString();
+    excess::Parser p2(text);
+    auto again = p2.ParseSingleStatement();
+    if (!again.ok()) std::abort();
+    benchmark::DoNotOptimize(again);
+  }
+}
+BENCHMARK(BM_UnparseReparseRoundTrip);
+
+}  // namespace
+}  // namespace exodus
+
+BENCHMARK_MAIN();

@@ -1,0 +1,128 @@
+// B9 — Storage manager: object store read/write throughput and buffer
+// pool behaviour over a working-set sweep.
+// Expected shape: sequential insert throughput is page-append bound;
+// random reads degrade sharply once the working set exceeds the buffer
+// pool (hit ratio collapse) for file-backed volumes; updates that
+// trigger forwarding cost roughly an extra record write.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <string>
+
+#include "bench_common.h"
+#include "storage/buffer_pool.h"
+#include "storage/object_store.h"
+#include "storage/pager.h"
+
+namespace exodus::storage {
+namespace {
+
+void BM_ObjectStoreInsert(benchmark::State& state) {
+  size_t record_size = static_cast<size_t>(state.range(0));
+  std::string payload(record_size, 'x');
+  for (auto _ : state) {
+    state.PauseTiming();
+    Pager pager;
+    BufferPool pool(&pager, 64);
+    ObjectStore store(&pool);
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      if (!store.Insert(payload).ok()) std::abort();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ObjectStoreInsert)->Arg(32)->Arg(256)->Arg(2048);
+
+void BM_ObjectStoreRandomRead(benchmark::State& state) {
+  // range(0): number of records; pool fixed at 16 frames (~128 KiB).
+  int records = static_cast<int>(state.range(0));
+  Pager pager;
+  BufferPool pool(&pager, 16);
+  ObjectStore store(&pool);
+  std::vector<Rid> rids;
+  std::string payload(256, 'r');
+  for (int i = 0; i < records; ++i) {
+    auto rid = store.Insert(payload);
+    if (!rid.ok()) std::abort();
+    rids.push_back(*rid);
+  }
+  std::mt19937 rng(42);
+  for (auto _ : state) {
+    const Rid& rid = rids[std::uniform_int_distribution<size_t>(
+        0, rids.size() - 1)(rng)];
+    auto r = store.Read(rid);
+    if (!r.ok()) std::abort();
+    benchmark::DoNotOptimize(r);
+  }
+  double accesses = static_cast<double>(pool.hits() + pool.misses());
+  state.counters["hit_ratio"] =
+      accesses > 0 ? static_cast<double>(pool.hits()) / accesses : 0.0;
+}
+BENCHMARK(BM_ObjectStoreRandomRead)
+    ->Arg(100)     // fits in pool
+    ->Arg(500)
+    ->Arg(2000)
+    ->Arg(8000);   // far exceeds pool
+
+void BM_InPlaceUpdate(benchmark::State& state) {
+  Pager pager;
+  BufferPool pool(&pager, 64);
+  ObjectStore store(&pool);
+  auto rid = store.Insert(std::string(512, 'a'));
+  if (!rid.ok()) std::abort();
+  std::string same_size(512, 'b');
+  for (auto _ : state) {
+    if (!store.Update(*rid, same_size).ok()) std::abort();
+  }
+}
+BENCHMARK(BM_InPlaceUpdate);
+
+void BM_ForwardingUpdate(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Pager pager;
+    BufferPool pool(&pager, 64);
+    ObjectStore store(&pool);
+    auto rid = store.Insert(std::string(100, 'a'));
+    if (!rid.ok()) std::abort();
+    // Fill the page so growth forces relocation.
+    while (true) {
+      Page probe;
+      if (!pager.ReadPage(rid->page, &probe).ok()) std::abort();
+      if (probe.FreeSpace() < 2500) break;
+      if (!store.Insert(std::string(1000, 'f')).ok()) std::abort();
+    }
+    state.ResumeTiming();
+    if (!store.Update(*rid, std::string(5000, 'B')).ok()) std::abort();
+  }
+}
+BENCHMARK(BM_ForwardingUpdate);
+
+void BM_FileBackedCheckpoint(benchmark::State& state) {
+  // End-to-end Database::Save of a populated database.
+  exodus::Database db;
+  exodus::bench::MustExecute(&db, R"(
+    define type Employee (name: char[25], salary: float8)
+    create Employees : {Employee}
+  )");
+  int rows = static_cast<int>(state.range(0));
+  for (int i = 0; i < rows; ++i) {
+    exodus::bench::MustExecute(
+        &db, "append to Employees (name = \"e" + std::to_string(i) +
+                 "\", salary = " + std::to_string(i) + ".0)");
+  }
+  std::string path = "/tmp/exodus_bench_checkpoint.db";
+  for (auto _ : state) {
+    if (!db.Save(path).ok()) std::abort();
+  }
+  std::remove(path.c_str());
+  state.counters["objects"] = static_cast<double>(rows);
+}
+BENCHMARK(BM_FileBackedCheckpoint)->Arg(100)->Arg(1000)->Arg(4000);
+
+}  // namespace
+}  // namespace exodus::storage
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// An interactive EXCESS shell: type statements, see results. Supports
+// multi-line input (statements end at a blank line or ';'), plus a few
+// shell commands:
+//
+//   \plan              show the plan of the last retrieve/update
+//   \schema            list types and named objects
+//   \save <file>       checkpoint the database
+//   \load <file>       replace the session with a saved database
+//   \quit
+//
+// Run:  ./build/examples/exodus_shell
+//       echo 'retrieve (Complex(1.0,2.0) + Complex(3.0,4.0))' | \
+//           ./build/examples/exodus_shell
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "excess/database.h"
+#include "util/string_util.h"
+
+namespace {
+
+void PrintSchema(exodus::Database& db) {
+  std::cout << "types:\n";
+  for (const auto& [name, type] : db.catalog()->named_types_in_order()) {
+    std::cout << "  " << name;
+    if (type->is_tuple()) {
+      std::cout << " (";
+      const auto& attrs = type->attributes();
+      for (size_t i = 0; i < attrs.size(); ++i) {
+        if (i > 0) std::cout << ", ";
+        std::cout << attrs[i].name << ": " << attrs[i].type->ToString();
+      }
+      std::cout << ")";
+      if (!type->supertypes().empty()) {
+        std::cout << " inherits";
+        for (const auto* s : type->supertypes()) std::cout << " " << s->name();
+      }
+    }
+    std::cout << "\n";
+  }
+  std::cout << "named objects:\n";
+  for (const auto& [name, obj] : db.catalog()->named_objects()) {
+    std::cout << "  " << name << " : " << obj.type->ToString()
+              << "  (creator " << obj.creator << ")\n";
+  }
+  std::cout << "live objects: " << db.heap()->live_count() << "\n";
+}
+
+}  // namespace
+
+int main() {
+  auto db = std::make_unique<exodus::Database>();
+  bool interactive = true;
+
+  std::cout << "EXTRA/EXCESS shell — EXODUS data model & query language\n"
+               "end statements with ';' or a blank line; \\quit to exit\n";
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    if (interactive) {
+      std::cout << (buffer.empty() ? "excess> " : "   ...> ") << std::flush;
+    }
+    if (!std::getline(std::cin, line)) {
+      // EOF: execute whatever is buffered (piped input without ';').
+      if (!exodus::util::Trim(buffer).empty()) {
+        auto results = db->ExecuteAll(buffer);
+        if (!results.ok()) {
+          std::cout << results.status().ToString() << "\n";
+        } else {
+          for (const auto& r : *results) std::cout << db->Format(r);
+        }
+      }
+      break;
+    }
+
+    std::string trimmed(exodus::util::Trim(line));
+    if (buffer.empty() && !trimmed.empty() && trimmed[0] == '\\') {
+      if (trimmed == "\\quit" || trimmed == "\\q") break;
+      if (trimmed == "\\plan") {
+        std::cout << db->last_plan();
+        continue;
+      }
+      if (trimmed == "\\schema") {
+        PrintSchema(*db);
+        continue;
+      }
+      if (exodus::util::StartsWith(trimmed, "\\save ")) {
+        auto st = db->Save(trimmed.substr(6));
+        std::cout << st.ToString() << "\n";
+        continue;
+      }
+      if (exodus::util::StartsWith(trimmed, "\\load ")) {
+        auto loaded = exodus::Database::Load(trimmed.substr(6));
+        if (loaded.ok()) {
+          db = std::move(*loaded);
+          std::cout << "loaded\n";
+        } else {
+          std::cout << loaded.status().ToString() << "\n";
+        }
+        continue;
+      }
+      std::cout << "unknown shell command: " << trimmed << "\n";
+      continue;
+    }
+
+    buffer += line;
+    buffer += "\n";
+    bool complete = trimmed.empty() ||
+                    (!trimmed.empty() && trimmed.back() == ';');
+    if (!complete || exodus::util::Trim(buffer).empty()) {
+      if (trimmed.empty()) buffer.clear();
+      continue;
+    }
+
+    auto results = db->ExecuteAll(buffer);
+    buffer.clear();
+    if (!results.ok()) {
+      std::cout << results.status().ToString() << "\n";
+      continue;
+    }
+    for (const auto& r : *results) {
+      std::cout << db->Format(r);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Quickstart: the paper's running example (Figures 1-2) end to end —
+// define an EXTRA schema with inheritance, an ADT attribute and own-ref
+// components; load data; run EXCESS queries with implicit joins, nested
+// sets, aggregates and updates.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <iostream>
+
+#include "excess/database.h"
+
+namespace {
+
+void Run(exodus::Database& db, const std::string& query) {
+  std::cout << "EXCESS> " << query << "\n";
+  auto result = db.Execute(query);
+  if (!result.ok()) {
+    std::cout << "error: " << result.status().ToString() << "\n\n";
+    return;
+  }
+  std::cout << db.Format(*result) << "\n";
+}
+
+}  // namespace
+
+int main() {
+  exodus::Database db;
+
+  // --- Schema (paper Figure 1) -------------------------------------------
+  Run(db, R"(
+    define type Person (
+      name: char[25],
+      ssnum: int4,
+      birthday: Date,
+      kids: {own ref Person}
+    )
+  )");
+  Run(db, R"(
+    define type Department (
+      name: char[15],
+      floor: int4,
+      budget: float8
+    )
+  )");
+  Run(db, R"(
+    define type Employee inherits Person (
+      salary: float8,
+      dept: ref Department
+    )
+  )");
+
+  // Type/extent separation: databases contain user-created named
+  // collections, not system-maintained type extents.
+  Run(db, "create Departments : {Department}");
+  Run(db, "create Employees : {Employee}");
+  Run(db, R"(create Today : Date = Date("7/6/1988"))");
+
+  // --- Data ---------------------------------------------------------------
+  Run(db, R"(append to Departments (name = "Toys", floor = 2,
+                                    budget = 100000.0))");
+  Run(db, R"(append to Departments (name = "Shoes", floor = 1,
+                                    budget = 50000.0))");
+  Run(db, R"(
+    append to Employees (name = "Mike", ssnum = 1234,
+      birthday = Date("1/1/1955"), salary = 32000.0, dept = D,
+      kids = {(name = "Casey", birthday = Date("3/5/1980")),
+              (name = "Sam",   birthday = Date("7/7/1984"))})
+    from D in Departments where D.name = "Toys"
+  )");
+  Run(db, R"(
+    append to Employees (name = "David", ssnum = 5678,
+      birthday = Date("2/2/1950"), salary = 45000.0, dept = D)
+    from D in Departments where D.name = "Shoes"
+  )");
+
+  // --- Queries ------------------------------------------------------------
+  // Implicit join through a reference path (GEM style).
+  Run(db, R"(retrieve (E.name, E.salary) from E in Employees
+             where E.dept.floor = 2)");
+
+  // Nested-set query: children of second-floor employees (paper §3).
+  Run(db, R"(retrieve (C.name) from C in Employees.kids
+             where Employees.dept.floor = 2)");
+
+  // Path-syntax range statement.
+  Run(db, "range of K is Employees.kids");
+  Run(db, "retrieve (K.name, K.birthday) sort by K.name");
+
+  // Named objects.
+  Run(db, "retrieve (Today)");
+  Run(db, "create StarEmployee : ref Employee");
+  Run(db, R"(assign StarEmployee = E from E in Employees
+             where E.salary = max(F.salary from F in Employees))");
+  Run(db, "retrieve (StarEmployee.name, StarEmployee.salary)");
+
+  // Aggregates with `over` partitioning.
+  Run(db, R"(retrieve unique (E.dept.name, avg(E.salary over E.dept))
+             from E in Employees)");
+
+  // The Complex ADT of paper Figure 7.
+  Run(db, "retrieve (Complex(1.0, 2.0) + Complex(3.0, 4.0))");
+  Run(db, "retrieve (Complex(3.0, 4.0).Magnitude)");
+
+  // A derived-data EXCESS function.
+  Run(db, R"(define function KidCount (P: Person) returns int4 as
+             retrieve (count(P.kids)))");
+  Run(db, "retrieve (E.name, E.KidCount) from E in Employees");
+
+  // Updates: a raise for the toy department, then cascade delete.
+  Run(db, R"(replace E (salary = E.salary * 1.1) from E in Employees
+             where E.dept.name = "Toys")");
+  Run(db, R"(retrieve (E.name, E.salary) from E in Employees)");
+  std::cout << "live objects before delete: " << db.heap()->live_count()
+            << "\n";
+  Run(db, R"(delete E from E in Employees where E.name = "Mike")");
+  std::cout << "live objects after delete (kids cascaded): "
+            << db.heap()->live_count() << "\n";
+
+  return 0;
+}

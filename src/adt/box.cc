@@ -1,0 +1,144 @@
+#include "adt/box.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace exodus::adt {
+
+using object::Value;
+using object::ValueKind;
+using util::Result;
+using util::Status;
+
+namespace {
+int g_box_adt_id = -1;
+
+Result<double> NumArg(const std::vector<Value>& args, size_t i,
+                      const char* fn) {
+  if (i >= args.size() || (args[i].kind() != ValueKind::kInt &&
+                           args[i].kind() != ValueKind::kFloat)) {
+    return Status::TypeError(std::string(fn) + ": expected numeric argument");
+  }
+  return args[i].NumericAsDouble();
+}
+
+Result<const BoxPayload*> BoxArg(const std::vector<Value>& args, size_t i,
+                                 const char* fn) {
+  if (i >= args.size() || args[i].kind() != ValueKind::kAdt ||
+      args[i].adt_id() != g_box_adt_id) {
+    return Status::TypeError(std::string(fn) + ": expected a Box argument");
+  }
+  return static_cast<const BoxPayload*>(&args[i].adt_payload());
+}
+
+}  // namespace
+
+BoxPayload::BoxPayload(double x1, double y1, double x2, double y2)
+    : x1_(std::min(x1, x2)),
+      y1_(std::min(y1, y2)),
+      x2_(std::max(x1, x2)),
+      y2_(std::max(y1, y2)) {}
+
+std::string BoxPayload::Print() const {
+  return "box[(" + util::FormatDouble(x1_) + "," + util::FormatDouble(y1_) +
+         "),(" + util::FormatDouble(x2_) + "," + util::FormatDouble(y2_) +
+         ")]";
+}
+
+bool BoxPayload::Equals(const object::AdtPayload& other) const {
+  const auto& o = static_cast<const BoxPayload&>(other);
+  return x1_ == o.x1_ && y1_ == o.y1_ && x2_ == o.x2_ && y2_ == o.y2_;
+}
+
+size_t BoxPayload::Hash() const {
+  auto h = std::hash<double>();
+  return h(x1_) ^ (h(y1_) << 1) ^ (h(x2_) << 2) ^ (h(y2_) << 3);
+}
+
+int BoxAdtId() { return g_box_adt_id; }
+
+Value MakeBox(double x1, double y1, double x2, double y2) {
+  return Value::Adt(g_box_adt_id,
+                    std::make_shared<BoxPayload>(x1, y1, x2, y2));
+}
+
+Status InstallBoxAdt(
+    Registry* registry, extra::TypeStore* store,
+    const std::function<Status(const std::string&, const extra::Type*)>&
+        register_type) {
+  auto ctor = [](const std::vector<Value>& args) -> Result<Value> {
+    EXODUS_ASSIGN_OR_RETURN(double x1, NumArg(args, 0, "Box"));
+    EXODUS_ASSIGN_OR_RETURN(double y1, NumArg(args, 1, "Box"));
+    EXODUS_ASSIGN_OR_RETURN(double x2, NumArg(args, 2, "Box"));
+    EXODUS_ASSIGN_OR_RETURN(double y2, NumArg(args, 3, "Box"));
+    return MakeBox(x1, y1, x2, y2);
+  };
+  EXODUS_ASSIGN_OR_RETURN(g_box_adt_id,
+                          registry->RegisterType("Box", ctor, 4));
+
+  EXODUS_RETURN_IF_ERROR(registry->RegisterFunction(
+      "Box", "Area", 1, [](const std::vector<Value>& args) -> Result<Value> {
+        EXODUS_ASSIGN_OR_RETURN(const BoxPayload* b, BoxArg(args, 0, "Area"));
+        return Value::Float((b->x2() - b->x1()) * (b->y2() - b->y1()));
+      }));
+  EXODUS_RETURN_IF_ERROR(registry->RegisterFunction(
+      "Box", "Width", 1, [](const std::vector<Value>& args) -> Result<Value> {
+        EXODUS_ASSIGN_OR_RETURN(const BoxPayload* b, BoxArg(args, 0, "Width"));
+        return Value::Float(b->x2() - b->x1());
+      }));
+  EXODUS_RETURN_IF_ERROR(registry->RegisterFunction(
+      "Box", "Height", 1, [](const std::vector<Value>& args) -> Result<Value> {
+        EXODUS_ASSIGN_OR_RETURN(const BoxPayload* b, BoxArg(args, 0, "Height"));
+        return Value::Float(b->y2() - b->y1());
+      }));
+  EXODUS_RETURN_IF_ERROR(registry->RegisterFunction(
+      "Box", "Overlaps", 2,
+      [](const std::vector<Value>& args) -> Result<Value> {
+        EXODUS_ASSIGN_OR_RETURN(const BoxPayload* a,
+                                BoxArg(args, 0, "Overlaps"));
+        EXODUS_ASSIGN_OR_RETURN(const BoxPayload* b,
+                                BoxArg(args, 1, "Overlaps"));
+        bool overlap = a->x1() <= b->x2() && b->x1() <= a->x2() &&
+                       a->y1() <= b->y2() && b->y1() <= a->y2();
+        return Value::Bool(overlap);
+      }));
+  EXODUS_RETURN_IF_ERROR(registry->RegisterFunction(
+      "Box", "Contains", 2,
+      [](const std::vector<Value>& args) -> Result<Value> {
+        EXODUS_ASSIGN_OR_RETURN(const BoxPayload* a,
+                                BoxArg(args, 0, "Contains"));
+        EXODUS_ASSIGN_OR_RETURN(const BoxPayload* b,
+                                BoxArg(args, 1, "Contains"));
+        bool contains = a->x1() <= b->x1() && b->x2() <= a->x2() &&
+                        a->y1() <= b->y1() && b->y2() <= a->y2();
+        return Value::Bool(contains);
+      }));
+
+  // Identifier-named infix operator: `b1 overlaps b2`. Comparison-level
+  // precedence (4) so `b1 overlaps b2 and p` parses as expected.
+  EXODUS_RETURN_IF_ERROR(registry->RegisterOperator(
+      "overlaps", "Box", "Overlaps", 4, Assoc::kLeft, Fixity::kInfix));
+
+  EXODUS_RETURN_IF_ERROR(registry->RegisterSerialization(
+      "Box",
+      [](const object::AdtPayload& p) {
+        const auto& b = static_cast<const BoxPayload&>(p);
+        return util::FormatDouble(b.x1()) + " " + util::FormatDouble(b.y1()) +
+               " " + util::FormatDouble(b.x2()) + " " +
+               util::FormatDouble(b.y2());
+      },
+      [](const std::string& s) -> Result<Value> {
+        double x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+        if (std::sscanf(s.c_str(), "%lf %lf %lf %lf", &x1, &y1, &x2, &y2) !=
+            4) {
+          return Status::InvalidArgument("corrupt Box payload");
+        }
+        return MakeBox(x1, y1, x2, y2);
+      }));
+
+  return register_type("Box", store->MakeAdt("Box", g_box_adt_id));
+}
+
+}  // namespace exodus::adt

@@ -1,0 +1,55 @@
+#ifndef EXODUS_ADT_BOX_H_
+#define EXODUS_ADT_BOX_H_
+
+#include <functional>
+#include <string>
+
+#include "adt/registry.h"
+#include "extra/type.h"
+#include "object/value.h"
+#include "util/result.h"
+
+namespace exodus::adt {
+
+/// An axis-aligned rectangle ADT for the engineering/CAD workloads the
+/// paper's introduction motivates (geometric modeling, [Kemp87]).
+/// Also demonstrates an *identifier-named* operator, which EXCESS allows
+/// ("any legal EXCESS identifier or sequence of punctuation characters
+/// may be used" as an operator, §4.1):
+///
+///   Box(x1, y1, x2, y2)          -- constructor (lo/hi corners)
+///   b.Area / b.Width / b.Height
+///   b1 overlaps b2               -- registered identifier operator
+///   b1.Contains(b2)
+class BoxPayload : public object::AdtPayload {
+ public:
+  BoxPayload(double x1, double y1, double x2, double y2);
+
+  double x1() const { return x1_; }
+  double y1() const { return y1_; }
+  double x2() const { return x2_; }
+  double y2() const { return y2_; }
+
+  std::string Print() const override;
+  bool Equals(const object::AdtPayload& other) const override;
+  size_t Hash() const override;
+
+ private:
+  double x1_, y1_, x2_, y2_;  // normalized: x1 <= x2, y1 <= y2
+};
+
+/// The registered id of the Box ADT after installation; -1 before.
+int BoxAdtId();
+
+/// Convenience constructor for C++ callers and tests.
+object::Value MakeBox(double x1, double y1, double x2, double y2);
+
+/// Registers the Box ADT, its functions, and the `overlaps` operator.
+util::Status InstallBoxAdt(
+    Registry* registry, extra::TypeStore* store,
+    const std::function<util::Status(const std::string&, const extra::Type*)>&
+        register_type);
+
+}  // namespace exodus::adt
+
+#endif  // EXODUS_ADT_BOX_H_

@@ -1,0 +1,136 @@
+#include "adt/complex.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace exodus::adt {
+
+using object::Value;
+using object::ValueKind;
+using util::Result;
+using util::Status;
+
+namespace {
+int g_complex_adt_id = -1;
+
+Result<double> NumArg(const std::vector<Value>& args, size_t i,
+                      const char* fn) {
+  if (i >= args.size() || (args[i].kind() != ValueKind::kInt &&
+                           args[i].kind() != ValueKind::kFloat)) {
+    return Status::TypeError(std::string(fn) + ": expected numeric argument");
+  }
+  return args[i].NumericAsDouble();
+}
+
+Result<const ComplexPayload*> CArg(const std::vector<Value>& args, size_t i,
+                                   const char* fn) {
+  if (i >= args.size() || args[i].kind() != ValueKind::kAdt ||
+      args[i].adt_id() != g_complex_adt_id) {
+    return Status::TypeError(std::string(fn) +
+                             ": expected a Complex argument");
+  }
+  return static_cast<const ComplexPayload*>(&args[i].adt_payload());
+}
+
+}  // namespace
+
+std::string ComplexPayload::Print() const {
+  return "(" + util::FormatDouble(re_) + " + " + util::FormatDouble(im_) +
+         "i)";
+}
+
+bool ComplexPayload::Equals(const object::AdtPayload& other) const {
+  const auto& o = static_cast<const ComplexPayload&>(other);
+  return re_ == o.re_ && im_ == o.im_;
+}
+
+size_t ComplexPayload::Hash() const {
+  return std::hash<double>()(re_) ^ (std::hash<double>()(im_) << 1);
+}
+
+int ComplexAdtId() { return g_complex_adt_id; }
+
+Value MakeComplex(double re, double im) {
+  return Value::Adt(g_complex_adt_id,
+                    std::make_shared<ComplexPayload>(re, im));
+}
+
+Status InstallComplexAdt(
+    Registry* registry, extra::TypeStore* store,
+    const std::function<Status(const std::string&, const extra::Type*)>&
+        register_type) {
+  auto ctor = [](const std::vector<Value>& args) -> Result<Value> {
+    EXODUS_ASSIGN_OR_RETURN(double re, NumArg(args, 0, "Complex"));
+    EXODUS_ASSIGN_OR_RETURN(double im, NumArg(args, 1, "Complex"));
+    return MakeComplex(re, im);
+  };
+  EXODUS_ASSIGN_OR_RETURN(g_complex_adt_id,
+                          registry->RegisterType("Complex", ctor, 2));
+
+  EXODUS_RETURN_IF_ERROR(registry->RegisterFunction(
+      "Complex", "Add", 2, [](const std::vector<Value>& args) -> Result<Value> {
+        EXODUS_ASSIGN_OR_RETURN(const ComplexPayload* a, CArg(args, 0, "Add"));
+        EXODUS_ASSIGN_OR_RETURN(const ComplexPayload* b, CArg(args, 1, "Add"));
+        return MakeComplex(a->re() + b->re(), a->im() + b->im());
+      }));
+  EXODUS_RETURN_IF_ERROR(registry->RegisterFunction(
+      "Complex", "Sub", 2, [](const std::vector<Value>& args) -> Result<Value> {
+        EXODUS_ASSIGN_OR_RETURN(const ComplexPayload* a, CArg(args, 0, "Sub"));
+        EXODUS_ASSIGN_OR_RETURN(const ComplexPayload* b, CArg(args, 1, "Sub"));
+        return MakeComplex(a->re() - b->re(), a->im() - b->im());
+      }));
+  EXODUS_RETURN_IF_ERROR(registry->RegisterFunction(
+      "Complex", "Mul", 2, [](const std::vector<Value>& args) -> Result<Value> {
+        EXODUS_ASSIGN_OR_RETURN(const ComplexPayload* a, CArg(args, 0, "Mul"));
+        EXODUS_ASSIGN_OR_RETURN(const ComplexPayload* b, CArg(args, 1, "Mul"));
+        return MakeComplex(a->re() * b->re() - a->im() * b->im(),
+                           a->re() * b->im() + a->im() * b->re());
+      }));
+  EXODUS_RETURN_IF_ERROR(registry->RegisterFunction(
+      "Complex", "Re", 1, [](const std::vector<Value>& args) -> Result<Value> {
+        EXODUS_ASSIGN_OR_RETURN(const ComplexPayload* a, CArg(args, 0, "Re"));
+        return Value::Float(a->re());
+      }));
+  EXODUS_RETURN_IF_ERROR(registry->RegisterFunction(
+      "Complex", "Im", 1, [](const std::vector<Value>& args) -> Result<Value> {
+        EXODUS_ASSIGN_OR_RETURN(const ComplexPayload* a, CArg(args, 0, "Im"));
+        return Value::Float(a->im());
+      }));
+  EXODUS_RETURN_IF_ERROR(registry->RegisterFunction(
+      "Complex", "Magnitude", 1,
+      [](const std::vector<Value>& args) -> Result<Value> {
+        EXODUS_ASSIGN_OR_RETURN(const ComplexPayload* a,
+                                CArg(args, 0, "Magnitude"));
+        return Value::Float(std::hypot(a->re(), a->im()));
+      }));
+
+  // Operator overloads: '+' -> Add, '-' -> Sub, '*' -> Mul (paper §4.1).
+  EXODUS_RETURN_IF_ERROR(registry->RegisterOperator(
+      "+", "Complex", "Add", 6, Assoc::kLeft, Fixity::kInfix));
+  EXODUS_RETURN_IF_ERROR(registry->RegisterOperator(
+      "-", "Complex", "Sub", 6, Assoc::kLeft, Fixity::kInfix));
+  EXODUS_RETURN_IF_ERROR(registry->RegisterOperator(
+      "*", "Complex", "Mul", 7, Assoc::kLeft, Fixity::kInfix));
+
+  EXODUS_RETURN_IF_ERROR(registry->RegisterSerialization(
+      "Complex",
+      [](const object::AdtPayload& p) {
+        const auto& c = static_cast<const ComplexPayload&>(p);
+        return util::FormatDouble(c.re()) + " " + util::FormatDouble(c.im());
+      },
+      [](const std::string& s) -> Result<Value> {
+        double re = 0;
+        double im = 0;
+        if (std::sscanf(s.c_str(), "%lf %lf", &re, &im) != 2) {
+          return Status::InvalidArgument("corrupt Complex payload");
+        }
+        return MakeComplex(re, im);
+      }));
+
+  return register_type("Complex",
+                       store->MakeAdt("Complex", g_complex_adt_id));
+}
+
+}  // namespace exodus::adt

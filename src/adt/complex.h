@@ -1,0 +1,54 @@
+#ifndef EXODUS_ADT_COMPLEX_H_
+#define EXODUS_ADT_COMPLEX_H_
+
+#include <functional>
+#include <string>
+
+#include "adt/registry.h"
+#include "extra/type.h"
+#include "object/value.h"
+#include "util/result.h"
+
+namespace exodus::adt {
+
+/// The Complex-number ADT of paper Figure 7 ("a slightly simplified E
+/// interface definition for the Complex dbclass").
+///
+/// EXCESS surface:
+///   Complex(1.0, 2.0)                -- constructor
+///   c.Re / c.Im                      -- component accessors
+///   Add(c1, c2) or c1.Add(c2)        -- function invocation, both forms
+///   c1 + c2, c1 * c2                 -- registered operators
+///   c.Magnitude                      -- |c|
+class ComplexPayload : public object::AdtPayload {
+ public:
+  ComplexPayload(double re, double im) : re_(re), im_(im) {}
+
+  double re() const { return re_; }
+  double im() const { return im_; }
+
+  std::string Print() const override;
+  bool Equals(const object::AdtPayload& other) const override;
+  size_t Hash() const override;
+
+ private:
+  double re_;
+  double im_;
+};
+
+/// The registered id of the Complex ADT after installation; -1 before.
+int ComplexAdtId();
+
+/// Convenience constructor for C++ callers and tests.
+object::Value MakeComplex(double re, double im);
+
+/// Registers the Complex ADT, its functions (Add, Sub, Mul, Re, Im,
+/// Magnitude) and the '+'/'*' operator overloads.
+util::Status InstallComplexAdt(
+    Registry* registry, extra::TypeStore* store,
+    const std::function<util::Status(const std::string&, const extra::Type*)>&
+        register_type);
+
+}  // namespace exodus::adt
+
+#endif  // EXODUS_ADT_COMPLEX_H_

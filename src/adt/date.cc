@@ -1,0 +1,185 @@
+#include "adt/date.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace exodus::adt {
+
+using object::Value;
+using object::ValueKind;
+using util::Result;
+using util::Status;
+
+namespace {
+int g_date_adt_id = -1;
+
+Result<int64_t> IntArg(const std::vector<Value>& args, size_t i,
+                       const char* fn) {
+  if (i >= args.size() || args[i].kind() != ValueKind::kInt) {
+    return Status::TypeError(std::string(fn) + ": expected integer argument");
+  }
+  return args[i].AsInt();
+}
+
+Result<const DatePayload*> DateArg(const std::vector<Value>& args, size_t i,
+                                   const char* fn) {
+  if (i >= args.size() || args[i].kind() != ValueKind::kAdt ||
+      args[i].adt_id() != g_date_adt_id) {
+    return Status::TypeError(std::string(fn) + ": expected a Date argument");
+  }
+  return static_cast<const DatePayload*>(&args[i].adt_payload());
+}
+
+bool ValidYmd(int64_t y, int64_t m, int64_t d) {
+  if (m < 1 || m > 12 || d < 1 || d > 31) return false;
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  bool leap = (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+  int max_d = kDays[m - 1] + ((m == 2 && leap) ? 1 : 0);
+  return d <= max_d;
+}
+
+}  // namespace
+
+int64_t DatePayload::DayNumber() const {
+  // Howard Hinnant's days_from_civil algorithm.
+  int64_t y = year_;
+  unsigned m = static_cast<unsigned>(month_);
+  unsigned d = static_cast<unsigned>(day_);
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+DatePayload DatePayload::FromDayNumber(int64_t z) {
+  // Howard Hinnant's civil_from_days algorithm.
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  return DatePayload(static_cast<int>(y + (m <= 2)), static_cast<int>(m),
+                     static_cast<int>(d));
+}
+
+std::string DatePayload::Print() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%d/%d/%d", month_, day_, year_);
+  return buf;
+}
+
+bool DatePayload::Equals(const object::AdtPayload& other) const {
+  const auto& o = static_cast<const DatePayload&>(other);
+  return year_ == o.year_ && month_ == o.month_ && day_ == o.day_;
+}
+
+size_t DatePayload::Hash() const {
+  return std::hash<int64_t>()(DayNumber());
+}
+
+int DatePayload::Compare(const object::AdtPayload& other) const {
+  int64_t a = DayNumber();
+  int64_t b = static_cast<const DatePayload&>(other).DayNumber();
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+int DateAdtId() { return g_date_adt_id; }
+
+Value MakeDate(int year, int month, int day) {
+  return Value::Adt(g_date_adt_id,
+                    std::make_shared<DatePayload>(year, month, day));
+}
+
+Result<Value> ParseDate(const std::string& text) {
+  int m = 0;
+  int d = 0;
+  int y = 0;
+  if (std::sscanf(text.c_str(), "%d/%d/%d", &m, &d, &y) != 3 ||
+      !ValidYmd(y, m, d)) {
+    return Status::InvalidArgument("invalid date literal '" + text +
+                                   "' (expected \"m/d/yyyy\")");
+  }
+  return MakeDate(y, m, d);
+}
+
+Status InstallDateAdt(
+    Registry* registry, extra::TypeStore* store,
+    const std::function<Status(const std::string&, const extra::Type*)>&
+        register_type) {
+  auto ctor = [](const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() == 1 && args[0].kind() == ValueKind::kString) {
+      return ParseDate(args[0].AsString());
+    }
+    if (args.size() == 3) {
+      EXODUS_ASSIGN_OR_RETURN(int64_t y, IntArg(args, 0, "Date"));
+      EXODUS_ASSIGN_OR_RETURN(int64_t m, IntArg(args, 1, "Date"));
+      EXODUS_ASSIGN_OR_RETURN(int64_t d, IntArg(args, 2, "Date"));
+      if (!ValidYmd(y, m, d)) {
+        return Status::InvalidArgument("Date: invalid year/month/day");
+      }
+      return MakeDate(static_cast<int>(y), static_cast<int>(m),
+                      static_cast<int>(d));
+    }
+    return Status::TypeError(
+        "Date: expected Date(\"m/d/yyyy\") or Date(year, month, day)");
+  };
+  EXODUS_ASSIGN_OR_RETURN(g_date_adt_id,
+                          registry->RegisterType("Date", ctor, -1));
+
+  auto component = [](const char* fn, int which) {
+    return [fn, which](const std::vector<Value>& args) -> Result<Value> {
+      EXODUS_ASSIGN_OR_RETURN(const DatePayload* d, DateArg(args, 0, fn));
+      int v = which == 0 ? d->year() : (which == 1 ? d->month() : d->day());
+      return Value::Int(v);
+    };
+  };
+  EXODUS_RETURN_IF_ERROR(
+      registry->RegisterFunction("Date", "Year", 1, component("Year", 0)));
+  EXODUS_RETURN_IF_ERROR(
+      registry->RegisterFunction("Date", "Month", 1, component("Month", 1)));
+  EXODUS_RETURN_IF_ERROR(
+      registry->RegisterFunction("Date", "Day", 1, component("Day", 2)));
+
+  EXODUS_RETURN_IF_ERROR(registry->RegisterFunction(
+      "Date", "AddDays", 2,
+      [](const std::vector<Value>& args) -> Result<Value> {
+        EXODUS_ASSIGN_OR_RETURN(const DatePayload* d,
+                                DateArg(args, 0, "AddDays"));
+        EXODUS_ASSIGN_OR_RETURN(int64_t n, IntArg(args, 1, "AddDays"));
+        DatePayload out = DatePayload::FromDayNumber(d->DayNumber() + n);
+        return MakeDate(out.year(), out.month(), out.day());
+      }));
+
+  EXODUS_RETURN_IF_ERROR(registry->RegisterFunction(
+      "Date", "DiffDays", 2,
+      [](const std::vector<Value>& args) -> Result<Value> {
+        EXODUS_ASSIGN_OR_RETURN(const DatePayload* a,
+                                DateArg(args, 0, "DiffDays"));
+        EXODUS_ASSIGN_OR_RETURN(const DatePayload* b,
+                                DateArg(args, 1, "DiffDays"));
+        return Value::Int(a->DayNumber() - b->DayNumber());
+      }));
+
+  // `d1 - d2` -> difference in days (overloads the built-in '-').
+  EXODUS_RETURN_IF_ERROR(registry->RegisterOperator(
+      "-", "Date", "DiffDays", /*precedence=*/6, Assoc::kLeft,
+      Fixity::kInfix));
+
+  EXODUS_RETURN_IF_ERROR(registry->RegisterSerialization(
+      "Date",
+      [](const object::AdtPayload& p) {
+        return static_cast<const DatePayload&>(p).Print();
+      },
+      [](const std::string& s) { return ParseDate(s); }));
+
+  return register_type("Date", store->MakeAdt("Date", g_date_adt_id));
+}
+
+}  // namespace exodus::adt

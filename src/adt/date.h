@@ -1,0 +1,68 @@
+#ifndef EXODUS_ADT_DATE_H_
+#define EXODUS_ADT_DATE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "adt/registry.h"
+#include "extra/type.h"
+#include "object/value.h"
+#include "util/result.h"
+
+namespace exodus::adt {
+
+/// The Date ADT used throughout the paper's examples (Fig. 1:
+/// `birthday: Date`). Dates are totally ordered, so Date attributes can
+/// be compared, sorted and B+tree-indexed.
+///
+/// EXCESS surface:
+///   Date("8/23/1988")        -- constructor from m/d/y string
+///   Date(1988, 8, 23)        -- constructor from components
+///   d.Year / d.Month / d.Day -- component accessors
+///   d.AddDays(n)             -- a new date n days later
+///   d1 - d2                  -- registered operator: difference in days
+class DatePayload : public object::AdtPayload {
+ public:
+  DatePayload(int year, int month, int day)
+      : year_(year), month_(month), day_(day) {}
+
+  int year() const { return year_; }
+  int month() const { return month_; }
+  int day() const { return day_; }
+
+  /// Days since the proleptic Gregorian epoch (civil day algorithm).
+  int64_t DayNumber() const;
+  /// Inverse of DayNumber().
+  static DatePayload FromDayNumber(int64_t days);
+
+  std::string Print() const override;
+  bool Equals(const object::AdtPayload& other) const override;
+  size_t Hash() const override;
+  bool Comparable() const override { return true; }
+  int Compare(const object::AdtPayload& other) const override;
+
+ private:
+  int year_;
+  int month_;
+  int day_;
+};
+
+/// The registered id of the Date ADT after installation; -1 before.
+int DateAdtId();
+
+/// Convenience: a Date value (for C++ callers and tests).
+object::Value MakeDate(int year, int month, int day);
+
+/// Parses "m/d/yyyy".
+util::Result<object::Value> ParseDate(const std::string& text);
+
+/// Registers the Date ADT, its functions, and its operators.
+util::Status InstallDateAdt(
+    Registry* registry, extra::TypeStore* store,
+    const std::function<util::Status(const std::string&, const extra::Type*)>&
+        register_type);
+
+}  // namespace exodus::adt
+
+#endif  // EXODUS_ADT_DATE_H_

@@ -1,0 +1,175 @@
+#include "adt/registry.h"
+
+#include <algorithm>
+
+#include "adt/box.h"
+#include "adt/complex.h"
+#include "adt/date.h"
+
+namespace exodus::adt {
+
+using object::Value;
+using util::Result;
+using util::Status;
+
+Result<int> Registry::RegisterType(const std::string& name, AdtFn constructor,
+                                   int constructor_arity) {
+  if (type_by_name_.count(name)) {
+    return Status::AlreadyExists("ADT '" + name + "' already registered");
+  }
+  AdtType t;
+  t.id = static_cast<int>(types_.size());
+  t.name = name;
+  t.constructor = std::move(constructor);
+  t.constructor_arity = constructor_arity;
+  types_.push_back(std::move(t));
+  type_by_name_[name] = types_.back().id;
+  return types_.back().id;
+}
+
+Status Registry::RegisterFunction(const std::string& adt_name,
+                                  const std::string& fn_name, int arity,
+                                  AdtFn fn) {
+  auto it = type_by_name_.find(adt_name);
+  if (it == type_by_name_.end()) {
+    return Status::NotFound("no ADT named '" + adt_name + "'");
+  }
+  AdtType& t = types_[static_cast<size_t>(it->second)];
+  if (t.functions.count(fn_name)) {
+    return Status::AlreadyExists("ADT '" + adt_name +
+                                 "' already has a function '" + fn_name + "'");
+  }
+  t.functions[fn_name] = AdtFunction{fn_name, arity, std::move(fn)};
+  return Status::OK();
+}
+
+Status Registry::RegisterOperator(const std::string& symbol,
+                                  const std::string& adt_name,
+                                  const std::string& function, int precedence,
+                                  Assoc assoc, Fixity fixity) {
+  auto it = type_by_name_.find(adt_name);
+  if (it == type_by_name_.end()) {
+    return Status::NotFound("no ADT named '" + adt_name + "'");
+  }
+  const AdtType& t = types_[static_cast<size_t>(it->second)];
+  if (!t.functions.count(function)) {
+    return Status::NotFound("ADT '" + adt_name + "' has no function '" +
+                            function + "' to bind operator '" + symbol + "'");
+  }
+  for (const OperatorDef& op : operators_) {
+    if (op.symbol == symbol && op.adt_id == t.id && op.fixity == fixity) {
+      return Status::AlreadyExists("operator '" + symbol +
+                                   "' already registered for ADT '" +
+                                   adt_name + "'");
+    }
+  }
+  OperatorDef def;
+  def.symbol = symbol;
+  def.adt_id = t.id;
+  def.function = function;
+  def.precedence = precedence;
+  def.assoc = assoc;
+  def.fixity = fixity;
+  operators_.push_back(std::move(def));
+  return Status::OK();
+}
+
+Status Registry::RegisterSerialization(
+    const std::string& adt_name,
+    std::function<std::string(const object::AdtPayload&)> serialize,
+    std::function<util::Result<object::Value>(const std::string&)>
+        deserialize) {
+  auto it = type_by_name_.find(adt_name);
+  if (it == type_by_name_.end()) {
+    return Status::NotFound("no ADT named '" + adt_name + "'");
+  }
+  AdtType& t = types_[static_cast<size_t>(it->second)];
+  t.serialize = std::move(serialize);
+  t.deserialize = std::move(deserialize);
+  return Status::OK();
+}
+
+Status Registry::RegisterSetFunction(const std::string& name, SetFn fn) {
+  if (set_functions_.count(name)) {
+    return Status::AlreadyExists("set function '" + name +
+                                 "' already registered");
+  }
+  set_functions_[name] = std::move(fn);
+  return Status::OK();
+}
+
+const AdtType* Registry::FindType(const std::string& name) const {
+  auto it = type_by_name_.find(name);
+  return it == type_by_name_.end() ? nullptr
+                                   : &types_[static_cast<size_t>(it->second)];
+}
+
+const AdtType* Registry::FindTypeById(int id) const {
+  if (id < 0 || id >= static_cast<int>(types_.size())) return nullptr;
+  return &types_[static_cast<size_t>(id)];
+}
+
+const AdtFunction* Registry::FindFunction(int adt_id,
+                                          const std::string& name) const {
+  const AdtType* t = FindTypeById(adt_id);
+  if (t == nullptr) return nullptr;
+  auto it = t->functions.find(name);
+  return it == t->functions.end() ? nullptr : &it->second;
+}
+
+const OperatorDef* Registry::FindOperator(const std::string& symbol,
+                                          int adt_id, Fixity fixity) const {
+  for (const OperatorDef& op : operators_) {
+    if (op.symbol == symbol && op.adt_id == adt_id && op.fixity == fixity) {
+      return &op;
+    }
+  }
+  return nullptr;
+}
+
+const SetFn* Registry::FindSetFunction(const std::string& name) const {
+  auto it = set_functions_.find(name);
+  return it == set_functions_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+/// Generic `median` for any totally ordered element type — the paper's
+/// flagship example of an extension POSTGRES could not express generically
+/// (§4.3). Works via ValueCompare, so it applies to numerics, strings,
+/// enums and comparable ADTs alike.
+Result<Value> GenericMedian(const std::vector<Value>& elems) {
+  std::vector<Value> sorted;
+  for (const Value& v : elems) {
+    if (!v.is_null()) sorted.push_back(v);
+  }
+  if (sorted.empty()) return Value::Null();
+  Status sort_error = Status::OK();
+  std::sort(sorted.begin(), sorted.end(),
+            [&sort_error](const Value& a, const Value& b) {
+              auto cmp = object::ValueCompare(a, b);
+              if (!cmp.ok()) {
+                sort_error = cmp.status();
+                return false;
+              }
+              return *cmp < 0;
+            });
+  if (!sort_error.ok()) return sort_error;
+  return sorted[(sorted.size() - 1) / 2];
+}
+
+}  // namespace
+
+Status InstallBuiltinAdts(
+    Registry* registry, extra::TypeStore* store,
+    const std::function<Status(const std::string&, const extra::Type*)>&
+        register_type) {
+  EXODUS_RETURN_IF_ERROR(InstallDateAdt(registry, store, register_type));
+  EXODUS_RETURN_IF_ERROR(InstallComplexAdt(registry, store, register_type));
+  EXODUS_RETURN_IF_ERROR(InstallBoxAdt(registry, store, register_type));
+  EXODUS_RETURN_IF_ERROR(
+      registry->RegisterSetFunction("median", GenericMedian));
+  return Status::OK();
+}
+
+}  // namespace exodus::adt

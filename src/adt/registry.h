@@ -1,0 +1,144 @@
+#ifndef EXODUS_ADT_REGISTRY_H_
+#define EXODUS_ADT_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "object/value.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace exodus::adt {
+
+/// Signature of an ADT function: takes evaluated argument values and
+/// returns a value. ADT functions are side-effect free.
+using AdtFn = std::function<util::Result<object::Value>(
+    const std::vector<object::Value>&)>;
+
+/// Signature of a generic *set* function (paper §4.3: e.g. a "median"
+/// aggregate that works for any totally ordered type). It receives the
+/// collected element values of a set/aggregate input.
+using SetFn = std::function<util::Result<object::Value>(
+    const std::vector<object::Value>&)>;
+
+/// A named function attached to an ADT.
+struct AdtFunction {
+  std::string name;
+  /// Number of arguments including the receiver; -1 means variadic.
+  int arity = -1;
+  AdtFn fn;
+};
+
+enum class Assoc { kLeft, kRight };
+enum class Fixity { kInfix, kPrefix };
+
+/// A registered operator (paper §4.1: existing EXCESS operators can be
+/// overloaded; new operators — punctuation sequences or identifiers —
+/// can be introduced with explicit precedence and associativity).
+struct OperatorDef {
+  std::string symbol;
+  /// ADT the operator dispatches on (the first operand's ADT).
+  int adt_id = -1;
+  /// Name of the ADT function implementing the operator.
+  std::string function;
+  /// Parser binding power; higher binds tighter. Built-in reference
+  /// points: or=1, and=2, comparison=4, +/-=6, */÷=7, prefix=9.
+  int precedence = 6;
+  Assoc assoc = Assoc::kLeft;
+  Fixity fixity = Fixity::kInfix;
+};
+
+/// A registered abstract data type.
+struct AdtType {
+  int id = -1;
+  std::string name;
+  /// Constructor: invoked as `Name(args...)` in EXCESS.
+  AdtFn constructor;
+  int constructor_arity = -1;
+  std::map<std::string, AdtFunction> functions;
+  /// Optional persistence hooks (storage::Serializer uses these).
+  std::function<std::string(const object::AdtPayload&)> serialize;
+  std::function<util::Result<object::Value>(const std::string&)> deserialize;
+};
+
+/// The ADT registry — this reproduction's stand-in for ADTs written in
+/// the E language (see DESIGN.md substitution table). It provides the
+/// same query-level capabilities: new base types, functions, operator
+/// registration with precedence/associativity/fixity, and generic set
+/// functions.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Registers a new ADT; `constructor` implements `name(args...)`.
+  /// Returns the ADT id. Fails if the name is taken.
+  util::Result<int> RegisterType(const std::string& name, AdtFn constructor,
+                                 int constructor_arity);
+
+  /// Attaches a function to an ADT. The receiver is passed as the first
+  /// argument for method-style invocation `expr.Fn(args)`.
+  util::Status RegisterFunction(const std::string& adt_name,
+                                const std::string& fn_name, int arity,
+                                AdtFn fn);
+
+  /// Registers `symbol` as an operator on `adt_name`, implemented by the
+  /// already-registered function `function`. Existing EXCESS operators
+  /// may be overloaded; for brand-new symbols the precedence declared
+  /// here feeds the parser's dynamic operator table.
+  util::Status RegisterOperator(const std::string& symbol,
+                                const std::string& adt_name,
+                                const std::string& function, int precedence,
+                                Assoc assoc, Fixity fixity);
+
+  /// Registers a generic set function (e.g. "median") usable as an
+  /// aggregate on any set whose elements satisfy the function's own
+  /// requirements.
+  util::Status RegisterSetFunction(const std::string& name, SetFn fn);
+
+  /// Registers persistence hooks for an ADT so its values survive
+  /// Database::Save / Load.
+  util::Status RegisterSerialization(
+      const std::string& adt_name,
+      std::function<std::string(const object::AdtPayload&)> serialize,
+      std::function<util::Result<object::Value>(const std::string&)>
+          deserialize);
+
+  const AdtType* FindType(const std::string& name) const;
+  const AdtType* FindTypeById(int id) const;
+  const AdtFunction* FindFunction(int adt_id, const std::string& name) const;
+  /// The operator binding for (symbol, adt of first operand), or nullptr.
+  const OperatorDef* FindOperator(const std::string& symbol, int adt_id,
+                                  Fixity fixity) const;
+  const SetFn* FindSetFunction(const std::string& name) const;
+
+  /// All registered operator symbols with their (first-registration)
+  /// precedence/assoc/fixity — consumed by the EXCESS parser to extend
+  /// its expression grammar dynamically.
+  const std::vector<OperatorDef>& operators() const { return operators_; }
+
+  const std::vector<AdtType>& types() const { return types_; }
+
+ private:
+  std::vector<AdtType> types_;
+  std::unordered_map<std::string, int> type_by_name_;
+  std::vector<OperatorDef> operators_;
+  std::unordered_map<std::string, SetFn> set_functions_;
+};
+
+/// Installs the built-in ADT library (Date, Complex, Box) plus the
+/// generic `median` set function into `registry`, creating the matching
+/// extra::Type nodes in `store` and recording them via `register_type`
+/// (normally extra::Catalog::RegisterAdtType).
+util::Status InstallBuiltinAdts(
+    Registry* registry, extra::TypeStore* store,
+    const std::function<util::Status(const std::string&, const extra::Type*)>&
+        register_type);
+
+}  // namespace exodus::adt
+
+#endif  // EXODUS_ADT_REGISTRY_H_

@@ -1,0 +1,125 @@
+#include "auth/auth.h"
+
+namespace exodus::auth {
+
+using util::Result;
+using util::Status;
+
+Result<Privilege> ParsePrivilege(const std::string& name) {
+  if (name == "retrieve") return Privilege::kRetrieve;
+  if (name == "append") return Privilege::kAppend;
+  if (name == "delete") return Privilege::kDelete;
+  if (name == "replace") return Privilege::kReplace;
+  if (name == "execute") return Privilege::kExecute;
+  return Status::InvalidArgument("unknown privilege '" + name + "'");
+}
+
+const char* PrivilegeName(Privilege p) {
+  switch (p) {
+    case Privilege::kRetrieve:
+      return "retrieve";
+    case Privilege::kAppend:
+      return "append";
+    case Privilege::kDelete:
+      return "delete";
+    case Privilege::kReplace:
+      return "replace";
+    case Privilege::kExecute:
+      return "execute";
+  }
+  return "?";
+}
+
+AuthManager::AuthManager() {
+  users_.insert(kDba);
+  groups_[kPublicGroup] = {};
+}
+
+Status AuthManager::CreateUser(const std::string& name) {
+  if (!users_.insert(name).second) {
+    return Status::AlreadyExists("user '" + name + "' already exists");
+  }
+  return Status::OK();
+}
+
+Status AuthManager::CreateGroup(const std::string& name) {
+  if (groups_.count(name)) {
+    return Status::AlreadyExists("group '" + name + "' already exists");
+  }
+  groups_[name] = {};
+  return Status::OK();
+}
+
+Status AuthManager::AddUserToGroup(const std::string& user,
+                                   const std::string& group) {
+  if (!users_.count(user)) {
+    return Status::NotFound("no user named '" + user + "'");
+  }
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    return Status::NotFound("no group named '" + group + "'");
+  }
+  it->second.insert(user);
+  return Status::OK();
+}
+
+bool AuthManager::UserExists(const std::string& name) const {
+  return users_.count(name) > 0;
+}
+
+bool AuthManager::GroupExists(const std::string& name) const {
+  return groups_.count(name) > 0;
+}
+
+Status AuthManager::Grant(const std::string& object, Privilege priv,
+                          const std::string& principal) {
+  if (!users_.count(principal) && !groups_.count(principal)) {
+    return Status::NotFound("no user or group named '" + principal + "'");
+  }
+  grants_[object][priv].insert(principal);
+  return Status::OK();
+}
+
+Status AuthManager::Revoke(const std::string& object, Privilege priv,
+                           const std::string& principal) {
+  auto oit = grants_.find(object);
+  if (oit != grants_.end()) {
+    auto pit = oit->second.find(priv);
+    if (pit != oit->second.end() && pit->second.erase(principal) > 0) {
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no matching grant of " +
+                          std::string(PrivilegeName(priv)) + " on '" + object +
+                          "' to '" + principal + "'");
+}
+
+bool AuthManager::Check(const std::string& user, const std::string& object,
+                        Privilege priv, const std::string& creator) const {
+  if (user == kDba || user == creator) return true;
+  auto oit = grants_.find(object);
+  if (oit == grants_.end()) return false;
+  auto pit = oit->second.find(priv);
+  if (pit == oit->second.end()) return false;
+  const std::set<std::string>& principals = pit->second;
+  if (principals.count(user)) return true;
+  if (principals.count(kPublicGroup)) return true;
+  for (const auto& [group, members] : groups_) {
+    if (members.count(user) && principals.count(group)) return true;
+  }
+  return false;
+}
+
+void AuthManager::DropObject(const std::string& object) {
+  grants_.erase(object);
+}
+
+std::vector<std::string> AuthManager::GroupsOf(const std::string& user) const {
+  std::vector<std::string> out;
+  for (const auto& [group, members] : groups_) {
+    if (members.count(user)) out.push_back(group);
+  }
+  return out;
+}
+
+}  // namespace exodus::auth

@@ -1,0 +1,86 @@
+#ifndef EXODUS_AUTH_AUTH_H_
+#define EXODUS_AUTH_AUTH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace exodus::auth {
+
+/// Privileges that can be granted on database objects (named extents,
+/// EXCESS functions, procedures). `kExecute` applies to functions and
+/// procedures; the others to named objects.
+enum class Privilege {
+  kRetrieve,
+  kAppend,
+  kDelete,
+  kReplace,
+  kExecute,
+};
+
+/// Parses a privilege name ("retrieve", "append", ...). "all" is handled
+/// by the caller (expands to every privilege).
+util::Result<Privilege> ParsePrivilege(const std::string& name);
+const char* PrivilegeName(Privilege p);
+
+/// Authorization manager in the style of System R [Cham75] and the IDM
+/// protection system [IDM500] (paper §4.2.3): individual users, user
+/// groups, and a built-in all-users group ("public"). Grants attach
+/// (principal, privilege) pairs to named objects. The creator of an
+/// object holds every privilege implicitly.
+///
+/// Data abstraction (paper §4.2.3): granting only `execute` on functions
+/// of a type — and no direct privileges on the underlying extents —
+/// makes the schema type an abstract data type, because EXCESS functions
+/// and procedures run with their *definer's* rights.
+class AuthManager {
+ public:
+  /// Name of the built-in all-users group.
+  static constexpr const char* kPublicGroup = "public";
+  /// Name of the built-in superuser / default session user.
+  static constexpr const char* kDba = "dba";
+
+  AuthManager();
+
+  util::Status CreateUser(const std::string& name);
+  util::Status CreateGroup(const std::string& name);
+  util::Status AddUserToGroup(const std::string& user,
+                              const std::string& group);
+
+  bool UserExists(const std::string& name) const;
+  bool GroupExists(const std::string& name) const;
+
+  /// Grants `priv` on `object` to `principal` (user or group). Only the
+  /// object's creator or the dba may grant; the caller checks that via
+  /// CanGrant().
+  util::Status Grant(const std::string& object, Privilege priv,
+                     const std::string& principal);
+  util::Status Revoke(const std::string& object, Privilege priv,
+                      const std::string& principal);
+
+  /// True if `user` holds `priv` on `object`, directly, via a group, via
+  /// the public group, by being the object's creator, or by being dba.
+  bool Check(const std::string& user, const std::string& object,
+             Privilege priv, const std::string& creator) const;
+
+  /// Removes all grants on `object` (when the object is dropped).
+  void DropObject(const std::string& object);
+
+  const std::set<std::string>& users() const { return users_; }
+  /// Groups a user belongs to (excluding the implicit public group).
+  std::vector<std::string> GroupsOf(const std::string& user) const;
+
+ private:
+  std::set<std::string> users_;
+  std::map<std::string, std::set<std::string>> groups_;  // group -> members
+  // object -> privilege -> principals
+  std::map<std::string, std::map<Privilege, std::set<std::string>>> grants_;
+};
+
+}  // namespace exodus::auth
+
+#endif  // EXODUS_AUTH_AUTH_H_

@@ -1,0 +1,412 @@
+#include "excess/ast.h"
+
+#include "util/string_util.h"
+
+namespace exodus::excess {
+
+// ---------------------------------------------------------------------------
+// TypeExpr
+// ---------------------------------------------------------------------------
+
+std::string TypeExpr::ToString() const {
+  switch (kind) {
+    case Kind::kNamed:
+      return name;
+    case Kind::kChar:
+      return "char[" + std::to_string(char_length) + "]";
+    case Kind::kSet:
+      return "{" + elem->ToString() + "}";
+    case Kind::kArray:
+      if (array_size > 0) {
+        return "[" + std::to_string(array_size) + "] " + elem->ToString();
+      }
+      return "[*] " + elem->ToString();
+    case Kind::kRef:
+      return std::string(owned ? "own ref " : "ref ") + name;
+  }
+  return "<type>";
+}
+
+std::unique_ptr<TypeExpr> TypeExpr::Clone() const {
+  auto out = std::make_unique<TypeExpr>();
+  out->kind = kind;
+  out->name = name;
+  out->char_length = char_length;
+  out->array_size = array_size;
+  out->owned = owned;
+  if (elem) out->elem = elem->Clone();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Expr
+// ---------------------------------------------------------------------------
+
+ExprPtr MakeLiteral(object::Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeVar(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kVar;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr MakeAttr(ExprPtr base, std::string attr) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kAttr;
+  e->base = std::move(base);
+  e->name = std::move(attr);
+  return e;
+}
+
+ExprPtr MakeBinary(std::string op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->name = std::move(op);
+  e->args.push_back(std::move(lhs));
+  e->args.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeUnary(std::string op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->name = std::move(op);
+  e->base = std::move(operand);
+  return e;
+}
+
+namespace {
+
+std::string JoinExprs(const std::vector<ExprPtr>& exprs,
+                      const char* sep = ", ") {
+  std::string out;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    if (i > 0) out += sep;
+    out += exprs[i]->ToString();
+  }
+  return out;
+}
+
+std::string FromClause(const std::vector<FromBinding>& from) {
+  std::string out;
+  for (size_t i = 0; i < from.size(); ++i) {
+    out += i == 0 ? " from " : ", ";
+    out += from[i].var + " in " + from[i].range->ToString();
+  }
+  return out;
+}
+
+std::string AssignList(const std::vector<Assignment>& assigns) {
+  std::string out;
+  for (size_t i = 0; i < assigns.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += assigns[i].attr + " = " + assigns[i].value->ToString();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.ToString();
+    case ExprKind::kVar:
+      return name;
+    case ExprKind::kAttr:
+      return base->ToString() + "." + name;
+    case ExprKind::kIndex:
+      return base->ToString() + "[" + args[0]->ToString() + "]";
+    case ExprKind::kBinary:
+      return "(" + args[0]->ToString() + " " + name + " " +
+             args[1]->ToString() + ")";
+    case ExprKind::kUnary:
+      // Word-shaped operators need a space; symbols do not.
+      if (!name.empty() &&
+          (std::isalpha(static_cast<unsigned char>(name[0])) || name[0] == '_')) {
+        return "(" + name + " " + base->ToString() + ")";
+      }
+      return "(" + name + base->ToString() + ")";
+    case ExprKind::kCall: {
+      std::string out;
+      if (base) out += base->ToString() + ".";
+      out += name + "(" + JoinExprs(args) + ")";
+      return out;
+    }
+    case ExprKind::kAggregate: {
+      std::string out = name + "(";
+      if (unique) out += "unique ";
+      if (!args.empty()) out += args[0]->ToString();
+      if (!over.empty()) out += " over " + JoinExprs(over);
+      out += FromClause(bindings);
+      if (where) out += " where " + where->ToString();
+      out += ")";
+      return out;
+    }
+    case ExprKind::kQuantified:
+      return "(" + std::string(universal ? "all " : "some ") + bindings[0].var +
+             " in " + bindings[0].range->ToString() + " : " +
+             args[0]->ToString() + ")";
+    case ExprKind::kSetLit:
+      return "{" + JoinExprs(args) + "}";
+    case ExprKind::kArrayLit:
+      return "[" + JoinExprs(args) + "]";
+    case ExprKind::kTupleLit: {
+      std::string out = "(";
+      for (size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += fields[i].first + " = " + fields[i].second->ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "<expr>";
+}
+
+ExprPtr Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->literal = literal;
+  out->name = name;
+  if (base) out->base = base->Clone();
+  for (const ExprPtr& a : args) out->args.push_back(a->Clone());
+  for (const ExprPtr& o : over) out->over.push_back(o->Clone());
+  for (const FromBinding& b : bindings) {
+    FromBinding nb;
+    nb.var = b.var;
+    nb.range = b.range->Clone();
+    out->bindings.push_back(std::move(nb));
+  }
+  if (where) out->where = where->Clone();
+  out->universal = universal;
+  out->unique = unique;
+  for (const auto& [n, e] : fields) out->fields.emplace_back(n, e->Clone());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Stmt
+// ---------------------------------------------------------------------------
+
+std::string Stmt::ToString() const {
+  switch (kind) {
+    case StmtKind::kDefineType: {
+      std::string out = "define type " + name;
+      for (const InheritClause& ic : inherits) {
+        out += " inherits " + ic.supertype;
+        if (!ic.renames.empty()) {
+          out += " with (";
+          for (size_t i = 0; i < ic.renames.size(); ++i) {
+            if (i > 0) out += ", ";
+            out += ic.renames[i].old_name + " renamed " +
+                   ic.renames[i].new_name;
+          }
+          out += ")";
+        }
+      }
+      out += " (";
+      for (size_t i = 0; i < attributes.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += attributes[i].name + ": " + attributes[i].type->ToString();
+      }
+      out += ")";
+      return out;
+    }
+    case StmtKind::kDefineEnum: {
+      std::string out = "define enum " + name + " (";
+      for (size_t i = 0; i < enum_labels.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += enum_labels[i];
+      }
+      out += ")";
+      return out;
+    }
+    case StmtKind::kCreate: {
+      std::string out = "create " + name + " : " + type->ToString();
+      if (!key_attrs.empty()) {
+        out += " key (" + util::Join(key_attrs, ", ") + ")";
+      }
+      if (init) out += " = " + init->ToString();
+      return out;
+    }
+    case StmtKind::kDrop:
+      return "drop " + name;
+    case StmtKind::kRange:
+      return "range of " + name + " is " + range->ToString();
+    case StmtKind::kRetrieve: {
+      std::string out = "retrieve ";
+      if (!into.empty()) out += "into " + into + " ";
+      if (unique) out += "unique ";
+      out += "(";
+      for (size_t i = 0; i < projections.size(); ++i) {
+        if (i > 0) out += ", ";
+        if (!projections[i].label.empty()) {
+          out += projections[i].label + " = ";
+        }
+        out += projections[i].expr->ToString();
+      }
+      out += ")";
+      out += FromClause(from);
+      if (where) out += " where " + where->ToString();
+      if (!sort_by.empty()) out += " sort by " + JoinExprs(sort_by);
+      return out;
+    }
+    case StmtKind::kAppend: {
+      std::string out = "append to " + target->ToString() + " ";
+      if (!assigns.empty()) {
+        out += "(" + AssignList(assigns) + ")";
+      } else if (value) {
+        out += "(" + value->ToString() + ")";
+      } else {
+        out += "()";
+      }
+      out += FromClause(from);
+      if (where) out += " where " + where->ToString();
+      return out;
+    }
+    case StmtKind::kDelete: {
+      std::string out = "delete " + update_var;
+      out += FromClause(from);
+      if (where) out += " where " + where->ToString();
+      return out;
+    }
+    case StmtKind::kReplace: {
+      std::string out =
+          "replace " + update_var + " (" + AssignList(assigns) + ")";
+      out += FromClause(from);
+      if (where) out += " where " + where->ToString();
+      return out;
+    }
+    case StmtKind::kAssign: {
+      std::string out = "assign " + target->ToString() + " = " +
+                        value->ToString();
+      out += FromClause(from);
+      if (where) out += " where " + where->ToString();
+      return out;
+    }
+    case StmtKind::kDefineFunction: {
+      std::string out = "define ";
+      if (early_binding) out += "early ";
+      out += "function " + name + " (";
+      for (size_t i = 0; i < params.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += params[i].name + ": " + params[i].type->ToString();
+      }
+      out += ") returns " + returns->ToString() + " as " + body->ToString();
+      return out;
+    }
+    case StmtKind::kDefineProcedure: {
+      std::string out = "define procedure " + name + " (";
+      for (size_t i = 0; i < params.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += params[i].name + ": " + params[i].type->ToString();
+      }
+      out += ") as ";
+      for (size_t i = 0; i < proc_body.size(); ++i) {
+        if (i > 0) out += "; ";
+        out += proc_body[i]->ToString();
+      }
+      return out;
+    }
+    case StmtKind::kExecuteProcedure: {
+      std::string out = "execute " + name + " (" + JoinExprs(call_args) + ")";
+      out += FromClause(from);
+      if (where) out += " where " + where->ToString();
+      return out;
+    }
+    case StmtKind::kCreateIndex:
+      return "create index " + name + " on " + on_set + " (" + on_attr +
+             ") using " + index_kind;
+    case StmtKind::kDropIndex:
+      return "drop index " + name;
+    case StmtKind::kCreateUser:
+      return "create user " + name;
+    case StmtKind::kCreateGroup:
+      return "create group " + name;
+    case StmtKind::kAddToGroup:
+      return "add user " + name + " to group " + group_name;
+    case StmtKind::kSetUser:
+      return "set user " + name;
+    case StmtKind::kGrant:
+    case StmtKind::kRevoke: {
+      std::string out = kind == StmtKind::kGrant ? "grant " : "revoke ";
+      out += util::Join(privileges, ", ");
+      out += " on " + on_object;
+      out += kind == StmtKind::kGrant ? " to " : " from ";
+      out += util::Join(principals, ", ");
+      return out;
+    }
+  }
+  return "<stmt>";
+}
+
+StmtPtr Stmt::Clone() const {
+  auto out = std::make_unique<Stmt>();
+  out->kind = kind;
+  out->name = name;
+  for (const InheritClause& ic : inherits) out->inherits.push_back(ic);
+  for (const AttrDecl& a : attributes) {
+    AttrDecl d;
+    d.name = a.name;
+    d.type = a.type->Clone();
+    out->attributes.push_back(std::move(d));
+  }
+  out->enum_labels = enum_labels;
+  if (type) out->type = type->Clone();
+  if (init) out->init = init->Clone();
+  out->key_attrs = key_attrs;
+  if (range) out->range = range->Clone();
+  out->unique = unique;
+  out->into = into;
+  for (const Projection& p : projections) {
+    Projection np;
+    np.label = p.label;
+    np.expr = p.expr->Clone();
+    out->projections.push_back(std::move(np));
+  }
+  for (const ExprPtr& s : sort_by) out->sort_by.push_back(s->Clone());
+  for (const FromBinding& b : from) {
+    FromBinding nb;
+    nb.var = b.var;
+    nb.range = b.range->Clone();
+    out->from.push_back(std::move(nb));
+  }
+  if (where) out->where = where->Clone();
+  if (target) out->target = target->Clone();
+  for (const Assignment& a : assigns) {
+    Assignment na;
+    na.attr = a.attr;
+    na.value = a.value->Clone();
+    out->assigns.push_back(std::move(na));
+  }
+  if (value) out->value = value->Clone();
+  out->update_var = update_var;
+  for (const Param& p : params) {
+    Param np;
+    np.name = p.name;
+    np.type = p.type->Clone();
+    out->params.push_back(std::move(np));
+  }
+  if (returns) out->returns = returns->Clone();
+  out->early_binding = early_binding;
+  if (body) out->body = body->Clone();
+  for (const StmtPtr& s : proc_body) out->proc_body.push_back(s->Clone());
+  for (const ExprPtr& a : call_args) out->call_args.push_back(a->Clone());
+  out->on_set = on_set;
+  out->on_attr = on_attr;
+  out->index_kind = index_kind;
+  out->group_name = group_name;
+  out->privileges = privileges;
+  out->on_object = on_object;
+  out->principals = principals;
+  return out;
+}
+
+}  // namespace exodus::excess

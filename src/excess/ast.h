@@ -1,0 +1,254 @@
+#ifndef EXODUS_EXCESS_AST_H_
+#define EXODUS_EXCESS_AST_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "extra/type.h"
+#include "object/value.h"
+
+namespace exodus::excess {
+
+// ---------------------------------------------------------------------------
+// Type expressions (syntactic types appearing in DDL)
+// ---------------------------------------------------------------------------
+
+/// A syntactic type as written in EXCESS DDL, resolved against the catalog
+/// by the DDL executor. Examples:
+///   int4, char[25], Date, Person, {own ref Person}, [10] ref Project,
+///   [*] float8
+struct TypeExpr {
+  enum class Kind { kNamed, kChar, kSet, kArray, kRef };
+
+  Kind kind = Kind::kNamed;
+  /// kNamed / kRef: type name.
+  std::string name;
+  /// kChar: declared length.
+  size_t char_length = 0;
+  /// kSet / kArray: element type.
+  std::unique_ptr<TypeExpr> elem;
+  /// kArray: size; 0 means variable-length `[*]`.
+  size_t array_size = 0;
+  /// kRef: true for `own ref`.
+  bool owned = false;
+
+  std::string ToString() const;
+  std::unique_ptr<TypeExpr> Clone() const;
+};
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  kLiteral,     // 5, 2.5, "x", true, null
+  kVar,         // identifier: range variable, named object, or parameter
+  kAttr,        // base.attr
+  kIndex,       // base[expr]
+  kBinary,      // lhs OP rhs (built-in or ADT-registered operator)
+  kUnary,       // OP operand ("not", "-", ADT prefix operators)
+  kCall,        // Fn(args) or receiver.Fn(args)
+  kAggregate,   // agg(expr [over e1, ...] [from V in path] [where p])
+  kQuantified,  // all/some V in range : predicate
+  kSetLit,      // { e1, e2, ... }
+  kArrayLit,    // [ e1, e2, ... ]
+  kTupleLit,    // ( a = e1, b = e2, ... )
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// One `V in <range>` binding (used by `from` clauses and aggregates).
+struct FromBinding {
+  std::string var;
+  ExprPtr range;
+};
+
+/// An EXCESS expression node. A single struct with a kind tag keeps the
+/// tree easy to clone, print and pattern-match in the optimizer.
+struct Expr {
+  ExprKind kind;
+
+  // kLiteral
+  object::Value literal;
+
+  // kVar: variable name; kAttr: attribute name; kBinary/kUnary: operator
+  // symbol; kCall/kAggregate: function name.
+  std::string name;
+
+  // kAttr/kIndex: base; kUnary: operand; kCall: receiver (may be null).
+  ExprPtr base;
+
+  // kIndex: index expression; kBinary: [lhs, rhs]; kCall: arguments;
+  // kAggregate: [argument] (empty for count over a range);
+  // kSetLit/kArrayLit: elements.
+  std::vector<ExprPtr> args;
+
+  // kAggregate: `over` partition expressions.
+  std::vector<ExprPtr> over;
+
+  // kAggregate: optional local range + filter
+  //   sum(K.allowance from K in E.kids where K.age > 5)
+  // kQuantified: the quantified binding (var + range) and `args[0]` holds
+  // the predicate.
+  std::vector<FromBinding> bindings;
+  ExprPtr where;
+
+  // kQuantified: true = `all`, false = `some`.
+  bool universal = false;
+
+  // kAggregate: `unique` modifier (duplicate-eliminating aggregate).
+  bool unique = false;
+
+  // kTupleLit: named fields.
+  std::vector<std::pair<std::string, ExprPtr>> fields;
+
+  /// Unparses the expression to (re-parseable) EXCESS text.
+  std::string ToString() const;
+  ExprPtr Clone() const;
+};
+
+ExprPtr MakeLiteral(object::Value v);
+ExprPtr MakeVar(std::string name);
+ExprPtr MakeAttr(ExprPtr base, std::string attr);
+ExprPtr MakeBinary(std::string op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeUnary(std::string op, ExprPtr operand);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind {
+  kDefineType,
+  kDefineEnum,
+  kCreate,
+  kDrop,
+  kRange,
+  kRetrieve,
+  kAppend,
+  kDelete,
+  kReplace,
+  kAssign,
+  kDefineFunction,
+  kDefineProcedure,
+  kExecuteProcedure,
+  kCreateIndex,
+  kDropIndex,
+  kCreateUser,
+  kCreateGroup,
+  kAddToGroup,
+  kSetUser,
+  kGrant,
+  kRevoke,
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// An attribute declaration inside `define type`.
+struct AttrDecl {
+  std::string name;
+  std::unique_ptr<TypeExpr> type;
+};
+
+/// One `inherits Super [with (a renamed b, ...)]` clause.
+struct InheritClause {
+  std::string supertype;
+  std::vector<extra::Rename> renames;
+};
+
+/// A projection item: optional label plus expression.
+struct Projection {
+  std::string label;  // empty -> derived from the expression
+  ExprPtr expr;
+};
+
+/// An `attr = expr` assignment (append / replace / tuple literals).
+struct Assignment {
+  std::string attr;
+  ExprPtr value;
+};
+
+/// A function/procedure parameter.
+struct Param {
+  std::string name;
+  std::unique_ptr<TypeExpr> type;
+};
+
+/// An EXCESS statement. As with Expr, one struct with a kind tag.
+struct Stmt {
+  StmtKind kind;
+
+  // Common name slot: type name, object name, function name, user name...
+  std::string name;
+
+  // kDefineType
+  std::vector<InheritClause> inherits;
+  std::vector<AttrDecl> attributes;
+
+  // kDefineEnum
+  std::vector<std::string> enum_labels;
+
+  // kCreate: declared type, optional initializer, and optional key
+  // attributes (`create S : {T} key (a, b)` — uniqueness over extent
+  // members, the paper's footnote-2 future-work feature).
+  std::unique_ptr<TypeExpr> type;
+  ExprPtr init;
+  std::vector<std::string> key_attrs;
+
+  // kRange: `range of <name> is <range_expr>`
+  ExprPtr range;
+
+  // kRetrieve
+  bool unique = false;
+  /// Non-empty: materialize the result as a new named set (QUEL-style
+  /// `retrieve into <Name> (...)`).
+  std::string into;
+  std::vector<Projection> projections;
+  std::vector<ExprPtr> sort_by;
+
+  // Shared by retrieve / updates / execute: inline bindings + predicate.
+  std::vector<FromBinding> from;
+  ExprPtr where;
+
+  // kAppend: target path; element construction either `assigns`
+  // (tuple form) or `value` (scalar/ref form).
+  ExprPtr target;
+  std::vector<Assignment> assigns;  // also kReplace
+  ExprPtr value;                    // also kAssign right-hand side
+
+  // kDelete / kReplace: the range variable being updated.
+  std::string update_var;
+
+  // kDefineFunction / kDefineProcedure
+  std::vector<Param> params;
+  std::unique_ptr<TypeExpr> returns;
+  bool early_binding = false;       // paper §4.2.2: non-virtual dispatch
+  StmtPtr body;                     // function body: a retrieve
+  std::vector<StmtPtr> proc_body;   // procedure body: update statements
+
+  // kExecuteProcedure
+  std::vector<ExprPtr> call_args;
+
+  // kCreateIndex: name = index name; `target` unused.
+  std::string on_set;
+  std::string on_attr;
+  std::string index_kind;  // "btree" | "hash"
+
+  // kAddToGroup: name = user, group_name = group.
+  // kGrant / kRevoke
+  std::string group_name;
+  std::vector<std::string> privileges;
+  std::string on_object;
+  std::vector<std::string> principals;
+
+  /// Unparses the statement to (re-parseable) EXCESS text.
+  std::string ToString() const;
+  StmtPtr Clone() const;
+};
+
+}  // namespace exodus::excess
+
+#endif  // EXODUS_EXCESS_AST_H_

@@ -1,0 +1,543 @@
+#include "excess/binder.h"
+
+#include <algorithm>
+
+namespace exodus::excess {
+
+using extra::Type;
+using extra::TypeKind;
+using util::Result;
+using util::Status;
+
+Binder::Binder(extra::Catalog* catalog, const FunctionManager* functions,
+               const adt::Registry* adts,
+               const std::map<std::string, ExprPtr>* session_ranges)
+    : catalog_(catalog),
+      functions_(functions),
+      adts_(adts),
+      session_ranges_(session_ranges) {}
+
+const Type* Binder::ElementTypeOf(const Type* collection_type) {
+  if (collection_type == nullptr || !collection_type->is_collection()) {
+    return nullptr;
+  }
+  const Type* elem = collection_type->element_type();
+  if (elem != nullptr && elem->is_ref()) return elem->target();
+  return elem;
+}
+
+void Binder::FreeVars(const Expr& expr, std::set<std::string>* locals,
+                      std::vector<std::string>* out,
+                      const extra::Catalog* catalog) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return;
+    case ExprKind::kVar:
+      if (!locals->count(expr.name)) out->push_back(expr.name);
+      return;
+    case ExprKind::kAttr:
+      FreeVars(*expr.base, locals, out, catalog);
+      return;
+    case ExprKind::kIndex:
+      FreeVars(*expr.base, locals, out, catalog);
+      FreeVars(*expr.args[0], locals, out, catalog);
+      return;
+    case ExprKind::kBinary:
+      FreeVars(*expr.args[0], locals, out, catalog);
+      FreeVars(*expr.args[1], locals, out, catalog);
+      return;
+    case ExprKind::kUnary:
+      FreeVars(*expr.base, locals, out, catalog);
+      return;
+    case ExprKind::kCall:
+      if (expr.base) FreeVars(*expr.base, locals, out, catalog);
+      for (const ExprPtr& a : expr.args) FreeVars(*a, locals, out, catalog);
+      return;
+    case ExprKind::kAggregate:
+    case ExprKind::kQuantified: {
+      // Range expressions of the local bindings evaluate in the outer
+      // scope; the argument/predicate/over/where see the local vars.
+      std::set<std::string> inner = *locals;
+      for (const FromBinding& b : expr.bindings) {
+        bool bare_collection = false;
+        if (catalog != nullptr && b.range->kind == ExprKind::kVar) {
+          const extra::NamedObject* named =
+              catalog->FindNamed(b.range->name);
+          bare_collection = named != nullptr && named->type != nullptr &&
+                            named->type->is_collection();
+        }
+        if (!bare_collection) FreeVars(*b.range, &inner, out, catalog);
+        inner.insert(b.var);
+      }
+      for (const ExprPtr& a : expr.args) FreeVars(*a, &inner, out, catalog);
+      for (const ExprPtr& o : expr.over) FreeVars(*o, &inner, out, catalog);
+      if (expr.where) FreeVars(*expr.where, &inner, out, catalog);
+      return;
+    }
+    case ExprKind::kSetLit:
+    case ExprKind::kArrayLit:
+      for (const ExprPtr& a : expr.args) FreeVars(*a, locals, out, catalog);
+      return;
+    case ExprKind::kTupleLit:
+      for (const auto& [name, e] : expr.fields) {
+        FreeVars(*e, locals, out, catalog);
+      }
+      return;
+  }
+}
+
+namespace {
+
+/// Splits a predicate into top-level conjuncts.
+void SplitConjuncts(const Expr& e, std::vector<ExprPtr>* out) {
+  if (e.kind == ExprKind::kBinary && e.name == "and") {
+    SplitConjuncts(*e.args[0], out);
+    SplitConjuncts(*e.args[1], out);
+    return;
+  }
+  out->push_back(e.Clone());
+}
+
+/// The root variable name of a path expression (Var / Attr / Index
+/// chains), or "" for other shapes.
+std::string PathRoot(const Expr& e) {
+  const Expr* cur = &e;
+  while (true) {
+    switch (cur->kind) {
+      case ExprKind::kVar:
+        return cur->name;
+      case ExprKind::kAttr:
+      case ExprKind::kIndex:
+        cur = cur->base.get();
+        break;
+      default:
+        return "";
+    }
+  }
+}
+
+}  // namespace
+
+Status Binder::ResolveVar(const std::string& name,
+                          const std::set<std::string>& prebound,
+                          const Stmt& stmt, BoundQuery* query,
+                          std::vector<std::string>* in_progress) {
+  if (query->var_ids.count(name) || prebound.count(name)) return Status::OK();
+
+  if (std::find(in_progress->begin(), in_progress->end(), name) !=
+      in_progress->end()) {
+    return Status::TypeError("circular range definition involving '" + name +
+                             "'");
+  }
+
+  // Determine the range expression for this name, if it denotes a range
+  // variable at all.
+  ExprPtr range;
+  for (const FromBinding& b : stmt.from) {
+    if (b.var == name) {
+      range = b.range->Clone();
+      break;
+    }
+  }
+  if (!range && session_ranges_ != nullptr) {
+    auto it = session_ranges_->find(name);
+    if (it != session_ranges_->end()) range = it->second->Clone();
+  }
+  bool implicit = false;
+  if (!range) {
+    const extra::NamedObject* named = catalog_->FindNamed(name);
+    if (named != nullptr && named->type != nullptr && named->type->is_set()) {
+      // QUEL-style implicit tuple variable over a named set.
+      range = MakeVar(name);
+      implicit = true;
+    }
+  }
+  if (!range) {
+    // Not a range variable. Accept other known names; reject unknowns so
+    // typos fail at bind time.
+    if (catalog_->FindNamed(name) != nullptr) return Status::OK();
+    if (catalog_->HasType(name)) return Status::OK();
+    if (adts_ != nullptr && adts_->FindType(name) != nullptr) {
+      return Status::OK();
+    }
+    if (functions_ != nullptr && functions_->HasFunction(name)) {
+      return Status::OK();
+    }
+    // A bare enum label?
+    for (const auto& [tname, type] : catalog_->named_types_in_order()) {
+      if (type->kind() == TypeKind::kEnum) {
+        for (const std::string& label : type->enum_labels()) {
+          if (label == name) return Status::OK();
+        }
+      }
+    }
+    return Status::NotFound(
+        "unknown name '" + name +
+        "': not a range variable, named object, type, or enum label");
+  }
+
+  BoundVar var;
+  var.name = name;
+
+  // Root detection: the range is exactly a named collection. The
+  // collection name here denotes the *container*, not an implicit tuple
+  // variable, so its free variables are not resolved.
+  if (range->kind == ExprKind::kVar) {
+    const extra::NamedObject* named = catalog_->FindNamed(range->name);
+    if (named != nullptr && named->type != nullptr &&
+        named->type->is_collection()) {
+      var.is_root = true;
+      var.named_collection = range->name;
+    }
+  }
+
+  if (!var.is_root) {
+    // Resolve the range expression's own free variables first.
+    in_progress->push_back(name);
+    std::set<std::string> locals;
+    std::vector<std::string> free;
+    FreeVars(*range, &locals, &free, catalog_);
+    for (const std::string& dep : free) {
+      if (dep == name && implicit) continue;  // the named set itself
+      EXODUS_RETURN_IF_ERROR(
+          ResolveVar(dep, prebound, stmt, query, in_progress));
+    }
+    in_progress->pop_back();
+    for (const std::string& dep : free) {
+      auto it = query->var_ids.find(dep);
+      if (it != query->var_ids.end()) var.depends_on.push_back(it->second);
+    }
+  }
+  var.id = static_cast<int>(query->vars.size());
+
+  // Static element type. Roots read the named collection's type directly
+  // (InferType treats a named-set VarRef as denoting an *element*).
+  if (var.is_root) {
+    var.elem_type =
+        ElementTypeOf(catalog_->FindNamed(var.named_collection)->type);
+  } else {
+    EXODUS_ASSIGN_OR_RETURN(const Type* coll_type, InferType(*range, *query));
+    var.elem_type = ElementTypeOf(coll_type);
+    if (coll_type != nullptr && !coll_type->is_collection()) {
+      return Status::TypeError("range of '" + name +
+                               "' is not a set or array: " +
+                               coll_type->ToString());
+    }
+  }
+
+  var.range = std::move(range);
+  query->var_ids[name] = var.id;
+  query->vars.push_back(std::move(var));
+  return Status::OK();
+}
+
+Result<BoundQuery> Binder::Bind(const Stmt& stmt,
+                                const std::set<std::string>& prebound) {
+  BoundQuery query;
+  std::vector<std::string> in_progress;
+
+  // Explicit from-clause variables always become loops (QUEL semantics),
+  // in declaration order.
+  for (const FromBinding& b : stmt.from) {
+    EXODUS_RETURN_IF_ERROR(
+        ResolveVar(b.var, prebound, stmt, &query, &in_progress));
+  }
+
+  // The update variable of delete/replace must denote a range variable
+  // or a prebound parameter (replace inside a procedure body, paper
+  // §4.2.2: `replace E (salary = ...)` with E a procedure parameter).
+  if (!stmt.update_var.empty()) {
+    EXODUS_RETURN_IF_ERROR(
+        ResolveVar(stmt.update_var, prebound, stmt, &query, &in_progress));
+    if (!query.var_ids.count(stmt.update_var) &&
+        !prebound.count(stmt.update_var)) {
+      return Status::TypeError("'" + stmt.update_var +
+                               "' does not denote a range variable");
+    }
+  }
+
+  // Gather free variables from every expression of the statement.
+  std::vector<std::string> free;
+  std::set<std::string> locals;
+  for (const Projection& p : stmt.projections) {
+    FreeVars(*p.expr, &locals, &free, catalog_);
+  }
+  if (stmt.where) FreeVars(*stmt.where, &locals, &free, catalog_);
+  for (const ExprPtr& s : stmt.sort_by) {
+    FreeVars(*s, &locals, &free, catalog_);
+  }
+  for (const Assignment& a : stmt.assigns) {
+    FreeVars(*a.value, &locals, &free, catalog_);
+  }
+  if (stmt.value) FreeVars(*stmt.value, &locals, &free, catalog_);
+  for (const ExprPtr& a : stmt.call_args) {
+    FreeVars(*a, &locals, &free, catalog_);
+  }
+  if (stmt.init) FreeVars(*stmt.init, &locals, &free, catalog_);
+
+  // The target path of append/assign: its root names a container, not an
+  // iteration — unless it is an explicit or session range variable.
+  std::string target_root;
+  if (stmt.target) {
+    target_root = PathRoot(*stmt.target);
+    bool root_is_var = false;
+    for (const FromBinding& b : stmt.from) {
+      if (b.var == target_root) root_is_var = true;
+    }
+    if (session_ranges_ != nullptr && session_ranges_->count(target_root)) {
+      root_is_var = true;
+    }
+    std::vector<std::string> tfree;
+    std::set<std::string> tlocals;
+    FreeVars(*stmt.target, &tlocals, &tfree, catalog_);
+    for (const std::string& n : tfree) {
+      if (n == target_root && !root_is_var) continue;
+      free.push_back(n);
+    }
+  }
+
+  for (const std::string& name : free) {
+    EXODUS_RETURN_IF_ERROR(
+        ResolveVar(name, prebound, stmt, &query, &in_progress));
+  }
+
+  if (stmt.where) SplitConjuncts(*stmt.where, &query.conjuncts);
+
+  // Static validation: type inference over every statement expression
+  // surfaces unknown attributes and malformed paths at bind time.
+  auto validate = [&](const Expr& e) -> Status {
+    return InferType(e, query).status();
+  };
+  for (const Projection& p : stmt.projections) {
+    EXODUS_RETURN_IF_ERROR(validate(*p.expr));
+  }
+  if (stmt.where) EXODUS_RETURN_IF_ERROR(validate(*stmt.where));
+  for (const ExprPtr& sb : stmt.sort_by) EXODUS_RETURN_IF_ERROR(validate(*sb));
+  for (const Assignment& a : stmt.assigns) {
+    EXODUS_RETURN_IF_ERROR(validate(*a.value));
+  }
+  if (stmt.value) EXODUS_RETURN_IF_ERROR(validate(*stmt.value));
+  for (const ExprPtr& a : stmt.call_args) EXODUS_RETURN_IF_ERROR(validate(*a));
+  return query;
+}
+
+Result<const Type*> Binder::InferType(
+    const Expr& expr, const BoundQuery& query,
+    const std::map<std::string, const Type*>& param_types) const {
+  extra::TypeStore* store = catalog_->type_store();
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      switch (expr.literal.kind()) {
+        case object::ValueKind::kInt:
+          return store->int8();
+        case object::ValueKind::kFloat:
+          return store->float8();
+        case object::ValueKind::kBool:
+          return store->boolean();
+        case object::ValueKind::kString:
+          return store->text();
+        case object::ValueKind::kEnum:
+          return expr.literal.enum_type();
+        default:
+          return static_cast<const Type*>(nullptr);
+      }
+    case ExprKind::kVar: {
+      auto pit = param_types.find(expr.name);
+      if (pit != param_types.end()) {
+        const Type* t = pit->second;
+        if (t != nullptr && t->is_ref()) return t->target();
+        return t;
+      }
+      auto it = query.var_ids.find(expr.name);
+      if (it != query.var_ids.end()) return query.VarElemType(it->second);
+      const extra::NamedObject* named = catalog_->FindNamed(expr.name);
+      if (named != nullptr) {
+        const Type* t = named->type;
+        // A named set used as a variable denotes an element.
+        if (t != nullptr && t->is_set()) {
+          const Type* elem = ElementTypeOf(t);
+          return elem;
+        }
+        if (t != nullptr && t->is_ref()) return t->target();
+        return t;
+      }
+      // Bare enum label, unique across enums?
+      const Type* found = nullptr;
+      for (const auto& [tname, type] : catalog_->named_types_in_order()) {
+        if (type->kind() == TypeKind::kEnum) {
+          for (const std::string& label : type->enum_labels()) {
+            if (label == expr.name) {
+              if (found != nullptr && found != type) {
+                return static_cast<const Type*>(nullptr);  // ambiguous
+              }
+              found = type;
+            }
+          }
+        }
+      }
+      return found;
+    }
+    case ExprKind::kAttr: {
+      // Enum scoping: `Color.red`.
+      if (expr.base->kind == ExprKind::kVar) {
+        auto t = catalog_->FindType(expr.base->name);
+        if (t.ok() && (*t)->kind() == TypeKind::kEnum) {
+          return *t;
+        }
+      }
+      EXODUS_ASSIGN_OR_RETURN(const Type* base,
+                              InferType(*expr.base, query, param_types));
+      if (base == nullptr) return static_cast<const Type*>(nullptr);
+      if (base->is_ref()) base = base->target();
+      if (base->kind() == TypeKind::kAdt) {
+        // ADT component functions spelled as attributes (d.Year); the
+        // registry does not expose return types statically.
+        return static_cast<const Type*>(nullptr);
+      }
+      if (base->is_tuple()) {
+        auto attr = base->FindAttribute(expr.name);
+        if (!attr.ok()) {
+          // Could be a derived attribute (EXCESS function); unknown type
+          // unless the function is known.
+          if (functions_ != nullptr && functions_->HasFunction(expr.name)) {
+            auto def = functions_->Resolve(expr.name, base,
+                                           catalog_->lattice());
+            if (def.ok()) return (*def)->return_type;
+            return static_cast<const Type*>(nullptr);
+          }
+          // Substitutability: the runtime object may be of a subtype
+          // that declares the attribute (late-bound attribute access).
+          // Accept if any subtype has it; the static type is that
+          // attribute's when all declaring subtypes agree.
+          const Type* found = nullptr;
+          bool ambiguous = false;
+          for (const Type* sub :
+               catalog_->lattice().TransitiveSubtypes(base)) {
+            auto sub_attr = sub->FindAttribute(expr.name);
+            if (sub_attr.ok()) {
+              if (found != nullptr && found != (*sub_attr)->type) {
+                ambiguous = true;
+              }
+              found = (*sub_attr)->type;
+            }
+          }
+          if (found != nullptr) {
+            return ambiguous ? static_cast<const Type*>(nullptr) : found;
+          }
+          return attr.status();
+        }
+        return (*attr)->type;
+      }
+      return Status::TypeError("cannot select attribute '" + expr.name +
+                               "' from non-tuple type " + base->ToString());
+    }
+    case ExprKind::kIndex: {
+      EXODUS_ASSIGN_OR_RETURN(const Type* base,
+                              InferType(*expr.base, query, param_types));
+      if (base == nullptr) return static_cast<const Type*>(nullptr);
+      if (base->is_array()) return base->element_type();
+      return Status::TypeError("cannot index into type " + base->ToString());
+    }
+    case ExprKind::kBinary: {
+      const std::string& op = expr.name;
+      if (op == "=" || op == "!=" || op == "<>" || op == "<" ||
+          op == "<=" || op == ">" || op == ">=") {
+        // References admit only is/isnot (object identity, paper §3).
+        EXODUS_ASSIGN_OR_RETURN(const Type* lhs,
+                                InferType(*expr.args[0], query, param_types));
+        EXODUS_ASSIGN_OR_RETURN(const Type* rhs,
+                                InferType(*expr.args[1], query, param_types));
+        if ((lhs != nullptr && lhs->is_ref()) ||
+            (rhs != nullptr && rhs->is_ref())) {
+          return Status::TypeError(
+              "references cannot be compared with '" + op +
+              "'; use 'is' / 'isnot' (object identity)");
+        }
+        return store->boolean();
+      }
+      if (op == "and" || op == "or" || op == "is" || op == "isnot" ||
+          op == "in" || op == "contains") {
+        return store->boolean();
+      }
+      if (op == "union" || op == "intersect" || op == "diff") {
+        return InferType(*expr.args[0], query, param_types);
+      }
+      if (op == "+" || op == "-" || op == "*" || op == "/" || op == "%") {
+        EXODUS_ASSIGN_OR_RETURN(const Type* lhs,
+                                InferType(*expr.args[0], query, param_types));
+        EXODUS_ASSIGN_OR_RETURN(const Type* rhs,
+                                InferType(*expr.args[1], query, param_types));
+        if (lhs != nullptr && rhs != nullptr && lhs->is_numeric() &&
+            rhs->is_numeric()) {
+          return (lhs->is_float() || rhs->is_float())
+                     ? store->float8()
+                     : store->int8();
+        }
+        return static_cast<const Type*>(nullptr);  // ADT operator etc.
+      }
+      return static_cast<const Type*>(nullptr);
+    }
+    case ExprKind::kUnary:
+      if (expr.name == "not") return store->boolean();
+      return InferType(*expr.base, query, param_types);
+    case ExprKind::kCall: {
+      if (adts_ != nullptr) {
+        const adt::AdtType* adt = adts_->FindType(expr.name);
+        if (adt != nullptr && !expr.base) {
+          auto t = catalog_->FindType(expr.name);
+          if (t.ok()) return *t;
+          return static_cast<const Type*>(nullptr);
+        }
+      }
+      if (functions_ != nullptr && functions_->HasFunction(expr.name)) {
+        const Type* recv = nullptr;
+        if (expr.base) {
+          auto r = InferType(*expr.base, query, param_types);
+          if (r.ok()) recv = *r;
+        } else if (!expr.args.empty()) {
+          auto r = InferType(*expr.args[0], query, param_types);
+          if (r.ok()) recv = *r;
+        }
+        auto def = functions_->Resolve(expr.name, recv, catalog_->lattice());
+        if (def.ok()) return (*def)->return_type;
+      }
+      return static_cast<const Type*>(nullptr);
+    }
+    case ExprKind::kAggregate: {
+      if (expr.name == "count") return store->int8();
+      if (expr.name == "avg") return store->float8();
+      if (expr.args.empty()) return static_cast<const Type*>(nullptr);
+      EXODUS_ASSIGN_OR_RETURN(const Type* arg,
+                              InferType(*expr.args[0], query, param_types));
+      if (arg != nullptr && arg->is_collection()) {
+        arg = arg->element_type();
+      }
+      if (expr.name == "sum") {
+        if (arg == nullptr) return static_cast<const Type*>(nullptr);
+        return arg->is_float() ? store->float8() : store->int8();
+      }
+      return arg;  // min / max / median / custom
+    }
+    case ExprKind::kQuantified:
+      return store->boolean();
+    case ExprKind::kSetLit: {
+      if (expr.args.empty()) return static_cast<const Type*>(nullptr);
+      EXODUS_ASSIGN_OR_RETURN(const Type* elem,
+                              InferType(*expr.args[0], query, param_types));
+      if (elem == nullptr) return static_cast<const Type*>(nullptr);
+      return store->MakeSet(elem);
+    }
+    case ExprKind::kArrayLit: {
+      if (expr.args.empty()) return static_cast<const Type*>(nullptr);
+      EXODUS_ASSIGN_OR_RETURN(const Type* elem,
+                              InferType(*expr.args[0], query, param_types));
+      if (elem == nullptr) return static_cast<const Type*>(nullptr);
+      return store->MakeArray(elem, 0);
+    }
+    case ExprKind::kTupleLit:
+      return static_cast<const Type*>(nullptr);
+  }
+  return static_cast<const Type*>(nullptr);
+}
+
+}  // namespace exodus::excess

@@ -1,0 +1,107 @@
+#ifndef EXODUS_EXCESS_BINDER_H_
+#define EXODUS_EXCESS_BINDER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "adt/registry.h"
+#include "excess/ast.h"
+#include "excess/functions.h"
+#include "extra/catalog.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace exodus::excess {
+
+/// A range variable after binding.
+struct BoundVar {
+  std::string name;
+  /// Index in BoundQuery::vars (and in the executor's environment).
+  int id = 0;
+  /// True if the variable ranges directly over a named collection
+  /// (an extent scan the optimizer may turn into an index scan).
+  bool is_root = false;
+  /// Root vars: the named collection. (Equals `name` for implicit vars.)
+  std::string named_collection;
+  /// Range expression, evaluated in the environment of earlier vars;
+  /// must yield a set or array (NULL yields no bindings).
+  ExprPtr range;
+  /// Ids of vars the range expression depends on.
+  std::vector<int> depends_on;
+  /// Static element type; nullptr when not statically known. For extents
+  /// of tuple types this is the `own ref` element type.
+  const extra::Type* elem_type = nullptr;
+};
+
+/// The bound form of the range/predicate part of a statement.
+struct BoundQuery {
+  /// Topologically ordered: every var's dependencies precede it.
+  std::vector<BoundVar> vars;
+  /// The where-clause split into conjuncts (cloned from the statement).
+  std::vector<ExprPtr> conjuncts;
+  /// name -> var id.
+  std::map<std::string, int> var_ids;
+  /// Static type of each var's *element* after automatic ref
+  /// dereference (what `V.attr` navigates); parallel to vars.
+  const extra::Type* VarElemType(int id) const {
+    return vars[static_cast<size_t>(id)].elem_type;
+  }
+};
+
+/// Resolves names in a statement: explicit `from` bindings, session-level
+/// `range of` declarations, implicit range variables over named sets
+/// (QUEL-style: a named set used as a tuple variable ranges over itself),
+/// and path ranges over nested sets (paper §3.2, `range of C is
+/// Employees.kids`). Produces a dependency-ordered var list plus the
+/// split predicate, and offers static type inference for expressions.
+class Binder {
+ public:
+  Binder(extra::Catalog* catalog, const FunctionManager* functions,
+         const adt::Registry* adts,
+         const std::map<std::string, ExprPtr>* session_ranges);
+
+  /// Binds the range/predicate portion of a retrieve/update/execute
+  /// statement. `prebound` names (function/procedure parameters) are
+  /// left to be resolved from the runtime environment.
+  util::Result<BoundQuery> Bind(const Stmt& stmt,
+                                const std::set<std::string>& prebound = {});
+
+  /// Infers the static type of `expr` given the bound vars (plus
+  /// `param_types` for function parameters). Returns nullptr (not an
+  /// error) when the type cannot be determined statically.
+  util::Result<const extra::Type*> InferType(
+      const Expr& expr, const BoundQuery& query,
+      const std::map<std::string, const extra::Type*>& param_types = {}) const;
+
+  /// The element type a variable ranging over a collection of
+  /// `collection_type` would have; auto-dereferences `ref T` elements to
+  /// T for attribute navigation. nullptr input or non-collection yields
+  /// nullptr.
+  static const extra::Type* ElementTypeOf(const extra::Type* collection_type);
+
+  /// Collects free variable names of `expr` (names not bound by nested
+  /// aggregate/quantifier scopes), in first-use order. When `catalog` is
+  /// given, a *bare* named-collection name used as the range of a local
+  /// (aggregate/quantifier) binding is skipped: it denotes the
+  /// collection itself, not an implicit outer loop.
+  static void FreeVars(const Expr& expr, std::set<std::string>* locals,
+                       std::vector<std::string>* out,
+                       const extra::Catalog* catalog = nullptr);
+
+ private:
+  util::Status ResolveVar(const std::string& name,
+                          const std::set<std::string>& prebound,
+                          const Stmt& stmt, BoundQuery* query,
+                          std::vector<std::string>* worklist);
+
+  extra::Catalog* catalog_;
+  const FunctionManager* functions_;
+  const adt::Registry* adts_;
+  const std::map<std::string, ExprPtr>* session_ranges_;
+};
+
+}  // namespace exodus::excess
+
+#endif  // EXODUS_EXCESS_BINDER_H_

@@ -1,0 +1,974 @@
+#include "excess/database.h"
+
+#include "adt/box.h"
+#include "adt/complex.h"
+#include "adt/date.h"
+
+#include "excess/parser.h"
+#include "storage/buffer_pool.h"
+#include "storage/object_store.h"
+#include "storage/pager.h"
+#include "storage/serializer.h"
+#include "util/string_util.h"
+
+namespace exodus {
+
+using excess::Executor;
+using excess::ExprKind;
+using excess::QueryResult;
+using excess::Stmt;
+using excess::StmtKind;
+using excess::TypeExpr;
+using extra::Type;
+using extra::TypeKind;
+using object::Oid;
+using object::Value;
+using object::ValueKind;
+using util::Result;
+using util::Status;
+
+Database::Database() {
+  ctx_.catalog = &catalog_;
+  ctx_.heap = &heap_;
+  ctx_.adts = &adts_;
+  ctx_.functions = &functions_;
+  ctx_.auth = &auth_;
+  ctx_.indexes = &indexes_;
+  ctx_.session_ranges = &session_ranges_;
+
+  // Built-in ADT library (Date, Complex, Box) + access-method rows for
+  // the comparable Date ADT.
+  Status st = adt::InstallBuiltinAdts(
+      &adts_, catalog_.type_store(),
+      [this](const std::string& name, const Type* type) {
+        return catalog_.RegisterType(name, type);
+      });
+  (void)st;  // built-ins cannot fail on a fresh registry
+  if (adt::DateAdtId() >= 0) {
+    RegisterAccessMethod(adt::DateAdtId(), index::AccessMethodKind::kBTree,
+                         /*supports_range=*/true);
+    RegisterAccessMethod(adt::DateAdtId(), index::AccessMethodKind::kHash,
+                         /*supports_range=*/false);
+  }
+  if (adt::ComplexAdtId() >= 0) {
+    RegisterAccessMethod(adt::ComplexAdtId(), index::AccessMethodKind::kHash,
+                         /*supports_range=*/false);
+  }
+  if (adt::BoxAdtId() >= 0) {
+    RegisterAccessMethod(adt::BoxAdtId(), index::AccessMethodKind::kHash,
+                         /*supports_range=*/false);
+  }
+}
+
+Database::~Database() {
+  if (journal_ != nullptr) std::fclose(journal_);
+}
+
+namespace {
+
+/// True for statements whose effects must be journaled for recovery.
+/// Retrieves are read-only (except `retrieve into`); `range of`
+/// declarations are journaled because later journaled statements may
+/// reference them.
+bool IsJournaled(const Stmt& stmt) {
+  return stmt.kind != StmtKind::kRetrieve || !stmt.into.empty();
+}
+
+}  // namespace
+
+Status Database::EnableJournal(const std::string& path) {
+  if (journal_ != nullptr) {
+    return Status::AlreadyExists("journaling already enabled");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::IoError("cannot open journal '" + path + "'");
+  }
+  journal_ = f;
+  journal_path_ = path;
+  return Status::OK();
+}
+
+Status Database::Checkpoint(const std::string& path) {
+  EXODUS_RETURN_IF_ERROR(Save(path));
+  if (journal_ != nullptr) {
+    std::fclose(journal_);
+    journal_ = std::fopen(journal_path_.c_str(), "wb");  // truncate
+    if (journal_ == nullptr) {
+      return Status::IoError("journal truncation failed");
+    }
+    std::fflush(journal_);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Database>> Database::Recover(
+    const std::string& checkpoint_path, const std::string& journal_path) {
+  std::unique_ptr<Database> db;
+  if (!checkpoint_path.empty()) {
+    EXODUS_ASSIGN_OR_RETURN(db, Load(checkpoint_path));
+  } else {
+    db = std::make_unique<Database>();
+  }
+  std::FILE* f = std::fopen(journal_path.c_str(), "rb");
+  if (f != nullptr) {
+    // Record framing: "<decimal length>\n<text>\n". A torn tail (crash
+    // mid-append) terminates replay silently.
+    while (true) {
+      char header[32];
+      if (std::fgets(header, sizeof(header), f) == nullptr) break;
+      char* end = nullptr;
+      long len = std::strtol(header, &end, 10);
+      if (len <= 0 || end == header) break;
+      std::string text(static_cast<size_t>(len), '\0');
+      if (std::fread(text.data(), 1, text.size(), f) != text.size()) break;
+      int nl = std::fgetc(f);
+      if (nl != '\n') break;
+      auto st = db->Execute(text);
+      if (!st.ok()) {
+        std::fclose(f);
+        return Status::IoError("journal replay failed on '" + text +
+                               "': " + st.status().ToString());
+      }
+    }
+    std::fclose(f);
+  }
+  EXODUS_RETURN_IF_ERROR(db->EnableJournal(journal_path));
+  return db;
+}
+
+Result<std::vector<QueryResult>> Database::ExecuteAll(
+    const std::string& text) {
+  excess::Parser parser(text, &adts_);
+  EXODUS_ASSIGN_OR_RETURN(std::vector<excess::StmtPtr> program,
+                          parser.ParseProgram());
+  std::vector<QueryResult> results;
+  results.reserve(program.size());
+  for (const excess::StmtPtr& stmt : program) {
+    EXODUS_ASSIGN_OR_RETURN(QueryResult r, ExecuteStmt(*stmt));
+    if (journal_ != nullptr && IsJournaled(*stmt)) {
+      std::string text = stmt->ToString();
+      std::string record = std::to_string(text.size()) + "\n" + text + "\n";
+      if (std::fwrite(record.data(), 1, record.size(), journal_) !=
+              record.size() ||
+          std::fflush(journal_) != 0) {
+        return Status::IoError("journal append failed");
+      }
+    }
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+Result<QueryResult> Database::Execute(const std::string& text) {
+  EXODUS_ASSIGN_OR_RETURN(std::vector<QueryResult> results, ExecuteAll(text));
+  if (results.empty()) return QueryResult{};
+  return std::move(results.back());
+}
+
+Result<Value> Database::EvalExpression(const std::string& text) {
+  excess::Parser parser(text, &adts_);
+  EXODUS_ASSIGN_OR_RETURN(excess::ExprPtr expr, parser.ParseSingleExpression());
+  Executor exec(&ctx_);
+  return exec.EvalStandalone(*expr);
+}
+
+Result<QueryResult> Database::ExecuteStmt(const Stmt& stmt) {
+  switch (stmt.kind) {
+    case StmtKind::kDefineType:
+      return ExecDefineType(stmt);
+    case StmtKind::kDefineEnum:
+      return ExecDefineEnum(stmt);
+    case StmtKind::kCreate:
+      return ExecCreate(stmt);
+    case StmtKind::kDrop:
+      return ExecDrop(stmt);
+    case StmtKind::kRange:
+      return ExecRange(stmt);
+    case StmtKind::kDefineFunction:
+      return ExecDefineFunction(stmt);
+    case StmtKind::kDefineProcedure:
+      return ExecDefineProcedure(stmt);
+    case StmtKind::kCreateIndex:
+      return ExecCreateIndex(stmt);
+    case StmtKind::kDropIndex:
+      return ExecDropIndex(stmt);
+    case StmtKind::kCreateUser:
+    case StmtKind::kCreateGroup:
+    case StmtKind::kAddToGroup:
+    case StmtKind::kSetUser:
+    case StmtKind::kGrant:
+    case StmtKind::kRevoke:
+      return ExecAuthStmt(stmt);
+    case StmtKind::kRetrieve:
+      if (!stmt.into.empty()) return ExecRetrieveInto(stmt);
+      [[fallthrough]];
+    default: {
+      Executor exec(&ctx_);
+      auto result = exec.Execute(stmt);
+      last_plan_ = exec.last_plan();
+      return result;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Type resolution
+// ---------------------------------------------------------------------------
+
+Result<const Type*> Database::ResolveTypeExpr(const TypeExpr& te,
+                                              const std::string& pending_name,
+                                              const Type* pending_type) {
+  extra::TypeStore* store = catalog_.type_store();
+  switch (te.kind) {
+    case TypeExpr::Kind::kChar:
+      return store->Char(te.char_length);
+    case TypeExpr::Kind::kSet: {
+      EXODUS_ASSIGN_OR_RETURN(
+          const Type* elem,
+          ResolveTypeExpr(*te.elem, pending_name, pending_type));
+      return store->MakeSet(elem);
+    }
+    case TypeExpr::Kind::kArray: {
+      EXODUS_ASSIGN_OR_RETURN(
+          const Type* elem,
+          ResolveTypeExpr(*te.elem, pending_name, pending_type));
+      return store->MakeArray(elem, te.array_size);
+    }
+    case TypeExpr::Kind::kRef: {
+      const Type* target = nullptr;
+      if (!pending_name.empty() && te.name == pending_name) {
+        target = pending_type;
+      } else {
+        EXODUS_ASSIGN_OR_RETURN(target, catalog_.FindType(te.name));
+      }
+      if (!target->is_tuple()) {
+        return Status::TypeError("'" + te.name +
+                                 "' is not a schema (tuple) type; references "
+                                 "can only target tuple types");
+      }
+      return store->MakeRef(target, te.owned);
+    }
+    case TypeExpr::Kind::kNamed: {
+      if (!pending_name.empty() && te.name == pending_name) {
+        return pending_type;
+      }
+      // Built-in base-type names.
+      const std::string& n = te.name;
+      if (n == "int2") return store->int2();
+      if (n == "int4" || n == "int" || n == "integer") return store->int4();
+      if (n == "int8") return store->int8();
+      if (n == "float4") return store->float4();
+      if (n == "float8" || n == "float" || n == "double") {
+        return store->float8();
+      }
+      if (n == "bool" || n == "boolean") return store->boolean();
+      if (n == "text" || n == "varchar" || n == "string") {
+        return store->text();
+      }
+      return catalog_.FindType(n);
+    }
+  }
+  return Status::Internal("unhandled type expression");
+}
+
+Result<std::vector<std::pair<std::string, const Type*>>>
+Database::ResolveParams(const std::vector<excess::Param>& params) {
+  std::vector<std::pair<std::string, const Type*>> out;
+  out.reserve(params.size());
+  for (const excess::Param& p : params) {
+    EXODUS_ASSIGN_OR_RETURN(const Type* t, ResolveTypeExpr(*p.type));
+    out.emplace_back(p.name, t);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+Result<QueryResult> Database::ExecDefineType(const Stmt& stmt) {
+  if (catalog_.HasType(stmt.name) ||
+      catalog_.FindNamed(stmt.name) != nullptr) {
+    return Status::AlreadyExists("name '" + stmt.name + "' is already in use");
+  }
+  std::vector<const Type*> supers;
+  std::vector<std::vector<extra::Rename>> renames;
+  for (const excess::InheritClause& ic : stmt.inherits) {
+    EXODUS_ASSIGN_OR_RETURN(const Type* super,
+                            catalog_.FindType(ic.supertype));
+    supers.push_back(super);
+    renames.push_back(ic.renames);
+  }
+  EXODUS_ASSIGN_OR_RETURN(
+      Type * tuple,
+      catalog_.type_store()->BeginTuple(stmt.name, supers, renames));
+  std::vector<extra::Attribute> attrs;
+  for (const excess::AttrDecl& decl : stmt.attributes) {
+    EXODUS_ASSIGN_OR_RETURN(const Type* at,
+                            ResolveTypeExpr(*decl.type, stmt.name, tuple));
+    extra::Attribute a;
+    a.name = decl.name;
+    a.type = at;
+    attrs.push_back(std::move(a));
+  }
+  EXODUS_RETURN_IF_ERROR(
+      catalog_.type_store()->FinishTuple(tuple, std::move(attrs)));
+  EXODUS_RETURN_IF_ERROR(catalog_.RegisterType(stmt.name, tuple));
+  LogDdl(stmt);
+  QueryResult r;
+  r.message = "defined type " + stmt.name;
+  return r;
+}
+
+Result<QueryResult> Database::ExecDefineEnum(const Stmt& stmt) {
+  const Type* t =
+      catalog_.type_store()->MakeEnum(stmt.name, stmt.enum_labels);
+  EXODUS_RETURN_IF_ERROR(catalog_.RegisterType(stmt.name, t));
+  LogDdl(stmt);
+  QueryResult r;
+  r.message = "defined enum " + stmt.name;
+  return r;
+}
+
+Result<QueryResult> Database::ExecCreate(const Stmt& stmt) {
+  EXODUS_ASSIGN_OR_RETURN(const Type* declared, ResolveTypeExpr(*stmt.type));
+
+  // Top-level identity adjustment: members of named collections of a
+  // schema type are objects with identity (they can be referenced from
+  // elsewhere, e.g. StarEmployee : ref Employee into Employees); a named
+  // single tuple is likewise an object.
+  extra::TypeStore* store = catalog_.type_store();
+  const Type* adjusted = declared;
+  if (declared->is_set() && declared->element_type()->is_tuple()) {
+    adjusted = store->MakeSet(
+        store->MakeRef(declared->element_type(), /*owned=*/true));
+  } else if (declared->is_array() && declared->element_type()->is_tuple()) {
+    adjusted = store->MakeArray(
+        store->MakeRef(declared->element_type(), /*owned=*/true),
+        declared->array_size());
+  } else if (declared->is_tuple()) {
+    adjusted = store->MakeRef(declared, /*owned=*/true);
+  }
+
+  Value initial;
+  if (stmt.init) {
+    Executor exec(&ctx_);
+    EXODUS_ASSIGN_OR_RETURN(initial,
+                            exec.BuildStandalone(*stmt.init, adjusted));
+  } else if (adjusted->is_ref() && adjusted->owned() && declared->is_tuple()) {
+    // A named single object springs into existence with default fields.
+    std::vector<Value> fields;
+    for (const extra::Attribute& a : declared->attributes()) {
+      fields.push_back(Executor::DefaultValue(a.type));
+    }
+    Oid oid = heap_.Allocate(declared, std::move(fields));
+    EXODUS_RETURN_IF_ERROR(heap_.SetOwned(oid, object::kInvalidOid));
+    initial = Value::Ref(oid);
+  } else {
+    initial = Executor::DefaultValue(adjusted);
+  }
+
+  // Own the initializer's components.
+  if (stmt.init) {
+    std::vector<Oid> owned;
+    object::ObjectHeap::CollectOwnedRefs(adjusted, initial, &owned);
+    for (Oid child : owned) {
+      object::HeapObject* obj = heap_.Get(child);
+      if (obj != nullptr && !obj->owned) {
+        EXODUS_RETURN_IF_ERROR(heap_.SetOwned(child, object::kInvalidOid));
+      }
+    }
+  }
+
+  // Keys (paper footnote 2: "keys, the specification of which will be
+  // associated with set instances").
+  if (!stmt.key_attrs.empty()) {
+    if (!adjusted->is_set() || !adjusted->element_type()->is_ref()) {
+      return Status::TypeError(
+          "keys can only be declared on named sets of schema-type objects");
+    }
+    const Type* elem = adjusted->element_type()->target();
+    for (const std::string& attr : stmt.key_attrs) {
+      EXODUS_RETURN_IF_ERROR(elem->FindAttribute(attr).status());
+    }
+  }
+
+  EXODUS_RETURN_IF_ERROR(catalog_.CreateNamed(stmt.name, adjusted,
+                                              std::move(initial),
+                                              ctx_.current_user));
+  catalog_.FindNamed(stmt.name)->key_attrs = stmt.key_attrs;
+  LogDdl(stmt);
+  QueryResult r;
+  r.message = "created " + stmt.name + " : " + adjusted->ToString();
+  return r;
+}
+
+Result<QueryResult> Database::ExecDrop(const Stmt& stmt) {
+  extra::NamedObject* named = catalog_.FindNamed(stmt.name);
+  if (named == nullptr) {
+    return Status::NotFound("no database object named '" + stmt.name + "'");
+  }
+  if (ctx_.current_user != auth::AuthManager::kDba &&
+      ctx_.current_user != named->creator) {
+    return Status::PermissionDenied("only the creator or dba may drop '" +
+                                    stmt.name + "'");
+  }
+  // Destroy owned members (cascade), then drop dependent indexes.
+  std::vector<Oid> owned;
+  object::ObjectHeap::CollectOwnedRefs(named->type, named->value, &owned);
+  for (Oid oid : owned) heap_.Delete(oid);
+  std::vector<std::string> dead_indexes;
+  for (const auto& [iname, info] : indexes_.all()) {
+    if (info.set_name == stmt.name) dead_indexes.push_back(iname);
+  }
+  for (const std::string& iname : dead_indexes) {
+    EXODUS_RETURN_IF_ERROR(indexes_.Drop(iname));
+  }
+  auth_.DropObject(stmt.name);
+  EXODUS_RETURN_IF_ERROR(catalog_.DropNamed(stmt.name));
+  LogDdl(stmt);
+  QueryResult r;
+  r.message = "dropped " + stmt.name;
+  return r;
+}
+
+Result<QueryResult> Database::ExecRange(const Stmt& stmt) {
+  session_ranges_[stmt.name] = stmt.range->Clone();
+  QueryResult r;
+  r.message = "range of " + stmt.name + " is " + stmt.range->ToString();
+  return r;
+}
+
+Result<QueryResult> Database::ExecDefineFunction(const Stmt& stmt) {
+  excess::FunctionDef def;
+  def.name = stmt.name;
+  EXODUS_ASSIGN_OR_RETURN(def.params, ResolveParams(stmt.params));
+  EXODUS_ASSIGN_OR_RETURN(def.return_type, ResolveTypeExpr(*stmt.returns));
+  def.early_binding = stmt.early_binding;
+  def.body = stmt.body->Clone();
+  def.definer = ctx_.current_user;
+  def.source = stmt.ToString();
+  EXODUS_RETURN_IF_ERROR(functions_.Define(std::move(def)));
+  LogDdl(stmt);
+  QueryResult r;
+  r.message = "defined function " + stmt.name;
+  return r;
+}
+
+Result<QueryResult> Database::ExecDefineProcedure(const Stmt& stmt) {
+  excess::ProcedureDef def;
+  def.name = stmt.name;
+  EXODUS_ASSIGN_OR_RETURN(def.params, ResolveParams(stmt.params));
+  for (const excess::StmtPtr& s : stmt.proc_body) {
+    def.body.push_back(s->Clone());
+  }
+  def.definer = ctx_.current_user;
+  def.source = stmt.ToString();
+  EXODUS_RETURN_IF_ERROR(functions_.DefineProcedure(std::move(def)));
+  LogDdl(stmt);
+  QueryResult r;
+  r.message = "defined procedure " + stmt.name;
+  return r;
+}
+
+Result<QueryResult> Database::ExecCreateIndex(const Stmt& stmt) {
+  const extra::NamedObject* named = catalog_.FindNamed(stmt.on_set);
+  if (named == nullptr) {
+    return Status::NotFound("no named set '" + stmt.on_set + "'");
+  }
+  if (named->type == nullptr || !named->type->is_set() ||
+      !named->type->element_type()->is_ref()) {
+    return Status::TypeError(
+        "indexes require a named set of schema-type objects");
+  }
+  const Type* elem = named->type->element_type()->target();
+  EXODUS_ASSIGN_OR_RETURN(const extra::Attribute* attr,
+                          elem->FindAttribute(stmt.on_attr));
+  EXODUS_ASSIGN_OR_RETURN(index::AccessMethodKind kind,
+                          index::ParseAccessMethodKind(stmt.index_kind));
+  EXODUS_RETURN_IF_ERROR(indexes_.Create(stmt.name, stmt.on_set, stmt.on_attr,
+                                         kind, attr->type));
+  // Bulk-load existing members.
+  index::IndexInfo* info = indexes_.Find(stmt.name);
+  for (const Value& e : named->value.set().elems) {
+    if (e.kind() != ValueKind::kRef) continue;
+    const object::HeapObject* obj = heap_.Get(e.AsRef());
+    if (obj == nullptr) continue;
+    int ai = obj->type->AttributeIndex(stmt.on_attr);
+    if (ai < 0) continue;
+    const Value& key = obj->fields[static_cast<size_t>(ai)];
+    if (key.is_null()) continue;
+    EXODUS_RETURN_IF_ERROR(info->Insert(key, e.AsRef()));
+  }
+  LogDdl(stmt);
+  QueryResult r;
+  r.message = "created index " + stmt.name + " on " + stmt.on_set + "(" +
+              stmt.on_attr + ") using " + stmt.index_kind;
+  return r;
+}
+
+Result<QueryResult> Database::ExecDropIndex(const Stmt& stmt) {
+  EXODUS_RETURN_IF_ERROR(indexes_.Drop(stmt.name));
+  LogDdl(stmt);
+  QueryResult r;
+  r.message = "dropped index " + stmt.name;
+  return r;
+}
+
+Result<QueryResult> Database::ExecAuthStmt(const Stmt& stmt) {
+  QueryResult r;
+  switch (stmt.kind) {
+    case StmtKind::kCreateUser:
+      EXODUS_RETURN_IF_ERROR(auth_.CreateUser(stmt.name));
+      r.message = "created user " + stmt.name;
+      break;
+    case StmtKind::kCreateGroup:
+      EXODUS_RETURN_IF_ERROR(auth_.CreateGroup(stmt.name));
+      r.message = "created group " + stmt.name;
+      break;
+    case StmtKind::kAddToGroup:
+      EXODUS_RETURN_IF_ERROR(
+          auth_.AddUserToGroup(stmt.name, stmt.group_name));
+      r.message = "added " + stmt.name + " to " + stmt.group_name;
+      break;
+    case StmtKind::kSetUser:
+      if (!auth_.UserExists(stmt.name)) {
+        return Status::NotFound("no user named '" + stmt.name + "'");
+      }
+      ctx_.current_user = stmt.name;
+      r.message = "current user is " + stmt.name;
+      break;
+    case StmtKind::kGrant:
+    case StmtKind::kRevoke: {
+      // Only the object's creator (or dba) may administer grants.
+      std::string creator;
+      const extra::NamedObject* named = catalog_.FindNamed(stmt.on_object);
+      if (named != nullptr) {
+        creator = named->creator;
+      } else if (functions_.HasFunction(stmt.on_object)) {
+        auto def = functions_.Resolve(stmt.on_object, nullptr,
+                                      catalog_.lattice());
+        if (def.ok()) creator = (*def)->definer;
+      } else if (functions_.HasProcedure(stmt.on_object)) {
+        auto def = functions_.FindProcedure(stmt.on_object);
+        if (def.ok()) creator = (*def)->definer;
+      } else {
+        return Status::NotFound("no object, function or procedure named '" +
+                                stmt.on_object + "'");
+      }
+      if (ctx_.current_user != auth::AuthManager::kDba &&
+          ctx_.current_user != creator) {
+        return Status::PermissionDenied(
+            "only the creator or dba may grant/revoke on '" + stmt.on_object +
+            "'");
+      }
+      std::vector<auth::Privilege> privs;
+      for (const std::string& p : stmt.privileges) {
+        if (p == "all") {
+          privs = {auth::Privilege::kRetrieve, auth::Privilege::kAppend,
+                   auth::Privilege::kDelete, auth::Privilege::kReplace,
+                   auth::Privilege::kExecute};
+          break;
+        }
+        EXODUS_ASSIGN_OR_RETURN(auth::Privilege priv, auth::ParsePrivilege(p));
+        privs.push_back(priv);
+      }
+      for (auth::Privilege priv : privs) {
+        for (const std::string& principal : stmt.principals) {
+          if (stmt.kind == StmtKind::kGrant) {
+            EXODUS_RETURN_IF_ERROR(
+                auth_.Grant(stmt.on_object, priv, principal));
+          } else {
+            EXODUS_RETURN_IF_ERROR(
+                auth_.Revoke(stmt.on_object, priv, principal));
+          }
+        }
+      }
+      r.message = (stmt.kind == StmtKind::kGrant ? "granted" : "revoked");
+      break;
+    }
+    default:
+      return Status::Internal("not an authorization statement");
+  }
+  LogDdl(stmt);
+  return r;
+}
+
+Result<QueryResult> Database::ExecRetrieveInto(const Stmt& stmt) {
+  const std::string& name = stmt.into;
+  const std::string type_name = name + "_row";
+  if (catalog_.FindNamed(name) != nullptr || catalog_.HasType(name) ||
+      catalog_.HasType(type_name)) {
+    return Status::AlreadyExists("'" + name + "' (or its row type '" +
+                                 type_name + "') already exists");
+  }
+
+  // Run the query itself.
+  excess::StmtPtr plain = stmt.Clone();
+  plain->into.clear();
+  Executor exec(&ctx_);
+  EXODUS_ASSIGN_OR_RETURN(QueryResult rows, exec.Execute(*plain));
+  last_plan_ = exec.last_plan();
+
+  // Column names: explicit label, else the final attribute of a path,
+  // else col<i>; duplicates are an error.
+  std::vector<std::string> columns;
+  for (size_t i = 0; i < stmt.projections.size(); ++i) {
+    const excess::Projection& p = stmt.projections[i];
+    std::string col = p.label;
+    if (col.empty() && p.expr->kind == ExprKind::kAttr) col = p.expr->name;
+    if (col.empty() && p.expr->kind == ExprKind::kVar) col = p.expr->name;
+    if (col.empty()) col = "col" + std::to_string(i + 1);
+    for (const std::string& prev : columns) {
+      if (prev == col) {
+        return Status::TypeError(
+            "retrieve into: duplicate result column '" + col +
+            "'; label the projections");
+      }
+    }
+    columns.push_back(std::move(col));
+  }
+
+  // Column types from the observed values (scalars, enums, ADTs and
+  // references; composites are not supported in materialized rows).
+  extra::TypeStore* store = catalog_.type_store();
+  std::vector<const Type*> col_types(columns.size(), nullptr);
+  for (const auto& row : rows.rows) {
+    for (size_t c = 0; c < columns.size() && c < row.size(); ++c) {
+      if (col_types[c] != nullptr) continue;
+      const Value& v = row[c];
+      switch (v.kind()) {
+        case ValueKind::kNull:
+          break;
+        case ValueKind::kInt:
+          col_types[c] = store->int8();
+          break;
+        case ValueKind::kFloat:
+          col_types[c] = store->float8();
+          break;
+        case ValueKind::kBool:
+          col_types[c] = store->boolean();
+          break;
+        case ValueKind::kString:
+          col_types[c] = store->text();
+          break;
+        case ValueKind::kEnum:
+          col_types[c] = v.enum_type();
+          break;
+        case ValueKind::kAdt: {
+          const adt::AdtType* t = adts_.FindTypeById(v.adt_id());
+          if (t != nullptr) {
+            auto reg = catalog_.FindType(t->name);
+            if (reg.ok()) col_types[c] = *reg;
+          }
+          break;
+        }
+        case ValueKind::kRef: {
+          const object::HeapObject* obj = heap_.Get(v.AsRef());
+          if (obj != nullptr) {
+            col_types[c] = store->MakeRef(obj->type, /*owned=*/false);
+          }
+          break;
+        }
+        default:
+          return Status::TypeError(
+              "retrieve into supports scalar, enum, ADT and reference "
+              "columns; column '" + columns[c] + "' is a " + v.ToString());
+      }
+    }
+  }
+  for (size_t c = 0; c < col_types.size(); ++c) {
+    if (col_types[c] == nullptr) col_types[c] = store->text();  // all-null
+  }
+
+  // Synthesize the row type and the named set, recording replayable DDL.
+  std::vector<extra::Attribute> attrs;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    extra::Attribute a;
+    a.name = columns[c];
+    a.type = col_types[c];
+    attrs.push_back(std::move(a));
+  }
+  EXODUS_ASSIGN_OR_RETURN(
+      const Type* row_type,
+      catalog_.type_store()->MakeTuple(type_name, {}, {}, std::move(attrs)));
+  EXODUS_RETURN_IF_ERROR(catalog_.RegisterType(type_name, row_type));
+  const Type* set_type =
+      store->MakeSet(store->MakeRef(row_type, /*owned=*/true));
+  EXODUS_RETURN_IF_ERROR(catalog_.CreateNamed(
+      name, set_type, Value::EmptySet(), ctx_.current_user));
+  {
+    std::string ddl = "define type " + type_name + " (";
+    for (size_t c = 0; c < columns.size(); ++c) {
+      if (c > 0) ddl += ", ";
+      ddl += columns[c] + ": " + col_types[c]->ToString();
+    }
+    ddl += ")";
+    ddl_log_.push_back(ddl);
+    ddl_log_.push_back("create " + name + " : {" + type_name + "}");
+  }
+
+  // Materialize the rows as owned member objects.
+  extra::NamedObject* named = catalog_.FindNamed(name);
+  for (auto& row : rows.rows) {
+    row.resize(columns.size());
+    Oid oid = heap_.Allocate(row_type, std::move(row));
+    EXODUS_RETURN_IF_ERROR(heap_.SetOwned(oid, object::kInvalidOid));
+    heap_.Get(oid)->owner_extent = name;
+    named->value.mutable_set()->elems.push_back(Value::Ref(oid));
+  }
+
+  QueryResult result;
+  result.affected = named->value.set().elems.size();
+  result.message = "materialized " + std::to_string(result.affected) +
+                   " row(s) into " + name;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Formatting
+// ---------------------------------------------------------------------------
+
+std::string Database::FormatValue(const Value& v, int depth) const {
+  switch (v.kind()) {
+    case ValueKind::kRef: {
+      const object::HeapObject* obj = heap_.Get(v.AsRef());
+      if (obj == nullptr) return "null";
+      std::string head =
+          "<" + obj->type->name() + " #" + std::to_string(v.AsRef()) + ">";
+      if (depth <= 0) return head;
+      std::string out = head + "(";
+      const auto& attrs = obj->type->attributes();
+      for (size_t i = 0; i < attrs.size() && i < obj->fields.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += attrs[i].name + " = " + FormatValue(obj->fields[i], depth - 1);
+      }
+      out += ")";
+      return out;
+    }
+    case ValueKind::kTuple: {
+      const auto& td = v.tuple();
+      std::string out = "(";
+      for (size_t i = 0; i < td.fields.size(); ++i) {
+        if (i > 0) out += ", ";
+        if (td.type != nullptr && i < td.type->attributes().size()) {
+          out += td.type->attributes()[i].name + " = ";
+        }
+        out += FormatValue(td.fields[i], depth);
+      }
+      out += ")";
+      return out;
+    }
+    case ValueKind::kSet: {
+      std::string out = "{";
+      for (size_t i = 0; i < v.set().elems.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += FormatValue(v.set().elems[i], depth);
+      }
+      return out + "}";
+    }
+    case ValueKind::kArray: {
+      std::string out = "[";
+      for (size_t i = 0; i < v.array().elems.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += FormatValue(v.array().elems[i], depth);
+      }
+      return out + "]";
+    }
+    default:
+      return v.ToString();
+  }
+}
+
+std::string Database::Format(const QueryResult& result, int depth) const {
+  std::string out;
+  if (!result.columns.empty()) {
+    out += util::Join(result.columns, " | ");
+    out += "\n";
+    for (const auto& row : result.rows) {
+      std::vector<std::string> cells;
+      cells.reserve(row.size());
+      for (const Value& v : row) cells.push_back(FormatValue(v, depth));
+      out += util::Join(cells, " | ");
+      out += "\n";
+    }
+  }
+  if (!result.message.empty()) {
+    out += result.message;
+    out += "\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Persistence (through the storage manager)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kRecDdl = 'L';
+constexpr char kRecHeap = 'H';
+constexpr char kRecNamed = 'N';
+
+}  // namespace
+
+Status Database::Save(const std::string& path) {
+  EXODUS_ASSIGN_OR_RETURN(std::unique_ptr<storage::Pager> pager,
+                          storage::Pager::CreateFile(path));
+  storage::BufferPool pool(pager.get(), 64);
+  storage::ObjectStore store(&pool);
+  storage::Serializer serializer(&catalog_, &adts_);
+
+  for (const std::string& ddl : ddl_log_) {
+    std::string rec(1, kRecDdl);
+    storage::Serializer::PutString(ddl, &rec);
+    EXODUS_RETURN_IF_ERROR(store.Insert(rec).status());
+  }
+
+  Status heap_status = Status::OK();
+  heap_.ForEachLive([&](Oid oid, const object::HeapObject& obj) {
+    if (!heap_status.ok()) return;
+    std::string rec(1, kRecHeap);
+    storage::Serializer::PutU64(oid, &rec);
+    storage::Serializer::PutString(obj.type->name(), &rec);
+    rec.push_back(obj.owned ? 1 : 0);
+    storage::Serializer::PutU64(obj.owner_object, &rec);
+    storage::Serializer::PutString(obj.owner_extent, &rec);
+    storage::Serializer::PutU64(obj.fields.size(), &rec);
+    for (const Value& f : obj.fields) {
+      heap_status = serializer.EncodeTo(f, &rec);
+      if (!heap_status.ok()) return;
+    }
+    heap_status = store.Insert(rec).status();
+  });
+  EXODUS_RETURN_IF_ERROR(heap_status);
+
+  for (const auto& [name, named] : catalog_.named_objects()) {
+    std::string rec(1, kRecNamed);
+    storage::Serializer::PutString(name, &rec);
+    EXODUS_RETURN_IF_ERROR(serializer.EncodeTo(named.value, &rec));
+    EXODUS_RETURN_IF_ERROR(store.Insert(rec).status());
+  }
+
+  return pool.Flush();
+}
+
+Result<std::unique_ptr<Database>> Database::Load(const std::string& path) {
+  EXODUS_ASSIGN_OR_RETURN(std::unique_ptr<storage::Pager> pager,
+                          storage::Pager::OpenFile(path));
+  storage::BufferPool pool(pager.get(), 64);
+  storage::ObjectStore store(&pool);
+
+  std::vector<std::string> ddl;
+  std::vector<std::string> heap_records;
+  std::vector<std::string> named_records;
+  Status st = store.ForEach(
+      [&](const storage::Rid&, const std::string& rec) -> Status {
+        if (rec.empty()) return Status::IoError("empty record");
+        switch (rec[0]) {
+          case kRecDdl: {
+            size_t pos = 1;
+            EXODUS_ASSIGN_OR_RETURN(
+                std::string text, storage::Serializer::GetString(rec, &pos));
+            ddl.push_back(std::move(text));
+            return Status::OK();
+          }
+          case kRecHeap:
+            heap_records.push_back(rec);
+            return Status::OK();
+          case kRecNamed:
+            named_records.push_back(rec);
+            return Status::OK();
+          default:
+            return Status::IoError("unknown record category");
+        }
+      });
+  EXODUS_RETURN_IF_ERROR(st);
+
+  auto db = std::make_unique<Database>();
+  // 1. Replay schema DDL (types, creates, functions, indexes, auth).
+  for (const std::string& text : ddl) {
+    EXODUS_RETURN_IF_ERROR(db->Execute(text).status());
+  }
+  // 2. Discard replay-created objects; restore the saved heap exactly.
+  db->heap_.Clear();
+  storage::Serializer serializer(&db->catalog_, &db->adts_);
+  for (const std::string& rec : heap_records) {
+    size_t pos = 1;
+    EXODUS_ASSIGN_OR_RETURN(uint64_t oid,
+                            storage::Serializer::GetU64(rec, &pos));
+    EXODUS_ASSIGN_OR_RETURN(std::string type_name,
+                            storage::Serializer::GetString(rec, &pos));
+    if (pos >= rec.size()) return Status::IoError("truncated heap record");
+    bool owned = rec[pos++] != 0;
+    EXODUS_ASSIGN_OR_RETURN(uint64_t owner,
+                            storage::Serializer::GetU64(rec, &pos));
+    EXODUS_ASSIGN_OR_RETURN(std::string extent,
+                            storage::Serializer::GetString(rec, &pos));
+    EXODUS_ASSIGN_OR_RETURN(uint64_t nfields,
+                            storage::Serializer::GetU64(rec, &pos));
+    EXODUS_ASSIGN_OR_RETURN(const Type* type,
+                            db->catalog_.FindType(type_name));
+    std::vector<Value> fields;
+    fields.reserve(nfields);
+    for (uint64_t i = 0; i < nfields; ++i) {
+      EXODUS_ASSIGN_OR_RETURN(Value f, serializer.DecodeFrom(rec, &pos));
+      fields.push_back(std::move(f));
+    }
+    EXODUS_RETURN_IF_ERROR(db->heap_.Restore(oid, type, std::move(fields),
+                                             owned, owner,
+                                             std::move(extent)));
+  }
+  // 3. Restore named-object values.
+  for (const std::string& rec : named_records) {
+    size_t pos = 1;
+    EXODUS_ASSIGN_OR_RETURN(std::string name,
+                            storage::Serializer::GetString(rec, &pos));
+    EXODUS_ASSIGN_OR_RETURN(Value v, serializer.DecodeFrom(rec, &pos));
+    extra::NamedObject* named = db->catalog_.FindNamed(name);
+    if (named == nullptr) {
+      return Status::IoError("saved image names unknown object '" + name +
+                             "'");
+    }
+    named->value = std::move(v);
+  }
+  // 4. Rebuild secondary indexes from the restored extents.
+  EXODUS_RETURN_IF_ERROR(db->RebuildIndexes());
+  return db;
+}
+
+Status Database::RebuildIndexes() {
+  struct Spec {
+    std::string name, set_name, attr;
+    index::AccessMethodKind method;
+  };
+  std::vector<Spec> specs;
+  for (const auto& [name, info] : indexes_.all()) {
+    specs.push_back({info.name, info.set_name, info.attr, info.method});
+  }
+  for (const Spec& s : specs) {
+    EXODUS_RETURN_IF_ERROR(indexes_.Drop(s.name));
+    const extra::NamedObject* named = catalog_.FindNamed(s.set_name);
+    if (named == nullptr) continue;
+    const Type* elem = named->type->element_type()->target();
+    EXODUS_ASSIGN_OR_RETURN(const extra::Attribute* attr,
+                            elem->FindAttribute(s.attr));
+    EXODUS_RETURN_IF_ERROR(
+        indexes_.Create(s.name, s.set_name, s.attr, s.method, attr->type));
+    index::IndexInfo* info = indexes_.Find(s.name);
+    for (const Value& e : named->value.set().elems) {
+      if (e.kind() != ValueKind::kRef) continue;
+      const object::HeapObject* obj = heap_.Get(e.AsRef());
+      if (obj == nullptr) continue;
+      int ai = obj->type->AttributeIndex(s.attr);
+      if (ai < 0) continue;
+      const Value& key = obj->fields[static_cast<size_t>(ai)];
+      if (key.is_null()) continue;
+      EXODUS_RETURN_IF_ERROR(info->Insert(key, e.AsRef()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace exodus

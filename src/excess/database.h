@@ -1,0 +1,159 @@
+#ifndef EXODUS_EXCESS_DATABASE_H_
+#define EXODUS_EXCESS_DATABASE_H_
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adt/registry.h"
+#include "auth/auth.h"
+#include "excess/ast.h"
+#include "excess/executor.h"
+#include "excess/functions.h"
+#include "extra/catalog.h"
+#include "index/index_manager.h"
+#include "object/heap.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace exodus {
+
+/// The public entry point of the EXTRA/EXCESS system: one in-memory
+/// database instance with an EXCESS interpreter on top.
+///
+///   exodus::Database db;
+///   auto r = db.Execute(R"(
+///     define type Person (name: char[25], age: int4)
+///     create People : {Person}
+///     append to People (name = "carey", age = 35)
+///     retrieve (People.name) where People.age > 30
+///   )");
+///
+/// Execute runs every statement in the input and returns the last
+/// statement's result; ExecuteAll returns all results. All errors are
+/// reported via util::Status — the library never throws.
+class Database {
+ public:
+  Database();
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Parses and executes a program; returns the last statement's result.
+  util::Result<excess::QueryResult> Execute(const std::string& text);
+
+  /// Parses and executes a program; returns every statement's result.
+  util::Result<std::vector<excess::QueryResult>> ExecuteAll(
+      const std::string& text);
+
+  /// Evaluates a standalone EXCESS expression (named objects, ADT and
+  /// EXCESS functions allowed; no range variables).
+  util::Result<object::Value> EvalExpression(const std::string& text);
+
+  /// Renders a value with references resolved through the heap, up to
+  /// `depth` levels (deeper references print as <Type #oid>).
+  std::string FormatValue(const object::Value& v, int depth = 2) const;
+
+  /// Renders a query result as text with references resolved.
+  std::string Format(const excess::QueryResult& result, int depth = 2) const;
+
+  /// The plan of the most recently executed retrieve/update (EXPLAIN).
+  const std::string& last_plan() const { return last_plan_; }
+
+  /// Saves schema + data through the storage manager to `path`.
+  util::Status Save(const std::string& path);
+  /// Restores a database saved with Save().
+  static util::Result<std::unique_ptr<Database>> Load(const std::string& path);
+
+  /// Enables logical (statement-level) journaling: every successful
+  /// mutating statement is appended — durably — to `path`, so a crashed
+  /// session can be recovered with Recover(). Creates the file if absent.
+  util::Status EnableJournal(const std::string& path);
+  /// Checkpoints to `path` via Save() and truncates the active journal
+  /// (the checkpoint now subsumes it).
+  util::Status Checkpoint(const std::string& path);
+  /// Rebuilds a database from an optional checkpoint (`checkpoint_path`
+  /// may be empty for none) plus a statement journal. A torn final
+  /// record — the crash case — is ignored. The recovered database
+  /// journals to `journal_path` again.
+  static util::Result<std::unique_ptr<Database>> Recover(
+      const std::string& checkpoint_path, const std::string& journal_path);
+
+  // Typed access for embedding applications, tests and benchmarks.
+  extra::Catalog* catalog() { return &catalog_; }
+  object::ObjectHeap* heap() { return &heap_; }
+  adt::Registry* adts() { return &adts_; }
+  excess::FunctionManager* functions() { return &functions_; }
+  auth::AuthManager* auth() { return &auth_; }
+  index::IndexManager* indexes() { return &indexes_; }
+  const std::string& current_user() const { return ctx_.current_user; }
+
+  /// Optimizer rule switches (predicate pushdown, join reordering,
+  /// index usage) — ablation hooks for benchmarks and tests.
+  excess::OptimizerOptions* mutable_optimizer_options() {
+    return &ctx_.optimizer_options;
+  }
+
+  /// Registers an access-method applicability row for an ADT (the
+  /// "tabular optimizer information" channel of paper §4.1.2).
+  void RegisterAccessMethod(int adt_id, index::AccessMethodKind method,
+                            bool supports_range) {
+    indexes_.access_methods()->AddAdtRow(adt_id, method, supports_range);
+  }
+
+ private:
+  util::Result<excess::QueryResult> ExecuteStmt(const excess::Stmt& stmt);
+
+  // DDL handlers.
+  util::Result<excess::QueryResult> ExecDefineType(const excess::Stmt& stmt);
+  util::Result<excess::QueryResult> ExecDefineEnum(const excess::Stmt& stmt);
+  util::Result<excess::QueryResult> ExecCreate(const excess::Stmt& stmt);
+  util::Result<excess::QueryResult> ExecDrop(const excess::Stmt& stmt);
+  util::Result<excess::QueryResult> ExecRange(const excess::Stmt& stmt);
+  util::Result<excess::QueryResult> ExecDefineFunction(
+      const excess::Stmt& stmt);
+  util::Result<excess::QueryResult> ExecDefineProcedure(
+      const excess::Stmt& stmt);
+  util::Result<excess::QueryResult> ExecCreateIndex(const excess::Stmt& stmt);
+  util::Result<excess::QueryResult> ExecDropIndex(const excess::Stmt& stmt);
+  util::Result<excess::QueryResult> ExecAuthStmt(const excess::Stmt& stmt);
+  /// `retrieve into <Name> (...)`: runs the query, synthesizes a row
+  /// type from the projection, and materializes the result as a new
+  /// named set.
+  util::Result<excess::QueryResult> ExecRetrieveInto(
+      const excess::Stmt& stmt);
+
+  /// Resolves a syntactic type against the catalog. `pending_name` /
+  /// `pending_type` let a type under definition reference itself.
+  util::Result<const extra::Type*> ResolveTypeExpr(
+      const excess::TypeExpr& te, const std::string& pending_name = "",
+      const extra::Type* pending_type = nullptr);
+
+  util::Result<
+      std::vector<std::pair<std::string, const extra::Type*>>>
+  ResolveParams(const std::vector<excess::Param>& params);
+
+  /// Rebuilds every secondary index from its extent (after Load).
+  util::Status RebuildIndexes();
+
+  void LogDdl(const excess::Stmt& stmt) { ddl_log_.push_back(stmt.ToString()); }
+
+  extra::Catalog catalog_;
+  object::ObjectHeap heap_;
+  adt::Registry adts_;
+  excess::FunctionManager functions_;
+  auth::AuthManager auth_;
+  index::IndexManager indexes_;
+  std::map<std::string, excess::ExprPtr> session_ranges_;
+  excess::ExecContext ctx_;
+  std::vector<std::string> ddl_log_;
+  std::string last_plan_;
+  std::FILE* journal_ = nullptr;
+  std::string journal_path_;
+};
+
+}  // namespace exodus
+
+#endif  // EXODUS_EXCESS_DATABASE_H_

@@ -1,0 +1,656 @@
+#include "excess/executor.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "excess/executor_internal.h"
+#include "excess/optimizer.h"
+#include "util/string_util.h"
+
+namespace exodus::excess {
+
+using extra::Type;
+using extra::TypeKind;
+using object::Oid;
+using object::Value;
+using object::ValueKind;
+using util::Result;
+using util::Status;
+
+namespace {
+
+/// Hash/equality over output rows for `unique`.
+struct RowHash {
+  size_t operator()(const std::vector<Value>* row) const {
+    size_t h = 0x811c9dc5ULL;
+    for (const Value& v : *row) {
+      h = h * 1099511628211ULL + object::ValueHash(v);
+    }
+    return h;
+  }
+};
+struct RowEq {
+  bool operator()(const std::vector<Value>* a,
+                  const std::vector<Value>* b) const {
+    if (a->size() != b->size()) return false;
+    for (size_t i = 0; i < a->size(); ++i) {
+      if (!object::ValueEquals((*a)[i], (*b)[i])) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+std::string QueryResult::ToString() const {
+  std::string out;
+  if (!columns.empty()) {
+    out += util::Join(columns, " | ");
+    out += "\n";
+    for (const auto& row : rows) {
+      std::vector<std::string> cells;
+      cells.reserve(row.size());
+      for (const Value& v : row) cells.push_back(v.ToString());
+      out += util::Join(cells, " | ");
+      out += "\n";
+    }
+  }
+  if (!message.empty()) {
+    out += message;
+    out += "\n";
+  }
+  return out;
+}
+
+Executor::Executor(ExecContext* ctx)
+    : ctx_(ctx),
+      binder_(ctx->catalog, ctx->functions, ctx->adts, ctx->session_ranges) {
+  static const BoundQuery kEmptyQuery;
+  current_query_ = &kEmptyQuery;
+}
+
+Result<QueryResult> Executor::Execute(const Stmt& stmt) {
+  return Execute(stmt, ParamEnv{});
+}
+
+Result<QueryResult> Executor::Execute(const Stmt& stmt,
+                                      const ParamEnv& params) {
+  Env env;
+  env.params = &params;
+  param_types_ = params.types;
+  switch (stmt.kind) {
+    case StmtKind::kRetrieve:
+      return ExecRetrieve(stmt, &env);
+    case StmtKind::kAppend:
+      return ExecAppend(stmt, &env);
+    case StmtKind::kDelete:
+      return ExecDelete(stmt, &env);
+    case StmtKind::kReplace:
+      return ExecReplace(stmt, &env);
+    case StmtKind::kAssign:
+      return ExecAssign(stmt, &env);
+    case StmtKind::kExecuteProcedure:
+      return ExecProcedureCall(stmt, &env);
+    default:
+      return Status::Internal(
+          "Executor::Execute received a DDL statement; Database handles DDL");
+  }
+}
+
+Result<Value> Executor::EvalStandalone(const Expr& expr,
+                                       const ParamEnv& params) {
+  Env env;
+  env.params = &params;
+  param_types_ = params.types;
+  return Eval(expr, &env);
+}
+
+// ---------------------------------------------------------------------------
+// Binding, planning, plan execution
+// ---------------------------------------------------------------------------
+
+Result<BoundQuery> Executor::BindAndPlan(const Stmt& stmt, const Env& env,
+                                         Plan* plan) {
+  std::set<std::string> prebound;
+  if (env.params != nullptr) {
+    for (const auto& [name, v] : env.params->values) prebound.insert(name);
+  }
+  EXODUS_ASSIGN_OR_RETURN(BoundQuery query, binder_.Bind(stmt, prebound));
+  Optimizer optimizer(ctx_->catalog, ctx_->indexes, &binder_,
+                      ctx_->optimizer_options);
+  EXODUS_ASSIGN_OR_RETURN(*plan, optimizer.Optimize(query));
+  last_plan_ = plan->Explain();
+  // Authorization: retrieving bindings reads every root extent.
+  for (const PlanStep& step : plan->steps) {
+    if (step.kind != PlanStep::Kind::kUnnest) {
+      EXODUS_RETURN_IF_ERROR(CheckNamedPrivilege(step.named_collection,
+                                                 auth::Privilege::kRetrieve));
+    }
+  }
+  return query;
+}
+
+Status Executor::RunPlan(const Plan& plan, const BoundQuery& query, Env* env,
+                         const std::function<Status(Env*)>& row_fn) {
+  for (const ExprPtr& f : plan.constant_filters) {
+    EXODUS_ASSIGN_OR_RETURN(Value v, Eval(*f, env));
+    EXODUS_ASSIGN_OR_RETURN(bool ok, Truthy(v));
+    if (!ok) return Status::OK();
+  }
+  return RunStep(plan, 0, query, env, row_fn);
+}
+
+Status Executor::RunStep(const Plan& plan, size_t step_idx,
+                         const BoundQuery& query, Env* env,
+                         const std::function<Status(Env*)>& row_fn) {
+  if (step_idx == plan.steps.size()) return row_fn(env);
+  const PlanStep& step = plan.steps[step_idx];
+
+  auto bind_and_descend = [&](const Value& element) -> Status {
+    env->stack.emplace_back(step.var_name, element);
+    bool pass = true;
+    for (const ExprPtr& f : step.filters) {
+      EXODUS_ASSIGN_OR_RETURN(Value fv, Eval(*f, env));
+      EXODUS_ASSIGN_OR_RETURN(pass, Truthy(fv));
+      if (!pass) break;
+    }
+    Status st = Status::OK();
+    if (pass) st = RunStep(plan, step_idx + 1, query, env, row_fn);
+    env->stack.pop_back();
+    return st;
+  };
+
+  switch (step.kind) {
+    case PlanStep::Kind::kScan: {
+      const extra::NamedObject* named =
+          ctx_->catalog->FindNamed(step.named_collection);
+      if (named == nullptr) {
+        return Status::NotFound("named collection '" + step.named_collection +
+                                "' disappeared during execution");
+      }
+      if (named->value.kind() == ValueKind::kSet) {
+        const auto& elems = named->value.set().elems;
+        for (size_t i = 0; i < elems.size(); ++i) {
+          EXODUS_RETURN_IF_ERROR(bind_and_descend(elems[i]));
+        }
+      } else if (named->value.kind() == ValueKind::kArray) {
+        const auto& elems = named->value.array().elems;
+        for (size_t i = 0; i < elems.size(); ++i) {
+          if (elems[i].is_null()) continue;
+          EXODUS_RETURN_IF_ERROR(bind_and_descend(elems[i]));
+        }
+      }
+      return Status::OK();
+    }
+    case PlanStep::Kind::kIndexScan: {
+      index::IndexInfo* idx = ctx_->indexes->Find(step.index_name);
+      if (idx == nullptr) {
+        return Status::NotFound("index '" + step.index_name +
+                                "' disappeared during execution");
+      }
+      EXODUS_ASSIGN_OR_RETURN(Value key, Eval(*step.key, env));
+      if (key.is_null()) return Status::OK();  // null never matches
+      std::vector<Oid> oids;
+      if (step.key_op == "=") {
+        EXODUS_ASSIGN_OR_RETURN(oids, idx->Lookup(key));
+      } else {
+        if (idx->btree == nullptr) {
+          return Status::Internal("range scan on a non-btree index");
+        }
+        std::optional<Value> lo, hi;
+        bool lo_inc = true;
+        bool hi_inc = true;
+        if (step.key_op == "<") {
+          hi = key;
+          hi_inc = false;
+        } else if (step.key_op == "<=") {
+          hi = key;
+        } else if (step.key_op == ">") {
+          lo = key;
+          lo_inc = false;
+        } else if (step.key_op == ">=") {
+          lo = key;
+        }
+        EXODUS_ASSIGN_OR_RETURN(oids, idx->btree->Range(lo, lo_inc, hi,
+                                                        hi_inc));
+      }
+      for (Oid oid : oids) {
+        if (ctx_->heap->Get(oid) == nullptr) continue;  // stale entry
+        EXODUS_RETURN_IF_ERROR(bind_and_descend(Value::Ref(oid)));
+      }
+      return Status::OK();
+    }
+    case PlanStep::Kind::kUnnest: {
+      EXODUS_ASSIGN_OR_RETURN(Value coll, Eval(*step.range, env));
+      EXODUS_ASSIGN_OR_RETURN(std::vector<Value> elems, ElementsOf(coll));
+      for (const Value& e : elems) {
+        if (e.is_null()) continue;
+        EXODUS_RETURN_IF_ERROR(bind_and_descend(e));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown plan step kind");
+}
+
+Result<std::vector<std::vector<Value>>> Executor::MaterializeRows(
+    const Plan& plan, const BoundQuery& query, Env* env) {
+  std::vector<std::vector<Value>> rows;
+  Status st = RunPlan(plan, query, env, [&](Env* e) -> Status {
+    std::vector<Value> snapshot;
+    snapshot.reserve(query.vars.size());
+    for (const BoundVar& var : query.vars) {
+      const Value* v = e->Find(var.name);
+      snapshot.push_back(v != nullptr ? *v : Value::Null());
+    }
+    rows.push_back(std::move(snapshot));
+    return Status::OK();
+  });
+  EXODUS_RETURN_IF_ERROR(st);
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Retrieve
+// ---------------------------------------------------------------------------
+
+void Executor::CollectAggregates(const Expr& expr,
+                                 std::vector<const Expr*>* out) {
+  if (expr.kind == ExprKind::kAggregate) {
+    out->push_back(&expr);
+    return;  // nested aggregates inside an aggregate evaluate locally
+  }
+  if (expr.base) CollectAggregates(*expr.base, out);
+  for (const ExprPtr& a : expr.args) CollectAggregates(*a, out);
+  for (const ExprPtr& o : expr.over) CollectAggregates(*o, out);
+  if (expr.where) CollectAggregates(*expr.where, out);
+  for (const auto& [n, e] : expr.fields) CollectAggregates(*e, out);
+  for (const FromBinding& b : expr.bindings) {
+    CollectAggregates(*b.range, out);
+  }
+}
+
+bool Executor::IsQueryLevelAggregate(const Expr& agg) const {
+  if (!agg.bindings.empty()) return false;  // correlated subquery aggregate
+  if (agg.args.empty()) return true;        // count() over the bindings
+  auto t = binder_.InferType(*agg.args[0], *current_query_, param_types_);
+  if (t.ok() && *t != nullptr && (*t)->is_collection()) {
+    return false;  // collection aggregate, evaluated per row
+  }
+  return true;
+}
+
+namespace {
+
+/// True if the expression references range variables only inside the
+/// given aggregate nodes (the "all-aggregate projection" test).
+bool VarsOnlyInsideAggs(const Expr& expr,
+                        const std::vector<const Expr*>& aggs) {
+  if (std::find(aggs.begin(), aggs.end(), &expr) != aggs.end()) return true;
+  if (expr.kind == ExprKind::kVar) return false;
+  if (expr.kind == ExprKind::kAttr || expr.kind == ExprKind::kIndex ||
+      expr.kind == ExprKind::kUnary) {
+    if (expr.base && !VarsOnlyInsideAggs(*expr.base, aggs)) return false;
+  }
+  if (expr.kind == ExprKind::kCall && expr.base &&
+      !VarsOnlyInsideAggs(*expr.base, aggs)) {
+    return false;
+  }
+  for (const ExprPtr& a : expr.args) {
+    if (!VarsOnlyInsideAggs(*a, aggs)) return false;
+  }
+  for (const auto& [n, e] : expr.fields) {
+    if (!VarsOnlyInsideAggs(*e, aggs)) return false;
+  }
+  return true;
+}
+
+std::string PartitionKey(const std::vector<Value>& parts) {
+  std::string key;
+  for (const Value& v : parts) {
+    key += v.ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+}  // namespace
+
+Result<QueryResult> Executor::ExecRetrieve(const Stmt& stmt, Env* env) {
+  Plan plan;
+  EXODUS_ASSIGN_OR_RETURN(BoundQuery query, BindAndPlan(stmt, *env, &plan));
+  const BoundQuery* saved_query = current_query_;
+  current_query_ = &query;
+  struct QueryRestore {
+    Executor* ex;
+    const BoundQuery* saved;
+    ~QueryRestore() { ex->current_query_ = saved; }
+  } restore{this, saved_query};
+
+  QueryResult result;
+  for (size_t i = 0; i < stmt.projections.size(); ++i) {
+    const Projection& p = stmt.projections[i];
+    result.columns.push_back(!p.label.empty() ? p.label
+                                              : p.expr->ToString());
+  }
+
+  // Find query-level aggregates in projections and sort keys.
+  std::vector<const Expr*> aggs;
+  for (const Projection& p : stmt.projections) {
+    CollectAggregates(*p.expr, &aggs);
+  }
+  for (const ExprPtr& s : stmt.sort_by) CollectAggregates(*s, &aggs);
+  std::vector<const Expr*> qlevel;
+  for (const Expr* a : aggs) {
+    if (IsQueryLevelAggregate(*a)) qlevel.push_back(a);
+  }
+  // Query-level aggregates in the where-clause would be circular; the
+  // paper's `over`/nested-range forms are supported instead.
+  for (const ExprPtr& c : query.conjuncts) {
+    std::vector<const Expr*> in_where;
+    CollectAggregates(*c, &in_where);
+    for (const Expr* a : in_where) {
+      if (IsQueryLevelAggregate(*a)) {
+        return Status::TypeError(
+            "aggregates over the query's own bindings are not allowed in "
+            "where; give the aggregate its own range (from V in ...)");
+      }
+    }
+  }
+
+  bool need_materialize =
+      !qlevel.empty() || stmt.unique || !stmt.sort_by.empty();
+
+  if (!need_materialize) {
+    Status st = RunPlan(plan, query, env, [&](Env* e) -> Status {
+      std::vector<Value> row;
+      row.reserve(stmt.projections.size());
+      for (const Projection& p : stmt.projections) {
+        EXODUS_ASSIGN_OR_RETURN(Value v, Eval(*p.expr, e));
+        row.push_back(v.DeepCopy());
+      }
+      result.rows.push_back(std::move(row));
+      return Status::OK();
+    });
+    EXODUS_RETURN_IF_ERROR(st);
+    return result;
+  }
+
+  EXODUS_ASSIGN_OR_RETURN(std::vector<std::vector<Value>> bindings,
+                          MaterializeRows(plan, query, env));
+
+  // Two-phase aggregation: per aggregate node, accumulate per partition.
+  struct AggTable {
+    const Expr* node;
+    std::map<std::string, AggAccum> groups;
+  };
+  std::vector<AggTable> tables;
+  tables.reserve(qlevel.size());
+  for (const Expr* a : qlevel) tables.push_back({a, {}});
+
+  auto push_bindings = [&](const std::vector<Value>& row) {
+    for (size_t vi = 0; vi < query.vars.size(); ++vi) {
+      env->stack.emplace_back(query.vars[vi].name, row[vi]);
+    }
+  };
+  auto pop_bindings = [&]() {
+    for (size_t vi = 0; vi < query.vars.size(); ++vi) env->stack.pop_back();
+  };
+
+  if (!qlevel.empty()) {
+    for (const auto& row : bindings) {
+      push_bindings(row);
+      for (AggTable& table : tables) {
+        std::vector<Value> parts;
+        for (const ExprPtr& o : table.node->over) {
+          auto pv = Eval(*o, env);
+          if (!pv.ok()) {
+            pop_bindings();
+            return pv.status();
+          }
+          parts.push_back(*pv);
+        }
+        std::string key = PartitionKey(parts);
+        AggAccum& acc = table.groups[key];
+        Value v = Value::Int(1);  // count() with no argument counts rows
+        if (!table.node->args.empty()) {
+          auto av = Eval(*table.node->args[0], env);
+          if (!av.ok()) {
+            pop_bindings();
+            return av.status();
+          }
+          v = *av;
+        }
+        Status st = Accumulate(*table.node, &acc, v);
+        if (!st.ok()) {
+          pop_bindings();
+          return st;
+        }
+      }
+      pop_bindings();
+    }
+  }
+
+  // The "all aggregates, no partitions" case collapses to a single row.
+  bool single_row = false;
+  if (!qlevel.empty() && !stmt.projections.empty()) {
+    single_row = true;
+    for (const Expr* a : qlevel) {
+      if (!a->over.empty()) single_row = false;
+    }
+    for (const Projection& p : stmt.projections) {
+      if (!VarsOnlyInsideAggs(*p.expr, qlevel)) single_row = false;
+    }
+  }
+
+  using AggMap = std::map<const Expr*, Value>;
+  auto agg_values_for_row = [&](bool have_row) -> Result<AggMap> {
+    AggMap out;
+    for (AggTable& table : tables) {
+      std::string key;
+      if (!table.node->over.empty() && have_row) {
+        std::vector<Value> parts;
+        for (const ExprPtr& o : table.node->over) {
+          EXODUS_ASSIGN_OR_RETURN(Value pv, Eval(*o, env));
+          parts.push_back(pv);
+        }
+        key = PartitionKey(parts);
+      }
+      auto git = table.groups.find(key);
+      if (git != table.groups.end()) {
+        EXODUS_ASSIGN_OR_RETURN(Value v,
+                                FinishAggregate(*table.node, git->second));
+        out[table.node] = std::move(v);
+      } else {
+        AggAccum empty;
+        EXODUS_ASSIGN_OR_RETURN(Value v, FinishAggregate(*table.node, empty));
+        out[table.node] = std::move(v);
+      }
+    }
+    return out;
+  };
+
+  std::vector<std::vector<Value>> out_rows;
+  std::vector<std::vector<Value>> sort_keys;
+
+  if (single_row) {
+    EXODUS_ASSIGN_OR_RETURN(AggMap agg_vals, agg_values_for_row(false));
+    agg_override_ = &agg_vals;
+    std::vector<Value> row;
+    Status st = Status::OK();
+    for (const Projection& p : stmt.projections) {
+      auto v = Eval(*p.expr, env);
+      if (!v.ok()) {
+        st = v.status();
+        break;
+      }
+      row.push_back(v->DeepCopy());
+    }
+    agg_override_ = nullptr;
+    EXODUS_RETURN_IF_ERROR(st);
+    out_rows.push_back(std::move(row));
+  } else {
+    for (const auto& brow : bindings) {
+      push_bindings(brow);
+      AggMap agg_vals;
+      if (!qlevel.empty()) {
+        auto av = agg_values_for_row(true);
+        if (!av.ok()) {
+          pop_bindings();
+          return av.status();
+        }
+        agg_vals = std::move(*av);
+      }
+      agg_override_ = qlevel.empty() ? nullptr : &agg_vals;
+      std::vector<Value> row;
+      std::vector<Value> skey;
+      Status st = Status::OK();
+      for (const Projection& p : stmt.projections) {
+        auto v = Eval(*p.expr, env);
+        if (!v.ok()) {
+          st = v.status();
+          break;
+        }
+        row.push_back(v->DeepCopy());
+      }
+      if (st.ok()) {
+        for (const ExprPtr& s : stmt.sort_by) {
+          auto v = Eval(*s, env);
+          if (!v.ok()) {
+            st = v.status();
+            break;
+          }
+          skey.push_back(v->DeepCopy());
+        }
+      }
+      agg_override_ = nullptr;
+      pop_bindings();
+      EXODUS_RETURN_IF_ERROR(st);
+      out_rows.push_back(std::move(row));
+      sort_keys.push_back(std::move(skey));
+    }
+  }
+
+  // sort by (stable; nulls first; pairs permuted together).
+  if (!stmt.sort_by.empty() && !single_row) {
+    std::vector<size_t> order(out_rows.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    Status sort_error = Status::OK();
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                       for (size_t k = 0; k < stmt.sort_by.size(); ++k) {
+                         const Value& va = sort_keys[a][k];
+                         const Value& vb = sort_keys[b][k];
+                         if (va.is_null() && vb.is_null()) continue;
+                         if (va.is_null()) return true;
+                         if (vb.is_null()) return false;
+                         auto c = Compare(va, vb);
+                         if (!c.ok()) {
+                           sort_error = c.status();
+                           return false;
+                         }
+                         if (*c != 0) return *c < 0;
+                       }
+                       return false;
+                     });
+    EXODUS_RETURN_IF_ERROR(sort_error);
+    std::vector<std::vector<Value>> sorted;
+    sorted.reserve(out_rows.size());
+    for (size_t i : order) sorted.push_back(std::move(out_rows[i]));
+    out_rows = std::move(sorted);
+  }
+
+  // unique: duplicate elimination on output rows.
+  if (stmt.unique) {
+    std::vector<std::vector<Value>> deduped;
+    // Reserve up front: `seen` stores pointers into `deduped`, which must
+    // therefore never reallocate.
+    deduped.reserve(out_rows.size());
+    std::unordered_set<const std::vector<Value>*, RowHash, RowEq> seen;
+    for (auto& row : out_rows) {
+      deduped.push_back(std::move(row));
+      if (!seen.insert(&deduped.back()).second) deduped.pop_back();
+    }
+    out_rows = std::move(deduped);
+  }
+
+  result.rows = std::move(out_rows);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Authorization
+// ---------------------------------------------------------------------------
+
+std::vector<Value> Executor::KeyValuesOf(
+    const std::string& extent, const extra::Type* type,
+    const std::vector<Value>& fields) const {
+  const extra::NamedObject* named = ctx_->catalog->FindNamed(extent);
+  std::vector<Value> out;
+  if (named == nullptr || named->key_attrs.empty() || type == nullptr) {
+    return out;
+  }
+  for (const std::string& attr : named->key_attrs) {
+    int idx = type->AttributeIndex(attr);
+    if (idx < 0 || static_cast<size_t>(idx) >= fields.size()) {
+      out.push_back(Value::Null());
+    } else {
+      out.push_back(fields[static_cast<size_t>(idx)]);
+    }
+  }
+  return out;
+}
+
+Status Executor::CheckKeyUnique(const std::string& extent,
+                                const std::vector<Value>& key_values,
+                                Oid exclude) const {
+  const extra::NamedObject* named = ctx_->catalog->FindNamed(extent);
+  if (named == nullptr || named->key_attrs.empty() || key_values.empty()) {
+    return Status::OK();
+  }
+  for (const Value& v : key_values) {
+    if (v.is_null()) return Status::OK();  // null key parts are exempt
+  }
+  if (named->value.kind() != ValueKind::kSet) return Status::OK();
+  for (const Value& member : named->value.set().elems) {
+    if (member.kind() != ValueKind::kRef) continue;
+    if (member.AsRef() == exclude) continue;
+    const object::HeapObject* obj = ctx_->heap->Get(member.AsRef());
+    if (obj == nullptr) continue;
+    bool all_equal = true;
+    for (size_t i = 0; i < named->key_attrs.size(); ++i) {
+      int idx = obj->type->AttributeIndex(named->key_attrs[i]);
+      if (idx < 0 || static_cast<size_t>(idx) >= obj->fields.size() ||
+          !object::ValueEquals(obj->fields[static_cast<size_t>(idx)],
+                               key_values[i])) {
+        all_equal = false;
+        break;
+      }
+    }
+    if (all_equal) {
+      std::string key_text;
+      for (size_t i = 0; i < named->key_attrs.size(); ++i) {
+        if (i > 0) key_text += ", ";
+        key_text += named->key_attrs[i] + " = " + key_values[i].ToString();
+      }
+      return Status::ConstraintViolation("key violation on '" + extent +
+                                         "': a member with (" + key_text +
+                                         ") already exists");
+    }
+  }
+  return Status::OK();
+}
+
+Status Executor::CheckNamedPrivilege(const std::string& object,
+                                     auth::Privilege priv) const {
+  const extra::NamedObject* named = ctx_->catalog->FindNamed(object);
+  std::string creator = named != nullptr ? named->creator : "";
+  if (!ctx_->auth->Check(ctx_->current_user, object, priv, creator)) {
+    return Status::PermissionDenied(
+        std::string("user '") + ctx_->current_user + "' lacks " +
+        auth::PrivilegeName(priv) + " privilege on '" + object + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace exodus::excess

@@ -1,0 +1,259 @@
+#ifndef EXODUS_EXCESS_EXECUTOR_H_
+#define EXODUS_EXCESS_EXECUTOR_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "adt/registry.h"
+#include "auth/auth.h"
+#include "excess/ast.h"
+#include "excess/binder.h"
+#include "excess/functions.h"
+#include "excess/optimizer.h"
+#include "excess/plan.h"
+#include "extra/catalog.h"
+#include "index/index_manager.h"
+#include "object/heap.h"
+#include "object/value.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace exodus::excess {
+
+/// The result of executing one statement: a table of values for
+/// retrieves, a message plus affected-count for updates and DDL.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<object::Value>> rows;
+  std::string message;
+  size_t affected = 0;
+
+  /// Plain-text rendering (column header + one line per row). Reference
+  /// values print as "ref(#oid)"; use Database::Format for resolved
+  /// printing.
+  std::string ToString() const;
+};
+
+/// Shared mutable state of one database, threaded through binder,
+/// optimizer and executor.
+struct ExecContext {
+  extra::Catalog* catalog = nullptr;
+  object::ObjectHeap* heap = nullptr;
+  adt::Registry* adts = nullptr;
+  FunctionManager* functions = nullptr;
+  auth::AuthManager* auth = nullptr;
+  index::IndexManager* indexes = nullptr;
+  std::string current_user = auth::AuthManager::kDba;
+  const std::map<std::string, ExprPtr>* session_ranges = nullptr;
+  /// Function/procedure recursion depth (guards runaway recursion).
+  int call_depth = 0;
+  /// Optimizer rule switches (ablation; all on by default).
+  OptimizerOptions optimizer_options;
+};
+
+/// Executes bound EXCESS statements (retrieve and all updates) against
+/// the object heap, with Volcano-style nested iteration over plan steps,
+/// two-phase evaluation of partitioned aggregates, EXCESS function /
+/// procedure invocation with definer rights, ADT dispatch, index
+/// maintenance and authorization checks.
+class Executor {
+ public:
+  /// Prebound parameter values/types (function & procedure bodies).
+  struct ParamEnv {
+    std::map<std::string, object::Value> values;
+    std::map<std::string, const extra::Type*> types;
+  };
+
+  explicit Executor(ExecContext* ctx);
+
+  /// Executes a retrieve / append / delete / replace / assign / execute
+  /// statement. DDL is handled by Database.
+  util::Result<QueryResult> Execute(const Stmt& stmt);
+  util::Result<QueryResult> Execute(const Stmt& stmt, const ParamEnv& params);
+
+  /// Evaluates an expression that may reference named objects and
+  /// parameters but no range variables (create-initializers etc.).
+  util::Result<object::Value> EvalStandalone(const Expr& expr,
+                                             const ParamEnv& params = {});
+
+  /// Builds a value of declared type `type` from an expression outside
+  /// any query (create-initializers; handles tuple/set/array literals
+  /// and own-ref construction).
+  util::Result<object::Value> BuildStandalone(const Expr& expr,
+                                              const extra::Type* type);
+
+  /// The plan chosen for the most recent Execute (for EXPLAIN-style
+  /// inspection by tests and benchmarks).
+  const std::string& last_plan() const { return last_plan_; }
+
+  /// The default (unassigned) value of a declared type: empty set, a
+  /// null-filled fixed array, an empty variable array, or NULL.
+  static object::Value DefaultValue(const extra::Type* type);
+
+ private:
+  // Environment: a binding stack (statement vars, aggregate/quantifier
+  // locals, parameters are seeded at the bottom).
+  struct Env {
+    std::vector<std::pair<std::string, object::Value>> stack;
+    const ParamEnv* params = nullptr;
+
+    const object::Value* Find(const std::string& name) const {
+      for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        if (it->first == name) return &it->second;
+      }
+      if (params != nullptr) {
+        auto pit = params->values.find(name);
+        if (pit != params->values.end()) return &pit->second;
+      }
+      return nullptr;
+    }
+  };
+
+  /// A resolved assignable location: a pointer to a stored Value plus
+  /// the statically declared type at that position (may be null), the
+  /// named extent it belongs to (for index maintenance; empty if none)
+  /// and the heap object owning the location (kInvalidOid when owned by
+  /// a named entity).
+  struct LValue {
+    object::Value* slot = nullptr;
+    const extra::Type* declared_type = nullptr;
+    std::string extent;
+    object::Oid owner = object::kInvalidOid;
+  };
+
+  // --- statement execution ---
+  util::Result<QueryResult> ExecRetrieve(const Stmt& stmt, Env* env);
+  util::Result<QueryResult> ExecAppend(const Stmt& stmt, Env* env);
+  util::Result<QueryResult> ExecDelete(const Stmt& stmt, Env* env);
+  util::Result<QueryResult> ExecReplace(const Stmt& stmt, Env* env);
+  util::Result<QueryResult> ExecAssign(const Stmt& stmt, Env* env);
+  util::Result<QueryResult> ExecProcedureCall(const Stmt& stmt, Env* env);
+
+  // --- plan execution ---
+  util::Result<BoundQuery> BindAndPlan(const Stmt& stmt, const Env& env,
+                                       Plan* plan);
+  /// Runs the nested-loop pipeline; `row_fn` is called for every
+  /// surviving binding row and may return an error to abort.
+  util::Status RunPlan(const Plan& plan, const BoundQuery& query, Env* env,
+                       const std::function<util::Status(Env*)>& row_fn);
+  util::Status RunStep(const Plan& plan, size_t step_idx,
+                       const BoundQuery& query, Env* env,
+                       const std::function<util::Status(Env*)>& row_fn);
+
+  /// Materializes all binding rows (used by updates — mutate after
+  /// enumeration — and by aggregate/sort/unique retrieves).
+  util::Result<std::vector<std::vector<object::Value>>> MaterializeRows(
+      const Plan& plan, const BoundQuery& query, Env* env);
+
+  // --- expression evaluation ---
+  util::Result<object::Value> Eval(const Expr& expr, Env* env);
+  util::Result<object::Value> EvalBinary(const Expr& expr, Env* env);
+  util::Result<object::Value> EvalCall(const Expr& expr, Env* env);
+  util::Result<object::Value> EvalAggregate(const Expr& expr, Env* env);
+  util::Result<object::Value> EvalQuantified(const Expr& expr, Env* env);
+  util::Result<object::Value> AttrAccess(const object::Value& base,
+                                         const std::string& attr, Env* env);
+  util::Result<bool> Truthy(const object::Value& v) const;
+
+  /// Comparison with int/float and enum<->string coercions.
+  util::Result<int> Compare(const object::Value& a,
+                            const object::Value& b) const;
+
+  /// Elements of a collection value (set or array; NULL -> empty).
+  util::Result<std::vector<object::Value>> ElementsOf(
+      const object::Value& v) const;
+
+  /// Evaluates a local-binding range expression: a bare name that
+  /// denotes a named collection yields the collection itself (even when
+  /// an identically named range variable is in scope).
+  util::Result<object::Value> EvalRange(const Expr& expr, Env* env);
+
+  /// Calls an EXCESS function with evaluated arguments (definer rights,
+  /// recursion guard). `args[0]` is the receiver for method-style calls.
+  util::Result<object::Value> CallExcessFunction(
+      const FunctionDef& def, std::vector<object::Value> args);
+
+  /// Resolves late/early binding for function `name` with the given
+  /// receiver expression and evaluated receiver value.
+  util::Result<const FunctionDef*> ResolveFunction(
+      const std::string& name, const Expr* receiver_expr,
+      const object::Value* receiver_value, Env* env);
+
+  /// Runtime tuple type of a value (deref'ing refs); nullptr if unknown.
+  const extra::Type* RuntimeTupleType(const object::Value& v) const;
+
+  // --- value construction / coercion ---
+  util::Result<object::Value> BuildValue(const Expr& expr,
+                                         const extra::Type* type, Env* env);
+  util::Result<object::Value> CoerceValue(object::Value v,
+                                          const extra::Type* type) const;
+  /// Builds the field vector of a new object/tuple of type `type` from an
+  /// assignment list; unassigned attributes get defaults.
+  util::Result<std::vector<object::Value>> BuildFields(
+      const extra::Type* type, const std::vector<Assignment>& assigns,
+      Env* env);
+  /// Marks every own-ref component reachable in (type, value) as owned by
+  /// `owner` (one level of ownership transfer; nested literals were
+  /// already owned during construction).
+  util::Status OwnChildren(const extra::Type* type,
+                           const object::Value& value, object::Oid owner);
+
+  /// Resolves a path expression to an assignable location.
+  util::Result<LValue> ResolveLValue(const Expr& expr, Env* env);
+
+  // --- authorization ---
+  util::Status CheckNamedPrivilege(const std::string& object,
+                                   auth::Privilege priv) const;
+
+  // --- key constraints ---
+  /// Enforces the extent's declared key: no live member other than
+  /// `exclude` may share `key_values` (positionally matching the
+  /// extent's key_attrs). Members or candidates with any NULL key part
+  /// are exempt. No-op for extents without keys.
+  util::Status CheckKeyUnique(const std::string& extent,
+                              const std::vector<object::Value>& key_values,
+                              object::Oid exclude) const;
+  /// Extracts `extent`'s key values from an object's (type, fields).
+  /// Returns an empty vector when the extent has no key.
+  std::vector<object::Value> KeyValuesOf(
+      const std::string& extent, const extra::Type* type,
+      const std::vector<object::Value>& fields) const;
+
+  // --- aggregate machinery ---
+  struct AggAccum {
+    int64_t count = 0;
+    double sum = 0;
+    bool any_float = false;
+    bool has_min = false;
+    object::Value min_v;
+    object::Value max_v;
+    std::vector<object::Value> values;  // for median / custom set fns
+    std::vector<object::Value> seen;    // for `unique`
+  };
+  util::Status Accumulate(const Expr& agg, AggAccum* acc,
+                          const object::Value& v) const;
+  util::Result<object::Value> FinishAggregate(const Expr& agg,
+                                              const AggAccum& acc) const;
+
+  /// True if the aggregate node is computed over the statement's binding
+  /// rows (no local `from`, argument not a collection).
+  bool IsQueryLevelAggregate(const Expr& agg) const;
+  static void CollectAggregates(const Expr& expr,
+                                std::vector<const Expr*>* out);
+
+  ExecContext* ctx_;
+  Binder binder_;
+  // Per-statement state.
+  const BoundQuery* current_query_ = nullptr;
+  std::map<std::string, const extra::Type*> param_types_;
+  /// Query-level aggregate values for the current output row.
+  const std::map<const Expr*, object::Value>* agg_override_ = nullptr;
+  std::string last_plan_;
+};
+
+}  // namespace exodus::excess
+
+#endif  // EXODUS_EXCESS_EXECUTOR_H_

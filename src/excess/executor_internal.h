@@ -1,0 +1,34 @@
+#ifndef EXODUS_EXCESS_EXECUTOR_INTERNAL_H_
+#define EXODUS_EXCESS_EXECUTOR_INTERNAL_H_
+
+// Helpers shared by the executor's translation units. Not part of the
+// public API.
+
+#include <string>
+
+#include "excess/executor.h"
+
+namespace exodus::excess::internal {
+
+/// RAII user swap for definer-rights execution of functions/procedures.
+class ScopedUser {
+ public:
+  ScopedUser(ExecContext* ctx, const std::string& user)
+      : ctx_(ctx), saved_(ctx->current_user) {
+    ctx_->current_user = user;
+  }
+  ~ScopedUser() { ctx_->current_user = saved_; }
+  ScopedUser(const ScopedUser&) = delete;
+  ScopedUser& operator=(const ScopedUser&) = delete;
+
+ private:
+  ExecContext* ctx_;
+  std::string saved_;
+};
+
+/// Recursion guard for EXCESS function / procedure invocation.
+inline constexpr int kMaxCallDepth = 128;
+
+}  // namespace exodus::excess::internal
+
+#endif  // EXODUS_EXCESS_EXECUTOR_INTERNAL_H_

@@ -1,0 +1,86 @@
+#include "excess/functions.h"
+
+namespace exodus::excess {
+
+using util::Result;
+using util::Status;
+
+Status FunctionManager::Define(FunctionDef def) {
+  auto& overloads = functions_[def.name];
+  const extra::Type* new_recv =
+      !def.params.empty() && def.params[0].second != nullptr &&
+              def.params[0].second->is_tuple()
+          ? def.params[0].second
+          : nullptr;
+  for (const FunctionDef& existing : overloads) {
+    const extra::Type* old_recv =
+        !existing.params.empty() && existing.params[0].second != nullptr &&
+                existing.params[0].second->is_tuple()
+            ? existing.params[0].second
+            : nullptr;
+    if (old_recv == new_recv) {
+      return Status::AlreadyExists(
+          "function '" + def.name +
+          "' is already defined for this receiver type; overriding "
+          "requires a distinct first-parameter schema type");
+    }
+  }
+  overloads.push_back(std::move(def));
+  function_order_.push_back(&overloads.back());
+  // Re-anchor pointers: vector growth may have invalidated earlier ones.
+  function_order_.clear();
+  for (const auto& [name, defs] : functions_) {
+    for (const FunctionDef& d : defs) function_order_.push_back(&d);
+  }
+  return Status::OK();
+}
+
+Status FunctionManager::DefineProcedure(ProcedureDef def) {
+  if (procedures_.count(def.name)) {
+    return Status::AlreadyExists("procedure '" + def.name +
+                                 "' already defined");
+  }
+  auto [it, inserted] = procedures_.emplace(def.name, std::move(def));
+  (void)inserted;
+  procedure_order_.clear();
+  for (const auto& [name, d] : procedures_) procedure_order_.push_back(&d);
+  return Status::OK();
+}
+
+Result<const FunctionDef*> FunctionManager::Resolve(
+    const std::string& name, const extra::Type* receiver,
+    const extra::TypeLattice& lattice) const {
+  auto it = functions_.find(name);
+  if (it == functions_.end()) {
+    return Status::NotFound("no EXCESS function named '" + name + "'");
+  }
+  const std::vector<FunctionDef>& overloads = it->second;
+
+  if (receiver != nullptr && receiver->is_tuple()) {
+    // Late binding: walk the receiver's linearized supertype chain and
+    // return the first (most specific) matching definition.
+    for (const extra::Type* t : lattice.Linearize(receiver)) {
+      for (const FunctionDef& def : overloads) {
+        if (!def.params.empty() && def.params[0].second == t) return &def;
+      }
+    }
+  }
+  if (overloads.size() == 1) return &overloads[0];
+  return Status::TypeError("ambiguous call to function '" + name +
+                           "': no definition matches the receiver type");
+}
+
+bool FunctionManager::HasFunction(const std::string& name) const {
+  return functions_.count(name) > 0;
+}
+
+Result<const ProcedureDef*> FunctionManager::FindProcedure(
+    const std::string& name) const {
+  auto it = procedures_.find(name);
+  if (it == procedures_.end()) {
+    return Status::NotFound("no procedure named '" + name + "'");
+  }
+  return &it->second;
+}
+
+}  // namespace exodus::excess

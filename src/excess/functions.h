@@ -1,0 +1,96 @@
+#ifndef EXODUS_EXCESS_FUNCTIONS_H_
+#define EXODUS_EXCESS_FUNCTIONS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "excess/ast.h"
+#include "extra/lattice.h"
+#include "extra/type.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace exodus::excess {
+
+/// A stored EXCESS function (paper §4.2.1): a named, side-effect-free,
+/// parameterized retrieve used for derived data (DAPLEX/IRIS style).
+/// Functions whose first parameter is a schema type behave like methods
+/// and are inherited through the type lattice; dispatch is *late-bound*
+/// on the first argument's runtime type unless `early_binding` is set
+/// (paper §4.2.2 — the C++ virtual / non-virtual distinction).
+struct FunctionDef {
+  std::string name;
+  std::vector<std::pair<std::string, const extra::Type*>> params;
+  const extra::Type* return_type = nullptr;
+  bool early_binding = false;
+  StmtPtr body;  // a retrieve statement
+  /// Functions execute with their definer's rights, which is what makes
+  /// grant-execute-only data abstraction work (paper §4.2.3).
+  std::string definer;
+  /// Source text, for persistence.
+  std::string source;
+};
+
+/// A stored EXCESS procedure (paper §4.2.2): a generalized IDM-500
+/// "stored command" — a sequence of update statements executed once per
+/// binding of its where-clause parameters.
+struct ProcedureDef {
+  std::string name;
+  std::vector<std::pair<std::string, const extra::Type*>> params;
+  std::vector<StmtPtr> body;
+  std::string definer;
+  std::string source;
+};
+
+/// Registry of EXCESS functions and procedures with lattice-aware
+/// dispatch.
+class FunctionManager {
+ public:
+  FunctionManager() = default;
+  FunctionManager(const FunctionManager&) = delete;
+  FunctionManager& operator=(const FunctionManager&) = delete;
+
+  /// Registers a function. Several functions may share a name if their
+  /// first parameters are distinct tuple types (overriding along the
+  /// lattice); any other redefinition is an error.
+  util::Status Define(FunctionDef def);
+  util::Status DefineProcedure(ProcedureDef def);
+
+  /// Resolves `name` for a receiver of runtime type `receiver`
+  /// (nullable). With a receiver, overrides are searched along the
+  /// lattice linearization: the definition attached to the most specific
+  /// type wins (late binding). Without a receiver — or if no
+  /// receiver-specific override exists — a unique definition by name is
+  /// returned.
+  util::Result<const FunctionDef*> Resolve(
+      const std::string& name, const extra::Type* receiver,
+      const extra::TypeLattice& lattice) const;
+
+  /// True if any function with this name exists.
+  bool HasFunction(const std::string& name) const;
+
+  util::Result<const ProcedureDef*> FindProcedure(
+      const std::string& name) const;
+  bool HasProcedure(const std::string& name) const {
+    return procedures_.count(name) > 0;
+  }
+
+  /// All definitions (for persistence), in definition order.
+  const std::vector<const FunctionDef*>& functions_in_order() const {
+    return function_order_;
+  }
+  const std::vector<const ProcedureDef*>& procedures_in_order() const {
+    return procedure_order_;
+  }
+
+ private:
+  std::map<std::string, std::vector<FunctionDef>> functions_;
+  std::map<std::string, ProcedureDef> procedures_;
+  std::vector<const FunctionDef*> function_order_;
+  std::vector<const ProcedureDef*> procedure_order_;
+};
+
+}  // namespace exodus::excess
+
+#endif  // EXODUS_EXCESS_FUNCTIONS_H_

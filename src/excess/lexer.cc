@@ -1,0 +1,219 @@
+#include "excess/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+#include "util/string_util.h"
+
+namespace exodus::excess {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+/// Built-in punctuation, matched by maximal munch.
+const char* const kBuiltinSymbols[] = {
+    "<=", ">=", "!=", "<>", "(", ")", "{", "}", "[", "]",
+    ",",  ":",  ";",  ".",  "=", "<", ">", "+", "-", "*",
+    "/",  "%",  "$",
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Lexer::Lexer(std::string_view input, std::vector<std::string> extra_symbols)
+    : input_(input) {
+  for (const char* s : kBuiltinSymbols) symbols_.emplace_back(s);
+  for (std::string& s : extra_symbols) {
+    // Identifier-shaped operator names lex as identifiers; only
+    // punctuation sequences belong in the symbol table.
+    if (!s.empty() && !IsIdentStart(s[0])) symbols_.push_back(std::move(s));
+  }
+  std::sort(symbols_.begin(), symbols_.end(),
+            [](const std::string& a, const std::string& b) {
+              if (a.size() != b.size()) return a.size() > b.size();
+              return a < b;
+            });
+  symbols_.erase(std::unique(symbols_.begin(), symbols_.end()),
+                 symbols_.end());
+  // Re-sort by length after dedup (unique requires sorted order already ok).
+  std::stable_sort(symbols_.begin(), symbols_.end(),
+                   [](const std::string& a, const std::string& b) {
+                     return a.size() > b.size();
+                   });
+}
+
+char Lexer::Peek(size_t ahead) const {
+  return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+}
+
+char Lexer::Advance() {
+  char c = input_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+    } else if (c == '-' && Peek(1) == '-') {
+      while (!AtEnd() && Peek() != '\n') Advance();
+    } else {
+      break;
+    }
+  }
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> out;
+  while (true) {
+    EXODUS_ASSIGN_OR_RETURN(Token t, Next());
+    bool end = t.kind == TokenKind::kEnd;
+    out.push_back(std::move(t));
+    if (end) break;
+  }
+  return out;
+}
+
+Result<Token> Lexer::Next() {
+  SkipWhitespaceAndComments();
+  Token t;
+  t.line = line_;
+  t.column = column_;
+  if (AtEnd()) {
+    t.kind = TokenKind::kEnd;
+    return t;
+  }
+
+  char c = Peek();
+
+  if (IsIdentStart(c)) {
+    std::string word;
+    while (!AtEnd() && IsIdentChar(Peek())) word += Advance();
+    std::string lower = util::ToLower(word);
+    if (IsReservedWord(lower)) {
+      t.kind = TokenKind::kKeyword;
+      t.text = lower;
+    } else {
+      t.kind = TokenKind::kIdentifier;
+      t.text = word;
+    }
+    return t;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    std::string num;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      num += Advance();
+    }
+    bool is_float = false;
+    // A '.' starts a fraction only if followed by a digit — `TopTen[1].name`
+    // must lex the '.' as punctuation.
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_float = true;
+      num += Advance();
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        num += Advance();
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      size_t look = 1;
+      if (Peek(1) == '+' || Peek(1) == '-') look = 2;
+      if (std::isdigit(static_cast<unsigned char>(Peek(look)))) {
+        is_float = true;
+        num += Advance();  // e
+        if (Peek() == '+' || Peek() == '-') num += Advance();
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          num += Advance();
+        }
+      }
+    }
+    t.text = num;
+    if (is_float) {
+      t.kind = TokenKind::kFloat;
+      t.float_value = std::strtod(num.c_str(), nullptr);
+    } else {
+      t.kind = TokenKind::kInt;
+      auto [ptr, ec] =
+          std::from_chars(num.data(), num.data() + num.size(), t.int_value);
+      if (ec != std::errc()) {
+        return Status::ParseError("integer literal out of range at line " +
+                                  std::to_string(t.line));
+      }
+    }
+    return t;
+  }
+
+  if (c == '"') {
+    Advance();
+    std::string s;
+    while (true) {
+      if (AtEnd()) {
+        return Status::ParseError("unterminated string literal at line " +
+                                  std::to_string(t.line));
+      }
+      char ch = Advance();
+      if (ch == '"') break;
+      if (ch == '\\') {
+        if (AtEnd()) {
+          return Status::ParseError("unterminated escape in string at line " +
+                                    std::to_string(t.line));
+        }
+        char esc = Advance();
+        switch (esc) {
+          case 'n':
+            s += '\n';
+            break;
+          case 't':
+            s += '\t';
+            break;
+          case '"':
+            s += '"';
+            break;
+          case '\\':
+            s += '\\';
+            break;
+          default:
+            s += esc;
+        }
+      } else {
+        s += ch;
+      }
+    }
+    t.kind = TokenKind::kString;
+    t.text = std::move(s);
+    return t;
+  }
+
+  // Punctuation: maximal munch over the symbol table.
+  std::string_view rest = input_.substr(pos_);
+  for (const std::string& sym : symbols_) {
+    if (util::StartsWith(rest, sym)) {
+      for (size_t i = 0; i < sym.size(); ++i) Advance();
+      t.kind = TokenKind::kPunct;
+      t.text = sym;
+      return t;
+    }
+  }
+
+  return Status::ParseError("unexpected character '" + std::string(1, c) +
+                            "' at line " + std::to_string(line_) + ", column " +
+                            std::to_string(column_));
+}
+
+}  // namespace exodus::excess

@@ -1,0 +1,45 @@
+#ifndef EXODUS_EXCESS_LEXER_H_
+#define EXODUS_EXCESS_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "excess/token.h"
+#include "util/result.h"
+
+namespace exodus::excess {
+
+/// Tokenizes EXCESS source text.
+///
+/// Punctuation is matched greedily (maximal munch) against the built-in
+/// symbols plus any `extra_symbols` — the symbols of operators registered
+/// through the ADT facility, so newly introduced punctuation operators
+/// (paper §4.1) lex as single tokens.
+///
+/// Comments: `--` to end of line.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input,
+                 std::vector<std::string> extra_symbols = {});
+
+  /// Tokenizes the whole input (the trailing kEnd token included).
+  util::Result<std::vector<Token>> Tokenize();
+
+ private:
+  util::Result<Token> Next();
+  void SkipWhitespaceAndComments();
+  char Peek(size_t ahead = 0) const;
+  char Advance();
+  bool AtEnd() const { return pos_ >= input_.size(); }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  std::vector<std::string> symbols_;  // sorted by descending length
+};
+
+}  // namespace exodus::excess
+
+#endif  // EXODUS_EXCESS_LEXER_H_

@@ -1,0 +1,298 @@
+#include "excess/optimizer.h"
+
+#include <algorithm>
+#include <set>
+
+namespace exodus::excess {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+/// Collects the ids of bound vars referenced by `e`.
+std::set<int> VarIdsOf(const Expr& e, const BoundQuery& query) {
+  std::set<std::string> locals;
+  std::vector<std::string> names;
+  Binder::FreeVars(e, &locals, &names);
+  std::set<int> out;
+  for (const std::string& n : names) {
+    auto it = query.var_ids.find(n);
+    if (it != query.var_ids.end()) out.insert(it->second);
+  }
+  return out;
+}
+
+const char* FlipOp(const std::string& op) {
+  if (op == "<") return ">";
+  if (op == "<=") return ">=";
+  if (op == ">") return "<";
+  if (op == ">=") return "<=";
+  return "=";
+}
+
+bool IsIndexableOp(const std::string& op) {
+  return op == "=" || op == "<" || op == "<=" || op == ">" || op == ">=";
+}
+
+/// True if `e` is exactly `Var(name).attr`.
+bool IsVarAttr(const Expr& e, const std::string& var_name, std::string* attr) {
+  if (e.kind != ExprKind::kAttr || e.base == nullptr) return false;
+  if (e.base->kind != ExprKind::kVar || e.base->name != var_name) return false;
+  *attr = e.name;
+  return true;
+}
+
+}  // namespace
+
+Optimizer::Optimizer(extra::Catalog* catalog, index::IndexManager* indexes,
+                     const Binder* binder, OptimizerOptions options)
+    : catalog_(catalog), indexes_(indexes), binder_(binder),
+      options_(options) {}
+
+double Optimizer::EstimateCardinality(const BoundVar& var) const {
+  if (var.is_root) {
+    const extra::NamedObject* named =
+        catalog_->FindNamed(var.named_collection);
+    if (named != nullptr) {
+      if (named->value.kind() == object::ValueKind::kSet) {
+        return static_cast<double>(named->value.set().elems.size());
+      }
+      if (named->value.kind() == object::ValueKind::kArray) {
+        return static_cast<double>(named->value.array().elems.size());
+      }
+    }
+    return 1000.0;
+  }
+  return 10.0;  // nested collections are assumed small
+}
+
+bool Optimizer::MatchIndexablePredicate(const Expr& conjunct,
+                                        const BoundQuery& query, int var_id,
+                                        std::string* attr, std::string* op,
+                                        const Expr** key) const {
+  if (conjunct.kind != ExprKind::kBinary || !IsIndexableOp(conjunct.name)) {
+    return false;
+  }
+  const std::string& var_name = query.vars[static_cast<size_t>(var_id)].name;
+  const Expr& lhs = *conjunct.args[0];
+  const Expr& rhs = *conjunct.args[1];
+
+  auto side_free_of_var = [&](const Expr& e) {
+    return VarIdsOf(e, query).count(var_id) == 0;
+  };
+
+  if (IsVarAttr(lhs, var_name, attr) && side_free_of_var(rhs)) {
+    *op = conjunct.name;
+    *key = &rhs;
+    return true;
+  }
+  if (IsVarAttr(rhs, var_name, attr) && side_free_of_var(lhs)) {
+    *op = FlipOp(conjunct.name);
+    *key = &lhs;
+    return true;
+  }
+  return false;
+}
+
+Result<Plan> Optimizer::Optimize(const BoundQuery& query) const {
+  Plan plan;
+  size_t n = query.vars.size();
+
+  // Remaining conjuncts with their variable sets.
+  struct PendingConjunct {
+    const Expr* expr;
+    std::set<int> vars;
+    bool consumed = false;
+  };
+  std::vector<PendingConjunct> pending;
+  for (const ExprPtr& c : query.conjuncts) {
+    PendingConjunct pc;
+    pc.expr = c.get();
+    pc.vars = VarIdsOf(*c, query);
+    if (pc.vars.empty()) {
+      plan.constant_filters.push_back(c->Clone());
+      continue;
+    }
+    pending.push_back(std::move(pc));
+  }
+
+  std::set<int> placed;
+  std::vector<bool> done(n, false);
+
+  auto find_index_access =
+      [&](const BoundVar& var, std::string* attr, std::string* op,
+          const Expr** key, std::string* index_name,
+          size_t* conjunct_idx) -> bool {
+    if (!options_.use_indexes || !var.is_root) return false;
+    bool found_range = false;
+    for (size_t ci = 0; ci < pending.size(); ++ci) {
+      PendingConjunct& pc = pending[ci];
+      if (pc.consumed) continue;
+      // Every other var of the conjunct must already be placed.
+      bool ready = true;
+      for (int v : pc.vars) {
+        if (v != var.id && !placed.count(v)) ready = false;
+      }
+      if (!ready || !pc.vars.count(var.id)) continue;
+      std::string a, o;
+      const Expr* k = nullptr;
+      if (!MatchIndexablePredicate(*pc.expr, query, var.id, &a, &o, &k)) {
+        continue;
+      }
+      index::IndexInfo* idx =
+          indexes_->FindUsable(var.named_collection, a, o != "=");
+      if (idx == nullptr) continue;
+      // Prefer equality over range accesses.
+      if (o == "=") {
+        *attr = a;
+        *op = o;
+        *key = k;
+        *index_name = idx->name;
+        *conjunct_idx = ci;
+        return true;
+      }
+      if (!found_range) {
+        *attr = a;
+        *op = o;
+        *key = k;
+        *index_name = idx->name;
+        *conjunct_idx = ci;
+        found_range = true;
+      }
+    }
+    return found_range;
+  };
+
+  // A root whose indexable predicate still waits on other vars should be
+  // scheduled later, so the index access becomes usable.
+  auto has_future_index = [&](const BoundVar& var) -> bool {
+    if (!options_.use_indexes || !var.is_root) return false;
+    for (const PendingConjunct& pc : pending) {
+      if (pc.consumed || !pc.vars.count(var.id)) continue;
+      bool other_unplaced = false;
+      for (int v : pc.vars) {
+        if (v != var.id && !placed.count(v)) other_unplaced = true;
+      }
+      if (!other_unplaced) continue;
+      std::string a, o;
+      const Expr* k = nullptr;
+      if (!MatchIndexablePredicate(*pc.expr, query, var.id, &a, &o, &k)) {
+        continue;
+      }
+      if (indexes_->FindUsable(var.named_collection, a, o != "=") != nullptr) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  while (placed.size() < n) {
+    // Candidates: vars with all dependencies placed.
+    int best = -1;
+    int best_score = 1 << 30;
+    double best_card = 0;
+    std::string best_attr, best_op, best_index;
+    const Expr* best_key = nullptr;
+    size_t best_conjunct = 0;
+
+    for (size_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      const BoundVar& var = query.vars[i];
+      bool ready = true;
+      for (int dep : var.depends_on) {
+        if (!placed.count(dep)) ready = false;
+      }
+      if (!ready) continue;
+
+      std::string attr, op, index_name;
+      const Expr* key = nullptr;
+      size_t cidx = 0;
+      int score;
+      if (find_index_access(var, &attr, &op, &key, &index_name, &cidx)) {
+        score = op == "=" ? 0 : 2;
+      } else if (!var.is_root) {
+        score = 1;
+      } else if (has_future_index(var)) {
+        score = 4;  // wait until the index key becomes available
+      } else {
+        score = 3;
+      }
+      double card = EstimateCardinality(var);
+      if (!options_.join_reordering) {
+        // Binder order: first ready var wins (dependencies still hold);
+        // index access paths remain usable when they happen to be ready.
+        if (best >= 0) continue;
+        card = 0;
+      }
+      if (best < 0 || score < best_score ||
+          (score == best_score && card < best_card)) {
+        best = static_cast<int>(i);
+        best_score = score;
+        best_card = card;
+        best_attr = attr;
+        best_op = op;
+        best_index = index_name;
+        best_key = key;
+        best_conjunct = cidx;
+      }
+    }
+    if (best < 0) {
+      return Status::Internal(
+          "no schedulable range variable; dependency cycle escaped the "
+          "binder");
+    }
+
+    const BoundVar& var = query.vars[static_cast<size_t>(best)];
+    PlanStep step;
+    step.var_id = var.id;
+    step.var_name = var.name;
+    if (best_score == 0 || best_score == 2) {
+      step.kind = PlanStep::Kind::kIndexScan;
+      step.named_collection = var.named_collection;
+      step.index_name = best_index;
+      step.key_op = best_op;
+      step.key = best_key->Clone();
+      pending[best_conjunct].consumed = true;
+    } else if (var.is_root) {
+      step.kind = PlanStep::Kind::kScan;
+      step.named_collection = var.named_collection;
+    } else {
+      step.kind = PlanStep::Kind::kUnnest;
+      step.range = var.range->Clone();
+    }
+
+    placed.insert(var.id);
+    done[static_cast<size_t>(best)] = true;
+
+    // Attach every now-checkable conjunct to this step (with pushdown
+    // disabled, everything waits for the innermost level).
+    bool innermost = placed.size() == n;
+    for (PendingConjunct& pc : pending) {
+      if (pc.consumed) continue;
+      if (!options_.predicate_pushdown && !innermost) continue;
+      bool all_placed = true;
+      for (int v : pc.vars) {
+        if (!placed.count(v)) all_placed = false;
+      }
+      if (all_placed) {
+        step.filters.push_back(pc.expr->Clone());
+        pc.consumed = true;
+      }
+    }
+    plan.steps.push_back(std::move(step));
+  }
+
+  // Conjuncts referencing only prebound parameters (no statement vars
+  // at all) were already routed to constant_filters; anything left
+  // unconsumed would be a bug.
+  for (const PendingConjunct& pc : pending) {
+    if (!pc.consumed) {
+      return Status::Internal("conjunct not attached to any plan step: " +
+                              pc.expr->ToString());
+    }
+  }
+  return plan;
+}
+
+}  // namespace exodus::excess

@@ -1,0 +1,66 @@
+#ifndef EXODUS_EXCESS_OPTIMIZER_H_
+#define EXODUS_EXCESS_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "excess/binder.h"
+#include "excess/plan.h"
+#include "extra/catalog.h"
+#include "index/index_manager.h"
+#include "util/result.h"
+
+namespace exodus::excess {
+
+/// Ablation switches for the optimizer's three rule families. All on by
+/// default; benchmarks and tests turn them off individually to measure
+/// each rule's contribution (EXPERIMENTS.md B11).
+struct OptimizerOptions {
+  /// Attach conjuncts at the earliest loop level (off: all predicates
+  /// are evaluated only at the innermost level).
+  bool predicate_pushdown = true;
+  /// Greedy variable ordering by access quality and cardinality (off:
+  /// binder order, honoring only dependency constraints).
+  bool join_reordering = true;
+  /// Access-path selection through secondary indexes (off: always scan).
+  bool use_indexes = true;
+};
+
+/// Rule-driven plan construction, this reproduction's stand-in for an
+/// optimizer built with the EXODUS optimizer generator [Grae87]:
+///
+///  - predicate pushdown: each where-conjunct is attached to the earliest
+///    loop level at which all of its variables are bound;
+///  - greedy join ordering over the variable dependency DAG, preferring
+///    index-equality accesses, then nested unnests, then smaller extents;
+///  - access-path selection through the tabular access-method
+///    applicability catalog (paper §4.1.2), so dynamically added ADTs
+///    participate via table rows rather than code changes.
+class Optimizer {
+ public:
+  Optimizer(extra::Catalog* catalog, index::IndexManager* indexes,
+            const Binder* binder, OptimizerOptions options = {});
+
+  /// Builds an executable plan for the bound query.
+  util::Result<Plan> Optimize(const BoundQuery& query) const;
+
+ private:
+  /// Estimated cardinality of a variable's range (extent size for roots,
+  /// a fixed guess for unnests).
+  double EstimateCardinality(const BoundVar& var) const;
+
+  /// If `conjunct` has the shape `v.attr OP key` (or reversed) with
+  /// `key` free of `v`, returns true and fills the out-params.
+  bool MatchIndexablePredicate(const Expr& conjunct, const BoundQuery& query,
+                               int var_id, std::string* attr, std::string* op,
+                               const Expr** key) const;
+
+  extra::Catalog* catalog_;
+  index::IndexManager* indexes_;
+  const Binder* binder_;
+  OptimizerOptions options_;
+};
+
+}  // namespace exodus::excess
+
+#endif  // EXODUS_EXCESS_OPTIMIZER_H_

@@ -1,0 +1,876 @@
+#include "excess/parser.h"
+
+#include <cctype>
+
+#include "excess/lexer.h"
+
+namespace exodus::excess {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+bool IsIdentShaped(const std::string& s) {
+  return !s.empty() &&
+         (std::isalpha(static_cast<unsigned char>(s[0])) || s[0] == '_');
+}
+
+}  // namespace
+
+Parser::Parser(std::string_view input, const adt::Registry* registry) {
+  init_error_ = Init(input, registry);
+}
+
+Status Parser::Init(std::string_view input, const adt::Registry* registry) {
+  // Built-in operator table. Higher precedence binds tighter.
+  infix_ops_["or"] = {1, adt::Assoc::kLeft};
+  infix_ops_["and"] = {2, adt::Assoc::kLeft};
+  for (const char* cmp : {"=", "!=", "<>", "<", "<=", ">", ">=", "is",
+                          "isnot", "in", "contains"}) {
+    infix_ops_[cmp] = {4, adt::Assoc::kLeft};
+  }
+  for (const char* setop : {"union", "intersect", "diff"}) {
+    infix_ops_[setop] = {5, adt::Assoc::kLeft};
+  }
+  infix_ops_["+"] = {6, adt::Assoc::kLeft};
+  infix_ops_["-"] = {6, adt::Assoc::kLeft};
+  infix_ops_["*"] = {7, adt::Assoc::kLeft};
+  infix_ops_["/"] = {7, adt::Assoc::kLeft};
+  infix_ops_["%"] = {7, adt::Assoc::kLeft};
+  prefix_ops_["not"] = {3, adt::Assoc::kRight};
+  prefix_ops_["-"] = {9, adt::Assoc::kRight};
+
+  for (const char* agg : {"count", "sum", "avg", "min", "max"}) {
+    aggregate_names_[agg] = true;
+  }
+
+  std::vector<std::string> extra_symbols;
+  if (registry != nullptr) {
+    for (const adt::OperatorDef& op : registry->operators()) {
+      auto& table =
+          op.fixity == adt::Fixity::kInfix ? infix_ops_ : prefix_ops_;
+      // First registration of a symbol fixes its parse-level precedence;
+      // built-in symbols keep theirs (overloading '+' does not re-shape
+      // the grammar).
+      table.try_emplace(op.symbol, OpInfo{op.precedence, op.assoc});
+      if (!IsIdentShaped(op.symbol)) extra_symbols.push_back(op.symbol);
+    }
+    // Generic set functions are callable as aggregates (e.g. median).
+    for (const auto& t : registry->types()) (void)t;
+  }
+
+  Lexer lexer(input, std::move(extra_symbols));
+  auto tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  tokens_ = tokens.MoveValueUnsafe();
+  if (registry != nullptr) {
+    registry_set_fns_ = registry;
+  }
+  return Status::OK();
+}
+
+const Token& Parser::Peek(size_t ahead) const {
+  size_t i = pos_ + ahead;
+  if (i >= tokens_.size()) i = tokens_.size() - 1;  // kEnd sentinel
+  return tokens_[i];
+}
+
+Token Parser::Advance() {
+  Token t = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::Match(const char* punct) {
+  if (CheckPunct(punct)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::MatchKeyword(const char* kw) {
+  if (CheckKeyword(kw)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::MatchIdent(const char* id) {
+  if (CheckIdent(id)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::Expect(const char* punct) {
+  if (Match(punct)) return Status::OK();
+  return ErrorHere(std::string("expected '") + punct + "'");
+}
+
+Status Parser::ExpectKeyword(const char* kw) {
+  if (MatchKeyword(kw)) return Status::OK();
+  return ErrorHere(std::string("expected keyword '") + kw + "'");
+}
+
+Result<std::string> Parser::ExpectIdentifier(const char* what) {
+  if (Check(TokenKind::kIdentifier)) return Advance().text;
+  return ErrorHere(std::string("expected ") + what);
+}
+
+Status Parser::ErrorHere(const std::string& message) const {
+  const Token& t = Peek();
+  return Status::ParseError(message + ", found " + t.Describe() + " at line " +
+                            std::to_string(t.line) + ", column " +
+                            std::to_string(t.column));
+}
+
+// ---------------------------------------------------------------------------
+// Programs and statements
+// ---------------------------------------------------------------------------
+
+Result<std::vector<StmtPtr>> Parser::ParseProgram() {
+  if (!init_error_.ok()) return init_error_;
+  std::vector<StmtPtr> out;
+  while (true) {
+    while (Match(";")) {
+    }
+    if (Check(TokenKind::kEnd)) break;
+    EXODUS_ASSIGN_OR_RETURN(StmtPtr stmt, ParseStatement());
+    out.push_back(std::move(stmt));
+  }
+  return out;
+}
+
+Result<StmtPtr> Parser::ParseSingleStatement() {
+  if (!init_error_.ok()) return init_error_;
+  EXODUS_ASSIGN_OR_RETURN(StmtPtr stmt, ParseStatement());
+  while (Match(";")) {
+  }
+  if (!Check(TokenKind::kEnd)) {
+    return ErrorHere("expected end of statement");
+  }
+  return stmt;
+}
+
+Result<ExprPtr> Parser::ParseSingleExpression() {
+  if (!init_error_.ok()) return init_error_;
+  EXODUS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+  if (!Check(TokenKind::kEnd)) {
+    return ErrorHere("expected end of expression");
+  }
+  return e;
+}
+
+Result<StmtPtr> Parser::ParseStatement() {
+  if (CheckKeyword("define")) return ParseDefine();
+  if (CheckKeyword("create")) return ParseCreate();
+  if (CheckKeyword("drop")) return ParseDrop();
+  if (CheckKeyword("range")) return ParseRange();
+  if (CheckKeyword("retrieve")) return ParseRetrieve();
+  if (CheckKeyword("append")) return ParseAppend();
+  if (CheckKeyword("delete")) return ParseDelete();
+  if (CheckKeyword("replace")) return ParseReplace();
+  if (CheckKeyword("assign")) return ParseAssign();
+  if (CheckKeyword("execute")) return ParseExecute();
+  if (CheckKeyword("grant")) return ParseGrantRevoke(/*grant=*/true);
+  if (CheckKeyword("revoke")) return ParseGrantRevoke(/*grant=*/false);
+  if (CheckIdent("add") && Peek(1).IsKeyword("user")) return ParseAddToGroup();
+  if (CheckIdent("set") && Peek(1).IsKeyword("user")) return ParseSetUser();
+  return ErrorHere("expected a statement");
+}
+
+Result<StmtPtr> Parser::ParseDefine() {
+  EXODUS_RETURN_IF_ERROR(ExpectKeyword("define"));
+  if (MatchKeyword("type")) return ParseDefineType();
+  if (MatchKeyword("enum")) return ParseDefineEnum();
+  if (MatchKeyword("early")) {
+    EXODUS_RETURN_IF_ERROR(ExpectKeyword("function"));
+    return ParseDefineFunction(/*early=*/true);
+  }
+  if (MatchKeyword("function")) return ParseDefineFunction(/*early=*/false);
+  if (MatchKeyword("procedure")) return ParseDefineProcedure();
+  return ErrorHere("expected 'type', 'enum', 'function' or 'procedure'");
+}
+
+Result<StmtPtr> Parser::ParseDefineType() {
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kDefineType;
+  EXODUS_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("type name"));
+
+  if (MatchKeyword("inherits")) {
+    while (true) {
+      InheritClause clause;
+      EXODUS_ASSIGN_OR_RETURN(clause.supertype,
+                              ExpectIdentifier("supertype name"));
+      if (MatchKeyword("with")) {
+        EXODUS_RETURN_IF_ERROR(Expect("("));
+        while (true) {
+          extra::Rename r;
+          EXODUS_ASSIGN_OR_RETURN(r.old_name,
+                                  ExpectIdentifier("attribute name"));
+          EXODUS_RETURN_IF_ERROR(ExpectKeyword("renamed"));
+          EXODUS_ASSIGN_OR_RETURN(r.new_name,
+                                  ExpectIdentifier("new attribute name"));
+          clause.renames.push_back(std::move(r));
+          if (!Match(",")) break;
+        }
+        EXODUS_RETURN_IF_ERROR(Expect(")"));
+      }
+      stmt->inherits.push_back(std::move(clause));
+      if (!Match(",")) break;
+      MatchKeyword("inherits");  // `, inherits B` and `, B` both accepted
+    }
+  }
+
+  EXODUS_RETURN_IF_ERROR(Expect("("));
+  if (!CheckPunct(")")) {
+    while (true) {
+      AttrDecl attr;
+      EXODUS_ASSIGN_OR_RETURN(attr.name, ExpectIdentifier("attribute name"));
+      EXODUS_RETURN_IF_ERROR(Expect(":"));
+      EXODUS_ASSIGN_OR_RETURN(attr.type, ParseTypeExpr());
+      stmt->attributes.push_back(std::move(attr));
+      if (!Match(",")) break;
+    }
+  }
+  EXODUS_RETURN_IF_ERROR(Expect(")"));
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> Parser::ParseDefineEnum() {
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kDefineEnum;
+  EXODUS_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("enum name"));
+  EXODUS_RETURN_IF_ERROR(Expect("("));
+  while (true) {
+    EXODUS_ASSIGN_OR_RETURN(std::string label, ExpectIdentifier("enum label"));
+    stmt->enum_labels.push_back(std::move(label));
+    if (!Match(",")) break;
+  }
+  EXODUS_RETURN_IF_ERROR(Expect(")"));
+  return StmtPtr(std::move(stmt));
+}
+
+Result<std::vector<Param>> Parser::ParseParamList() {
+  std::vector<Param> params;
+  EXODUS_RETURN_IF_ERROR(Expect("("));
+  if (!CheckPunct(")")) {
+    while (true) {
+      Param p;
+      EXODUS_ASSIGN_OR_RETURN(p.name, ExpectIdentifier("parameter name"));
+      EXODUS_RETURN_IF_ERROR(Expect(":"));
+      EXODUS_ASSIGN_OR_RETURN(p.type, ParseTypeExpr());
+      params.push_back(std::move(p));
+      if (!Match(",")) break;
+    }
+  }
+  EXODUS_RETURN_IF_ERROR(Expect(")"));
+  return params;
+}
+
+Result<StmtPtr> Parser::ParseDefineFunction(bool early) {
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kDefineFunction;
+  stmt->early_binding = early;
+  EXODUS_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("function name"));
+  EXODUS_ASSIGN_OR_RETURN(stmt->params, ParseParamList());
+  EXODUS_RETURN_IF_ERROR(ExpectKeyword("returns"));
+  EXODUS_ASSIGN_OR_RETURN(stmt->returns, ParseTypeExpr());
+  EXODUS_RETURN_IF_ERROR(ExpectKeyword("as"));
+  if (!CheckKeyword("retrieve")) {
+    return ErrorHere("function body must be a retrieve statement");
+  }
+  EXODUS_ASSIGN_OR_RETURN(stmt->body, ParseRetrieve());
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> Parser::ParseDefineProcedure() {
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kDefineProcedure;
+  EXODUS_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("procedure name"));
+  EXODUS_ASSIGN_OR_RETURN(stmt->params, ParseParamList());
+  EXODUS_RETURN_IF_ERROR(ExpectKeyword("as"));
+  if (MatchIdent("begin")) {
+    while (!MatchIdent("end")) {
+      if (Check(TokenKind::kEnd)) {
+        return ErrorHere("expected 'end' to close procedure body");
+      }
+      while (Match(";")) {
+      }
+      if (MatchIdent("end")) return StmtPtr(std::move(stmt));
+      EXODUS_ASSIGN_OR_RETURN(StmtPtr s, ParseStatement());
+      stmt->proc_body.push_back(std::move(s));
+    }
+  } else {
+    EXODUS_ASSIGN_OR_RETURN(StmtPtr s, ParseStatement());
+    stmt->proc_body.push_back(std::move(s));
+  }
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> Parser::ParseCreate() {
+  EXODUS_RETURN_IF_ERROR(ExpectKeyword("create"));
+  if (MatchKeyword("index")) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kCreateIndex;
+    EXODUS_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("index name"));
+    EXODUS_RETURN_IF_ERROR(ExpectKeyword("on"));
+    EXODUS_ASSIGN_OR_RETURN(stmt->on_set, ExpectIdentifier("set name"));
+    EXODUS_RETURN_IF_ERROR(Expect("("));
+    EXODUS_ASSIGN_OR_RETURN(stmt->on_attr, ExpectIdentifier("attribute name"));
+    EXODUS_RETURN_IF_ERROR(Expect(")"));
+    EXODUS_RETURN_IF_ERROR(ExpectKeyword("using"));
+    EXODUS_ASSIGN_OR_RETURN(stmt->index_kind,
+                            ExpectIdentifier("index kind (btree or hash)"));
+    return StmtPtr(std::move(stmt));
+  }
+  if (MatchKeyword("user")) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kCreateUser;
+    EXODUS_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("user name"));
+    return StmtPtr(std::move(stmt));
+  }
+  if (MatchKeyword("group")) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->kind = StmtKind::kCreateGroup;
+    EXODUS_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("group name"));
+    return StmtPtr(std::move(stmt));
+  }
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kCreate;
+  EXODUS_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("object name"));
+  EXODUS_RETURN_IF_ERROR(Expect(":"));
+  EXODUS_ASSIGN_OR_RETURN(stmt->type, ParseTypeExpr());
+  if (MatchIdent("key")) {
+    EXODUS_RETURN_IF_ERROR(Expect("("));
+    while (true) {
+      EXODUS_ASSIGN_OR_RETURN(std::string attr,
+                              ExpectIdentifier("key attribute"));
+      stmt->key_attrs.push_back(std::move(attr));
+      if (!Match(",")) break;
+    }
+    EXODUS_RETURN_IF_ERROR(Expect(")"));
+  }
+  if (Match("=")) {
+    EXODUS_ASSIGN_OR_RETURN(stmt->init, ParseExpr());
+  }
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> Parser::ParseDrop() {
+  EXODUS_RETURN_IF_ERROR(ExpectKeyword("drop"));
+  auto stmt = std::make_unique<Stmt>();
+  if (MatchKeyword("index")) {
+    stmt->kind = StmtKind::kDropIndex;
+    EXODUS_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("index name"));
+  } else {
+    stmt->kind = StmtKind::kDrop;
+    EXODUS_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("object name"));
+  }
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> Parser::ParseRange() {
+  EXODUS_RETURN_IF_ERROR(ExpectKeyword("range"));
+  EXODUS_RETURN_IF_ERROR(ExpectKeyword("of"));
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kRange;
+  EXODUS_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("range variable"));
+  EXODUS_RETURN_IF_ERROR(ExpectKeyword("is"));
+  EXODUS_ASSIGN_OR_RETURN(stmt->range, ParseExpr());
+  return StmtPtr(std::move(stmt));
+}
+
+Status Parser::ParseFromClause(std::vector<FromBinding>* out) {
+  if (!MatchKeyword("from")) return Status::OK();
+  while (true) {
+    FromBinding b;
+    EXODUS_ASSIGN_OR_RETURN(b.var, ExpectIdentifier("range variable"));
+    EXODUS_RETURN_IF_ERROR(ExpectKeyword("in"));
+    // The range is a path expression; parse at precedence above 'in' so
+    // `from C in Employees.kids` stops before clause keywords.
+    EXODUS_ASSIGN_OR_RETURN(b.range, ParseExpr(5));
+    out->push_back(std::move(b));
+    if (!Match(",")) break;
+  }
+  return Status::OK();
+}
+
+Status Parser::ParseWhereClause(ExprPtr* out) {
+  if (!MatchKeyword("where")) return Status::OK();
+  EXODUS_ASSIGN_OR_RETURN(*out, ParseExpr());
+  return Status::OK();
+}
+
+Result<StmtPtr> Parser::ParseRetrieve() {
+  EXODUS_RETURN_IF_ERROR(ExpectKeyword("retrieve"));
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kRetrieve;
+  if (CheckIdent("into") && Peek(1).kind == TokenKind::kIdentifier) {
+    Advance();
+    stmt->into = Advance().text;
+  }
+  stmt->unique = MatchKeyword("unique");
+  EXODUS_RETURN_IF_ERROR(Expect("("));
+  while (true) {
+    Projection p;
+    if (Check(TokenKind::kIdentifier) && Peek(1).IsPunct("=")) {
+      p.label = Advance().text;
+      Advance();  // '='
+    }
+    EXODUS_ASSIGN_OR_RETURN(p.expr, ParseExpr());
+    stmt->projections.push_back(std::move(p));
+    if (!Match(",")) break;
+  }
+  EXODUS_RETURN_IF_ERROR(Expect(")"));
+  EXODUS_RETURN_IF_ERROR(ParseFromClause(&stmt->from));
+  EXODUS_RETURN_IF_ERROR(ParseWhereClause(&stmt->where));
+  if (MatchKeyword("sort")) {
+    EXODUS_RETURN_IF_ERROR(ExpectKeyword("by"));
+    while (true) {
+      EXODUS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt->sort_by.push_back(std::move(e));
+      if (!Match(",")) break;
+    }
+  }
+  return StmtPtr(std::move(stmt));
+}
+
+Result<std::vector<Assignment>> Parser::ParseAssignmentList() {
+  std::vector<Assignment> out;
+  while (true) {
+    Assignment a;
+    EXODUS_ASSIGN_OR_RETURN(a.attr, ExpectIdentifier("attribute name"));
+    EXODUS_RETURN_IF_ERROR(Expect("="));
+    EXODUS_ASSIGN_OR_RETURN(a.value, ParseExpr());
+    out.push_back(std::move(a));
+    if (!Match(",")) break;
+  }
+  return out;
+}
+
+Result<ExprPtr> Parser::ParsePath() {
+  EXODUS_ASSIGN_OR_RETURN(std::string root, ExpectIdentifier("target name"));
+  ExprPtr base = MakeVar(std::move(root));
+  while (true) {
+    if (Match(".")) {
+      EXODUS_ASSIGN_OR_RETURN(std::string attr,
+                              ExpectIdentifier("attribute name"));
+      base = MakeAttr(std::move(base), std::move(attr));
+    } else if (Match("[")) {
+      auto idx = std::make_unique<Expr>();
+      idx->kind = ExprKind::kIndex;
+      idx->base = std::move(base);
+      EXODUS_ASSIGN_OR_RETURN(ExprPtr i, ParseExpr());
+      idx->args.push_back(std::move(i));
+      EXODUS_RETURN_IF_ERROR(Expect("]"));
+      base = std::move(idx);
+    } else {
+      break;
+    }
+  }
+  return base;
+}
+
+Result<StmtPtr> Parser::ParseAppend() {
+  EXODUS_RETURN_IF_ERROR(ExpectKeyword("append"));
+  EXODUS_RETURN_IF_ERROR(ExpectKeyword("to"));
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kAppend;
+  EXODUS_ASSIGN_OR_RETURN(stmt->target, ParsePath());
+
+  EXODUS_RETURN_IF_ERROR(Expect("("));
+  if (CheckPunct(")")) {
+    // `append to S ()`: an element with all-default attributes.
+  } else if (Check(TokenKind::kIdentifier) && Peek(1).IsPunct("=")) {
+    EXODUS_ASSIGN_OR_RETURN(stmt->assigns, ParseAssignmentList());
+  } else {
+    EXODUS_ASSIGN_OR_RETURN(stmt->value, ParseExpr());
+  }
+  EXODUS_RETURN_IF_ERROR(Expect(")"));
+  EXODUS_RETURN_IF_ERROR(ParseFromClause(&stmt->from));
+  EXODUS_RETURN_IF_ERROR(ParseWhereClause(&stmt->where));
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> Parser::ParseDelete() {
+  EXODUS_RETURN_IF_ERROR(ExpectKeyword("delete"));
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kDelete;
+  EXODUS_ASSIGN_OR_RETURN(stmt->update_var,
+                          ExpectIdentifier("range variable to delete"));
+  EXODUS_RETURN_IF_ERROR(ParseFromClause(&stmt->from));
+  EXODUS_RETURN_IF_ERROR(ParseWhereClause(&stmt->where));
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> Parser::ParseReplace() {
+  EXODUS_RETURN_IF_ERROR(ExpectKeyword("replace"));
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kReplace;
+  EXODUS_ASSIGN_OR_RETURN(stmt->update_var,
+                          ExpectIdentifier("range variable to replace"));
+  EXODUS_RETURN_IF_ERROR(Expect("("));
+  EXODUS_ASSIGN_OR_RETURN(stmt->assigns, ParseAssignmentList());
+  EXODUS_RETURN_IF_ERROR(Expect(")"));
+  EXODUS_RETURN_IF_ERROR(ParseFromClause(&stmt->from));
+  EXODUS_RETURN_IF_ERROR(ParseWhereClause(&stmt->where));
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> Parser::ParseAssign() {
+  EXODUS_RETURN_IF_ERROR(ExpectKeyword("assign"));
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kAssign;
+  EXODUS_ASSIGN_OR_RETURN(stmt->target, ParsePath());
+  EXODUS_RETURN_IF_ERROR(Expect("="));
+  EXODUS_ASSIGN_OR_RETURN(stmt->value, ParseExpr());
+  EXODUS_RETURN_IF_ERROR(ParseFromClause(&stmt->from));
+  EXODUS_RETURN_IF_ERROR(ParseWhereClause(&stmt->where));
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> Parser::ParseExecute() {
+  EXODUS_RETURN_IF_ERROR(ExpectKeyword("execute"));
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kExecuteProcedure;
+  EXODUS_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("procedure name"));
+  EXODUS_RETURN_IF_ERROR(Expect("("));
+  if (!CheckPunct(")")) {
+    EXODUS_ASSIGN_OR_RETURN(stmt->call_args, ParseExprList(")"));
+  }
+  EXODUS_RETURN_IF_ERROR(Expect(")"));
+  EXODUS_RETURN_IF_ERROR(ParseFromClause(&stmt->from));
+  EXODUS_RETURN_IF_ERROR(ParseWhereClause(&stmt->where));
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> Parser::ParseGrantRevoke(bool grant) {
+  Advance();  // grant / revoke
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = grant ? StmtKind::kGrant : StmtKind::kRevoke;
+  while (true) {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kKeyword || t.kind == TokenKind::kIdentifier) {
+      stmt->privileges.push_back(Advance().text);
+    } else {
+      return ErrorHere("expected a privilege name");
+    }
+    if (!Match(",")) break;
+  }
+  EXODUS_RETURN_IF_ERROR(ExpectKeyword("on"));
+  EXODUS_ASSIGN_OR_RETURN(stmt->on_object, ExpectIdentifier("object name"));
+  if (grant) {
+    EXODUS_RETURN_IF_ERROR(ExpectKeyword("to"));
+  } else {
+    EXODUS_RETURN_IF_ERROR(ExpectKeyword("from"));
+  }
+  while (true) {
+    EXODUS_ASSIGN_OR_RETURN(std::string p,
+                            ExpectIdentifier("user or group name"));
+    stmt->principals.push_back(std::move(p));
+    if (!Match(",")) break;
+  }
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> Parser::ParseAddToGroup() {
+  Advance();  // 'add'
+  EXODUS_RETURN_IF_ERROR(ExpectKeyword("user"));
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kAddToGroup;
+  EXODUS_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("user name"));
+  EXODUS_RETURN_IF_ERROR(ExpectKeyword("to"));
+  EXODUS_RETURN_IF_ERROR(ExpectKeyword("group"));
+  EXODUS_ASSIGN_OR_RETURN(stmt->group_name, ExpectIdentifier("group name"));
+  return StmtPtr(std::move(stmt));
+}
+
+Result<StmtPtr> Parser::ParseSetUser() {
+  Advance();  // 'set'
+  EXODUS_RETURN_IF_ERROR(ExpectKeyword("user"));
+  auto stmt = std::make_unique<Stmt>();
+  stmt->kind = StmtKind::kSetUser;
+  EXODUS_ASSIGN_OR_RETURN(stmt->name, ExpectIdentifier("user name"));
+  return StmtPtr(std::move(stmt));
+}
+
+// ---------------------------------------------------------------------------
+// Type expressions
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<TypeExpr>> Parser::ParseTypeExpr() {
+  auto out = std::make_unique<TypeExpr>();
+  if (Match("{")) {
+    out->kind = TypeExpr::Kind::kSet;
+    EXODUS_ASSIGN_OR_RETURN(out->elem, ParseTypeExpr());
+    EXODUS_RETURN_IF_ERROR(Expect("}"));
+    return out;
+  }
+  if (Match("[")) {
+    out->kind = TypeExpr::Kind::kArray;
+    if (Match("*")) {
+      out->array_size = 0;
+    } else if (Check(TokenKind::kInt)) {
+      out->array_size = static_cast<size_t>(Advance().int_value);
+      if (out->array_size == 0) {
+        return ErrorHere("fixed array size must be positive");
+      }
+    } else {
+      return ErrorHere("expected array size or '*'");
+    }
+    EXODUS_RETURN_IF_ERROR(Expect("]"));
+    EXODUS_ASSIGN_OR_RETURN(out->elem, ParseTypeExpr());
+    return out;
+  }
+  bool own = MatchKeyword("own");
+  if (MatchKeyword("ref")) {
+    out->kind = TypeExpr::Kind::kRef;
+    out->owned = own;
+    EXODUS_ASSIGN_OR_RETURN(out->name, ExpectIdentifier("referenced type"));
+    return out;
+  }
+  // `own T` with no `ref` is the default value semantics: plain T.
+  EXODUS_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("type name"));
+  if (name == "char" && Match("[")) {
+    out->kind = TypeExpr::Kind::kChar;
+    if (!Check(TokenKind::kInt)) return ErrorHere("expected string length");
+    out->char_length = static_cast<size_t>(Advance().int_value);
+    if (out->char_length == 0) {
+      return ErrorHere("char length must be positive");
+    }
+    EXODUS_RETURN_IF_ERROR(Expect("]"));
+    return out;
+  }
+  out->kind = TypeExpr::Kind::kNamed;
+  out->name = std::move(name);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+const Parser::OpInfo* Parser::CurrentInfixOp(std::string* symbol) const {
+  const Token& t = Peek();
+  if (t.kind != TokenKind::kPunct && t.kind != TokenKind::kKeyword &&
+      t.kind != TokenKind::kIdentifier) {
+    return nullptr;
+  }
+  auto it = infix_ops_.find(t.text);
+  if (it == infix_ops_.end()) return nullptr;
+  *symbol = t.text;
+  return &it->second;
+}
+
+Result<ExprPtr> Parser::ParseExpr(int min_precedence) {
+  EXODUS_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+  while (true) {
+    std::string symbol;
+    const OpInfo* op = CurrentInfixOp(&symbol);
+    if (op == nullptr || op->precedence < min_precedence) break;
+    Advance();
+    int next_min = op->assoc == adt::Assoc::kLeft ? op->precedence + 1
+                                                  : op->precedence;
+    EXODUS_ASSIGN_OR_RETURN(ExprPtr rhs, ParseExpr(next_min));
+    lhs = MakeBinary(symbol, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  const Token& t = Peek();
+  if (t.kind == TokenKind::kPunct || t.kind == TokenKind::kKeyword) {
+    auto it = prefix_ops_.find(t.text);
+    if (it != prefix_ops_.end()) {
+      std::string symbol = Advance().text;
+      EXODUS_ASSIGN_OR_RETURN(ExprPtr operand,
+                              ParseExpr(it->second.precedence));
+      return MakeUnary(symbol, std::move(operand));
+    }
+  }
+  EXODUS_ASSIGN_OR_RETURN(ExprPtr primary, ParsePrimary());
+  return ParsePostfix(std::move(primary));
+}
+
+Result<ExprPtr> Parser::ParsePostfix(ExprPtr base) {
+  while (true) {
+    if (Match(".")) {
+      EXODUS_ASSIGN_OR_RETURN(std::string attr,
+                              ExpectIdentifier("attribute or function name"));
+      if (Match("(")) {
+        // Method-style ADT / EXCESS function invocation: expr.Fn(args).
+        auto call = std::make_unique<Expr>();
+        call->kind = ExprKind::kCall;
+        call->name = std::move(attr);
+        call->base = std::move(base);
+        if (!CheckPunct(")")) {
+          EXODUS_ASSIGN_OR_RETURN(call->args, ParseExprList(")"));
+        }
+        EXODUS_RETURN_IF_ERROR(Expect(")"));
+        base = std::move(call);
+      } else {
+        base = MakeAttr(std::move(base), std::move(attr));
+      }
+    } else if (Match("[")) {
+      auto idx = std::make_unique<Expr>();
+      idx->kind = ExprKind::kIndex;
+      idx->base = std::move(base);
+      EXODUS_ASSIGN_OR_RETURN(ExprPtr i, ParseExpr());
+      idx->args.push_back(std::move(i));
+      EXODUS_RETURN_IF_ERROR(Expect("]"));
+      base = std::move(idx);
+    } else {
+      break;
+    }
+  }
+  return base;
+}
+
+Result<std::vector<ExprPtr>> Parser::ParseExprList(const char* terminator) {
+  std::vector<ExprPtr> out;
+  while (true) {
+    EXODUS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    out.push_back(std::move(e));
+    if (!Match(",")) break;
+  }
+  (void)terminator;
+  return out;
+}
+
+Result<ExprPtr> Parser::ParseQuantified(bool universal) {
+  auto q = std::make_unique<Expr>();
+  q->kind = ExprKind::kQuantified;
+  q->universal = universal;
+  FromBinding b;
+  EXODUS_ASSIGN_OR_RETURN(b.var, ExpectIdentifier("quantified variable"));
+  EXODUS_RETURN_IF_ERROR(ExpectKeyword("in"));
+  EXODUS_ASSIGN_OR_RETURN(b.range, ParseExpr(5));
+  q->bindings.push_back(std::move(b));
+  EXODUS_RETURN_IF_ERROR(Expect(":"));
+  EXODUS_ASSIGN_OR_RETURN(ExprPtr pred, ParseExpr(3));
+  q->args.push_back(std::move(pred));
+  return ExprPtr(std::move(q));
+}
+
+Result<ExprPtr> Parser::ParseAggregateOrCall(const std::string& name) {
+  // '(' already consumed.
+  bool is_aggregate = aggregate_names_.count(name) > 0;
+  if (!is_aggregate && registry_set_fns_ != nullptr &&
+      registry_set_fns_->FindSetFunction(name) != nullptr) {
+    is_aggregate = true;
+  }
+  if (is_aggregate) {
+    auto agg = std::make_unique<Expr>();
+    agg->kind = ExprKind::kAggregate;
+    agg->name = name;
+    agg->unique = MatchKeyword("unique");
+    if (!CheckPunct(")")) {
+      EXODUS_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+      agg->args.push_back(std::move(arg));
+      if (MatchKeyword("over")) {
+        while (true) {
+          EXODUS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          agg->over.push_back(std::move(e));
+          if (!Match(",")) break;
+        }
+      }
+      EXODUS_RETURN_IF_ERROR(ParseFromClause(&agg->bindings));
+      EXODUS_RETURN_IF_ERROR(ParseWhereClause(&agg->where));
+    }
+    EXODUS_RETURN_IF_ERROR(Expect(")"));
+    return ExprPtr(std::move(agg));
+  }
+  auto call = std::make_unique<Expr>();
+  call->kind = ExprKind::kCall;
+  call->name = name;
+  if (!CheckPunct(")")) {
+    EXODUS_ASSIGN_OR_RETURN(call->args, ParseExprList(")"));
+  }
+  EXODUS_RETURN_IF_ERROR(Expect(")"));
+  return ExprPtr(std::move(call));
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+  switch (t.kind) {
+    case TokenKind::kInt: {
+      Token tok = Advance();
+      return MakeLiteral(object::Value::Int(tok.int_value));
+    }
+    case TokenKind::kFloat: {
+      Token tok = Advance();
+      return MakeLiteral(object::Value::Float(tok.float_value));
+    }
+    case TokenKind::kString: {
+      Token tok = Advance();
+      return MakeLiteral(object::Value::String(std::move(tok.text)));
+    }
+    case TokenKind::kKeyword: {
+      if (MatchKeyword("true")) return MakeLiteral(object::Value::Bool(true));
+      if (MatchKeyword("false")) {
+        return MakeLiteral(object::Value::Bool(false));
+      }
+      if (MatchKeyword("null")) return MakeLiteral(object::Value::Null());
+      if (MatchKeyword("all")) return ParseQuantified(/*universal=*/true);
+      if (MatchKeyword("some")) return ParseQuantified(/*universal=*/false);
+      return ErrorHere("unexpected keyword in expression");
+    }
+    case TokenKind::kIdentifier: {
+      std::string name = Advance().text;
+      if (Match("(")) return ParseAggregateOrCall(name);
+      return MakeVar(std::move(name));
+    }
+    case TokenKind::kPunct: {
+      if (Match("(")) {
+        // Tuple literal `(a = ..., b = ...)` vs parenthesized expression:
+        // two-token lookahead on `ident =`.
+        if (Check(TokenKind::kIdentifier) && Peek(1).IsPunct("=")) {
+          auto tup = std::make_unique<Expr>();
+          tup->kind = ExprKind::kTupleLit;
+          while (true) {
+            EXODUS_ASSIGN_OR_RETURN(std::string field,
+                                    ExpectIdentifier("field name"));
+            EXODUS_RETURN_IF_ERROR(Expect("="));
+            EXODUS_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+            tup->fields.emplace_back(std::move(field), std::move(e));
+            if (!Match(",")) break;
+          }
+          EXODUS_RETURN_IF_ERROR(Expect(")"));
+          return ExprPtr(std::move(tup));
+        }
+        EXODUS_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        EXODUS_RETURN_IF_ERROR(Expect(")"));
+        return inner;
+      }
+      if (Match("{")) {
+        auto set = std::make_unique<Expr>();
+        set->kind = ExprKind::kSetLit;
+        if (!CheckPunct("}")) {
+          EXODUS_ASSIGN_OR_RETURN(set->args, ParseExprList("}"));
+        }
+        EXODUS_RETURN_IF_ERROR(Expect("}"));
+        return ExprPtr(std::move(set));
+      }
+      if (Match("[")) {
+        auto arr = std::make_unique<Expr>();
+        arr->kind = ExprKind::kArrayLit;
+        if (!CheckPunct("]")) {
+          EXODUS_ASSIGN_OR_RETURN(arr->args, ParseExprList("]"));
+        }
+        EXODUS_RETURN_IF_ERROR(Expect("]"));
+        return ExprPtr(std::move(arr));
+      }
+      return ErrorHere("unexpected symbol in expression");
+    }
+    case TokenKind::kEnd:
+      return ErrorHere("unexpected end of input in expression");
+  }
+  return ErrorHere("unexpected token");
+}
+
+}  // namespace exodus::excess

@@ -1,0 +1,112 @@
+#ifndef EXODUS_EXCESS_PARSER_H_
+#define EXODUS_EXCESS_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "adt/registry.h"
+#include "excess/ast.h"
+#include "excess/token.h"
+#include "util/result.h"
+
+namespace exodus::excess {
+
+/// Recursive-descent parser for EXCESS.
+///
+/// The expression grammar is *dynamic*: operators registered through the
+/// ADT facility (paper §4.1 — both punctuation sequences and identifier
+/// names, with declared precedence and associativity) extend the operator
+/// table at construction time. The full grammar is documented in
+/// docs/excess_language.md.
+class Parser {
+ public:
+  /// `registry` supplies ADT-registered operators; may be null.
+  explicit Parser(std::string_view input,
+                  const adt::Registry* registry = nullptr);
+
+  /// Parses a whole program: statements separated by optional ';'.
+  util::Result<std::vector<StmtPtr>> ParseProgram();
+
+  /// Parses exactly one statement (trailing input is an error).
+  util::Result<StmtPtr> ParseSingleStatement();
+
+  /// Parses exactly one expression (trailing input is an error).
+  util::Result<ExprPtr> ParseSingleExpression();
+
+ private:
+  struct OpInfo {
+    int precedence;
+    adt::Assoc assoc;
+  };
+
+  util::Status Init(std::string_view input, const adt::Registry* registry);
+
+  const Token& Peek(size_t ahead = 0) const;
+  Token Advance();
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool CheckKeyword(const char* kw) const { return Peek().IsKeyword(kw); }
+  bool CheckPunct(const char* p) const { return Peek().IsPunct(p); }
+  bool CheckIdent(const char* id) const { return Peek().IsIdent(id); }
+  bool Match(const char* punct);
+  bool MatchKeyword(const char* kw);
+  bool MatchIdent(const char* id);
+  util::Status Expect(const char* punct);
+  util::Status ExpectKeyword(const char* kw);
+  util::Result<std::string> ExpectIdentifier(const char* what);
+  util::Status ErrorHere(const std::string& message) const;
+
+  // Statements.
+  util::Result<StmtPtr> ParseStatement();
+  util::Result<StmtPtr> ParseDefine();
+  util::Result<StmtPtr> ParseDefineType();
+  util::Result<StmtPtr> ParseDefineEnum();
+  util::Result<StmtPtr> ParseDefineFunction(bool early);
+  util::Result<StmtPtr> ParseDefineProcedure();
+  util::Result<StmtPtr> ParseCreate();
+  util::Result<StmtPtr> ParseDrop();
+  util::Result<StmtPtr> ParseRange();
+  util::Result<StmtPtr> ParseRetrieve();
+  util::Result<StmtPtr> ParseAppend();
+  util::Result<StmtPtr> ParseDelete();
+  util::Result<StmtPtr> ParseReplace();
+  util::Result<StmtPtr> ParseAssign();
+  util::Result<StmtPtr> ParseExecute();
+  util::Result<StmtPtr> ParseGrantRevoke(bool grant);
+  util::Result<StmtPtr> ParseAddToGroup();
+  util::Result<StmtPtr> ParseSetUser();
+
+  // Shared clauses.
+  util::Status ParseFromClause(std::vector<FromBinding>* out);
+  util::Status ParseWhereClause(ExprPtr* out);
+  util::Result<std::vector<Assignment>> ParseAssignmentList();
+  util::Result<std::unique_ptr<TypeExpr>> ParseTypeExpr();
+  util::Result<std::vector<Param>> ParseParamList();
+
+  // Expressions (precedence climbing).
+  util::Result<ExprPtr> ParseExpr(int min_precedence = 0);
+  util::Result<ExprPtr> ParseUnary();
+  util::Result<ExprPtr> ParsePostfix(ExprPtr base);
+  util::Result<ExprPtr> ParsePath();
+  util::Result<ExprPtr> ParsePrimary();
+  util::Result<ExprPtr> ParseAggregateOrCall(const std::string& name);
+  util::Result<ExprPtr> ParseQuantified(bool universal);
+  util::Result<std::vector<ExprPtr>> ParseExprList(const char* terminator);
+
+  /// Returns operator info if the current token is an infix operator.
+  const OpInfo* CurrentInfixOp(std::string* symbol) const;
+
+  util::Status init_error_;
+  const adt::Registry* registry_set_fns_ = nullptr;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::unordered_map<std::string, OpInfo> infix_ops_;
+  std::unordered_map<std::string, OpInfo> prefix_ops_;
+  /// Names treated as aggregate functions when called.
+  std::unordered_map<std::string, bool> aggregate_names_;
+};
+
+}  // namespace exodus::excess
+
+#endif  // EXODUS_EXCESS_PARSER_H_

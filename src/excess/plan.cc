@@ -1,0 +1,36 @@
+#include "excess/plan.h"
+
+namespace exodus::excess {
+
+std::string PlanStep::Describe() const {
+  std::string out;
+  switch (kind) {
+    case Kind::kScan:
+      out = "Scan " + named_collection + " as " + var_name;
+      break;
+    case Kind::kIndexScan:
+      out = "IndexScan " + named_collection + " as " + var_name + " using " +
+            index_name + " (" + key_op + " " + key->ToString() + ")";
+      break;
+    case Kind::kUnnest:
+      out = "Unnest " + range->ToString() + " as " + var_name;
+      break;
+  }
+  for (const ExprPtr& f : filters) {
+    out += "\n    filter " + f->ToString();
+  }
+  return out;
+}
+
+std::string Plan::Explain() const {
+  std::string out;
+  for (const ExprPtr& f : constant_filters) {
+    out += "ConstFilter " + f->ToString() + "\n";
+  }
+  for (size_t i = 0; i < steps.size(); ++i) {
+    out += std::string(i * 2, ' ') + steps[i].Describe() + "\n";
+  }
+  return out;
+}
+
+}  // namespace exodus::excess

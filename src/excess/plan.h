@@ -1,0 +1,57 @@
+#ifndef EXODUS_EXCESS_PLAN_H_
+#define EXODUS_EXCESS_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "excess/ast.h"
+#include "excess/binder.h"
+
+namespace exodus::excess {
+
+/// One level of the nested-loop pipeline. Steps run outermost-first;
+/// step i may reference variables bound by steps 0..i-1.
+struct PlanStep {
+  enum class Kind {
+    kScan,       // full scan of a named collection
+    kIndexScan,  // index-assisted access to a named collection
+    kUnnest,     // iterate a range expression (nested set / array / path)
+  };
+
+  Kind kind = Kind::kUnnest;
+  int var_id = 0;
+  std::string var_name;
+
+  // kScan / kIndexScan
+  std::string named_collection;
+
+  // kIndexScan
+  std::string index_name;
+  /// "=", "<", "<=", ">", ">=" — the predicate the index satisfies.
+  std::string key_op;
+  /// Key expression, evaluated in the environment of earlier steps.
+  ExprPtr key;
+
+  // kUnnest
+  ExprPtr range;
+
+  /// Conjuncts that become checkable once this step's variable is bound.
+  std::vector<ExprPtr> filters;
+
+  std::string Describe() const;
+};
+
+/// An executable plan for the range/predicate part of one statement.
+struct Plan {
+  std::vector<PlanStep> steps;
+  /// Variable-free conjuncts, evaluated once before the loops.
+  std::vector<ExprPtr> constant_filters;
+
+  /// Human-readable plan, one step per line (used by tests and EXPLAIN-
+  /// style debugging).
+  std::string Explain() const;
+};
+
+}  // namespace exodus::excess
+
+#endif  // EXODUS_EXCESS_PLAN_H_

@@ -1,0 +1,53 @@
+#include "excess/token.h"
+
+#include <unordered_set>
+
+namespace exodus::excess {
+
+bool IsReservedWord(const std::string& word) {
+  static const std::unordered_set<std::string> kKeywords = {
+      // DDL
+      "define", "type", "enum", "inherits", "with", "renamed", "as",
+      "create", "drop", "index", "using",
+      // ownership
+      "own", "ref",
+      // range statements
+      "range", "of", "is", "isnot",
+      // query
+      "retrieve", "unique", "from", "in", "where", "over", "sort", "by",
+      // updates
+      "append", "to", "delete", "replace", "assign",
+      // functions / procedures
+      "function", "procedure", "returns", "execute", "early",
+      // logical
+      "and", "or", "not",
+      // literals
+      "true", "false", "null",
+      // quantifiers
+      "all", "some",
+      // authorization
+      "grant", "revoke", "on", "user", "group",
+  };
+  return kKeywords.count(word) > 0;
+}
+
+std::string Token::Describe() const {
+  switch (kind) {
+    case TokenKind::kEnd:
+      return "end of input";
+    case TokenKind::kIdentifier:
+      return "identifier '" + text + "'";
+    case TokenKind::kKeyword:
+      return "keyword '" + text + "'";
+    case TokenKind::kInt:
+    case TokenKind::kFloat:
+      return "number '" + text + "'";
+    case TokenKind::kString:
+      return "string literal";
+    case TokenKind::kPunct:
+      return "'" + text + "'";
+  }
+  return "token";
+}
+
+}  // namespace exodus::excess

@@ -1,0 +1,47 @@
+#ifndef EXODUS_EXCESS_TOKEN_H_
+#define EXODUS_EXCESS_TOKEN_H_
+
+#include <string>
+
+namespace exodus::excess {
+
+/// Lexical token categories of EXCESS.
+enum class TokenKind {
+  kEnd,
+  kIdentifier,  // case-sensitive identifier (may be a contextual keyword)
+  kKeyword,     // reserved word (stored lower-cased in `text`)
+  kInt,         // integer literal
+  kFloat,       // floating-point literal
+  kString,      // string literal (text holds the decoded contents)
+  kPunct,       // punctuation / operator symbol, e.g. "(", "<=", "+"
+};
+
+/// One lexical token with its source position (1-based line/column).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double float_value = 0;
+  int line = 1;
+  int column = 1;
+
+  bool IsKeyword(const char* kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+  bool IsPunct(const char* p) const {
+    return kind == TokenKind::kPunct && text == p;
+  }
+  bool IsIdent(const char* id) const {
+    return kind == TokenKind::kIdentifier && text == id;
+  }
+
+  /// Describes the token for error messages, e.g. "keyword 'where'".
+  std::string Describe() const;
+};
+
+/// True if `word` (lower-cased) is a reserved EXCESS keyword.
+bool IsReservedWord(const std::string& word);
+
+}  // namespace exodus::excess
+
+#endif  // EXODUS_EXCESS_TOKEN_H_

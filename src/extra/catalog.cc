@@ -1,0 +1,66 @@
+#include "extra/catalog.h"
+
+namespace exodus::extra {
+
+using util::Result;
+using util::Status;
+
+Status Catalog::RegisterType(const std::string& name, const Type* type) {
+  if (named_types_.count(name)) {
+    return Status::AlreadyExists("type '" + name + "' already defined");
+  }
+  if (named_.count(name)) {
+    return Status::AlreadyExists("'" + name +
+                                 "' already names a database object");
+  }
+  named_types_[name] = type;
+  type_order_.emplace_back(name, type);
+  if (type->is_tuple()) lattice_.AddType(type);
+  return Status::OK();
+}
+
+Result<const Type*> Catalog::FindType(const std::string& name) const {
+  auto it = named_types_.find(name);
+  if (it == named_types_.end()) {
+    return Status::NotFound("no type named '" + name + "'");
+  }
+  return it->second;
+}
+
+Status Catalog::CreateNamed(const std::string& name, const Type* type,
+                            object::Value initial,
+                            const std::string& creator) {
+  if (named_.count(name)) {
+    return Status::AlreadyExists("database object '" + name +
+                                 "' already exists");
+  }
+  if (named_types_.count(name)) {
+    return Status::AlreadyExists("'" + name + "' already names a type");
+  }
+  NamedObject obj;
+  obj.name = name;
+  obj.type = type;
+  obj.value = std::move(initial);
+  obj.creator = creator;
+  named_.emplace(name, std::move(obj));
+  return Status::OK();
+}
+
+NamedObject* Catalog::FindNamed(const std::string& name) {
+  auto it = named_.find(name);
+  return it == named_.end() ? nullptr : &it->second;
+}
+
+const NamedObject* Catalog::FindNamed(const std::string& name) const {
+  auto it = named_.find(name);
+  return it == named_.end() ? nullptr : &it->second;
+}
+
+Status Catalog::DropNamed(const std::string& name) {
+  if (named_.erase(name) == 0) {
+    return Status::NotFound("no database object named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace exodus::extra

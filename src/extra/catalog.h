@@ -1,0 +1,93 @@
+#ifndef EXODUS_EXTRA_CATALOG_H_
+#define EXODUS_EXTRA_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "extra/lattice.h"
+#include "extra/type.h"
+#include "object/value.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace exodus::extra {
+
+/// A named persistent object created with `create <Name> : <type>`
+/// (paper §2.1: EXTRA separates type from instance — databases hold
+/// user-created named sets, arrays, single objects and references, e.g.
+/// `Employees`, `TopTen`, `StarEmployee`, `Today`).
+struct NamedObject {
+  std::string name;
+  /// Declared type, after top-level identity adjustment: collections of
+  /// tuple type become collections of `own ref` to that type (elements
+  /// of a top-level extent are objects with identity).
+  const Type* type = nullptr;
+  /// Current value. Sets hold kRef elements for extents of tuple types.
+  object::Value value;
+  /// User who created the object (owner for authorization purposes).
+  std::string creator;
+  /// Key attributes (uniqueness over members; empty = no key). Only
+  /// meaningful for sets of schema-type objects.
+  std::vector<std::string> key_attrs;
+};
+
+/// The schema catalog of one database: named types (tuple, enum, ADT),
+/// the inheritance lattice, and named persistent objects.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  TypeStore* type_store() { return &types_; }
+  const TypeLattice& lattice() const { return lattice_; }
+
+  /// Registers a named type (the name must be unused). Tuple types are
+  /// also entered into the lattice.
+  util::Status RegisterType(const std::string& name, const Type* type);
+
+  /// The type registered under `name`, or NotFound.
+  util::Result<const Type*> FindType(const std::string& name) const;
+
+  /// True if a type named `name` exists.
+  bool HasType(const std::string& name) const {
+    return named_types_.count(name) > 0;
+  }
+
+  /// Creates a named object of the given declared type with `initial`
+  /// value. Fails if the name is in use (by a type or named object).
+  util::Status CreateNamed(const std::string& name, const Type* type,
+                           object::Value initial, const std::string& creator);
+
+  /// Looks up a named object (mutable: queries update extents in place).
+  NamedObject* FindNamed(const std::string& name);
+  const NamedObject* FindNamed(const std::string& name) const;
+
+  /// Removes a named object. The caller is responsible for destroying
+  /// owned heap objects first.
+  util::Status DropNamed(const std::string& name);
+
+  /// All named objects, in name order (stable iteration for persistence
+  /// and display).
+  const std::map<std::string, NamedObject>& named_objects() const {
+    return named_;
+  }
+
+  /// All named types in definition order (for persistence).
+  const std::vector<std::pair<std::string, const Type*>>& named_types_in_order()
+      const {
+    return type_order_;
+  }
+
+ private:
+  TypeStore types_;
+  TypeLattice lattice_;
+  std::map<std::string, const Type*> named_types_;
+  std::vector<std::pair<std::string, const Type*>> type_order_;
+  std::map<std::string, NamedObject> named_;
+};
+
+}  // namespace exodus::extra
+
+#endif  // EXODUS_EXTRA_CATALOG_H_

@@ -1,0 +1,68 @@
+#include "extra/lattice.h"
+
+#include <deque>
+#include <unordered_set>
+
+namespace exodus::extra {
+
+const std::vector<const Type*> TypeLattice::kEmpty;
+
+void TypeLattice::AddType(const Type* type) {
+  order_.push_back(type);
+  subtypes_.try_emplace(type);
+  for (const Type* super : type->supertypes()) {
+    subtypes_[super].push_back(type);
+  }
+}
+
+const std::vector<const Type*>& TypeLattice::DirectSubtypes(
+    const Type* type) const {
+  auto it = subtypes_.find(type);
+  return it == subtypes_.end() ? kEmpty : it->second;
+}
+
+std::vector<const Type*> TypeLattice::TransitiveSubtypes(
+    const Type* type) const {
+  std::vector<const Type*> out;
+  std::unordered_set<const Type*> seen;
+  std::deque<const Type*> queue{type};
+  while (!queue.empty()) {
+    const Type* t = queue.front();
+    queue.pop_front();
+    if (!seen.insert(t).second) continue;
+    out.push_back(t);
+    for (const Type* sub : DirectSubtypes(t)) queue.push_back(sub);
+  }
+  return out;
+}
+
+std::vector<const Type*> TypeLattice::Linearize(const Type* type) const {
+  std::vector<const Type*> out;
+  std::unordered_set<const Type*> seen;
+  std::deque<const Type*> queue{type};
+  while (!queue.empty()) {
+    const Type* t = queue.front();
+    queue.pop_front();
+    if (!seen.insert(t).second) continue;
+    out.push_back(t);
+    for (const Type* super : t->supertypes()) queue.push_back(super);
+  }
+  return out;
+}
+
+int TypeLattice::Distance(const Type* sub, const Type* super) const {
+  if (sub == super) return 0;
+  std::unordered_set<const Type*> seen{sub};
+  std::deque<std::pair<const Type*, int>> queue{{sub, 0}};
+  while (!queue.empty()) {
+    auto [t, d] = queue.front();
+    queue.pop_front();
+    for (const Type* s : t->supertypes()) {
+      if (s == super) return d + 1;
+      if (seen.insert(s).second) queue.emplace_back(s, d + 1);
+    }
+  }
+  return -1;
+}
+
+}  // namespace exodus::extra

@@ -1,0 +1,54 @@
+#ifndef EXODUS_EXTRA_LATTICE_H_
+#define EXODUS_EXTRA_LATTICE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "extra/type.h"
+
+namespace exodus::extra {
+
+/// Maintains the EXTRA type lattice: the multiple-inheritance DAG over
+/// schema (tuple) types. Supertype edges live in the Type nodes
+/// themselves; this class maintains the reverse (subtype) edges and
+/// answers lattice queries used by the binder and by function/procedure
+/// inheritance with late binding (paper §4.2).
+class TypeLattice {
+ public:
+  TypeLattice() = default;
+  TypeLattice(const TypeLattice&) = delete;
+  TypeLattice& operator=(const TypeLattice&) = delete;
+
+  /// Records a newly defined tuple type (its supertypes must already be
+  /// registered).
+  void AddType(const Type* type);
+
+  /// Direct subtypes of `type` (empty if none / unknown).
+  const std::vector<const Type*>& DirectSubtypes(const Type* type) const;
+
+  /// All transitive subtypes of `type`, including `type` itself.
+  std::vector<const Type*> TransitiveSubtypes(const Type* type) const;
+
+  /// All transitive supertypes of `type`, including `type` itself, in
+  /// method-resolution order: `type` first, then supertypes breadth-first
+  /// in declaration order (duplicates from diamonds removed, first
+  /// occurrence kept). Used to pick the most specific function override.
+  std::vector<const Type*> Linearize(const Type* type) const;
+
+  /// Distance (shortest supertype-edge path) from `sub` up to `super`,
+  /// or -1 if `sub` is not a subtype of `super`.
+  int Distance(const Type* sub, const Type* super) const;
+
+  /// All registered tuple types, in definition order.
+  const std::vector<const Type*>& all_types() const { return order_; }
+
+ private:
+  std::unordered_map<const Type*, std::vector<const Type*>> subtypes_;
+  std::vector<const Type*> order_;
+  static const std::vector<const Type*> kEmpty;
+};
+
+}  // namespace exodus::extra
+
+#endif  // EXODUS_EXTRA_LATTICE_H_

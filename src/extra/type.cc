@@ -1,0 +1,301 @@
+#include "extra/type.h"
+
+#include <algorithm>
+
+namespace exodus::extra {
+
+using util::Result;
+using util::Status;
+
+Result<int> Type::EnumOrdinal(const std::string& label) const {
+  for (size_t i = 0; i < enum_labels_.size(); ++i) {
+    if (enum_labels_[i] == label) return static_cast<int>(i);
+  }
+  return Status::NotFound("enum " + name_ + " has no label '" + label + "'");
+}
+
+int Type::AttributeIndex(const std::string& name) const {
+  auto it = attr_index_.find(name);
+  return it == attr_index_.end() ? -1 : it->second;
+}
+
+Result<const Attribute*> Type::FindAttribute(const std::string& name) const {
+  int idx = AttributeIndex(name);
+  if (idx < 0) {
+    return Status::NotFound("type " + name_ + " has no attribute '" + name +
+                            "'");
+  }
+  return &resolved_attrs_[idx];
+}
+
+bool Type::IsSubtypeOf(const Type* other) const {
+  if (this == other) return true;
+  for (const Type* super : supertypes_) {
+    if (super->IsSubtypeOf(other)) return true;
+  }
+  return false;
+}
+
+std::string Type::ToString() const {
+  switch (kind_) {
+    case TypeKind::kInt2:
+      return "int2";
+    case TypeKind::kInt4:
+      return "int4";
+    case TypeKind::kInt8:
+      return "int8";
+    case TypeKind::kFloat4:
+      return "float4";
+    case TypeKind::kFloat8:
+      return "float8";
+    case TypeKind::kBool:
+      return "bool";
+    case TypeKind::kChar:
+      return "char[" + std::to_string(char_length_) + "]";
+    case TypeKind::kText:
+      return "text";
+    case TypeKind::kEnum:
+      return name_;
+    case TypeKind::kAdt:
+      return name_;
+    case TypeKind::kTuple:
+      return name_.empty() ? "<anonymous tuple>" : name_;
+    case TypeKind::kSet:
+      return "{" + elem_->ToString() + "}";
+    case TypeKind::kArray:
+      if (array_size_ > 0) {
+        return "[" + std::to_string(array_size_) + "] " + elem_->ToString();
+      }
+      return "[*] " + elem_->ToString();
+    case TypeKind::kRef:
+      return std::string(owned_ ? "own ref " : "ref ") + target_->ToString();
+  }
+  return "<unknown>";
+}
+
+TypeStore::TypeStore() {
+  auto make = [this](TypeKind k) {
+    return Intern(std::unique_ptr<Type>(new Type(k)));
+  };
+  int2_ = make(TypeKind::kInt2);
+  int4_ = make(TypeKind::kInt4);
+  int8_ = make(TypeKind::kInt8);
+  float4_ = make(TypeKind::kFloat4);
+  float8_ = make(TypeKind::kFloat8);
+  bool_ = make(TypeKind::kBool);
+  text_ = make(TypeKind::kText);
+}
+
+const Type* TypeStore::Intern(std::unique_ptr<Type> t) {
+  pool_.push_back(std::move(t));
+  return pool_.back().get();
+}
+
+const Type* TypeStore::Char(size_t n) {
+  auto it = char_types_.find(n);
+  if (it != char_types_.end()) return it->second;
+  auto t = std::unique_ptr<Type>(new Type(TypeKind::kChar));
+  t->char_length_ = n;
+  const Type* interned = Intern(std::move(t));
+  char_types_[n] = interned;
+  return interned;
+}
+
+const Type* TypeStore::MakeEnum(std::string name,
+                                std::vector<std::string> labels) {
+  auto t = std::unique_ptr<Type>(new Type(TypeKind::kEnum));
+  t->name_ = std::move(name);
+  t->enum_labels_ = std::move(labels);
+  return Intern(std::move(t));
+}
+
+const Type* TypeStore::MakeAdt(std::string name, int adt_id) {
+  auto t = std::unique_ptr<Type>(new Type(TypeKind::kAdt));
+  t->name_ = std::move(name);
+  t->adt_id_ = adt_id;
+  return Intern(std::move(t));
+}
+
+const Type* TypeStore::MakeSet(const Type* elem) {
+  auto t = std::unique_ptr<Type>(new Type(TypeKind::kSet));
+  t->elem_ = elem;
+  return Intern(std::move(t));
+}
+
+const Type* TypeStore::MakeArray(const Type* elem, size_t size) {
+  auto t = std::unique_ptr<Type>(new Type(TypeKind::kArray));
+  t->elem_ = elem;
+  t->array_size_ = size;
+  return Intern(std::move(t));
+}
+
+const Type* TypeStore::MakeRef(const Type* target, bool owned) {
+  auto t = std::unique_ptr<Type>(new Type(TypeKind::kRef));
+  t->target_ = target;
+  t->owned_ = owned;
+  return Intern(std::move(t));
+}
+
+Result<const Type*> TypeStore::MakeTuple(
+    std::string name, std::vector<const Type*> supertypes,
+    std::vector<std::vector<Rename>> renames,
+    std::vector<Attribute> own_attrs) {
+  EXODUS_ASSIGN_OR_RETURN(
+      Type * t, BeginTuple(std::move(name), std::move(supertypes),
+                           std::move(renames)));
+  EXODUS_RETURN_IF_ERROR(FinishTuple(t, std::move(own_attrs)));
+  return const_cast<const Type*>(t);
+}
+
+Result<Type*> TypeStore::BeginTuple(std::string name,
+                                    std::vector<const Type*> supertypes,
+                                    std::vector<std::vector<Rename>> renames) {
+  if (renames.size() != supertypes.size()) {
+    return Status::Internal("renames list does not match supertypes list");
+  }
+  auto owned = std::unique_ptr<Type>(new Type(TypeKind::kTuple));
+  Type* t = owned.get();
+  t->name_ = std::move(name);
+  t->supertypes_ = std::move(supertypes);
+  t->renames_ = std::move(renames);
+  Intern(std::move(owned));
+  return t;
+}
+
+namespace {
+
+/// True if `t` transitively embeds `target` as an own (by-value) tuple.
+bool EmbedsOwn(const Type* t, const Type* target) {
+  if (t == nullptr) return false;
+  switch (t->kind()) {
+    case TypeKind::kTuple:
+      if (t == target) return true;
+      for (const Attribute& a : t->attributes()) {
+        if (EmbedsOwn(a.type, target)) return true;
+      }
+      return false;
+    case TypeKind::kSet:
+    case TypeKind::kArray:
+      return EmbedsOwn(t->element_type(), target);
+    case TypeKind::kRef:
+      return false;  // references break embedding cycles
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Status TypeStore::FinishTuple(Type* t, std::vector<Attribute> own_attrs) {
+  const std::vector<const Type*>& supertypes = t->supertypes_;
+  const std::vector<std::vector<Rename>>& renames = t->renames_;
+  t->own_attrs_ = std::move(own_attrs);
+
+  // Resolve the inherited attribute set: walk direct supertypes in
+  // declaration order, apply renames, then append local attributes.
+  // A name clash between attributes inherited from two supertypes is a
+  // conflict unless both trace back to the *same* origin attribute of a
+  // shared ancestor (diamond inheritance). The paper (Fig. 3) requires
+  // explicit renaming; no automatic resolution is performed.
+  std::vector<Attribute> resolved;
+  // Maps resolved name -> "origin key" (ancestor type name + original
+  // attribute name), used to recognize benign diamonds.
+  std::unordered_map<std::string, std::string> origin_of;
+
+  for (size_t si = 0; si < supertypes.size(); ++si) {
+    const Type* super = supertypes[si];
+    if (super == nullptr || !super->is_tuple()) {
+      return Status::TypeError("supertype of '" + t->name_ +
+                               "' is not a tuple type");
+    }
+    // Validate renames refer to existing attributes of this supertype.
+    for (const Rename& r : renames[si]) {
+      if (super->AttributeIndex(r.old_name) < 0) {
+        return Status::TypeError("rename of unknown attribute '" +
+                                 r.old_name + "' inherited from '" +
+                                 super->name() + "'");
+      }
+    }
+    for (const Attribute& a : super->attributes()) {
+      Attribute inherited = a;
+      inherited.inherited_from = super->name();
+      // The origin is the deepest ancestor that declared the attribute.
+      std::string origin =
+          (a.inherited_from.empty() ? super->name() : a.inherited_from) + "." +
+          (a.renamed_from.empty() ? a.name : a.renamed_from);
+      for (const Rename& r : renames[si]) {
+        if (r.old_name == a.name) {
+          inherited.renamed_from = a.name;
+          inherited.name = r.new_name;
+          break;
+        }
+      }
+      auto it = origin_of.find(inherited.name);
+      if (it != origin_of.end()) {
+        if (it->second == origin) continue;  // benign diamond; keep one copy
+        return Status::TypeError(
+            "inheritance conflict in type '" + t->name_ + "': attribute '" +
+            inherited.name + "' is inherited from multiple supertypes; "
+            "resolve it with an explicit rename (with (... renamed ...))");
+      }
+      origin_of[inherited.name] = origin;
+      resolved.push_back(std::move(inherited));
+    }
+  }
+  for (const Attribute& a : t->own_attrs_) {
+    if (origin_of.count(a.name)) {
+      return Status::TypeError("attribute '" + a.name + "' of type '" +
+                               t->name_ +
+                               "' clashes with an inherited attribute");
+    }
+    // Local duplicates.
+    for (const Attribute& b : t->own_attrs_) {
+      if (&a != &b && a.name == b.name) {
+        return Status::TypeError("duplicate attribute '" + a.name +
+                                 "' in type '" + t->name_ + "'");
+      }
+    }
+    origin_of[a.name] = t->name_ + "." + a.name;
+    resolved.push_back(a);
+  }
+  t->resolved_attrs_ = std::move(resolved);
+  for (size_t i = 0; i < t->resolved_attrs_.size(); ++i) {
+    t->attr_index_[t->resolved_attrs_[i].name] = static_cast<int>(i);
+  }
+  // Reject infinite (own-embedding) recursion.
+  for (const Attribute& a : t->resolved_attrs_) {
+    if (EmbedsOwn(a.type, t)) {
+      return Status::TypeError(
+          "type '" + t->name_ + "' embeds itself by value through attribute '" +
+          a.name + "'; use 'ref' or 'own ref' to break the cycle");
+    }
+  }
+  return Status::OK();
+}
+
+bool AssignableTo(const Type* from, const Type* to) {
+  if (from == to) return true;
+  if (from == nullptr || to == nullptr) return false;
+  if (from->is_numeric() && to->is_numeric()) return true;
+  if (from->is_string() && to->is_string()) return true;
+  if (from->is_tuple() && to->is_tuple()) return from->IsSubtypeOf(to);
+  if (from->is_ref() && to->is_ref()) {
+    return from->target()->IsSubtypeOf(to->target());
+  }
+  if (from->is_set() && to->is_set()) {
+    return AssignableTo(from->element_type(), to->element_type());
+  }
+  if (from->is_array() && to->is_array()) {
+    return AssignableTo(from->element_type(), to->element_type()) &&
+           (to->array_size() == 0 || to->array_size() == from->array_size());
+  }
+  if (from->kind() == TypeKind::kEnum && to->kind() == TypeKind::kEnum) {
+    return from == to;
+  }
+  if (from->kind() == TypeKind::kAdt && to->kind() == TypeKind::kAdt) {
+    return from->adt_id() == to->adt_id();
+  }
+  return false;
+}
+
+}  // namespace exodus::extra

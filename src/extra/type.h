@@ -1,0 +1,248 @@
+#ifndef EXODUS_EXTRA_TYPE_H_
+#define EXODUS_EXTRA_TYPE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace exodus::extra {
+
+/// Kinds of EXTRA types.
+///
+/// Base types (paper §2.1): integers of various sizes, single/double
+/// precision floats, booleans, character strings, enumerations, plus
+/// ADT-defined base types. Constructors: tuple, set, fixed-length array,
+/// variable-length array, and references.
+enum class TypeKind {
+  kInt2,
+  kInt4,
+  kInt8,
+  kFloat4,
+  kFloat8,
+  kBool,
+  kChar,     // fixed-length character string char[n]
+  kText,     // variable-length character string
+  kEnum,     // enumeration type (named, catalog-registered)
+  kAdt,      // abstract data type (registered in adt::Registry)
+  kTuple,    // schema (tuple) type, possibly with supertypes
+  kSet,      // {T}
+  kArray,    // [n] T (fixed, size > 0) or [*] T (variable, size == 0)
+  kRef,      // reference to a tuple type: `ref T` or `own ref T`
+};
+
+/// The three attribute-value semantics of EXTRA (paper §2.2):
+///  - kOwn     — a value embedded in its parent; no object identity.
+///  - kRef     — a reference to an independent object (GEM-style).
+///  - kOwnRef  — a reference to an *owned* component object: it has
+///               identity and may be referenced from elsewhere, but is
+///               owned by exactly one parent and is cascade-deleted
+///               with it (ORION composite objects / E-R weak entities).
+///
+/// In the type graph, `own T` is represented by T itself; `ref T` and
+/// `own ref T` are represented by a kRef node whose `owned()` flag
+/// distinguishes the two.
+enum class Ownership { kOwn, kRef, kOwnRef };
+
+class Type;
+
+/// An attribute of a tuple type.
+struct Attribute {
+  std::string name;
+  const Type* type = nullptr;
+  /// Name of the supertype this attribute was inherited from; empty for
+  /// locally declared attributes.
+  std::string inherited_from;
+  /// Original name in the supertype if the attribute was renamed during
+  /// inheritance (paper Figure 3); empty otherwise.
+  std::string renamed_from;
+};
+
+/// A rename directive in an `inherits ... with (a renamed b)` clause.
+struct Rename {
+  std::string old_name;
+  std::string new_name;
+};
+
+/// An immutable EXTRA type node. Instances are created and owned by a
+/// `TypeStore`; identity (pointer) comparison is valid within one store.
+class Type {
+ public:
+  TypeKind kind() const { return kind_; }
+
+  bool is_numeric() const {
+    return kind_ == TypeKind::kInt2 || kind_ == TypeKind::kInt4 ||
+           kind_ == TypeKind::kInt8 || kind_ == TypeKind::kFloat4 ||
+           kind_ == TypeKind::kFloat8;
+  }
+  bool is_integer() const {
+    return kind_ == TypeKind::kInt2 || kind_ == TypeKind::kInt4 ||
+           kind_ == TypeKind::kInt8;
+  }
+  bool is_float() const {
+    return kind_ == TypeKind::kFloat4 || kind_ == TypeKind::kFloat8;
+  }
+  bool is_string() const {
+    return kind_ == TypeKind::kChar || kind_ == TypeKind::kText;
+  }
+  bool is_tuple() const { return kind_ == TypeKind::kTuple; }
+  bool is_set() const { return kind_ == TypeKind::kSet; }
+  bool is_array() const { return kind_ == TypeKind::kArray; }
+  bool is_ref() const { return kind_ == TypeKind::kRef; }
+  bool is_collection() const { return is_set() || is_array(); }
+
+  /// Name of a named type (tuple, enum) or ADT; empty for structural and
+  /// plain base types.
+  const std::string& name() const { return name_; }
+
+  // --- kChar ---
+  /// Declared length of a char[n] string; 0 for kText.
+  size_t char_length() const { return char_length_; }
+
+  // --- kEnum ---
+  const std::vector<std::string>& enum_labels() const { return enum_labels_; }
+  /// Returns the ordinal of `label` or an error.
+  util::Result<int> EnumOrdinal(const std::string& label) const;
+
+  // --- kAdt ---
+  int adt_id() const { return adt_id_; }
+
+  // --- kTuple ---
+  /// Attributes declared directly on this type.
+  const std::vector<Attribute>& own_attributes() const { return own_attrs_; }
+  /// All attributes: inherited (in supertype declaration order, renames
+  /// applied) followed by local ones.
+  const std::vector<Attribute>& attributes() const { return resolved_attrs_; }
+  /// Direct supertypes.
+  const std::vector<const Type*>& supertypes() const { return supertypes_; }
+  /// Renames applied per direct supertype (same indexing as supertypes()).
+  const std::vector<std::vector<Rename>>& renames() const { return renames_; }
+  /// Index of attribute `name` in attributes(), or -1.
+  int AttributeIndex(const std::string& name) const;
+  /// The attribute named `name`, or NotFound.
+  util::Result<const Attribute*> FindAttribute(const std::string& name) const;
+  /// True if this tuple type equals `other` or transitively inherits it.
+  bool IsSubtypeOf(const Type* other) const;
+
+  // --- kSet / kArray ---
+  const Type* element_type() const { return elem_; }
+  /// Declared size of a fixed array; 0 for variable-length arrays.
+  size_t array_size() const { return array_size_; }
+  bool is_fixed_array() const {
+    return kind_ == TypeKind::kArray && array_size_ > 0;
+  }
+
+  // --- kRef ---
+  /// The referenced tuple type.
+  const Type* target() const { return target_; }
+  /// True for `own ref` (owned component), false for plain `ref`.
+  bool owned() const { return owned_; }
+
+  /// The ownership semantics of a component of this type: kOwn unless this
+  /// is a kRef node.
+  Ownership ownership() const {
+    if (kind_ != TypeKind::kRef) return Ownership::kOwn;
+    return owned_ ? Ownership::kOwnRef : Ownership::kRef;
+  }
+
+  /// Human-readable type description, e.g. "{own ref Person}".
+  std::string ToString() const;
+
+  Type(const Type&) = delete;
+  Type& operator=(const Type&) = delete;
+
+ private:
+  friend class TypeStore;
+  explicit Type(TypeKind kind) : kind_(kind) {}
+
+  TypeKind kind_;
+  std::string name_;
+  size_t char_length_ = 0;
+  std::vector<std::string> enum_labels_;
+  int adt_id_ = -1;
+  std::vector<Attribute> own_attrs_;
+  std::vector<Attribute> resolved_attrs_;
+  std::unordered_map<std::string, int> attr_index_;
+  std::vector<const Type*> supertypes_;
+  std::vector<std::vector<Rename>> renames_;
+  const Type* elem_ = nullptr;
+  size_t array_size_ = 0;
+  const Type* target_ = nullptr;
+  bool owned_ = false;
+};
+
+/// Owns every `Type` node of one database. Base-type singletons are
+/// interned; structural types are deduplicated where cheap to do so.
+class TypeStore {
+ public:
+  TypeStore();
+  TypeStore(const TypeStore&) = delete;
+  TypeStore& operator=(const TypeStore&) = delete;
+
+  const Type* int2() const { return int2_; }
+  const Type* int4() const { return int4_; }
+  const Type* int8() const { return int8_; }
+  const Type* float4() const { return float4_; }
+  const Type* float8() const { return float8_; }
+  const Type* boolean() const { return bool_; }
+  const Type* text() const { return text_; }
+  /// char[n]; n must be > 0.
+  const Type* Char(size_t n);
+
+  /// A named enumeration with the given labels.
+  const Type* MakeEnum(std::string name, std::vector<std::string> labels);
+  /// A base type implemented by a registered ADT.
+  const Type* MakeAdt(std::string name, int adt_id);
+  /// {elem}
+  const Type* MakeSet(const Type* elem);
+  /// [size] elem if size > 0, [*] elem if size == 0.
+  const Type* MakeArray(const Type* elem, size_t size);
+  /// `ref target` or `own ref target`; target must be a tuple type.
+  const Type* MakeRef(const Type* target, bool owned);
+
+  /// Creates a tuple type and resolves its inherited attribute set.
+  /// Fails with TypeError on inheritance conflicts (same attribute name
+  /// arriving from two distinct origins without a rename, paper Fig. 3),
+  /// on renames of non-existent attributes, and on duplicate local names.
+  util::Result<const Type*> MakeTuple(
+      std::string name, std::vector<const Type*> supertypes,
+      std::vector<std::vector<Rename>> renames,
+      std::vector<Attribute> own_attrs);
+
+  /// Two-phase tuple creation, allowing self-referential attribute types
+  /// (`define type Person (... kids: {own ref Person})`): BeginTuple
+  /// creates and returns the (attribute-less) type so attribute type
+  /// expressions can reference it; FinishTuple installs the attributes
+  /// and resolves inheritance. FinishTuple also rejects infinite types:
+  /// a tuple may not (transitively) embed itself as an `own` value.
+  util::Result<Type*> BeginTuple(std::string name,
+                                 std::vector<const Type*> supertypes,
+                                 std::vector<std::vector<Rename>> renames);
+  util::Status FinishTuple(Type* tuple, std::vector<Attribute> own_attrs);
+
+ private:
+  const Type* Intern(std::unique_ptr<Type> t);
+
+  std::vector<std::unique_ptr<Type>> pool_;
+  const Type* int2_;
+  const Type* int4_;
+  const Type* int8_;
+  const Type* float4_;
+  const Type* float8_;
+  const Type* bool_;
+  const Type* text_;
+  std::unordered_map<size_t, const Type*> char_types_;
+};
+
+/// True if a value of type `from` may be stored where `to` is expected:
+/// exact match, numeric widening (any numeric → any numeric), char/text
+/// interchange, tuple subtyping, and covariant ref targets.
+bool AssignableTo(const Type* from, const Type* to);
+
+}  // namespace exodus::extra
+
+#endif  // EXODUS_EXTRA_TYPE_H_

@@ -1,0 +1,337 @@
+#include "index/btree.h"
+
+#include <cassert>
+
+namespace exodus::index {
+
+using object::Oid;
+using object::Value;
+using object::ValueCompare;
+using util::Result;
+using util::Status;
+
+struct BTree::Node {
+  bool is_leaf;
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+  virtual ~Node() = default;
+};
+
+struct BTree::Leaf : BTree::Node {
+  Leaf() : Node(true) {}
+  std::vector<Value> keys;
+  std::vector<std::vector<Oid>> postings;  // parallel to keys
+  Leaf* next = nullptr;
+};
+
+struct BTree::Internal : BTree::Node {
+  Internal() : Node(false) {}
+  // children.size() == keys.size() + 1; subtree i holds keys < keys[i],
+  // subtree i+1 holds keys >= keys[i].
+  std::vector<Value> keys;
+  std::vector<std::unique_ptr<Node>> children;
+};
+
+namespace {
+
+/// Comparison for keys already validated as mutually comparable.
+int CmpOrDie(const Value& a, const Value& b) {
+  auto r = ValueCompare(a, b);
+  assert(r.ok());
+  return r.ok() ? *r : 0;
+}
+
+/// Index of the child to descend into for `key`.
+size_t ChildIndex(const std::vector<Value>& keys, const Value& key) {
+  size_t lo = 0;
+  size_t hi = keys.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (CmpOrDie(key, keys[mid]) < 0) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+/// First position in `keys` with keys[pos] >= key.
+size_t LowerBound(const std::vector<Value>& keys, const Value& key) {
+  size_t lo = 0;
+  size_t hi = keys.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (CmpOrDie(keys[mid], key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+BTree::BTree(size_t order) : order_(order < 4 ? 4 : order) {
+  root_ = std::make_unique<Leaf>();
+}
+
+BTree::~BTree() = default;
+
+size_t BTree::height() const {
+  size_t h = 1;
+  const Node* n = root_.get();
+  while (!n->is_leaf) {
+    n = static_cast<const Internal*>(n)->children[0].get();
+    ++h;
+  }
+  return h;
+}
+
+BTree::Leaf* BTree::FindLeaf(const Value& key) const {
+  Node* n = root_.get();
+  while (!n->is_leaf) {
+    auto* in = static_cast<Internal*>(n);
+    n = in->children[ChildIndex(in->keys, key)].get();
+  }
+  return static_cast<Leaf*>(n);
+}
+
+void BTree::SplitChild(Internal* parent, size_t child_idx) {
+  Node* child = parent->children[child_idx].get();
+  size_t mid = order_ / 2;
+  if (child->is_leaf) {
+    auto* leaf = static_cast<Leaf*>(child);
+    auto right = std::make_unique<Leaf>();
+    right->keys.assign(std::make_move_iterator(leaf->keys.begin() + mid),
+                       std::make_move_iterator(leaf->keys.end()));
+    right->postings.assign(
+        std::make_move_iterator(leaf->postings.begin() + mid),
+        std::make_move_iterator(leaf->postings.end()));
+    leaf->keys.resize(mid);
+    leaf->postings.resize(mid);
+    right->next = leaf->next;
+    Leaf* right_raw = right.get();
+    Value separator = right->keys.front();
+    parent->keys.insert(parent->keys.begin() + child_idx, separator);
+    parent->children.insert(parent->children.begin() + child_idx + 1,
+                            std::move(right));
+    leaf->next = right_raw;
+  } else {
+    auto* in = static_cast<Internal*>(child);
+    auto right = std::make_unique<Internal>();
+    Value separator = in->keys[mid];
+    right->keys.assign(std::make_move_iterator(in->keys.begin() + mid + 1),
+                       std::make_move_iterator(in->keys.end()));
+    right->children.assign(
+        std::make_move_iterator(in->children.begin() + mid + 1),
+        std::make_move_iterator(in->children.end()));
+    in->keys.resize(mid);
+    in->children.resize(mid + 1);
+    parent->keys.insert(parent->keys.begin() + child_idx,
+                        std::move(separator));
+    parent->children.insert(parent->children.begin() + child_idx + 1,
+                            std::move(right));
+  }
+}
+
+Status BTree::Insert(const Value& key, Oid oid) {
+  // Validate comparability against an existing key (if any).
+  {
+    const Node* n = root_.get();
+    while (!n->is_leaf) {
+      n = static_cast<const Internal*>(n)->children[0].get();
+    }
+    const auto* leaf = static_cast<const Leaf*>(n);
+    if (!leaf->keys.empty()) {
+      EXODUS_RETURN_IF_ERROR(ValueCompare(key, leaf->keys[0]).status());
+    } else if (size_ == 0) {
+      // Empty tree: validate the key is self-comparable (ordered kind).
+      EXODUS_RETURN_IF_ERROR(ValueCompare(key, key).status());
+    }
+  }
+
+  // Preemptive split of a full root.
+  bool root_full = root_->is_leaf
+                       ? static_cast<Leaf*>(root_.get())->keys.size() >= order_
+                       : static_cast<Internal*>(root_.get())->keys.size() >=
+                             order_;
+  if (root_full) {
+    auto new_root = std::make_unique<Internal>();
+    new_root->children.push_back(std::move(root_));
+    SplitChild(new_root.get(), 0);
+    root_ = std::move(new_root);
+  }
+
+  // Descend, splitting full children preemptively.
+  Node* n = root_.get();
+  while (!n->is_leaf) {
+    auto* in = static_cast<Internal*>(n);
+    size_t idx = ChildIndex(in->keys, key);
+    Node* child = in->children[idx].get();
+    size_t child_keys =
+        child->is_leaf ? static_cast<Leaf*>(child)->keys.size()
+                       : static_cast<Internal*>(child)->keys.size();
+    if (child_keys >= order_) {
+      SplitChild(in, idx);
+      idx = ChildIndex(in->keys, key);
+    }
+    n = in->children[idx].get();
+  }
+
+  auto* leaf = static_cast<Leaf*>(n);
+  size_t pos = LowerBound(leaf->keys, key);
+  if (pos < leaf->keys.size() && CmpOrDie(leaf->keys[pos], key) == 0) {
+    leaf->postings[pos].push_back(oid);
+  } else {
+    leaf->keys.insert(leaf->keys.begin() + pos, key);
+    leaf->postings.insert(leaf->postings.begin() + pos, {oid});
+  }
+  ++size_;
+  return Status::OK();
+}
+
+Result<bool> BTree::Erase(const Value& key, Oid oid) {
+  if (size_ == 0) return false;
+  Leaf* leaf = FindLeaf(key);
+  EXODUS_RETURN_IF_ERROR(
+      leaf->keys.empty() ? Status::OK()
+                         : ValueCompare(key, leaf->keys[0]).status());
+  size_t pos = LowerBound(leaf->keys, key);
+  if (pos >= leaf->keys.size() || CmpOrDie(leaf->keys[pos], key) != 0) {
+    return false;
+  }
+  auto& posting = leaf->postings[pos];
+  for (size_t i = 0; i < posting.size(); ++i) {
+    if (posting[i] == oid) {
+      posting.erase(posting.begin() + static_cast<ptrdiff_t>(i));
+      --size_;
+      if (posting.empty()) {
+        // Lazy deletion: remove the key but do not rebalance. Separator
+        // keys above may become stale bounds, which is harmless for
+        // correctness of search.
+        leaf->keys.erase(leaf->keys.begin() + static_cast<ptrdiff_t>(pos));
+        leaf->postings.erase(leaf->postings.begin() +
+                             static_cast<ptrdiff_t>(pos));
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<std::vector<Oid>> BTree::Lookup(const Value& key) const {
+  std::vector<Oid> out;
+  if (size_ == 0) return out;
+  Leaf* leaf = FindLeaf(key);
+  if (!leaf->keys.empty()) {
+    EXODUS_RETURN_IF_ERROR(ValueCompare(key, leaf->keys[0]).status());
+  }
+  size_t pos = LowerBound(leaf->keys, key);
+  if (pos < leaf->keys.size() && CmpOrDie(leaf->keys[pos], key) == 0) {
+    out = leaf->postings[pos];
+  }
+  return out;
+}
+
+Result<std::vector<Oid>> BTree::Range(const std::optional<Value>& lo,
+                                      bool lo_inclusive,
+                                      const std::optional<Value>& hi,
+                                      bool hi_inclusive) const {
+  std::vector<Oid> out;
+  if (size_ == 0) return out;
+
+  // Start at the leaf containing lo (or the leftmost leaf).
+  Leaf* leaf;
+  size_t pos = 0;
+  if (lo.has_value()) {
+    leaf = FindLeaf(*lo);
+    if (!leaf->keys.empty()) {
+      EXODUS_RETURN_IF_ERROR(ValueCompare(*lo, leaf->keys[0]).status());
+    }
+    pos = LowerBound(leaf->keys, *lo);
+  } else {
+    Node* n = root_.get();
+    while (!n->is_leaf) n = static_cast<Internal*>(n)->children[0].get();
+    leaf = static_cast<Leaf*>(n);
+  }
+
+  while (leaf != nullptr) {
+    for (; pos < leaf->keys.size(); ++pos) {
+      const Value& k = leaf->keys[pos];
+      if (lo.has_value()) {
+        int c = CmpOrDie(k, *lo);
+        if (c < 0 || (c == 0 && !lo_inclusive)) continue;
+      }
+      if (hi.has_value()) {
+        int c = CmpOrDie(k, *hi);
+        if (c > 0 || (c == 0 && !hi_inclusive)) return out;
+      }
+      out.insert(out.end(), leaf->postings[pos].begin(),
+                 leaf->postings[pos].end());
+    }
+    leaf = leaf->next;
+    pos = 0;
+  }
+  return out;
+}
+
+Status BTree::CheckInvariants() const {
+  // Walk the tree checking key ordering within nodes and that leaf-chain
+  // traversal yields globally sorted keys.
+  struct Walker {
+    Status CheckOrdered(const std::vector<Value>& keys) {
+      for (size_t i = 1; i < keys.size(); ++i) {
+        auto c = ValueCompare(keys[i - 1], keys[i]);
+        if (!c.ok()) return c.status();
+        if (*c >= 0) return Status::Internal("keys out of order in node");
+      }
+      return Status::OK();
+    }
+    Status Walk(const Node* n, const Leaf** leftmost) {
+      if (n->is_leaf) {
+        const auto* leaf = static_cast<const Leaf*>(n);
+        if (*leftmost == nullptr) *leftmost = leaf;
+        if (leaf->keys.size() != leaf->postings.size()) {
+          return Status::Internal("leaf keys/postings size mismatch");
+        }
+        return CheckOrdered(leaf->keys);
+      }
+      const auto* in = static_cast<const Internal*>(n);
+      if (in->children.size() != in->keys.size() + 1) {
+        return Status::Internal("internal node child count mismatch");
+      }
+      EXODUS_RETURN_IF_ERROR(CheckOrdered(in->keys));
+      for (const auto& c : in->children) {
+        EXODUS_RETURN_IF_ERROR(Walk(c.get(), leftmost));
+      }
+      return Status::OK();
+    }
+  };
+  Walker w;
+  const Leaf* leftmost = nullptr;
+  EXODUS_RETURN_IF_ERROR(w.Walk(root_.get(), &leftmost));
+
+  // Leaf chain must be globally sorted and contain exactly size_ entries.
+  size_t total = 0;
+  const Value* prev = nullptr;
+  for (const Leaf* l = leftmost; l != nullptr; l = l->next) {
+    for (size_t i = 0; i < l->keys.size(); ++i) {
+      if (prev != nullptr) {
+        auto c = ValueCompare(*prev, l->keys[i]);
+        if (!c.ok()) return c.status();
+        if (*c >= 0) return Status::Internal("leaf chain out of order");
+      }
+      prev = &l->keys[i];
+      total += l->postings[i].size();
+    }
+  }
+  if (total != size_) {
+    return Status::Internal("size bookkeeping mismatch: counted " +
+                            std::to_string(total) + ", recorded " +
+                            std::to_string(size_));
+  }
+  return Status::OK();
+}
+
+}  // namespace exodus::index

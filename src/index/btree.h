@@ -1,0 +1,71 @@
+#ifndef EXODUS_INDEX_BTREE_H_
+#define EXODUS_INDEX_BTREE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "object/value.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace exodus::index {
+
+/// An in-memory B+tree keyed by object::Value (any totally ordered value
+/// kind: numerics, strings, booleans, enums, comparable ADTs such as
+/// Date). Each key maps to the Oids of the objects carrying that key;
+/// duplicates are supported.
+///
+/// This is the ordered access method of the reproduction's EXODUS-style
+/// storage layer; the optimizer selects it through the access-method
+/// applicability table (paper §4.1.2).
+class BTree {
+ public:
+  /// `order`: maximum number of keys per node (>= 4).
+  explicit BTree(size_t order = 64);
+  ~BTree();
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Inserts (key, oid). Keys must be mutually comparable; a TypeError is
+  /// returned if `key` cannot be ordered against existing keys.
+  util::Status Insert(const object::Value& key, object::Oid oid);
+
+  /// Removes one (key, oid) entry; returns true if it was present.
+  util::Result<bool> Erase(const object::Value& key, object::Oid oid);
+
+  /// All oids whose key equals `key`.
+  util::Result<std::vector<object::Oid>> Lookup(const object::Value& key) const;
+
+  /// All oids with key in [lo, hi] (either bound may be absent;
+  /// inclusiveness per flag). Results are in key order.
+  util::Result<std::vector<object::Oid>> Range(
+      const std::optional<object::Value>& lo, bool lo_inclusive,
+      const std::optional<object::Value>& hi, bool hi_inclusive) const;
+
+  /// Total number of (key, oid) entries.
+  size_t size() const { return size_; }
+  /// Height of the tree (1 = a single leaf).
+  size_t height() const;
+
+  /// Checks structural invariants (in-node key ordering, globally sorted
+  /// leaf chain, entry-count bookkeeping); used by tests. Returns an
+  /// error describing the first violation found.
+  util::Status CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct Leaf;
+  struct Internal;
+
+  Leaf* FindLeaf(const object::Value& key) const;
+  void SplitChild(Internal* parent, size_t child_idx);
+
+  size_t order_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace exodus::index
+
+#endif  // EXODUS_INDEX_BTREE_H_

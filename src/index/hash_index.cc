@@ -1,0 +1,33 @@
+#include "index/hash_index.h"
+
+namespace exodus::index {
+
+using object::Oid;
+using object::Value;
+
+void HashIndex::Insert(const Value& key, Oid oid) {
+  buckets_[key].push_back(oid);
+  ++size_;
+}
+
+bool HashIndex::Erase(const Value& key, Oid oid) {
+  auto it = buckets_.find(key);
+  if (it == buckets_.end()) return false;
+  auto& posting = it->second;
+  for (size_t i = 0; i < posting.size(); ++i) {
+    if (posting[i] == oid) {
+      posting.erase(posting.begin() + static_cast<ptrdiff_t>(i));
+      if (posting.empty()) buckets_.erase(it);
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Oid> HashIndex::Lookup(const Value& key) const {
+  auto it = buckets_.find(key);
+  return it == buckets_.end() ? std::vector<Oid>{} : it->second;
+}
+
+}  // namespace exodus::index

@@ -1,0 +1,50 @@
+#ifndef EXODUS_INDEX_HASH_INDEX_H_
+#define EXODUS_INDEX_HASH_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "object/value.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace exodus::index {
+
+/// An in-memory hash index over object::Value keys: equality lookups
+/// only. Complements BTree as the unordered access method in the
+/// access-method applicability table.
+class HashIndex {
+ public:
+  HashIndex() = default;
+  HashIndex(const HashIndex&) = delete;
+  HashIndex& operator=(const HashIndex&) = delete;
+
+  void Insert(const object::Value& key, object::Oid oid);
+
+  /// Removes one (key, oid) entry; returns true if it was present.
+  bool Erase(const object::Value& key, object::Oid oid);
+
+  /// All oids whose key deep-equals `key`.
+  std::vector<object::Oid> Lookup(const object::Value& key) const;
+
+  size_t size() const { return size_; }
+
+ private:
+  struct Hasher {
+    size_t operator()(const object::Value& v) const {
+      return object::ValueHash(v);
+    }
+  };
+  struct Eq {
+    bool operator()(const object::Value& a, const object::Value& b) const {
+      return object::ValueEquals(a, b);
+    }
+  };
+  std::unordered_map<object::Value, std::vector<object::Oid>, Hasher, Eq>
+      buckets_;
+  size_t size_ = 0;
+};
+
+}  // namespace exodus::index
+
+#endif  // EXODUS_INDEX_HASH_INDEX_H_

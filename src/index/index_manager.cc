@@ -1,0 +1,148 @@
+#include "index/index_manager.h"
+
+namespace exodus::index {
+
+using object::Oid;
+using object::Value;
+using util::Result;
+using util::Status;
+
+Result<AccessMethodKind> ParseAccessMethodKind(const std::string& name) {
+  if (name == "btree") return AccessMethodKind::kBTree;
+  if (name == "hash") return AccessMethodKind::kHash;
+  return Status::InvalidArgument("unknown index kind '" + name +
+                                 "' (expected btree or hash)");
+}
+
+AccessMethodTable::AccessMethodTable() {
+  using K = extra::TypeKind;
+  for (K kind : {K::kInt2, K::kInt4, K::kInt8, K::kFloat4, K::kFloat8,
+                 K::kBool, K::kChar, K::kText, K::kEnum}) {
+    rows_.push_back({kind, -1, AccessMethodKind::kBTree, true});
+    rows_.push_back({kind, -1, AccessMethodKind::kHash, false});
+  }
+}
+
+void AccessMethodTable::AddAdtRow(int adt_id, AccessMethodKind method,
+                                  bool supports_range) {
+  rows_.push_back({extra::TypeKind::kAdt, adt_id, method, supports_range});
+}
+
+bool AccessMethodTable::Applicable(const extra::Type* key_type,
+                                   AccessMethodKind method,
+                                   bool need_range) const {
+  if (key_type == nullptr) return false;
+  for (const Row& row : rows_) {
+    if (row.kind != key_type->kind()) continue;
+    if (row.kind == extra::TypeKind::kAdt && row.adt_id != key_type->adt_id()) {
+      continue;
+    }
+    if (row.method != method) continue;
+    if (need_range && !row.supports_range) continue;
+    return true;
+  }
+  return false;
+}
+
+Status IndexInfo::Insert(const Value& key, Oid oid) {
+  if (btree) return btree->Insert(key, oid);
+  hash->Insert(key, oid);
+  return Status::OK();
+}
+
+Status IndexInfo::Erase(const Value& key, Oid oid) {
+  if (btree) return btree->Erase(key, oid).status();
+  hash->Erase(key, oid);
+  return Status::OK();
+}
+
+Result<std::vector<Oid>> IndexInfo::Lookup(const Value& key) const {
+  if (btree) return btree->Lookup(key);
+  return hash->Lookup(key);
+}
+
+size_t IndexInfo::size() const { return btree ? btree->size() : hash->size(); }
+
+Status IndexManager::Create(const std::string& name,
+                            const std::string& set_name,
+                            const std::string& attr, AccessMethodKind method,
+                            const extra::Type* key_type) {
+  if (indexes_.count(name)) {
+    return Status::AlreadyExists("index '" + name + "' already exists");
+  }
+  if (!table_.Applicable(key_type, method, /*need_range=*/false)) {
+    return Status::TypeError(
+        "no access-method table row permits indexing attribute '" + attr +
+        "' of type " + (key_type ? key_type->ToString() : "<null>") +
+        " with this method");
+  }
+  IndexInfo info;
+  info.name = name;
+  info.set_name = set_name;
+  info.attr = attr;
+  info.method = method;
+  if (method == AccessMethodKind::kBTree) {
+    info.btree = std::make_unique<BTree>();
+  } else {
+    info.hash = std::make_unique<HashIndex>();
+  }
+  indexes_.emplace(name, std::move(info));
+  return Status::OK();
+}
+
+Status IndexManager::Drop(const std::string& name) {
+  if (indexes_.erase(name) == 0) {
+    return Status::NotFound("no index named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+IndexInfo* IndexManager::Find(const std::string& name) {
+  auto it = indexes_.find(name);
+  return it == indexes_.end() ? nullptr : &it->second;
+}
+
+std::vector<IndexInfo*> IndexManager::IndexesOn(const std::string& set_name) {
+  std::vector<IndexInfo*> out;
+  for (auto& [name, info] : indexes_) {
+    if (info.set_name == set_name) out.push_back(&info);
+  }
+  return out;
+}
+
+IndexInfo* IndexManager::FindUsable(const std::string& set_name,
+                                    const std::string& attr,
+                                    bool need_range) {
+  for (auto& [name, info] : indexes_) {
+    if (info.set_name != set_name || info.attr != attr) continue;
+    if (need_range && info.method != AccessMethodKind::kBTree) continue;
+    return &info;
+  }
+  return nullptr;
+}
+
+void IndexManager::OnInsert(const std::string& set_name,
+                            const std::string& attr, const Value& key,
+                            Oid oid) {
+  if (key.is_null()) return;
+  for (auto& [name, info] : indexes_) {
+    if (info.set_name == set_name && info.attr == attr) {
+      // Maintenance failures (e.g. an uncomparable key sneaking into a
+      // btree) are surfaced at query time; here the entry is skipped.
+      (void)info.Insert(key, oid);
+    }
+  }
+}
+
+void IndexManager::OnErase(const std::string& set_name,
+                           const std::string& attr, const Value& key,
+                           Oid oid) {
+  if (key.is_null()) return;
+  for (auto& [name, info] : indexes_) {
+    if (info.set_name == set_name && info.attr == attr) {
+      (void)info.Erase(key, oid);
+    }
+  }
+}
+
+}  // namespace exodus::index

@@ -1,0 +1,115 @@
+#ifndef EXODUS_INDEX_INDEX_MANAGER_H_
+#define EXODUS_INDEX_INDEX_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "extra/type.h"
+#include "index/btree.h"
+#include "index/hash_index.h"
+#include "object/value.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace exodus::index {
+
+enum class AccessMethodKind { kBTree, kHash };
+
+util::Result<AccessMethodKind> ParseAccessMethodKind(const std::string& name);
+
+/// The access-method applicability table (paper §4.1.2): optimizer
+/// information is "given in tabular form to a utility responsible for
+/// managing optimizer information", so ADTs can be added dynamically and
+/// the optimizer does table lookup to determine method applicability.
+///
+/// A row states that keys of a given type descriptor support a given
+/// access method, and whether range predicates are supported there.
+class AccessMethodTable {
+ public:
+  /// Seeds rows for the built-in base types (numerics, strings, bool,
+  /// enums: btree with ranges + hash equality).
+  AccessMethodTable();
+
+  /// Adds a row for an ADT (by id). `supports_range` requires the ADT's
+  /// payloads to be Comparable().
+  void AddAdtRow(int adt_id, AccessMethodKind method, bool supports_range);
+
+  /// True if `key_type` may be indexed with `method`; if `need_range`,
+  /// the row must also support range predicates.
+  bool Applicable(const extra::Type* key_type, AccessMethodKind method,
+                  bool need_range) const;
+
+ private:
+  struct Row {
+    extra::TypeKind kind;
+    int adt_id;  // -1 unless kind == kAdt
+    AccessMethodKind method;
+    bool supports_range;
+  };
+  std::vector<Row> rows_;
+};
+
+/// One secondary index over a named extent.
+struct IndexInfo {
+  std::string name;
+  std::string set_name;
+  std::string attr;
+  AccessMethodKind method;
+  std::unique_ptr<BTree> btree;    // when method == kBTree
+  std::unique_ptr<HashIndex> hash; // when method == kHash
+
+  util::Status Insert(const object::Value& key, object::Oid oid);
+  util::Status Erase(const object::Value& key, object::Oid oid);
+  util::Result<std::vector<object::Oid>> Lookup(
+      const object::Value& key) const;
+  size_t size() const;
+};
+
+/// Owns all secondary indexes of a database and the access-method table.
+/// The executor calls the On* hooks on every extent mutation; the
+/// optimizer calls FindUsable when matching predicates to access paths.
+class IndexManager {
+ public:
+  IndexManager() = default;
+  IndexManager(const IndexManager&) = delete;
+  IndexManager& operator=(const IndexManager&) = delete;
+
+  AccessMethodTable* access_methods() { return &table_; }
+  const AccessMethodTable& access_methods() const { return table_; }
+
+  /// Creates an (empty) index; the caller bulk-loads existing members.
+  /// Validates applicability of `method` to `key_type` via the table.
+  util::Status Create(const std::string& name, const std::string& set_name,
+                      const std::string& attr, AccessMethodKind method,
+                      const extra::Type* key_type);
+  util::Status Drop(const std::string& name);
+
+  IndexInfo* Find(const std::string& name);
+
+  /// Indexes declared over `set_name` (for maintenance on mutation).
+  std::vector<IndexInfo*> IndexesOn(const std::string& set_name);
+
+  /// A usable index over (set, attr); if `need_range`, only a btree
+  /// qualifies. Returns nullptr if none.
+  IndexInfo* FindUsable(const std::string& set_name, const std::string& attr,
+                        bool need_range);
+
+  /// Maintenance hooks: `key` may be NULL, in which case the entry is
+  /// skipped (nulls are not indexed; null comparisons never match).
+  void OnInsert(const std::string& set_name, const std::string& attr,
+                const object::Value& key, object::Oid oid);
+  void OnErase(const std::string& set_name, const std::string& attr,
+               const object::Value& key, object::Oid oid);
+
+  const std::map<std::string, IndexInfo>& all() const { return indexes_; }
+
+ private:
+  AccessMethodTable table_;
+  std::map<std::string, IndexInfo> indexes_;
+};
+
+}  // namespace exodus::index
+
+#endif  // EXODUS_INDEX_INDEX_MANAGER_H_

@@ -1,0 +1,141 @@
+#include "object/heap.h"
+
+namespace exodus::object {
+
+using util::Status;
+
+Oid ObjectHeap::Allocate(const extra::Type* type, std::vector<Value> fields) {
+  Oid oid = next_oid_++;
+  HeapObject obj;
+  obj.type = type;
+  obj.fields = std::move(fields);
+  objects_.emplace(oid, std::move(obj));
+  ++live_count_;
+  return oid;
+}
+
+HeapObject* ObjectHeap::Get(Oid oid) {
+  auto it = objects_.find(oid);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+const HeapObject* ObjectHeap::Get(Oid oid) const {
+  auto it = objects_.find(oid);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+Status ObjectHeap::SetOwned(Oid child, Oid owner_object) {
+  HeapObject* obj = Get(child);
+  if (obj == nullptr) {
+    return Status::NotFound("cannot own object #" + std::to_string(child) +
+                            ": no such object");
+  }
+  if (obj->owned) {
+    return Status::ConstraintViolation(
+        "object #" + std::to_string(child) +
+        " is already owned; an object can be a component of at most one "
+        "owner at a time");
+  }
+  obj->owned = true;
+  obj->owner_object = owner_object;
+  return Status::OK();
+}
+
+Status ObjectHeap::ClearOwned(Oid child) {
+  HeapObject* obj = Get(child);
+  if (obj == nullptr) {
+    return Status::NotFound("no such object #" + std::to_string(child));
+  }
+  obj->owned = false;
+  obj->owner_object = kInvalidOid;
+  return Status::OK();
+}
+
+void ObjectHeap::CollectOwnedRefs(const extra::Type* type, const Value& value,
+                                  std::vector<Oid>* out) {
+  if (type == nullptr || value.is_null()) return;
+  switch (type->kind()) {
+    case extra::TypeKind::kRef:
+      if (type->owned() && value.kind() == ValueKind::kRef &&
+          value.AsRef() != kInvalidOid) {
+        out->push_back(value.AsRef());
+      }
+      return;
+    case extra::TypeKind::kSet:
+      if (value.kind() == ValueKind::kSet) {
+        for (const Value& e : value.set().elems) {
+          CollectOwnedRefs(type->element_type(), e, out);
+        }
+      }
+      return;
+    case extra::TypeKind::kArray:
+      if (value.kind() == ValueKind::kArray) {
+        for (const Value& e : value.array().elems) {
+          CollectOwnedRefs(type->element_type(), e, out);
+        }
+      }
+      return;
+    case extra::TypeKind::kTuple:
+      if (value.kind() == ValueKind::kTuple) {
+        // Prefer the runtime type of the embedded tuple (it may be a
+        // subtype with extra own-ref attributes).
+        const extra::Type* rt =
+            value.tuple().type != nullptr ? value.tuple().type : type;
+        const auto& attrs = rt->attributes();
+        const auto& fields = value.tuple().fields;
+        for (size_t i = 0; i < attrs.size() && i < fields.size(); ++i) {
+          CollectOwnedRefs(attrs[i].type, fields[i], out);
+        }
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+size_t ObjectHeap::Delete(Oid oid) {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return 0;
+
+  // Collect owned components before erasing the object.
+  std::vector<Oid> owned;
+  const HeapObject& obj = it->second;
+  const auto& attrs = obj.type->attributes();
+  for (size_t i = 0; i < attrs.size() && i < obj.fields.size(); ++i) {
+    CollectOwnedRefs(attrs[i].type, obj.fields[i], &owned);
+  }
+  objects_.erase(it);
+  --live_count_;
+
+  size_t deleted = 1;
+  for (Oid child : owned) deleted += Delete(child);
+  return deleted;
+}
+
+Status ObjectHeap::Restore(Oid oid, const extra::Type* type,
+                           std::vector<Value> fields, bool owned,
+                           Oid owner_object, std::string owner_extent) {
+  if (oid == kInvalidOid) {
+    return Status::InvalidArgument("cannot restore the invalid oid");
+  }
+  if (objects_.count(oid)) {
+    return Status::AlreadyExists("oid #" + std::to_string(oid) +
+                                 " already in use");
+  }
+  HeapObject obj;
+  obj.type = type;
+  obj.fields = std::move(fields);
+  obj.owned = owned;
+  obj.owner_object = owner_object;
+  obj.owner_extent = std::move(owner_extent);
+  objects_.emplace(oid, std::move(obj));
+  ++live_count_;
+  ReserveThrough(oid);
+  return Status::OK();
+}
+
+void ObjectHeap::ReserveThrough(Oid max_oid) {
+  if (next_oid_ <= max_oid) next_oid_ = max_oid + 1;
+}
+
+}  // namespace exodus::object

@@ -1,0 +1,113 @@
+#ifndef EXODUS_OBJECT_HEAP_H_
+#define EXODUS_OBJECT_HEAP_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "extra/type.h"
+#include "object/value.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace exodus::object {
+
+/// An object with identity stored in the heap.
+struct HeapObject {
+  /// Runtime tuple type of the object (may be a subtype of the static
+  /// element type of the container it lives in).
+  const extra::Type* type = nullptr;
+  /// One value per entry of type->attributes().
+  std::vector<Value> fields;
+  /// True while the object is owned (by a parent object or by a named
+  /// top-level entity). An owned object cannot acquire a second owner —
+  /// ORION composite-object semantics (paper §2.2).
+  bool owned = false;
+  /// Owning object, or kInvalidOid when owned by a named entity (or not
+  /// owned at all).
+  Oid owner_object = kInvalidOid;
+  /// Name of the named extent this object is a member of ("" if none);
+  /// drives secondary-index maintenance wherever the object is updated.
+  std::string owner_extent;
+};
+
+/// The run-time object store: maps Oids to identity-bearing objects.
+///
+/// Referential integrity follows GEM (paper footnote 2): deleting an
+/// object leaves dangling references, which dereference to NULL from then
+/// on (equivalent, at the language level, to nullifying the references).
+/// Deleting an object cascade-deletes its `own` ref components, found by
+/// walking the object's state under the guidance of its type.
+class ObjectHeap {
+ public:
+  ObjectHeap() = default;
+  ObjectHeap(const ObjectHeap&) = delete;
+  ObjectHeap& operator=(const ObjectHeap&) = delete;
+
+  /// Creates a new live object and returns its Oid (never kInvalidOid).
+  Oid Allocate(const extra::Type* type, std::vector<Value> fields);
+
+  /// The object designated by `oid`, or nullptr if it was deleted or
+  /// never existed (dangling reference).
+  HeapObject* Get(Oid oid);
+  const HeapObject* Get(Oid oid) const;
+
+  /// Marks `child` as owned. Fails with ConstraintViolation if it is
+  /// already owned (an object has at most one owner at a time).
+  util::Status SetOwned(Oid child, Oid owner_object);
+
+  /// Clears ownership (e.g. when an element is removed from an own-ref
+  /// set without being destroyed — not reachable through EXCESS, but used
+  /// by internal maintenance and tests).
+  util::Status ClearOwned(Oid child);
+
+  /// Deletes the object and, transitively, every component it owns
+  /// (attributes / set / array elements of `own ref` type, and own-ref
+  /// components nested inside embedded tuples).
+  /// Returns the number of objects deleted. Deleting an already-dead or
+  /// unknown oid is a no-op returning 0.
+  size_t Delete(Oid oid);
+
+  /// Number of live objects.
+  size_t live_count() const { return live_count_; }
+  /// Total oids ever allocated.
+  uint64_t allocated_count() const { return next_oid_ - 1; }
+
+  /// Collects the Oids of all `own ref` components reachable from `value`
+  /// of declared type `type` without passing through a plain `ref`.
+  static void CollectOwnedRefs(const extra::Type* type, const Value& value,
+                               std::vector<Oid>* out);
+
+  /// Iteration over live objects (used by persistence and tests).
+  template <typename Fn>
+  void ForEachLive(Fn&& fn) const {
+    for (const auto& [oid, obj] : objects_) fn(oid, obj);
+  }
+
+  /// Re-creates an object with a specific oid (used when loading a saved
+  /// database image). Fails if the oid is in use or >= the next oid.
+  util::Status Restore(Oid oid, const extra::Type* type,
+                       std::vector<Value> fields, bool owned,
+                       Oid owner_object, std::string owner_extent = "");
+
+  /// Advances the allocator so future Allocate() calls return oids
+  /// greater than `max_oid` (used after Restore).
+  void ReserveThrough(Oid max_oid);
+
+  /// Removes every object and resets the allocator (used when loading a
+  /// saved database image).
+  void Clear() {
+    objects_.clear();
+    live_count_ = 0;
+    next_oid_ = 1;
+  }
+
+ private:
+  std::unordered_map<Oid, HeapObject> objects_;
+  Oid next_oid_ = 1;
+  size_t live_count_ = 0;
+};
+
+}  // namespace exodus::object
+
+#endif  // EXODUS_OBJECT_HEAP_H_

@@ -1,0 +1,354 @@
+#include "object/value.h"
+
+#include <functional>
+
+#include "util/string_util.h"
+
+namespace exodus::object {
+
+using util::Result;
+using util::Status;
+
+Value Value::Int(int64_t v) {
+  Value out;
+  out.kind_ = ValueKind::kInt;
+  out.int_ = v;
+  return out;
+}
+
+Value Value::Float(double v) {
+  Value out;
+  out.kind_ = ValueKind::kFloat;
+  out.float_ = v;
+  return out;
+}
+
+Value Value::Bool(bool v) {
+  Value out;
+  out.kind_ = ValueKind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+Value Value::String(std::string v) {
+  Value out;
+  out.kind_ = ValueKind::kString;
+  out.str_ = std::make_shared<const std::string>(std::move(v));
+  return out;
+}
+
+Value Value::Enum(const extra::Type* type, int ordinal) {
+  Value out;
+  out.kind_ = ValueKind::kEnum;
+  out.enum_type_ = type;
+  out.int_ = ordinal;
+  return out;
+}
+
+Value Value::Adt(int adt_id, std::shared_ptr<const AdtPayload> payload) {
+  Value out;
+  out.kind_ = ValueKind::kAdt;
+  out.int_ = adt_id;
+  out.adt_ = std::move(payload);
+  return out;
+}
+
+Value Value::Tuple(std::shared_ptr<TupleData> data) {
+  Value out;
+  out.kind_ = ValueKind::kTuple;
+  out.tuple_ = std::move(data);
+  return out;
+}
+
+Value Value::MakeTuple(const extra::Type* type, std::vector<Value> fields) {
+  auto data = std::make_shared<TupleData>();
+  data->type = type;
+  data->fields = std::move(fields);
+  return Tuple(std::move(data));
+}
+
+Value Value::EmptySet() { return Set(std::make_shared<SetData>()); }
+
+Value Value::Set(std::shared_ptr<SetData> data) {
+  Value out;
+  out.kind_ = ValueKind::kSet;
+  out.set_ = std::move(data);
+  return out;
+}
+
+Value Value::Array(std::shared_ptr<ArrayData> data) {
+  Value out;
+  out.kind_ = ValueKind::kArray;
+  out.array_ = std::move(data);
+  return out;
+}
+
+Value Value::MakeArray(std::vector<Value> elems) {
+  auto data = std::make_shared<ArrayData>();
+  data->elems = std::move(elems);
+  return Array(std::move(data));
+}
+
+Value Value::Ref(Oid oid) {
+  Value out;
+  out.kind_ = ValueKind::kRef;
+  out.int_ = static_cast<int64_t>(oid);
+  return out;
+}
+
+Value Value::DeepCopy() const {
+  switch (kind_) {
+    case ValueKind::kTuple: {
+      auto data = std::make_shared<TupleData>();
+      data->type = tuple_->type;
+      data->fields.reserve(tuple_->fields.size());
+      for (const Value& f : tuple_->fields) data->fields.push_back(f.DeepCopy());
+      return Tuple(std::move(data));
+    }
+    case ValueKind::kSet: {
+      auto data = std::make_shared<SetData>();
+      data->elems.reserve(set_->elems.size());
+      for (const Value& e : set_->elems) data->elems.push_back(e.DeepCopy());
+      return Set(std::move(data));
+    }
+    case ValueKind::kArray: {
+      auto data = std::make_shared<ArrayData>();
+      data->elems.reserve(array_->elems.size());
+      for (const Value& e : array_->elems) data->elems.push_back(e.DeepCopy());
+      return Array(std::move(data));
+    }
+    default:
+      // Scalar kinds and ADT payloads are immutable; shallow copy suffices.
+      return *this;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kInt:
+      return std::to_string(int_);
+    case ValueKind::kFloat:
+      return util::FormatDouble(float_);
+    case ValueKind::kBool:
+      return bool_ ? "true" : "false";
+    case ValueKind::kString:
+      return "\"" + util::EscapeString(*str_) + "\"";
+    case ValueKind::kEnum: {
+      int ord = static_cast<int>(int_);
+      if (enum_type_ != nullptr && ord >= 0 &&
+          ord < static_cast<int>(enum_type_->enum_labels().size())) {
+        return enum_type_->enum_labels()[ord];
+      }
+      return "<enum:" + std::to_string(ord) + ">";
+    }
+    case ValueKind::kAdt:
+      return adt_ ? adt_->Print() : "<adt>";
+    case ValueKind::kTuple: {
+      std::string out = "(";
+      const auto& t = *tuple_;
+      for (size_t i = 0; i < t.fields.size(); ++i) {
+        if (i > 0) out += ", ";
+        if (t.type != nullptr && i < t.type->attributes().size()) {
+          out += t.type->attributes()[i].name + " = ";
+        }
+        out += t.fields[i].ToString();
+      }
+      out += ")";
+      return out;
+    }
+    case ValueKind::kSet: {
+      std::string out = "{";
+      for (size_t i = 0; i < set_->elems.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += set_->elems[i].ToString();
+      }
+      out += "}";
+      return out;
+    }
+    case ValueKind::kArray: {
+      std::string out = "[";
+      for (size_t i = 0; i < array_->elems.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += array_->elems[i].ToString();
+      }
+      out += "]";
+      return out;
+    }
+    case ValueKind::kRef:
+      return "ref(#" + std::to_string(int_) + ")";
+  }
+  return "<invalid>";
+}
+
+bool ValueEquals(const Value& a, const Value& b) {
+  // Numeric coercion: int and float compare by numeric value.
+  if ((a.kind() == ValueKind::kInt || a.kind() == ValueKind::kFloat) &&
+      (b.kind() == ValueKind::kInt || b.kind() == ValueKind::kFloat)) {
+    if (a.kind() == ValueKind::kInt && b.kind() == ValueKind::kInt) {
+      return a.AsInt() == b.AsInt();
+    }
+    return a.NumericAsDouble() == b.NumericAsDouble();
+  }
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case ValueKind::kNull:
+      return true;
+    case ValueKind::kInt:
+      return a.AsInt() == b.AsInt();
+    case ValueKind::kFloat:
+      return a.AsFloat() == b.AsFloat();
+    case ValueKind::kBool:
+      return a.AsBool() == b.AsBool();
+    case ValueKind::kString:
+      return a.AsString() == b.AsString();
+    case ValueKind::kEnum:
+      return a.enum_type() == b.enum_type() &&
+             a.enum_ordinal() == b.enum_ordinal();
+    case ValueKind::kAdt:
+      return a.adt_id() == b.adt_id() &&
+             a.adt_payload().Equals(b.adt_payload());
+    case ValueKind::kRef:
+      return a.AsRef() == b.AsRef();
+    case ValueKind::kTuple: {
+      const auto& ta = a.tuple();
+      const auto& tb = b.tuple();
+      if (ta.fields.size() != tb.fields.size()) return false;
+      for (size_t i = 0; i < ta.fields.size(); ++i) {
+        if (!ValueEquals(ta.fields[i], tb.fields[i])) return false;
+      }
+      return true;
+    }
+    case ValueKind::kSet: {
+      const auto& sa = a.set();
+      const auto& sb = b.set();
+      if (sa.elems.size() != sb.elems.size()) return false;
+      // Order-insensitive containment both ways (sizes equal + set
+      // semantics make one-way containment sufficient).
+      for (const Value& e : sa.elems) {
+        if (!SetContains(sb, e)) return false;
+      }
+      return true;
+    }
+    case ValueKind::kArray: {
+      const auto& aa = a.array();
+      const auto& ab = b.array();
+      if (aa.elems.size() != ab.elems.size()) return false;
+      for (size_t i = 0; i < aa.elems.size(); ++i) {
+        if (!ValueEquals(aa.elems[i], ab.elems[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t ValueHash(const Value& v) {
+  auto mix = [](size_t seed, size_t h) {
+    return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+  };
+  switch (v.kind()) {
+    case ValueKind::kNull:
+      return 0xdeadULL;
+    case ValueKind::kInt:
+      // Hash ints and integral floats identically (they compare equal).
+      return std::hash<double>()(static_cast<double>(v.AsInt()));
+    case ValueKind::kFloat:
+      return std::hash<double>()(v.AsFloat());
+    case ValueKind::kBool:
+      return v.AsBool() ? 7ULL : 11ULL;
+    case ValueKind::kString:
+      return std::hash<std::string>()(v.AsString());
+    case ValueKind::kEnum:
+      return mix(std::hash<const void*>()(v.enum_type()),
+                 std::hash<int>()(v.enum_ordinal()));
+    case ValueKind::kAdt:
+      return mix(std::hash<int>()(v.adt_id()), v.adt_payload().Hash());
+    case ValueKind::kRef:
+      return mix(0x4ef5ULL, std::hash<Oid>()(v.AsRef()));
+    case ValueKind::kTuple: {
+      size_t h = 0x7091ULL;
+      for (const Value& f : v.tuple().fields) h = mix(h, ValueHash(f));
+      return h;
+    }
+    case ValueKind::kSet: {
+      // Order-insensitive combination.
+      size_t h = 0x5e75ULL;
+      for (const Value& e : v.set().elems) h += ValueHash(e) * 0x9e3779b1ULL;
+      return h;
+    }
+    case ValueKind::kArray: {
+      size_t h = 0xa88aULL;
+      for (const Value& e : v.array().elems) h = mix(h, ValueHash(e));
+      return h;
+    }
+  }
+  return 0;
+}
+
+Result<int> ValueCompare(const Value& a, const Value& b) {
+  bool a_num = a.kind() == ValueKind::kInt || a.kind() == ValueKind::kFloat;
+  bool b_num = b.kind() == ValueKind::kInt || b.kind() == ValueKind::kFloat;
+  if (a_num && b_num) {
+    if (a.kind() == ValueKind::kInt && b.kind() == ValueKind::kInt) {
+      int64_t x = a.AsInt();
+      int64_t y = b.AsInt();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    double x = a.NumericAsDouble();
+    double y = b.NumericAsDouble();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a.kind() != b.kind()) {
+    return Status::TypeError("cannot compare values of different kinds");
+  }
+  switch (a.kind()) {
+    case ValueKind::kString: {
+      int c = a.AsString().compare(b.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case ValueKind::kBool:
+      return static_cast<int>(a.AsBool()) - static_cast<int>(b.AsBool());
+    case ValueKind::kEnum:
+      if (a.enum_type() != b.enum_type()) {
+        return Status::TypeError("cannot compare values of different enums");
+      }
+      return a.enum_ordinal() - b.enum_ordinal();
+    case ValueKind::kAdt:
+      if (a.adt_id() != b.adt_id()) {
+        return Status::TypeError("cannot compare values of different ADTs");
+      }
+      if (!a.adt_payload().Comparable()) {
+        return Status::TypeError("ADT has no ordering");
+      }
+      return a.adt_payload().Compare(b.adt_payload());
+    default:
+      return Status::TypeError("values of this kind have no ordering");
+  }
+}
+
+bool SetContains(const SetData& s, const Value& v) {
+  for (const Value& e : s.elems) {
+    if (ValueEquals(e, v)) return true;
+  }
+  return false;
+}
+
+bool SetInsert(SetData* s, Value v) {
+  if (SetContains(*s, v)) return false;
+  s->elems.push_back(std::move(v));
+  return true;
+}
+
+bool SetErase(SetData* s, const Value& v) {
+  for (size_t i = 0; i < s->elems.size(); ++i) {
+    if (ValueEquals(s->elems[i], v)) {
+      s->elems.erase(s->elems.begin() + static_cast<ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace exodus::object

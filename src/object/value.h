@@ -1,0 +1,181 @@
+#ifndef EXODUS_OBJECT_VALUE_H_
+#define EXODUS_OBJECT_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "extra/type.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace exodus::object {
+
+/// Object identifier. Objects with identity (top-level extent members with
+/// `own ref` elements, `ref` targets, and named objects) live in the
+/// `ObjectHeap` and are designated by an Oid. 0 is the invalid/null Oid.
+using Oid = uint64_t;
+inline constexpr Oid kInvalidOid = 0;
+
+/// Type-erased payload of an ADT value. Each ADT (Date, Complex, ...)
+/// provides a subclass. Payloads are immutable once constructed, so they
+/// can be shared freely between values.
+class AdtPayload {
+ public:
+  virtual ~AdtPayload() = default;
+  /// Display form, e.g. "8/23/1988" for Date.
+  virtual std::string Print() const = 0;
+  /// Deep equality against a payload of the *same* ADT.
+  virtual bool Equals(const AdtPayload& other) const = 0;
+  virtual size_t Hash() const = 0;
+  /// Whether the ADT has a total order (enables <,>,sort,btree indexes).
+  virtual bool Comparable() const { return false; }
+  /// Three-way comparison; only called when Comparable().
+  virtual int Compare(const AdtPayload& other) const {
+    (void)other;
+    return 0;
+  }
+};
+
+class Value;
+
+/// The state of a tuple value: its runtime type (null only for
+/// internal/constructed rows) and one Value per resolved attribute.
+struct TupleData {
+  const extra::Type* type = nullptr;
+  std::vector<Value> fields;
+};
+
+/// The state of a set value. Sets maintain set semantics: `Insert`
+/// refuses duplicates (deep equality for own elements, Oid identity for
+/// references).
+struct SetData {
+  std::vector<Value> elems;
+};
+
+/// The state of an array value (fixed or variable length).
+struct ArrayData {
+  std::vector<Value> elems;
+};
+
+/// Runtime value kinds. All integer widths share kInt (int64 storage);
+/// float4/float8 share kFloat.
+enum class ValueKind {
+  kNull,
+  kInt,
+  kFloat,
+  kBool,
+  kString,
+  kEnum,
+  kAdt,
+  kTuple,
+  kSet,
+  kArray,
+  kRef,
+};
+
+/// A runtime EXTRA value.
+///
+/// Copying a Value is cheap: composite payloads (tuple/set/array, ADT)
+/// are shared via shared_ptr. Code that needs value semantics (storing a
+/// value into an object, appending to a set) must call `DeepCopy()`.
+class Value {
+ public:
+  /// Constructs NULL.
+  Value() : kind_(ValueKind::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v);
+  static Value Float(double v);
+  static Value Bool(bool v);
+  static Value String(std::string v);
+  /// `type` must be an enum type; ordinal must index its labels.
+  static Value Enum(const extra::Type* type, int ordinal);
+  static Value Adt(int adt_id, std::shared_ptr<const AdtPayload> payload);
+  static Value Tuple(std::shared_ptr<TupleData> data);
+  static Value MakeTuple(const extra::Type* type, std::vector<Value> fields);
+  static Value EmptySet();
+  static Value Set(std::shared_ptr<SetData> data);
+  static Value Array(std::shared_ptr<ArrayData> data);
+  static Value MakeArray(std::vector<Value> elems);
+  static Value Ref(Oid oid);
+
+  ValueKind kind() const { return kind_; }
+  bool is_null() const { return kind_ == ValueKind::kNull; }
+
+  /// Accessors: behaviour is undefined unless the kind matches.
+  int64_t AsInt() const { return int_; }
+  double AsFloat() const { return float_; }
+  bool AsBool() const { return bool_; }
+  const std::string& AsString() const { return *str_; }
+  const extra::Type* enum_type() const { return enum_type_; }
+  int enum_ordinal() const { return static_cast<int>(int_); }
+  int adt_id() const { return static_cast<int>(int_); }
+  const AdtPayload& adt_payload() const { return *adt_; }
+  std::shared_ptr<const AdtPayload> adt_payload_ptr() const { return adt_; }
+  Oid AsRef() const { return static_cast<Oid>(int_); }
+
+  const TupleData& tuple() const { return *tuple_; }
+  TupleData* mutable_tuple() { return tuple_.get(); }
+  std::shared_ptr<TupleData> tuple_ptr() const { return tuple_; }
+
+  const SetData& set() const { return *set_; }
+  SetData* mutable_set() { return set_.get(); }
+
+  const ArrayData& array() const { return *array_; }
+  ArrayData* mutable_array() { return array_.get(); }
+
+  /// Numeric value as double (kInt or kFloat).
+  double NumericAsDouble() const {
+    return kind_ == ValueKind::kInt ? static_cast<double>(int_) : float_;
+  }
+
+  /// Recursively copies composite payloads so the result shares no
+  /// mutable state with this value.
+  Value DeepCopy() const;
+
+  /// Display form without heap access; references print as "ref(#n)".
+  /// (Database-level printing resolves references through the heap.)
+  std::string ToString() const;
+
+ private:
+  ValueKind kind_;
+  int64_t int_ = 0;       // kInt, kEnum ordinal, kAdt id, kRef oid
+  double float_ = 0;      // kFloat
+  bool bool_ = false;     // kBool
+  std::shared_ptr<const std::string> str_;  // kString
+  const extra::Type* enum_type_ = nullptr;  // kEnum
+  std::shared_ptr<const AdtPayload> adt_;   // kAdt
+  std::shared_ptr<TupleData> tuple_;        // kTuple
+  std::shared_ptr<SetData> set_;            // kSet
+  std::shared_ptr<ArrayData> array_;        // kArray
+};
+
+/// Deep (recursive) value equality in the sense of [Banc86]; references
+/// compare by identity (Oid). NULL equals only NULL.
+bool ValueEquals(const Value& a, const Value& b);
+
+/// Hash consistent with ValueEquals.
+size_t ValueHash(const Value& v);
+
+/// Three-way comparison for ordered kinds (numeric, string, bool, enum,
+/// comparable ADTs). Returns TypeError for unordered kinds or mismatched
+/// kinds (after int/float coercion).
+util::Result<int> ValueCompare(const Value& a, const Value& b);
+
+/// Inserts `v` into set `s` unless a deep-equal element already exists.
+/// Returns true if inserted.
+bool SetInsert(SetData* s, Value v);
+
+/// Removes the deep-equal element from `s` if present; returns true if
+/// removed.
+bool SetErase(SetData* s, const Value& v);
+
+/// True if `s` contains a deep-equal element.
+bool SetContains(const SetData& s, const Value& v);
+
+}  // namespace exodus::object
+
+#endif  // EXODUS_OBJECT_VALUE_H_

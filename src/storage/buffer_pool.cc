@@ -1,0 +1,109 @@
+#include "storage/buffer_pool.h"
+
+namespace exodus::storage {
+
+using util::Result;
+using util::Status;
+
+BufferPool::BufferPool(Pager* pager, size_t capacity)
+    : pager_(pager), capacity_(capacity < 1 ? 1 : capacity) {
+  frames_.resize(capacity_);
+}
+
+void BufferPool::Touch(size_t frame_idx) {
+  auto it = lru_pos_.find(frame_idx);
+  if (it != lru_pos_.end()) lru_.erase(it->second);
+  lru_.push_front(frame_idx);
+  lru_pos_[frame_idx] = lru_.begin();
+}
+
+Result<size_t> BufferPool::GetFrame(PageId id, bool load) {
+  auto it = table_.find(id);
+  if (it != table_.end()) {
+    ++hits_;
+    Touch(it->second);
+    return it->second;
+  }
+  ++misses_;
+
+  // Find a free frame or evict the least-recently-used unpinned frame.
+  size_t victim = capacity_;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    if (frames_[i].id == kInvalidPageId) {
+      victim = i;
+      break;
+    }
+  }
+  if (victim == capacity_) {
+    for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+      if (frames_[*rit].pin_count == 0) {
+        victim = *rit;
+        break;
+      }
+    }
+    if (victim == capacity_) {
+      return Status::OutOfRange("buffer pool exhausted: all frames pinned");
+    }
+    Frame& evictee = frames_[victim];
+    if (evictee.dirty) {
+      EXODUS_RETURN_IF_ERROR(pager_->WritePage(evictee.id, evictee.page));
+      evictee.dirty = false;
+    }
+    table_.erase(evictee.id);
+  }
+
+  Frame& frame = frames_[victim];
+  frame.id = id;
+  frame.pin_count = 0;
+  frame.dirty = false;
+  if (load) {
+    EXODUS_RETURN_IF_ERROR(pager_->ReadPage(id, &frame.page));
+  } else {
+    frame.page.Format();
+  }
+  table_[id] = victim;
+  Touch(victim);
+  return victim;
+}
+
+Result<Page*> BufferPool::Fetch(PageId id) {
+  EXODUS_ASSIGN_OR_RETURN(size_t idx, GetFrame(id, /*load=*/true));
+  ++frames_[idx].pin_count;
+  return &frames_[idx].page;
+}
+
+Status BufferPool::Unpin(PageId id, bool dirty) {
+  auto it = table_.find(id);
+  if (it == table_.end()) {
+    return Status::NotFound("page " + std::to_string(id) +
+                            " is not resident");
+  }
+  Frame& frame = frames_[it->second];
+  if (frame.pin_count <= 0) {
+    return Status::Internal("unpin of an unpinned page " +
+                            std::to_string(id));
+  }
+  --frame.pin_count;
+  frame.dirty = frame.dirty || dirty;
+  return Status::OK();
+}
+
+Result<std::pair<PageId, Page*>> BufferPool::AllocatePinned() {
+  EXODUS_ASSIGN_OR_RETURN(PageId id, pager_->AllocatePage());
+  EXODUS_ASSIGN_OR_RETURN(size_t idx, GetFrame(id, /*load=*/false));
+  ++frames_[idx].pin_count;
+  frames_[idx].dirty = true;
+  return std::make_pair(id, &frames_[idx].page);
+}
+
+Status BufferPool::Flush() {
+  for (Frame& frame : frames_) {
+    if (frame.id != kInvalidPageId && frame.dirty) {
+      EXODUS_RETURN_IF_ERROR(pager_->WritePage(frame.id, frame.page));
+      frame.dirty = false;
+    }
+  }
+  return pager_->Sync();
+}
+
+}  // namespace exodus::storage

@@ -1,0 +1,67 @@
+#ifndef EXODUS_STORAGE_BUFFER_POOL_H_
+#define EXODUS_STORAGE_BUFFER_POOL_H_
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/page.h"
+#include "storage/pager.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace exodus::storage {
+
+/// A fixed-capacity buffer pool with pin counts and LRU replacement —
+/// the in-memory face of the EXODUS-style storage manager. All page
+/// access goes through Fetch/Unpin; dirty frames are written back on
+/// eviction and on Flush.
+class BufferPool {
+ public:
+  BufferPool(Pager* pager, size_t capacity);
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins the page in a frame and returns it. The caller must Unpin
+  /// exactly once per Fetch. Fails when every frame is pinned.
+  util::Result<Page*> Fetch(PageId id);
+
+  /// Releases one pin; `dirty` marks the frame for write-back.
+  util::Status Unpin(PageId id, bool dirty);
+
+  /// Allocates a fresh page (through the pager) and pins it.
+  util::Result<std::pair<PageId, Page*>> AllocatePinned();
+
+  /// Writes back all dirty frames.
+  util::Status Flush();
+
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Frame {
+    PageId id = kInvalidPageId;
+    Page page;
+    int pin_count = 0;
+    bool dirty = false;
+  };
+
+  /// Finds a frame for `id`, evicting an unpinned LRU victim if needed.
+  util::Result<size_t> GetFrame(PageId id, bool load);
+  void Touch(size_t frame_idx);
+
+  Pager* pager_;
+  size_t capacity_;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> table_;
+  std::list<size_t> lru_;  // front = most recent
+  std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace exodus::storage
+
+#endif  // EXODUS_STORAGE_BUFFER_POOL_H_

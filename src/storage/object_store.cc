@@ -1,0 +1,321 @@
+#include "storage/object_store.h"
+
+#include <cstring>
+
+namespace exodus::storage {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+std::string EncodeRid(const Rid& rid) {
+  std::string out(6, '\0');
+  std::memcpy(out.data(), &rid.page, 4);
+  std::memcpy(out.data() + 4, &rid.slot, 2);
+  return out;
+}
+
+Result<Rid> DecodeRid(const char* bytes, size_t size) {
+  if (size < 6) return Status::Internal("corrupt rid encoding");
+  Rid rid;
+  std::memcpy(&rid.page, bytes, 4);
+  std::memcpy(&rid.slot, bytes + 4, 2);
+  return rid;
+}
+
+/// RAII page pin.
+class PinnedPage {
+ public:
+  PinnedPage(BufferPool* pool, PageId id) : pool_(pool), id_(id) {
+    auto p = pool_->Fetch(id);
+    if (p.ok()) page_ = *p;
+    status_ = p.status();
+  }
+  ~PinnedPage() {
+    if (page_ != nullptr) (void)pool_->Unpin(id_, dirty_);
+  }
+  PinnedPage(const PinnedPage&) = delete;
+  PinnedPage& operator=(const PinnedPage&) = delete;
+
+  Page* get() { return page_; }
+  const Status& status() const { return status_; }
+  void MarkDirty() { dirty_ = true; }
+
+ private:
+  BufferPool* pool_;
+  PageId id_;
+  Page* page_ = nullptr;
+  Status status_;
+  bool dirty_ = false;
+};
+
+/// Bodies begin with an inline flag: 1 = raw bytes follow; 0 = a large
+/// record: u64 total length + rid of the first chunk.
+constexpr char kInline = 1;
+constexpr char kChunked = 0;
+
+/// Maximum payload carried by a single page record, leaving room for
+/// the page header, one slot, the category tag and the body header.
+constexpr size_t kMaxChunkPayload = kPageSize - 64;
+
+}  // namespace
+
+ObjectStore::ObjectStore(BufferPool* pool) : pool_(pool) {}
+
+Result<Rid> ObjectStore::InsertRecord(const std::string& record) {
+  // Try recently used pages with space, newest first.
+  for (auto it = candidate_pages_.rbegin(); it != candidate_pages_.rend();
+       ++it) {
+    PinnedPage pin(pool_, *it);
+    EXODUS_RETURN_IF_ERROR(pin.status());
+    if (pin.get()->FreeSpace() >= record.size()) {
+      auto slot = pin.get()->Insert(record.data(), record.size());
+      if (slot.ok()) {
+        pin.MarkDirty();
+        return Rid{*it, *slot};
+      }
+    }
+  }
+
+  EXODUS_ASSIGN_OR_RETURN(auto alloc, pool_->AllocatePinned());
+  PageId page_id = alloc.first;
+  Page* page = alloc.second;
+  auto slot = page->Insert(record.data(), record.size());
+  Status st = slot.status();
+  (void)pool_->Unpin(page_id, /*dirty=*/true);
+  EXODUS_RETURN_IF_ERROR(st);
+  candidate_pages_.push_back(page_id);
+  if (candidate_pages_.size() > 8) {
+    candidate_pages_.erase(candidate_pages_.begin());
+  }
+  return Rid{page_id, *slot};
+}
+
+Result<std::string> ObjectStore::BuildBody(const std::string& bytes) {
+  if (bytes.size() <= kMaxChunkPayload) {
+    std::string body(1, kInline);
+    body += bytes;
+    return body;
+  }
+  // Chunk the payload back to front so each chunk can point at its
+  // successor (EXODUS-style large storage objects, simplified to a
+  // chain).
+  Rid next{kInvalidPageId, 0};
+  size_t offset = bytes.size();
+  while (offset > 0) {
+    size_t chunk = std::min(kMaxChunkPayload, offset);
+    offset -= chunk;
+    std::string record(1, kTagChunk);
+    record += EncodeRid(next);
+    record.append(bytes, offset, chunk);
+    EXODUS_ASSIGN_OR_RETURN(next, InsertRecord(record));
+  }
+  std::string body(1, kChunked);
+  uint64_t total = bytes.size();
+  body.append(reinterpret_cast<const char*>(&total), 8);
+  body += EncodeRid(next);
+  return body;
+}
+
+Result<std::string> ObjectStore::ReadBody(const std::string& body) const {
+  if (body.empty()) return Status::Internal("empty record body");
+  if (body[0] == kInline) return body.substr(1);
+  if (body[0] != kChunked || body.size() < 15) {
+    return Status::Internal("corrupt record body header");
+  }
+  uint64_t total;
+  std::memcpy(&total, body.data() + 1, 8);
+  EXODUS_ASSIGN_OR_RETURN(Rid chunk, DecodeRid(body.data() + 9, 6));
+  std::string out;
+  out.reserve(total);
+  while (chunk.page != kInvalidPageId) {
+    PinnedPage pin(pool_, chunk.page);
+    EXODUS_RETURN_IF_ERROR(pin.status());
+    EXODUS_ASSIGN_OR_RETURN(std::string rec, pin.get()->Read(chunk.slot));
+    if (rec.empty() || rec[0] != kTagChunk || rec.size() < 7) {
+      return Status::Internal("corrupt chunk at " + chunk.ToString());
+    }
+    EXODUS_ASSIGN_OR_RETURN(chunk, DecodeRid(rec.data() + 1, 6));
+    out.append(rec, 7, std::string::npos);
+  }
+  if (out.size() != total) {
+    return Status::Internal("large record length mismatch");
+  }
+  return out;
+}
+
+Status ObjectStore::FreeBody(const std::string& body) {
+  if (body.empty() || body[0] == kInline) return Status::OK();
+  if (body[0] != kChunked || body.size() < 15) {
+    return Status::Internal("corrupt record body header");
+  }
+  EXODUS_ASSIGN_OR_RETURN(Rid chunk, DecodeRid(body.data() + 9, 6));
+  while (chunk.page != kInvalidPageId) {
+    PinnedPage pin(pool_, chunk.page);
+    EXODUS_RETURN_IF_ERROR(pin.status());
+    EXODUS_ASSIGN_OR_RETURN(std::string rec, pin.get()->Read(chunk.slot));
+    if (rec.empty() || rec[0] != kTagChunk || rec.size() < 7) {
+      return Status::Internal("corrupt chunk at " + chunk.ToString());
+    }
+    EXODUS_RETURN_IF_ERROR(pin.get()->Delete(chunk.slot));
+    pin.MarkDirty();
+    EXODUS_ASSIGN_OR_RETURN(chunk, DecodeRid(rec.data() + 1, 6));
+  }
+  return Status::OK();
+}
+
+Result<Rid> ObjectStore::InsertTagged(char tag, const std::string& bytes) {
+  EXODUS_ASSIGN_OR_RETURN(std::string body, BuildBody(bytes));
+  std::string record(1, tag);
+  record += body;
+  return InsertRecord(record);
+}
+
+Result<Rid> ObjectStore::Insert(const std::string& bytes) {
+  EXODUS_ASSIGN_OR_RETURN(Rid rid, InsertTagged(kTagData, bytes));
+  ++record_count_;
+  return rid;
+}
+
+Result<std::pair<Rid, std::string>> ObjectStore::ReadRaw(
+    const Rid& rid) const {
+  PinnedPage pin(pool_, rid.page);
+  EXODUS_RETURN_IF_ERROR(pin.status());
+  EXODUS_ASSIGN_OR_RETURN(std::string record, pin.get()->Read(rid.slot));
+  if (record.empty()) return Status::Internal("empty record");
+  if (record[0] == kTagForward) {
+    EXODUS_ASSIGN_OR_RETURN(Rid body, DecodeRid(record.data() + 1,
+                                                record.size() - 1));
+    return std::make_pair(body, std::string(1, kTagForward));
+  }
+  return std::make_pair(rid, std::move(record));
+}
+
+Result<std::string> ObjectStore::Read(const Rid& rid) const {
+  EXODUS_ASSIGN_OR_RETURN(auto raw, ReadRaw(rid));
+  if (raw.second.size() == 1 && raw.second[0] == kTagForward) {
+    PinnedPage pin(pool_, raw.first.page);
+    EXODUS_RETURN_IF_ERROR(pin.status());
+    EXODUS_ASSIGN_OR_RETURN(std::string body, pin.get()->Read(raw.first.slot));
+    if (body.empty() || body[0] != kTagMoved) {
+      return Status::Internal("dangling forwarding stub at " +
+                              rid.ToString());
+    }
+    return ReadBody(body.substr(1));
+  }
+  return ReadBody(raw.second.substr(1));
+}
+
+Status ObjectStore::Update(const Rid& rid, const std::string& bytes) {
+  EXODUS_ASSIGN_OR_RETURN(auto raw, ReadRaw(rid));
+  bool forwarded = raw.second.size() == 1 && raw.second[0] == kTagForward;
+  Rid body_rid = forwarded ? raw.first : rid;
+  char body_tag = forwarded ? kTagMoved : kTagData;
+
+  // Free any chunk chain of the old body, then rewrite.
+  {
+    PinnedPage pin(pool_, body_rid.page);
+    EXODUS_RETURN_IF_ERROR(pin.status());
+    EXODUS_ASSIGN_OR_RETURN(std::string old, pin.get()->Read(body_rid.slot));
+    EXODUS_RETURN_IF_ERROR(FreeBody(old.substr(1)));
+  }
+
+  EXODUS_ASSIGN_OR_RETURN(std::string body, BuildBody(bytes));
+  std::string record(1, body_tag);
+  record += body;
+
+  {
+    PinnedPage pin(pool_, body_rid.page);
+    EXODUS_RETURN_IF_ERROR(pin.status());
+    Page* page = pin.get();
+    EXODUS_ASSIGN_OR_RETURN(std::string old, page->Read(body_rid.slot));
+    if (record.size() <= old.size() ||
+        page->FreeSpace() + old.size() >= record.size()) {
+      Status st = page->Update(body_rid.slot, record.data(), record.size());
+      if (st.ok()) {
+        pin.MarkDirty();
+        return Status::OK();
+      }
+      // Update freed the slot; fall through to relocation.
+    } else {
+      EXODUS_RETURN_IF_ERROR(page->Delete(body_rid.slot));
+    }
+    pin.MarkDirty();
+  }
+
+  // Relocate the body and plant/refresh the forwarding stub at `rid`.
+  record[0] = kTagMoved;
+  EXODUS_ASSIGN_OR_RETURN(Rid new_body, InsertRecord(record));
+  std::string stub;
+  stub.push_back(kTagForward);
+  stub += EncodeRid(new_body);
+
+  PinnedPage pin(pool_, rid.page);
+  EXODUS_RETURN_IF_ERROR(pin.status());
+  Page* page = pin.get();
+  Status st;
+  if (forwarded) {
+    // The stub still lives at rid; rewrite it (same size, succeeds).
+    st = page->Update(rid.slot, stub.data(), stub.size());
+  } else {
+    st = page->InsertAt(rid.slot, stub.data(), stub.size());
+  }
+  pin.MarkDirty();
+  if (!st.ok()) {
+    return Status::IoError("could not plant forwarding stub at " +
+                           rid.ToString() + ": " + st.ToString());
+  }
+  return Status::OK();
+}
+
+Status ObjectStore::Delete(const Rid& rid) {
+  EXODUS_ASSIGN_OR_RETURN(auto raw, ReadRaw(rid));
+  bool forwarded = raw.second.size() == 1 && raw.second[0] == kTagForward;
+  Rid body_rid = forwarded ? raw.first : rid;
+  {
+    PinnedPage pin(pool_, body_rid.page);
+    EXODUS_RETURN_IF_ERROR(pin.status());
+    EXODUS_ASSIGN_OR_RETURN(std::string body, pin.get()->Read(body_rid.slot));
+    EXODUS_RETURN_IF_ERROR(FreeBody(body.substr(1)));
+    EXODUS_RETURN_IF_ERROR(pin.get()->Delete(body_rid.slot));
+    pin.MarkDirty();
+  }
+  if (forwarded) {
+    PinnedPage pin(pool_, rid.page);
+    EXODUS_RETURN_IF_ERROR(pin.status());
+    EXODUS_RETURN_IF_ERROR(pin.get()->Delete(rid.slot));
+    pin.MarkDirty();
+  }
+  --record_count_;
+  return Status::OK();
+}
+
+Status ObjectStore::ForEach(
+    const std::function<Status(const Rid&, const std::string&)>& fn) const {
+  // Iterate pages until the pager reports past-end.
+  for (PageId id = 0;; ++id) {
+    PinnedPage pin(pool_, id);
+    if (!pin.status().ok()) break;  // past the end of the volume
+    Page* page = pin.get();
+    for (uint16_t slot = 0; slot < page->slot_count(); ++slot) {
+      if (!page->IsLive(slot)) continue;
+      EXODUS_ASSIGN_OR_RETURN(std::string record, page->Read(slot));
+      if (record.empty()) continue;
+      Rid rid{id, slot};
+      if (record[0] == kTagData) {
+        EXODUS_ASSIGN_OR_RETURN(std::string payload,
+                                ReadBody(record.substr(1)));
+        EXODUS_RETURN_IF_ERROR(fn(rid, payload));
+      } else if (record[0] == kTagForward) {
+        EXODUS_ASSIGN_OR_RETURN(std::string body, Read(rid));
+        EXODUS_RETURN_IF_ERROR(fn(rid, body));
+      }
+      // kTagMoved bodies and kTagChunk segments are reached through
+      // their owners.
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace exodus::storage

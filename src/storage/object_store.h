@@ -1,0 +1,88 @@
+#ifndef EXODUS_STORAGE_OBJECT_STORE_H_
+#define EXODUS_STORAGE_OBJECT_STORE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace exodus::storage {
+
+/// Stable record identifier: (page, slot).
+struct Rid {
+  PageId page = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool operator==(const Rid& other) const {
+    return page == other.page && slot == other.slot;
+  }
+  std::string ToString() const {
+    return "(" + std::to_string(page) + "," + std::to_string(slot) + ")";
+  }
+};
+
+/// A heap file of variable-length records over the buffer pool, in the
+/// spirit of the EXODUS storage manager's storage objects: records keep
+/// a stable Rid for life; an update that no longer fits on its page
+/// relocates the body and plants a forwarding stub at the original Rid;
+/// records larger than a page are transparently chunked across pages
+/// (EXODUS-style large storage objects, simplified to a chain).
+class ObjectStore {
+ public:
+  explicit ObjectStore(BufferPool* pool);
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  /// Appends a record; returns its Rid.
+  util::Result<Rid> Insert(const std::string& bytes);
+
+  /// Reads a record, transparently following forwarding stubs.
+  util::Result<std::string> Read(const Rid& rid) const;
+
+  /// Rewrites a record in place when possible; otherwise relocates the
+  /// body and forwards. The original Rid stays valid either way.
+  util::Status Update(const Rid& rid, const std::string& bytes);
+
+  /// Deletes a record (and its forwarded body, if any).
+  util::Status Delete(const Rid& rid);
+
+  /// Iterates every live, non-stub record in storage order.
+  util::Status ForEach(
+      const std::function<util::Status(const Rid&, const std::string&)>& fn)
+      const;
+
+  size_t record_count() const { return record_count_; }
+
+ private:
+  static constexpr char kTagData = 'D';
+  static constexpr char kTagForward = 'F';
+  // A forwarded body: readable only through its stub.
+  static constexpr char kTagMoved = 'M';
+  // One segment of a large (multi-page) record.
+  static constexpr char kTagChunk = 'C';
+
+  util::Result<Rid> InsertTagged(char tag, const std::string& bytes);
+  /// Writes one raw page record (no chunking).
+  util::Result<Rid> InsertRecord(const std::string& record);
+  /// Encodes a payload as a body: inline, or chunked across pages.
+  util::Result<std::string> BuildBody(const std::string& bytes);
+  /// Decodes a body, following the chunk chain if present.
+  util::Result<std::string> ReadBody(const std::string& body) const;
+  /// Frees a body's chunk chain (no-op for inline bodies).
+  util::Status FreeBody(const std::string& body);
+  /// Resolves one level of forwarding.
+  util::Result<std::pair<Rid, std::string>> ReadRaw(const Rid& rid) const;
+
+  BufferPool* pool_;
+  /// Pages with potentially usable free space (approximate free list).
+  std::vector<PageId> candidate_pages_;
+  size_t record_count_ = 0;
+};
+
+}  // namespace exodus::storage
+
+#endif  // EXODUS_STORAGE_OBJECT_STORE_H_

@@ -1,0 +1,85 @@
+#ifndef EXODUS_STORAGE_PAGE_H_
+#define EXODUS_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace exodus::storage {
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = 0xffffffffu;
+
+/// Size of one page, matching the EXODUS storage manager's disk-block
+/// orientation.
+inline constexpr size_t kPageSize = 8192;
+
+/// A slotted page: a slot directory grows from the front, record data
+/// grows from the back. Deleting a record leaves a dead slot (so record
+/// ids remain stable); compaction reclaims data space in place.
+///
+/// Layout:
+///   [u16 slot_count][u16 free_end] [slot 0][slot 1]... ...data... |end
+///   slot: [u16 offset][u16 length], offset==0xffff marks a dead slot.
+class Page {
+ public:
+  Page() { std::memset(data_, 0, kPageSize); Format(); }
+
+  /// Initializes an empty page (also used to reinterpret raw bytes).
+  void Format();
+
+  /// Inserts a record; returns its slot number, or OutOfRange if the
+  /// page cannot hold `size` more bytes (after compaction).
+  util::Result<uint16_t> Insert(const void* bytes, size_t size);
+
+  /// Reads the record in `slot`. NotFound for dead/out-of-range slots.
+  util::Result<std::string> Read(uint16_t slot) const;
+
+  /// Deletes the record in `slot` (idempotent for dead slots).
+  util::Status Delete(uint16_t slot);
+
+  /// Replaces the record in `slot`. Fails with OutOfRange if the new
+  /// record does not fit on this page even after compaction; in that
+  /// case the old record is gone and the slot is dead — the caller then
+  /// relocates the record and plants a forwarding stub via InsertAt.
+  util::Status Update(uint16_t slot, const void* bytes, size_t size);
+
+  /// Inserts a record into a specific (dead) slot; used by the object
+  /// store to plant forwarding stubs so record ids stay stable.
+  util::Status InsertAt(uint16_t slot, const void* bytes, size_t size);
+
+  /// Bytes available for one more record (slot entry accounted for).
+  size_t FreeSpace() const;
+
+  /// Number of slots (live and dead).
+  uint16_t slot_count() const;
+  /// True if `slot` holds a live record.
+  bool IsLive(uint16_t slot) const;
+
+  char* raw() { return data_; }
+  const char* raw() const { return data_; }
+
+ private:
+  static constexpr uint16_t kDeadOffset = 0xffff;
+  static constexpr size_t kHeaderSize = 4;
+  static constexpr size_t kSlotSize = 4;
+
+  uint16_t GetU16(size_t pos) const;
+  void SetU16(size_t pos, uint16_t v);
+  uint16_t SlotOffset(uint16_t slot) const;
+  uint16_t SlotLength(uint16_t slot) const;
+  void SetSlot(uint16_t slot, uint16_t offset, uint16_t length);
+
+  /// Moves live records to the back of the page, eliminating holes.
+  void Compact();
+
+  char data_[kPageSize];
+};
+
+}  // namespace exodus::storage
+
+#endif  // EXODUS_STORAGE_PAGE_H_

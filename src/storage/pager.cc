@@ -1,0 +1,90 @@
+#include "storage/pager.h"
+
+namespace exodus::storage {
+
+using util::Result;
+using util::Status;
+
+Pager::Pager() = default;
+
+Pager::Pager(std::FILE* file) : file_(file) {
+  std::fseek(file_, 0, SEEK_END);
+  long size = std::ftell(file_);
+  page_count_ = static_cast<uint32_t>(size / static_cast<long>(kPageSize));
+}
+
+Pager::~Pager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::unique_ptr<Pager>> Pager::OpenFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open volume '" + path + "'");
+  }
+  return std::unique_ptr<Pager>(new Pager(f));
+}
+
+Result<std::unique_ptr<Pager>> Pager::CreateFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w+b");
+  if (f == nullptr) {
+    return Status::IoError("cannot create '" + path + "'");
+  }
+  return std::unique_ptr<Pager>(new Pager(f));
+}
+
+Result<PageId> Pager::AllocatePage() {
+  PageId id = page_count_;
+  Page fresh;
+  if (file_ != nullptr) {
+    if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0 ||
+        std::fwrite(fresh.raw(), kPageSize, 1, file_) != 1) {
+      return Status::IoError("failed to extend volume");
+    }
+  } else {
+    memory_.push_back(std::make_unique<Page>());
+  }
+  ++page_count_;
+  return id;
+}
+
+Status Pager::ReadPage(PageId id, Page* out) {
+  if (id >= page_count_) {
+    return Status::OutOfRange("page " + std::to_string(id) +
+                              " beyond volume end");
+  }
+  if (file_ != nullptr) {
+    if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0 ||
+        std::fread(out->raw(), kPageSize, 1, file_) != 1) {
+      return Status::IoError("failed to read page " + std::to_string(id));
+    }
+    return Status::OK();
+  }
+  std::memcpy(out->raw(), memory_[id]->raw(), kPageSize);
+  return Status::OK();
+}
+
+Status Pager::WritePage(PageId id, const Page& page) {
+  if (id >= page_count_) {
+    return Status::OutOfRange("page " + std::to_string(id) +
+                              " beyond volume end");
+  }
+  if (file_ != nullptr) {
+    if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0 ||
+        std::fwrite(page.raw(), kPageSize, 1, file_) != 1) {
+      return Status::IoError("failed to write page " + std::to_string(id));
+    }
+    return Status::OK();
+  }
+  std::memcpy(memory_[id]->raw(), page.raw(), kPageSize);
+  return Status::OK();
+}
+
+Status Pager::Sync() {
+  if (file_ != nullptr && std::fflush(file_) != 0) {
+    return Status::IoError("fflush failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace exodus::storage

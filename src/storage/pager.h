@@ -1,0 +1,55 @@
+#ifndef EXODUS_STORAGE_PAGER_H_
+#define EXODUS_STORAGE_PAGER_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace exodus::storage {
+
+/// Page-granularity storage: either an anonymous in-memory volume or a
+/// file on disk (a flat array of kPageSize-byte pages). The buffer pool
+/// sits on top.
+class Pager {
+ public:
+  /// In-memory volume.
+  Pager();
+  ~Pager();
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Opens an existing file-backed volume (NotFound if absent).
+  static util::Result<std::unique_ptr<Pager>> OpenFile(
+      const std::string& path);
+
+  /// Creates a fresh (truncated) file-backed volume.
+  static util::Result<std::unique_ptr<Pager>> CreateFile(
+      const std::string& path);
+
+  /// Appends a fresh, formatted page; returns its id.
+  util::Result<PageId> AllocatePage();
+
+  util::Status ReadPage(PageId id, Page* out);
+  util::Status WritePage(PageId id, const Page& page);
+
+  uint32_t page_count() const { return page_count_; }
+
+  /// Flushes file buffers (no-op for memory volumes).
+  util::Status Sync();
+
+ private:
+  explicit Pager(std::FILE* file);
+
+  std::FILE* file_ = nullptr;  // null => in-memory
+  std::vector<std::unique_ptr<Page>> memory_;
+  uint32_t page_count_ = 0;
+};
+
+}  // namespace exodus::storage
+
+#endif  // EXODUS_STORAGE_PAGER_H_

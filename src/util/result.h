@@ -1,0 +1,86 @@
+#ifndef EXODUS_UTIL_RESULT_H_
+#define EXODUS_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace exodus::util {
+
+/// A value-or-error holder, the project's counterpart to `arrow::Result`.
+///
+/// A `Result<T>` holds either a `T` (success) or a non-OK `Status`. Use
+/// `ok()` to discriminate, `ValueOrDie()` / `*result` to access the value
+/// and `status()` to access the error.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  /// Constructs from a non-OK status (failure). Constructing a Result from
+  /// an OK status is a programming error and is converted to kInternal.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; OK if this result holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Moves the value out of the result. Requires `ok()`.
+  T MoveValueUnsafe() { return std::get<T>(std::move(repr_)); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace exodus::util
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns the status
+/// from the enclosing function, otherwise move-assigns the value to `lhs`.
+#define EXODUS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = tmp.MoveValueUnsafe()
+
+#define EXODUS_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define EXODUS_ASSIGN_OR_RETURN_CONCAT(x, y) \
+  EXODUS_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define EXODUS_ASSIGN_OR_RETURN(lhs, rexpr)                               \
+  EXODUS_ASSIGN_OR_RETURN_IMPL(                                           \
+      EXODUS_ASSIGN_OR_RETURN_CONCAT(_exodus_result_, __COUNTER__), lhs, \
+      rexpr)
+
+#endif  // EXODUS_UTIL_RESULT_H_

@@ -1,0 +1,41 @@
+#ifndef EXODUS_UTIL_STRING_UTIL_H_
+#define EXODUS_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace exodus::util {
+
+/// Returns `s` converted to lower case (ASCII only).
+std::string ToLower(std::string_view s);
+
+/// Returns `s` converted to upper case (ASCII only).
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII string equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on every occurrence of `sep`; does not merge empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Escapes a string for embedding in an EXCESS string literal: doubles
+/// backslashes and escapes double quotes and control characters.
+std::string EscapeString(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Formats a double the way EXCESS prints float values: shortest
+/// representation that round-trips, always containing '.' or 'e'.
+std::string FormatDouble(double v);
+
+}  // namespace exodus::util
+
+#endif  // EXODUS_UTIL_STRING_UTIL_H_

@@ -1,0 +1,229 @@
+// ADT facility: Date / Complex / Box built-ins, operator registration
+// (punctuation and identifier operators, precedence), registry errors.
+
+#include <gtest/gtest.h>
+
+#include "adt/box.h"
+#include "adt/complex.h"
+#include "adt/date.h"
+#include "adt/registry.h"
+#include "excess/database.h"
+
+namespace exodus {
+namespace {
+
+using object::Value;
+using object::ValueKind;
+
+class AdtTest : public ::testing::Test {
+ protected:
+  Value Eval(const std::string& expr) {
+    auto r = db_.EvalExpression(expr);
+    EXPECT_TRUE(r.ok()) << expr << " -> " << r.status().ToString();
+    return r.ok() ? *r : Value::Null();
+  }
+
+  Database db_;
+};
+
+TEST_F(AdtTest, DateConstructionAndComponents) {
+  EXPECT_EQ(Eval(R"(Date("8/23/1988"))").ToString(), "8/23/1988");
+  EXPECT_EQ(Eval("Date(1988, 8, 23)").ToString(), "8/23/1988");
+  EXPECT_EQ(Eval(R"(Date("8/23/1988").Year)").AsInt(), 1988);
+  EXPECT_EQ(Eval(R"(Date("8/23/1988").Month)").AsInt(), 8);
+  EXPECT_EQ(Eval(R"(Date("8/23/1988").Day)").AsInt(), 23);
+}
+
+TEST_F(AdtTest, InvalidDatesRejected) {
+  EXPECT_FALSE(db_.EvalExpression(R"(Date("2/30/1988"))").ok());
+  EXPECT_FALSE(db_.EvalExpression(R"(Date("13/1/1988"))").ok());
+  EXPECT_FALSE(db_.EvalExpression(R"(Date("oops"))").ok());
+  // Leap years.
+  EXPECT_TRUE(db_.EvalExpression(R"(Date("2/29/1988"))").ok());
+  EXPECT_FALSE(db_.EvalExpression(R"(Date("2/29/1900"))").ok());
+  EXPECT_TRUE(db_.EvalExpression(R"(Date("2/29/2000"))").ok());
+}
+
+TEST_F(AdtTest, DateArithmeticAndComparison) {
+  EXPECT_EQ(Eval(R"(Date("1/1/1989") - Date("1/1/1988"))").AsInt(), 366);
+  EXPECT_EQ(Eval(R"(Date("12/31/1988").AddDays(1))").ToString(), "1/1/1989");
+  EXPECT_EQ(Eval(R"(Date("1/1/1988").AddDays(-1))").ToString(), "12/31/1987");
+  EXPECT_TRUE(Eval(R"(Date("1/1/1988") < Date("1/2/1988"))").AsBool());
+  EXPECT_TRUE(Eval(R"(Date("1/1/1988") = Date("1/1/1988"))").AsBool());
+  EXPECT_FALSE(Eval(R"(Date("1/1/1988") >= Date("1/2/1988"))").AsBool());
+}
+
+TEST_F(AdtTest, DateDayNumberRoundTrip) {
+  for (int64_t day : {-1000000L, -1L, 0L, 1L, 400L * 146097L, 735000L}) {
+    adt::DatePayload d = adt::DatePayload::FromDayNumber(day);
+    EXPECT_EQ(d.DayNumber(), day);
+  }
+}
+
+TEST_F(AdtTest, ComplexOperatorsAndFunctions) {
+  EXPECT_EQ(Eval("Complex(1.0, 2.0) + Complex(3.0, 4.0)").ToString(),
+            "(4.0 + 6.0i)");
+  EXPECT_EQ(Eval("Complex(5.0, 6.0) - Complex(1.0, 2.0)").ToString(),
+            "(4.0 + 4.0i)");
+  // (1+2i)(3+4i) = 3+4i+6i-8 = -5+10i
+  EXPECT_EQ(Eval("Complex(1.0, 2.0) * Complex(3.0, 4.0)").ToString(),
+            "(-5.0 + 10.0i)");
+  EXPECT_DOUBLE_EQ(Eval("Complex(3.0, 4.0).Magnitude").AsFloat(), 5.0);
+  EXPECT_DOUBLE_EQ(Eval("Complex(3.0, 4.0).Re").AsFloat(), 3.0);
+  EXPECT_DOUBLE_EQ(Eval("Complex(3.0, 4.0).Im").AsFloat(), 4.0);
+  // Operator precedence is preserved for overloaded symbols:
+  // a + b * c groups as a + (b * c).
+  EXPECT_EQ(
+      Eval("Complex(1.0,0.0) + Complex(2.0,0.0) * Complex(3.0,0.0)")
+          .ToString(),
+      "(7.0 + 0.0i)");
+}
+
+TEST_F(AdtTest, ComplexHasNoOrdering) {
+  auto r = db_.EvalExpression("Complex(1.0,1.0) < Complex(2.0,2.0)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kTypeError);
+}
+
+TEST_F(AdtTest, BoxGeometry) {
+  EXPECT_DOUBLE_EQ(Eval("Box(0.0, 0.0, 2.0, 3.0).Area").AsFloat(), 6.0);
+  EXPECT_DOUBLE_EQ(Eval("Box(2.0, 3.0, 0.0, 0.0).Width").AsFloat(), 2.0);
+  EXPECT_TRUE(
+      Eval("Box(0.0,0.0,2.0,2.0) overlaps Box(1.0,1.0,3.0,3.0)").AsBool());
+  EXPECT_FALSE(
+      Eval("Box(0.0,0.0,1.0,1.0) overlaps Box(2.0,2.0,3.0,3.0)").AsBool());
+  EXPECT_TRUE(
+      Eval("Box(0.0,0.0,4.0,4.0).Contains(Box(1.0,1.0,2.0,2.0))").AsBool());
+}
+
+TEST_F(AdtTest, AdtValuesAsAttributes) {
+  auto r = db_.Execute(R"(
+    define type Part (name: text, bounds: Box)
+    create Parts : {Part}
+    append to Parts (name = "gear", bounds = Box(0.0, 0.0, 2.0, 2.0))
+    append to Parts (name = "axle", bounds = Box(5.0, 5.0, 6.0, 6.0))
+    retrieve (P.name) from P in Parts
+    where P.bounds overlaps Box(1.0, 1.0, 3.0, 3.0)
+  )");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0].AsString(), "gear");
+}
+
+TEST_F(AdtTest, ConstructorArityChecked) {
+  EXPECT_FALSE(db_.EvalExpression("Complex(1.0)").ok());
+  EXPECT_FALSE(db_.EvalExpression("Box(1.0, 2.0)").ok());
+  EXPECT_FALSE(db_.EvalExpression("Date(1, 2)").ok());
+}
+
+TEST_F(AdtTest, RegistryRejectsDuplicatesAndUnknowns) {
+  adt::Registry* reg = db_.adts();
+  auto dup = reg->RegisterType("Date", nullptr, 0);
+  EXPECT_EQ(dup.status().code(), util::StatusCode::kAlreadyExists);
+  EXPECT_FALSE(reg->RegisterFunction("NoSuch", "F", 1, nullptr).ok());
+  EXPECT_FALSE(
+      reg->RegisterOperator("@", "NoSuch", "F", 5, adt::Assoc::kLeft,
+                            adt::Fixity::kInfix)
+          .ok());
+  EXPECT_FALSE(reg->RegisterOperator("@", "Date", "NoFn", 5,
+                                     adt::Assoc::kLeft, adt::Fixity::kInfix)
+                   .ok());
+  // Duplicate operator for the same ADT/fixity.
+  EXPECT_FALSE(reg->RegisterOperator("-", "Date", "DiffDays", 6,
+                                     adt::Assoc::kLeft, adt::Fixity::kInfix)
+                   .ok());
+}
+
+TEST_F(AdtTest, UserRegisteredPunctuationOperator) {
+  // Register a brand-new punctuation operator '~>' meaning AddDays.
+  ASSERT_TRUE(db_.adts()
+                  ->RegisterOperator("~>", "Date", "AddDays", 6,
+                                     adt::Assoc::kLeft, adt::Fixity::kInfix)
+                  .ok());
+  Value v = Eval(R"(Date("1/1/1988") ~> 31)");
+  EXPECT_EQ(v.ToString(), "2/1/1988");
+}
+
+TEST_F(AdtTest, UserRegisteredAdtEndToEnd) {
+  // A minimal user ADT: Fraction with numerator/denominator.
+  class FractionPayload : public object::AdtPayload {
+   public:
+    FractionPayload(int64_t n, int64_t d) : n_(n), d_(d) {}
+    std::string Print() const override {
+      return std::to_string(n_) + "/" + std::to_string(d_);
+    }
+    bool Equals(const object::AdtPayload& o) const override {
+      const auto& f = static_cast<const FractionPayload&>(o);
+      return n_ * f.d_ == f.n_ * d_;
+    }
+    size_t Hash() const override {
+      return std::hash<double>()(static_cast<double>(n_) /
+                                 static_cast<double>(d_));
+    }
+    bool Comparable() const override { return true; }
+    int Compare(const object::AdtPayload& o) const override {
+      const auto& f = static_cast<const FractionPayload&>(o);
+      int64_t lhs = n_ * f.d_;
+      int64_t rhs = f.n_ * d_;
+      return lhs < rhs ? -1 : (lhs > rhs ? 1 : 0);
+    }
+    int64_t n() const { return n_; }
+    int64_t d() const { return d_; }
+
+   private:
+    int64_t n_, d_;
+  };
+
+  adt::Registry* reg = db_.adts();
+  auto id = reg->RegisterType(
+      "Fraction",
+      [](const std::vector<Value>& args) -> util::Result<Value> {
+        if (args.size() != 2 || args[0].kind() != ValueKind::kInt ||
+            args[1].kind() != ValueKind::kInt || args[1].AsInt() == 0) {
+          return util::Status::TypeError("Fraction(n, d) with d != 0");
+        }
+        return Value::Adt(-1, nullptr);  // patched below
+      },
+      2);
+  ASSERT_TRUE(id.ok());
+  int adt_id = *id;
+  // Re-register constructor capturing the real id (registry stores by
+  // value; easiest is registering a function-based maker).
+  ASSERT_TRUE(reg->RegisterFunction(
+                     "Fraction", "Make", 2,
+                     [adt_id](const std::vector<Value>& args)
+                         -> util::Result<Value> {
+                       return Value::Adt(
+                           adt_id, std::make_shared<FractionPayload>(
+                                       args[0].AsInt(), args[1].AsInt()));
+                     })
+                  .ok());
+  // Register in the catalog so it can be used as an attribute type.
+  ASSERT_TRUE(db_.catalog()
+                  ->RegisterType("Fraction", db_.catalog()
+                                                 ->type_store()
+                                                 ->MakeAdt("Fraction", adt_id))
+                  .ok());
+  // Comparable -> orderable via ValueCompare.
+  Value half = Value::Adt(adt_id, std::make_shared<FractionPayload>(1, 2));
+  Value third = Value::Adt(adt_id, std::make_shared<FractionPayload>(1, 3));
+  EXPECT_EQ(*object::ValueCompare(third, half), -1);
+  EXPECT_TRUE(object::ValueEquals(
+      half, Value::Adt(adt_id, std::make_shared<FractionPayload>(2, 4))));
+}
+
+TEST_F(AdtTest, SymmetricCallFormFromPaper) {
+  // "Add (CnumPair.val1, CnumPair.val2)" — paper §4.1.
+  auto r = db_.Execute(R"(
+    define type CnumPair (val1: Complex, val2: Complex)
+    create Pair : CnumPair
+    assign Pair.val1 = Complex(1.0, 1.0)
+    assign Pair.val2 = Complex(2.0, 2.0)
+    retrieve (Add(Pair.val1, Pair.val2))
+  )");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0].ToString(), "(3.0 + 3.0i)");
+}
+
+}  // namespace
+}  // namespace exodus

@@ -1,0 +1,196 @@
+// Authorization (paper §4.2.3): users, groups, the all-users group,
+// per-privilege grants, creator rights, and data abstraction through
+// execute-only access to functions running with definer rights.
+
+#include <gtest/gtest.h>
+
+#include "auth/auth.h"
+#include "excess/database.h"
+
+namespace exodus {
+namespace {
+
+using auth::AuthManager;
+using auth::Privilege;
+
+TEST(AuthManagerTest, UsersAndGroups) {
+  AuthManager am;
+  EXPECT_TRUE(am.UserExists(AuthManager::kDba));
+  EXPECT_TRUE(am.GroupExists(AuthManager::kPublicGroup));
+  EXPECT_TRUE(am.CreateUser("carey").ok());
+  EXPECT_FALSE(am.CreateUser("carey").ok());
+  EXPECT_TRUE(am.CreateGroup("faculty").ok());
+  EXPECT_FALSE(am.CreateGroup("faculty").ok());
+  EXPECT_TRUE(am.AddUserToGroup("carey", "faculty").ok());
+  EXPECT_FALSE(am.AddUserToGroup("nobody", "faculty").ok());
+  EXPECT_FALSE(am.AddUserToGroup("carey", "nogroup").ok());
+  EXPECT_EQ(am.GroupsOf("carey").size(), 1u);
+}
+
+TEST(AuthManagerTest, GrantsAndChecks) {
+  AuthManager am;
+  ASSERT_TRUE(am.CreateUser("carey").ok());
+  ASSERT_TRUE(am.CreateUser("dewitt").ok());
+  ASSERT_TRUE(am.CreateGroup("faculty").ok());
+  ASSERT_TRUE(am.AddUserToGroup("dewitt", "faculty").ok());
+
+  // No grant -> no access (unless creator or dba).
+  EXPECT_FALSE(am.Check("carey", "Employees", Privilege::kRetrieve, "zaniolo"));
+  EXPECT_TRUE(am.Check("zaniolo", "Employees", Privilege::kRetrieve,
+                       "zaniolo"));  // creator
+  EXPECT_TRUE(am.Check(AuthManager::kDba, "Employees", Privilege::kRetrieve,
+                       "zaniolo"));  // dba
+
+  // Direct user grant.
+  ASSERT_TRUE(am.Grant("Employees", Privilege::kRetrieve, "carey").ok());
+  EXPECT_TRUE(am.Check("carey", "Employees", Privilege::kRetrieve, ""));
+  EXPECT_FALSE(am.Check("carey", "Employees", Privilege::kAppend, ""));
+
+  // Group grant.
+  ASSERT_TRUE(am.Grant("Employees", Privilege::kAppend, "faculty").ok());
+  EXPECT_TRUE(am.Check("dewitt", "Employees", Privilege::kAppend, ""));
+  EXPECT_FALSE(am.Check("carey", "Employees", Privilege::kAppend, ""));
+
+  // Public (all-users) group grant.
+  ASSERT_TRUE(am.Grant("Employees", Privilege::kDelete,
+                       AuthManager::kPublicGroup)
+                  .ok());
+  EXPECT_TRUE(am.Check("carey", "Employees", Privilege::kDelete, ""));
+
+  // Revoke.
+  ASSERT_TRUE(am.Revoke("Employees", Privilege::kRetrieve, "carey").ok());
+  EXPECT_FALSE(am.Check("carey", "Employees", Privilege::kRetrieve, ""));
+  EXPECT_FALSE(am.Revoke("Employees", Privilege::kRetrieve, "carey").ok());
+
+  am.DropObject("Employees");
+  EXPECT_FALSE(am.Check("dewitt", "Employees", Privilege::kAppend, ""));
+}
+
+TEST(AuthManagerTest, ParsePrivilege) {
+  EXPECT_EQ(*auth::ParsePrivilege("retrieve"), Privilege::kRetrieve);
+  EXPECT_EQ(*auth::ParsePrivilege("execute"), Privilege::kExecute);
+  EXPECT_FALSE(auth::ParsePrivilege("fly").ok());
+}
+
+class AuthIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Must(R"(
+      define type Employee (name: char[25], salary: float8)
+      create Employees : {Employee}
+      append to Employees (name = "a", salary = 100.0)
+      create user carey
+      create user intern
+      create group staff
+      add user carey to group staff
+    )");
+  }
+
+  excess::QueryResult Must(const std::string& q) {
+    auto r = db_.Execute(q);
+    EXPECT_TRUE(r.ok()) << q << "\n -> " << r.status().ToString();
+    return r.ok() ? *r : excess::QueryResult{};
+  }
+
+  void ExpectDenied(const std::string& q) {
+    auto r = db_.Execute(q);
+    ASSERT_FALSE(r.ok()) << "expected permission denial: " << q;
+    EXPECT_EQ(r.status().code(), util::StatusCode::kPermissionDenied)
+        << r.status().ToString();
+  }
+
+  Database db_;
+};
+
+TEST_F(AuthIntegrationTest, UngrantedAccessDenied) {
+  Must("set user intern");
+  ExpectDenied("retrieve (E.name) from E in Employees");
+  ExpectDenied(R"(append to Employees (name = "x"))");
+  ExpectDenied("delete E from E in Employees");
+  ExpectDenied("replace E (salary = 0.0) from E in Employees");
+}
+
+TEST_F(AuthIntegrationTest, GrantEnablesSpecificPrivileges) {
+  Must("grant retrieve on Employees to intern");
+  Must("set user intern");
+  Must("retrieve (E.name) from E in Employees");
+  ExpectDenied(R"(append to Employees (name = "x"))");
+  Must("set user dba");
+  Must("grant append on Employees to staff");
+  Must("set user carey");  // via the staff group
+  Must(R"(append to Employees (name = "by-carey"))");
+}
+
+TEST_F(AuthIntegrationTest, RevokeRemovesAccess) {
+  Must("grant retrieve on Employees to intern");
+  Must("set user intern");
+  Must("retrieve (count(E)) from E in Employees");
+  Must("set user dba");
+  Must("revoke retrieve on Employees from intern");
+  Must("set user intern");
+  ExpectDenied("retrieve (count(E)) from E in Employees");
+}
+
+TEST_F(AuthIntegrationTest, OnlyCreatorOrDbaGrants) {
+  Must("set user intern");
+  ExpectDenied("grant retrieve on Employees to intern");
+}
+
+TEST_F(AuthIntegrationTest, CreatorHasAllRights) {
+  Must("set user carey");
+  Must("create Mine : {Employee}");
+  Must(R"(append to Mine (name = "m"))");
+  Must("retrieve (M.name) from M in Mine");
+  Must("grant retrieve on Mine to intern");  // creator can grant
+  Must("set user intern");
+  Must("retrieve (M.name) from M in Mine");
+}
+
+TEST_F(AuthIntegrationTest, DataAbstractionViaExecuteOnlyFunctions) {
+  // The paper's §4.2.3 scenario: grant access to a schema type only via
+  // its EXCESS functions, making it an abstract data type. Functions run
+  // with definer rights, so AvgSalary works although intern cannot scan
+  // Employees directly.
+  Must(R"(define function AvgSalary (x: int4) returns float8 as
+          retrieve (avg(E.salary)) from E in Employees)");
+  Must("grant execute on AvgSalary to intern");
+  Must("set user intern");
+  ExpectDenied("retrieve (E.salary) from E in Employees");
+  auto r = Must("retrieve (AvgSalary(0))");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsFloat(), 100.0);
+}
+
+TEST_F(AuthIntegrationTest, ExecutePrivilegeRequiredForFunctions) {
+  Must(R"(define function Leak (x: int4) returns float8 as
+          retrieve (avg(E.salary)) from E in Employees)");
+  Must("set user intern");
+  ExpectDenied("retrieve (Leak(0))");
+}
+
+TEST_F(AuthIntegrationTest, ProceduresRunWithDefinerRights) {
+  Must(R"(define procedure Raise (amount: float8) as
+          replace E (salary = E.salary + amount) from E in Employees)");
+  Must("grant execute on Raise to intern");
+  Must("set user intern");
+  Must("execute Raise(10.0)");
+  Must("set user dba");
+  auto r = Must("retrieve (E.salary) from E in Employees");
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsFloat(), 110.0);
+}
+
+TEST_F(AuthIntegrationTest, DropRequiresCreatorOrDba) {
+  Must("set user intern");
+  ExpectDenied("drop Employees");
+  Must("set user dba");
+  Must("drop Employees");
+}
+
+TEST_F(AuthIntegrationTest, SetUserRequiresExistingUser) {
+  auto r = db_.Execute("set user ghost");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace exodus

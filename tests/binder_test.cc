@@ -1,0 +1,204 @@
+// Binder: range-variable resolution (explicit, session, implicit),
+// path-range dependencies, type inference, and bind-time errors.
+
+#include "excess/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "excess/database.h"
+#include "excess/parser.h"
+
+namespace exodus::excess {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto r = db_.Execute(R"(
+      define type Department (name: char[20], floor: int4)
+      define type Person (name: char[25], kids: {own ref Person})
+      define type Employee inherits Person (
+        salary: float8, dept: ref Department)
+      create Departments : {Department}
+      create Employees : {Employee}
+      create Today : Date
+      range of SessE is Employees
+    )");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+
+  BoundQuery MustBind(const std::string& text,
+                      const std::set<std::string>& prebound = {}) {
+    Parser parser(text, db_.adts());
+    auto stmt = parser.ParseSingleStatement();
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    stmt_ = std::move(*stmt);
+    Binder binder(db_.catalog(), db_.functions(), db_.adts(),
+                  &SessionRanges());
+    auto q = binder.Bind(*stmt_, prebound);
+    EXPECT_TRUE(q.ok()) << text << " -> " << q.status().ToString();
+    return q.ok() ? std::move(*q) : BoundQuery{};
+  }
+
+  util::Status BindError(const std::string& text) {
+    Parser parser(text, db_.adts());
+    auto stmt = parser.ParseSingleStatement();
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    stmt_ = std::move(*stmt);
+    Binder binder(db_.catalog(), db_.functions(), db_.adts(),
+                  &SessionRanges());
+    auto q = binder.Bind(*stmt_);
+    EXPECT_FALSE(q.ok()) << "expected bind failure: " << text;
+    return q.status();
+  }
+
+  // The database does not expose its session-range map; maintain our own
+  // (mirroring the `range of SessE` declared in SetUp).
+  std::map<std::string, ExprPtr>& SessionRanges() {
+    if (session_.empty()) {
+      session_["SessE"] = MakeVar("Employees");
+    }
+    return session_;
+  }
+
+  Database db_;
+  StmtPtr stmt_;
+  std::map<std::string, ExprPtr> session_;
+  std::vector<ExprPtr> expr_keepalive_;
+};
+
+TEST_F(BinderTest, ExplicitFromBindingIsRoot) {
+  BoundQuery q =
+      MustBind("retrieve (E.name) from E in Employees where E.salary > 1.0");
+  ASSERT_EQ(q.vars.size(), 1u);
+  EXPECT_TRUE(q.vars[0].is_root);
+  EXPECT_EQ(q.vars[0].named_collection, "Employees");
+  ASSERT_NE(q.vars[0].elem_type, nullptr);
+  EXPECT_EQ(q.vars[0].elem_type->name(), "Employee");
+  EXPECT_EQ(q.conjuncts.size(), 1u);
+}
+
+TEST_F(BinderTest, ImplicitVarOverNamedSet) {
+  BoundQuery q = MustBind("retrieve (Employees.name)");
+  ASSERT_EQ(q.vars.size(), 1u);
+  EXPECT_EQ(q.vars[0].name, "Employees");
+  EXPECT_TRUE(q.vars[0].is_root);
+}
+
+TEST_F(BinderTest, SessionRangeUsedLazily) {
+  BoundQuery q = MustBind("retrieve (SessE.name)");
+  ASSERT_EQ(q.vars.size(), 1u);
+  EXPECT_EQ(q.vars[0].name, "SessE");
+  EXPECT_TRUE(q.vars[0].is_root);
+  // Unused session ranges create no loops.
+  q = MustBind("retrieve (Departments.name)");
+  EXPECT_EQ(q.vars.size(), 1u);
+}
+
+TEST_F(BinderTest, PathRangeDependsOnParent) {
+  BoundQuery q = MustBind(
+      "retrieve (C.name) from C in Employees.kids "
+      "where Employees.dept.floor = 2");
+  ASSERT_EQ(q.vars.size(), 2u);
+  // Topological order: Employees before C.
+  EXPECT_EQ(q.vars[0].name, "Employees");
+  EXPECT_EQ(q.vars[1].name, "C");
+  EXPECT_FALSE(q.vars[1].is_root);
+  ASSERT_EQ(q.vars[1].depends_on.size(), 1u);
+  EXPECT_EQ(q.vars[1].depends_on[0], q.vars[0].id);
+  ASSERT_NE(q.vars[1].elem_type, nullptr);
+  EXPECT_EQ(q.vars[1].elem_type->name(), "Person");
+}
+
+TEST_F(BinderTest, ChainedPathRanges) {
+  BoundQuery q = MustBind(
+      "retrieve (G.name) from E in Employees, K in E.kids, G in K.kids");
+  ASSERT_EQ(q.vars.size(), 3u);
+  EXPECT_EQ(q.vars[2].name, "G");
+  EXPECT_EQ(q.vars[2].elem_type->name(), "Person");
+}
+
+TEST_F(BinderTest, WhereSplitsIntoConjuncts) {
+  BoundQuery q = MustBind(
+      "retrieve (E.name) from E in Employees "
+      "where E.salary > 1.0 and E.name != \"x\" and (E.salary < 9.0 or "
+      "E.name = \"y\")");
+  EXPECT_EQ(q.conjuncts.size(), 3u);
+}
+
+TEST_F(BinderTest, PreboundParametersAreNotVars) {
+  BoundQuery q = MustBind("retrieve (P.name)", {"P"});
+  EXPECT_EQ(q.vars.size(), 0u);
+}
+
+TEST_F(BinderTest, UnknownNameFailsAtBind) {
+  auto st = BindError("retrieve (Mystery.name)");
+  EXPECT_EQ(st.code(), util::StatusCode::kNotFound);
+}
+
+TEST_F(BinderTest, UnknownAttributeFailsAtBind) {
+  auto st = BindError("retrieve (E.wages) from E in Employees");
+  EXPECT_EQ(st.code(), util::StatusCode::kNotFound);
+}
+
+TEST_F(BinderTest, RangeOverScalarRejected) {
+  auto st = BindError("retrieve (X.name) from X in Today");
+  EXPECT_EQ(st.code(), util::StatusCode::kTypeError);
+}
+
+TEST_F(BinderTest, RangeOverScalarAttributeRejected) {
+  auto st = BindError(
+      "retrieve (X) from E in Employees, X in E.salary");
+  EXPECT_EQ(st.code(), util::StatusCode::kTypeError);
+}
+
+TEST_F(BinderTest, InferTypeBasics) {
+  BoundQuery q = MustBind("retrieve (E.name) from E in Employees");
+  Binder binder(db_.catalog(), db_.functions(), db_.adts(), &SessionRanges());
+
+  auto type_of = [&](const std::string& text) -> const extra::Type* {
+    Parser parser(text, db_.adts());
+    auto e = parser.ParseSingleExpression();
+    EXPECT_TRUE(e.ok());
+    expr_keepalive_.push_back(std::move(*e));
+    auto t = binder.InferType(*expr_keepalive_.back(), q);
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    return t.ok() ? *t : nullptr;
+  };
+
+  EXPECT_EQ(type_of("5")->kind(), extra::TypeKind::kInt8);
+  EXPECT_EQ(type_of("5.0")->kind(), extra::TypeKind::kFloat8);
+  EXPECT_EQ(type_of("\"s\"")->kind(), extra::TypeKind::kText);
+  EXPECT_EQ(type_of("E.name")->kind(), extra::TypeKind::kChar);
+  EXPECT_EQ(type_of("E.salary")->kind(), extra::TypeKind::kFloat8);
+  // Paths dereference refs.
+  EXPECT_EQ(type_of("E.dept.floor")->kind(), extra::TypeKind::kInt4);
+  // Collections keep their structure.
+  EXPECT_TRUE(type_of("E.kids")->is_set());
+  // Mixed arithmetic widens.
+  EXPECT_EQ(type_of("E.salary + 1")->kind(), extra::TypeKind::kFloat8);
+  EXPECT_EQ(type_of("1 + 2")->kind(), extra::TypeKind::kInt8);
+  // Predicates are boolean.
+  EXPECT_EQ(type_of("E.salary > 1.0")->kind(), extra::TypeKind::kBool);
+  // Aggregates.
+  EXPECT_EQ(type_of("count(E.kids)")->kind(), extra::TypeKind::kInt8);
+  EXPECT_EQ(type_of("avg(E.salary)")->kind(), extra::TypeKind::kFloat8);
+  // Named scalar object.
+  EXPECT_EQ(type_of("Today")->kind(), extra::TypeKind::kAdt);
+}
+
+TEST_F(BinderTest, CircularSessionRangesRejected) {
+  Parser p1("retrieve (A.name)", db_.adts());
+  auto stmt = p1.ParseSingleStatement();
+  ASSERT_TRUE(stmt.ok());
+  std::map<std::string, ExprPtr> circular;
+  circular["A"] = MakeAttr(MakeVar("B"), "kids");
+  circular["B"] = MakeAttr(MakeVar("A"), "kids");
+  Binder binder(db_.catalog(), db_.functions(), db_.adts(), &circular);
+  auto q = binder.Bind(**stmt);
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("circular"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace exodus::excess

@@ -1,0 +1,82 @@
+#include "extra/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace exodus::extra {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  Catalog catalog_;
+};
+
+TEST_F(CatalogTest, RegisterAndFindTypes) {
+  const Type* person =
+      *catalog_.type_store()->MakeTuple("Person", {}, {}, {});
+  ASSERT_TRUE(catalog_.RegisterType("Person", person).ok());
+  EXPECT_TRUE(catalog_.HasType("Person"));
+  EXPECT_EQ(*catalog_.FindType("Person"), person);
+  EXPECT_FALSE(catalog_.FindType("Ghost").ok());
+  // Duplicate type names rejected.
+  EXPECT_EQ(catalog_.RegisterType("Person", person).code(),
+            util::StatusCode::kAlreadyExists);
+  // Tuple types enter the lattice.
+  EXPECT_EQ(catalog_.lattice().all_types().size(), 1u);
+  // Enums register but stay out of the lattice.
+  const Type* color = catalog_.type_store()->MakeEnum("Color", {"red"});
+  ASSERT_TRUE(catalog_.RegisterType("Color", color).ok());
+  EXPECT_EQ(catalog_.lattice().all_types().size(), 1u);
+}
+
+TEST_F(CatalogTest, NamedObjectLifecycle) {
+  const Type* person =
+      *catalog_.type_store()->MakeTuple("Person", {}, {}, {});
+  ASSERT_TRUE(catalog_.RegisterType("Person", person).ok());
+  const Type* set = catalog_.type_store()->MakeSet(
+      catalog_.type_store()->MakeRef(person, true));
+
+  ASSERT_TRUE(catalog_
+                  .CreateNamed("People", set, object::Value::EmptySet(),
+                               "carey")
+                  .ok());
+  NamedObject* obj = catalog_.FindNamed("People");
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(obj->creator, "carey");
+  EXPECT_EQ(obj->type, set);
+
+  // Name collisions in either direction are rejected.
+  EXPECT_EQ(catalog_.CreateNamed("People", set, object::Value::EmptySet(), "")
+                .code(),
+            util::StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog_.CreateNamed("Person", set, object::Value::EmptySet(), "")
+                .code(),
+            util::StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog_.RegisterType("People", person).code(),
+            util::StatusCode::kAlreadyExists);
+
+  ASSERT_TRUE(catalog_.DropNamed("People").ok());
+  EXPECT_EQ(catalog_.FindNamed("People"), nullptr);
+  EXPECT_EQ(catalog_.DropNamed("People").code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST_F(CatalogTest, StableIterationOrders) {
+  const Type* t = *catalog_.type_store()->MakeTuple("T", {}, {}, {});
+  ASSERT_TRUE(catalog_.RegisterType("T", t).ok());
+  for (const char* name : {"zeta", "alpha", "mid"}) {
+    ASSERT_TRUE(catalog_
+                    .CreateNamed(name, t, object::Value::Null(), "dba")
+                    .ok());
+  }
+  // named_objects() iterates in name order (persistence determinism).
+  std::vector<std::string> names;
+  for (const auto& [name, obj] : catalog_.named_objects()) {
+    names.push_back(name);
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid", "zeta"}));
+  // named_types_in_order preserves definition order.
+  EXPECT_EQ(catalog_.named_types_in_order()[0].first, "T");
+}
+
+}  // namespace
+}  // namespace exodus::extra

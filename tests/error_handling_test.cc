@@ -1,0 +1,181 @@
+// Failure-injection sweep: every user-visible error path should return
+// a well-typed Status with a usable message — never crash, never throw,
+// and never leave obviously corrupt state behind.
+
+#include <gtest/gtest.h>
+
+#include "excess/database.h"
+
+namespace exodus {
+namespace {
+
+class ErrorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto r = db_.Execute(R"(
+      define type Department (name: char[20], floor: int4)
+      define type Employee (name: char[25], salary: float8,
+                            dept: ref Department, tags: {text},
+                            scores: [2] int4)
+      create Departments : {Department}
+      create Employees : {Employee}
+      append to Employees (name = "a", salary = 10.0)
+    )");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+
+  util::Status Err(const std::string& q) {
+    auto r = db_.Execute(q);
+    EXPECT_FALSE(r.ok()) << "expected failure: " << q;
+    return r.ok() ? util::Status::OK() : r.status();
+  }
+
+  Database db_;
+};
+
+using util::StatusCode;
+
+TEST_F(ErrorTest, ParseErrors) {
+  EXPECT_EQ(Err("retrive (x)").code(), StatusCode::kParseError);
+  EXPECT_EQ(Err("retrieve (").code(), StatusCode::kParseError);
+  EXPECT_EQ(Err("define type (x: int4)").code(), StatusCode::kParseError);
+  EXPECT_EQ(Err("append to (x = 1)").code(), StatusCode::kParseError);
+  EXPECT_EQ(Err("\"unterminated").code(), StatusCode::kParseError);
+}
+
+TEST_F(ErrorTest, DdlErrors) {
+  EXPECT_EQ(Err("define type Employee (x: int4)").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(Err("create Employees : {Employee}").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(Err("define type T (x: NoSuchType)").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(Err("define type T inherits NoSuch (x: int4)").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(Err("create X : NoSuchType").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Err("drop NoSuchObject").code(), StatusCode::kNotFound);
+  // References must target tuple types.
+  EXPECT_EQ(Err("define type T (x: ref Date)").code(),
+            StatusCode::kTypeError);
+  // A type may not embed itself by value.
+  EXPECT_EQ(Err("define type T (x: {T})").code(), StatusCode::kTypeError);
+}
+
+TEST_F(ErrorTest, BindErrors) {
+  EXPECT_EQ(Err("retrieve (Nope.x)").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Err("retrieve (E.nope) from E in Employees").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(Err("retrieve (X) from X in Employees.name").code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(Err("delete Ghost where 1 = 1").code(), StatusCode::kNotFound);
+}
+
+TEST_F(ErrorTest, RuntimeTypeErrors) {
+  EXPECT_EQ(Err("retrieve (E.name + E.salary) from E in Employees").code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(Err("retrieve (E.name) from E in Employees where E.salary")
+                .code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(
+      Err("retrieve (E.name) from E in Employees, F in Employees "
+          "where E.dept = F.dept")
+          .code(),
+      StatusCode::kTypeError);
+  EXPECT_EQ(Err("retrieve (E.dept < E.dept) from E in Employees").code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(Err("retrieve (1 is 1)").code(), StatusCode::kTypeError);
+  EXPECT_EQ(Err("retrieve (1 / 0)").code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(ErrorTest, UpdateErrors) {
+  EXPECT_EQ(Err("append to Employees (ghost = 1)").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(Err("append to Employees (salary = \"lots\")").code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(Err("append to Today (1)").code(), StatusCode::kNotFound);
+  // Appending to a fixed array is rejected; assign to a slot instead.
+  EXPECT_EQ(Err("append to E.scores (1) from E in Employees").code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(Err("replace E (ghost = 1) from E in Employees").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(Err("assign Employees = {}").code(), StatusCode::kTypeError);
+  // Assigning beyond a fixed array's bounds.
+  db_.Execute("create Pair : [2] ref Employee");
+  EXPECT_EQ(Err("assign Pair[5] = E from E in Employees").code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(ErrorTest, FunctionAndProcedureErrors) {
+  EXPECT_EQ(Err("retrieve (NoFn(1))").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Err("execute NoProc(1)").code(), StatusCode::kNotFound);
+  ASSERT_TRUE(db_.Execute("define function F (E: Employee) returns int4 as "
+                          "retrieve (1)")
+                  .ok());
+  EXPECT_EQ(Err("retrieve (F(1, 2, 3))").code(), StatusCode::kTypeError);
+  // Function bodies that fail propagate their error.
+  ASSERT_TRUE(db_.Execute("define function Bad (E: Employee) returns int4 "
+                          "as retrieve (1 / 0)")
+                  .ok());
+  EXPECT_EQ(Err("retrieve (E.Bad) from E in Employees").code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(ErrorTest, NullPathsAreValuesNotErrors) {
+  // Navigation through null is data, not failure.
+  auto r = db_.Execute(
+      "retrieve (E.dept.name, E.dept.floor + 1) from E in Employees");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->rows[0][0].is_null());
+  EXPECT_TRUE(r->rows[0][1].is_null());
+}
+
+TEST_F(ErrorTest, FailedStatementInProgramStopsExecution) {
+  auto r = db_.Execute(R"(
+    append to Employees (name = "b", salary = 1.0)
+    retrieve (boom)
+    append to Employees (name = "c", salary = 2.0)
+  )");
+  ASSERT_FALSE(r.ok());
+  // The first append applied; the third never ran.
+  auto count = db_.Execute("retrieve (count(E)) from E in Employees");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0].AsInt(), 2);
+}
+
+TEST_F(ErrorTest, DatabaseRemainsUsableAfterErrors) {
+  for (const char* bad :
+       {"retrieve (", "retrieve (boom)", "append to Employees (x = 1)",
+        "retrieve (1 / 0)", "define type Employee (y: int4)"}) {
+    EXPECT_FALSE(db_.Execute(bad).ok());
+  }
+  auto r = db_.Execute("retrieve (E.name) from E in Employees");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 1u);
+}
+
+TEST_F(ErrorTest, DeepRecursionInPathsIsBounded) {
+  // A chain of 200 owned objects: cascade delete must not overflow.
+  ASSERT_TRUE(db_.Execute(R"(
+    define type Node (label: int4, next: own ref Node)
+    create Chain : {Node}
+  )")
+                  .ok());
+  std::string nested = "(label = 0";
+  for (int i = 1; i < 200; ++i) {
+    nested += ", next = (label = " + std::to_string(i);
+  }
+  for (int i = 0; i < 200; ++i) nested += ")";
+  ASSERT_TRUE(db_.Execute("append to Chain " + nested).ok());
+  EXPECT_EQ(db_.heap()->live_count(), 201u);  // 200 nodes + employee "a"
+  ASSERT_TRUE(db_.Execute("delete N from N in Chain").ok());
+  EXPECT_EQ(db_.heap()->live_count(), 1u);
+}
+
+TEST_F(ErrorTest, EvalExpressionErrors) {
+  EXPECT_FALSE(db_.EvalExpression("TopTen[1]").ok());
+  EXPECT_FALSE(db_.EvalExpression("1 +").ok());
+  EXPECT_TRUE(db_.EvalExpression("1 + 2").ok());
+}
+
+}  // namespace
+}  // namespace exodus

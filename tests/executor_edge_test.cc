@@ -1,0 +1,209 @@
+// Edge cases of the execution engine: own-tuple set elements, fixed
+// arrays, null ordering, empty extents, self-joins, and value/identity
+// interactions that the mainline tests do not reach.
+
+#include <gtest/gtest.h>
+
+#include "excess/database.h"
+
+namespace exodus {
+namespace {
+
+using excess::QueryResult;
+using object::ValueKind;
+
+class EdgeTest : public ::testing::Test {
+ protected:
+  QueryResult Must(const std::string& q) {
+    auto r = db_.Execute(q);
+    EXPECT_TRUE(r.ok()) << q << "\n -> " << r.status().ToString();
+    return r.ok() ? *r : QueryResult{};
+  }
+
+  Database db_;
+};
+
+TEST_F(EdgeTest, OwnTupleSetElements) {
+  Must(R"(
+    define type Address (street: text, city: text)
+    define type Person (name: char[25], addresses: {Address})
+    create People : {Person}
+    append to People (name = "ann", addresses = {
+      (street = "Main", city = "Madison"),
+      (street = "State", city = "Chicago")})
+  )");
+  // Iterate own (value) tuple elements.
+  QueryResult r = Must(R"(retrieve (A.city) from P in People,
+                          A in P.addresses sort by A.city)");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Chicago");
+
+  // Replace mutates the stored element in place (shared representation).
+  Must(R"(replace A (city = "Tokyo") from P in People, A in P.addresses
+          where A.street = "Main")");
+  r = Must(R"(retrieve (A.city) from P in People, A in P.addresses
+              sort by A.city)");
+  EXPECT_EQ(r.rows[1][0].AsString(), "Tokyo");
+
+  // Delete removes by value.
+  Must(R"(delete A from P in People, A in P.addresses
+          where A.city = "Tokyo")");
+  r = Must("retrieve (count(P.addresses)) from P in People");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+
+  // Own tuples have no identity: value-equal duplicates are suppressed.
+  Must(R"(append to P.addresses (street = "State", city = "Chicago")
+          from P in People)");
+  r = Must("retrieve (count(P.addresses)) from P in People");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+}
+
+TEST_F(EdgeTest, FixedArrayDeleteNullsTheSlot) {
+  Must(R"(
+    define type T (slots: [3] int4)
+    create Crate : T
+    assign Crate.slots[1] = 10
+    assign Crate.slots[2] = 20
+    assign Crate.slots[3] = 30
+  )");
+  Must("delete S from S in Crate.slots where S = 20");
+  QueryResult r = Must("retrieve (Crate.slots[1], Crate.slots[2], Crate.slots[3])");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 10);
+  EXPECT_TRUE(r.rows[0][1].is_null());  // fixed arrays keep their shape
+  EXPECT_EQ(r.rows[0][2].AsInt(), 30);
+}
+
+TEST_F(EdgeTest, NullsSortFirst) {
+  Must(R"(
+    define type T (x: int4)
+    create S : {T}
+    append to S (x = 2)
+    append to S ()
+    append to S (x = 1)
+  )");
+  QueryResult r = Must("retrieve (V.x) from V in S sort by V.x");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_TRUE(r.rows[0][0].is_null());
+  EXPECT_EQ(r.rows[1][0].AsInt(), 1);
+  EXPECT_EQ(r.rows[2][0].AsInt(), 2);
+}
+
+TEST_F(EdgeTest, EmptyExtents) {
+  Must(R"(
+    define type T (x: int4)
+    create S : {T}
+  )");
+  QueryResult r = Must("retrieve (V.x) from V in S");
+  EXPECT_TRUE(r.rows.empty());
+  r = Must("retrieve (count(V)) from V in S");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+  r = Must("retrieve (V.x) from V in S sort by V.x");
+  EXPECT_TRUE(r.rows.empty());
+  EXPECT_EQ(Must("delete V from V in S").affected, 0u);
+  EXPECT_EQ(Must("replace V (x = 1) from V in S").affected, 0u);
+}
+
+TEST_F(EdgeTest, SelfJoinBindsIndependently) {
+  Must(R"(
+    define type T (x: int4)
+    create S : {T}
+    append to S (x = 1)
+    append to S (x = 2)
+    append to S (x = 3)
+  )");
+  QueryResult r = Must(R"(
+    retrieve (A.x, B.x) from A in S, B in S where A.x < B.x
+    sort by A.x, B.x
+  )");
+  ASSERT_EQ(r.rows.size(), 3u);  // (1,2) (1,3) (2,3)
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 2);
+  EXPECT_EQ(r.rows[2][0].AsInt(), 2);
+  EXPECT_EQ(r.rows[2][1].AsInt(), 3);
+}
+
+TEST_F(EdgeTest, TripleNestedQuantifiers) {
+  Must(R"(
+    define type Leaf (v: int4)
+    define type Mid (leaves: {own ref Leaf})
+    define type Root (name: char[10], mids: {own ref Mid})
+    create Roots : {Root}
+    append to Roots (name = "good", mids = {
+      (leaves = {(v = 1), (v = 2)}),
+      (leaves = {(v = 3)})})
+    append to Roots (name = "bad", mids = {
+      (leaves = {(v = 1), (v = -1)})})
+  )");
+  QueryResult r = Must(R"(
+    retrieve (R.name) from R in Roots
+    where all M in R.mids : (all L in M.leaves : L.v > 0)
+  )");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "good");
+}
+
+TEST_F(EdgeTest, UniqueOnWholeObjectsUsesIdentity) {
+  Must(R"(
+    define type T (x: int4)
+    create S : {T}
+    append to S (x = 1)
+    append to S (x = 1)
+  )");
+  // Two value-identical objects remain distinct under unique (identity).
+  QueryResult r = Must("retrieve unique (V) from V in S");
+  EXPECT_EQ(r.rows.size(), 2u);
+  // But unique on their values collapses.
+  r = Must("retrieve unique (V.x) from V in S");
+  EXPECT_EQ(r.rows.size(), 1u);
+}
+
+TEST_F(EdgeTest, ArithmeticOnCharAndTextMixes) {
+  Must(R"(
+    define type T (a: char[5], b: text)
+    create S : {T}
+    append to S (a = "ab", b = "cd")
+  )");
+  QueryResult r = Must("retrieve (V.a + V.b) from V in S");
+  EXPECT_EQ(r.rows[0][0].AsString(), "abcd");
+}
+
+TEST_F(EdgeTest, SetLiteralInPredicateAndProjection) {
+  QueryResult r = Must("retrieve ({1, 2} union {2, 3})");
+  EXPECT_EQ(r.rows[0][0].set().elems.size(), 3u);
+  r = Must("retrieve (2 in {1, 2}, {} contains 1)");
+  EXPECT_TRUE(r.rows[0][0].AsBool());
+  EXPECT_FALSE(r.rows[0][1].AsBool());
+}
+
+TEST_F(EdgeTest, ChainedOwnershipTransferThroughReplace) {
+  Must(R"(
+    define type Engine (cc: int4)
+    define type Car (name: char[10], engine: own ref Engine)
+    create Cars : {Car}
+    append to Cars (name = "a", engine = (cc = 1000))
+  )");
+  EXPECT_EQ(db_.heap()->live_count(), 2u);
+  // Replacing the component destroys the old one.
+  Must(R"(replace C (engine = (cc = 2000)) from C in Cars)");
+  EXPECT_EQ(db_.heap()->live_count(), 2u);
+  QueryResult r = Must("retrieve (C.engine.cc) from C in Cars");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2000);
+}
+
+TEST_F(EdgeTest, LargeProgramManyStatements) {
+  Must(R"(
+    define type T (x: int4)
+    create S : {T}
+  )");
+  std::string program;
+  for (int i = 0; i < 300; ++i) {
+    program += "append to S (x = " + std::to_string(i) + ");\n";
+  }
+  Must(program);
+  QueryResult r = Must("retrieve (count(V), sum(V.x)) from V in S");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 300);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 300 * 299 / 2);
+}
+
+}  // namespace
+}  // namespace exodus

@@ -1,0 +1,314 @@
+// Retrieve-side behaviour: comparisons, logical operators, null handling,
+// is/isnot, quantifiers, set operators, arrays, enums, sorting, unique.
+
+#include <gtest/gtest.h>
+
+#include "excess/database.h"
+
+namespace exodus {
+namespace {
+
+using excess::QueryResult;
+using object::Value;
+using object::ValueKind;
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Must(R"(
+      define enum Status (active, inactive, retired)
+      define type Department (name: char[20], floor: int4)
+      define type Person (
+        name: char[25],
+        age: int4,
+        status: Status,
+        skills: {char[12]},
+        scores: [3] int4,
+        kids: {own ref Person}
+      )
+      define type Employee inherits Person (
+        salary: float8,
+        dept: ref Department,
+        buddy: ref Employee
+      )
+      create Departments : {Department}
+      create Employees : {Employee}
+      append to Departments (name = "Toys", floor = 2)
+      append to Departments (name = "Shoes", floor = 1)
+      append to Employees (name = "ann", age = 30, status = active,
+        salary = 100.0, skills = {"c", "sql"}, scores = [7, 8, 9],
+        dept = D) from D in Departments where D.name = "Toys"
+      append to Employees (name = "bob", age = 40, status = inactive,
+        salary = 200.0, skills = {"c"}, scores = [1, 2, 3],
+        dept = D) from D in Departments where D.name = "Shoes"
+      append to Employees (name = "cat", age = 50, status = active,
+        salary = 300.0, skills = {}, scores = [4, 5, 6],
+        kids = {(name = "kit", age = 9), (name = "kat", age = 12)})
+    )");
+  }
+
+  QueryResult Must(const std::string& q) {
+    auto r = db_.Execute(q);
+    EXPECT_TRUE(r.ok()) << q << "\n -> " << r.status().ToString();
+    return r.ok() ? *r : QueryResult{};
+  }
+
+  void ExpectError(const std::string& q, util::StatusCode code) {
+    auto r = db_.Execute(q);
+    ASSERT_FALSE(r.ok()) << "expected failure: " << q;
+    EXPECT_EQ(r.status().code(), code) << r.status().ToString();
+  }
+
+  std::vector<std::string> Names(const std::string& where) {
+    QueryResult r = Must("retrieve (E.name) from E in Employees " + where +
+                         " sort by E.name");
+    std::vector<std::string> out;
+    for (const auto& row : r.rows) out.push_back(row[0].AsString());
+    return out;
+  }
+
+  Database db_;
+};
+
+TEST_F(QueryTest, Comparisons) {
+  EXPECT_EQ(Names("where E.salary > 150.0"),
+            (std::vector<std::string>{"bob", "cat"}));
+  EXPECT_EQ(Names("where E.salary >= 200.0"),
+            (std::vector<std::string>{"bob", "cat"}));
+  EXPECT_EQ(Names("where E.salary < 150.0"),
+            (std::vector<std::string>{"ann"}));
+  EXPECT_EQ(Names("where E.name != \"bob\""),
+            (std::vector<std::string>{"ann", "cat"}));
+  EXPECT_EQ(Names("where E.age = 40"), (std::vector<std::string>{"bob"}));
+  EXPECT_EQ(Names("where E.name <= \"ann\""),
+            (std::vector<std::string>{"ann"}));
+}
+
+TEST_F(QueryTest, LogicalOperators) {
+  EXPECT_EQ(Names("where E.age > 30 and E.salary < 250.0"),
+            (std::vector<std::string>{"bob"}));
+  EXPECT_EQ(Names("where E.age = 30 or E.age = 50"),
+            (std::vector<std::string>{"ann", "cat"}));
+  EXPECT_EQ(Names("where not (E.age = 30)"),
+            (std::vector<std::string>{"bob", "cat"}));
+}
+
+TEST_F(QueryTest, ArithmeticInProjections) {
+  QueryResult r = Must(
+      "retrieve (E.salary * 2.0 + 1.0) from E in Employees "
+      "where E.name = \"ann\"");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsFloat(), 201.0);
+
+  r = Must("retrieve (7 / 2, 7 % 2, 7.0 / 2.0) where 1 = 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 1);
+  EXPECT_DOUBLE_EQ(r.rows[0][2].AsFloat(), 3.5);
+}
+
+TEST_F(QueryTest, DivisionByZeroIsAnError) {
+  ExpectError("retrieve (1 / 0)", util::StatusCode::kOutOfRange);
+}
+
+TEST_F(QueryTest, StringConcatenation) {
+  QueryResult r = Must(R"(retrieve ("a" + "b"))");
+  EXPECT_EQ(r.rows[0][0].AsString(), "ab");
+}
+
+TEST_F(QueryTest, NullSemantics) {
+  // cat has no dept: E.dept.floor is null; null comparisons are false.
+  EXPECT_EQ(Names("where E.dept.floor = 2"),
+            (std::vector<std::string>{"ann"}));
+  EXPECT_EQ(Names("where E.dept.floor > 0"),
+            (std::vector<std::string>{"ann", "bob"}));
+  EXPECT_EQ(Names("where isnull(E.dept)"),
+            (std::vector<std::string>{"cat"}));
+  EXPECT_EQ(Names("where not isnull(E.dept)"),
+            (std::vector<std::string>{"ann", "bob"}));
+}
+
+TEST_F(QueryTest, IsAndIsnotCompareIdentity) {
+  // Each employee is their own dept's... use buddy self-join instead:
+  Must(R"(replace E (buddy = F) from E in Employees, F in Employees
+          where E.name = "ann" and F.name = "bob")");
+  QueryResult who = Must(R"(
+    retrieve (E.name) from E in Employees, F in Employees
+    where E.buddy is F and F.name = "bob"
+  )");
+  ASSERT_EQ(who.rows.size(), 1u);
+  EXPECT_EQ(who.rows[0][0].AsString(), "ann");
+  // isnot: everyone whose buddy is not bob (null buddy is null -> isnot
+  // null object is... null isnot F is true only when F not null):
+  QueryResult r = Must(R"(
+    retrieve (E.name) from E in Employees
+    where E.buddy isnot E and not isnull(E.buddy)
+  )");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "ann");
+}
+
+TEST_F(QueryTest, EqualsOnRefsIsRejected) {
+  ExpectError("retrieve (E.name) from E in Employees, F in Employees "
+              "where E.buddy = F",
+              util::StatusCode::kTypeError);
+}
+
+TEST_F(QueryTest, EnumComparisonsAndScoping) {
+  EXPECT_EQ(Names("where E.status = active"),
+            (std::vector<std::string>{"ann", "cat"}));
+  EXPECT_EQ(Names("where E.status = Status.inactive"),
+            (std::vector<std::string>{"bob"}));
+  EXPECT_EQ(Names("where E.status = \"retired\""),
+            (std::vector<std::string>{}));
+  // Enums are ordered by declaration.
+  EXPECT_EQ(Names("where E.status < retired"),
+            (std::vector<std::string>{"ann", "bob", "cat"}));
+}
+
+TEST_F(QueryTest, SetMembershipAndContains) {
+  EXPECT_EQ(Names("where \"sql\" in E.skills"),
+            (std::vector<std::string>{"ann"}));
+  EXPECT_EQ(Names("where E.skills contains \"c\""),
+            (std::vector<std::string>{"ann", "bob"}));
+  EXPECT_EQ(Names("where E.age in {30, 50}"),
+            (std::vector<std::string>{"ann", "cat"}));
+}
+
+TEST_F(QueryTest, SetOperators) {
+  QueryResult r = Must(R"(
+    retrieve (E.skills union F.skills, E.skills intersect F.skills,
+              E.skills diff F.skills)
+    from E in Employees, F in Employees
+    where E.name = "ann" and F.name = "bob"
+  )");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].set().elems.size(), 2u);  // {c, sql}
+  EXPECT_EQ(r.rows[0][1].set().elems.size(), 1u);  // {c}
+  ASSERT_EQ(r.rows[0][2].set().elems.size(), 1u);  // {sql}
+  EXPECT_EQ(r.rows[0][2].set().elems[0].AsString(), "sql");
+}
+
+TEST_F(QueryTest, Quantifiers) {
+  EXPECT_EQ(Names("where all K in E.kids : K.age > 5"),
+            (std::vector<std::string>{"ann", "bob", "cat"}));  // vacuous too
+  EXPECT_EQ(Names("where some K in E.kids : K.age > 10"),
+            (std::vector<std::string>{"cat"}));
+  EXPECT_EQ(Names("where all K in E.kids : K.age > 10"),
+            (std::vector<std::string>{"ann", "bob"}));  // cat has kit (9)
+  EXPECT_EQ(Names("where some K in E.kids : K.age > 100"),
+            (std::vector<std::string>{}));
+}
+
+TEST_F(QueryTest, ArrayIndexingIsOneBased) {
+  QueryResult r = Must(R"(retrieve (E.scores[1], E.scores[3])
+                          from E in Employees where E.name = "ann")");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 7);
+  EXPECT_EQ(r.rows[0][1].AsInt(), 9);
+
+  // Out-of-range reads yield null.
+  r = Must(R"(retrieve (E.scores[99]) from E in Employees
+              where E.name = "ann")");
+  EXPECT_TRUE(r.rows[0][0].is_null());
+}
+
+TEST_F(QueryTest, IterateOverArrayWithFrom) {
+  QueryResult r = Must(R"(retrieve (S) from E in Employees, S in E.scores
+                          where E.name = "bob" sort by S)");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(r.rows[2][0].AsInt(), 3);
+}
+
+TEST_F(QueryTest, UniqueEliminatesDuplicates) {
+  QueryResult r = Must("retrieve (E.status) from E in Employees");
+  EXPECT_EQ(r.rows.size(), 3u);
+  r = Must("retrieve unique (E.status) from E in Employees");
+  EXPECT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(QueryTest, SortDescendingViaNegation) {
+  QueryResult r = Must(
+      "retrieve (E.name) from E in Employees sort by -E.salary");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "cat");
+  EXPECT_EQ(r.rows[2][0].AsString(), "ann");
+}
+
+TEST_F(QueryTest, CrossProductJoins) {
+  QueryResult r = Must(R"(
+    retrieve (E.name, F.name) from E in Employees, F in Employees
+    where E.salary > F.salary
+  )");
+  EXPECT_EQ(r.rows.size(), 3u);  // (bob,ann),(cat,ann),(cat,bob)
+}
+
+TEST_F(QueryTest, ImplicitJoinThroughRefPath) {
+  EXPECT_EQ(Names("where E.dept.name = \"Toys\""),
+            (std::vector<std::string>{"ann"}));
+}
+
+TEST_F(QueryTest, ValueJoinOnAttributes) {
+  QueryResult r = Must(R"(
+    retrieve (E.name, D.name) from E in Employees, D in Departments
+    where E.dept is D and D.floor = 1
+  )");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "bob");
+}
+
+TEST_F(QueryTest, UnknownNamesFailAtBind) {
+  ExpectError("retrieve (Nope.name)", util::StatusCode::kNotFound);
+  ExpectError("retrieve (E.nope) from E in Employees",
+              util::StatusCode::kNotFound);
+}
+
+TEST_F(QueryTest, NonBooleanWhereIsTypeError) {
+  ExpectError("retrieve (E.name) from E in Employees where E.age",
+              util::StatusCode::kTypeError);
+}
+
+TEST_F(QueryTest, SessionRangeDeclarationsPersist) {
+  Must("range of X is Employees");
+  QueryResult r = Must("retrieve (count(X))");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+  // Redefining replaces the old binding.
+  Must("range of X is Departments");
+  r = Must("retrieve (count(X))");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(QueryTest, ProjectionLabels) {
+  QueryResult r = Must(R"(retrieve (who = E.name) from E in Employees
+                          where E.age = 30)");
+  EXPECT_EQ(r.columns[0], "who");
+  r = Must(R"(retrieve (E.name) from E in Employees where E.age = 30)");
+  EXPECT_EQ(r.columns[0], "E.name");
+}
+
+TEST_F(QueryTest, DeepNesting) {
+  Must(R"(append to Employees (name = "deep", kids = {
+            (name = "k1", kids = {(name = "g1"), (name = "g2")})
+          }))");
+  QueryResult r = Must(R"(
+    retrieve (G.name) from E in Employees, K in E.kids, G in K.kids
+    where E.name = "deep" sort by G.name
+  )");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "g1");
+  EXPECT_EQ(r.rows[1][0].AsString(), "g2");
+}
+
+TEST_F(QueryTest, RetrieveWholeObjectsReturnsRefs) {
+  QueryResult r = Must(R"(retrieve (E) from E in Employees
+                          where E.name = "ann")");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].kind(), ValueKind::kRef);
+  std::string pretty = db_.FormatValue(r.rows[0][0]);
+  EXPECT_NE(pretty.find("Employee"), std::string::npos);
+  EXPECT_NE(pretty.find("ann"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace exodus

@@ -1,0 +1,134 @@
+// Randomized ownership-forest property test: build random composite
+// trees, delete random nodes, and check the heap's global invariants
+// against a reference model after every step.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <set>
+
+#include "extra/type.h"
+#include "object/heap.h"
+
+namespace exodus::object {
+namespace {
+
+class HeapPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    auto begun = store_.BeginTuple("Node", {}, {});
+    ASSERT_TRUE(begun.ok());
+    extra::Type* n = *begun;
+    node_ = n;
+    ASSERT_TRUE(store_
+                    .FinishTuple(n, {{"id", store_.int4(), "", ""},
+                                     {"children",
+                                      store_.MakeSet(store_.MakeRef(n, true)),
+                                      "", ""}})
+                    .ok());
+  }
+
+  Oid NewNode(int id) {
+    return heap_.Allocate(node_, {Value::Int(id), Value::EmptySet()});
+  }
+
+  extra::TypeStore store_;
+  const extra::Type* node_ = nullptr;
+  ObjectHeap heap_;
+};
+
+TEST_P(HeapPropertyTest, CascadeMatchesModelForest) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+
+  // Model: parent map + children map over live oids.
+  std::map<Oid, Oid> parent;          // child -> parent (0 = root)
+  std::map<Oid, std::set<Oid>> kids;  // parent -> children
+  std::set<Oid> live;
+
+  auto model_delete = [&](auto&& self, Oid oid) -> size_t {
+    if (!live.count(oid)) return 0;
+    size_t n = 1;
+    auto children = kids[oid];  // copy: recursion mutates
+    for (Oid c : children) n += self(self, c);
+    live.erase(oid);
+    kids.erase(oid);
+    Oid p = parent[oid];
+    parent.erase(oid);
+    if (p != 0) kids[p].erase(oid);
+    return n;
+  };
+
+  int next_id = 0;
+  for (int step = 0; step < 1500; ++step) {
+    int op = std::uniform_int_distribution<int>(0, 9)(rng);
+    if (live.empty() || op < 5) {
+      // Create a node, attached to a random live parent half the time.
+      Oid oid = NewNode(next_id++);
+      live.insert(oid);
+      parent[oid] = 0;
+      if (!live.empty() && std::uniform_int_distribution<int>(0, 1)(rng)) {
+        auto it = live.begin();
+        std::advance(it, std::uniform_int_distribution<size_t>(
+                             0, live.size() - 1)(rng));
+        Oid p = *it;
+        if (p != oid) {
+          HeapObject* pobj = heap_.Get(p);
+          ASSERT_NE(pobj, nullptr);
+          SetInsert(pobj->fields[1].mutable_set(), Value::Ref(oid));
+          ASSERT_TRUE(heap_.SetOwned(oid, p).ok());
+          parent[oid] = p;
+          kids[p].insert(oid);
+        }
+      }
+    } else if (op < 8) {
+      // Delete a random live node; cascade must match the model.
+      auto it = live.begin();
+      std::advance(it, std::uniform_int_distribution<size_t>(
+                           0, live.size() - 1)(rng));
+      Oid victim = *it;
+      size_t expected = model_delete(model_delete, victim);
+      size_t actual = heap_.Delete(victim);
+      ASSERT_EQ(actual, expected) << "victim " << victim;
+    } else {
+      // Re-owning an owned node must fail; owning a root must succeed
+      // once (then we release it to keep the model simple).
+      auto it = live.begin();
+      std::advance(it, std::uniform_int_distribution<size_t>(
+                           0, live.size() - 1)(rng));
+      Oid target = *it;
+      bool owned = parent[target] != 0;
+      auto st = heap_.SetOwned(target, 0);
+      if (owned) {
+        EXPECT_FALSE(st.ok());
+      } else {
+        EXPECT_TRUE(st.ok());
+        EXPECT_TRUE(heap_.ClearOwned(target).ok());
+      }
+    }
+
+    // Invariants after every step.
+    ASSERT_EQ(heap_.live_count(), live.size());
+    size_t seen = 0;
+    bool invariants_ok = true;
+    heap_.ForEachLive([&](Oid oid, const HeapObject& obj) {
+      ++seen;
+      if (!live.count(oid)) invariants_ok = false;
+      // Every owned object's recorded owner is live and lists it.
+      if (obj.owned && obj.owner_object != kInvalidOid) {
+        if (!live.count(obj.owner_object) ||
+            !kids[obj.owner_object].count(oid)) {
+          invariants_ok = false;
+        }
+      }
+    });
+    ASSERT_TRUE(invariants_ok) << "at step " << step;
+    ASSERT_EQ(seen, live.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapPropertyTest,
+                         ::testing::Values(17, 29, 43, 59));
+
+}  // namespace
+}  // namespace exodus::object

@@ -1,0 +1,156 @@
+// Object heap: identity, ownership uniqueness, cascade delete,
+// dangling-reference semantics, restore.
+
+#include "object/heap.h"
+
+#include <gtest/gtest.h>
+
+#include "extra/type.h"
+
+namespace exodus::object {
+namespace {
+
+class HeapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Person(name: text, kids: {own ref Person}, friend: ref Person)
+    auto begun = store_.BeginTuple("Person", {}, {});
+    ASSERT_TRUE(begun.ok());
+    extra::Type* p = *begun;
+    person_ = p;
+    auto st = store_.FinishTuple(
+        p, {{"name", store_.text(), "", ""},
+            {"kids", store_.MakeSet(store_.MakeRef(p, true)), "", ""},
+            {"buddy", store_.MakeRef(p, false), "", ""}});
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+
+  Oid NewPerson(const std::string& name) {
+    return heap_.Allocate(
+        person_,
+        {Value::String(name), Value::EmptySet(), Value::Null()});
+  }
+
+  void AddKid(Oid parent, Oid kid) {
+    HeapObject* p = heap_.Get(parent);
+    ASSERT_NE(p, nullptr);
+    SetInsert(p->fields[1].mutable_set(), Value::Ref(kid));
+    ASSERT_TRUE(heap_.SetOwned(kid, parent).ok());
+  }
+
+  extra::TypeStore store_;
+  const extra::Type* person_ = nullptr;
+  ObjectHeap heap_;
+};
+
+TEST_F(HeapTest, AllocateAndGet) {
+  Oid a = NewPerson("a");
+  Oid b = NewPerson("b");
+  EXPECT_NE(a, kInvalidOid);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(heap_.live_count(), 2u);
+  ASSERT_NE(heap_.Get(a), nullptr);
+  EXPECT_EQ(heap_.Get(a)->fields[0].AsString(), "a");
+  EXPECT_EQ(heap_.Get(999), nullptr);
+}
+
+TEST_F(HeapTest, DeleteLeavesDanglingRefs) {
+  Oid a = NewPerson("a");
+  Oid b = NewPerson("b");
+  heap_.Get(a)->fields[2] = Value::Ref(b);  // buddy
+  EXPECT_EQ(heap_.Delete(b), 1u);
+  // a's buddy ref now dangles; dereference yields nullptr (query layer
+  // treats it as null, GEM-style).
+  EXPECT_EQ(heap_.Get(b), nullptr);
+  EXPECT_EQ(heap_.Get(a)->fields[2].AsRef(), b);
+  EXPECT_EQ(heap_.live_count(), 1u);
+}
+
+TEST_F(HeapTest, OwnershipIsUnique) {
+  Oid parent1 = NewPerson("p1");
+  Oid parent2 = NewPerson("p2");
+  Oid kid = NewPerson("k");
+  EXPECT_TRUE(heap_.SetOwned(kid, parent1).ok());
+  // Composite-object constraint (paper §2.2): a Person in the kids set of
+  // one Employee cannot simultaneously be in another's.
+  auto st = heap_.SetOwned(kid, parent2);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::StatusCode::kConstraintViolation);
+  EXPECT_TRUE(heap_.ClearOwned(kid).ok());
+  EXPECT_TRUE(heap_.SetOwned(kid, parent2).ok());
+}
+
+TEST_F(HeapTest, CascadeDeleteFollowsOwnRefs) {
+  Oid grandpa = NewPerson("g");
+  Oid dad = NewPerson("d");
+  Oid kid = NewPerson("k");
+  Oid bystander = NewPerson("b");
+  AddKid(grandpa, dad);
+  AddKid(dad, kid);
+  // A plain ref to the dad must NOT cascade.
+  heap_.Get(bystander)->fields[2] = Value::Ref(dad);
+
+  EXPECT_EQ(heap_.Delete(grandpa), 3u);  // grandpa, dad, kid
+  EXPECT_EQ(heap_.live_count(), 1u);
+  EXPECT_NE(heap_.Get(bystander), nullptr);
+  EXPECT_EQ(heap_.Get(dad), nullptr);
+  EXPECT_EQ(heap_.Get(kid), nullptr);
+}
+
+TEST_F(HeapTest, DeleteIsIdempotent) {
+  Oid a = NewPerson("a");
+  EXPECT_EQ(heap_.Delete(a), 1u);
+  EXPECT_EQ(heap_.Delete(a), 0u);
+  EXPECT_EQ(heap_.Delete(12345), 0u);
+}
+
+TEST_F(HeapTest, CollectOwnedRefsWalksNestedStructures) {
+  // {own ref Person} inside a set inside an array.
+  const extra::Type* arr =
+      store_.MakeArray(store_.MakeSet(store_.MakeRef(person_, true)), 0);
+  Oid k1 = NewPerson("k1");
+  Oid k2 = NewPerson("k2");
+  auto inner = std::make_shared<SetData>();
+  SetInsert(inner.get(), Value::Ref(k1));
+  SetInsert(inner.get(), Value::Ref(k2));
+  Value v = Value::MakeArray({Value::Set(inner), Value::Null()});
+
+  std::vector<Oid> out;
+  ObjectHeap::CollectOwnedRefs(arr, v, &out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(HeapTest, CollectOwnedRefsIgnoresPlainRefs) {
+  const extra::Type* ref_t = store_.MakeRef(person_, false);
+  std::vector<Oid> out;
+  ObjectHeap::CollectOwnedRefs(ref_t, Value::Ref(7), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(HeapTest, RestoreRebuildsExactState) {
+  Oid a = heap_.Allocate(person_, {Value::String("x"), Value::EmptySet(),
+                                   Value::Null()});
+  heap_.Clear();
+  EXPECT_EQ(heap_.live_count(), 0u);
+
+  ASSERT_TRUE(heap_
+                  .Restore(42, person_,
+                           {Value::String("y"), Value::EmptySet(),
+                            Value::Null()},
+                           true, 7, "People")
+                  .ok());
+  const HeapObject* obj = heap_.Get(42);
+  ASSERT_NE(obj, nullptr);
+  EXPECT_TRUE(obj->owned);
+  EXPECT_EQ(obj->owner_object, 7u);
+  EXPECT_EQ(obj->owner_extent, "People");
+  // The allocator must not hand out restored oids again.
+  Oid next = NewPerson("z");
+  EXPECT_GT(next, 42u);
+  // Restoring an oid in use fails.
+  EXPECT_FALSE(heap_.Restore(42, person_, {}, false, 0).ok());
+  (void)a;
+}
+
+}  // namespace
+}  // namespace exodus::object

@@ -1,0 +1,293 @@
+// Access methods: B+tree (with a model-based property sweep), hash
+// index, index manager, the access-method applicability table, and
+// index maintenance through EXCESS updates.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+
+#include "excess/database.h"
+#include "index/btree.h"
+#include "index/hash_index.h"
+#include "index/index_manager.h"
+
+namespace exodus {
+namespace {
+
+using index::AccessMethodKind;
+using index::BTree;
+using index::HashIndex;
+using object::Oid;
+using object::Value;
+
+TEST(BTreeTest, InsertLookupErase) {
+  BTree tree(8);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree.Insert(Value::Int(i % 10), static_cast<Oid>(i + 1)).ok());
+  }
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+
+  auto hits = tree.Lookup(Value::Int(3));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 10u);
+
+  EXPECT_TRUE(*tree.Erase(Value::Int(3), 4));
+  EXPECT_FALSE(*tree.Erase(Value::Int(3), 4));  // already gone
+  EXPECT_FALSE(*tree.Erase(Value::Int(77), 1)); // no such key
+  EXPECT_EQ(tree.size(), 99u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BTreeTest, SplitsGrowHeight) {
+  BTree tree(4);
+  EXPECT_EQ(tree.height(), 1u);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree.Insert(Value::Int(i), static_cast<Oid>(i + 1)).ok());
+  }
+  EXPECT_GT(tree.height(), 2u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  for (int i = 0; i < 100; ++i) {
+    auto hits = tree.Lookup(Value::Int(i));
+    ASSERT_TRUE(hits.ok());
+    ASSERT_EQ(hits->size(), 1u) << "key " << i;
+    EXPECT_EQ((*hits)[0], static_cast<Oid>(i + 1));
+  }
+}
+
+TEST(BTreeTest, RangeQueries) {
+  BTree tree(6);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(tree.Insert(Value::Int(i * 2), static_cast<Oid>(i + 1)).ok());
+  }
+  auto r = tree.Range(Value::Int(10), true, Value::Int(20), true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 6u);  // 10,12,...,20
+
+  r = tree.Range(Value::Int(10), false, Value::Int(20), false);
+  EXPECT_EQ(r->size(), 4u);  // 12..18
+
+  r = tree.Range(std::nullopt, true, Value::Int(9), true);
+  EXPECT_EQ(r->size(), 5u);  // 0,2,4,6,8
+
+  r = tree.Range(Value::Int(90), true, std::nullopt, true);
+  EXPECT_EQ(r->size(), 5u);  // 90..98
+
+  r = tree.Range(std::nullopt, true, std::nullopt, true);
+  EXPECT_EQ(r->size(), 50u);
+  // Results come back in key order.
+  EXPECT_TRUE(std::is_sorted(r->begin(), r->end()));
+}
+
+TEST(BTreeTest, StringAndDateKeys) {
+  BTree tree;
+  ASSERT_TRUE(tree.Insert(Value::String("bob"), 1).ok());
+  ASSERT_TRUE(tree.Insert(Value::String("ann"), 2).ok());
+  auto r = tree.Range(Value::String("a"), true, Value::String("b"), true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+  // Mixing uncomparable kinds is rejected.
+  EXPECT_FALSE(tree.Insert(Value::Int(1), 3).ok());
+}
+
+TEST(BTreeTest, UnorderedKeysRejected) {
+  BTree tree;
+  EXPECT_FALSE(tree.Insert(Value::Ref(1), 1).ok());
+  EXPECT_FALSE(tree.Insert(Value::MakeArray({}), 1).ok());
+}
+
+// Model-based property test: a random interleaving of inserts and erases
+// must match a std::multimap reference model exactly.
+class BTreeModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreeModelTest, MatchesReferenceModel) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  BTree tree(GetParam() % 2 == 0 ? 4 : 32);
+  std::multimap<int64_t, Oid> model;
+  Oid next = 1;
+
+  for (int step = 0; step < 2000; ++step) {
+    int64_t key = std::uniform_int_distribution<int64_t>(0, 50)(rng);
+    if (model.empty() || std::uniform_int_distribution<int>(0, 2)(rng) > 0) {
+      ASSERT_TRUE(tree.Insert(Value::Int(key), next).ok());
+      model.emplace(key, next);
+      ++next;
+    } else {
+      auto it = model.lower_bound(key);
+      if (it == model.end()) it = model.begin();
+      auto erased = tree.Erase(Value::Int(it->first), it->second);
+      ASSERT_TRUE(erased.ok());
+      ASSERT_TRUE(*erased);
+      model.erase(it);
+    }
+    if (step % 200 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants().ok());
+    }
+  }
+  ASSERT_EQ(tree.size(), model.size());
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (int64_t key = 0; key <= 50; ++key) {
+    auto hits = tree.Lookup(Value::Int(key));
+    ASSERT_TRUE(hits.ok());
+    auto [lo, hi] = model.equal_range(key);
+    std::vector<Oid> expect;
+    for (auto it = lo; it != hi; ++it) expect.push_back(it->second);
+    std::sort(expect.begin(), expect.end());
+    std::vector<Oid> got = *hits;
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expect) << "key " << key;
+  }
+  // Full-range scan equals model size and is sorted by key.
+  auto all = tree.Range(std::nullopt, true, std::nullopt, true);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeModelTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(HashIndexTest, Basics) {
+  HashIndex idx;
+  idx.Insert(Value::String("x"), 1);
+  idx.Insert(Value::String("x"), 2);
+  idx.Insert(Value::Int(5), 3);
+  EXPECT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx.Lookup(Value::String("x")).size(), 2u);
+  EXPECT_EQ(idx.Lookup(Value::Int(5)).size(), 1u);
+  EXPECT_EQ(idx.Lookup(Value::Float(5.0)).size(), 1u);  // coerced equality
+  EXPECT_TRUE(idx.Erase(Value::String("x"), 1));
+  EXPECT_FALSE(idx.Erase(Value::String("x"), 1));
+  EXPECT_EQ(idx.size(), 2u);
+  EXPECT_TRUE(idx.Lookup(Value::String("zzz")).empty());
+}
+
+TEST(AccessMethodTableTest, BuiltinsAndAdtRows) {
+  extra::TypeStore store;
+  index::AccessMethodTable table;
+  EXPECT_TRUE(table.Applicable(store.int4(), AccessMethodKind::kBTree, true));
+  EXPECT_TRUE(table.Applicable(store.text(), AccessMethodKind::kHash, false));
+  EXPECT_FALSE(table.Applicable(store.text(), AccessMethodKind::kHash, true));
+  const extra::Type* adt = store.MakeAdt("Thing", 42);
+  EXPECT_FALSE(table.Applicable(adt, AccessMethodKind::kHash, false));
+  table.AddAdtRow(42, AccessMethodKind::kHash, false);
+  EXPECT_TRUE(table.Applicable(adt, AccessMethodKind::kHash, false));
+  EXPECT_FALSE(table.Applicable(adt, AccessMethodKind::kBTree, false));
+}
+
+class IndexIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Must(R"(
+      define type Employee (name: char[25], salary: float8, hired: Date)
+      create Employees : {Employee}
+    )");
+    for (int i = 0; i < 50; ++i) {
+      Must("append to Employees (name = \"e" + std::to_string(i) +
+           "\", salary = " + std::to_string(i) + ".0, hired = Date(" +
+           std::to_string(1950 + i) + ", 1, 1))");
+    }
+  }
+
+  excess::QueryResult Must(const std::string& q) {
+    auto r = db_.Execute(q);
+    EXPECT_TRUE(r.ok()) << q << "\n -> " << r.status().ToString();
+    return r.ok() ? *r : excess::QueryResult{};
+  }
+
+  Database db_;
+};
+
+TEST_F(IndexIntegrationTest, IndexScanChosenAndCorrect) {
+  Must("create index SalIdx on Employees (salary) using btree");
+  auto r = Must("retrieve (E.name) from E in Employees "
+                "where E.salary = 7.0");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "e7");
+  EXPECT_NE(db_.last_plan().find("IndexScan"), std::string::npos)
+      << db_.last_plan();
+
+  r = Must("retrieve (count(E)) from E in Employees where E.salary < 10.0");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 10);
+  EXPECT_NE(db_.last_plan().find("IndexScan"), std::string::npos);
+}
+
+TEST_F(IndexIntegrationTest, WithoutIndexPlansAScan) {
+  Must("retrieve (E.name) from E in Employees where E.salary = 7.0");
+  EXPECT_NE(db_.last_plan().find("Scan Employees"), std::string::npos);
+  EXPECT_EQ(db_.last_plan().find("IndexScan"), std::string::npos);
+}
+
+TEST_F(IndexIntegrationTest, HashIndexOnlyForEquality) {
+  Must("create index NameIdx on Employees (name) using hash");
+  Must(R"(retrieve (E.salary) from E in Employees where E.name = "e3")");
+  EXPECT_NE(db_.last_plan().find("IndexScan"), std::string::npos);
+  Must(R"(retrieve (count(E)) from E in Employees where E.name > "e3")");
+  EXPECT_EQ(db_.last_plan().find("IndexScan"), std::string::npos);
+}
+
+TEST_F(IndexIntegrationTest, DateBTreeViaAccessMethodRow) {
+  Must("create index HireIdx on Employees (hired) using btree");
+  auto r = Must(R"(retrieve (count(E)) from E in Employees
+                   where E.hired < Date("1/1/1960"))");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 10);
+  EXPECT_NE(db_.last_plan().find("HireIdx"), std::string::npos);
+}
+
+TEST_F(IndexIntegrationTest, MaintenanceOnUpdates) {
+  Must("create index SalIdx on Employees (salary) using btree");
+  Must(R"(replace E (salary = 1000.0) from E in Employees
+          where E.name = "e3")");
+  auto r = Must("retrieve (E.name) from E in Employees "
+                "where E.salary = 1000.0");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "e3");
+  r = Must("retrieve (count(E)) from E in Employees where E.salary = 3.0");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+
+  Must(R"(delete E from E in Employees where E.salary = 1000.0)");
+  r = Must("retrieve (count(E)) from E in Employees "
+           "where E.salary = 1000.0");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 0);
+
+  Must(R"(append to Employees (name = "late", salary = 777.0))");
+  r = Must("retrieve (E.name) from E in Employees where E.salary = 777.0");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_NE(db_.last_plan().find("IndexScan"), std::string::npos);
+}
+
+TEST_F(IndexIntegrationTest, MaintenanceThroughProcedureParameters) {
+  Must("create index SalIdx on Employees (salary) using btree");
+  Must(R"(define procedure Bump (E: Employee) as
+          replace E (salary = 2000.0))");
+  Must(R"(execute Bump(E) from E in Employees where E.name = "e5")");
+  auto r = Must("retrieve (E.name) from E in Employees "
+                "where E.salary = 2000.0");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "e5");
+}
+
+TEST_F(IndexIntegrationTest, IndexCreationValidations) {
+  auto r = db_.Execute("create index X on NoSet (salary) using btree");
+  EXPECT_FALSE(r.ok());
+  r = db_.Execute("create index X on Employees (nosuch) using btree");
+  EXPECT_FALSE(r.ok());
+  r = db_.Execute("create index X on Employees (salary) using funky");
+  EXPECT_FALSE(r.ok());
+  Must("create index X on Employees (salary) using btree");
+  r = db_.Execute("create index X on Employees (name) using hash");
+  EXPECT_FALSE(r.ok());  // duplicate name
+  Must("drop index X");
+  r = db_.Execute("drop index X");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(IndexIntegrationTest, DroppingExtentDropsItsIndexes) {
+  Must("create index SalIdx on Employees (salary) using btree");
+  Must("drop Employees");
+  EXPECT_EQ(db_.indexes()->Find("SalIdx"), nullptr);
+}
+
+}  // namespace
+}  // namespace exodus

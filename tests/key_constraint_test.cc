@@ -1,0 +1,137 @@
+// Keys on set instances — the paper's footnote-2 feature ("We also
+// intend to support keys, the specification of which will be associated
+// with set instances"), implemented as an extension.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "excess/database.h"
+
+namespace exodus {
+namespace {
+
+class KeyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Must(R"(
+      define type Employee (name: char[25], ssnum: int4, salary: float8)
+      create Employees : {Employee} key (ssnum)
+      append to Employees (name = "ann", ssnum = 1, salary = 10.0)
+      append to Employees (name = "bob", ssnum = 2, salary = 20.0)
+    )");
+  }
+
+  excess::QueryResult Must(const std::string& q) {
+    auto r = db_.Execute(q);
+    EXPECT_TRUE(r.ok()) << q << "\n -> " << r.status().ToString();
+    return r.ok() ? *r : excess::QueryResult{};
+  }
+
+  util::Status Err(const std::string& q) {
+    auto r = db_.Execute(q);
+    EXPECT_FALSE(r.ok()) << "expected failure: " << q;
+    return r.ok() ? util::Status::OK() : r.status();
+  }
+
+  Database db_;
+};
+
+TEST_F(KeyTest, DuplicateKeyOnAppendRejected) {
+  auto st = Err(R"(append to Employees (name = "imp", ssnum = 1))");
+  EXPECT_EQ(st.code(), util::StatusCode::kConstraintViolation);
+  EXPECT_NE(st.message().find("ssnum"), std::string::npos);
+  auto r = Must("retrieve (count(E)) from E in Employees");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(KeyTest, NewKeyValueAccepted) {
+  Must(R"(append to Employees (name = "cho", ssnum = 3))");
+  auto r = Must("retrieve (count(E)) from E in Employees");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+}
+
+TEST_F(KeyTest, NullKeysAreExempt) {
+  Must(R"(append to Employees (name = "x1"))");
+  Must(R"(append to Employees (name = "x2"))");
+  auto r = Must("retrieve (count(E)) from E in Employees");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 4);
+}
+
+TEST_F(KeyTest, ReplaceIntoCollisionRejected) {
+  auto st =
+      Err(R"(replace E (ssnum = 1) from E in Employees where E.name = "bob")");
+  EXPECT_EQ(st.code(), util::StatusCode::kConstraintViolation);
+  // bob keeps his key.
+  auto r = Must(R"(retrieve (E.ssnum) from E in Employees
+                   where E.name = "bob")");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 2);
+}
+
+TEST_F(KeyTest, ReplaceToFreshKeyAllowed) {
+  Must(R"(replace E (ssnum = 9) from E in Employees where E.name = "bob")");
+  Must(R"(append to Employees (name = "cho", ssnum = 2))");  // 2 freed
+}
+
+TEST_F(KeyTest, ReplaceKeepingOwnKeyAllowed) {
+  // Rewriting an object's key to its current value must not self-collide.
+  Must(R"(replace E (ssnum = 2, salary = 21.0) from E in Employees
+          where E.name = "bob")");
+}
+
+TEST_F(KeyTest, DeleteFreesKey) {
+  Must(R"(delete E from E in Employees where E.ssnum = 1)");
+  Must(R"(append to Employees (name = "newcomer", ssnum = 1))");
+}
+
+TEST_F(KeyTest, CompositeKeys) {
+  Must(R"(
+    define type Slot (room: char[10], hour: int4)
+    create Schedule : {Slot} key (room, hour)
+    append to Schedule (room = "r1", hour = 9)
+    append to Schedule (room = "r1", hour = 10)
+    append to Schedule (room = "r2", hour = 9)
+  )");
+  auto st = Err(R"(append to Schedule (room = "r1", hour = 9))");
+  EXPECT_EQ(st.code(), util::StatusCode::kConstraintViolation);
+  auto r = Must("retrieve (count(S)) from S in Schedule");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+}
+
+TEST_F(KeyTest, KeyDeclarationValidated) {
+  EXPECT_EQ(Err("create Bad : {Employee} key (nosuch)").code(),
+            util::StatusCode::kNotFound);
+  EXPECT_EQ(Err("create BadScalar : int4 key (x)").code(),
+            util::StatusCode::kTypeError);
+}
+
+TEST_F(KeyTest, KeysSurvivePersistence) {
+  std::string path = ::testing::TempDir() + "/exodus_key_test.db";
+  ASSERT_TRUE(db_.Save(path).ok());
+  auto loaded = Database::Load(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  auto st = (*loaded)->Execute(
+      R"(append to Employees (name = "imp", ssnum = 1))");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.status().code(), util::StatusCode::kConstraintViolation);
+  std::remove(path.c_str());
+}
+
+TEST_F(KeyTest, KeyedAppendViaReferenceForm) {
+  Must(R"(
+    define type Wrap (x: int4)
+    create Pool : {Employee}
+  )");
+  // Moving an unowned duplicate-key object into a keyed extent fails.
+  // (Build an unowned Employee via a non-keyed pool... extents own their
+  // members, so craft through delete-free path: simply verify the
+  // reference form checks keys using a second keyed set.)
+  Must("create Elite : {Employee} key (ssnum)");
+  auto st = db_.Execute(R"(append to Elite (E) from E in Employees)");
+  // Members of Employees are owned; ownership transfer fails first —
+  // either way the statement must not succeed silently.
+  EXPECT_FALSE(st.ok());
+}
+
+}  // namespace
+}  // namespace exodus

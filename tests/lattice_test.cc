@@ -1,0 +1,142 @@
+// Multiple inheritance, conflict detection, explicit renaming (paper
+// Figure 3) and lattice queries.
+
+#include "extra/lattice.h"
+
+#include <gtest/gtest.h>
+
+#include "extra/type.h"
+
+namespace exodus::extra {
+namespace {
+
+class LatticeTest : public ::testing::Test {
+ protected:
+  const Type* MakeT(const std::string& name,
+                    std::vector<const Type*> supers,
+                    std::vector<std::vector<Rename>> renames,
+                    std::vector<Attribute> attrs) {
+    auto t = store_.MakeTuple(name, std::move(supers), std::move(renames),
+                              std::move(attrs));
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    lattice_.AddType(*t);
+    return *t;
+  }
+
+  Attribute A(const std::string& name, const Type* type) {
+    return Attribute{name, type, "", ""};
+  }
+
+  TypeStore store_;
+  TypeLattice lattice_;
+};
+
+TEST_F(LatticeTest, SingleInheritanceMergesAttributes) {
+  const Type* person = MakeT("Person", {}, {}, {A("name", store_.text())});
+  const Type* employee = MakeT("Employee", {person}, {{}},
+                               {A("salary", store_.float8())});
+  EXPECT_EQ(employee->attributes().size(), 2u);
+  EXPECT_EQ(employee->attributes()[0].name, "name");
+  EXPECT_EQ(employee->attributes()[0].inherited_from, "Person");
+  EXPECT_EQ(employee->attributes()[1].name, "salary");
+  EXPECT_TRUE(employee->IsSubtypeOf(person));
+  EXPECT_FALSE(person->IsSubtypeOf(employee));
+  EXPECT_TRUE(person->IsSubtypeOf(person));
+}
+
+TEST_F(LatticeTest, ConflictWithoutRenameRejected) {
+  const Type* student = MakeT("Student", {}, {},
+                              {A("dept", store_.text())});
+  const Type* employee = MakeT("Employee", {}, {},
+                               {A("dept", store_.text())});
+  auto bad = store_.MakeTuple("StudentEmployee", {student, employee},
+                              {{}, {}}, {});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), util::StatusCode::kTypeError);
+  EXPECT_NE(bad.status().message().find("rename"), std::string::npos);
+}
+
+TEST_F(LatticeTest, PaperFigure3RenameResolvesConflict) {
+  // Figure 3: StudentEmployee inherits dept from both Student and
+  // Employee; resolved by renaming one of them.
+  const Type* student = MakeT("Student", {}, {}, {A("dept", store_.text())});
+  const Type* employee = MakeT("Employee", {}, {},
+                               {A("dept", store_.text())});
+  const Type* se =
+      MakeT("StudentEmployee", {student, employee},
+            {{{"dept", "sdept"}}, {}}, {A("hours", store_.int4())});
+  EXPECT_EQ(se->attributes().size(), 3u);
+  EXPECT_GE(se->AttributeIndex("sdept"), 0);
+  EXPECT_GE(se->AttributeIndex("dept"), 0);  // Employee's copy
+  const Attribute* sdept = *se->FindAttribute("sdept");
+  EXPECT_EQ(sdept->renamed_from, "dept");
+  EXPECT_EQ(sdept->inherited_from, "Student");
+  EXPECT_TRUE(se->IsSubtypeOf(student));
+  EXPECT_TRUE(se->IsSubtypeOf(employee));
+}
+
+TEST_F(LatticeTest, DiamondInheritanceIsBenign) {
+  // Person -> {Student, Employee} -> StudentEmployee: Person.name reaches
+  // StudentEmployee twice via the same origin; no conflict, one copy.
+  const Type* person = MakeT("Person", {}, {}, {A("name", store_.text())});
+  const Type* student = MakeT("Student", {person}, {{}},
+                              {A("gpa", store_.float8())});
+  const Type* employee = MakeT("Employee", {person}, {{}},
+                               {A("salary", store_.float8())});
+  const Type* se = MakeT("StudentEmployee", {student, employee}, {{}, {}},
+                         {});
+  EXPECT_EQ(se->attributes().size(), 3u);  // name, gpa, salary
+  int name_count = 0;
+  for (const Attribute& a : se->attributes()) {
+    if (a.name == "name") ++name_count;
+  }
+  EXPECT_EQ(name_count, 1);
+}
+
+TEST_F(LatticeTest, RenameOfUnknownAttributeRejected) {
+  const Type* person = MakeT("Person", {}, {}, {A("name", store_.text())});
+  auto bad = store_.MakeTuple("T", {person}, {{{"salary", "pay"}}}, {});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(LatticeTest, LocalAttributeClashingWithInheritedRejected) {
+  const Type* person = MakeT("Person", {}, {}, {A("name", store_.text())});
+  auto bad =
+      store_.MakeTuple("T", {person}, {{}}, {A("name", store_.int4())});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(LatticeTest, SubtypeQueries) {
+  const Type* person = MakeT("Person", {}, {}, {});
+  const Type* student = MakeT("Student", {person}, {{}}, {});
+  const Type* grad = MakeT("Grad", {student}, {{}}, {});
+  const Type* other = MakeT("Other", {}, {}, {});
+
+  auto subs = lattice_.TransitiveSubtypes(person);
+  EXPECT_EQ(subs.size(), 3u);  // Person, Student, Grad
+  EXPECT_EQ(lattice_.DirectSubtypes(person).size(), 1u);
+  EXPECT_EQ(lattice_.DirectSubtypes(other).size(), 0u);
+
+  EXPECT_EQ(lattice_.Distance(grad, person), 2);
+  EXPECT_EQ(lattice_.Distance(grad, student), 1);
+  EXPECT_EQ(lattice_.Distance(grad, grad), 0);
+  EXPECT_EQ(lattice_.Distance(person, grad), -1);
+  EXPECT_EQ(lattice_.Distance(other, person), -1);
+}
+
+TEST_F(LatticeTest, LinearizeIsMostSpecificFirst) {
+  const Type* person = MakeT("Person", {}, {}, {});
+  const Type* student = MakeT("Student", {person}, {{}}, {});
+  const Type* employee = MakeT("Employee", {person}, {{}}, {});
+  const Type* se = MakeT("SE", {student, employee}, {{}, {}}, {});
+
+  auto order = lattice_.Linearize(se);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], se);
+  EXPECT_EQ(order[1], student);   // declaration order
+  EXPECT_EQ(order[2], employee);
+  EXPECT_EQ(order[3], person);    // shared ancestor once, last
+}
+
+}  // namespace
+}  // namespace exodus::extra

@@ -1,0 +1,114 @@
+#include "excess/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace exodus::excess {
+namespace {
+
+std::vector<Token> MustLex(const std::string& input,
+                           std::vector<std::string> extra = {}) {
+  Lexer lexer(input, std::move(extra));
+  auto tokens = lexer.Tokenize();
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return tokens.ok() ? *tokens : std::vector<Token>{};
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitive) {
+  auto tokens = MustLex("RETRIEVE Retrieve retrieve");
+  ASSERT_EQ(tokens.size(), 4u);  // 3 + end
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(tokens[static_cast<size_t>(i)].kind, TokenKind::kKeyword);
+    EXPECT_EQ(tokens[static_cast<size_t>(i)].text, "retrieve");
+  }
+}
+
+TEST(LexerTest, IdentifiersAreCaseSensitive) {
+  auto tokens = MustLex("Employees employees _x x2");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "Employees");
+  EXPECT_EQ(tokens[1].text, "employees");
+  EXPECT_EQ(tokens[2].text, "_x");
+  EXPECT_EQ(tokens[3].text, "x2");
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = MustLex("42 3.5 1e3 2.5e-2 0");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInt);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 3.5);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, 0.025);
+  EXPECT_EQ(tokens[4].int_value, 0);
+}
+
+TEST(LexerTest, DotAfterNumberIsNotAFraction) {
+  // TopTen[1].name — the '.' must lex as punctuation, not a float.
+  auto tokens = MustLex("TopTen[1].name");
+  ASSERT_EQ(tokens.size(), 7u);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kInt);
+  EXPECT_TRUE(tokens[4].IsPunct("."));
+  EXPECT_EQ(tokens[5].text, "name");
+}
+
+TEST(LexerTest, Strings) {
+  auto tokens = MustLex(R"("hello" "a\"b" "tab\there" "")");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "a\"b");
+  EXPECT_EQ(tokens[2].text, "tab\there");
+  EXPECT_EQ(tokens[3].text, "");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  Lexer lexer("\"oops");
+  EXPECT_FALSE(lexer.Tokenize().ok());
+}
+
+TEST(LexerTest, MaximalMunchPunctuation) {
+  auto tokens = MustLex("a<=b <> < = >=");
+  ASSERT_EQ(tokens.size(), 8u);
+  EXPECT_TRUE(tokens[1].IsPunct("<="));
+  EXPECT_TRUE(tokens[3].IsPunct("<>"));
+  EXPECT_TRUE(tokens[4].IsPunct("<"));
+  EXPECT_TRUE(tokens[5].IsPunct("="));
+  EXPECT_TRUE(tokens[6].IsPunct(">="));
+}
+
+TEST(LexerTest, DynamicOperatorSymbols) {
+  // An ADT-registered punctuation operator lexes as one token.
+  auto tokens = MustLex("a ~~> b", {"~~>"});
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_TRUE(tokens[1].IsPunct("~~>"));
+  // Without registration the same input fails (unknown '~').
+  Lexer bare("a ~~> b");
+  EXPECT_FALSE(bare.Tokenize().ok());
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = MustLex("a -- this is a comment\nb");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, LineAndColumnTracking) {
+  auto tokens = MustLex("a\n  b");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(LexerTest, UnexpectedCharacterReportsPosition) {
+  Lexer lexer("a\n  @");
+  auto r = lexer.Tokenize();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace exodus::excess

@@ -1,0 +1,372 @@
+#include "excess/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "adt/registry.h"
+#include "extra/type.h"
+#include "object/value.h"
+
+namespace exodus::excess {
+namespace {
+
+StmtPtr MustParse(const std::string& input,
+                  const adt::Registry* registry = nullptr) {
+  Parser parser(input, registry);
+  auto stmt = parser.ParseSingleStatement();
+  EXPECT_TRUE(stmt.ok()) << input << " -> " << stmt.status().ToString();
+  return stmt.ok() ? std::move(*stmt) : nullptr;
+}
+
+ExprPtr MustParseExpr(const std::string& input,
+                      const adt::Registry* registry = nullptr) {
+  Parser parser(input, registry);
+  auto expr = parser.ParseSingleExpression();
+  EXPECT_TRUE(expr.ok()) << input << " -> " << expr.status().ToString();
+  return expr.ok() ? std::move(*expr) : nullptr;
+}
+
+void ExpectParseError(const std::string& input) {
+  Parser parser(input);
+  auto stmt = parser.ParseSingleStatement();
+  EXPECT_FALSE(stmt.ok()) << "expected parse failure for: " << input;
+}
+
+TEST(ParserTest, DefineTypeFigure1) {
+  StmtPtr stmt = MustParse(R"(
+    define type Person (
+      name: char[25],
+      ssnum: int4,
+      birthday: Date,
+      kids: {own ref Person},
+      nicknames: {char[10]},
+      scores: [10] float8,
+      history: [*] text
+    )
+  )");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->kind, StmtKind::kDefineType);
+  EXPECT_EQ(stmt->name, "Person");
+  ASSERT_EQ(stmt->attributes.size(), 7u);
+  EXPECT_EQ(stmt->attributes[0].type->kind, TypeExpr::Kind::kChar);
+  EXPECT_EQ(stmt->attributes[0].type->char_length, 25u);
+  EXPECT_EQ(stmt->attributes[3].type->kind, TypeExpr::Kind::kSet);
+  EXPECT_EQ(stmt->attributes[3].type->elem->kind, TypeExpr::Kind::kRef);
+  EXPECT_TRUE(stmt->attributes[3].type->elem->owned);
+  EXPECT_EQ(stmt->attributes[5].type->kind, TypeExpr::Kind::kArray);
+  EXPECT_EQ(stmt->attributes[5].type->array_size, 10u);
+  EXPECT_EQ(stmt->attributes[6].type->array_size, 0u);
+}
+
+TEST(ParserTest, InheritsWithRenames) {
+  StmtPtr stmt = MustParse(R"(
+    define type StudentEmployee
+      inherits Student with (dept renamed sdept, id renamed sid),
+      inherits Employee
+      (hours: int4)
+  )");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->inherits.size(), 2u);
+  EXPECT_EQ(stmt->inherits[0].supertype, "Student");
+  ASSERT_EQ(stmt->inherits[0].renames.size(), 2u);
+  EXPECT_EQ(stmt->inherits[0].renames[0].old_name, "dept");
+  EXPECT_EQ(stmt->inherits[0].renames[0].new_name, "sdept");
+  EXPECT_EQ(stmt->inherits[1].supertype, "Employee");
+  EXPECT_TRUE(stmt->inherits[1].renames.empty());
+}
+
+TEST(ParserTest, CommaSeparatedInheritsWithoutKeywordRepeat) {
+  StmtPtr stmt = MustParse(
+      "define type SE inherits Student, Employee with (dept renamed edept) "
+      "()");
+  ASSERT_NE(stmt, nullptr);
+  ASSERT_EQ(stmt->inherits.size(), 2u);
+  EXPECT_EQ(stmt->inherits[1].renames.size(), 1u);
+}
+
+TEST(ParserTest, CreateVariants) {
+  StmtPtr s1 = MustParse("create Employees : {Employee}");
+  EXPECT_EQ(s1->kind, StmtKind::kCreate);
+  EXPECT_EQ(s1->type->kind, TypeExpr::Kind::kSet);
+
+  StmtPtr s2 = MustParse("create TopTen : [10] ref Employee");
+  EXPECT_EQ(s2->type->kind, TypeExpr::Kind::kArray);
+  EXPECT_EQ(s2->type->elem->kind, TypeExpr::Kind::kRef);
+
+  StmtPtr s3 = MustParse(R"(create Today : Date = Date("7/6/1988"))");
+  ASSERT_NE(s3->init, nullptr);
+  EXPECT_EQ(s3->init->kind, ExprKind::kCall);
+}
+
+TEST(ParserTest, RangeStatement) {
+  StmtPtr stmt = MustParse("range of C is Employees.kids");
+  EXPECT_EQ(stmt->kind, StmtKind::kRange);
+  EXPECT_EQ(stmt->name, "C");
+  EXPECT_EQ(stmt->range->ToString(), "Employees.kids");
+}
+
+TEST(ParserTest, RetrieveWithEverything) {
+  StmtPtr stmt = MustParse(R"(
+    retrieve unique (n = E.name, E.dept.floor)
+    from E in Employees, C in E.kids
+    where E.salary > 100.0 and C.age < 5
+    sort by E.name, E.salary
+  )");
+  EXPECT_TRUE(stmt->unique);
+  ASSERT_EQ(stmt->projections.size(), 2u);
+  EXPECT_EQ(stmt->projections[0].label, "n");
+  ASSERT_EQ(stmt->from.size(), 2u);
+  EXPECT_EQ(stmt->from[1].var, "C");
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_EQ(stmt->sort_by.size(), 2u);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  ExprPtr e = MustParseExpr("1 + 2 * 3 < 4 and not 5 = 6 or x");
+  // ((((1 + (2*3)) < 4) and (not (5=6))) or x)
+  EXPECT_EQ(e->ToString(),
+            "((((1 + (2 * 3)) < 4) and (not (5 = 6))) or x)");
+}
+
+TEST(ParserTest, AssociativityIsLeft) {
+  EXPECT_EQ(MustParseExpr("1 - 2 - 3")->ToString(), "((1 - 2) - 3)");
+  EXPECT_EQ(MustParseExpr("8 / 4 / 2")->ToString(), "((8 / 4) / 2)");
+}
+
+TEST(ParserTest, PathsAndIndexing) {
+  ExprPtr e = MustParseExpr("TopTen[1].kids[i + 1].name");
+  EXPECT_EQ(e->ToString(), "TopTen[1].kids[(i + 1)].name");
+}
+
+TEST(ParserTest, IsAndIsnot) {
+  ExprPtr e = MustParseExpr("E.dept is D and E.boss isnot E");
+  EXPECT_EQ(e->ToString(), "((E.dept is D) and (E.boss isnot E))");
+}
+
+TEST(ParserTest, QuantifiedExpressions) {
+  ExprPtr e = MustParseExpr("all K in E.kids : K.age > 5");
+  EXPECT_EQ(e->kind, ExprKind::kQuantified);
+  EXPECT_TRUE(e->universal);
+  EXPECT_EQ(e->bindings[0].var, "K");
+
+  e = MustParseExpr("some S in E.skills : S = \"c++\"");
+  EXPECT_FALSE(e->universal);
+}
+
+TEST(ParserTest, Aggregates) {
+  ExprPtr e = MustParseExpr("avg(E.salary over E.dept, E.age)");
+  EXPECT_EQ(e->kind, ExprKind::kAggregate);
+  EXPECT_EQ(e->name, "avg");
+  EXPECT_EQ(e->over.size(), 2u);
+
+  e = MustParseExpr("sum(K.allowance from K in E.kids where K.age > 3)");
+  EXPECT_EQ(e->bindings.size(), 1u);
+  ASSERT_NE(e->where, nullptr);
+
+  e = MustParseExpr("count(unique E.dept)");
+  EXPECT_TRUE(e->unique);
+
+  e = MustParseExpr("count()");
+  EXPECT_TRUE(e->args.empty());
+}
+
+TEST(ParserTest, MethodCallsAndCalls) {
+  ExprPtr e = MustParseExpr("E.birthday.AddDays(30)");
+  EXPECT_EQ(e->kind, ExprKind::kCall);
+  EXPECT_EQ(e->name, "AddDays");
+  ASSERT_NE(e->base, nullptr);
+  EXPECT_EQ(e->args.size(), 1u);
+
+  e = MustParseExpr("Add(a, b)");
+  EXPECT_EQ(e->kind, ExprKind::kCall);
+  EXPECT_EQ(e->base, nullptr);
+  EXPECT_EQ(e->args.size(), 2u);
+}
+
+TEST(ParserTest, SetArrayTupleLiterals) {
+  EXPECT_EQ(MustParseExpr("{1, 2, 3}")->kind, ExprKind::kSetLit);
+  EXPECT_EQ(MustParseExpr("[1, 2]")->kind, ExprKind::kArrayLit);
+  EXPECT_EQ(MustParseExpr("{}")->kind, ExprKind::kSetLit);
+  ExprPtr t = MustParseExpr("(name = \"x\", age = 3)");
+  EXPECT_EQ(t->kind, ExprKind::kTupleLit);
+  EXPECT_EQ(t->fields.size(), 2u);
+  // A parenthesized non-assignment stays an expression.
+  EXPECT_EQ(MustParseExpr("(1 + 2)")->kind, ExprKind::kBinary);
+}
+
+TEST(ParserTest, UpdateStatements) {
+  StmtPtr a = MustParse(
+      R"(append to Employees (name = "x", salary = 1.0) where 1 = 1)");
+  EXPECT_EQ(a->kind, StmtKind::kAppend);
+  EXPECT_EQ(a->assigns.size(), 2u);
+
+  StmtPtr av = MustParse("append to E.kids (K) from K in Others.kids");
+  EXPECT_EQ(av->assigns.size(), 0u);
+  ASSERT_NE(av->value, nullptr);
+
+  StmtPtr d = MustParse("delete E where E.salary > 100.0");
+  EXPECT_EQ(d->kind, StmtKind::kDelete);
+  EXPECT_EQ(d->update_var, "E");
+
+  StmtPtr r = MustParse("replace E (salary = E.salary * 1.1)");
+  EXPECT_EQ(r->kind, StmtKind::kReplace);
+
+  StmtPtr as = MustParse("assign TopTen[1] = E where E.name = \"x\"");
+  EXPECT_EQ(as->kind, StmtKind::kAssign);
+  EXPECT_EQ(as->target->kind, ExprKind::kIndex);
+}
+
+TEST(ParserTest, FunctionAndProcedureDefinitions) {
+  StmtPtr f = MustParse(R"(
+    define function Wealth (E: Employee) returns float8 as
+      retrieve (E.salary + sum(K.allowance from K in E.kids))
+  )");
+  EXPECT_EQ(f->kind, StmtKind::kDefineFunction);
+  EXPECT_FALSE(f->early_binding);
+  EXPECT_EQ(f->params.size(), 1u);
+  ASSERT_NE(f->body, nullptr);
+  EXPECT_EQ(f->body->kind, StmtKind::kRetrieve);
+
+  StmtPtr fe = MustParse(
+      "define early function F (E: Employee) returns int4 as retrieve (1)");
+  EXPECT_TRUE(fe->early_binding);
+
+  StmtPtr p = MustParse(R"(
+    define procedure Shuffle (E: Employee) as begin
+      replace E (salary = E.salary + 1.0);
+      delete X from X in Temps where X.salary < 0.0
+    end
+  )");
+  EXPECT_EQ(p->kind, StmtKind::kDefineProcedure);
+  EXPECT_EQ(p->proc_body.size(), 2u);
+
+  StmtPtr e = MustParse(
+      "execute Shuffle(E) from E in Employees where E.salary > 5.0");
+  EXPECT_EQ(e->kind, StmtKind::kExecuteProcedure);
+  EXPECT_EQ(e->call_args.size(), 1u);
+}
+
+TEST(ParserTest, IndexAndAuthStatements) {
+  StmtPtr i = MustParse("create index SalIdx on Employees (salary) using btree");
+  EXPECT_EQ(i->kind, StmtKind::kCreateIndex);
+  EXPECT_EQ(i->on_set, "Employees");
+  EXPECT_EQ(i->index_kind, "btree");
+
+  EXPECT_EQ(MustParse("drop index SalIdx")->kind, StmtKind::kDropIndex);
+  EXPECT_EQ(MustParse("create user carey")->kind, StmtKind::kCreateUser);
+  EXPECT_EQ(MustParse("create group faculty")->kind, StmtKind::kCreateGroup);
+  EXPECT_EQ(MustParse("add user carey to group faculty")->kind,
+            StmtKind::kAddToGroup);
+  EXPECT_EQ(MustParse("set user carey")->kind, StmtKind::kSetUser);
+
+  StmtPtr g = MustParse("grant retrieve, append on Employees to faculty, bob");
+  EXPECT_EQ(g->kind, StmtKind::kGrant);
+  EXPECT_EQ(g->privileges.size(), 2u);
+  EXPECT_EQ(g->principals.size(), 2u);
+
+  StmtPtr r = MustParse("revoke all on Employees from bob");
+  EXPECT_EQ(r->kind, StmtKind::kRevoke);
+}
+
+TEST(ParserTest, DynamicIdentifierOperator) {
+  // `overlaps` registered as an infix operator via the ADT registry.
+  adt::Registry registry;
+  extra::TypeStore store;
+  ASSERT_TRUE(adt::InstallBuiltinAdts(
+                  &registry, &store,
+                  [](const std::string&, const extra::Type*) {
+                    return util::Status::OK();
+                  })
+                  .ok());
+  ExprPtr e = MustParseExpr("a overlaps b and c", &registry);
+  EXPECT_EQ(e->ToString(), "((a overlaps b) and c)");
+  // Without the registry, `overlaps` is just an identifier -> parse error.
+  Parser bare("a overlaps b");
+  EXPECT_FALSE(bare.ParseSingleExpression().ok());
+}
+
+TEST(ParserTest, ErrorsArePositioned) {
+  Parser parser("retrieve (E.name from");
+  auto r = parser.ParseSingleStatement();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(ParserTest, MalformedStatementsRejected) {
+  ExpectParseError("define type ()");
+  ExpectParseError("define type T (x:)");
+  ExpectParseError("create X {T}");
+  ExpectParseError("retrieve E.name");
+  ExpectParseError("append Employees (x = 1)");
+  ExpectParseError("range E is Employees");
+  ExpectParseError("delete");
+  ExpectParseError("grant on X to y");
+  ExpectParseError("define type T (x: [0] int4)");  // zero-size array
+  ExpectParseError("define type T (x: char[0])");
+}
+
+TEST(ParserTest, ProgramsWithMultipleStatements) {
+  Parser parser("create A : {T}; create B : {T}\nretrieve (A.x)");
+  auto program = parser.ParseProgram();
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->size(), 3u);
+}
+
+// --------------------------------------------------------------------------
+// Round-trip property: parse -> ToString -> parse -> ToString is a fixed
+// point for a corpus of statements of every kind.
+// --------------------------------------------------------------------------
+
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, UnparseReparse) {
+  Parser p1(GetParam());
+  auto s1 = p1.ParseSingleStatement();
+  ASSERT_TRUE(s1.ok()) << GetParam() << ": " << s1.status().ToString();
+  std::string text1 = (*s1)->ToString();
+  Parser p2(text1);
+  auto s2 = p2.ParseSingleStatement();
+  ASSERT_TRUE(s2.ok()) << text1 << ": " << s2.status().ToString();
+  EXPECT_EQ(text1, (*s2)->ToString());
+  // Clone must also round-trip identically.
+  EXPECT_EQ((*s1)->Clone()->ToString(), text1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Statements, RoundTripTest,
+    ::testing::Values(
+        "define type Person (name: char[25], kids: {own ref Person})",
+        "define type E inherits P with (d renamed pd) (salary: float8)",
+        "define enum Color (red, green, blue)",
+        "create Employees : {Employee}",
+        "create Today : Date = Date(\"7/6/1988\")",
+        "create TopTen : [10] ref Employee",
+        "range of C is Employees.kids",
+        "retrieve unique (E.name, s = E.salary) from E in Employees where "
+        "(E.salary > 10.0 and E.name != \"x\") sort by E.name",
+        "retrieve (count(unique E.dept from K in E.kids where K.age > 1))",
+        "retrieve (avg(E.salary over E.dept))",
+        "retrieve ((all K in E.kids : (K.age > 5)))",
+        "append to Employees (name = \"x\", kids = {(name = \"k\")}) where "
+        "(1 = 1)",
+        "append to S (3)",
+        "delete E from E in Employees where (E.salary < 0.0)",
+        "replace E (salary = (E.salary * 1.1)) where (E.dept.floor = 2)",
+        "assign TopTen[1] = E from E in Employees",
+        "define function Wealth (E: Employee) returns float8 as retrieve "
+        "((E.salary + 1.0))",
+        "define early function F (E: Employee) returns int4 as retrieve (1)",
+        "define procedure P (E: Employee, x: float8) as replace E (salary = "
+        "x)",
+        "execute P(E, 4.0) from E in Employees where (E.salary > 1.0)",
+        "create index I on Employees (salary) using btree",
+        "drop index I",
+        "create user bob",
+        "add user bob to group g",
+        "set user bob",
+        "grant retrieve, append on Employees to g, bob",
+        "revoke execute on Wealth from bob",
+        "drop Employees"));
+
+}  // namespace
+}  // namespace exodus::excess

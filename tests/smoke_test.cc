@@ -1,0 +1,204 @@
+// End-to-end smoke test: the paper's running example (Figures 1-2):
+// Person / Employee / Department with Date ADT, own/ref/own-ref
+// attributes, implicit joins and path queries.
+
+#include <gtest/gtest.h>
+
+#include "excess/database.h"
+
+namespace exodus {
+namespace {
+
+using excess::QueryResult;
+
+class SmokeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto r = db_.Execute(R"(
+      define type Person (
+        name: char[25],
+        ssnum: int4,
+        birthday: Date,
+        kids: {own ref Person}
+      )
+      define type Department (
+        name: char[20],
+        floor: int4,
+        budget: float8
+      )
+      define type Employee inherits Person (
+        salary: float8,
+        dept: ref Department
+      )
+      create Departments : {Department}
+      create Employees : {Employee}
+    )");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+
+  QueryResult MustExecute(const std::string& q) {
+    auto r = db_.Execute(q);
+    EXPECT_TRUE(r.ok()) << q << " -> " << r.status().ToString();
+    return r.ok() ? *r : QueryResult{};
+  }
+
+  Database db_;
+};
+
+TEST_F(SmokeTest, AppendAndRetrieve) {
+  MustExecute(R"(append to Departments (name = "Toys", floor = 2,
+                                        budget = 1000.0))");
+  MustExecute(R"(append to Departments (name = "Shoes", floor = 1,
+                                        budget = 500.0))");
+  MustExecute(R"(
+    append to Employees (name = "carey", ssnum = 1234,
+                         birthday = Date("8/23/1959"),
+                         salary = 9000.0, dept = D)
+    from D in Departments where D.name = "Toys"
+  )");
+  MustExecute(R"(
+    append to Employees (name = "dewitt", ssnum = 5678,
+                         birthday = Date("1/13/1955"),
+                         salary = 9500.0, dept = D)
+    from D in Departments where D.name = "Shoes"
+  )");
+
+  // Implicit join via a reference path (GEM-style).
+  QueryResult r = MustExecute(
+      R"(retrieve (E.name) from E in Employees where E.dept.floor = 2)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "carey");
+
+  // Implicit range variable: the set name used as a tuple variable.
+  r = MustExecute(R"(retrieve (Employees.name) where
+                     Employees.dept.name = "Shoes")");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "dewitt");
+}
+
+TEST_F(SmokeTest, NestedSetAndPathRange) {
+  MustExecute(R"(append to Departments (name = "Toys", floor = 2,
+                                        budget = 1.0))");
+  MustExecute(R"(
+    append to Employees (name = "carey", salary = 1.0, dept = D,
+                         kids = {(name = "junior"), (name = "zoe")})
+    from D in Departments where D.floor = 2
+  )");
+  // Paper: retrieve (C.name) from C in Employees.kids
+  //        where Employees.dept.floor = 2
+  QueryResult r = MustExecute(
+      R"(retrieve (C.name) from C in Employees.kids
+         where Employees.dept.floor = 2 sort by C.name)");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "junior");
+  EXPECT_EQ(r.rows[1][0].AsString(), "zoe");
+
+  // Paper: range of C is Employees.kids (session range statement).
+  MustExecute("range of K is Employees.kids");
+  r = MustExecute("retrieve (K.name) sort by K.name");
+  ASSERT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(SmokeTest, CascadeDeleteOwnRef) {
+  MustExecute(R"(append to Employees (name = "carey",
+                 kids = {(name = "junior")}))");
+  EXPECT_EQ(db_.heap()->live_count(), 2u);
+  MustExecute(R"(delete E from E in Employees where E.name = "carey")");
+  EXPECT_EQ(db_.heap()->live_count(), 0u);
+}
+
+TEST_F(SmokeTest, AggregatesWithOver) {
+  MustExecute(R"(append to Departments (name = "Toys", floor = 2,
+                                        budget = 1.0))");
+  MustExecute(R"(append to Departments (name = "Shoes", floor = 1,
+                                        budget = 1.0))");
+  MustExecute(R"(append to Employees (name = "a", salary = 10.0, dept = D)
+                 from D in Departments where D.name = "Toys")");
+  MustExecute(R"(append to Employees (name = "b", salary = 20.0, dept = D)
+                 from D in Departments where D.name = "Toys")");
+  MustExecute(R"(append to Employees (name = "c", salary = 40.0, dept = D)
+                 from D in Departments where D.name = "Shoes")");
+
+  // Global aggregate: single row.
+  QueryResult r = MustExecute(
+      "retrieve (count(E), avg(E.salary)) from E in Employees");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsInt(), 3);
+  EXPECT_DOUBLE_EQ(r.rows[0][1].AsFloat(), 70.0 / 3.0);
+
+  // Partitioned aggregate via `over`.
+  r = MustExecute(R"(
+    retrieve unique (E.dept.name, avg(E.salary over E.dept))
+    from E in Employees sort by E.dept.name
+  )");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Shoes");
+  EXPECT_DOUBLE_EQ(r.rows[0][1].AsFloat(), 40.0);
+  EXPECT_EQ(r.rows[1][0].AsString(), "Toys");
+  EXPECT_DOUBLE_EQ(r.rows[1][1].AsFloat(), 15.0);
+}
+
+TEST_F(SmokeTest, FunctionsAndProcedures) {
+  MustExecute(R"(append to Employees (name = "a", salary = 100.0))");
+  MustExecute(R"(append to Employees (name = "b", salary = 200.0))");
+  MustExecute(R"(
+    define function Double (E: Employee) returns float8 as
+      retrieve (E.salary * 2.0)
+  )");
+  QueryResult r = MustExecute(
+      R"(retrieve (E.name, E.Double) from E in Employees
+         where E.Double > 300.0)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "b");
+  EXPECT_DOUBLE_EQ(r.rows[0][1].AsFloat(), 400.0);
+
+  MustExecute(R"(
+    define procedure GiveRaise (E: Employee, amount: float8) as
+      replace E (salary = E.salary + amount)
+  )");
+  MustExecute(R"(execute GiveRaise(E, 50.0) from E in Employees
+                 where E.salary < 150.0)");
+  r = MustExecute(R"(retrieve (E.salary) from E in Employees
+                     where E.name = "a")");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.rows[0][0].AsFloat(), 150.0);
+}
+
+TEST_F(SmokeTest, ComplexAdtFigure7) {
+  auto v = db_.EvalExpression("Complex(1.0, 2.0) + Complex(3.0, 4.0)");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->adt_payload().Print(), "(4.0 + 6.0i)");
+
+  v = db_.EvalExpression("Add(Complex(1.0, 2.0), Complex(3.0, 4.0))");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->adt_payload().Print(), "(4.0 + 6.0i)");
+
+  v = db_.EvalExpression("Complex(3.0, 4.0).Magnitude");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_DOUBLE_EQ(v->AsFloat(), 5.0);
+}
+
+TEST_F(SmokeTest, NamedObjectsAndArrays) {
+  MustExecute(R"(create Today : Date = Date("7/6/1988"))");
+  QueryResult r = MustExecute("retrieve (Today)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].ToString(), "7/6/1988");
+
+  MustExecute(R"(append to Employees (name = "star", salary = 1.0))");
+  MustExecute("create StarEmployee : ref Employee");
+  MustExecute(R"(assign StarEmployee = E from E in Employees
+                 where E.name = "star")");
+  r = MustExecute("retrieve (StarEmployee.name, StarEmployee.salary)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "star");
+
+  MustExecute("create TopTen : [10] ref Employee");
+  MustExecute(R"(assign TopTen[1] = E from E in Employees
+                 where E.name = "star")");
+  r = MustExecute("retrieve (TopTen[1].name)");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "star");
+}
+
+}  // namespace
+}  // namespace exodus

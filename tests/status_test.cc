@@ -1,0 +1,130 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace exodus::util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    const char* name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::ParseError("b"), StatusCode::kParseError, "ParseError"},
+      {Status::TypeError("c"), StatusCode::kTypeError, "TypeError"},
+      {Status::NotFound("d"), StatusCode::kNotFound, "NotFound"},
+      {Status::AlreadyExists("e"), StatusCode::kAlreadyExists,
+       "AlreadyExists"},
+      {Status::ConstraintViolation("f"), StatusCode::kConstraintViolation,
+       "ConstraintViolation"},
+      {Status::PermissionDenied("g"), StatusCode::kPermissionDenied,
+       "PermissionDenied"},
+      {Status::OutOfRange("h"), StatusCode::kOutOfRange, "OutOfRange"},
+      {Status::IoError("i"), StatusCode::kIoError, "IoError"},
+      {Status::NotImplemented("j"), StatusCode::kNotImplemented,
+       "NotImplemented"},
+      {Status::Internal("k"), StatusCode::kInternal, "Internal"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(std::string(StatusCodeToString(c.code)), c.name);
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos);
+  }
+}
+
+TEST(StatusTest, CopySharesState) {
+  Status a = Status::NotFound("missing");
+  Status b = a;
+  EXPECT_EQ(b.code(), StatusCode::kNotFound);
+  EXPECT_EQ(b.message(), "missing");
+  EXPECT_EQ(a, b);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::TypeError("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r(Status::OK());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = r.MoveValueUnsafe();
+  EXPECT_EQ(*v, 7);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  EXODUS_ASSIGN_OR_RETURN(int h, Half(x));
+  EXODUS_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagates) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+
+  auto bad = Quarter(6);  // 6/2 = 3 is odd
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+Status CheckPositive(int x) {
+  if (x <= 0) return Status::OutOfRange("non-positive");
+  return Status::OK();
+}
+
+Status CheckAll(int a, int b) {
+  EXODUS_RETURN_IF_ERROR(CheckPositive(a));
+  EXODUS_RETURN_IF_ERROR(CheckPositive(b));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(CheckAll(1, 2).ok());
+  EXPECT_EQ(CheckAll(1, -2).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(CheckAll(-1, 2).code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace exodus::util

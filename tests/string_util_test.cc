@@ -1,0 +1,80 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace exodus::util {
+namespace {
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("RETRIEVE"), "retrieve");
+  EXPECT_EQ(ToLower("MiXeD_123"), "mixed_123");
+  EXPECT_EQ(ToUpper("abc"), "ABC");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("Retrieve", "retrieve"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "ab"));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"a"}, ", "), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, " | "), "a | b | c");
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ',').size(), 3u);
+  EXPECT_EQ(Split("a,b,c", ',')[1], "b");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+  EXPECT_EQ(Split("a,,c", ',')[1], "");
+  EXPECT_EQ(Split("abc", ',')[0], "abc");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("\t\na b\n"), "a b");
+}
+
+TEST(StringUtilTest, EscapeString) {
+  EXPECT_EQ(EscapeString("plain"), "plain");
+  EXPECT_EQ(EscapeString("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeString("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeString("a\nb\tc"), "a\\nb\\tc");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("retrieve (x)", "retrieve"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+  EXPECT_FALSE(StartsWith("ret", "retrieve"));
+}
+
+TEST(StringUtilTest, FormatDoubleRoundTrips) {
+  const double values[] = {0.0,   1.0,        -1.5,      3.14159265358979,
+                           1e100, 1e-100,     2.0 / 3.0, 123456789.123456789,
+                           1e300, 5e-324};
+  for (double v : values) {
+    std::string s = FormatDouble(v);
+    // strtod, not std::stod: stod throws out_of_range on subnormals.
+    EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+  }
+}
+
+TEST(StringUtilTest, FormatDoubleAlwaysLooksFloat) {
+  EXPECT_EQ(FormatDouble(1.0), "1.0");
+  EXPECT_EQ(FormatDouble(-3.0), "-3.0");
+  // Must contain '.' or 'e' so re-parsing yields a float literal.
+  std::string s = FormatDouble(1e20);
+  EXPECT_TRUE(s.find('.') != std::string::npos ||
+              s.find('e') != std::string::npos);
+}
+
+}  // namespace
+}  // namespace exodus::util

@@ -1,0 +1,140 @@
+#include "extra/type.h"
+
+#include <gtest/gtest.h>
+
+namespace exodus::extra {
+namespace {
+
+class TypeStoreTest : public ::testing::Test {
+ protected:
+  TypeStore store_;
+};
+
+TEST_F(TypeStoreTest, BaseTypeSingletons) {
+  EXPECT_EQ(store_.int4()->kind(), TypeKind::kInt4);
+  EXPECT_TRUE(store_.int4()->is_numeric());
+  EXPECT_TRUE(store_.int4()->is_integer());
+  EXPECT_FALSE(store_.int4()->is_float());
+  EXPECT_TRUE(store_.float8()->is_float());
+  EXPECT_TRUE(store_.text()->is_string());
+  EXPECT_EQ(store_.boolean()->kind(), TypeKind::kBool);
+}
+
+TEST_F(TypeStoreTest, CharTypesInterned) {
+  const Type* a = store_.Char(25);
+  const Type* b = store_.Char(25);
+  const Type* c = store_.Char(30);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a->char_length(), 25u);
+  EXPECT_EQ(a->ToString(), "char[25]");
+}
+
+TEST_F(TypeStoreTest, Constructors) {
+  const Type* set = store_.MakeSet(store_.int4());
+  EXPECT_TRUE(set->is_set());
+  EXPECT_EQ(set->element_type(), store_.int4());
+  EXPECT_EQ(set->ToString(), "{int4}");
+
+  const Type* fixed = store_.MakeArray(store_.float8(), 10);
+  EXPECT_TRUE(fixed->is_fixed_array());
+  EXPECT_EQ(fixed->array_size(), 10u);
+  EXPECT_EQ(fixed->ToString(), "[10] float8");
+
+  const Type* var = store_.MakeArray(store_.float8(), 0);
+  EXPECT_FALSE(var->is_fixed_array());
+  EXPECT_EQ(var->ToString(), "[*] float8");
+}
+
+TEST_F(TypeStoreTest, EnumTypes) {
+  const Type* color = store_.MakeEnum("Color", {"red", "green", "blue"});
+  EXPECT_EQ(color->kind(), TypeKind::kEnum);
+  EXPECT_EQ(color->enum_labels().size(), 3u);
+  EXPECT_EQ(*color->EnumOrdinal("green"), 1);
+  EXPECT_FALSE(color->EnumOrdinal("purple").ok());
+}
+
+TEST_F(TypeStoreTest, TupleAndRef) {
+  auto person = store_.MakeTuple(
+      "Person", {}, {},
+      {{"name", store_.Char(25), "", ""}, {"age", store_.int4(), "", ""}});
+  ASSERT_TRUE(person.ok());
+  const Type* p = *person;
+  EXPECT_TRUE(p->is_tuple());
+  EXPECT_EQ(p->attributes().size(), 2u);
+  EXPECT_EQ(p->AttributeIndex("age"), 1);
+  EXPECT_EQ(p->AttributeIndex("missing"), -1);
+  EXPECT_TRUE(p->FindAttribute("name").ok());
+  EXPECT_FALSE(p->FindAttribute("xyz").ok());
+
+  const Type* ref = store_.MakeRef(p, false);
+  const Type* own_ref = store_.MakeRef(p, true);
+  EXPECT_EQ(ref->ownership(), Ownership::kRef);
+  EXPECT_EQ(own_ref->ownership(), Ownership::kOwnRef);
+  EXPECT_EQ(p->ownership(), Ownership::kOwn);
+  EXPECT_EQ(ref->ToString(), "ref Person");
+  EXPECT_EQ(own_ref->ToString(), "own ref Person");
+  EXPECT_EQ(store_.MakeSet(own_ref)->ToString(), "{own ref Person}");
+}
+
+TEST_F(TypeStoreTest, DuplicateAttributeRejected) {
+  auto bad = store_.MakeTuple("T", {}, {},
+                              {{"x", store_.int4(), "", ""},
+                               {"x", store_.int8(), "", ""}});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), util::StatusCode::kTypeError);
+}
+
+TEST_F(TypeStoreTest, SelfReferenceThroughRefAllowed) {
+  auto begun = store_.BeginTuple("Person", {}, {});
+  ASSERT_TRUE(begun.ok());
+  Type* person = *begun;
+  const Type* kids = store_.MakeSet(store_.MakeRef(person, true));
+  auto st = store_.FinishTuple(
+      person, {{"name", store_.text(), "", ""}, {"kids", kids, "", ""}});
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(person->FindAttribute("kids").ValueOrDie()->type, kids);
+}
+
+TEST_F(TypeStoreTest, OwnEmbeddingCycleRejected) {
+  auto begun = store_.BeginTuple("Loop", {}, {});
+  ASSERT_TRUE(begun.ok());
+  Type* loop = *begun;
+  // Loop embeds a set of Loop values by value: an infinite type.
+  auto st = store_.FinishTuple(
+      loop, {{"children", store_.MakeSet(loop), "", ""}});
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("embeds itself"), std::string::npos);
+}
+
+TEST_F(TypeStoreTest, Assignability) {
+  auto person = store_.MakeTuple("Person", {}, {},
+                                 {{"name", store_.text(), "", ""}});
+  auto employee = store_.MakeTuple("Employee", {*person}, {{}},
+                                   {{"salary", store_.float8(), "", ""}});
+  ASSERT_TRUE(person.ok());
+  ASSERT_TRUE(employee.ok());
+
+  EXPECT_TRUE(AssignableTo(store_.int4(), store_.int8()));
+  EXPECT_TRUE(AssignableTo(store_.int8(), store_.float4()));  // numeric
+  EXPECT_TRUE(AssignableTo(store_.Char(5), store_.text()));
+  EXPECT_FALSE(AssignableTo(store_.int4(), store_.text()));
+
+  EXPECT_TRUE(AssignableTo(*employee, *person));   // subtype
+  EXPECT_FALSE(AssignableTo(*person, *employee));  // not the other way
+
+  const Type* ref_p = store_.MakeRef(*person, false);
+  const Type* ref_e = store_.MakeRef(*employee, false);
+  EXPECT_TRUE(AssignableTo(ref_e, ref_p));  // covariant targets
+  EXPECT_FALSE(AssignableTo(ref_p, ref_e));
+
+  EXPECT_TRUE(AssignableTo(store_.MakeSet(store_.int4()),
+                           store_.MakeSet(store_.int8())));
+  EXPECT_TRUE(AssignableTo(store_.MakeArray(store_.int4(), 5),
+                           store_.MakeArray(store_.int4(), 0)));
+  EXPECT_FALSE(AssignableTo(store_.MakeArray(store_.int4(), 5),
+                            store_.MakeArray(store_.int4(), 6)));
+}
+
+}  // namespace
+}  // namespace exodus::extra

@@ -1,0 +1,202 @@
+#include "object/value.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "extra/type.h"
+
+namespace exodus::object {
+namespace {
+
+TEST(ValueTest, Scalars) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Float(2.5).AsFloat(), 2.5);
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+  EXPECT_EQ(Value::Ref(7).AsRef(), 7u);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Float(1.5).ToString(), "1.5");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::String("a\"b").ToString(), "\"a\\\"b\"");
+  EXPECT_EQ(Value::Ref(9).ToString(), "ref(#9)");
+  EXPECT_EQ(Value::MakeArray({Value::Int(1), Value::Int(2)}).ToString(),
+            "[1, 2]");
+}
+
+TEST(ValueTest, NumericEqualityCoercesIntFloat) {
+  EXPECT_TRUE(ValueEquals(Value::Int(3), Value::Float(3.0)));
+  EXPECT_TRUE(ValueEquals(Value::Float(3.0), Value::Int(3)));
+  EXPECT_FALSE(ValueEquals(Value::Int(3), Value::Float(3.5)));
+  // And their hashes agree (required by hash-set semantics).
+  EXPECT_EQ(ValueHash(Value::Int(3)), ValueHash(Value::Float(3.0)));
+}
+
+TEST(ValueTest, NullEqualsOnlyNull) {
+  EXPECT_TRUE(ValueEquals(Value::Null(), Value::Null()));
+  EXPECT_FALSE(ValueEquals(Value::Null(), Value::Int(0)));
+  EXPECT_FALSE(ValueEquals(Value::Bool(false), Value::Null()));
+}
+
+TEST(ValueTest, RefsCompareByIdentity) {
+  EXPECT_TRUE(ValueEquals(Value::Ref(1), Value::Ref(1)));
+  EXPECT_FALSE(ValueEquals(Value::Ref(1), Value::Ref(2)));
+}
+
+TEST(ValueTest, DeepTupleEquality) {
+  Value a = Value::MakeTuple(nullptr, {Value::Int(1), Value::String("x")});
+  Value b = Value::MakeTuple(nullptr, {Value::Int(1), Value::String("x")});
+  Value c = Value::MakeTuple(nullptr, {Value::Int(1), Value::String("y")});
+  EXPECT_TRUE(ValueEquals(a, b));
+  EXPECT_FALSE(ValueEquals(a, c));
+  EXPECT_EQ(ValueHash(a), ValueHash(b));
+}
+
+TEST(ValueTest, SetEqualityIsOrderInsensitive) {
+  auto s1 = std::make_shared<SetData>();
+  SetInsert(s1.get(), Value::Int(1));
+  SetInsert(s1.get(), Value::Int(2));
+  auto s2 = std::make_shared<SetData>();
+  SetInsert(s2.get(), Value::Int(2));
+  SetInsert(s2.get(), Value::Int(1));
+  EXPECT_TRUE(ValueEquals(Value::Set(s1), Value::Set(s2)));
+  EXPECT_EQ(ValueHash(Value::Set(s1)), ValueHash(Value::Set(s2)));
+
+  auto s3 = std::make_shared<SetData>();
+  SetInsert(s3.get(), Value::Int(1));
+  EXPECT_FALSE(ValueEquals(Value::Set(s1), Value::Set(s3)));
+}
+
+TEST(ValueTest, ArrayEqualityIsOrderSensitive) {
+  Value a = Value::MakeArray({Value::Int(1), Value::Int(2)});
+  Value b = Value::MakeArray({Value::Int(2), Value::Int(1)});
+  EXPECT_FALSE(ValueEquals(a, b));
+  EXPECT_TRUE(ValueEquals(a, a.DeepCopy()));
+}
+
+TEST(ValueTest, SetInsertRejectsDuplicates) {
+  SetData s;
+  EXPECT_TRUE(SetInsert(&s, Value::Int(1)));
+  EXPECT_FALSE(SetInsert(&s, Value::Int(1)));
+  EXPECT_FALSE(SetInsert(&s, Value::Float(1.0)));  // coerced duplicate
+  EXPECT_TRUE(SetInsert(&s, Value::Int(2)));
+  EXPECT_EQ(s.elems.size(), 2u);
+  EXPECT_TRUE(SetContains(s, Value::Int(2)));
+  EXPECT_TRUE(SetErase(&s, Value::Int(1)));
+  EXPECT_FALSE(SetErase(&s, Value::Int(1)));
+  EXPECT_EQ(s.elems.size(), 1u);
+}
+
+TEST(ValueTest, DeepCopyDisconnectsSharedState) {
+  auto s = std::make_shared<SetData>();
+  SetInsert(s.get(), Value::Int(1));
+  Value original = Value::Set(s);
+  Value shallow = original;                // shares SetData
+  Value deep = original.DeepCopy();        // does not
+  SetInsert(original.mutable_set(), Value::Int(2));
+  EXPECT_EQ(shallow.set().elems.size(), 2u);
+  EXPECT_EQ(deep.set().elems.size(), 1u);
+}
+
+TEST(ValueTest, CompareOrdersNumerics) {
+  EXPECT_EQ(*ValueCompare(Value::Int(1), Value::Int(2)), -1);
+  EXPECT_EQ(*ValueCompare(Value::Int(2), Value::Int(2)), 0);
+  EXPECT_EQ(*ValueCompare(Value::Float(2.5), Value::Int(2)), 1);
+  EXPECT_EQ(*ValueCompare(Value::String("a"), Value::String("b")), -1);
+  EXPECT_EQ(*ValueCompare(Value::Bool(false), Value::Bool(true)), -1);
+}
+
+TEST(ValueTest, CompareRejectsUnorderedKinds) {
+  EXPECT_FALSE(ValueCompare(Value::Ref(1), Value::Ref(2)).ok());
+  EXPECT_FALSE(ValueCompare(Value::Int(1), Value::String("1")).ok());
+  EXPECT_FALSE(ValueCompare(Value::MakeArray({}), Value::MakeArray({})).ok());
+}
+
+TEST(ValueTest, EnumValues) {
+  extra::TypeStore store;
+  const extra::Type* color = store.MakeEnum("Color", {"red", "green"});
+  Value red = Value::Enum(color, 0);
+  Value green = Value::Enum(color, 1);
+  EXPECT_EQ(red.ToString(), "red");
+  EXPECT_FALSE(ValueEquals(red, green));
+  EXPECT_TRUE(ValueEquals(red, Value::Enum(color, 0)));
+  EXPECT_EQ(*ValueCompare(red, green), -1);
+  // Values of distinct enum types never compare equal.
+  const extra::Type* other = store.MakeEnum("Other", {"red"});
+  EXPECT_FALSE(ValueEquals(red, Value::Enum(other, 0)));
+}
+
+// ---------------------------------------------------------------------------
+// Property-style sweep: ValueEquals must be consistent with ValueHash and
+// with itself across random structured values.
+// ---------------------------------------------------------------------------
+
+Value RandomValue(std::mt19937* rng, int depth) {
+  std::uniform_int_distribution<int> kind_dist(0, depth > 0 ? 7 : 4);
+  switch (kind_dist(*rng)) {
+    case 0:
+      return Value::Null();
+    case 1:
+      return Value::Int(std::uniform_int_distribution<int>(-5, 5)(*rng));
+    case 2:
+      return Value::Float(
+          std::uniform_int_distribution<int>(-4, 4)(*rng) / 2.0);
+    case 3:
+      return Value::Bool(std::uniform_int_distribution<int>(0, 1)(*rng) == 1);
+    case 4: {
+      const char* words[] = {"a", "b", "c", ""};
+      return Value::String(
+          words[std::uniform_int_distribution<int>(0, 3)(*rng)]);
+    }
+    case 5: {
+      std::vector<Value> fields;
+      int n = std::uniform_int_distribution<int>(0, 3)(*rng);
+      for (int i = 0; i < n; ++i) fields.push_back(RandomValue(rng, depth - 1));
+      return Value::MakeTuple(nullptr, std::move(fields));
+    }
+    case 6: {
+      auto data = std::make_shared<SetData>();
+      int n = std::uniform_int_distribution<int>(0, 3)(*rng);
+      for (int i = 0; i < n; ++i) SetInsert(data.get(), RandomValue(rng, depth - 1));
+      return Value::Set(std::move(data));
+    }
+    default: {
+      std::vector<Value> elems;
+      int n = std::uniform_int_distribution<int>(0, 3)(*rng);
+      for (int i = 0; i < n; ++i) elems.push_back(RandomValue(rng, depth - 1));
+      return Value::MakeArray(std::move(elems));
+    }
+  }
+}
+
+class ValuePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValuePropertyTest, HashConsistentWithEquality) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  std::vector<Value> values;
+  for (int i = 0; i < 60; ++i) values.push_back(RandomValue(&rng, 2));
+  for (const Value& a : values) {
+    // Reflexive; DeepCopy preserves equality and hash.
+    EXPECT_TRUE(ValueEquals(a, a));
+    Value copy = a.DeepCopy();
+    EXPECT_TRUE(ValueEquals(a, copy));
+    EXPECT_EQ(ValueHash(a), ValueHash(copy));
+    for (const Value& b : values) {
+      EXPECT_EQ(ValueEquals(a, b), ValueEquals(b, a));  // symmetric
+      if (ValueEquals(a, b)) {
+        EXPECT_EQ(ValueHash(a), ValueHash(b));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValuePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace exodus::object
