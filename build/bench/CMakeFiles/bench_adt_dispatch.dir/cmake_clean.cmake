@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adt_dispatch.dir/bench_adt_dispatch.cc.o"
+  "CMakeFiles/bench_adt_dispatch.dir/bench_adt_dispatch.cc.o.d"
+  "bench_adt_dispatch"
+  "bench_adt_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adt_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cascade_delete.dir/bench_cascade_delete.cc.o"
+  "CMakeFiles/bench_cascade_delete.dir/bench_cascade_delete.cc.o.d"
+  "bench_cascade_delete"
+  "bench_cascade_delete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cascade_delete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

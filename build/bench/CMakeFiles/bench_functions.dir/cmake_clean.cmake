@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_functions.dir/bench_functions.cc.o"
+  "CMakeFiles/bench_functions.dir/bench_functions.cc.o.d"
+  "bench_functions"
+  "bench_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inheritance.dir/bench_inheritance.cc.o"
+  "CMakeFiles/bench_inheritance.dir/bench_inheritance.cc.o.d"
+  "bench_inheritance"
+  "bench_inheritance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inheritance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nested_sets.dir/bench_nested_sets.cc.o"
+  "CMakeFiles/bench_nested_sets.dir/bench_nested_sets.cc.o.d"
+  "bench_nested_sets"
+  "bench_nested_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nested_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_path_join.dir/bench_path_join.cc.o"
+  "CMakeFiles/bench_path_join.dir/bench_path_join.cc.o.d"
+  "bench_path_join"
+  "bench_path_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_path_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

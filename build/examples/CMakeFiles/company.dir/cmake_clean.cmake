@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/company.dir/company.cpp.o"
+  "CMakeFiles/company.dir/company.cpp.o.d"
+  "company"
+  "company.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/company.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

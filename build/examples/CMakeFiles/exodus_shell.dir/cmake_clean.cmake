@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exodus_shell.dir/exodus_shell.cpp.o"
+  "CMakeFiles/exodus_shell.dir/exodus_shell.cpp.o.d"
+  "exodus_shell"
+  "exodus_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exodus_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

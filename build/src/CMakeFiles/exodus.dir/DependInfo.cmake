@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adt/box.cc" "src/CMakeFiles/exodus.dir/adt/box.cc.o" "gcc" "src/CMakeFiles/exodus.dir/adt/box.cc.o.d"
+  "/root/repo/src/adt/complex.cc" "src/CMakeFiles/exodus.dir/adt/complex.cc.o" "gcc" "src/CMakeFiles/exodus.dir/adt/complex.cc.o.d"
+  "/root/repo/src/adt/date.cc" "src/CMakeFiles/exodus.dir/adt/date.cc.o" "gcc" "src/CMakeFiles/exodus.dir/adt/date.cc.o.d"
+  "/root/repo/src/adt/registry.cc" "src/CMakeFiles/exodus.dir/adt/registry.cc.o" "gcc" "src/CMakeFiles/exodus.dir/adt/registry.cc.o.d"
+  "/root/repo/src/auth/auth.cc" "src/CMakeFiles/exodus.dir/auth/auth.cc.o" "gcc" "src/CMakeFiles/exodus.dir/auth/auth.cc.o.d"
+  "/root/repo/src/excess/ast.cc" "src/CMakeFiles/exodus.dir/excess/ast.cc.o" "gcc" "src/CMakeFiles/exodus.dir/excess/ast.cc.o.d"
+  "/root/repo/src/excess/binder.cc" "src/CMakeFiles/exodus.dir/excess/binder.cc.o" "gcc" "src/CMakeFiles/exodus.dir/excess/binder.cc.o.d"
+  "/root/repo/src/excess/database.cc" "src/CMakeFiles/exodus.dir/excess/database.cc.o" "gcc" "src/CMakeFiles/exodus.dir/excess/database.cc.o.d"
+  "/root/repo/src/excess/executor.cc" "src/CMakeFiles/exodus.dir/excess/executor.cc.o" "gcc" "src/CMakeFiles/exodus.dir/excess/executor.cc.o.d"
+  "/root/repo/src/excess/executor_eval.cc" "src/CMakeFiles/exodus.dir/excess/executor_eval.cc.o" "gcc" "src/CMakeFiles/exodus.dir/excess/executor_eval.cc.o.d"
+  "/root/repo/src/excess/executor_update.cc" "src/CMakeFiles/exodus.dir/excess/executor_update.cc.o" "gcc" "src/CMakeFiles/exodus.dir/excess/executor_update.cc.o.d"
+  "/root/repo/src/excess/functions.cc" "src/CMakeFiles/exodus.dir/excess/functions.cc.o" "gcc" "src/CMakeFiles/exodus.dir/excess/functions.cc.o.d"
+  "/root/repo/src/excess/lexer.cc" "src/CMakeFiles/exodus.dir/excess/lexer.cc.o" "gcc" "src/CMakeFiles/exodus.dir/excess/lexer.cc.o.d"
+  "/root/repo/src/excess/optimizer.cc" "src/CMakeFiles/exodus.dir/excess/optimizer.cc.o" "gcc" "src/CMakeFiles/exodus.dir/excess/optimizer.cc.o.d"
+  "/root/repo/src/excess/parser.cc" "src/CMakeFiles/exodus.dir/excess/parser.cc.o" "gcc" "src/CMakeFiles/exodus.dir/excess/parser.cc.o.d"
+  "/root/repo/src/excess/plan.cc" "src/CMakeFiles/exodus.dir/excess/plan.cc.o" "gcc" "src/CMakeFiles/exodus.dir/excess/plan.cc.o.d"
+  "/root/repo/src/excess/token.cc" "src/CMakeFiles/exodus.dir/excess/token.cc.o" "gcc" "src/CMakeFiles/exodus.dir/excess/token.cc.o.d"
+  "/root/repo/src/extra/catalog.cc" "src/CMakeFiles/exodus.dir/extra/catalog.cc.o" "gcc" "src/CMakeFiles/exodus.dir/extra/catalog.cc.o.d"
+  "/root/repo/src/extra/lattice.cc" "src/CMakeFiles/exodus.dir/extra/lattice.cc.o" "gcc" "src/CMakeFiles/exodus.dir/extra/lattice.cc.o.d"
+  "/root/repo/src/extra/type.cc" "src/CMakeFiles/exodus.dir/extra/type.cc.o" "gcc" "src/CMakeFiles/exodus.dir/extra/type.cc.o.d"
+  "/root/repo/src/index/btree.cc" "src/CMakeFiles/exodus.dir/index/btree.cc.o" "gcc" "src/CMakeFiles/exodus.dir/index/btree.cc.o.d"
+  "/root/repo/src/index/hash_index.cc" "src/CMakeFiles/exodus.dir/index/hash_index.cc.o" "gcc" "src/CMakeFiles/exodus.dir/index/hash_index.cc.o.d"
+  "/root/repo/src/index/index_manager.cc" "src/CMakeFiles/exodus.dir/index/index_manager.cc.o" "gcc" "src/CMakeFiles/exodus.dir/index/index_manager.cc.o.d"
+  "/root/repo/src/object/heap.cc" "src/CMakeFiles/exodus.dir/object/heap.cc.o" "gcc" "src/CMakeFiles/exodus.dir/object/heap.cc.o.d"
+  "/root/repo/src/object/value.cc" "src/CMakeFiles/exodus.dir/object/value.cc.o" "gcc" "src/CMakeFiles/exodus.dir/object/value.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/exodus.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/exodus.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/object_store.cc" "src/CMakeFiles/exodus.dir/storage/object_store.cc.o" "gcc" "src/CMakeFiles/exodus.dir/storage/object_store.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/CMakeFiles/exodus.dir/storage/page.cc.o" "gcc" "src/CMakeFiles/exodus.dir/storage/page.cc.o.d"
+  "/root/repo/src/storage/pager.cc" "src/CMakeFiles/exodus.dir/storage/pager.cc.o" "gcc" "src/CMakeFiles/exodus.dir/storage/pager.cc.o.d"
+  "/root/repo/src/storage/serializer.cc" "src/CMakeFiles/exodus.dir/storage/serializer.cc.o" "gcc" "src/CMakeFiles/exodus.dir/storage/serializer.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/exodus.dir/util/status.cc.o" "gcc" "src/CMakeFiles/exodus.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/exodus.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/exodus.dir/util/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_query_test.dir/executor_query_test.cc.o"
+  "CMakeFiles/executor_query_test.dir/executor_query_test.cc.o.d"
+  "executor_query_test"
+  "executor_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_update_test.dir/executor_update_test.cc.o"
+  "CMakeFiles/executor_update_test.dir/executor_update_test.cc.o.d"
+  "executor_update_test"
+  "executor_update_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

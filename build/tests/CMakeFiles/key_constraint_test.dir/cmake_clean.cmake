@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_constraint_test.dir/key_constraint_test.cc.o"
+  "CMakeFiles/key_constraint_test.dir/key_constraint_test.cc.o.d"
+  "key_constraint_test"
+  "key_constraint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_constraint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retrieve_into_test.dir/retrieve_into_test.cc.o"
+  "CMakeFiles/retrieve_into_test.dir/retrieve_into_test.cc.o.d"
+  "retrieve_into_test"
+  "retrieve_into_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retrieve_into_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
