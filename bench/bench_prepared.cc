@@ -1,0 +1,151 @@
+// B12 — prepared-statement execution vs. the string-only convenience
+// API. Expected shape: Database::Execute re-lexes, re-parses, re-binds
+// and re-optimizes the statement text on every call, while a
+// PreparedStatement pays that once and then runs the cached plan, so
+// per-call cost drops by a large constant factor (the acceptance bar is
+// >= 3x on the selective retrieve below). A paired DDL variant shows
+// the re-plan-on-invalidation path staying close to one-shot Execute.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "bench_common.h"
+#include "excess/session.h"
+
+namespace exodus {
+namespace {
+
+constexpr int kRows = 512;
+
+Database* Db() {
+  static std::unique_ptr<Database> db = [] {
+    auto d = std::make_unique<Database>();
+    bench::MustExecute(d.get(), R"(
+      define type Employee (name: char[25], age: int4, salary: float8)
+      create Employees : {Employee}
+    )");
+    for (int i = 0; i < kRows; ++i) {
+      bench::MustExecute(d.get(),
+                         "append to Employees (name = \"e" +
+                             std::to_string(i) + "\", age = " +
+                             std::to_string(20 + i % 50) + ", salary = " +
+                             std::to_string(10 + i % 90) + ".0)");
+    }
+    // An age index keeps the execution itself cheap (a B-tree probe),
+    // so the per-call difference between the two APIs is dominated by
+    // what this benchmark is about: re-lex/re-parse/re-optimize cost.
+    bench::MustExecute(d.get(),
+                       "create index AgeIdx on Employees (age) using btree");
+    return d;
+  }();
+  return db.get();
+}
+
+constexpr char kQuery[] =
+    "retrieve (E.name) from E in Employees where E.age = $1";
+constexpr char kQueryLiteral[] =
+    "retrieve (E.name) from E in Employees where E.age = 68";
+
+/// Baseline: one-shot string execution — lex/parse/bind/optimize every
+/// iteration.
+void BM_ExecuteString(benchmark::State& state) {
+  Database* db = Db();  // untimed setup
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(db, kQueryLiteral));
+  }
+  state.counters["rows"] = kRows;
+}
+BENCHMARK(BM_ExecuteString);
+
+/// Prepared: plan once, execute many.
+void BM_ExecutePrepared(benchmark::State& state) {
+  Database* db = Db();  // untimed setup
+  auto session = db->CreateSession();
+  if (!session.ok()) std::abort();
+  auto stmt = (*session)->Prepare(kQuery);
+  if (!stmt.ok()) std::abort();
+  if (!(*stmt)->Bind(1, 68).ok()) std::abort();
+  for (auto _ : state) {
+    auto r = (*stmt)->Execute();
+    if (!r.ok()) std::abort();
+    benchmark::DoNotOptimize(r->rows.size());
+  }
+  state.counters["rows"] = kRows;
+}
+BENCHMARK(BM_ExecutePrepared);
+
+/// Same pair without the index: execution is a full extent scan, so
+/// the planning overhead amortizes against real work.
+void BM_ExecuteStringScan(benchmark::State& state) {
+  Database* db = Db();  // untimed setup
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(
+        db, "retrieve (E.name) from E in Employees where E.salary > 95.0"));
+  }
+  state.counters["rows"] = kRows;
+}
+BENCHMARK(BM_ExecuteStringScan);
+
+void BM_ExecutePreparedScan(benchmark::State& state) {
+  Database* db = Db();  // untimed setup
+  auto session = db->CreateSession();
+  if (!session.ok()) std::abort();
+  auto stmt = (*session)->Prepare(
+      "retrieve (E.name) from E in Employees where E.salary > $1");
+  if (!stmt.ok()) std::abort();
+  if (!(*stmt)->Bind(1, 95.0).ok()) std::abort();
+  for (auto _ : state) {
+    auto r = (*stmt)->Execute();
+    if (!r.ok()) std::abort();
+    benchmark::DoNotOptimize(r->rows.size());
+  }
+  state.counters["rows"] = kRows;
+}
+BENCHMARK(BM_ExecutePreparedScan);
+
+/// Prepare cost itself when the plan cache already holds the text
+/// (handle construction + cache hit; no parsing).
+void BM_RePrepareCacheHit(benchmark::State& state) {
+  Database* db = Db();  // untimed setup
+  auto session = db->CreateSession();
+  if (!session.ok()) std::abort();
+  if (!(*session)->Prepare(kQuery).ok()) std::abort();  // warm the cache
+  for (auto _ : state) {
+    auto stmt = (*session)->Prepare(kQuery);
+    if (!stmt.ok()) std::abort();
+    benchmark::DoNotOptimize(stmt->get());
+  }
+}
+BENCHMARK(BM_RePrepareCacheHit);
+
+/// Worst case: a DDL statement between every pair of executions forces
+/// a full re-plan each time — prepared execution degrades to roughly
+/// the one-shot cost, never below it.
+void BM_PreparedWithDdlChurn(benchmark::State& state) {
+  Database* db = Db();  // untimed setup
+  auto session = db->CreateSession();
+  if (!session.ok()) std::abort();
+  auto stmt = (*session)->Prepare(kQuery);
+  if (!stmt.ok()) std::abort();
+  if (!(*stmt)->Bind(1, 68).ok()) std::abort();
+  // Static: the benchmark harness re-enters this function while tuning
+  // the iteration count, and type names cannot be reused.
+  static int generation = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    bench::MustExecute(db, "define type Churn" + std::to_string(generation++) +
+                               " (x: int4)");
+    state.ResumeTiming();
+    auto r = (*stmt)->Execute();
+    if (!r.ok()) std::abort();
+    benchmark::DoNotOptimize(r->rows.size());
+  }
+}
+BENCHMARK(BM_PreparedWithDdlChurn);
+
+}  // namespace
+}  // namespace exodus
+
+BENCHMARK_MAIN();

@@ -1,9 +1,13 @@
-// An interactive EXCESS shell: type statements, see results. Supports
+// An interactive EXCESS shell: type statements, see results. Built on
+// the Session embedding API — one session per shell process. Supports
 // multi-line input (statements end at a blank line or ';'), plus a few
 // shell commands:
 //
 //   \plan              show the plan of the last retrieve/update
 //   \schema            list types and named objects
+//   \cache             show plan-cache statistics
+//   \prepare <stmt>    prepare a statement with $n parameters
+//   \exec <v1> <v2>..  bind + execute the prepared statement
 //   \save <file>       checkpoint the database
 //   \load <file>       replace the session with a saved database
 //   \quit
@@ -12,11 +16,14 @@
 //       echo 'retrieve (Complex(1.0,2.0) + Complex(3.0,4.0))' | \
 //           ./build/examples/exodus_shell
 
+#include <cctype>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "excess/database.h"
+#include "excess/session.h"
 #include "util/string_util.h"
 
 namespace {
@@ -48,10 +55,45 @@ void PrintSchema(exodus::Database& db) {
   std::cout << "live objects: " << db.heap()->live_count() << "\n";
 }
 
+void PrintCacheStats(exodus::Database& db) {
+  auto s = db.CacheStats();
+  std::cout << "plan cache: " << db.plan_cache()->size() << "/"
+            << db.plan_cache()->capacity() << " entries, " << s.hits
+            << " hit(s), " << s.misses << " miss(es), " << s.invalidations
+            << " invalidation(s), " << s.evictions << " eviction(s)\n";
+}
+
+/// Parses one whitespace-separated `\exec` argument into a Value:
+/// int, float, true/false, else string (quotes optional).
+exodus::object::Value ParseArg(const std::string& raw) {
+  using exodus::object::Value;
+  if (raw == "true") return Value::Bool(true);
+  if (raw == "false") return Value::Bool(false);
+  if (raw.size() >= 2 && raw.front() == '"' && raw.back() == '"') {
+    return Value::String(raw.substr(1, raw.size() - 2));
+  }
+  try {
+    size_t used = 0;
+    long long i = std::stoll(raw, &used);
+    if (used == raw.size()) return Value::Int(i);
+    double d = std::stod(raw, &used);
+    if (used == raw.size()) return Value::Float(d);
+  } catch (...) {
+  }
+  return Value::String(raw);
+}
+
 }  // namespace
 
 int main() {
   auto db = std::make_unique<exodus::Database>();
+  auto session_or = db->CreateSession();
+  if (!session_or.ok()) {
+    std::cerr << session_or.status().ToString() << "\n";
+    return 1;
+  }
+  std::unique_ptr<exodus::Session> session = std::move(*session_or);
+  std::unique_ptr<exodus::PreparedStatement> prepared;
   bool interactive = true;
 
   std::cout << "EXTRA/EXCESS shell — EXODUS data model & query language\n"
@@ -66,7 +108,7 @@ int main() {
     if (!std::getline(std::cin, line)) {
       // EOF: execute whatever is buffered (piped input without ';').
       if (!exodus::util::Trim(buffer).empty()) {
-        auto results = db->ExecuteAll(buffer);
+        auto results = session->ExecuteAll(buffer);
         if (!results.ok()) {
           std::cout << results.status().ToString() << "\n";
         } else {
@@ -87,6 +129,57 @@ int main() {
         PrintSchema(*db);
         continue;
       }
+      if (trimmed == "\\cache") {
+        PrintCacheStats(*db);
+        continue;
+      }
+      if (exodus::util::StartsWith(trimmed, "\\prepare ")) {
+        auto stmt = session->Prepare(trimmed.substr(9));
+        if (!stmt.ok()) {
+          std::cout << stmt.status().ToString() << "\n";
+        } else {
+          prepared = std::move(*stmt);
+          std::cout << "prepared (" << prepared->param_count()
+                    << " parameter(s))\n";
+        }
+        continue;
+      }
+      if (trimmed == "\\exec" ||
+          exodus::util::StartsWith(trimmed, "\\exec ")) {
+        if (prepared == nullptr) {
+          std::cout << "nothing prepared — use \\prepare <stmt> first\n";
+          continue;
+        }
+        // Split the rest into arguments and bind $1..$n.
+        std::vector<std::string> args;
+        std::string word;
+        for (char c : trimmed.substr(5)) {
+          if (std::isspace(static_cast<unsigned char>(c))) {
+            if (!word.empty()) args.push_back(std::move(word));
+            word.clear();
+          } else {
+            word += c;
+          }
+        }
+        if (!word.empty()) args.push_back(std::move(word));
+        bool bound = true;
+        for (size_t i = 0; i < args.size(); ++i) {
+          auto st = prepared->Bind(static_cast<int>(i + 1), ParseArg(args[i]));
+          if (!st.ok()) {
+            std::cout << st.ToString() << "\n";
+            bound = false;
+            break;
+          }
+        }
+        if (!bound) continue;
+        auto r = prepared->Execute();
+        if (!r.ok()) {
+          std::cout << r.status().ToString() << "\n";
+        } else {
+          std::cout << db->Format(*r);
+        }
+        continue;
+      }
       if (exodus::util::StartsWith(trimmed, "\\save ")) {
         auto st = db->Save(trimmed.substr(6));
         std::cout << st.ToString() << "\n";
@@ -95,7 +188,15 @@ int main() {
       if (exodus::util::StartsWith(trimmed, "\\load ")) {
         auto loaded = exodus::Database::Load(trimmed.substr(6));
         if (loaded.ok()) {
+          prepared.reset();
+          session.reset();
           db = std::move(*loaded);
+          auto fresh = db->CreateSession();
+          if (!fresh.ok()) {
+            std::cerr << fresh.status().ToString() << "\n";
+            return 1;
+          }
+          session = std::move(*fresh);
           std::cout << "loaded\n";
         } else {
           std::cout << loaded.status().ToString() << "\n";
@@ -115,7 +216,7 @@ int main() {
       continue;
     }
 
-    auto results = db->ExecuteAll(buffer);
+    auto results = session->ExecuteAll(buffer);
     buffer.clear();
     if (!results.ok()) {
       std::cout << results.status().ToString() << "\n";

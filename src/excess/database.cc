@@ -5,6 +5,7 @@
 #include "adt/date.h"
 
 #include "excess/parser.h"
+#include "excess/session.h"
 #include "storage/buffer_pool.h"
 #include "storage/object_store.h"
 #include "storage/pager.h"
@@ -28,14 +29,6 @@ using util::Result;
 using util::Status;
 
 Database::Database() {
-  ctx_.catalog = &catalog_;
-  ctx_.heap = &heap_;
-  ctx_.adts = &adts_;
-  ctx_.functions = &functions_;
-  ctx_.auth = &auth_;
-  ctx_.indexes = &indexes_;
-  ctx_.session_ranges = &session_ranges_;
-
   // Built-in ADT library (Date, Complex, Box) + access-method rows for
   // the comparable Date ADT.
   Status st = adt::InstallBuiltinAdts(
@@ -58,23 +51,49 @@ Database::Database() {
     RegisterAccessMethod(adt::BoxAdtId(), index::AccessMethodKind::kHash,
                          /*supports_range=*/false);
   }
+
+  // The default session backs the string-only Execute/ExecuteAll API.
+  default_session_.reset(new Session(this, auth::AuthManager::kDba));
 }
 
 Database::~Database() {
   if (journal_ != nullptr) std::fclose(journal_);
 }
 
-namespace {
+Result<std::unique_ptr<Session>> Database::CreateSession(
+    const std::string& user) {
+  if (user != auth::AuthManager::kDba && !auth_.UserExists(user)) {
+    return Status::NotFound("no user named '" + user + "'");
+  }
+  return std::unique_ptr<Session>(new Session(this, user));
+}
+
+const std::string& Database::current_user() const {
+  return default_session_->user();
+}
+
+excess::OptimizerOptions* Database::mutable_optimizer_options() {
+  return default_session_->mutable_optimizer_options();
+}
 
 /// True for statements whose effects must be journaled for recovery.
 /// Retrieves are read-only (except `retrieve into`); `range of`
 /// declarations are journaled because later journaled statements may
 /// reference them.
-bool IsJournaled(const Stmt& stmt) {
+bool Database::IsJournaled(const Stmt& stmt) {
   return stmt.kind != StmtKind::kRetrieve || !stmt.into.empty();
 }
 
-}  // namespace
+Status Database::JournalStmt(const Stmt& stmt) {
+  std::string text = stmt.ToString();
+  std::string record = std::to_string(text.size()) + "\n" + text + "\n";
+  if (std::fwrite(record.data(), 1, record.size(), journal_) !=
+          record.size() ||
+      std::fflush(journal_) != 0) {
+    return Status::IoError("journal append failed");
+  }
+  return Status::OK();
+}
 
 Status Database::EnableJournal(const std::string& path) {
   if (journal_ != nullptr) {
@@ -139,56 +158,42 @@ Result<std::unique_ptr<Database>> Database::Recover(
 
 Result<std::vector<QueryResult>> Database::ExecuteAll(
     const std::string& text) {
-  excess::Parser parser(text, &adts_);
-  EXODUS_ASSIGN_OR_RETURN(std::vector<excess::StmtPtr> program,
-                          parser.ParseProgram());
-  std::vector<QueryResult> results;
-  results.reserve(program.size());
-  for (const excess::StmtPtr& stmt : program) {
-    EXODUS_ASSIGN_OR_RETURN(QueryResult r, ExecuteStmt(*stmt));
-    if (journal_ != nullptr && IsJournaled(*stmt)) {
-      std::string text = stmt->ToString();
-      std::string record = std::to_string(text.size()) + "\n" + text + "\n";
-      if (std::fwrite(record.data(), 1, record.size(), journal_) !=
-              record.size() ||
-          std::fflush(journal_) != 0) {
-        return Status::IoError("journal append failed");
-      }
-    }
-    results.push_back(std::move(r));
-  }
-  return results;
+  return default_session_->ExecuteAll(text);
 }
 
 Result<QueryResult> Database::Execute(const std::string& text) {
-  EXODUS_ASSIGN_OR_RETURN(std::vector<QueryResult> results, ExecuteAll(text));
-  if (results.empty()) return QueryResult{};
-  return std::move(results.back());
+  return default_session_->Execute(text);
 }
 
 Result<Value> Database::EvalExpression(const std::string& text) {
-  excess::Parser parser(text, &adts_);
-  EXODUS_ASSIGN_OR_RETURN(excess::ExprPtr expr, parser.ParseSingleExpression());
-  Executor exec(&ctx_);
-  return exec.EvalStandalone(*expr);
+  return default_session_->EvalExpression(text);
 }
 
-Result<QueryResult> Database::ExecuteStmt(const Stmt& stmt) {
+Result<QueryResult> Database::ExecuteStmtJournaled(Session& session,
+                                                   const Stmt& stmt) {
+  EXODUS_ASSIGN_OR_RETURN(QueryResult r, ExecuteStmt(session, stmt));
+  if (journal_ != nullptr && IsJournaled(stmt)) {
+    EXODUS_RETURN_IF_ERROR(JournalStmt(stmt));
+  }
+  return r;
+}
+
+Result<QueryResult> Database::ExecuteStmt(Session& session, const Stmt& stmt) {
   switch (stmt.kind) {
     case StmtKind::kDefineType:
       return ExecDefineType(stmt);
     case StmtKind::kDefineEnum:
       return ExecDefineEnum(stmt);
     case StmtKind::kCreate:
-      return ExecCreate(stmt);
+      return ExecCreate(session, stmt);
     case StmtKind::kDrop:
-      return ExecDrop(stmt);
+      return ExecDrop(session, stmt);
     case StmtKind::kRange:
-      return ExecRange(stmt);
+      return ExecRange(session, stmt);
     case StmtKind::kDefineFunction:
-      return ExecDefineFunction(stmt);
+      return ExecDefineFunction(session, stmt);
     case StmtKind::kDefineProcedure:
-      return ExecDefineProcedure(stmt);
+      return ExecDefineProcedure(session, stmt);
     case StmtKind::kCreateIndex:
       return ExecCreateIndex(stmt);
     case StmtKind::kDropIndex:
@@ -199,12 +204,12 @@ Result<QueryResult> Database::ExecuteStmt(const Stmt& stmt) {
     case StmtKind::kSetUser:
     case StmtKind::kGrant:
     case StmtKind::kRevoke:
-      return ExecAuthStmt(stmt);
+      return ExecAuthStmt(session, stmt);
     case StmtKind::kRetrieve:
-      if (!stmt.into.empty()) return ExecRetrieveInto(stmt);
+      if (!stmt.into.empty()) return ExecRetrieveInto(session, stmt);
       [[fallthrough]];
     default: {
-      Executor exec(&ctx_);
+      Executor exec(&session.ctx_);
       auto result = exec.Execute(stmt);
       last_plan_ = exec.last_plan();
       return result;
@@ -331,7 +336,7 @@ Result<QueryResult> Database::ExecDefineEnum(const Stmt& stmt) {
   return r;
 }
 
-Result<QueryResult> Database::ExecCreate(const Stmt& stmt) {
+Result<QueryResult> Database::ExecCreate(Session& session, const Stmt& stmt) {
   EXODUS_ASSIGN_OR_RETURN(const Type* declared, ResolveTypeExpr(*stmt.type));
 
   // Top-level identity adjustment: members of named collections of a
@@ -353,7 +358,7 @@ Result<QueryResult> Database::ExecCreate(const Stmt& stmt) {
 
   Value initial;
   if (stmt.init) {
-    Executor exec(&ctx_);
+    Executor exec(&session.ctx_);
     EXODUS_ASSIGN_OR_RETURN(initial,
                             exec.BuildStandalone(*stmt.init, adjusted));
   } else if (adjusted->is_ref() && adjusted->owned() && declared->is_tuple()) {
@@ -396,7 +401,7 @@ Result<QueryResult> Database::ExecCreate(const Stmt& stmt) {
 
   EXODUS_RETURN_IF_ERROR(catalog_.CreateNamed(stmt.name, adjusted,
                                               std::move(initial),
-                                              ctx_.current_user));
+                                              session.ctx_.current_user));
   catalog_.FindNamed(stmt.name)->key_attrs = stmt.key_attrs;
   LogDdl(stmt);
   QueryResult r;
@@ -404,13 +409,13 @@ Result<QueryResult> Database::ExecCreate(const Stmt& stmt) {
   return r;
 }
 
-Result<QueryResult> Database::ExecDrop(const Stmt& stmt) {
+Result<QueryResult> Database::ExecDrop(Session& session, const Stmt& stmt) {
   extra::NamedObject* named = catalog_.FindNamed(stmt.name);
   if (named == nullptr) {
     return Status::NotFound("no database object named '" + stmt.name + "'");
   }
-  if (ctx_.current_user != auth::AuthManager::kDba &&
-      ctx_.current_user != named->creator) {
+  if (session.ctx_.current_user != auth::AuthManager::kDba &&
+      session.ctx_.current_user != named->creator) {
     return Status::PermissionDenied("only the creator or dba may drop '" +
                                     stmt.name + "'");
   }
@@ -433,39 +438,46 @@ Result<QueryResult> Database::ExecDrop(const Stmt& stmt) {
   return r;
 }
 
-Result<QueryResult> Database::ExecRange(const Stmt& stmt) {
-  session_ranges_[stmt.name] = stmt.range->Clone();
+Result<QueryResult> Database::ExecRange(Session& session, const Stmt& stmt) {
+  session.ranges_[stmt.name] = stmt.range->Clone();
+  // Prepared statements bound against the old ranges must re-prepare.
+  ++session.range_epoch_;
   QueryResult r;
   r.message = "range of " + stmt.name + " is " + stmt.range->ToString();
   return r;
 }
 
-Result<QueryResult> Database::ExecDefineFunction(const Stmt& stmt) {
+Result<QueryResult> Database::ExecDefineFunction(Session& session,
+                                                 const Stmt& stmt) {
   excess::FunctionDef def;
   def.name = stmt.name;
   EXODUS_ASSIGN_OR_RETURN(def.params, ResolveParams(stmt.params));
   EXODUS_ASSIGN_OR_RETURN(def.return_type, ResolveTypeExpr(*stmt.returns));
   def.early_binding = stmt.early_binding;
   def.body = stmt.body->Clone();
-  def.definer = ctx_.current_user;
+  def.definer = session.ctx_.current_user;
   def.source = stmt.ToString();
   EXODUS_RETURN_IF_ERROR(functions_.Define(std::move(def)));
+  // Cached plans may have resolved (or failed to resolve) this name.
+  catalog_.BumpGeneration();
   LogDdl(stmt);
   QueryResult r;
   r.message = "defined function " + stmt.name;
   return r;
 }
 
-Result<QueryResult> Database::ExecDefineProcedure(const Stmt& stmt) {
+Result<QueryResult> Database::ExecDefineProcedure(Session& session,
+                                                  const Stmt& stmt) {
   excess::ProcedureDef def;
   def.name = stmt.name;
   EXODUS_ASSIGN_OR_RETURN(def.params, ResolveParams(stmt.params));
   for (const excess::StmtPtr& s : stmt.proc_body) {
     def.body.push_back(s->Clone());
   }
-  def.definer = ctx_.current_user;
+  def.definer = session.ctx_.current_user;
   def.source = stmt.ToString();
   EXODUS_RETURN_IF_ERROR(functions_.DefineProcedure(std::move(def)));
+  catalog_.BumpGeneration();
   LogDdl(stmt);
   QueryResult r;
   r.message = "defined procedure " + stmt.name;
@@ -501,6 +513,9 @@ Result<QueryResult> Database::ExecCreateIndex(const Stmt& stmt) {
     if (key.is_null()) continue;
     EXODUS_RETURN_IF_ERROR(info->Insert(key, e.AsRef()));
   }
+  // Plans chosen before this index existed may now be suboptimal —
+  // invalidate them so re-preparation can pick the index scan.
+  catalog_.BumpGeneration();
   LogDdl(stmt);
   QueryResult r;
   r.message = "created index " + stmt.name + " on " + stmt.on_set + "(" +
@@ -510,13 +525,16 @@ Result<QueryResult> Database::ExecCreateIndex(const Stmt& stmt) {
 
 Result<QueryResult> Database::ExecDropIndex(const Stmt& stmt) {
   EXODUS_RETURN_IF_ERROR(indexes_.Drop(stmt.name));
+  // Cached plans may reference the dropped index.
+  catalog_.BumpGeneration();
   LogDdl(stmt);
   QueryResult r;
   r.message = "dropped index " + stmt.name;
   return r;
 }
 
-Result<QueryResult> Database::ExecAuthStmt(const Stmt& stmt) {
+Result<QueryResult> Database::ExecAuthStmt(Session& session,
+                                           const Stmt& stmt) {
   QueryResult r;
   switch (stmt.kind) {
     case StmtKind::kCreateUser:
@@ -536,7 +554,7 @@ Result<QueryResult> Database::ExecAuthStmt(const Stmt& stmt) {
       if (!auth_.UserExists(stmt.name)) {
         return Status::NotFound("no user named '" + stmt.name + "'");
       }
-      ctx_.current_user = stmt.name;
+      session.ctx_.current_user = stmt.name;
       r.message = "current user is " + stmt.name;
       break;
     case StmtKind::kGrant:
@@ -557,8 +575,8 @@ Result<QueryResult> Database::ExecAuthStmt(const Stmt& stmt) {
         return Status::NotFound("no object, function or procedure named '" +
                                 stmt.on_object + "'");
       }
-      if (ctx_.current_user != auth::AuthManager::kDba &&
-          ctx_.current_user != creator) {
+      if (session.ctx_.current_user != auth::AuthManager::kDba &&
+          session.ctx_.current_user != creator) {
         return Status::PermissionDenied(
             "only the creator or dba may grant/revoke on '" + stmt.on_object +
             "'");
@@ -595,7 +613,8 @@ Result<QueryResult> Database::ExecAuthStmt(const Stmt& stmt) {
   return r;
 }
 
-Result<QueryResult> Database::ExecRetrieveInto(const Stmt& stmt) {
+Result<QueryResult> Database::ExecRetrieveInto(Session& session,
+                                               const Stmt& stmt) {
   const std::string& name = stmt.into;
   const std::string type_name = name + "_row";
   if (catalog_.FindNamed(name) != nullptr || catalog_.HasType(name) ||
@@ -607,7 +626,7 @@ Result<QueryResult> Database::ExecRetrieveInto(const Stmt& stmt) {
   // Run the query itself.
   excess::StmtPtr plain = stmt.Clone();
   plain->into.clear();
-  Executor exec(&ctx_);
+  Executor exec(&session.ctx_);
   EXODUS_ASSIGN_OR_RETURN(QueryResult rows, exec.Execute(*plain));
   last_plan_ = exec.last_plan();
 
@@ -697,7 +716,7 @@ Result<QueryResult> Database::ExecRetrieveInto(const Stmt& stmt) {
   const Type* set_type =
       store->MakeSet(store->MakeRef(row_type, /*owned=*/true));
   EXODUS_RETURN_IF_ERROR(catalog_.CreateNamed(
-      name, set_type, Value::EmptySet(), ctx_.current_user));
+      name, set_type, Value::EmptySet(), session.ctx_.current_user));
   {
     std::string ddl = "define type " + type_name + " (";
     for (size_t c = 0; c < columns.size(); ++c) {

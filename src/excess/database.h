@@ -2,7 +2,6 @@
 #define EXODUS_EXCESS_DATABASE_H_
 
 #include <cstdio>
-#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,6 +11,7 @@
 #include "excess/ast.h"
 #include "excess/executor.h"
 #include "excess/functions.h"
+#include "excess/plan_cache.h"
 #include "extra/catalog.h"
 #include "index/index_manager.h"
 #include "object/heap.h"
@@ -20,10 +20,29 @@
 
 namespace exodus {
 
+class Session;
+class PreparedStatement;
+
 /// The public entry point of the EXTRA/EXCESS system: one in-memory
 /// database instance with an EXCESS interpreter on top.
 ///
+/// Embedding applications talk to a Database through Sessions:
+///
 ///   exodus::Database db;
+///   auto session = db.CreateSession();          // dba by default
+///   auto stmt = (*session)->Prepare(
+///       "retrieve (E.name) from E in Employees where E.age > $1");
+///   (*stmt)->Bind(1, 30);
+///   auto rows = (*stmt)->Execute();             // plan reused each call
+///
+/// Prepared plans live in a database-wide LRU cache keyed on normalized
+/// statement text; every DDL statement bumps the catalog's schema
+/// generation, invalidating stale plans (observable via CacheStats()).
+///
+/// The string-only convenience layer remains for scripts and tests:
+/// Execute / ExecuteAll / EvalExpression run through a built-in default
+/// session (user dba).
+///
 ///   auto r = db.Execute(R"(
 ///     define type Person (name: char[25], age: int4)
 ///     create People : {Person}
@@ -41,16 +60,35 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  /// Parses and executes a program; returns the last statement's result.
+  /// Opens a new session authenticated as `user` (which must exist,
+  /// except the built-in dba). The session borrows this Database and
+  /// must not outlive it.
+  util::Result<std::unique_ptr<Session>> CreateSession(
+      const std::string& user = auth::AuthManager::kDba);
+
+  /// The built-in session backing the string-only convenience API.
+  Session* default_session() { return default_session_.get(); }
+
+  /// Parses and executes a program on the default session; returns the
+  /// last statement's result.
   util::Result<excess::QueryResult> Execute(const std::string& text);
 
-  /// Parses and executes a program; returns every statement's result.
+  /// Parses and executes a program on the default session; returns
+  /// every statement's result.
   util::Result<std::vector<excess::QueryResult>> ExecuteAll(
       const std::string& text);
 
-  /// Evaluates a standalone EXCESS expression (named objects, ADT and
-  /// EXCESS functions allowed; no range variables).
+  /// Evaluates a standalone EXCESS expression on the default session
+  /// (named objects, ADT and EXCESS functions allowed; no range
+  /// variables).
   util::Result<object::Value> EvalExpression(const std::string& text);
+
+  /// Cumulative plan-cache counters (hits / misses / evictions /
+  /// invalidations) across all sessions.
+  excess::PlanCacheStats CacheStats() const { return plan_cache_.stats(); }
+
+  /// The shared prepared-plan cache (sizing, Clear for tests).
+  excess::PlanCache* plan_cache() { return &plan_cache_; }
 
   /// Renders a value with references resolved through the heap, up to
   /// `depth` levels (deeper references print as <Type #oid>).
@@ -88,13 +126,13 @@ class Database {
   excess::FunctionManager* functions() { return &functions_; }
   auth::AuthManager* auth() { return &auth_; }
   index::IndexManager* indexes() { return &indexes_; }
-  const std::string& current_user() const { return ctx_.current_user; }
+  /// The default session's user (`set user` on the string API).
+  const std::string& current_user() const;
 
-  /// Optimizer rule switches (predicate pushdown, join reordering,
-  /// index usage) — ablation hooks for benchmarks and tests.
-  excess::OptimizerOptions* mutable_optimizer_options() {
-    return &ctx_.optimizer_options;
-  }
+  /// Optimizer rule switches of the default session (predicate
+  /// pushdown, join reordering, index usage) — ablation hooks for
+  /// benchmarks and tests.
+  excess::OptimizerOptions* mutable_optimizer_options();
 
   /// Registers an access-method applicability row for an ADT (the
   /// "tabular optimizer information" channel of paper §4.1.2).
@@ -104,26 +142,46 @@ class Database {
   }
 
  private:
-  util::Result<excess::QueryResult> ExecuteStmt(const excess::Stmt& stmt);
+  friend class Session;
+  friend class PreparedStatement;
 
-  // DDL handlers.
+  /// Executes one statement on behalf of `session` (DDL handled here,
+  /// queries/updates dispatched to the Executor with the session's
+  /// context).
+  util::Result<excess::QueryResult> ExecuteStmt(Session& session,
+                                                const excess::Stmt& stmt);
+  /// ExecuteStmt + journal append for mutating statements.
+  util::Result<excess::QueryResult> ExecuteStmtJournaled(
+      Session& session, const excess::Stmt& stmt);
+
+  /// True for statements whose effects must be journaled for recovery.
+  static bool IsJournaled(const excess::Stmt& stmt);
+  /// Appends one statement record to the active journal (durably).
+  util::Status JournalStmt(const excess::Stmt& stmt);
+
+  // DDL handlers. Handlers that depend on who is asking (or on session
+  // ranges) take the session.
   util::Result<excess::QueryResult> ExecDefineType(const excess::Stmt& stmt);
   util::Result<excess::QueryResult> ExecDefineEnum(const excess::Stmt& stmt);
-  util::Result<excess::QueryResult> ExecCreate(const excess::Stmt& stmt);
-  util::Result<excess::QueryResult> ExecDrop(const excess::Stmt& stmt);
-  util::Result<excess::QueryResult> ExecRange(const excess::Stmt& stmt);
+  util::Result<excess::QueryResult> ExecCreate(Session& session,
+                                               const excess::Stmt& stmt);
+  util::Result<excess::QueryResult> ExecDrop(Session& session,
+                                             const excess::Stmt& stmt);
+  util::Result<excess::QueryResult> ExecRange(Session& session,
+                                              const excess::Stmt& stmt);
   util::Result<excess::QueryResult> ExecDefineFunction(
-      const excess::Stmt& stmt);
+      Session& session, const excess::Stmt& stmt);
   util::Result<excess::QueryResult> ExecDefineProcedure(
-      const excess::Stmt& stmt);
+      Session& session, const excess::Stmt& stmt);
   util::Result<excess::QueryResult> ExecCreateIndex(const excess::Stmt& stmt);
   util::Result<excess::QueryResult> ExecDropIndex(const excess::Stmt& stmt);
-  util::Result<excess::QueryResult> ExecAuthStmt(const excess::Stmt& stmt);
+  util::Result<excess::QueryResult> ExecAuthStmt(Session& session,
+                                                 const excess::Stmt& stmt);
   /// `retrieve into <Name> (...)`: runs the query, synthesizes a row
   /// type from the projection, and materializes the result as a new
   /// named set.
   util::Result<excess::QueryResult> ExecRetrieveInto(
-      const excess::Stmt& stmt);
+      Session& session, const excess::Stmt& stmt);
 
   /// Resolves a syntactic type against the catalog. `pending_name` /
   /// `pending_type` let a type under definition reference itself.
@@ -146,8 +204,10 @@ class Database {
   excess::FunctionManager functions_;
   auth::AuthManager auth_;
   index::IndexManager indexes_;
-  std::map<std::string, excess::ExprPtr> session_ranges_;
-  excess::ExecContext ctx_;
+  /// Prepared plans, shared by all sessions.
+  excess::PlanCache plan_cache_;
+  /// Backs the string-only convenience API (user dba).
+  std::unique_ptr<Session> default_session_;
   std::vector<std::string> ddl_log_;
   std::string last_plan_;
   std::FILE* journal_ = nullptr;

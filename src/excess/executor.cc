@@ -78,19 +78,38 @@ Result<QueryResult> Executor::Execute(const Stmt& stmt,
   Env env;
   env.params = &params;
   param_types_ = params.types;
+  Plan plan;
+  EXODUS_ASSIGN_OR_RETURN(BoundQuery query, BindAndPlan(stmt, env, &plan));
+  return DispatchBound(stmt, query, plan, &env);
+}
+
+Result<QueryResult> Executor::ExecutePrepared(const Stmt& stmt,
+                                              const BoundQuery& query,
+                                              const Plan& plan,
+                                              const ParamEnv& params) {
+  Env env;
+  env.params = &params;
+  param_types_ = params.types;
+  EXODUS_RETURN_IF_ERROR(CheckPlanPrivileges(plan));
+  return DispatchBound(stmt, query, plan, &env);
+}
+
+Result<QueryResult> Executor::DispatchBound(const Stmt& stmt,
+                                            const BoundQuery& query,
+                                            const Plan& plan, Env* env) {
   switch (stmt.kind) {
     case StmtKind::kRetrieve:
-      return ExecRetrieve(stmt, &env);
+      return ExecRetrieve(stmt, query, plan, env);
     case StmtKind::kAppend:
-      return ExecAppend(stmt, &env);
+      return ExecAppend(stmt, query, plan, env);
     case StmtKind::kDelete:
-      return ExecDelete(stmt, &env);
+      return ExecDelete(stmt, query, plan, env);
     case StmtKind::kReplace:
-      return ExecReplace(stmt, &env);
+      return ExecReplace(stmt, query, plan, env);
     case StmtKind::kAssign:
-      return ExecAssign(stmt, &env);
+      return ExecAssign(stmt, query, plan, env);
     case StmtKind::kExecuteProcedure:
-      return ExecProcedureCall(stmt, &env);
+      return ExecProcedureCall(stmt, query, plan, env);
     default:
       return Status::Internal(
           "Executor::Execute received a DDL statement; Database handles DDL");
@@ -109,24 +128,36 @@ Result<Value> Executor::EvalStandalone(const Expr& expr,
 // Binding, planning, plan execution
 // ---------------------------------------------------------------------------
 
+Status Executor::PlanStatement(const Stmt& stmt,
+                               const std::set<std::string>& prebound,
+                               BoundQuery* query, Plan* plan) {
+  EXODUS_ASSIGN_OR_RETURN(*query, binder_.Bind(stmt, prebound));
+  Optimizer optimizer(ctx_->catalog, ctx_->indexes, &binder_,
+                      ctx_->optimizer_options);
+  EXODUS_ASSIGN_OR_RETURN(*plan, optimizer.Optimize(*query));
+  return Status::OK();
+}
+
+Status Executor::CheckPlanPrivileges(const Plan& plan) const {
+  for (const PlanStep& step : plan.steps) {
+    if (step.kind != PlanStep::Kind::kUnnest) {
+      EXODUS_RETURN_IF_ERROR(CheckNamedPrivilege(step.named_collection,
+                                                 auth::Privilege::kRetrieve));
+    }
+  }
+  return Status::OK();
+}
+
 Result<BoundQuery> Executor::BindAndPlan(const Stmt& stmt, const Env& env,
                                          Plan* plan) {
   std::set<std::string> prebound;
   if (env.params != nullptr) {
     for (const auto& [name, v] : env.params->values) prebound.insert(name);
   }
-  EXODUS_ASSIGN_OR_RETURN(BoundQuery query, binder_.Bind(stmt, prebound));
-  Optimizer optimizer(ctx_->catalog, ctx_->indexes, &binder_,
-                      ctx_->optimizer_options);
-  EXODUS_ASSIGN_OR_RETURN(*plan, optimizer.Optimize(query));
+  BoundQuery query;
+  EXODUS_RETURN_IF_ERROR(PlanStatement(stmt, prebound, &query, plan));
   last_plan_ = plan->Explain();
-  // Authorization: retrieving bindings reads every root extent.
-  for (const PlanStep& step : plan->steps) {
-    if (step.kind != PlanStep::Kind::kUnnest) {
-      EXODUS_RETURN_IF_ERROR(CheckNamedPrivilege(step.named_collection,
-                                                 auth::Privilege::kRetrieve));
-    }
-  }
+  EXODUS_RETURN_IF_ERROR(CheckPlanPrivileges(*plan));
   return query;
 }
 
@@ -316,9 +347,9 @@ std::string PartitionKey(const std::vector<Value>& parts) {
 
 }  // namespace
 
-Result<QueryResult> Executor::ExecRetrieve(const Stmt& stmt, Env* env) {
-  Plan plan;
-  EXODUS_ASSIGN_OR_RETURN(BoundQuery query, BindAndPlan(stmt, *env, &plan));
+Result<QueryResult> Executor::ExecRetrieve(const Stmt& stmt,
+                                           const BoundQuery& query,
+                                           const Plan& plan, Env* env) {
   const BoundQuery* saved_query = current_query_;
   current_query_ = &query;
   struct QueryRestore {

@@ -74,6 +74,24 @@ class Executor {
   util::Result<QueryResult> Execute(const Stmt& stmt);
   util::Result<QueryResult> Execute(const Stmt& stmt, const ParamEnv& params);
 
+  /// Binds and optimizes `stmt` without executing it. `prebound` names
+  /// (statement parameters `$n`, function/procedure parameters) are left
+  /// to be resolved from the runtime environment. The (query, plan) pair
+  /// may be cached and re-executed any number of times via
+  /// ExecutePrepared as long as the schema does not change.
+  util::Status PlanStatement(const Stmt& stmt,
+                             const std::set<std::string>& prebound,
+                             BoundQuery* query, Plan* plan);
+
+  /// Executes a statement through a previously computed (query, plan)
+  /// pair — the prepared-statement fast path, skipping lexing, parsing,
+  /// binding and optimization. Authorization is (re-)checked on every
+  /// call, so grants/revokes between executions are honored.
+  util::Result<QueryResult> ExecutePrepared(const Stmt& stmt,
+                                            const BoundQuery& query,
+                                            const Plan& plan,
+                                            const ParamEnv& params);
+
   /// Evaluates an expression that may reference named objects and
   /// parameters but no range variables (create-initializers etc.).
   util::Result<object::Value> EvalStandalone(const Expr& expr,
@@ -92,6 +110,12 @@ class Executor {
   /// The default (unassigned) value of a declared type: empty set, a
   /// null-filled fixed array, an empty variable array, or NULL.
   static object::Value DefaultValue(const extra::Type* type);
+
+  /// Coerces `v` to declared type `type` (int/float widening, string →
+  /// enum, char-length checks, subtype checks for tuples/refs). Public
+  /// so PreparedStatement::Bind can validate parameter values early.
+  util::Result<object::Value> CoerceValue(object::Value v,
+                                          const extra::Type* type) const;
 
  private:
   // Environment: a binding stack (statement vars, aggregate/quantifier
@@ -124,17 +148,36 @@ class Executor {
     object::Oid owner = object::kInvalidOid;
   };
 
-  // --- statement execution ---
-  util::Result<QueryResult> ExecRetrieve(const Stmt& stmt, Env* env);
-  util::Result<QueryResult> ExecAppend(const Stmt& stmt, Env* env);
-  util::Result<QueryResult> ExecDelete(const Stmt& stmt, Env* env);
-  util::Result<QueryResult> ExecReplace(const Stmt& stmt, Env* env);
-  util::Result<QueryResult> ExecAssign(const Stmt& stmt, Env* env);
-  util::Result<QueryResult> ExecProcedureCall(const Stmt& stmt, Env* env);
+  // --- statement execution (all take an already bound + planned query) ---
+  util::Result<QueryResult> ExecRetrieve(const Stmt& stmt,
+                                         const BoundQuery& query,
+                                         const Plan& plan, Env* env);
+  util::Result<QueryResult> ExecAppend(const Stmt& stmt,
+                                       const BoundQuery& query,
+                                       const Plan& plan, Env* env);
+  util::Result<QueryResult> ExecDelete(const Stmt& stmt,
+                                       const BoundQuery& query,
+                                       const Plan& plan, Env* env);
+  util::Result<QueryResult> ExecReplace(const Stmt& stmt,
+                                        const BoundQuery& query,
+                                        const Plan& plan, Env* env);
+  util::Result<QueryResult> ExecAssign(const Stmt& stmt,
+                                       const BoundQuery& query,
+                                       const Plan& plan, Env* env);
+  util::Result<QueryResult> ExecProcedureCall(const Stmt& stmt,
+                                              const BoundQuery& query,
+                                              const Plan& plan, Env* env);
+  /// Routes a bound statement to the matching Exec* method.
+  util::Result<QueryResult> DispatchBound(const Stmt& stmt,
+                                          const BoundQuery& query,
+                                          const Plan& plan, Env* env);
 
   // --- plan execution ---
+  /// PlanStatement + privilege checks + last_plan_ (the one-shot path).
   util::Result<BoundQuery> BindAndPlan(const Stmt& stmt, const Env& env,
                                        Plan* plan);
+  /// Authorization: retrieving bindings reads every root extent.
+  util::Status CheckPlanPrivileges(const Plan& plan) const;
   /// Runs the nested-loop pipeline; `row_fn` is called for every
   /// surviving binding row and may return an error to abort.
   util::Status RunPlan(const Plan& plan, const BoundQuery& query, Env* env,
@@ -188,8 +231,6 @@ class Executor {
   // --- value construction / coercion ---
   util::Result<object::Value> BuildValue(const Expr& expr,
                                          const extra::Type* type, Env* env);
-  util::Result<object::Value> CoerceValue(object::Value v,
-                                          const extra::Type* type) const;
   /// Builds the field vector of a new object/tuple of type `type` from an
   /// assignment list; unassigned attributes get defaults.
   util::Result<std::vector<object::Value>> BuildFields(

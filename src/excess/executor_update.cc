@@ -417,9 +417,9 @@ Result<Executor::LValue> Executor::ResolveLValue(const Expr& expr, Env* env) {
 // Append
 // ---------------------------------------------------------------------------
 
-Result<QueryResult> Executor::ExecAppend(const Stmt& stmt, Env* env) {
-  Plan plan;
-  EXODUS_ASSIGN_OR_RETURN(BoundQuery query, BindAndPlan(stmt, *env, &plan));
+Result<QueryResult> Executor::ExecAppend(const Stmt& stmt,
+                                         const BoundQuery& query,
+                                         const Plan& plan, Env* env) {
   const BoundQuery* saved = current_query_;
   current_query_ = &query;
   struct R {
@@ -595,9 +595,9 @@ Result<QueryResult> Executor::ExecAppend(const Stmt& stmt, Env* env) {
 // Delete
 // ---------------------------------------------------------------------------
 
-Result<QueryResult> Executor::ExecDelete(const Stmt& stmt, Env* env) {
-  Plan plan;
-  EXODUS_ASSIGN_OR_RETURN(BoundQuery query, BindAndPlan(stmt, *env, &plan));
+Result<QueryResult> Executor::ExecDelete(const Stmt& stmt,
+                                         const BoundQuery& query,
+                                         const Plan& plan, Env* env) {
   const BoundQuery* saved = current_query_;
   current_query_ = &query;
   struct R {
@@ -714,9 +714,9 @@ Result<QueryResult> Executor::ExecDelete(const Stmt& stmt, Env* env) {
 // Replace
 // ---------------------------------------------------------------------------
 
-Result<QueryResult> Executor::ExecReplace(const Stmt& stmt, Env* env) {
-  Plan plan;
-  EXODUS_ASSIGN_OR_RETURN(BoundQuery query, BindAndPlan(stmt, *env, &plan));
+Result<QueryResult> Executor::ExecReplace(const Stmt& stmt,
+                                          const BoundQuery& query,
+                                          const Plan& plan, Env* env) {
   const BoundQuery* saved = current_query_;
   current_query_ = &query;
   struct R {
@@ -862,9 +862,9 @@ Result<QueryResult> Executor::ExecReplace(const Stmt& stmt, Env* env) {
 // Assign
 // ---------------------------------------------------------------------------
 
-Result<QueryResult> Executor::ExecAssign(const Stmt& stmt, Env* env) {
-  Plan plan;
-  EXODUS_ASSIGN_OR_RETURN(BoundQuery query, BindAndPlan(stmt, *env, &plan));
+Result<QueryResult> Executor::ExecAssign(const Stmt& stmt,
+                                         const BoundQuery& query,
+                                         const Plan& plan, Env* env) {
   const BoundQuery* saved = current_query_;
   current_query_ = &query;
   struct R {
@@ -930,7 +930,9 @@ Result<QueryResult> Executor::ExecAssign(const Stmt& stmt, Env* env) {
 // Procedures
 // ---------------------------------------------------------------------------
 
-Result<QueryResult> Executor::ExecProcedureCall(const Stmt& stmt, Env* env) {
+Result<QueryResult> Executor::ExecProcedureCall(const Stmt& stmt,
+                                                const BoundQuery& query,
+                                                const Plan& plan, Env* env) {
   EXODUS_ASSIGN_OR_RETURN(const ProcedureDef* def,
                           ctx_->functions->FindProcedure(stmt.name));
   if (!ctx_->auth->Check(ctx_->current_user, def->name,
@@ -949,8 +951,6 @@ Result<QueryResult> Executor::ExecProcedureCall(const Stmt& stmt, Env* env) {
                               def->name + "'");
   }
 
-  Plan plan;
-  EXODUS_ASSIGN_OR_RETURN(BoundQuery query, BindAndPlan(stmt, *env, &plan));
   const BoundQuery* saved = current_query_;
   current_query_ = &query;
   struct R {

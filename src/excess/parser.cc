@@ -865,6 +865,19 @@ Result<ExprPtr> Parser::ParsePrimary() {
         EXODUS_RETURN_IF_ERROR(Expect("]"));
         return ExprPtr(std::move(arr));
       }
+      if (CheckPunct("$")) {
+        // Positional statement parameter `$1`, `$2`, ... (prepared
+        // statements); resolved from the runtime parameter environment.
+        if (Peek(1).kind != TokenKind::kInt) {
+          return ErrorHere("expected a parameter number after '$'");
+        }
+        Advance();  // $
+        Token num = Advance();
+        if (num.int_value < 1) {
+          return ErrorHere("statement parameters are numbered from $1");
+        }
+        return MakeVar("$" + std::to_string(num.int_value));
+      }
       return ErrorHere("unexpected symbol in expression");
     }
     case TokenKind::kEnd:

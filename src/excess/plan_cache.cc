@@ -1,0 +1,157 @@
+#include "excess/plan_cache.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace exodus::excess {
+
+// ---------------------------------------------------------------------------
+// PlanCache
+// ---------------------------------------------------------------------------
+
+PlanCache::PlanCache(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::shared_ptr<const CachedPlan> PlanCache::Lookup(const std::string& key,
+                                                    uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second->plan->generation != generation) {
+    // Schema moved on since this plan was built: drop it and replan.
+    ++stats_.invalidations;
+    ++stats_.misses;
+    EraseLocked(key);
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->plan;
+}
+
+void PlanCache::Insert(const std::string& key,
+                       std::shared_ptr<const CachedPlan> plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EraseLocked(key);
+  while (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(Entry{key, std::move(plan)});
+  index_[key] = lru_.begin();
+}
+
+void PlanCache::EraseLocked(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) return;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// Statement-text normalization
+// ---------------------------------------------------------------------------
+
+std::string NormalizeStatementText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  bool in_string = false;
+  bool pending_space = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_string) {
+      out += c;
+      if (c == '\\' && i + 1 < text.size()) {
+        out += text[++i];
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '-' && i + 1 < text.size() && text[i + 1] == '-') {
+      // Comment to end of line.
+      while (i < text.size() && text[i] != '\n') ++i;
+      pending_space = !out.empty();
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out += ' ';
+      pending_space = false;
+    }
+    out += c;
+    if (c == '"') in_string = true;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parameter collection
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void CollectExpr(const Expr& e, std::set<std::string>* names, int* max_index) {
+  if (e.kind == ExprKind::kVar && !e.name.empty() && e.name[0] == '$') {
+    names->insert(e.name);
+    int idx = std::atoi(e.name.c_str() + 1);
+    if (idx > *max_index) *max_index = idx;
+    return;
+  }
+  if (e.base) CollectExpr(*e.base, names, max_index);
+  for (const ExprPtr& a : e.args) CollectExpr(*a, names, max_index);
+  for (const ExprPtr& o : e.over) CollectExpr(*o, names, max_index);
+  if (e.where) CollectExpr(*e.where, names, max_index);
+  for (const FromBinding& b : e.bindings) {
+    CollectExpr(*b.range, names, max_index);
+  }
+  for (const auto& [n, f] : e.fields) CollectExpr(*f, names, max_index);
+}
+
+}  // namespace
+
+int CollectParamNames(const Stmt& stmt, std::set<std::string>* names) {
+  int max_index = 0;
+  for (const Projection& p : stmt.projections) {
+    CollectExpr(*p.expr, names, &max_index);
+  }
+  for (const ExprPtr& s : stmt.sort_by) CollectExpr(*s, names, &max_index);
+  for (const FromBinding& b : stmt.from) {
+    CollectExpr(*b.range, names, &max_index);
+  }
+  if (stmt.where) CollectExpr(*stmt.where, names, &max_index);
+  if (stmt.target) CollectExpr(*stmt.target, names, &max_index);
+  for (const Assignment& a : stmt.assigns) {
+    CollectExpr(*a.value, names, &max_index);
+  }
+  if (stmt.value) CollectExpr(*stmt.value, names, &max_index);
+  for (const ExprPtr& a : stmt.call_args) CollectExpr(*a, names, &max_index);
+  if (stmt.init) CollectExpr(*stmt.init, names, &max_index);
+  if (stmt.range) CollectExpr(*stmt.range, names, &max_index);
+  return max_index;
+}
+
+}  // namespace exodus::excess

@@ -1,0 +1,111 @@
+#ifndef EXODUS_EXCESS_PLAN_CACHE_H_
+#define EXODUS_EXCESS_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "excess/ast.h"
+#include "excess/binder.h"
+#include "excess/plan.h"
+#include "extra/type.h"
+
+namespace exodus::excess {
+
+/// The reusable product of preparing one statement: the parsed AST plus
+/// — for retrieve/update statements — the bound query, the optimized
+/// plan, and whatever could be inferred about its `$n` parameters.
+/// Immutable after construction, so one entry can be shared by any
+/// number of PreparedStatement handles (and sessions) concurrently.
+struct CachedPlan {
+  /// Normalized statement text (cache key component; re-prepare source).
+  std::string source;
+  /// The parsed statement.
+  StmtPtr stmt;
+  /// Names of the `$n` parameters appearing in the statement.
+  std::set<std::string> param_names;
+  /// Highest parameter index ($3 -> 3); 0 for parameterless statements.
+  int param_count = 0;
+  /// Statically inferred parameter types (from comparisons against
+  /// typed paths); absent entries are dynamically typed.
+  std::map<std::string, const extra::Type*> param_types;
+  /// True for executor statements (retrieve/append/delete/replace/
+  /// assign/execute): query+plan below are valid and reusable. False
+  /// for DDL, which re-executes through the Database each time.
+  bool has_plan = false;
+  BoundQuery query;
+  Plan plan;
+  /// Plan explanation, rendered once at prepare time (EXPLAIN).
+  std::string plan_text;
+  /// Catalog schema generation this plan was built against.
+  uint64_t generation = 0;
+};
+
+/// Cumulative plan-cache counters (Database::CacheStats()).
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  /// Entries dropped because the catalog's schema generation moved past
+  /// them (each such lookup also counts as a miss).
+  uint64_t invalidations = 0;
+};
+
+/// A bounded LRU cache of prepared plans, keyed on normalized statement
+/// text plus the preparing session's `range of` declarations. Shared by
+/// every session of one Database; guarded by an internal mutex.
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity = 128);
+
+  /// Returns the entry under `key` if present and built at
+  /// `generation`; otherwise nullptr. A generation mismatch drops the
+  /// stale entry and counts an invalidation; every unsuccessful lookup
+  /// counts a miss, every successful one a hit (and refreshes LRU
+  /// order).
+  std::shared_ptr<const CachedPlan> Lookup(const std::string& key,
+                                           uint64_t generation);
+
+  /// Inserts (or replaces) the entry under `key`, evicting the least
+  /// recently used entry when the cache is full.
+  void Insert(const std::string& key, std::shared_ptr<const CachedPlan> plan);
+
+  void Clear();
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  PlanCacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const CachedPlan> plan;
+  };
+
+  void EraseLocked(const std::string& key);
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  /// Most recently used at the front.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  PlanCacheStats stats_;
+};
+
+/// Normalizes EXCESS statement text for use as a cache key: strips
+/// `--` comments and collapses whitespace runs (outside string
+/// literals) to single spaces, so trivially reformatted statements
+/// share one cache entry without being parsed first.
+std::string NormalizeStatementText(const std::string& text);
+
+/// Collects the `$n` parameter names appearing anywhere in `stmt` and
+/// returns the highest index (0 when parameterless).
+int CollectParamNames(const Stmt& stmt, std::set<std::string>* names);
+
+}  // namespace exodus::excess
+
+#endif  // EXODUS_EXCESS_PLAN_CACHE_H_

@@ -1,0 +1,336 @@
+#include "excess/session.h"
+
+#include <utility>
+
+#include "excess/binder.h"
+#include "excess/database.h"
+#include "excess/parser.h"
+
+namespace exodus {
+
+using excess::CachedPlan;
+using excess::Executor;
+using excess::Expr;
+using excess::ExprKind;
+using excess::QueryResult;
+using excess::Stmt;
+using excess::StmtKind;
+using object::Value;
+using util::Result;
+using util::Status;
+
+namespace {
+
+/// True for statement kinds executed through a cached (query, plan)
+/// pair; everything else (DDL, auth, retrieve-into) re-executes from
+/// the parsed AST via the Database on every call.
+bool HasExecutorPlan(const Stmt& stmt) {
+  switch (stmt.kind) {
+    case StmtKind::kRetrieve:
+      return stmt.into.empty();
+    case StmtKind::kAppend:
+    case StmtKind::kDelete:
+    case StmtKind::kReplace:
+    case StmtKind::kAssign:
+    case StmtKind::kExecuteProcedure:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Replaces every `$n` reference in `e` (in place) with a literal of
+/// its bound value, so prepared mutations journal as self-contained
+/// replayable text.
+void SubstituteParams(Expr* e, const Executor::ParamEnv& params) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kVar && !e->name.empty() && e->name[0] == '$') {
+    auto it = params.values.find(e->name);
+    if (it != params.values.end()) {
+      e->kind = ExprKind::kLiteral;
+      e->literal = it->second;
+      e->name.clear();
+    }
+    return;
+  }
+  SubstituteParams(e->base.get(), params);
+  for (excess::ExprPtr& a : e->args) SubstituteParams(a.get(), params);
+  for (excess::ExprPtr& o : e->over) SubstituteParams(o.get(), params);
+  SubstituteParams(e->where.get(), params);
+  for (excess::FromBinding& b : e->bindings) {
+    SubstituteParams(b.range.get(), params);
+  }
+  for (auto& [name, f] : e->fields) SubstituteParams(f.get(), params);
+}
+
+void SubstituteParams(Stmt* stmt, const Executor::ParamEnv& params) {
+  for (excess::Projection& p : stmt->projections) {
+    SubstituteParams(p.expr.get(), params);
+  }
+  for (excess::ExprPtr& s : stmt->sort_by) SubstituteParams(s.get(), params);
+  for (excess::FromBinding& b : stmt->from) {
+    SubstituteParams(b.range.get(), params);
+  }
+  SubstituteParams(stmt->where.get(), params);
+  SubstituteParams(stmt->target.get(), params);
+  for (excess::Assignment& a : stmt->assigns) {
+    SubstituteParams(a.value.get(), params);
+  }
+  SubstituteParams(stmt->value.get(), params);
+  for (excess::ExprPtr& a : stmt->call_args) SubstituteParams(a.get(), params);
+  SubstituteParams(stmt->init.get(), params);
+  SubstituteParams(stmt->range.get(), params);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+Session::Session(Database* db, std::string user) : db_(db) {
+  ctx_.catalog = &db->catalog_;
+  ctx_.heap = &db->heap_;
+  ctx_.adts = &db->adts_;
+  ctx_.functions = &db->functions_;
+  ctx_.auth = &db->auth_;
+  ctx_.indexes = &db->indexes_;
+  ctx_.session_ranges = &ranges_;
+  ctx_.current_user = std::move(user);
+}
+
+Session::~Session() = default;
+
+Result<std::vector<QueryResult>> Session::ExecuteAll(const std::string& text) {
+  excess::Parser parser(text, &db_->adts_);
+  EXODUS_ASSIGN_OR_RETURN(std::vector<excess::StmtPtr> program,
+                          parser.ParseProgram());
+  std::vector<QueryResult> results;
+  results.reserve(program.size());
+  for (const excess::StmtPtr& stmt : program) {
+    EXODUS_ASSIGN_OR_RETURN(QueryResult r,
+                            db_->ExecuteStmtJournaled(*this, *stmt));
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+Result<QueryResult> Session::Execute(const std::string& text) {
+  EXODUS_ASSIGN_OR_RETURN(std::vector<QueryResult> results, ExecuteAll(text));
+  if (results.empty()) return QueryResult{};
+  return std::move(results.back());
+}
+
+Result<Value> Session::EvalExpression(const std::string& text) {
+  excess::Parser parser(text, &db_->adts_);
+  EXODUS_ASSIGN_OR_RETURN(excess::ExprPtr expr, parser.ParseSingleExpression());
+  Executor exec(&ctx_);
+  return exec.EvalStandalone(*expr);
+}
+
+Result<std::unique_ptr<PreparedStatement>> Session::Prepare(
+    const std::string& text) {
+  std::string norm = excess::NormalizeStatementText(text);
+  if (norm.empty()) {
+    return Status::ParseError("cannot prepare an empty statement");
+  }
+  EXODUS_ASSIGN_OR_RETURN(std::shared_ptr<const CachedPlan> plan,
+                          GetOrBuildPlan(norm));
+  return std::unique_ptr<PreparedStatement>(
+      new PreparedStatement(this, std::move(plan), range_epoch_));
+}
+
+std::string Session::CacheKey(const std::string& norm) const {
+  if (ranges_.empty()) return norm;
+  std::string key = norm;
+  key += '\x1f';
+  for (const auto& [name, expr] : ranges_) {
+    key += name;
+    key += '=';
+    key += expr->ToString();
+    key += ';';
+  }
+  return key;
+}
+
+Result<std::shared_ptr<const CachedPlan>> Session::GetOrBuildPlan(
+    const std::string& norm) {
+  const std::string key = CacheKey(norm);
+  const uint64_t generation = db_->catalog_.generation();
+  if (std::shared_ptr<const CachedPlan> hit =
+          db_->plan_cache_.Lookup(key, generation)) {
+    return hit;
+  }
+
+  auto plan = std::make_shared<CachedPlan>();
+  plan->source = norm;
+  plan->generation = generation;
+  excess::Parser parser(norm, &db_->adts_);
+  EXODUS_ASSIGN_OR_RETURN(plan->stmt, parser.ParseSingleStatement());
+  plan->param_count =
+      excess::CollectParamNames(*plan->stmt, &plan->param_names);
+
+  if (HasExecutorPlan(*plan->stmt)) {
+    Executor exec(&ctx_);
+    EXODUS_RETURN_IF_ERROR(exec.PlanStatement(*plan->stmt, plan->param_names,
+                                              &plan->query, &plan->plan));
+    plan->has_plan = true;
+    plan->plan_text = plan->plan.Explain();
+    InferParamTypes(plan.get());
+  } else if (plan->param_count > 0) {
+    return Status::TypeError(
+        "$n parameters are only supported in retrieve / append / delete / "
+        "replace / assign / execute statements");
+  }
+
+  db_->plan_cache_.Insert(key, plan);
+  return std::shared_ptr<const CachedPlan>(std::move(plan));
+}
+
+void Session::InferParamTypes(CachedPlan* plan) {
+  if (plan->param_count == 0) return;
+  excess::Binder binder(ctx_.catalog, ctx_.functions, ctx_.adts,
+                        ctx_.session_ranges);
+  auto is_param = [](const Expr& e) {
+    return e.kind == ExprKind::kVar && !e.name.empty() && e.name[0] == '$';
+  };
+  auto note = [&](const Expr& param, const Expr& other) {
+    if (plan->param_types.count(param.name) != 0) return;
+    util::Result<const extra::Type*> t = binder.InferType(other, plan->query);
+    if (t.ok() && *t != nullptr) plan->param_types[param.name] = *t;
+  };
+  static constexpr const char* kComparisons[] = {"=",  "!=", "<>", "<",
+                                                 "<=", ">",  ">="};
+  for (const excess::ExprPtr& c : plan->query.conjuncts) {
+    if (c->kind != ExprKind::kBinary || c->args.size() != 2) continue;
+    bool is_cmp = false;
+    for (const char* op : kComparisons) {
+      if (c->name == op) {
+        is_cmp = true;
+        break;
+      }
+    }
+    if (!is_cmp) continue;
+    const Expr& lhs = *c->args[0];
+    const Expr& rhs = *c->args[1];
+    if (is_param(lhs) && !is_param(rhs)) {
+      note(lhs, rhs);
+    } else if (is_param(rhs) && !is_param(lhs)) {
+      note(rhs, lhs);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PreparedStatement
+// ---------------------------------------------------------------------------
+
+PreparedStatement::PreparedStatement(
+    Session* session, std::shared_ptr<const CachedPlan> plan,
+    uint64_t range_epoch)
+    : session_(session), plan_(std::move(plan)), range_epoch_(range_epoch) {
+  values_.resize(static_cast<size_t>(plan_->param_count));
+  bound_.assign(static_cast<size_t>(plan_->param_count), false);
+}
+
+PreparedStatement::~PreparedStatement() = default;
+
+Status PreparedStatement::Bind(int index, Value v) {
+  if (index < 1 || index > plan_->param_count) {
+    return Status::NotFound("no parameter $" + std::to_string(index) +
+                            " (statement has " +
+                            std::to_string(plan_->param_count) +
+                            " parameter(s))");
+  }
+  const std::string name = "$" + std::to_string(index);
+  auto it = plan_->param_types.find(name);
+  if (it != plan_->param_types.end() && it->second != nullptr) {
+    Executor exec(&session_->ctx_);
+    auto coerced = exec.CoerceValue(std::move(v), it->second);
+    if (!coerced.ok()) {
+      return Status::TypeError("parameter " + name + ": " +
+                               coerced.status().message());
+    }
+    v = std::move(*coerced);
+  }
+  values_[static_cast<size_t>(index - 1)] = std::move(v);
+  bound_[static_cast<size_t>(index - 1)] = true;
+  return Status::OK();
+}
+
+Status PreparedStatement::Bind(int index, int64_t v) {
+  return Bind(index, Value::Int(v));
+}
+Status PreparedStatement::Bind(int index, int v) {
+  return Bind(index, Value::Int(v));
+}
+Status PreparedStatement::Bind(int index, double v) {
+  return Bind(index, Value::Float(v));
+}
+Status PreparedStatement::Bind(int index, bool v) {
+  return Bind(index, Value::Bool(v));
+}
+Status PreparedStatement::Bind(int index, const char* v) {
+  return Bind(index, Value::String(v));
+}
+Status PreparedStatement::Bind(int index, const std::string& v) {
+  return Bind(index, Value::String(v));
+}
+
+void PreparedStatement::ClearBindings() {
+  values_.assign(static_cast<size_t>(plan_->param_count), Value::Null());
+  bound_.assign(static_cast<size_t>(plan_->param_count), false);
+}
+
+Status PreparedStatement::RefreshIfStale() {
+  const uint64_t generation = session_->db_->catalog_.generation();
+  if (plan_->generation == generation &&
+      range_epoch_ == session_->range_epoch_) {
+    return Status::OK();
+  }
+  // The schema (or this session's ranges) moved on: re-prepare from the
+  // saved source text. Bound values are kept — same text, same
+  // parameters.
+  EXODUS_ASSIGN_OR_RETURN(std::shared_ptr<const CachedPlan> fresh,
+                          session_->GetOrBuildPlan(plan_->source));
+  plan_ = std::move(fresh);
+  range_epoch_ = session_->range_epoch_;
+  return Status::OK();
+}
+
+Result<QueryResult> PreparedStatement::Execute() {
+  EXODUS_RETURN_IF_ERROR(RefreshIfStale());
+
+  Executor::ParamEnv params;
+  for (int i = 1; i <= plan_->param_count; ++i) {
+    if (!bound_[static_cast<size_t>(i - 1)]) {
+      return Status::TypeError("parameter $" + std::to_string(i) +
+                               " has no bound value");
+    }
+    params.values["$" + std::to_string(i)] =
+        values_[static_cast<size_t>(i - 1)];
+  }
+  params.types = plan_->param_types;
+
+  if (!plan_->has_plan) {
+    // DDL: re-execute from the parsed AST (parameterless by
+    // construction); journaling handled by the Database path.
+    return session_->db_->ExecuteStmtJournaled(*session_, *plan_->stmt);
+  }
+
+  Executor exec(&session_->ctx_);
+  auto result = exec.ExecutePrepared(*plan_->stmt, plan_->query, plan_->plan,
+                                     params);
+  if (!result.ok()) return result;
+  session_->db_->last_plan_ = plan_->plan_text;
+
+  if (session_->db_->journal_ != nullptr &&
+      Database::IsJournaled(*plan_->stmt)) {
+    excess::StmtPtr journaled = plan_->stmt->Clone();
+    SubstituteParams(journaled.get(), params);
+    EXODUS_RETURN_IF_ERROR(session_->db_->JournalStmt(*journaled));
+  }
+  return result;
+}
+
+}  // namespace exodus

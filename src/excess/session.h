@@ -1,0 +1,182 @@
+#ifndef EXODUS_EXCESS_SESSION_H_
+#define EXODUS_EXCESS_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "excess/ast.h"
+#include "excess/executor.h"
+#include "excess/plan_cache.h"
+#include "object/value.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace exodus {
+
+class Database;
+class PreparedStatement;
+
+/// One client's connection to a Database: its authenticated user, its
+/// `range of` declarations and its optimizer switches. Statements from
+/// different sessions never see each other's ranges or user, while all
+/// sessions share the database's catalog, heap and plan cache.
+///
+///   exodus::Database db;
+///   auto session = db.CreateSession("carey");
+///   auto stmt = (*session)->Prepare(
+///       "retrieve (E.name) from E in Employees where E.age > $1");
+///   (*stmt)->Bind(1, object::Value::Int(30));
+///   auto rows = (*stmt)->Execute();
+///
+/// Sessions are created by Database::CreateSession and must not outlive
+/// their Database; PreparedStatements must not outlive their Session.
+/// A Session is not internally synchronized — use one per thread.
+class Session {
+ public:
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Parses and executes a program; returns the last statement's result.
+  util::Result<excess::QueryResult> Execute(const std::string& text);
+
+  /// Parses and executes a program; returns every statement's result.
+  util::Result<std::vector<excess::QueryResult>> ExecuteAll(
+      const std::string& text);
+
+  /// Evaluates a standalone EXCESS expression (named objects, ADT and
+  /// EXCESS functions allowed; no range variables).
+  util::Result<object::Value> EvalExpression(const std::string& text);
+
+  /// Prepares a single statement for repeated execution: lexes, parses,
+  /// binds and optimizes it once (or fetches the cached plan for the
+  /// same normalized text) and returns a reusable handle. `$1`, `$2`,
+  /// ... placeholders mark bind parameters; supply them with Bind
+  /// before each Execute. DDL statements may be prepared too (handy for
+  /// scripts) but take no parameters and re-execute from the AST.
+  util::Result<std::unique_ptr<PreparedStatement>> Prepare(
+      const std::string& text);
+
+  /// The user this session authenticates as (changed by `set user`).
+  const std::string& user() const { return ctx_.current_user; }
+
+  Database* database() { return db_; }
+
+  /// Optimizer rule switches (predicate pushdown, join reordering,
+  /// index usage) — ablation hooks, scoped to this session.
+  excess::OptimizerOptions* mutable_optimizer_options() {
+    return &ctx_.optimizer_options;
+  }
+
+ private:
+  friend class Database;
+  friend class PreparedStatement;
+
+  Session(Database* db, std::string user);
+
+  /// Fetches the plan for normalized text `norm` from the database's
+  /// plan cache, building and inserting it on a miss.
+  util::Result<std::shared_ptr<const excess::CachedPlan>> GetOrBuildPlan(
+      const std::string& norm);
+
+  /// The plan-cache key for `norm` in this session: the normalized text
+  /// plus a fingerprint of the session's `range of` declarations, so
+  /// sessions with different ranges never share a (mis-bound) plan.
+  std::string CacheKey(const std::string& norm) const;
+
+  /// Statically infers `$n` parameter types from comparisons in the
+  /// bound query's conjuncts (e.g. `E.age > $1` types $1 as int4) so
+  /// Bind can reject mismatched values at bind time.
+  void InferParamTypes(excess::CachedPlan* plan);
+
+  Database* db_;
+  excess::ExecContext ctx_;
+  /// This session's `range of` declarations (ctx_.session_ranges).
+  std::map<std::string, excess::ExprPtr> ranges_;
+  /// Bumped by every `range of`; prepared statements re-prepare when
+  /// their captured epoch falls behind.
+  uint64_t range_epoch_ = 0;
+};
+
+/// A statement prepared once and executable many times. Bind supplies
+/// `$n` parameter values (validated against inferred types); Execute
+/// runs the cached plan, transparently re-preparing first if the schema
+/// generation or the session's ranges moved since the plan was built.
+class PreparedStatement {
+ public:
+  ~PreparedStatement();
+  PreparedStatement(const PreparedStatement&) = delete;
+  PreparedStatement& operator=(const PreparedStatement&) = delete;
+
+  /// Binds parameter `$index` (1-based) to `v`. Fails on an
+  /// out-of-range index or a value that cannot be coerced to the
+  /// parameter's statically inferred type.
+  util::Status Bind(int index, object::Value v);
+
+  // Convenience overloads for the common scalar types.
+  util::Status Bind(int index, int64_t v);
+  util::Status Bind(int index, int v);
+  util::Status Bind(int index, double v);
+  util::Status Bind(int index, bool v);
+  util::Status Bind(int index, const char* v);
+  util::Status Bind(int index, const std::string& v);
+
+  /// Binds $1..$n from the arguments in order.
+  template <typename... Args>
+  util::Status BindAll(Args&&... args) {
+    int index = 0;
+    util::Status st = util::Status::OK();
+    (
+        [&] {
+          if (st.ok()) st = Bind(++index, std::forward<Args>(args));
+        }(),
+        ...);
+    return st;
+  }
+
+  /// Forgets all bound values (fresh statement state).
+  void ClearBindings();
+
+  /// Executes the prepared plan with the current bindings. Every
+  /// parameter must be bound. Authorization is re-checked on each call;
+  /// mutating statements are journaled (with parameters substituted)
+  /// when journaling is enabled.
+  util::Result<excess::QueryResult> Execute();
+
+  /// Number of `$n` parameters (the highest index used).
+  int param_count() const { return plan_->param_count; }
+
+  /// The normalized statement text this handle was prepared from.
+  const std::string& source() const { return plan_->source; }
+
+  /// The optimizer's plan, rendered at prepare time (EXPLAIN); empty
+  /// for DDL statements.
+  const std::string& plan_text() const { return plan_->plan_text; }
+
+ private:
+  friend class Session;
+
+  PreparedStatement(Session* session,
+                    std::shared_ptr<const excess::CachedPlan> plan,
+                    uint64_t range_epoch);
+
+  /// Re-prepares if the catalog's schema generation or the session's
+  /// range epoch moved past the cached plan.
+  util::Status RefreshIfStale();
+
+  Session* session_;
+  std::shared_ptr<const excess::CachedPlan> plan_;
+  /// Session range epoch the plan was prepared under.
+  uint64_t range_epoch_;
+  /// values_[i] holds the value bound to $i+1; bound_[i] tracks whether
+  /// it was supplied.
+  std::vector<object::Value> values_;
+  std::vector<bool> bound_;
+};
+
+}  // namespace exodus
+
+#endif  // EXODUS_EXCESS_SESSION_H_

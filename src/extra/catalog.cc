@@ -16,6 +16,7 @@ Status Catalog::RegisterType(const std::string& name, const Type* type) {
   named_types_[name] = type;
   type_order_.emplace_back(name, type);
   if (type->is_tuple()) lattice_.AddType(type);
+  BumpGeneration();
   return Status::OK();
 }
 
@@ -43,6 +44,7 @@ Status Catalog::CreateNamed(const std::string& name, const Type* type,
   obj.value = std::move(initial);
   obj.creator = creator;
   named_.emplace(name, std::move(obj));
+  BumpGeneration();
   return Status::OK();
 }
 
@@ -60,6 +62,7 @@ Status Catalog::DropNamed(const std::string& name) {
   if (named_.erase(name) == 0) {
     return Status::NotFound("no database object named '" + name + "'");
   }
+  BumpGeneration();
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef EXODUS_EXTRA_CATALOG_H_
 #define EXODUS_EXTRA_CATALOG_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -80,12 +81,20 @@ class Catalog {
     return type_order_;
   }
 
+  /// Monotonic schema-generation counter. Every DDL-visible change
+  /// (type registration, named-object create/drop, and — bumped by
+  /// Database — index create/drop and function/procedure definition)
+  /// increments it, so cached query plans can detect staleness.
+  uint64_t generation() const { return generation_; }
+  void BumpGeneration() { ++generation_; }
+
  private:
   TypeStore types_;
   TypeLattice lattice_;
   std::map<std::string, const Type*> named_types_;
   std::vector<std::pair<std::string, const Type*>> type_order_;
   std::map<std::string, NamedObject> named_;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace exodus::extra
