@@ -1,0 +1,137 @@
+// B13 — networked query-server throughput vs. worker-pool size.
+// Expected shape: eight blocking client connections drive read-only
+// retrieves; server-side execution parallelism is bounded by the
+// worker pool, so throughput grows with workers until the scan-bound
+// queries saturate the cores. The acceptance bar is >= 2x queries/sec
+// at 4 workers over 1 worker. The mixed variant (1 in 16 statements a
+// mutation taking the database lock exclusively) shows the
+// reader/writer lock keeping read scaling mostly intact.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace exodus {
+namespace {
+
+constexpr int kRows = 1024;
+constexpr int kClients = 8;
+constexpr int kQueriesPerClientPerIter = 8;
+
+// A scan-bound selective retrieve: heavy enough that execution (not
+// socket round-trips) dominates, so pool size is the limiting factor.
+constexpr char kReadQuery[] =
+    "retrieve (E.name, E.salary) from E in Employees "
+    "where E.age > 30 and E.salary > 80.0";
+
+std::unique_ptr<Database> MakeDb() {
+  auto db = std::make_unique<Database>();
+  bench::MustExecute(db.get(), R"(
+    define type Employee (name: char[25], age: int4, salary: float8)
+    create Employees : {Employee}
+  )");
+  for (int i = 0; i < kRows; ++i) {
+    bench::MustExecute(db.get(),
+                       "append to Employees (name = \"e" +
+                           std::to_string(i) + "\", age = " +
+                           std::to_string(20 + i % 50) + ", salary = " +
+                           std::to_string(10 + i % 90) + ".0)");
+  }
+  return db;
+}
+
+/// Eight persistent client connections issue `kReadQuery` (plus an
+/// occasional append when `mutation_every` > 0); one benchmark
+/// iteration is kClients x kQueriesPerClientPerIter statements.
+void RunServerBench(benchmark::State& state, int mutation_every) {
+  const int workers = static_cast<int>(state.range(0));
+  auto db = MakeDb();
+  server::ServerOptions options;
+  options.port = 0;
+  options.workers = static_cast<size_t>(workers);
+  server::Server srv(db.get(), options);
+  auto st = srv.Start();
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+
+  std::vector<std::unique_ptr<server::Client>> clients;
+  for (int i = 0; i < kClients; ++i) {
+    auto c = server::Client::Connect("127.0.0.1", srv.port());
+    if (!c.ok()) {
+      state.SkipWithError(c.status().ToString().c_str());
+      srv.Stop();
+      return;
+    }
+    clients.push_back(std::move(*c));
+  }
+
+  std::atomic<int> errors{0};
+  int64_t statements = 0;
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        for (int q = 0; q < kQueriesPerClientPerIter; ++q) {
+          if (mutation_every > 0 &&
+              (c * kQueriesPerClientPerIter + q) % mutation_every == 0) {
+            auto r = clients[c]->Query(
+                "append to Employees (name = \"x\", age = 30, "
+                "salary = 50.0)");
+            if (!r.ok()) ++errors;
+          } else {
+            auto r = clients[c]->Query(kReadQuery);
+            if (!r.ok() || r->rows.empty()) ++errors;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    statements += kClients * kQueriesPerClientPerIter;
+  }
+  if (errors.load() > 0) state.SkipWithError("query failures");
+  state.SetItemsProcessed(statements);
+  state.counters["workers"] = workers;
+  state.counters["qps"] =
+      benchmark::Counter(static_cast<double>(statements),
+                         benchmark::Counter::kIsRate);
+  clients.clear();
+  srv.Stop();
+}
+
+void BM_ServerReadThroughput(benchmark::State& state) {
+  RunServerBench(state, /*mutation_every=*/0);
+}
+BENCHMARK(BM_ServerReadThroughput)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+void BM_ServerMixedThroughput(benchmark::State& state) {
+  RunServerBench(state, /*mutation_every=*/16);
+}
+BENCHMARK(BM_ServerMixedThroughput)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+}  // namespace
+}  // namespace exodus
+
+BENCHMARK_MAIN();

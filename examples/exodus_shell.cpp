@@ -10,7 +10,14 @@
 //   \exec <v1> <v2>..  bind + execute the prepared statement
 //   \save <file>       checkpoint the database
 //   \load <file>       replace the session with a saved database
+//   \connect h:p [usr] switch to a remote excess_server
+//   \disconnect        return to the local in-process database
+//   \stats             server counters (remote mode)
 //   \quit
+//
+// In remote mode statements run over the wire through the blocking
+// client library; EOF (ctrl-D) exits 0, a lost server connection
+// prints a clean message and exits 1.
 //
 // Run:  ./build/examples/exodus_shell
 //       echo 'retrieve (Complex(1.0,2.0) + Complex(3.0,4.0))' | \
@@ -24,6 +31,7 @@
 
 #include "excess/database.h"
 #include "excess/session.h"
+#include "server/client.h"
 #include "util/string_util.h"
 
 namespace {
@@ -94,7 +102,26 @@ int main() {
   }
   std::unique_ptr<exodus::Session> session = std::move(*session_or);
   std::unique_ptr<exodus::PreparedStatement> prepared;
+  // Non-null while `\connect`ed to a remote excess_server; statements
+  // then run over the wire instead of on the local database.
+  std::unique_ptr<exodus::server::Client> remote;
   bool interactive = true;
+
+  // Runs one statement buffer remotely. Returns false when the server
+  // connection is gone (the shell then exits 1).
+  auto run_remote = [&](const std::string& text) {
+    auto rows = remote->Query(text);
+    if (!rows.ok()) {
+      std::cout << rows.status().ToString() << "\n";
+      if (!remote->connected()) {
+        std::cout << "connection to server lost\n";
+        return false;
+      }
+      return true;
+    }
+    std::cout << rows->ToString();
+    return true;
+  };
 
   std::cout << "EXTRA/EXCESS shell — EXODUS data model & query language\n"
                "end statements with ';' or a blank line; \\quit to exit\n";
@@ -106,21 +133,79 @@ int main() {
       std::cout << (buffer.empty() ? "excess> " : "   ...> ") << std::flush;
     }
     if (!std::getline(std::cin, line)) {
-      // EOF: execute whatever is buffered (piped input without ';').
+      // EOF (ctrl-D): execute whatever is buffered (piped input
+      // without ';'), then exit cleanly.
       if (!exodus::util::Trim(buffer).empty()) {
-        auto results = session->ExecuteAll(buffer);
-        if (!results.ok()) {
-          std::cout << results.status().ToString() << "\n";
+        if (remote != nullptr) {
+          if (!run_remote(buffer)) return 1;
         } else {
-          for (const auto& r : *results) std::cout << db->Format(r);
+          auto results = session->ExecuteAll(buffer);
+          if (!results.ok()) {
+            std::cout << results.status().ToString() << "\n";
+          } else {
+            for (const auto& r : *results) std::cout << db->Format(r);
+          }
         }
       }
+      if (interactive) std::cout << "\n";
       break;
     }
 
     std::string trimmed(exodus::util::Trim(line));
     if (buffer.empty() && !trimmed.empty() && trimmed[0] == '\\') {
       if (trimmed == "\\quit" || trimmed == "\\q") break;
+      if (exodus::util::StartsWith(trimmed, "\\connect ")) {
+        // \connect host:port [user]
+        std::string rest(exodus::util::Trim(trimmed.substr(9)));
+        std::string user = "dba";
+        size_t space = rest.find(' ');
+        if (space != std::string::npos) {
+          user = std::string(exodus::util::Trim(rest.substr(space + 1)));
+          rest = rest.substr(0, space);
+        }
+        std::string host;
+        uint16_t port = 0;
+        auto st = exodus::server::ParseHostPort(rest, &host, &port);
+        if (!st.ok()) {
+          std::cout << st.ToString() << "\n";
+          continue;
+        }
+        auto connected = exodus::server::Client::Connect(host, port, user);
+        if (!connected.ok()) {
+          std::cout << connected.status().ToString() << "\n";
+          continue;
+        }
+        remote = std::move(*connected);
+        std::cout << "connected to " << host << ":" << port << " as "
+                  << user << " (\\disconnect to go local)\n";
+        continue;
+      }
+      if (trimmed == "\\disconnect") {
+        if (remote == nullptr) {
+          std::cout << "not connected\n";
+        } else {
+          remote.reset();
+          std::cout << "disconnected — back to local database\n";
+        }
+        continue;
+      }
+      if (trimmed == "\\stats") {
+        if (remote == nullptr) {
+          std::cout << "not connected — \\stats reports server counters\n";
+          continue;
+        }
+        auto stats = remote->Stats();
+        if (!stats.ok()) {
+          std::cout << stats.status().ToString() << "\n";
+          if (!remote->connected()) {
+            std::cout << "connection to server lost\n";
+            return 1;
+          }
+          continue;
+        }
+        std::cout << stats->ToString();
+        continue;
+      }
       if (trimmed == "\\plan") {
         std::cout << db->last_plan();
         continue;
@@ -213,6 +298,13 @@ int main() {
                     (!trimmed.empty() && trimmed.back() == ';');
     if (!complete || exodus::util::Trim(buffer).empty()) {
       if (trimmed.empty()) buffer.clear();
+      continue;
+    }
+
+    if (remote != nullptr) {
+      std::string text = std::move(buffer);
+      buffer.clear();
+      if (!run_remote(text)) return 1;
       continue;
     }
 

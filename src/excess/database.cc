@@ -96,6 +96,7 @@ Status Database::JournalStmt(const Stmt& stmt) {
 }
 
 Status Database::EnableJournal(const std::string& path) {
+  std::unique_lock<std::shared_mutex> lock(exec_mu_);
   if (journal_ != nullptr) {
     return Status::AlreadyExists("journaling already enabled");
   }
@@ -109,7 +110,8 @@ Status Database::EnableJournal(const std::string& path) {
 }
 
 Status Database::Checkpoint(const std::string& path) {
-  EXODUS_RETURN_IF_ERROR(Save(path));
+  std::unique_lock<std::shared_mutex> lock(exec_mu_);
+  EXODUS_RETURN_IF_ERROR(SaveLocked(path));
   if (journal_ != nullptr) {
     std::fclose(journal_);
     journal_ = std::fopen(journal_path_.c_str(), "wb");  // truncate
@@ -211,7 +213,7 @@ Result<QueryResult> Database::ExecuteStmt(Session& session, const Stmt& stmt) {
     default: {
       Executor exec(&session.ctx_);
       auto result = exec.Execute(stmt);
-      last_plan_ = exec.last_plan();
+      set_last_plan(exec.last_plan());
       return result;
     }
   }
@@ -628,7 +630,7 @@ Result<QueryResult> Database::ExecRetrieveInto(Session& session,
   plain->into.clear();
   Executor exec(&session.ctx_);
   EXODUS_ASSIGN_OR_RETURN(QueryResult rows, exec.Execute(*plain));
-  last_plan_ = exec.last_plan();
+  set_last_plan(exec.last_plan());
 
   // Column names: explicit label, else the final attribute of a path,
   // else col<i>; duplicates are an error.
@@ -833,6 +835,11 @@ constexpr char kRecNamed = 'N';
 }  // namespace
 
 Status Database::Save(const std::string& path) {
+  std::shared_lock<std::shared_mutex> lock(exec_mu_);
+  return SaveLocked(path);
+}
+
+Status Database::SaveLocked(const std::string& path) {
   EXODUS_ASSIGN_OR_RETURN(std::unique_ptr<storage::Pager> pager,
                           storage::Pager::CreateFile(path));
   storage::BufferPool pool(pager.get(), 64);

@@ -3,6 +3,8 @@
 
 #include <cstdio>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -90,6 +92,12 @@ class Database {
   /// The shared prepared-plan cache (sizing, Clear for tests).
   excess::PlanCache* plan_cache() { return &plan_cache_; }
 
+  /// The statement-level reader/writer lock acquired by the Session
+  /// execution paths. Exposed so out-of-band readers (e.g. the network
+  /// server formatting result rows, which resolves references through
+  /// the live heap) can hold it shared.
+  std::shared_mutex& exec_mutex() const { return exec_mu_; }
+
   /// Renders a value with references resolved through the heap, up to
   /// `depth` levels (deeper references print as <Type #oid>).
   std::string FormatValue(const object::Value& v, int depth = 2) const;
@@ -98,7 +106,20 @@ class Database {
   std::string Format(const excess::QueryResult& result, int depth = 2) const;
 
   /// The plan of the most recently executed retrieve/update (EXPLAIN).
-  const std::string& last_plan() const { return last_plan_; }
+  /// Returned by value under an internal mutex: concurrent sessions all
+  /// write this diagnostic slot.
+  std::string last_plan() const {
+    std::lock_guard<std::mutex> lock(last_plan_mu_);
+    return last_plan_;
+  }
+
+  /// True for statements that never mutate database state (plain
+  /// retrieves, i.e. not `retrieve into`). Read-only statements execute
+  /// under a shared database lock and may run concurrently; everything
+  /// else (DDL, updates, auth, procedures) takes the lock exclusively.
+  static bool IsReadOnly(const excess::Stmt& stmt) {
+    return stmt.kind == excess::StmtKind::kRetrieve && stmt.into.empty();
+  }
 
   /// Saves schema + data through the storage manager to `path`.
   util::Status Save(const std::string& path);
@@ -144,6 +165,15 @@ class Database {
  private:
   friend class Session;
   friend class PreparedStatement;
+
+  void set_last_plan(std::string plan) {
+    std::lock_guard<std::mutex> lock(last_plan_mu_);
+    last_plan_ = std::move(plan);
+  }
+
+  /// Save() body; the caller holds exec_mu_ (shared suffices — writers
+  /// are excluded either way).
+  util::Status SaveLocked(const std::string& path);
 
   /// Executes one statement on behalf of `session` (DDL handled here,
   /// queries/updates dispatched to the Executor with the session's
@@ -209,6 +239,13 @@ class Database {
   /// Backs the string-only convenience API (user dba).
   std::unique_ptr<Session> default_session_;
   std::vector<std::string> ddl_log_;
+  /// Statement-level reader/writer lock: read-only statements
+  /// (IsReadOnly) hold it shared and execute concurrently; DDL and
+  /// mutations hold it exclusively. Acquired by the Session layer so
+  /// every entry point — embedded sessions, the string convenience API
+  /// and the network server — shares one discipline.
+  mutable std::shared_mutex exec_mu_;
+  mutable std::mutex last_plan_mu_;
   std::string last_plan_;
   std::FILE* journal_ = nullptr;
   std::string journal_path_;

@@ -17,17 +17,17 @@ std::shared_ptr<const CachedPlan> PlanCache::Lookup(const std::string& key,
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
-    ++stats_.misses;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
   if (it->second->plan->generation != generation) {
     // Schema moved on since this plan was built: drop it and replan.
-    ++stats_.invalidations;
-    ++stats_.misses;
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
     EraseLocked(key);
     return nullptr;
   }
-  ++stats_.hits;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->plan;
 }
@@ -39,7 +39,7 @@ void PlanCache::Insert(const std::string& key,
   while (lru_.size() >= capacity_) {
     index_.erase(lru_.back().key);
     lru_.pop_back();
-    ++stats_.evictions;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
   lru_.push_front(Entry{key, std::move(plan)});
   index_[key] = lru_.begin();
@@ -61,11 +61,6 @@ void PlanCache::Clear() {
 size_t PlanCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return lru_.size();
-}
-
-PlanCacheStats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
 }
 
 // ---------------------------------------------------------------------------

@@ -1,6 +1,7 @@
 #ifndef EXODUS_EXCESS_PLAN_CACHE_H_
 #define EXODUS_EXCESS_PLAN_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -78,7 +79,18 @@ class PlanCache {
   void Clear();
   size_t size() const;
   size_t capacity() const { return capacity_; }
-  PlanCacheStats stats() const;
+
+  /// Snapshot of the cumulative counters. Lock-free: the counters are
+  /// atomics, so concurrent sessions can poll statistics (e.g. the
+  /// server's \stats command) without contending with lookups/inserts.
+  PlanCacheStats stats() const {
+    PlanCacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.invalidations = invalidations_.load(std::memory_order_relaxed);
+    return s;
+  }
 
  private:
   struct Entry {
@@ -93,7 +105,10 @@ class PlanCache {
   /// Most recently used at the front.
   std::list<Entry> lru_;
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  PlanCacheStats stats_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
 };
 
 /// Normalizes EXCESS statement text for use as a cache key: strips

@@ -1,5 +1,7 @@
 #include "excess/session.h"
 
+#include <mutex>
+#include <shared_mutex>
 #include <utility>
 
 #include "excess/binder.h"
@@ -108,11 +110,19 @@ Result<std::vector<QueryResult>> Session::ExecuteAll(const std::string& text) {
   std::vector<QueryResult> results;
   results.reserve(program.size());
   for (const excess::StmtPtr& stmt : program) {
-    EXODUS_ASSIGN_OR_RETURN(QueryResult r,
-                            db_->ExecuteStmtJournaled(*this, *stmt));
+    EXODUS_ASSIGN_OR_RETURN(QueryResult r, ExecuteStmtLocked(*stmt));
     results.push_back(std::move(r));
   }
   return results;
+}
+
+Result<QueryResult> Session::ExecuteStmtLocked(const excess::Stmt& stmt) {
+  if (Database::IsReadOnly(stmt)) {
+    std::shared_lock<std::shared_mutex> lock(db_->exec_mu_);
+    return db_->ExecuteStmtJournaled(*this, stmt);
+  }
+  std::unique_lock<std::shared_mutex> lock(db_->exec_mu_);
+  return db_->ExecuteStmtJournaled(*this, stmt);
 }
 
 Result<QueryResult> Session::Execute(const std::string& text) {
@@ -124,6 +134,7 @@ Result<QueryResult> Session::Execute(const std::string& text) {
 Result<Value> Session::EvalExpression(const std::string& text) {
   excess::Parser parser(text, &db_->adts_);
   EXODUS_ASSIGN_OR_RETURN(excess::ExprPtr expr, parser.ParseSingleExpression());
+  std::shared_lock<std::shared_mutex> lock(db_->exec_mu_);
   Executor exec(&ctx_);
   return exec.EvalStandalone(*expr);
 }
@@ -134,8 +145,12 @@ Result<std::unique_ptr<PreparedStatement>> Session::Prepare(
   if (norm.empty()) {
     return Status::ParseError("cannot prepare an empty statement");
   }
-  EXODUS_ASSIGN_OR_RETURN(std::shared_ptr<const CachedPlan> plan,
-                          GetOrBuildPlan(norm));
+  std::shared_ptr<const CachedPlan> plan;
+  {
+    // Planning reads the catalog, so it needs at least the shared lock.
+    std::shared_lock<std::shared_mutex> lock(db_->exec_mu_);
+    EXODUS_ASSIGN_OR_RETURN(plan, GetOrBuildPlan(norm));
+  }
   return std::unique_ptr<PreparedStatement>(
       new PreparedStatement(this, std::move(plan), range_epoch_));
 }
@@ -299,6 +314,19 @@ Status PreparedStatement::RefreshIfStale() {
 }
 
 Result<QueryResult> PreparedStatement::Execute() {
+  // The statement kind is known from the prepared AST (re-preparation
+  // keeps the same source text, hence the same kind), so the right lock
+  // mode is known before execution: shared for plain retrieves,
+  // exclusive for mutations and DDL.
+  if (Database::IsReadOnly(*plan_->stmt)) {
+    std::shared_lock<std::shared_mutex> lock(session_->db_->exec_mu_);
+    return ExecuteLocked();
+  }
+  std::unique_lock<std::shared_mutex> lock(session_->db_->exec_mu_);
+  return ExecuteLocked();
+}
+
+Result<QueryResult> PreparedStatement::ExecuteLocked() {
   EXODUS_RETURN_IF_ERROR(RefreshIfStale());
 
   Executor::ParamEnv params;
@@ -322,7 +350,7 @@ Result<QueryResult> PreparedStatement::Execute() {
   auto result = exec.ExecutePrepared(*plan_->stmt, plan_->query, plan_->plan,
                                      params);
   if (!result.ok()) return result;
-  session_->db_->last_plan_ = plan_->plan_text;
+  session_->db_->set_last_plan(plan_->plan_text);
 
   if (session_->db_->journal_ != nullptr &&
       Database::IsJournaled(*plan_->stmt)) {

@@ -33,7 +33,13 @@ class PreparedStatement;
 ///
 /// Sessions are created by Database::CreateSession and must not outlive
 /// their Database; PreparedStatements must not outlive their Session.
-/// A Session is not internally synchronized — use one per thread.
+///
+/// Concurrency: sessions from different threads may execute against the
+/// same Database concurrently. Statement execution takes the database's
+/// reader/writer lock — shared for plain retrieves, exclusive for DDL
+/// and mutations — so readers run in parallel and writers are isolated.
+/// A single Session object is NOT internally synchronized: use one
+/// session per thread (the network server uses one per connection).
 class Session {
  public:
   ~Session();
@@ -77,8 +83,14 @@ class Session {
 
   Session(Database* db, std::string user);
 
+  /// Executes one parsed statement under the database lock appropriate
+  /// to its kind (shared for read-only, exclusive otherwise).
+  util::Result<excess::QueryResult> ExecuteStmtLocked(
+      const excess::Stmt& stmt);
+
   /// Fetches the plan for normalized text `norm` from the database's
-  /// plan cache, building and inserting it on a miss.
+  /// plan cache, building and inserting it on a miss. The caller must
+  /// hold the database lock (shared suffices).
   util::Result<std::shared_ptr<const excess::CachedPlan>> GetOrBuildPlan(
       const std::string& norm);
 
@@ -163,8 +175,12 @@ class PreparedStatement {
                     std::shared_ptr<const excess::CachedPlan> plan,
                     uint64_t range_epoch);
 
+  /// Execute() body, running with the database lock already held.
+  util::Result<excess::QueryResult> ExecuteLocked();
+
   /// Re-prepares if the catalog's schema generation or the session's
-  /// range epoch moved past the cached plan.
+  /// range epoch moved past the cached plan. The caller must hold the
+  /// database lock (shared suffices).
   util::Status RefreshIfStale();
 
   Session* session_;

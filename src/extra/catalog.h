@@ -1,6 +1,7 @@
 #ifndef EXODUS_EXTRA_CATALOG_H_
 #define EXODUS_EXTRA_CATALOG_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -84,9 +85,15 @@ class Catalog {
   /// Monotonic schema-generation counter. Every DDL-visible change
   /// (type registration, named-object create/drop, and — bumped by
   /// Database — index create/drop and function/procedure definition)
-  /// increments it, so cached query plans can detect staleness.
-  uint64_t generation() const { return generation_; }
-  void BumpGeneration() { ++generation_; }
+  /// increments it, so cached query plans can detect staleness. Atomic:
+  /// sessions executing under a shared database lock read it while DDL
+  /// (under the exclusive lock) bumps it.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+  void BumpGeneration() {
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
 
  private:
   TypeStore types_;
@@ -94,7 +101,7 @@ class Catalog {
   std::map<std::string, const Type*> named_types_;
   std::vector<std::pair<std::string, const Type*>> type_order_;
   std::map<std::string, NamedObject> named_;
-  uint64_t generation_ = 0;
+  std::atomic<uint64_t> generation_{0};
 };
 
 }  // namespace exodus::extra

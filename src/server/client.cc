@@ -1,0 +1,165 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace exodus::server {
+
+using util::Result;
+using util::Status;
+
+Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                uint16_t port,
+                                                const std::string& user) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot parse server address '" + host +
+                                   "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Status::IoError("connect " + host + ":" +
+                                std::to_string(port) + ": " +
+                                std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+
+  std::unique_ptr<Client> client(new Client(fd));
+  std::string hello;
+  PutU8(kProtocolVersion, &hello);
+  PutString(user, &hello);
+  EXODUS_ASSIGN_OR_RETURN(Frame reply,
+                          client->RoundTrip(MsgType::kHello, hello));
+  if (reply.type != MsgType::kOk) {
+    return Status::IoError("unexpected HELLO response");
+  }
+  return client;
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ < 0) return;
+  (void)WriteFrame(fd_, MsgType::kBye, std::string());
+  ::close(fd_);
+  fd_ = -1;
+}
+
+Result<Frame> Client::RoundTrip(MsgType type, const std::string& body) {
+  if (fd_ < 0) return Status::IoError("not connected");
+  Status st = WriteFrame(fd_, type, body);
+  if (!st.ok()) {
+    ::close(fd_);
+    fd_ = -1;
+    return Status::IoError("server connection lost: " + st.message());
+  }
+  Result<Frame> reply = ReadFrame(fd_);
+  if (!reply.ok()) {
+    ::close(fd_);
+    fd_ = -1;
+    return Status::IoError("server disconnected: " +
+                           reply.status().message());
+  }
+  if (reply->type == MsgType::kError) {
+    WireReader r(reply->body);
+    EXODUS_ASSIGN_OR_RETURN(ErrorPayload err, ErrorPayload::Decode(&r));
+    return err.ToStatus();
+  }
+  return reply;
+}
+
+Result<RowsPayload> Client::Query(const std::string& text) {
+  std::string body;
+  PutString(text, &body);
+  EXODUS_ASSIGN_OR_RETURN(Frame reply, RoundTrip(MsgType::kQuery, body));
+  if (reply.type != MsgType::kRows) {
+    return Status::IoError("unexpected QUERY response");
+  }
+  WireReader r(reply.body);
+  return RowsPayload::Decode(&r);
+}
+
+Result<RemoteStatement> Client::Prepare(const std::string& text) {
+  std::string body;
+  PutString(text, &body);
+  EXODUS_ASSIGN_OR_RETURN(Frame reply, RoundTrip(MsgType::kPrepare, body));
+  if (reply.type != MsgType::kPrepared) {
+    return Status::IoError("unexpected PREPARE response");
+  }
+  WireReader r(reply.body);
+  RemoteStatement stmt;
+  EXODUS_ASSIGN_OR_RETURN(stmt.handle, r.U32());
+  EXODUS_ASSIGN_OR_RETURN(stmt.param_count, r.U32());
+  return stmt;
+}
+
+Result<RowsPayload> Client::Execute(
+    const RemoteStatement& stmt, const std::vector<object::Value>& params) {
+  std::string body;
+  PutU32(stmt.handle, &body);
+  PutU32(static_cast<uint32_t>(params.size()), &body);
+  for (const object::Value& v : params) {
+    EXODUS_RETURN_IF_ERROR(PutValue(v, &body));
+  }
+  EXODUS_ASSIGN_OR_RETURN(Frame reply, RoundTrip(MsgType::kExecute, body));
+  if (reply.type != MsgType::kRows) {
+    return Status::IoError("unexpected EXECUTE response");
+  }
+  WireReader r(reply.body);
+  return RowsPayload::Decode(&r);
+}
+
+Status Client::CloseStatement(const RemoteStatement& stmt) {
+  std::string body;
+  PutU32(stmt.handle, &body);
+  EXODUS_ASSIGN_OR_RETURN(Frame reply, RoundTrip(MsgType::kCloseStmt, body));
+  if (reply.type != MsgType::kOk) {
+    return Status::IoError("unexpected CLOSE response");
+  }
+  return Status::OK();
+}
+
+Result<StatsPayload> Client::Stats() {
+  EXODUS_ASSIGN_OR_RETURN(Frame reply,
+                          RoundTrip(MsgType::kStats, std::string()));
+  if (reply.type != MsgType::kStatsReply) {
+    return Status::IoError("unexpected STATS response");
+  }
+  WireReader r(reply.body);
+  return StatsPayload::Decode(&r);
+}
+
+Status ParseHostPort(const std::string& spec, std::string* host,
+                     uint16_t* port) {
+  *host = "127.0.0.1";
+  std::string port_part = spec;
+  size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon > 0) *host = spec.substr(0, colon);
+    port_part = spec.substr(colon + 1);
+  }
+  char* end = nullptr;
+  unsigned long p = std::strtoul(port_part.c_str(), &end, 10);
+  if (end == port_part.c_str() || *end != '\0' || p == 0 || p > 65535) {
+    return Status::InvalidArgument("cannot parse port in '" + spec +
+                                   "' (expected host:port)");
+  }
+  *port = static_cast<uint16_t>(p);
+  return Status::OK();
+}
+
+}  // namespace exodus::server

@@ -1,0 +1,88 @@
+#ifndef EXODUS_SERVER_CLIENT_H_
+#define EXODUS_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "object/value.h"
+#include "server/protocol.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace exodus::server {
+
+/// A prepared statement living on the server, addressed by handle.
+struct RemoteStatement {
+  uint32_t handle = 0;
+  uint32_t param_count = 0;
+};
+
+/// A blocking client for the EXCESS wire protocol: one TCP connection,
+/// one server-side Session. Used by the `excess_client` binary and by
+/// the shell's `\connect` mode; also the programmatic way to reach a
+/// remote database:
+///
+///   auto client = Client::Connect("127.0.0.1", 4077, "carey");
+///   auto rows = (*client)->Query("retrieve (E.name) from E in Employees");
+///   for (const auto& row : rows->rows) ...
+///
+/// Not thread-safe: the protocol is strictly request/response, so use
+/// one Client per thread. Every method reports a lost server as
+/// IoError; app-level failures arrive as the original status code the
+/// server-side statement produced.
+class Client {
+ public:
+  /// Connects and performs the HELLO handshake as `user`.
+  static util::Result<std::unique_ptr<Client>> Connect(
+      const std::string& host, uint16_t port,
+      const std::string& user = "dba");
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Executes statement text (possibly a multi-statement program);
+  /// returns the last statement's result table.
+  util::Result<RowsPayload> Query(const std::string& text);
+
+  /// Prepares a statement with `$n` parameters on the server.
+  util::Result<RemoteStatement> Prepare(const std::string& text);
+
+  /// Binds `params` positionally ($1..$n) and executes a prepared
+  /// handle. Parameters must be scalars (null/int/float/bool/string).
+  util::Result<RowsPayload> Execute(
+      const RemoteStatement& stmt,
+      const std::vector<object::Value>& params = {});
+
+  /// Drops a server-side prepared statement.
+  util::Status CloseStatement(const RemoteStatement& stmt);
+
+  /// Server + connection counters (the \stats command).
+  util::Result<StatsPayload> Stats();
+
+  /// Sends BYE (best effort) and closes the socket. Idempotent; the
+  /// destructor calls it.
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// Sends one request and reads one response frame; decodes ERROR
+  /// responses into their original status.
+  util::Result<Frame> RoundTrip(MsgType type, const std::string& body);
+
+  int fd_ = -1;
+};
+
+/// Splits "host:port" (host optional — ":4077" and "4077" mean
+/// loopback). Fails on an unparsable port.
+util::Status ParseHostPort(const std::string& spec, std::string* host,
+                           uint16_t* port);
+
+}  // namespace exodus::server
+
+#endif  // EXODUS_SERVER_CLIENT_H_

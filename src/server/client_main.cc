@@ -1,0 +1,112 @@
+// excess_client — interactive remote client for excess_server.
+//
+//   excess_client [host:port] [--user NAME]
+//
+// Reads EXCESS statements (terminated by ';' or a blank line) and runs
+// them on the server. Commands: \stats prints server counters, \quit
+// exits. EOF (ctrl-D) exits cleanly with status 0; a lost server
+// connection prints a message and exits 1.
+
+#include <unistd.h>
+
+#include <cctype>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "server/client.h"
+
+namespace {
+
+bool StatementComplete(const std::string& buf) {
+  for (auto it = buf.rbegin(); it != buf.rend(); ++it) {
+    if (*it == ';') return true;
+    if (!std::isspace(static_cast<unsigned char>(*it))) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec = "127.0.0.1:4077";
+  std::string user = "dba";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--user" && i + 1 < argc) {
+      user = argv[++i];
+    } else if (!arg.empty() && arg[0] != '-') {
+      spec = arg;
+    } else {
+      std::cerr << "usage: " << argv[0] << " [host:port] [--user NAME]\n";
+      return 2;
+    }
+  }
+
+  std::string host;
+  uint16_t port = 0;
+  auto st = exodus::server::ParseHostPort(spec, &host, &port);
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 2;
+  }
+  auto connected = exodus::server::Client::Connect(host, port, user);
+  if (!connected.ok()) {
+    std::cerr << connected.status().ToString() << "\n";
+    return 1;
+  }
+  std::unique_ptr<exodus::server::Client> client = std::move(*connected);
+  std::cout << "connected to " << host << ":" << port << " as " << user
+            << " (\\stats for counters, \\quit or ctrl-D to exit)\n";
+
+  std::string buffer;
+  std::string line;
+  bool tty = static_cast<bool>(isatty(0));
+  while (true) {
+    if (tty) std::cout << (buffer.empty() ? "excess> " : "   ...> ");
+    if (!std::getline(std::cin, line)) {
+      if (tty) std::cout << "\n";
+      break;  // EOF: clean exit
+    }
+    if (buffer.empty() && !line.empty() && line[0] == '\\') {
+      if (line == "\\quit" || line == "\\q") break;
+      if (line == "\\stats") {
+        auto stats = client->Stats();
+        if (!stats.ok()) {
+          std::cerr << stats.status().ToString() << "\n";
+          if (!client->connected()) return 1;
+          continue;
+        }
+        std::cout << stats->ToString();
+        continue;
+      }
+      std::cerr << "unknown command '" << line
+                << "' (try \\stats or \\quit)\n";
+      continue;
+    }
+    // Statement accumulation: run on ';' or on a blank line ending a
+    // non-empty buffer.
+    if (line.empty()) {
+      if (buffer.empty()) continue;
+    } else {
+      if (!buffer.empty()) buffer += '\n';
+      buffer += line;
+      if (!StatementComplete(buffer)) continue;
+    }
+    std::string text = std::move(buffer);
+    buffer.clear();
+
+    auto rows = client->Query(text);
+    if (!rows.ok()) {
+      std::cerr << rows.status().ToString() << "\n";
+      if (!client->connected()) {
+        std::cerr << "connection to server lost\n";
+        return 1;
+      }
+      continue;
+    }
+    std::cout << rows->ToString();
+  }
+  client->Close();
+  return 0;
+}

@@ -1,0 +1,506 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <map>
+#include <shared_mutex>
+#include <utility>
+
+#include "excess/database.h"
+#include "excess/session.h"
+
+namespace exodus::server {
+
+using excess::QueryResult;
+using util::Result;
+using util::Status;
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+// ---------------------------------------------------------------------------
+
+void LatencyHistogram::Record(uint64_t micros) {
+  // Bucket i covers [2^(i-1), 2^i) microseconds; bucket 0 is < 1us.
+  size_t idx = 0;
+  while (idx + 1 < kBuckets && (uint64_t{1} << idx) <= micros) ++idx;
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::PercentileMicros(double p) const {
+  uint64_t counts[kBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total));
+  if (rank >= total) rank = total - 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (seen > rank) return uint64_t{1} << i;  // bucket upper bound
+  }
+  return uint64_t{1} << (kBuckets - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Connection state
+// ---------------------------------------------------------------------------
+
+struct Server::Connection {
+  int fd = -1;
+  std::thread thread;
+  /// Set by the serving thread on exit; the acceptor reaps done
+  /// connections so a long-lived server does not accumulate them.
+  std::atomic<bool> done{false};
+  std::unique_ptr<Session> session;
+  std::map<uint32_t, std::unique_ptr<PreparedStatement>> prepared;
+  uint32_t next_handle = 1;
+  /// Touched only by this connection's serving thread (directly or via
+  /// the pool job it is blocked on).
+  uint64_t queries = 0;
+  uint64_t errors = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Server lifecycle
+// ---------------------------------------------------------------------------
+
+Server::Server(Database* db, ServerOptions options)
+    : db_(db), options_(std::move(options)), pool_(options_.workers) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("cannot parse bind address '" +
+                                   options_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st = Status::IoError("bind " + options_.host + ":" +
+                                std::to_string(options_.port) + ": " +
+                                std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    Status st = Status::IoError(std::string("listen: ") +
+                                std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (stopping_.exchange(true)) {
+    // A concurrent/second Stop still waits for the acceptor below via
+    // joinable() checks; the destructor is the common second caller.
+  }
+  if (listen_fd_ >= 0) {
+    // Wakes the blocking accept() (Linux returns EINVAL after shutdown
+    // on a listening socket).
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    // SHUT_RD makes the connection's next (or pending) frame read see a
+    // clean EOF; the request it is executing right now still finishes
+    // and its response still flushes through the write half.
+    if (!conn->done.load(std::memory_order_acquire)) {
+      ::shutdown(conn->fd, SHUT_RD);
+    }
+  }
+  for (auto& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  pool_.Shutdown();
+  // Journal note: Database flushes every journal append before it
+  // returns, so draining the in-flight statements above is all the
+  // "flush" a graceful shutdown needs.
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (or unrecoverable) — stop accepting
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    ReapConnections();
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    counters_.connections_total.fetch_add(1, std::memory_order_relaxed);
+    counters_.connections_active.fetch_add(1, std::memory_order_relaxed);
+    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void Server::ReapConnections() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::RunOnPool(std::function<void()> job) {
+  std::promise<void> done;
+  std::future<void> fut = done.get_future();
+  bool submitted = pool_.Submit([&job, &done] {
+    job();
+    done.set_value();
+  });
+  if (!submitted) {
+    job();  // pool draining (shutdown): run inline, still correct
+    return;
+  }
+  fut.wait();
+}
+
+// ---------------------------------------------------------------------------
+// Request handling
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void SendError(int fd, const Status& st) {
+  ErrorPayload err = ErrorPayload::FromStatus(st);
+  std::string body;
+  err.EncodeTo(&body);
+  (void)WriteFrame(fd, MsgType::kError, body);  // peer may be gone
+}
+
+void SendOk(int fd, const std::string& message) {
+  std::string body;
+  PutString(message, &body);
+  (void)WriteFrame(fd, MsgType::kOk, body);
+}
+
+}  // namespace
+
+void Server::ServeConnection(Connection* conn) {
+  {
+    // Every connection starts as the built-in dba until HELLO names a
+    // user; CreateSession reads auth state, hence the shared lock.
+    std::shared_lock<std::shared_mutex> lock(db_->exec_mutex());
+    auto session = db_->CreateSession();
+    if (session.ok()) conn->session = std::move(*session);
+  }
+  if (conn->session == nullptr) {
+    SendError(conn->fd, Status::Internal("cannot open a session"));
+  } else {
+    while (true) {
+      Result<Frame> frame = ReadFrame(conn->fd);
+      if (!frame.ok()) {
+        // NotFound = the peer hung up between requests (normal). A
+        // malformed or torn frame gets a best-effort error reply; both
+        // close only this connection, never the server.
+        if (frame.status().code() != util::StatusCode::kNotFound) {
+          SendError(conn->fd, frame.status());
+        }
+        break;
+      }
+      if (!HandleFrame(conn, *frame)) break;
+    }
+  }
+  ::close(conn->fd);
+  conn->prepared.clear();
+  conn->session.reset();
+  counters_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+  conn->done.store(true, std::memory_order_release);
+}
+
+bool Server::HandleFrame(Connection* conn, const Frame& frame) {
+  WireReader r(frame.body);
+  switch (frame.type) {
+    case MsgType::kHello: {
+      auto version = r.U8();
+      auto user = version.ok() ? r.Str() : Result<std::string>(
+                                               version.status());
+      if (!user.ok()) {
+        SendError(conn->fd, user.status());
+        return false;
+      }
+      if (*version != kProtocolVersion) {
+        SendError(conn->fd, Status::InvalidArgument(
+                                "protocol version mismatch: server speaks " +
+                                std::to_string(kProtocolVersion) +
+                                ", client sent " + std::to_string(*version)));
+        return false;
+      }
+      std::shared_lock<std::shared_mutex> lock(db_->exec_mutex());
+      auto session = db_->CreateSession(*user);
+      if (!session.ok()) {
+        ++conn->errors;
+        counters_.errors_total.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn->fd, session.status());
+        return true;  // the old session (dba) stays usable
+      }
+      conn->prepared.clear();  // handles belong to the old session
+      conn->session = std::move(*session);
+      SendOk(conn->fd, "hello " + *user);
+      return true;
+    }
+
+    case MsgType::kQuery: {
+      auto text = r.Str();
+      if (!text.ok()) {
+        SendError(conn->fd, text.status());
+        return false;
+      }
+      auto started = std::chrono::steady_clock::now();
+      Result<std::vector<QueryResult>> results(
+          std::vector<QueryResult>{});
+      RowsPayload payload;
+      bool ok = false;
+      RunOnPool([&] {
+        results = conn->session->ExecuteAll(*text);
+        if (!results.ok()) return;
+        ok = true;
+        // A multi-statement program answers with its last statement's
+        // result (the convention of Database::Execute). Formatting
+        // resolves references through the heap, so it needs the shared
+        // lock — other connections may be mutating.
+        if (results->empty()) return;
+        const QueryResult& last = results->back();
+        payload.columns = last.columns;
+        payload.message = last.message;
+        payload.affected = last.affected;
+        std::shared_lock<std::shared_mutex> lock(db_->exec_mutex());
+        payload.rows.reserve(last.rows.size());
+        for (const auto& row : last.rows) {
+          std::vector<std::string> cells;
+          cells.reserve(row.size());
+          for (const object::Value& v : row) {
+            cells.push_back(db_->FormatValue(v));
+          }
+          payload.rows.push_back(std::move(cells));
+        }
+      });
+      auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - started)
+                        .count();
+      counters_.latency.Record(static_cast<uint64_t>(micros));
+      ++conn->queries;
+      counters_.queries_total.fetch_add(1, std::memory_order_relaxed);
+      if (!ok) {
+        ++conn->errors;
+        counters_.errors_total.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn->fd, results.status());
+        return true;
+      }
+      std::string body;
+      payload.EncodeTo(&body);
+      return WriteFrame(conn->fd, MsgType::kRows, body).ok();
+    }
+
+    case MsgType::kPrepare: {
+      auto text = r.Str();
+      if (!text.ok()) {
+        SendError(conn->fd, text.status());
+        return false;
+      }
+      Result<std::unique_ptr<PreparedStatement>> stmt(
+          Status::Internal("not prepared"));
+      RunOnPool([&] { stmt = conn->session->Prepare(*text); });
+      if (!stmt.ok()) {
+        ++conn->errors;
+        counters_.errors_total.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn->fd, stmt.status());
+        return true;
+      }
+      uint32_t handle = conn->next_handle++;
+      int param_count = (*stmt)->param_count();
+      conn->prepared[handle] = std::move(*stmt);
+      std::string body;
+      PutU32(handle, &body);
+      PutU32(static_cast<uint32_t>(param_count), &body);
+      return WriteFrame(conn->fd, MsgType::kPrepared, body).ok();
+    }
+
+    case MsgType::kExecute: {
+      auto handle = r.U32();
+      if (!handle.ok()) {
+        SendError(conn->fd, handle.status());
+        return false;
+      }
+      auto nparams = r.U32();
+      if (!nparams.ok()) {
+        SendError(conn->fd, nparams.status());
+        return false;
+      }
+      std::vector<object::Value> params;
+      params.reserve(*nparams);
+      for (uint32_t i = 0; i < *nparams; ++i) {
+        auto v = GetValue(&r);
+        if (!v.ok()) {
+          SendError(conn->fd, v.status());
+          return false;
+        }
+        params.push_back(std::move(*v));
+      }
+      auto it = conn->prepared.find(*handle);
+      if (it == conn->prepared.end()) {
+        ++conn->errors;
+        counters_.errors_total.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn->fd, Status::NotFound("no prepared statement #" +
+                                             std::to_string(*handle)));
+        return true;
+      }
+      PreparedStatement* stmt = it->second.get();
+      auto started = std::chrono::steady_clock::now();
+      Result<QueryResult> result(Status::Internal("not executed"));
+      RowsPayload payload;
+      bool ok = false;
+      RunOnPool([&] {
+        stmt->ClearBindings();
+        for (size_t i = 0; i < params.size(); ++i) {
+          Status st = stmt->Bind(static_cast<int>(i + 1),
+                                 std::move(params[i]));
+          if (!st.ok()) {
+            result = st;
+            return;
+          }
+        }
+        result = stmt->Execute();
+        if (!result.ok()) return;
+        ok = true;
+        payload.columns = result->columns;
+        payload.message = result->message;
+        payload.affected = result->affected;
+        std::shared_lock<std::shared_mutex> lock(db_->exec_mutex());
+        payload.rows.reserve(result->rows.size());
+        for (const auto& row : result->rows) {
+          std::vector<std::string> cells;
+          cells.reserve(row.size());
+          for (const object::Value& v : row) {
+            cells.push_back(db_->FormatValue(v));
+          }
+          payload.rows.push_back(std::move(cells));
+        }
+      });
+      auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - started)
+                        .count();
+      counters_.latency.Record(static_cast<uint64_t>(micros));
+      ++conn->queries;
+      counters_.queries_total.fetch_add(1, std::memory_order_relaxed);
+      if (!ok) {
+        ++conn->errors;
+        counters_.errors_total.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn->fd, result.status());
+        return true;
+      }
+      std::string body;
+      payload.EncodeTo(&body);
+      return WriteFrame(conn->fd, MsgType::kRows, body).ok();
+    }
+
+    case MsgType::kCloseStmt: {
+      auto handle = r.U32();
+      if (!handle.ok()) {
+        SendError(conn->fd, handle.status());
+        return false;
+      }
+      conn->prepared.erase(*handle);
+      SendOk(conn->fd, "closed");
+      return true;
+    }
+
+    case MsgType::kStats: {
+      StatsPayload stats = BuildStats(*conn);
+      std::string body;
+      stats.EncodeTo(&body);
+      return WriteFrame(conn->fd, MsgType::kStatsReply, body).ok();
+    }
+
+    case MsgType::kBye:
+      SendOk(conn->fd, "bye");
+      return false;
+
+    default:
+      // An unknown type after a well-formed length prefix most likely
+      // means the stream is out of sync — close rather than guess.
+      SendError(conn->fd,
+                Status::InvalidArgument(
+                    "unknown request type " +
+                    std::to_string(static_cast<uint8_t>(frame.type))));
+      return false;
+  }
+}
+
+StatsPayload Server::BuildStats(const Connection& conn) const {
+  StatsPayload s;
+  s.connections_total =
+      counters_.connections_total.load(std::memory_order_relaxed);
+  s.connections_active =
+      counters_.connections_active.load(std::memory_order_relaxed);
+  s.queries_total = counters_.queries_total.load(std::memory_order_relaxed);
+  s.errors_total = counters_.errors_total.load(std::memory_order_relaxed);
+  s.p50_micros = counters_.latency.PercentileMicros(0.50);
+  s.p99_micros = counters_.latency.PercentileMicros(0.99);
+  excess::PlanCacheStats cache = db_->CacheStats();
+  s.cache_hits = cache.hits;
+  s.cache_misses = cache.misses;
+  s.cache_invalidations = cache.invalidations;
+  s.cache_evictions = cache.evictions;
+  s.connection_queries = conn.queries;
+  s.connection_errors = conn.errors;
+  return s;
+}
+
+}  // namespace exodus::server

@@ -1,0 +1,136 @@
+#ifndef EXODUS_SERVER_SERVER_H_
+#define EXODUS_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/protocol.h"
+#include "util/result.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace exodus {
+class Database;
+}
+
+namespace exodus::server {
+
+struct ServerOptions {
+  /// Interface to bind (IPv4 dotted quad). Loopback by default — this
+  /// is a research engine, not a hardened network daemon.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Worker threads executing statements. Connections beyond this many
+  /// stay connected; their requests queue on the pool.
+  size_t workers = 4;
+};
+
+/// Fixed power-of-two-bucket latency histogram (microseconds). Atomic
+/// counters: many connection threads record, \stats reads concurrently.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = 40;
+
+  void Record(uint64_t micros);
+
+  /// The upper bound (in microseconds) of the bucket containing the
+  /// p-th percentile observation (p in [0,1]); 0 when empty.
+  uint64_t PercentileMicros(double p) const;
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+};
+
+/// Aggregate server counters, all atomics (read by any connection's
+/// \stats while others execute).
+struct ServerCounters {
+  std::atomic<uint64_t> connections_total{0};
+  std::atomic<uint64_t> connections_active{0};
+  std::atomic<uint64_t> queries_total{0};
+  std::atomic<uint64_t> errors_total{0};
+  LatencyHistogram latency;
+};
+
+/// The networked front end of one Database: accepts TCP connections,
+/// gives each its own Session (so `range of` declarations and the
+/// authenticated user stay per-connection), and executes requests on a
+/// fixed-size worker pool. Read/write isolation comes from the
+/// database-level reader/writer lock acquired inside the Session layer.
+///
+///   exodus::Database db;
+///   exodus::server::Server server(&db, {.port = 4077, .workers = 8});
+///   auto st = server.Start();       // returns once listening
+///   ...
+///   server.Stop();                  // drain in-flight queries, join
+///
+/// Malformed frames and mid-query disconnects fail only their own
+/// connection; the server (and the statements of other connections)
+/// keep running.
+class Server {
+ public:
+  Server(Database* db, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the acceptor thread.
+  util::Status Start();
+
+  /// Graceful shutdown: stop accepting, let every in-flight request
+  /// finish and its response flush, then join all threads. The journal
+  /// needs no extra flushing — every append is durable when it returns.
+  /// Idempotent.
+  void Stop();
+
+  /// The bound TCP port (after Start; resolves port 0 to the actual
+  /// ephemeral port).
+  uint16_t port() const { return port_; }
+
+  const ServerCounters& counters() const { return counters_; }
+
+  Database* database() { return db_; }
+
+ private:
+  struct Connection;
+
+  void AcceptLoop();
+  void ServeConnection(Connection* conn);
+
+  /// Handles one decoded request frame; returns false when the
+  /// connection should close (BYE, fatal protocol error).
+  bool HandleFrame(Connection* conn, const Frame& frame);
+
+  /// Runs `job` on the worker pool and blocks until it completes (the
+  /// per-connection thread only parses and does socket I/O; statement
+  /// execution happens on the pool, which is what bounds concurrency).
+  /// Falls back to inline execution if the pool is shutting down.
+  void RunOnPool(std::function<void()> job);
+
+  StatsPayload BuildStats(const Connection& conn) const;
+
+  /// Joins finished connection threads (called from the accept loop).
+  void ReapConnections();
+
+  Database* db_;
+  ServerOptions options_;
+  util::ThreadPool pool_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+  ServerCounters counters_;
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+};
+
+}  // namespace exodus::server
+
+#endif  // EXODUS_SERVER_SERVER_H_

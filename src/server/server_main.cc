@@ -1,0 +1,142 @@
+// excess_server — the networked EXCESS query server.
+//
+//   excess_server [--port N] [--host A.B.C.D] [--workers N]
+//                 [--load file] [--journal file] [--init file]
+//
+// Serves the wire protocol of docs/server_protocol.md on a fixed-size
+// worker pool; one server-side Session per connection. SIGINT / SIGTERM
+// shut down gracefully: stop accepting, drain in-flight queries, flush
+// and exit 0.
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "excess/database.h"
+#include "server/server.h"
+
+namespace {
+
+// Self-pipe woken by the signal handler; main blocks on it.
+int g_signal_pipe[2] = {-1, -1};
+
+void HandleSignal(int) {
+  char byte = 1;
+  ssize_t ignored = ::write(g_signal_pipe[1], &byte, 1);
+  (void)ignored;
+}
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--port N] [--host A.B.C.D] [--workers N]"
+               " [--load file] [--journal file] [--init file]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exodus::server::ServerOptions options;
+  options.port = 4077;
+  std::string load_path;
+  std::string journal_path;
+  std::string init_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--port" && (v = next())) {
+      options.port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--host" && (v = next())) {
+      options.host = v;
+    } else if (arg == "--workers" && (v = next())) {
+      options.workers = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--load" && (v = next())) {
+      load_path = v;
+    } else if (arg == "--journal" && (v = next())) {
+      journal_path = v;
+    } else if (arg == "--init" && (v = next())) {
+      init_path = v;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  std::unique_ptr<exodus::Database> db;
+  if (!load_path.empty()) {
+    auto loaded = exodus::Database::Load(load_path);
+    if (!loaded.ok()) {
+      std::cerr << "cannot load '" << load_path
+                << "': " << loaded.status().ToString() << "\n";
+      return 1;
+    }
+    db = std::move(*loaded);
+  } else {
+    db = std::make_unique<exodus::Database>();
+  }
+  if (!journal_path.empty()) {
+    auto st = db->EnableJournal(journal_path);
+    if (!st.ok()) {
+      std::cerr << "cannot journal to '" << journal_path
+                << "': " << st.ToString() << "\n";
+      return 1;
+    }
+  }
+  if (!init_path.empty()) {
+    std::ifstream in(init_path);
+    if (!in) {
+      std::cerr << "cannot read init script '" << init_path << "'\n";
+      return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    auto r = db->ExecuteAll(buf.str());
+    if (!r.ok()) {
+      std::cerr << "init script failed: " << r.status().ToString() << "\n";
+      return 1;
+    }
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::cerr << "pipe: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = HandleSignal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  exodus::server::Server server(db.get(), options);
+  auto st = server.Start();
+  if (!st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "excess_server listening on " << options.host << ":"
+            << server.port() << " with " << options.workers
+            << " worker(s)\n";
+
+  // Block until SIGINT/SIGTERM.
+  char byte;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::cout << "\nshutting down (draining in-flight queries)...\n";
+  server.Stop();
+  const auto& c = server.counters();
+  std::cout << "served " << c.queries_total.load() << " quer(ies) on "
+            << c.connections_total.load() << " connection(s), "
+            << c.errors_total.load() << " error(s)\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+#ifndef EXODUS_UTIL_THREAD_POOL_H_
+#define EXODUS_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace exodus::util {
+
+/// A fixed-size pool of worker threads draining a FIFO job queue.
+///
+/// Submit() enqueues a job and returns immediately; jobs run on the
+/// next free worker in submission order. Shutdown() (also run by the
+/// destructor) stops intake, drains every job already queued and joins
+/// the workers — in-flight work is never dropped, which is what lets
+/// the query server shut down gracefully on SIGINT.
+///
+/// Callers needing a result pair Submit with a std::promise/future or
+/// their own synchronization; the pool itself is fire-and-forget.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `job` and returns true; returns false (without enqueuing)
+  /// once Shutdown() has begun, so callers waiting on a job's side
+  /// effects can fall back instead of blocking forever.
+  bool Submit(std::function<void()> job);
+
+  /// Drains the queue and joins all workers. Idempotent.
+  void Shutdown();
+
+  size_t size() const { return workers_.size(); }
+
+  /// Jobs currently queued (excluding ones being executed).
+  size_t queued() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace exodus::util
+
+#endif  // EXODUS_UTIL_THREAD_POOL_H_

@@ -1,0 +1,225 @@
+// Embedded multi-threaded use of one Database: concurrent sessions
+// issuing mixed reads with occasional DDL and mutations. Read-only
+// retrieves run under the shared database lock, everything else
+// exclusively; this test asserts no torn results, monotonic counts
+// under a single writer, and plan-cache invalidation on schema
+// changes. Run under TSan in CI (EXODUS_SANITIZE=thread).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "excess/database.h"
+#include "excess/session.h"
+#include "object/value.h"
+
+namespace exodus {
+namespace {
+
+using object::Value;
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto r = db_.Execute(R"(
+      define type Employee (name: char[25], age: int4, salary: float8)
+      create Employees : {Employee}
+      append to Employees (name = "ann", age = 25, salary = 10.0)
+      append to Employees (name = "bob", age = 35, salary = 20.0)
+      append to Employees (name = "cindy", age = 45, salary = 30.0)
+    )");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+
+  Database db_;
+};
+
+TEST_F(ConcurrencyTest, ParallelReadersSeeConsistentResults) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto session = db_.CreateSession();
+      if (!session.ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < kIters; ++i) {
+        auto r = (*session)->ExecuteAll(
+            "retrieve (E.name, E.salary) from E in Employees "
+            "where E.age > 30");
+        if (!r.ok() || r->size() != 1 || (*r)[0].rows.size() != 2) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// One writer appends; seven readers watch the count. Under the
+// database reader/writer lock each count must be a value the writer
+// actually produced (3..3+kAppends) and monotonically non-decreasing
+// per reader — a torn read would break both. Readers run a bounded
+// number of paced iterations: an unbounded busy-loop of shared-lock
+// acquisitions can starve the writer on reader-preferring rwlocks
+// (glibc's default), which under TSan turns into minutes of stall.
+TEST_F(ConcurrencyTest, SingleWriterMonotonicCounts) {
+  constexpr int kReaders = 7;
+  constexpr int kReads = 40;
+  constexpr int kAppends = 150;
+  std::atomic<int> failures{0};
+  std::atomic<bool> writer_done{false};
+
+  std::thread writer([&] {
+    auto session = db_.CreateSession();
+    if (!session.ok()) {
+      ++failures;
+      writer_done = true;
+      return;
+    }
+    for (int i = 0; i < kAppends; ++i) {
+      auto r = (*session)->ExecuteAll(
+          "append to Employees (name = \"w" + std::to_string(i) +
+          "\", age = 30, salary = 1.0)");
+      if (!r.ok()) ++failures;
+    }
+    writer_done = true;
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      auto session = db_.CreateSession();
+      if (!session.ok()) {
+        ++failures;
+        return;
+      }
+      long long last = 0;
+      for (int i = 0; i < kReads && !writer_done.load(); ++i) {
+        auto r = (*session)->ExecuteAll("retrieve (count(Employees))");
+        if (!r.ok() || (*r)[0].rows.empty()) {
+          ++failures;
+          continue;
+        }
+        long long n = std::atoll(
+            db_.FormatValue((*r)[0].rows[0][0]).c_str());
+        if (n < last || n < 3 || n > 3 + kAppends) ++failures;
+        last = n;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  writer.join();
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  auto final_count = db_.Execute("retrieve (count(Employees))");
+  ASSERT_TRUE(final_count.ok());
+  EXPECT_EQ(db_.FormatValue(final_count->rows[0][0]),
+            std::to_string(3 + kAppends));
+}
+
+// Eight threads, mixed workload: prepared reads, ad-hoc reads, and
+// occasional DDL (new types and sets appearing mid-flight). Nothing
+// may crash or return a malformed result, and the DDL must invalidate
+// cached plans (observable in CacheStats).
+TEST_F(ConcurrencyTest, MixedReadsWithOccasionalDdl) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 120;
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto session_or = db_.CreateSession();
+      if (!session_or.ok()) {
+        ++failures;
+        return;
+      }
+      auto& session = *session_or;
+      auto stmt = session->Prepare(
+          "retrieve (E.name) from E in Employees where E.age > $1");
+      if (!stmt.ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < kIters; ++i) {
+        if (t == 0 && i % 20 == 10) {
+          // The DDL thread: each definition bumps the schema
+          // generation and invalidates every cached plan.
+          std::string n = std::to_string(i);
+          auto r = session->ExecuteAll(
+              "define type Gadget" + n + " (id: int4)\n" +
+              "create Gadgets" + n + " : {Gadget" + n + "}");
+          if (!r.ok()) ++failures;
+          continue;
+        }
+        if (i % 3 == 0) {
+          auto st = (*stmt)->Bind(1, Value::Int(20 + (i % 30)));
+          if (!st.ok()) {
+            ++failures;
+            continue;
+          }
+          auto r = (*stmt)->Execute();
+          if (!r.ok()) ++failures;
+        } else {
+          auto r = session->ExecuteAll(
+              "retrieve (E.name, E.age) from E in Employees");
+          if (!r.ok() || (*r)[0].rows.size() != 3) ++failures;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  auto stats = db_.CacheStats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_GT(stats.invalidations, 0u) << "DDL must invalidate cached plans";
+
+  // The DDL actually landed and the new sets are queryable.
+  auto r = db_.Execute("retrieve (count(Gadgets10))");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+// Re-prepared statements stay correct across a schema change made by
+// another session (stale plan detected via the generation stamp).
+TEST_F(ConcurrencyTest, PreparedStatementsSurviveConcurrentDdl) {
+  auto session_or = db_.CreateSession();
+  ASSERT_TRUE(session_or.ok());
+  auto stmt = (*session_or)->Prepare(
+      "retrieve (E.name) from E in Employees where E.age > $1");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE((*stmt)->Bind(1, Value::Int(30)).ok());
+  auto before = (*stmt)->Execute();
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->rows.size(), 2u);
+
+  std::thread ddl([&] {
+    auto s = db_.CreateSession();
+    ASSERT_TRUE(s.ok());
+    auto r = (*s)->ExecuteAll(
+        "define type Widget (id: int4)\ncreate Widgets : {Widget}");
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  });
+  ddl.join();
+
+  auto after = (*stmt)->Execute();
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->rows.size(), 2u);
+  EXPECT_GT(db_.CacheStats().invalidations, 0u);
+}
+
+}  // namespace
+}  // namespace exodus

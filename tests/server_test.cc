@@ -1,0 +1,395 @@
+// The networked query server: wire protocol round-trips, the Client
+// library, per-connection session isolation, prepared statements over
+// the wire, error reporting with positions, malformed-frame and
+// mid-query-disconnect robustness, server counters, and the loopback
+// integration load (8 connections x 200 mixed queries).
+
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "excess/database.h"
+#include "server/client.h"
+#include "server/protocol.h"
+
+namespace exodus::server {
+namespace {
+
+using object::Value;
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto r = db_.Execute(R"(
+      define type Employee (name: char[25], age: int4, salary: float8)
+      create Employees : {Employee}
+      append to Employees (name = "ann", age = 25, salary = 10.0)
+      append to Employees (name = "bob", age = 35, salary = 20.0)
+      append to Employees (name = "cindy", age = 45, salary = 30.0)
+      create user carey
+    )");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ServerOptions options;
+    options.port = 0;  // ephemeral
+    options.workers = 4;
+    server_ = std::make_unique<Server>(&db_, options);
+    auto st = server_->Start();
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+  }
+
+  std::unique_ptr<Client> MustConnect(const std::string& user = "dba") {
+    auto c = Client::Connect("127.0.0.1", server_->port(), user);
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    return c.ok() ? std::move(*c) : nullptr;
+  }
+
+  /// A raw TCP connection that has completed the HELLO handshake —
+  /// for injecting hand-built (and malformed) frames.
+  int RawConnect() {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server_->port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0)
+        << std::strerror(errno);
+    std::string hello;
+    PutU8(kProtocolVersion, &hello);
+    PutString("dba", &hello);
+    EXPECT_TRUE(WriteFrame(fd, MsgType::kHello, hello).ok());
+    auto reply = ReadFrame(fd);
+    EXPECT_TRUE(reply.ok() && reply->type == MsgType::kOk);
+    return fd;
+  }
+
+  Database db_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTest, BasicQuery) {
+  auto client = MustConnect();
+  ASSERT_NE(client, nullptr);
+  auto rows =
+      client->Query("retrieve (E.name, E.age) from E in Employees "
+                    "where E.age > 30");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->columns.size(), 2u);
+  EXPECT_EQ(rows->columns[0], "E.name");
+  ASSERT_EQ(rows->rows.size(), 2u);
+  EXPECT_EQ(rows->rows[0][0], "\"bob\"");
+  EXPECT_EQ(rows->rows[1][1], "45");
+}
+
+TEST_F(ServerTest, MutationThroughServer) {
+  auto client = MustConnect();
+  ASSERT_NE(client, nullptr);
+  auto r = client->Query(
+      "append to Employees (name = \"dan\", age = 52, salary = 40.0)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->affected, 1u);
+  auto rows = client->Query("retrieve (count(Employees))");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows[0][0], "4");
+}
+
+TEST_F(ServerTest, PrepareBindExecuteOverTheWire) {
+  auto client = MustConnect();
+  ASSERT_NE(client, nullptr);
+  auto stmt = client->Prepare(
+      "retrieve (E.name) from E in Employees where E.age > $1");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->param_count, 1u);
+
+  auto rows = client->Execute(*stmt, {Value::Int(30)});
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->rows.size(), 2u);
+
+  rows = client->Execute(*stmt, {Value::Int(40)});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->rows.size(), 1u);
+  EXPECT_EQ(rows->rows[0][0], "\"cindy\"");
+
+  EXPECT_TRUE(client->CloseStatement(*stmt).ok());
+  // Executing a closed handle is an application error, not a
+  // connection error: the connection stays usable.
+  auto gone = client->Execute(*stmt, {Value::Int(30)});
+  EXPECT_FALSE(gone.ok());
+  EXPECT_TRUE(client->connected());
+  auto again = client->Query("retrieve (count(Employees))");
+  EXPECT_TRUE(again.ok());
+}
+
+TEST_F(ServerTest, ErrorsCarryPositionAndKeepConnectionOpen) {
+  auto client = MustConnect();
+  ASSERT_TRUE(client != nullptr);
+  auto bad = client->Query("retrieve (E.name) from E in Nowhere");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(client->connected());
+
+  // Parse errors surface their line/column through the wire.
+  auto syntax = client->Query("retrieve (((");
+  ASSERT_FALSE(syntax.ok());
+  EXPECT_NE(syntax.status().message().find("line"), std::string::npos)
+      << syntax.status().ToString();
+
+  auto ok = client->Query("retrieve (count(Employees))");
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+TEST_F(ServerTest, SessionIsolationPerConnection) {
+  auto a = MustConnect();
+  auto b = MustConnect("carey");
+  ASSERT_TRUE(a != nullptr && b != nullptr);
+
+  // `range of` declared on connection A is invisible on connection B.
+  auto r = a->Query("range of E is Employees");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto rows = a->Query("retrieve (E.name) where E.age > 40");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->rows.size(), 1u);
+
+  auto other = b->Query("retrieve (E.name) where E.age > 40");
+  EXPECT_FALSE(other.ok());
+
+  // ...and connection B really is `carey`: dropping someone else's
+  // set is denied.
+  auto denied = b->Query("drop Employees");
+  EXPECT_FALSE(denied.ok());
+  auto mine = a->Query("retrieve (count(Employees))");
+  EXPECT_TRUE(mine.ok());
+}
+
+TEST_F(ServerTest, UnknownUserRejectedAtHello) {
+  auto c = Client::Connect("127.0.0.1", server_->port(), "nobody");
+  EXPECT_FALSE(c.ok());
+}
+
+TEST_F(ServerTest, StatsReportCountersAndCacheActivity) {
+  auto client = MustConnect();
+  ASSERT_NE(client, nullptr);
+  for (int i = 0; i < 5; ++i) {
+    auto r = client->Query("retrieve (count(Employees))");
+    ASSERT_TRUE(r.ok());
+  }
+  auto bad = client->Query("retrieve (E.x) from E in Nope");
+  EXPECT_FALSE(bad.ok());
+
+  // Preparing the same text again is a plan-cache hit (the first
+  // prepare was the miss).
+  auto stmt = client->Prepare("retrieve (count(Employees))");
+  ASSERT_TRUE(stmt.ok());
+  auto stmt2 = client->Prepare("retrieve (count(Employees))");
+  ASSERT_TRUE(stmt2.ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client->Execute(*stmt).ok());
+  }
+
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(stats->connections_total, 1u);
+  EXPECT_GE(stats->connections_active, 1u);
+  EXPECT_GE(stats->queries_total, 9u);
+  EXPECT_GE(stats->errors_total, 1u);
+  EXPECT_GE(stats->connection_queries, 9u);
+  EXPECT_GE(stats->connection_errors, 1u);
+  // Prepared executions hit the shared plan cache after the miss.
+  EXPECT_GE(stats->cache_misses, 1u);
+  EXPECT_GE(stats->cache_hits, 1u);
+  // Five timed queries means percentiles are populated.
+  EXPECT_GT(stats->p99_micros, 0u);
+  EXPECT_LE(stats->p50_micros, stats->p99_micros);
+}
+
+TEST_F(ServerTest, MalformedFramesDoNotKillTheServer) {
+  // Frame with an unknown message type.
+  {
+    int fd = RawConnect();
+    EXPECT_TRUE(WriteFrame(fd, static_cast<MsgType>(0x7f), "junk").ok());
+    auto reply = ReadFrame(fd);
+    EXPECT_TRUE(reply.ok() && reply->type == MsgType::kError);
+    ::close(fd);
+  }
+  // Truncated QUERY body (declared string length longer than payload).
+  {
+    int fd = RawConnect();
+    std::string body;
+    PutU32(1000, &body);
+    body += "short";
+    EXPECT_TRUE(WriteFrame(fd, MsgType::kQuery, body).ok());
+    auto reply = ReadFrame(fd);
+    EXPECT_TRUE(reply.ok() && reply->type == MsgType::kError);
+    ::close(fd);
+  }
+  // Oversized length prefix: the server must refuse, not allocate.
+  {
+    int fd = RawConnect();
+    unsigned char huge[5] = {0x7f, 0xff, 0xff, 0xff,
+                             static_cast<unsigned char>(MsgType::kQuery)};
+    EXPECT_EQ(::send(fd, huge, sizeof(huge), MSG_NOSIGNAL),
+              static_cast<ssize_t>(sizeof(huge)));
+    ::close(fd);
+  }
+  // Garbage that is not even a frame header.
+  {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server_->port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    EXPECT_GT(::send(fd, "ab", 2, MSG_NOSIGNAL), 0);
+    ::close(fd);
+  }
+  // After all that abuse, a well-behaved client still gets service.
+  auto client = MustConnect();
+  ASSERT_NE(client, nullptr);
+  auto rows = client->Query("retrieve (count(Employees))");
+  EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+}
+
+TEST_F(ServerTest, MidQueryDisconnectIsSurvived) {
+  for (int i = 0; i < 4; ++i) {
+    int fd = RawConnect();
+    std::string body;
+    PutString("retrieve (E.name, E2.name) from E in Employees, "
+              "E2 in Employees where E.age < E2.age",
+              &body);
+    EXPECT_TRUE(WriteFrame(fd, MsgType::kQuery, body).ok());
+    // Vanish without reading the response.
+    ::close(fd);
+  }
+  auto client = MustConnect();
+  ASSERT_NE(client, nullptr);
+  auto rows = client->Query("retrieve (count(Employees))");
+  EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+}
+
+TEST_F(ServerTest, GracefulStopDrainsInFlightQueries) {
+  auto client = MustConnect();
+  ASSERT_NE(client, nullptr);
+  std::atomic<bool> done{false};
+  std::thread t([&] {
+    auto rows = client->Query(
+        "retrieve (E.name, E2.name, E3.name) from E in Employees, "
+        "E2 in Employees, E3 in Employees");
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    EXPECT_EQ(rows->rows.size(), 27u);
+    done = true;
+  });
+  server_->Stop();  // must drain, not sever, the in-flight query
+  t.join();
+  EXPECT_TRUE(done);
+}
+
+// The acceptance-criteria loopback load: 8 concurrent connections x
+// 200 mixed queries each, zero protocol or execution failures.
+TEST_F(ServerTest, LoopbackLoadEightByTwoHundred) {
+  constexpr int kThreads = 8;
+  constexpr int kQueries = 200;
+  std::atomic<int> failures{0};
+  std::atomic<int> completed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto c = Client::Connect("127.0.0.1", server_->port(), "dba");
+      if (!c.ok()) {
+        failures += kQueries;
+        return;
+      }
+      auto client = std::move(*c);
+      auto stmt = client->Prepare(
+          "retrieve (E.name) from E in Employees where E.age > $1");
+      if (!stmt.ok()) {
+        failures += kQueries;
+        return;
+      }
+      for (int i = 0; i < kQueries; ++i) {
+        bool ok = false;
+        switch (i % 4) {
+          case 0: {
+            auto r = client->Query(
+                "retrieve (E.name, E.salary) from E in Employees "
+                "where E.age >= 25");
+            ok = r.ok() && r->rows.size() >= 3;
+            break;
+          }
+          case 1: {
+            auto r = client->Execute(*stmt, {Value::Int(20 + (i % 30))});
+            ok = r.ok();
+            break;
+          }
+          case 2: {
+            auto r = client->Query("retrieve (count(Employees))");
+            ok = r.ok() && !r->rows.empty();
+            break;
+          }
+          case 3: {
+            // An occasional mutation to exercise the exclusive path.
+            auto r = client->Query(
+                "append to Employees (name = \"w" + std::to_string(t) +
+                "\", age = 30, salary = 1.0)");
+            ok = r.ok() && r->affected == 1;
+            break;
+          }
+        }
+        if (ok) {
+          ++completed;
+        } else {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(completed.load(), kThreads * kQueries);
+
+  // 8 x 50 appends landed exactly once each.
+  auto check = MustConnect();
+  ASSERT_NE(check, nullptr);
+  auto rows = check->Query("retrieve (count(Employees))");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows[0][0], std::to_string(3 + kThreads * (kQueries / 4)));
+
+  auto stats = check->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->queries_total,
+            static_cast<uint64_t>(kThreads * kQueries));
+}
+
+TEST_F(ServerTest, HostPortParsing) {
+  std::string host;
+  uint16_t port = 0;
+  ASSERT_TRUE(ParseHostPort("10.1.2.3:4077", &host, &port).ok());
+  EXPECT_EQ(host, "10.1.2.3");
+  EXPECT_EQ(port, 4077);
+  ASSERT_TRUE(ParseHostPort(":9999", &host, &port).ok());
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 9999);
+  ASSERT_TRUE(ParseHostPort("8080", &host, &port).ok());
+  EXPECT_EQ(port, 8080);
+  EXPECT_FALSE(ParseHostPort("host:", &host, &port).ok());
+  EXPECT_FALSE(ParseHostPort("host:0", &host, &port).ok());
+  EXPECT_FALSE(ParseHostPort("host:99999", &host, &port).ok());
+}
+
+}  // namespace
+}  // namespace exodus::server

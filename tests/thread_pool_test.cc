@@ -1,0 +1,74 @@
+// The fixed-size worker pool backing the query server: submission,
+// parallel execution, FIFO draining on Shutdown, and the post-shutdown
+// Submit contract (returns false rather than dropping work silently).
+
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace exodus::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedJob) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.Submit([&] { ++ran; }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, JobsRunInParallel) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;
+  // Four jobs that each wait for all four to be running: passes only
+  // if the pool really has four concurrent workers.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(pool.Submit([&] {
+      std::unique_lock<std::mutex> lock(mu);
+      if (++arrived == 4) {
+        cv.notify_all();
+      } else {
+        cv.wait_for(lock, std::chrono::seconds(5),
+                    [&] { return arrived == 4; });
+      }
+    }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(arrived, 4);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedJobs) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(pool.Submit([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++ran;
+      }));
+    }
+    pool.Shutdown();  // must run all 20, not discard the queue
+  }
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownReturnsFalse) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+  pool.Shutdown();  // idempotent
+}
+
+}  // namespace
+}  // namespace exodus::util
