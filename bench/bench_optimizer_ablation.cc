@@ -2,8 +2,11 @@
 // Expected shape: predicate pushdown dominates on multi-variable
 // queries (it prunes whole inner loops); join reordering matters when
 // extent sizes are skewed; index selection dominates selective
-// single-variable predicates. Turning each off individually shows its
-// marginal value; everything off approximates a naive interpreter.
+// single-variable predicates; hash joins replace the quadratic nested
+// loop whenever an equi-join has no usable index (the *NoHash variants
+// measure the pre-hash nested-loop baseline). Turning each off
+// individually shows its marginal value; everything off approximates a
+// naive interpreter.
 
 #include <benchmark/benchmark.h>
 
@@ -57,12 +60,13 @@ const char* kSelectiveQuery =
     "retrieve (E.name) from E in Employees where E.salary = 123.0";
 
 void RunConfig(benchmark::State& state, bool pushdown, bool reorder,
-               bool indexes, const char* query) {
+               bool indexes, const char* query, bool hash_join = true) {
   Database* db = Db();
   excess::OptimizerOptions saved = *db->mutable_optimizer_options();
   db->mutable_optimizer_options()->predicate_pushdown = pushdown;
   db->mutable_optimizer_options()->join_reordering = reorder;
   db->mutable_optimizer_options()->use_indexes = indexes;
+  db->mutable_optimizer_options()->hash_join = hash_join;
   for (auto _ : state) {
     benchmark::DoNotOptimize(bench::MustQuery(db, query));
   }
@@ -82,12 +86,23 @@ void BM_Join_NoIndexes(benchmark::State& state) {
   RunConfig(state, true, true, false, kJoinQuery);
 }
 void BM_Join_AllRulesOff(benchmark::State& state) {
-  RunConfig(state, false, false, false, kJoinQuery);
+  RunConfig(state, false, false, false, kJoinQuery, false);
 }
 // Isolates pushdown: no index access hides it otherwise (the index
 // already consumes the selective conjunct).
 void BM_Join_NoIndexesNoPushdown(benchmark::State& state) {
   RunConfig(state, false, true, false, kJoinQuery);
+}
+// Hash-join ablation: the same unindexed configs with hash joins off
+// fall back to the nested loop — the pre-hash-join baseline.
+void BM_Join_NoHash(benchmark::State& state) {
+  RunConfig(state, true, true, true, kJoinQuery, false);
+}
+void BM_Join_NoIndexesNoHash(benchmark::State& state) {
+  RunConfig(state, true, true, false, kJoinQuery, false);
+}
+void BM_Join_NoIndexesNoPushdownNoHash(benchmark::State& state) {
+  RunConfig(state, false, true, false, kJoinQuery, false);
 }
 BENCHMARK(BM_Join_AllRulesOn);
 BENCHMARK(BM_Join_NoPushdown);
@@ -95,6 +110,9 @@ BENCHMARK(BM_Join_NoReordering);
 BENCHMARK(BM_Join_NoIndexes);
 BENCHMARK(BM_Join_AllRulesOff);
 BENCHMARK(BM_Join_NoIndexesNoPushdown);
+BENCHMARK(BM_Join_NoHash);
+BENCHMARK(BM_Join_NoIndexesNoHash);
+BENCHMARK(BM_Join_NoIndexesNoPushdownNoHash);
 
 void BM_Selective_AllRulesOn(benchmark::State& state) {
   RunConfig(state, true, true, true, kSelectiveQuery);

@@ -4,6 +4,7 @@
 // shell commands:
 //
 //   \plan              show the plan of the last retrieve/update
+//   \explain <stmt>    plan a statement without executing it
 //   \schema            list types and named objects
 //   \cache             show plan-cache statistics
 //   \prepare <stmt>    prepare a statement with $n parameters
@@ -208,6 +209,17 @@ int main() {
       }
       if (trimmed == "\\plan") {
         std::cout << db->last_plan();
+        continue;
+      }
+      if (exodus::util::StartsWith(trimmed, "\\explain ")) {
+        auto stmt = session->Prepare(trimmed.substr(9));
+        if (!stmt.ok()) {
+          std::cout << stmt.status().ToString() << "\n";
+        } else if ((*stmt)->plan_text().empty()) {
+          std::cout << "no plan (DDL statements execute directly)\n";
+        } else {
+          std::cout << (*stmt)->plan_text();
+        }
         continue;
       }
       if (trimmed == "\\schema") {

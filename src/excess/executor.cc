@@ -19,24 +19,40 @@ using util::Status;
 
 namespace {
 
-/// Hash/equality over output rows for `unique`.
-struct RowHash {
-  size_t operator()(const std::vector<Value>* row) const {
+/// Hash/equality over value vectors (partition keys for hash
+/// aggregation). Consistent with ValueEquals, so int/float keys that
+/// compare equal land in the same group.
+struct ValueVecHash {
+  size_t operator()(const std::vector<Value>& row) const {
     size_t h = 0x811c9dc5ULL;
-    for (const Value& v : *row) {
+    for (const Value& v : row) {
       h = h * 1099511628211ULL + object::ValueHash(v);
     }
     return h;
   }
 };
+struct ValueVecEq {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!object::ValueEquals(a[i], b[i])) return false;
+    }
+    return true;
+  }
+};
+
+/// Hash/equality over output rows for `unique` (pointer-keyed into the
+/// deduped vector to avoid copying rows).
+struct RowHash {
+  size_t operator()(const std::vector<Value>* row) const {
+    return ValueVecHash()(*row);
+  }
+};
 struct RowEq {
   bool operator()(const std::vector<Value>* a,
                   const std::vector<Value>* b) const {
-    if (a->size() != b->size()) return false;
-    for (size_t i = 0; i < a->size(); ++i) {
-      if (!object::ValueEquals((*a)[i], (*b)[i])) return false;
-    }
-    return true;
+    return ValueVecEq()(*a, *b);
   }
 };
 
@@ -140,7 +156,10 @@ Status Executor::PlanStatement(const Stmt& stmt,
 
 Status Executor::CheckPlanPrivileges(const Plan& plan) const {
   for (const PlanStep& step : plan.steps) {
-    if (step.kind != PlanStep::Kind::kUnnest) {
+    // Hash joins over a variable-free range expression have no named
+    // collection here; Eval checks named objects inside the range.
+    if (step.kind != PlanStep::Kind::kUnnest &&
+        !step.named_collection.empty()) {
       EXODUS_RETURN_IF_ERROR(CheckNamedPrivilege(step.named_collection,
                                                  auth::Privilege::kRetrieve));
     }
@@ -168,11 +187,100 @@ Status Executor::RunPlan(const Plan& plan, const BoundQuery& query, Env* env,
     EXODUS_ASSIGN_OR_RETURN(bool ok, Truthy(v));
     if (!ok) return Status::OK();
   }
-  return RunStep(plan, 0, query, env, row_fn);
+  // Hash-join build tables are per-execution (plans are shared between
+  // sessions and must stay immutable); built lazily on first probe.
+  std::vector<JoinTable> join_tables(plan.steps.size());
+  return RunStep(plan, 0, query, env, &join_tables, row_fn);
+}
+
+size_t Executor::JoinKeyHash(const Value& v) {
+  if (v.kind() == ValueKind::kEnum) {
+    // Enums compare equal to their label string under '='; hash the
+    // label so both key forms land in the same bucket.
+    int ord = v.enum_ordinal();
+    const auto& labels = v.enum_type()->enum_labels();
+    if (ord >= 0 && static_cast<size_t>(ord) < labels.size()) {
+      return std::hash<std::string>()(labels[static_cast<size_t>(ord)]);
+    }
+  }
+  return object::ValueHash(v);
+}
+
+Result<bool> Executor::JoinKeyEquals(const Value& a, const Value& b) const {
+  if (a.kind() == ValueKind::kRef || b.kind() == ValueKind::kRef) {
+    return Status::TypeError(
+        "references cannot be compared with '='; use 'is' / 'isnot' "
+        "(object identity)");
+  }
+  if (a.is_null() || b.is_null()) return false;
+  if ((a.kind() == ValueKind::kEnum && b.kind() == ValueKind::kString) ||
+      (a.kind() == ValueKind::kString && b.kind() == ValueKind::kEnum)) {
+    EXODUS_ASSIGN_OR_RETURN(int c, Compare(a, b));
+    return c == 0;
+  }
+  return object::ValueEquals(a, b);
+}
+
+Status Executor::BuildJoinTable(const PlanStep& step, JoinTable* table,
+                                Env* env) {
+  table->built = true;
+  std::vector<Value> elems;
+  if (!step.named_collection.empty()) {
+    const extra::NamedObject* named =
+        ctx_->catalog->FindNamed(step.named_collection);
+    if (named == nullptr) {
+      return Status::NotFound("named collection '" + step.named_collection +
+                              "' disappeared during execution");
+    }
+    if (named->value.kind() == ValueKind::kSet) {
+      elems = named->value.set().elems;
+    } else if (named->value.kind() == ValueKind::kArray) {
+      elems = named->value.array().elems;
+    }
+  } else {
+    EXODUS_ASSIGN_OR_RETURN(Value coll, Eval(*step.range, env));
+    EXODUS_ASSIGN_OR_RETURN(elems, ElementsOf(coll));
+  }
+  table->entries.reserve(elems.size());
+  for (const Value& e : elems) {
+    if (e.is_null()) continue;
+    env->stack.emplace_back(step.var_name, e);
+    JoinEntry entry;
+    entry.keys.reserve(step.build_keys.size());
+    size_t h = 0x811c9dc5ULL;
+    bool usable = true;
+    Status st = Status::OK();
+    for (const ExprPtr& bk : step.build_keys) {
+      auto kv = Eval(*bk, env);
+      if (!kv.ok()) {
+        st = kv.status();
+        break;
+      }
+      if (kv->is_null()) {
+        usable = false;  // NULL keys never join
+        break;
+      }
+      if (kv->kind() == ValueKind::kRef) {
+        st = Status::TypeError(
+            "references cannot be compared with '='; use 'is' / 'isnot' "
+            "(object identity)");
+        break;
+      }
+      h = h * 1099511628211ULL + JoinKeyHash(*kv);
+      entry.keys.push_back(std::move(*kv));
+    }
+    env->stack.pop_back();
+    EXODUS_RETURN_IF_ERROR(st);
+    if (!usable) continue;
+    entry.element = e;
+    table->entries.emplace(h, std::move(entry));
+  }
+  return Status::OK();
 }
 
 Status Executor::RunStep(const Plan& plan, size_t step_idx,
                          const BoundQuery& query, Env* env,
+                         std::vector<JoinTable>* join_tables,
                          const std::function<Status(Env*)>& row_fn) {
   if (step_idx == plan.steps.size()) return row_fn(env);
   const PlanStep& step = plan.steps[step_idx];
@@ -186,7 +294,8 @@ Status Executor::RunStep(const Plan& plan, size_t step_idx,
       if (!pass) break;
     }
     Status st = Status::OK();
-    if (pass) st = RunStep(plan, step_idx + 1, query, env, row_fn);
+    if (pass) st = RunStep(plan, step_idx + 1, query, env, join_tables,
+                           row_fn);
     env->stack.pop_back();
     return st;
   };
@@ -257,6 +366,41 @@ Status Executor::RunStep(const Plan& plan, size_t step_idx,
       for (const Value& e : elems) {
         if (e.is_null()) continue;
         EXODUS_RETURN_IF_ERROR(bind_and_descend(e));
+      }
+      return Status::OK();
+    }
+    case PlanStep::Kind::kHashJoin: {
+      JoinTable& table = (*join_tables)[step_idx];
+      if (!table.built) {
+        EXODUS_RETURN_IF_ERROR(BuildJoinTable(step, &table, env));
+      }
+      size_t h = 0x811c9dc5ULL;
+      std::vector<Value> probe;
+      probe.reserve(step.probe_keys.size());
+      for (const ExprPtr& pk : step.probe_keys) {
+        EXODUS_ASSIGN_OR_RETURN(Value kv, Eval(*pk, env));
+        if (kv.is_null()) return Status::OK();  // NULL keys never join
+        if (kv.kind() == ValueKind::kRef) {
+          return Status::TypeError(
+              "references cannot be compared with '='; use 'is' / 'isnot' "
+              "(object identity)");
+        }
+        h = h * 1099511628211ULL + JoinKeyHash(kv);
+        probe.push_back(std::move(kv));
+      }
+      auto range = table.entries.equal_range(h);
+      for (auto it = range.first; it != range.second; ++it) {
+        const JoinEntry& entry = it->second;
+        bool match = true;
+        for (size_t k = 0; k < probe.size(); ++k) {
+          EXODUS_ASSIGN_OR_RETURN(bool eq,
+                                  JoinKeyEquals(entry.keys[k], probe[k]));
+          if (!eq) {
+            match = false;
+            break;
+          }
+        }
+        if (match) EXODUS_RETURN_IF_ERROR(bind_and_descend(entry.element));
       }
       return Status::OK();
     }
@@ -336,15 +480,6 @@ bool VarsOnlyInsideAggs(const Expr& expr,
   return true;
 }
 
-std::string PartitionKey(const std::vector<Value>& parts) {
-  std::string key;
-  for (const Value& v : parts) {
-    key += v.ToString();
-    key += '\x1f';
-  }
-  return key;
-}
-
 }  // namespace
 
 Result<QueryResult> Executor::ExecRetrieve(const Stmt& stmt,
@@ -410,10 +545,15 @@ Result<QueryResult> Executor::ExecRetrieve(const Stmt& stmt,
   EXODUS_ASSIGN_OR_RETURN(std::vector<std::vector<Value>> bindings,
                           MaterializeRows(plan, query, env));
 
-  // Two-phase aggregation: per aggregate node, accumulate per partition.
+  // Two-phase aggregation: per aggregate node, a single-pass hash table
+  // of group keys (the evaluated `over` values) carrying running
+  // aggregate state. Keys compare by deep value equality, so partitions
+  // that ValueEquals considers equal (e.g. int 2 and float 2.0) share a
+  // group — and distinct values never collide via string rendering.
   struct AggTable {
     const Expr* node;
-    std::map<std::string, AggAccum> groups;
+    std::unordered_map<std::vector<Value>, AggAccum, ValueVecHash, ValueVecEq>
+        groups;
   };
   std::vector<AggTable> tables;
   tables.reserve(qlevel.size());
@@ -441,8 +581,7 @@ Result<QueryResult> Executor::ExecRetrieve(const Stmt& stmt,
           }
           parts.push_back(*pv);
         }
-        std::string key = PartitionKey(parts);
-        AggAccum& acc = table.groups[key];
+        AggAccum& acc = table.groups[std::move(parts)];
         Value v = Value::Int(1);  // count() with no argument counts rows
         if (!table.node->args.empty()) {
           auto av = Eval(*table.node->args[0], env);
@@ -478,14 +617,12 @@ Result<QueryResult> Executor::ExecRetrieve(const Stmt& stmt,
   auto agg_values_for_row = [&](bool have_row) -> Result<AggMap> {
     AggMap out;
     for (AggTable& table : tables) {
-      std::string key;
+      std::vector<Value> key;
       if (!table.node->over.empty() && have_row) {
-        std::vector<Value> parts;
         for (const ExprPtr& o : table.node->over) {
           EXODUS_ASSIGN_OR_RETURN(Value pv, Eval(*o, env));
-          parts.push_back(pv);
+          key.push_back(pv);
         }
-        key = PartitionKey(parts);
       }
       auto git = table.groups.find(key);
       if (git != table.groups.end()) {

@@ -5,6 +5,8 @@
 #include <map>
 #include <set>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "adt/registry.h"
@@ -173,18 +175,46 @@ class Executor {
                                           const Plan& plan, Env* env);
 
   // --- plan execution ---
+  /// One build-side row of a hash-join step: the (deep-equality) key
+  /// values plus the element to bind on a probe hit.
+  struct JoinEntry {
+    std::vector<object::Value> keys;
+    object::Value element;
+  };
+  /// Per-execution state of one kHashJoin step: a multimap from the
+  /// combined key hash to candidate entries (confirmed by value
+  /// equality, so hash collisions never produce false matches). Built
+  /// lazily on the first probe, then reused for every outer row of one
+  /// plan execution. Lives outside the (shared, immutable) Plan so
+  /// cached plans stay safe to execute concurrently.
+  struct JoinTable {
+    bool built = false;
+    std::unordered_multimap<size_t, JoinEntry> entries;
+  };
   /// PlanStatement + privilege checks + last_plan_ (the one-shot path).
   util::Result<BoundQuery> BindAndPlan(const Stmt& stmt, const Env& env,
                                        Plan* plan);
   /// Authorization: retrieving bindings reads every root extent.
   util::Status CheckPlanPrivileges(const Plan& plan) const;
-  /// Runs the nested-loop pipeline; `row_fn` is called for every
+  /// Runs the pipeline of plan steps; `row_fn` is called for every
   /// surviving binding row and may return an error to abort.
   util::Status RunPlan(const Plan& plan, const BoundQuery& query, Env* env,
                        const std::function<util::Status(Env*)>& row_fn);
   util::Status RunStep(const Plan& plan, size_t step_idx,
                        const BoundQuery& query, Env* env,
+                       std::vector<JoinTable>* join_tables,
                        const std::function<util::Status(Env*)>& row_fn);
+  /// Builds the hash table for the kHashJoin step at `step_idx`.
+  util::Status BuildJoinTable(const PlanStep& step, JoinTable* table,
+                              Env* env);
+  /// '='-semantics equality for hash-join keys: NULL never matches,
+  /// int/float compare numerically, enum<->string compare by label,
+  /// references are a TypeError (mirrors EvalBinary's "=").
+  util::Result<bool> JoinKeyEquals(const object::Value& a,
+                                   const object::Value& b) const;
+  /// Hash consistent with JoinKeyEquals (enums hash as their label so
+  /// enum-vs-string probes land in the same bucket).
+  static size_t JoinKeyHash(const object::Value& v);
 
   /// Materializes all binding rows (used by updates — mutate after
   /// enumeration — and by aggregate/sort/unique retrieves).
@@ -272,7 +302,10 @@ class Executor {
     object::Value min_v;
     object::Value max_v;
     std::vector<object::Value> values;  // for median / custom set fns
-    std::vector<object::Value> seen;    // for `unique`
+    /// Values already accumulated, for `unique`-qualified aggregates
+    /// (hashed: duplicate detection is O(1) per value, not a scan).
+    std::unordered_set<object::Value, object::ValueHashFn, object::ValueEqFn>
+        seen;
   };
   util::Status Accumulate(const Expr& agg, AggAccum* acc,
                           const object::Value& v) const;

@@ -577,10 +577,7 @@ Status Executor::Accumulate(const Expr& agg, AggAccum* acc,
                             const Value& v) const {
   if (v.is_null()) return Status::OK();
   if (agg.unique) {
-    for (const Value& s : acc->seen) {
-      if (object::ValueEquals(s, v)) return Status::OK();
-    }
-    acc->seen.push_back(v);
+    if (!acc->seen.insert(v).second) return Status::OK();
   }
   ++acc->count;
   if (agg.name == "sum" || agg.name == "avg") {

@@ -120,6 +120,88 @@ Result<Plan> Optimizer::Optimize(const BoundQuery& query) const {
   std::set<int> placed;
   std::vector<bool> done(n, false);
 
+  // True if `var` may serve as a hash-join build side: its collection
+  // can be enumerated once, independent of outer bindings — a named
+  // collection, or a range expression referencing no statement vars.
+  auto hashable_build_side = [&](const BoundVar& var) -> bool {
+    if (!options_.hash_join) return false;
+    return var.is_root || var.depends_on.empty();
+  };
+
+  // True if the var-side attribute of a candidate hash key is statically
+  // a reference: '=' rejects references at runtime, so the nested-loop
+  // path must be kept to preserve that error (and `is`-joins are not
+  // hash joins).
+  auto attr_is_ref = [&](const BoundVar& var, const std::string& attr) {
+    if (var.elem_type == nullptr) return false;
+    int idx = var.elem_type->AttributeIndex(attr);
+    if (idx < 0) return false;
+    const extra::Attribute& a =
+        var.elem_type->attributes()[static_cast<size_t>(idx)];
+    return a.type != nullptr && a.type->is_ref();
+  };
+
+  // Collects every pending equality conjunct of the shape
+  // `var.attr = key` (or reversed) whose key side is computable from
+  // already-placed vars. A hash join is only worthwhile when at least
+  // one key actually references another variable (a join, not a
+  // selection), signalled through `is_join`.
+  struct HashKey {
+    const Expr* build;  // the var side
+    const Expr* probe;  // the key side
+    size_t conjunct_idx;
+  };
+  auto find_hash_access = [&](const BoundVar& var, std::vector<HashKey>* keys,
+                              bool* is_join) -> bool {
+    keys->clear();
+    *is_join = false;
+    if (!hashable_build_side(var)) return false;
+    for (size_t ci = 0; ci < pending.size(); ++ci) {
+      PendingConjunct& pc = pending[ci];
+      if (pc.consumed || !pc.vars.count(var.id)) continue;
+      bool ready = true;
+      for (int v : pc.vars) {
+        if (v != var.id && !placed.count(v)) ready = false;
+      }
+      if (!ready) continue;
+      std::string a, o;
+      const Expr* k = nullptr;
+      if (!MatchIndexablePredicate(*pc.expr, query, var.id, &a, &o, &k) ||
+          o != "=" || attr_is_ref(var, a)) {
+        continue;
+      }
+      const Expr& lhs = *pc.expr->args[0];
+      const Expr* build = (k == &lhs) ? pc.expr->args[1].get() : &lhs;
+      keys->push_back({build, k, ci});
+      if (pc.vars.size() > 1) *is_join = true;
+    }
+    return *is_join && !keys->empty();
+  };
+
+  // True if an equality conjunct could drive a hash join for `var` once
+  // further vars are placed (mirrors has_future_index: schedule the
+  // build side later so the probe keys become available).
+  auto has_future_hash = [&](const BoundVar& var) -> bool {
+    if (!hashable_build_side(var)) return false;
+    for (const PendingConjunct& pc : pending) {
+      if (pc.consumed || !pc.vars.count(var.id) || pc.vars.size() < 2) {
+        continue;
+      }
+      bool other_unplaced = false;
+      for (int v : pc.vars) {
+        if (v != var.id && !placed.count(v)) other_unplaced = true;
+      }
+      if (!other_unplaced) continue;
+      std::string a, o;
+      const Expr* k = nullptr;
+      if (MatchIndexablePredicate(*pc.expr, query, var.id, &a, &o, &k) &&
+          o == "=" && !attr_is_ref(var, a)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
   auto find_index_access =
       [&](const BoundVar& var, std::string* attr, std::string* op,
           const Expr** key, std::string* index_name,
@@ -188,13 +270,18 @@ Result<Plan> Optimizer::Optimize(const BoundQuery& query) const {
   };
 
   while (placed.size() < n) {
-    // Candidates: vars with all dependencies placed.
+    // Candidates: vars with all dependencies placed. Access quality
+    // (ascending score): index equality, dependent unnest / non-root
+    // hash, index range, root hash join, full scan, deferred (an index
+    // or hash access would open up once other vars are placed).
     int best = -1;
     int best_score = 1 << 30;
     double best_card = 0;
     std::string best_attr, best_op, best_index;
     const Expr* best_key = nullptr;
     size_t best_conjunct = 0;
+    bool best_hash = false;
+    std::vector<HashKey> best_hash_keys;
 
     for (size_t i = 0; i < n; ++i) {
       if (done[i]) continue;
@@ -208,20 +295,40 @@ Result<Plan> Optimizer::Optimize(const BoundQuery& query) const {
       std::string attr, op, index_name;
       const Expr* key = nullptr;
       size_t cidx = 0;
+      std::vector<HashKey> hash_keys;
+      bool use_hash = false;
       int score;
+      double card = EstimateCardinality(var);
       if (find_index_access(var, &attr, &op, &key, &index_name, &cidx)) {
         score = op == "=" ? 0 : 2;
-      } else if (!var.is_root) {
-        score = 1;
-      } else if (has_future_index(var)) {
-        score = 4;  // wait until the index key becomes available
       } else {
-        score = 3;
+        bool is_join = false;
+        bool hash_now = find_hash_access(var, &hash_keys, &is_join);
+        bool future_index = has_future_index(var);
+        if (future_index || has_future_hash(var)) {
+          // Wait until the index / probe key becomes available; if this
+          // var is still forced first, the best access available now
+          // (hash join or scan) is used.
+          score = 6;
+          use_hash = hash_now;
+          // For a hash-only deferral the var left for later becomes the
+          // hash-join build side, so the LARGER extent should go first:
+          // invert the cardinality tiebreak (index deferrals keep the
+          // smaller-outer nested-loop order).
+          if (!future_index) card = -card;
+        } else if (hash_now) {
+          score = var.is_root ? 3 : 1;
+          use_hash = true;
+        } else if (!var.is_root) {
+          score = 1;
+        } else {
+          score = 4;
+        }
       }
-      double card = EstimateCardinality(var);
       if (!options_.join_reordering) {
         // Binder order: first ready var wins (dependencies still hold);
-        // index access paths remain usable when they happen to be ready.
+        // index and hash access paths remain usable when they happen to
+        // be ready.
         if (best >= 0) continue;
         card = 0;
       }
@@ -235,6 +342,8 @@ Result<Plan> Optimizer::Optimize(const BoundQuery& query) const {
         best_index = index_name;
         best_key = key;
         best_conjunct = cidx;
+        best_hash = use_hash;
+        best_hash_keys = std::move(hash_keys);
       }
     }
     if (best < 0) {
@@ -254,6 +363,18 @@ Result<Plan> Optimizer::Optimize(const BoundQuery& query) const {
       step.key_op = best_op;
       step.key = best_key->Clone();
       pending[best_conjunct].consumed = true;
+    } else if (best_hash) {
+      step.kind = PlanStep::Kind::kHashJoin;
+      if (var.is_root) {
+        step.named_collection = var.named_collection;
+      } else {
+        step.range = var.range->Clone();
+      }
+      for (const HashKey& hk : best_hash_keys) {
+        step.build_keys.push_back(hk.build->Clone());
+        step.probe_keys.push_back(hk.probe->Clone());
+        pending[hk.conjunct_idx].consumed = true;
+      }
     } else if (var.is_root) {
       step.kind = PlanStep::Kind::kScan;
       step.named_collection = var.named_collection;

@@ -24,6 +24,11 @@ struct OptimizerOptions {
   bool join_reordering = true;
   /// Access-path selection through secondary indexes (off: always scan).
   bool use_indexes = true;
+  /// Hash-based equi-joins: when equality conjuncts link a new range
+  /// variable to already-bound ones and no index applies, build a hash
+  /// table over the new variable's collection once and probe it per
+  /// outer row instead of nested-loop scanning (off: nested loop).
+  bool hash_join = true;
 };
 
 /// Rule-driven plan construction, this reproduction's stand-in for an

@@ -15,6 +15,18 @@ std::string PlanStep::Describe() const {
     case Kind::kUnnest:
       out = "Unnest " + range->ToString() + " as " + var_name;
       break;
+    case Kind::kHashJoin: {
+      out = "HashJoin " +
+            (!named_collection.empty() ? named_collection
+                                       : range->ToString()) +
+            " as " + var_name + " (";
+      for (size_t i = 0; i < build_keys.size(); ++i) {
+        if (i > 0) out += " and ";
+        out += build_keys[i]->ToString() + " = " + probe_keys[i]->ToString();
+      }
+      out += ")";
+      break;
+    }
   }
   for (const ExprPtr& f : filters) {
     out += "\n    filter " + f->ToString();

@@ -16,13 +16,15 @@ struct PlanStep {
     kScan,       // full scan of a named collection
     kIndexScan,  // index-assisted access to a named collection
     kUnnest,     // iterate a range expression (nested set / array / path)
+    kHashJoin,   // build a hash table over the step's collection once,
+                 // probe it with key expressions over earlier steps
   };
 
   Kind kind = Kind::kUnnest;
   int var_id = 0;
   std::string var_name;
 
-  // kScan / kIndexScan
+  // kScan / kIndexScan / kHashJoin (build side is a named collection)
   std::string named_collection;
 
   // kIndexScan
@@ -32,8 +34,16 @@ struct PlanStep {
   /// Key expression, evaluated in the environment of earlier steps.
   ExprPtr key;
 
-  // kUnnest
+  // kUnnest / kHashJoin (build side is a variable-free range expression)
   ExprPtr range;
+
+  // kHashJoin: the consumed equality conjuncts, split by side. Parallel
+  // vectors: build_keys[i] references only this step's variable,
+  // probe_keys[i] is evaluated in the environment of earlier steps. A
+  // row joins when every pair compares equal under '=' semantics (NULL
+  // keys never join; int/float compare numerically).
+  std::vector<ExprPtr> build_keys;
+  std::vector<ExprPtr> probe_keys;
 
   /// Conjuncts that become checkable once this step's variable is bound.
   std::vector<ExprPtr> filters;

@@ -156,8 +156,19 @@ Result<std::unique_ptr<PreparedStatement>> Session::Prepare(
 }
 
 std::string Session::CacheKey(const std::string& norm) const {
-  if (ranges_.empty()) return norm;
   std::string key = norm;
+  // The optimizer switches shape the plan, and the cache is shared
+  // across sessions: a session with hash_join (or any rule) disabled
+  // must not pick up a plan built under different switches. Fingerprint
+  // the options into the key as a bitmask character.
+  const excess::OptimizerOptions& o = ctx_.optimizer_options;
+  char opts = static_cast<char>('0' + ((o.predicate_pushdown ? 1 : 0) |
+                                       (o.join_reordering ? 2 : 0) |
+                                       (o.use_indexes ? 4 : 0) |
+                                       (o.hash_join ? 8 : 0)));
+  key += '\x1f';
+  key += opts;
+  if (ranges_.empty()) return key;
   key += '\x1f';
   for (const auto& [name, expr] : ranges_) {
     key += name;

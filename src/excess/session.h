@@ -72,7 +72,7 @@ class Session {
   Database* database() { return db_; }
 
   /// Optimizer rule switches (predicate pushdown, join reordering,
-  /// index usage) — ablation hooks, scoped to this session.
+  /// index usage, hash joins) — ablation hooks, scoped to this session.
   excess::OptimizerOptions* mutable_optimizer_options() {
     return &ctx_.optimizer_options;
   }
@@ -95,8 +95,9 @@ class Session {
       const std::string& norm);
 
   /// The plan-cache key for `norm` in this session: the normalized text
-  /// plus a fingerprint of the session's `range of` declarations, so
-  /// sessions with different ranges never share a (mis-bound) plan.
+  /// plus fingerprints of the session's optimizer switches and its
+  /// `range of` declarations, so sessions with different switches or
+  /// ranges never share a (mis-planned or mis-bound) plan.
   std::string CacheKey(const std::string& norm) const;
 
   /// Statically infers `$n` parameter types from comparisons in the

@@ -165,6 +165,17 @@ size_t ValueHash(const Value& v);
 /// kinds (after int/float coercion).
 util::Result<int> ValueCompare(const Value& a, const Value& b);
 
+/// Functor forms of ValueHash / ValueEquals for unordered containers
+/// keyed by Value (hash joins, hash aggregation, `unique` tracking).
+struct ValueHashFn {
+  size_t operator()(const Value& v) const { return ValueHash(v); }
+};
+struct ValueEqFn {
+  bool operator()(const Value& a, const Value& b) const {
+    return ValueEquals(a, b);
+  }
+};
+
 /// Inserts `v` into set `s` unless a deep-equal element already exists.
 /// Returns true if inserted.
 bool SetInsert(SetData* s, Value v);

@@ -217,6 +217,116 @@ TEST_F(OptimizerTest, AblationReorderingOff) {
   EXPECT_EQ(plan->steps[0].var_name, "E");
 }
 
+TEST_F(OptimizerTest, HashJoinSelectedForUnindexedEquiJoin) {
+  Plan p = MustPlan(
+      "retrieve (E.name) from E in Employees, D in Departments "
+      "where D.floor = E.dept.floor");
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[0].var_name, "E");
+  EXPECT_EQ(p.steps[0].kind, PlanStep::Kind::kScan);
+  EXPECT_EQ(p.steps[1].kind, PlanStep::Kind::kHashJoin);
+  EXPECT_EQ(p.steps[1].named_collection, "Departments");
+  ASSERT_EQ(p.steps[1].build_keys.size(), 1u);
+  EXPECT_EQ(p.steps[1].build_keys[0]->ToString(), "D.floor");
+  EXPECT_EQ(p.steps[1].probe_keys[0]->ToString(), "E.dept.floor");
+  // The consumed join conjunct is not re-checked as a filter.
+  EXPECT_TRUE(p.steps[1].filters.empty());
+  EXPECT_NE(p.Explain().find("HashJoin Departments as D"),
+            std::string::npos);
+}
+
+TEST_F(OptimizerTest, HashJoinOffRestoresNestedLoop) {
+  Parser parser(
+      "retrieve (E.name) from E in Employees, D in Departments "
+      "where D.floor = E.dept.floor",
+      db_.adts());
+  auto stmt = parser.ParseSingleStatement();
+  ASSERT_TRUE(stmt.ok());
+  session_.clear();
+  Binder binder(db_.catalog(), db_.functions(), db_.adts(), &session_);
+  auto q = binder.Bind(**stmt);
+  ASSERT_TRUE(q.ok());
+
+  OptimizerOptions off;
+  off.hash_join = false;
+  Optimizer opt(db_.catalog(), db_.indexes(), &binder, off);
+  auto plan = opt.Optimize(*q);
+  ASSERT_TRUE(plan.ok());
+  // The pre-hash-join plan: scan both extents, join predicate as an
+  // inner filter, smaller extent outermost.
+  ASSERT_EQ(plan->steps.size(), 2u);
+  EXPECT_EQ(plan->steps[0].kind, PlanStep::Kind::kScan);
+  EXPECT_EQ(plan->steps[0].named_collection, "Departments");
+  EXPECT_EQ(plan->steps[1].kind, PlanStep::Kind::kScan);
+  EXPECT_EQ(plan->steps[1].filters.size(), 1u);
+}
+
+TEST_F(OptimizerTest, IndexPreferredOverHashJoin) {
+  ASSERT_TRUE(
+      db_.Execute("create index FloorIdx on Departments (floor) using btree")
+          .ok());
+  Plan p = MustPlan(
+      "retrieve (E.name) from E in Employees, D in Departments "
+      "where D.floor = E.dept.floor");
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[1].kind, PlanStep::Kind::kIndexScan);
+  EXPECT_EQ(p.steps[1].index_name, "FloorIdx");
+}
+
+TEST_F(OptimizerTest, CompositeHashJoinKeysAllConsumed) {
+  Plan p = MustPlan(
+      "retrieve (E.name) from E in Employees, D in Departments "
+      "where D.floor = E.dept.floor and D.name = E.name");
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[1].kind, PlanStep::Kind::kHashJoin);
+  EXPECT_EQ(p.steps[1].build_keys.size(), 2u);
+  EXPECT_TRUE(p.steps[1].filters.empty());
+}
+
+TEST_F(OptimizerTest, LocalEqualitySelectionIsNotAHashJoin) {
+  // A constant equality on a single extent is a selection, not a join:
+  // building a hash table would cost a full pass for nothing.
+  Plan p = MustPlan(
+      "retrieve (E.name) from E in Employees where E.salary = 5.0");
+  ASSERT_EQ(p.steps.size(), 1u);
+  EXPECT_EQ(p.steps[0].kind, PlanStep::Kind::kScan);
+  EXPECT_EQ(p.steps[0].filters.size(), 1u);
+}
+
+TEST_F(OptimizerTest, NonEqualityJoinIsNotHashed) {
+  Plan p = MustPlan(
+      "retrieve (E.name) from E in Employees, D in Departments "
+      "where D.floor < E.dept.floor");
+  for (const PlanStep& s : p.steps) {
+    EXPECT_NE(s.kind, PlanStep::Kind::kHashJoin);
+  }
+}
+
+TEST_F(OptimizerTest, RefEqualityJoinIsNotHashed) {
+  // '=' on references is a TypeError the binder raises before any plan
+  // exists, so a reference equality can never become a hash-join key.
+  Parser parser(
+      "retrieve (E.name) from E in Employees, D in Departments "
+      "where E.dept = D",
+      db_.adts());
+  auto stmt = parser.ParseSingleStatement();
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  session_.clear();
+  Binder binder(db_.catalog(), db_.functions(), db_.adts(), &session_);
+  auto q = binder.Bind(**stmt);
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), util::StatusCode::kTypeError);
+
+  // The identity form ('is') binds fine but is not an equi-join: the
+  // plan must stay a nested loop.
+  Plan p = MustPlan(
+      "retrieve (E.name) from E in Employees, D in Departments "
+      "where E.dept is D");
+  for (const PlanStep& s : p.steps) {
+    EXPECT_NE(s.kind, PlanStep::Kind::kHashJoin);
+  }
+}
+
 TEST_F(OptimizerTest, ExplainIsReadable) {
   Plan p = MustPlan(
       "retrieve (K.name) from E in Employees, K in E.kids "

@@ -111,6 +111,46 @@ TEST_F(PreparedStatementTest, RePrepareHitsThePlanCache) {
   EXPECT_EQ(after.misses, mid.misses);
 }
 
+TEST_F(PreparedStatementTest, OptimizerOptionsAreNotSharedThroughTheCache) {
+  // The plan cache is shared across sessions; a session that disables
+  // an optimizer rule must not be served a plan built with it on (or
+  // vice versa). Regression: CacheKey once ignored OptimizerOptions.
+  const std::string query =
+      "retrieve (E.name, F.name) from E in Employees, F in Employees "
+      "where F.age = E.age";
+
+  auto with_hash = db_.CreateSession();
+  ASSERT_TRUE(with_hash.ok());
+  auto s1 = (*with_hash)->Prepare(query);
+  ASSERT_TRUE(s1.ok());
+  EXPECT_NE((*s1)->plan_text().find("HashJoin"), std::string::npos);
+
+  // Same options, same text: another session still shares the plan.
+  auto with_hash2 = db_.CreateSession();
+  ASSERT_TRUE(with_hash2.ok());
+  auto before = db_.CacheStats();
+  auto s2 = (*with_hash2)->Prepare(query);
+  ASSERT_TRUE(s2.ok());
+  auto after = db_.CacheStats();
+  EXPECT_EQ(after.hits, before.hits + 1);
+
+  auto without_hash = db_.CreateSession();
+  ASSERT_TRUE(without_hash.ok());
+  (*without_hash)->mutable_optimizer_options()->hash_join = false;
+  auto s3 = (*without_hash)->Prepare(query);
+  ASSERT_TRUE(s3.ok());
+  EXPECT_EQ((*s3)->plan_text().find("HashJoin"), std::string::npos);
+
+  auto no_indexes = db_.CreateSession();
+  ASSERT_TRUE(no_indexes.ok());
+  (*no_indexes)->mutable_optimizer_options()->use_indexes = false;
+  ASSERT_TRUE(db_.Execute("create index AgeIdx on Employees (age) using btree")
+                  .ok());
+  auto s4 = (*no_indexes)->Prepare(query);
+  ASSERT_TRUE(s4.ok());
+  EXPECT_EQ((*s4)->plan_text().find("IndexScan"), std::string::npos);
+}
+
 TEST_F(PreparedStatementTest, DdlBetweenExecutionsForcesReplan) {
   auto session = db_.CreateSession();
   ASSERT_TRUE(session.ok());

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "excess/database.h"
+#include "excess/session.h"
 
 namespace exodus {
 namespace {
@@ -212,6 +213,54 @@ TEST_P(QueryPropertyTest, SortOrderMatchesModel) {
   ASSERT_EQ(r->rows.size(), sorted.size());
   for (size_t i = 0; i < sorted.size(); ++i) {
     EXPECT_EQ(r->rows[i][0].AsInt(), sorted[i].id) << i;
+  }
+}
+
+TEST_P(QueryPropertyTest, HashJoinAndNestedLoopAgree) {
+  // Random self equi-joins with random residual predicates, executed
+  // twice — hash joins on and off — must produce identical row
+  // multisets (plans differ; results must not).
+  auto with_hash = db_.CreateSession();
+  ASSERT_TRUE(with_hash.ok());
+  auto without_hash = db_.CreateSession();
+  ASSERT_TRUE(without_hash.ok());
+  (*without_hash)->mutable_optimizer_options()->hash_join = false;
+
+  const char* join_attrs[] = {"age", "name", "salary"};
+  for (int trial = 0; trial < 15; ++trial) {
+    std::string attr =
+        join_attrs[std::uniform_int_distribution<int>(0, 2)(rng_)];
+    auto [pred, fn] = RandomPredicate(1);
+    std::string q = "retrieve (E.id, F.id) from E in Employees, "
+                    "F in Employees where F." +
+                    attr + " = E." + attr + " and " + pred;
+
+    auto render = [](const excess::QueryResult& r) {
+      std::multiset<std::pair<int64_t, int64_t>> out;
+      for (const auto& row : r.rows) {
+        out.insert({row[0].AsInt(), row[1].AsInt()});
+      }
+      return out;
+    };
+    auto hashed = (*with_hash)->Execute(q);
+    ASSERT_TRUE(hashed.ok()) << q << " -> " << hashed.status().ToString();
+    auto nested = (*without_hash)->Execute(q);
+    ASSERT_TRUE(nested.ok()) << q << " -> " << nested.status().ToString();
+    EXPECT_EQ(render(*hashed), render(*nested)) << q;
+
+    // Cross-check against the model: F joins E on exact attr equality,
+    // with the residual predicate applied to E.
+    std::multiset<std::pair<int64_t, int64_t>> expect;
+    for (const Row& e : rows_) {
+      if (!fn(e)) continue;
+      for (const Row& f : rows_) {
+        bool eq = attr == "age"    ? f.age == e.age
+                  : attr == "name" ? f.name == e.name
+                                   : f.salary == e.salary;
+        if (eq) expect.insert({e.id, f.id});
+      }
+    }
+    EXPECT_EQ(render(*hashed), expect) << q;
   }
 }
 

@@ -1,0 +1,166 @@
+// Property test: ValueHash is consistent with ValueEquals — any two
+// values that compare equal hash identically. Exercised over random
+// nested tuples, sets, arrays, enums and ADT values, including the
+// cross-kind equalities (int vs integral float, set order
+// insensitivity) that hash-based joins and aggregation rely on.
+
+#include "object/value.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "extra/type.h"
+
+namespace exodus::object {
+namespace {
+
+/// Minimal ADT payload for hash/equality checks (the contract under
+/// test is AdtPayload::Equals/Hash consistency, not a specific ADT).
+struct IntPayload : AdtPayload {
+  int v;
+  explicit IntPayload(int v) : v(v) {}
+  std::string Print() const override { return std::to_string(v); }
+  bool Equals(const AdtPayload& o) const override {
+    return v == static_cast<const IntPayload&>(o).v;
+  }
+  size_t Hash() const override { return std::hash<int>()(v); }
+};
+
+class ValuePropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    rng_.seed(static_cast<unsigned>(GetParam()) * 2654435761u + 17u);
+    enum_type_ = types_.MakeEnum("Color", {"red", "green", "blue"});
+  }
+
+  int Rand(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(rng_);
+  }
+
+  /// A random value plus an independently constructed equal twin. The
+  /// twin differs structurally where equality allows it: integral
+  /// floats for ints, permuted element order for sets.
+  struct Pair {
+    Value a;
+    Value b;
+  };
+
+  Pair RandomPair(int depth) {
+    int choice = Rand(0, depth > 0 ? 8 : 5);
+    switch (choice) {
+      case 0:
+        return {Value::Null(), Value::Null()};
+      case 1: {
+        int v = Rand(-50, 50);
+        // Integral values compare equal across int and float; the hash
+        // must agree as well.
+        if (Rand(0, 1) == 0) {
+          return {Value::Int(v), Value::Float(static_cast<double>(v))};
+        }
+        return {Value::Int(v), Value::Int(v)};
+      }
+      case 2: {
+        std::string s(static_cast<size_t>(Rand(0, 6)),
+                      static_cast<char>('a' + Rand(0, 25)));
+        return {Value::String(s), Value::String(s)};
+      }
+      case 3: {
+        bool v = Rand(0, 1) == 1;
+        return {Value::Bool(v), Value::Bool(v)};
+      }
+      case 4: {
+        int ord = Rand(0, 2);
+        return {Value::Enum(enum_type_, ord), Value::Enum(enum_type_, ord)};
+      }
+      case 5: {  // ADT: equal payloads in distinct allocations
+        int v = Rand(0, 40);
+        return {Value::Adt(7, std::make_shared<IntPayload>(v)),
+                Value::Adt(7, std::make_shared<IntPayload>(v))};
+      }
+      case 6: {  // tuple
+        std::vector<Value> fa, fb;
+        int n = Rand(0, 3);
+        for (int i = 0; i < n; ++i) {
+          Pair p = RandomPair(depth - 1);
+          fa.push_back(std::move(p.a));
+          fb.push_back(std::move(p.b));
+        }
+        return {Value::MakeTuple(nullptr, std::move(fa)),
+                Value::MakeTuple(nullptr, std::move(fb))};
+      }
+      case 7: {  // set: twin gets the elements in reverse order
+        auto sa = std::make_shared<SetData>();
+        auto sb = std::make_shared<SetData>();
+        int n = Rand(0, 3);
+        std::vector<Value> twins;
+        for (int i = 0; i < n; ++i) {
+          // Distinct ints keyed by position keep set semantics simple.
+          Value v = Value::Int(i * 1000 + Rand(0, 999));
+          sa->elems.push_back(v);
+          twins.push_back(v);
+        }
+        std::reverse(twins.begin(), twins.end());
+        sb->elems = std::move(twins);
+        return {Value::Set(sa), Value::Set(sb)};
+      }
+      default: {  // array
+        auto aa = std::make_shared<ArrayData>();
+        auto ab = std::make_shared<ArrayData>();
+        int n = Rand(0, 3);
+        for (int i = 0; i < n; ++i) {
+          Pair p = RandomPair(depth - 1);
+          aa->elems.push_back(std::move(p.a));
+          ab->elems.push_back(std::move(p.b));
+        }
+        return {Value::Array(aa), Value::Array(ab)};
+      }
+    }
+  }
+
+  std::mt19937 rng_;
+  extra::TypeStore types_;
+  const extra::Type* enum_type_ = nullptr;
+};
+
+TEST_P(ValuePropertyTest, EqualValuesHashEqually) {
+  for (int i = 0; i < 300; ++i) {
+    Pair p = RandomPair(3);
+    ASSERT_TRUE(ValueEquals(p.a, p.b))
+        << p.a.ToString() << " vs " << p.b.ToString();
+    EXPECT_EQ(ValueHash(p.a), ValueHash(p.b))
+        << p.a.ToString() << " vs " << p.b.ToString();
+  }
+}
+
+TEST_P(ValuePropertyTest, HashSeparatesMostUnequalValues) {
+  // Not a correctness requirement (collisions are legal), but a smoke
+  // check that the hash actually discriminates: over random unequal
+  // pairs, collisions must be rare.
+  int collisions = 0, unequal = 0;
+  for (int i = 0; i < 300; ++i) {
+    Value a = RandomPair(3).a;
+    Value b = RandomPair(3).a;
+    if (ValueEquals(a, b)) continue;
+    ++unequal;
+    if (ValueHash(a) == ValueHash(b)) ++collisions;
+  }
+  ASSERT_GT(unequal, 0);
+  EXPECT_LT(collisions, unequal / 10 + 5);
+}
+
+TEST_P(ValuePropertyTest, DeepCopyPreservesHash) {
+  for (int i = 0; i < 100; ++i) {
+    Value v = RandomPair(3).a;
+    EXPECT_EQ(ValueHash(v), ValueHash(v.DeepCopy()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValuePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace exodus::object
