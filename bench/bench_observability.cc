@@ -1,0 +1,128 @@
+// B15 — Observability overhead: the cost of the always-on
+// instrumentation (per-step row counters, sampled step timing, phase
+// timing, registry flushes) on the B14 hash-join workload, and the
+// incremental cost of each opt-in consumer. Expected shape: the
+// baseline (tracing off) stays within a few percent of the
+// pre-instrumentation executor — row counters are plain increments on
+// the per-run PlanRuntime and step timing is sampled (first 64
+// invocations, then 1 in 64) rather than per-invocation. A trace sink
+// or a zero-threshold slow-query log adds the statement-text rendering
+// and one JSON/record append per statement; EXPLAIN ANALYZE adds plan
+// annotation; a metrics scrape is independent of statement execution.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bench_common.h"
+#include "excess/session.h"
+
+namespace exodus {
+namespace {
+
+// The B14 data: n employees joining n/10 departments (see
+// bench_hash_join.cc); every employee matches exactly one department.
+Database* Db(int employees) {
+  static std::map<int, std::unique_ptr<Database>> dbs;
+  auto it = dbs.find(employees);
+  if (it != dbs.end()) return it->second.get();
+  auto d = std::make_unique<Database>();
+  bench::MustExecute(d.get(), R"(
+    define type Department (id: int4, floor: int4)
+    define type Employee (name: char[25], salary: float8, dept_id: int4)
+    create Departments : {Department}
+    create Employees : {Employee}
+  )");
+  const int departments = employees / 10;
+  for (int i = 0; i < departments; ++i) {
+    bench::MustExecute(d.get(),
+                       "append to Departments (id = " + std::to_string(i) +
+                           ", floor = " + std::to_string(i % 5) + ")");
+  }
+  for (int i = 0; i < employees; ++i) {
+    bench::MustExecute(
+        d.get(), "append to Employees (name = \"e" + std::to_string(i) +
+                     "\", salary = " + std::to_string(i % 500) +
+                     ".0, dept_id = " + std::to_string(i % departments) + ")");
+  }
+  Database* out = d.get();
+  dbs.emplace(employees, std::move(d));
+  return out;
+}
+
+const char* kJoin =
+    "retrieve (E.name, D.floor) from E in Employees, D in Departments "
+    "where D.id = E.dept_id";
+
+// The always-on cost: no sink, no slow-query threshold. Comparing this
+// against B14's BM_EquiJoin_Hash at the same scale measures the
+// instrumentation overhead (< 5% is the budget).
+void BM_Join_Baseline(benchmark::State& state) {
+  Database* db = Db(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(db, kJoin));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Join_Baseline)->Arg(200)->Arg(800)->Arg(3200)->Complexity();
+
+// A (null) JSON trace sink: statement text is rendered and the trace
+// line is built and delivered for every statement.
+void BM_Join_TraceSink(benchmark::State& state) {
+  Database* db = Db(static_cast<int>(state.range(0)));
+  db->SetTraceSink([](const std::string& line) {
+    benchmark::DoNotOptimize(line.data());
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(db, kJoin));
+  }
+  db->SetTraceSink(nullptr);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Join_TraceSink)->Arg(200)->Arg(800)->Arg(3200)->Complexity();
+
+// Zero-threshold slow-query log: every statement renders its annotated
+// plan and appends a record to the bounded log.
+void BM_Join_SlowLog(benchmark::State& state) {
+  Database* db = Db(static_cast<int>(state.range(0)));
+  db->SetSlowQueryThresholdMicros(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(db, kJoin));
+  }
+  db->SetSlowQueryThresholdMicros(-1);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Join_SlowLog)->Arg(200)->Arg(800)->Arg(3200)->Complexity();
+
+// EXPLAIN ANALYZE: full execution plus plan annotation.
+void BM_ExplainAnalyze(benchmark::State& state) {
+  Database* db = Db(static_cast<int>(state.range(0)));
+  auto session = db->CreateSession();
+  if (!session.ok()) std::abort();
+  for (auto _ : state) {
+    auto text = (*session)->Explain(kJoin, /*analyze=*/true);
+    if (!text.ok()) std::abort();
+    benchmark::DoNotOptimize(text->data());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ExplainAnalyze)->Arg(200)->Arg(3200)->Complexity();
+
+// One metrics scrape: snapshot the registry index, then lock-free
+// atomic reads. Independent of statement execution.
+void BM_MetricsRender(benchmark::State& state) {
+  Database* db = Db(3200);
+  bench::MustQuery(db, kJoin);  // populate the series
+  for (auto _ : state) {
+    std::string text = db->metrics()->RenderPrometheus();
+    benchmark::DoNotOptimize(text.data());
+  }
+}
+BENCHMARK(BM_MetricsRender);
+
+}  // namespace
+}  // namespace exodus
+
+BENCHMARK_MAIN();

@@ -5,8 +5,13 @@
 //
 //   \plan              show the plan of the last retrieve/update
 //   \explain <stmt>    plan a statement without executing it
+//   \explain analyze <stmt>
+//                      execute it and annotate each plan step with its
+//                      runtime actuals (rows, invocations, time)
 //   \schema            list types and named objects
 //   \cache             show plan-cache statistics
+//   \metrics           Prometheus text exposition (local or remote)
+//   \slowlog [N]       show the slow-query log / set its threshold (us)
 //   \prepare <stmt>    prepare a statement with $n parameters
 //   \exec <v1> <v2>..  bind + execute the prepared statement
 //   \save <file>       checkpoint the database
@@ -212,13 +217,61 @@ int main() {
         continue;
       }
       if (exodus::util::StartsWith(trimmed, "\\explain ")) {
-        auto stmt = session->Prepare(trimmed.substr(9));
-        if (!stmt.ok()) {
-          std::cout << stmt.status().ToString() << "\n";
-        } else if ((*stmt)->plan_text().empty()) {
-          std::cout << "no plan (DDL statements execute directly)\n";
+        // One code path for both modes (Session::Explain), so plain
+        // \explain reports parse-error positions exactly like \exec.
+        std::string rest(exodus::util::Trim(trimmed.substr(9)));
+        bool analyze = false;
+        if (exodus::util::StartsWith(rest, "analyze ")) {
+          analyze = true;
+          rest = std::string(exodus::util::Trim(rest.substr(8)));
+        }
+        auto text = session->Explain(rest, analyze);
+        if (!text.ok()) {
+          std::cout << text.status().ToString() << "\n";
         } else {
-          std::cout << (*stmt)->plan_text();
+          std::cout << *text;
+        }
+        continue;
+      }
+      if (trimmed == "\\metrics") {
+        if (remote != nullptr) {
+          auto text = remote->Metrics();
+          if (!text.ok()) {
+            std::cout << text.status().ToString() << "\n";
+            if (!remote->connected()) {
+              std::cout << "connection to server lost\n";
+              return 1;
+            }
+          } else {
+            std::cout << *text;
+          }
+        } else {
+          std::cout << db->metrics()->RenderPrometheus();
+        }
+        continue;
+      }
+      if (trimmed == "\\slowlog" ||
+          exodus::util::StartsWith(trimmed, "\\slowlog ")) {
+        if (remote != nullptr) {
+          std::cout << "\\slowlog inspects the local database only\n";
+          continue;
+        }
+        if (trimmed != "\\slowlog") {
+          std::string arg(exodus::util::Trim(trimmed.substr(9)));
+          try {
+            db->SetSlowQueryThresholdMicros(std::stoll(arg));
+            std::cout << "slow-query threshold set to " << arg << " us\n";
+          } catch (...) {
+            std::cout << "usage: \\slowlog [threshold-micros]\n";
+          }
+          continue;
+        }
+        auto records = db->SlowQueries();
+        if (records.empty()) {
+          std::cout << "slow-query log is empty (set a threshold with "
+                       "\\slowlog <micros>)\n";
+        } else {
+          for (const auto& rec : records) std::cout << rec.ToString() << "\n";
         }
         continue;
       }

@@ -1,5 +1,7 @@
 #include "excess/database.h"
 
+#include <cstdlib>
+
 #include "adt/box.h"
 #include "adt/complex.h"
 #include "adt/date.h"
@@ -50,6 +52,45 @@ Database::Database() {
   if (adt::BoxAdtId() >= 0) {
     RegisterAccessMethod(adt::BoxAdtId(), index::AccessMethodKind::kHash,
                          /*supports_range=*/false);
+  }
+
+  // Observability. Plan-cache series render from the cache's own live
+  // counters via callbacks; everything else registers eagerly so every
+  // series exists (at zero) from the first scrape.
+  metrics_.RegisterCallback("exodus_plan_cache_hits_total", "counter",
+                            [this] { return plan_cache_.stats().hits; });
+  metrics_.RegisterCallback("exodus_plan_cache_misses_total", "counter",
+                            [this] { return plan_cache_.stats().misses; });
+  metrics_.RegisterCallback("exodus_plan_cache_evictions_total", "counter",
+                            [this] { return plan_cache_.stats().evictions; });
+  metrics_.RegisterCallback(
+      "exodus_plan_cache_invalidations_total", "counter",
+      [this] { return plan_cache_.stats().invalidations; });
+  op_metrics_.Register(&metrics_);
+  buffer_pool_hits_ = metrics_.GetCounter("exodus_buffer_pool_hits_total");
+  buffer_pool_misses_ = metrics_.GetCounter("exodus_buffer_pool_misses_total");
+  tracer_ = std::make_unique<obs::QueryTracer>(&metrics_);
+  // EXODUS_SLOW_QUERY_US=<micros> arms the slow-query log from the
+  // environment; EXODUS_TRACE=stderr|1|<path> installs a JSON sink.
+  if (const char* slow = std::getenv("EXODUS_SLOW_QUERY_US");
+      slow != nullptr && *slow != '\0') {
+    tracer_->SetSlowQueryThresholdMicros(std::strtoll(slow, nullptr, 10));
+  }
+  if (const char* dest = std::getenv("EXODUS_TRACE");
+      dest != nullptr && *dest != '\0') {
+    const std::string d = dest;
+    if (d == "stderr" || d == "1") {
+      tracer_->SetSink([](const std::string& line) {
+        std::fprintf(stderr, "%s\n", line.c_str());
+      });
+    } else if (std::FILE* f = std::fopen(dest, "ab"); f != nullptr) {
+      std::shared_ptr<std::FILE> fp(f, &std::fclose);
+      tracer_->SetSink([fp](const std::string& line) {
+        std::fwrite(line.data(), 1, line.size(), fp.get());
+        std::fputc('\n', fp.get());
+        std::fflush(fp.get());
+      });
+    }
   }
 
   // The default session backs the string-only Execute/ExecuteAll API.
@@ -877,7 +918,11 @@ Status Database::SaveLocked(const std::string& path) {
     EXODUS_RETURN_IF_ERROR(store.Insert(rec).status());
   }
 
-  return pool.Flush();
+  Status flushed = pool.Flush();
+  // The pool dies with this call; keep its page traffic visible.
+  buffer_pool_hits_->Add(pool.hits());
+  buffer_pool_misses_->Add(pool.misses());
+  return flushed;
 }
 
 Result<std::unique_ptr<Database>> Database::Load(const std::string& path) {
@@ -961,6 +1006,10 @@ Result<std::unique_ptr<Database>> Database::Load(const std::string& path) {
   }
   // 4. Rebuild secondary indexes from the restored extents.
   EXODUS_RETURN_IF_ERROR(db->RebuildIndexes());
+  // The load-time pool is transient; fold its page traffic into the new
+  // database's cumulative buffer-pool series.
+  db->buffer_pool_hits_->Add(pool.hits());
+  db->buffer_pool_misses_->Add(pool.misses());
   return db;
 }
 

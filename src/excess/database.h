@@ -17,6 +17,8 @@
 #include "extra/catalog.h"
 #include "index/index_manager.h"
 #include "object/heap.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -91,6 +93,35 @@ class Database {
 
   /// The shared prepared-plan cache (sizing, Clear for tests).
   excess::PlanCache* plan_cache() { return &plan_cache_; }
+
+  /// This database's metrics registry: plan-cache, buffer-pool,
+  /// statement and per-operator series; a Server registers its
+  /// connection/latency series here too. RenderPrometheus() on the
+  /// result gives the text exposition served by `\metrics`.
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+
+  /// Statement-level tracing: query IDs, phase timings, the slow-query
+  /// log and the optional JSON sink.
+  obs::QueryTracer* tracer() { return tracer_.get(); }
+
+  /// Installs (or clears, with nullptr) a sink receiving one structured
+  /// JSON line per executed statement (schema in docs/observability.md).
+  /// The sink runs on the executing thread; keep it cheap.
+  void SetTraceSink(obs::QueryTracer::TraceSink sink) {
+    tracer_->SetSink(std::move(sink));
+  }
+
+  /// Statements whose total time reaches `micros` are recorded in the
+  /// bounded slow-query log together with their annotated plan;
+  /// negative disables (the default).
+  void SetSlowQueryThresholdMicros(int64_t micros) {
+    tracer_->SetSlowQueryThresholdMicros(micros);
+  }
+
+  /// Snapshot of the retained slow-query records (oldest first).
+  std::vector<obs::SlowQueryRecord> SlowQueries() const {
+    return tracer_->SlowQueries();
+  }
 
   /// The statement-level reader/writer lock acquired by the Session
   /// execution paths. Exposed so out-of-band readers (e.g. the network
@@ -236,6 +267,17 @@ class Database {
   index::IndexManager indexes_;
   /// Prepared plans, shared by all sessions.
   excess::PlanCache plan_cache_;
+  /// Observability state. Declared (and thus destroyed) after the data
+  /// members above but before default_session_: sessions and servers
+  /// hold pointers into the registry, so it must outlive them.
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::QueryTracer> tracer_;
+  /// Cumulative per-operator series, shared by every session's context.
+  excess::OperatorMetrics op_metrics_;
+  /// Save/Load buffer pools are transient; their hit/miss counts are
+  /// folded into these cumulative series when each operation finishes.
+  obs::Counter* buffer_pool_hits_ = nullptr;
+  obs::Counter* buffer_pool_misses_ = nullptr;
   /// Backs the string-only convenience API (user dba).
   std::unique_ptr<Session> default_session_;
   std::vector<std::string> ddl_log_;

@@ -78,6 +78,36 @@ std::string QueryResult::ToString() const {
   return out;
 }
 
+const char* OperatorMetrics::KindLabel(PlanStep::Kind kind) {
+  switch (kind) {
+    case PlanStep::Kind::kScan:
+      return "scan";
+    case PlanStep::Kind::kIndexScan:
+      return "index_scan";
+    case PlanStep::Kind::kUnnest:
+      return "unnest";
+    case PlanStep::Kind::kHashJoin:
+      return "hash_join";
+  }
+  return "unknown";
+}
+
+void OperatorMetrics::Register(obs::MetricsRegistry* registry) {
+  static constexpr PlanStep::Kind kKinds[kNumKinds] = {
+      PlanStep::Kind::kScan, PlanStep::Kind::kIndexScan,
+      PlanStep::Kind::kUnnest, PlanStep::Kind::kHashJoin};
+  for (PlanStep::Kind k : kKinds) {
+    const std::string labels =
+        std::string("{op=\"") + KindLabel(k) + "\"}";
+    PerKind& pk = kinds[static_cast<size_t>(k)];
+    pk.invocations =
+        registry->GetCounter("exodus_operator_invocations_total" + labels);
+    pk.rows = registry->GetCounter("exodus_operator_rows_total" + labels);
+    pk.time_ns =
+        registry->GetCounter("exodus_operator_time_ns_total" + labels);
+  }
+}
+
 Executor::Executor(ExecContext* ctx)
     : ctx_(ctx),
       binder_(ctx->catalog, ctx->functions, ctx->adts, ctx->session_ranges) {
@@ -96,7 +126,7 @@ Result<QueryResult> Executor::Execute(const Stmt& stmt,
   param_types_ = params.types;
   Plan plan;
   EXODUS_ASSIGN_OR_RETURN(BoundQuery query, BindAndPlan(stmt, env, &plan));
-  return DispatchBound(stmt, query, plan, &env);
+  return TimedDispatch(stmt, query, plan, &env);
 }
 
 Result<QueryResult> Executor::ExecutePrepared(const Stmt& stmt,
@@ -107,7 +137,31 @@ Result<QueryResult> Executor::ExecutePrepared(const Stmt& stmt,
   env.params = &params;
   param_types_ = params.types;
   EXODUS_RETURN_IF_ERROR(CheckPlanPrivileges(plan));
-  return DispatchBound(stmt, query, plan, &env);
+  return TimedDispatch(stmt, query, plan, &env);
+}
+
+Result<QueryResult> Executor::TimedDispatch(const Stmt& stmt,
+                                            const BoundQuery& query,
+                                            const Plan& plan, Env* env) {
+  obs::StmtTrace* trace = ctx_->trace;
+  // Nested executions (function/procedure bodies) run on their own
+  // Executor but share the context; their time is part of the enclosing
+  // statement's execute phase, so only the top level writes the trace.
+  if (trace == nullptr || ctx_->call_depth > 0) {
+    return DispatchBound(stmt, query, plan, env);
+  }
+  const uint64_t t0 = obs::MonotonicNowNs();
+  Result<QueryResult> result = DispatchBound(stmt, query, plan, env);
+  trace->execute_ns += obs::MonotonicNowNs() - t0;
+  if (result.ok()) {
+    trace->rows =
+        result->rows.empty() ? result->affected : result->rows.size();
+  }
+  if (trace->capture_plan ||
+      trace->execute_ns >= trace->plan_capture_threshold_ns) {
+    trace->annotated_plan = plan.Explain(&run_stats_);
+  }
+  return result;
 }
 
 Result<QueryResult> Executor::DispatchBound(const Stmt& stmt,
@@ -147,10 +201,15 @@ Result<Value> Executor::EvalStandalone(const Expr& expr,
 Status Executor::PlanStatement(const Stmt& stmt,
                                const std::set<std::string>& prebound,
                                BoundQuery* query, Plan* plan) {
+  obs::StmtTrace* trace = ctx_->call_depth == 0 ? ctx_->trace : nullptr;
+  const uint64_t t0 = trace != nullptr ? obs::MonotonicNowNs() : 0;
   EXODUS_ASSIGN_OR_RETURN(*query, binder_.Bind(stmt, prebound));
+  const uint64_t t1 = trace != nullptr ? obs::MonotonicNowNs() : 0;
+  if (trace != nullptr) trace->bind_ns += t1 - t0;
   Optimizer optimizer(ctx_->catalog, ctx_->indexes, &binder_,
                       ctx_->optimizer_options);
   EXODUS_ASSIGN_OR_RETURN(*plan, optimizer.Optimize(*query));
+  if (trace != nullptr) trace->optimize_ns += obs::MonotonicNowNs() - t1;
   return Status::OK();
 }
 
@@ -182,15 +241,32 @@ Result<BoundQuery> Executor::BindAndPlan(const Stmt& stmt, const Env& env,
 
 Status Executor::RunPlan(const Plan& plan, const BoundQuery& query, Env* env,
                          const std::function<Status(Env*)>& row_fn) {
-  for (const ExprPtr& f : plan.constant_filters) {
-    EXODUS_ASSIGN_OR_RETURN(Value v, Eval(*f, env));
-    EXODUS_ASSIGN_OR_RETURN(bool ok, Truthy(v));
-    if (!ok) return Status::OK();
+  run_stats_.Reset(plan.steps.size());
+  const uint64_t t0 = obs::MonotonicNowNs();
+  Status st = [&]() -> Status {
+    for (const ExprPtr& f : plan.constant_filters) {
+      EXODUS_ASSIGN_OR_RETURN(Value v, Eval(*f, env));
+      EXODUS_ASSIGN_OR_RETURN(bool ok, Truthy(v));
+      if (!ok) return Status::OK();
+    }
+    // Hash-join build tables are per-execution (plans are shared between
+    // sessions and must stay immutable); built lazily on first probe.
+    std::vector<JoinTable> join_tables(plan.steps.size());
+    return RunStep(plan, 0, query, env, &join_tables, row_fn);
+  }();
+  run_stats_.total_ns = obs::MonotonicNowNs() - t0;
+  if (ctx_->op_metrics != nullptr) {
+    for (size_t i = 0; i < plan.steps.size(); ++i) {
+      const StepRuntime& srt = run_stats_.steps[i];
+      const size_t k = static_cast<size_t>(plan.steps[i].kind);
+      if (k >= OperatorMetrics::kNumKinds) continue;
+      const OperatorMetrics::PerKind& pk = ctx_->op_metrics->kinds[k];
+      if (pk.invocations != nullptr) pk.invocations->Add(srt.invocations);
+      if (pk.rows != nullptr) pk.rows->Add(srt.rows_produced);
+      if (pk.time_ns != nullptr) pk.time_ns->Add(srt.EstimatedTimeNs());
+    }
   }
-  // Hash-join build tables are per-execution (plans are shared between
-  // sessions and must stay immutable); built lazily on first probe.
-  std::vector<JoinTable> join_tables(plan.steps.size());
-  return RunStep(plan, 0, query, env, &join_tables, row_fn);
+  return st;
 }
 
 size_t Executor::JoinKeyHash(const Value& v) {
@@ -282,8 +358,34 @@ Status Executor::RunStep(const Plan& plan, size_t step_idx,
                          const BoundQuery& query, Env* env,
                          std::vector<JoinTable>* join_tables,
                          const std::function<Status(Env*)>& row_fn) {
-  if (step_idx == plan.steps.size()) return row_fn(env);
+  if (step_idx == plan.steps.size()) {
+    ++run_stats_.rows_out;
+    return row_fn(env);
+  }
+  // Always-on accounting: the row counters are plain increments; wall
+  // time is sampled (see StepRuntime) so the common invocation adds no
+  // clock reads.
+  StepRuntime& srt = run_stats_.steps[step_idx];
+  ++srt.invocations;
+  if (srt.ShouldTime()) {
+    const uint64_t t0 = obs::MonotonicNowNs();
+    Status st = RunStepImpl(plan, step_idx, query, env, join_tables, row_fn);
+    // Re-fetch after the call: nested statements run on fresh Executors,
+    // but stay defensive against run_stats_ reallocation regardless.
+    StepRuntime& srt2 = run_stats_.steps[step_idx];
+    srt2.sampled_ns += obs::MonotonicNowNs() - t0;
+    ++srt2.timed_invocations;
+    return st;
+  }
+  return RunStepImpl(plan, step_idx, query, env, join_tables, row_fn);
+}
+
+Status Executor::RunStepImpl(const Plan& plan, size_t step_idx,
+                             const BoundQuery& query, Env* env,
+                             std::vector<JoinTable>* join_tables,
+                             const std::function<Status(Env*)>& row_fn) {
   const PlanStep& step = plan.steps[step_idx];
+  StepRuntime& srt = run_stats_.steps[step_idx];
 
   auto bind_and_descend = [&](const Value& element) -> Status {
     env->stack.emplace_back(step.var_name, element);
@@ -294,8 +396,10 @@ Status Executor::RunStep(const Plan& plan, size_t step_idx,
       if (!pass) break;
     }
     Status st = Status::OK();
-    if (pass) st = RunStep(plan, step_idx + 1, query, env, join_tables,
-                           row_fn);
+    if (pass) {
+      ++srt.rows_produced;
+      st = RunStep(plan, step_idx + 1, query, env, join_tables, row_fn);
+    }
     env->stack.pop_back();
     return st;
   };
@@ -311,12 +415,14 @@ Status Executor::RunStep(const Plan& plan, size_t step_idx,
       if (named->value.kind() == ValueKind::kSet) {
         const auto& elems = named->value.set().elems;
         for (size_t i = 0; i < elems.size(); ++i) {
+          ++srt.rows_examined;
           EXODUS_RETURN_IF_ERROR(bind_and_descend(elems[i]));
         }
       } else if (named->value.kind() == ValueKind::kArray) {
         const auto& elems = named->value.array().elems;
         for (size_t i = 0; i < elems.size(); ++i) {
           if (elems[i].is_null()) continue;
+          ++srt.rows_examined;
           EXODUS_RETURN_IF_ERROR(bind_and_descend(elems[i]));
         }
       }
@@ -355,6 +461,7 @@ Status Executor::RunStep(const Plan& plan, size_t step_idx,
                                                         hi_inc));
       }
       for (Oid oid : oids) {
+        ++srt.rows_examined;  // postings looked at, stale ones included
         if (ctx_->heap->Get(oid) == nullptr) continue;  // stale entry
         EXODUS_RETURN_IF_ERROR(bind_and_descend(Value::Ref(oid)));
       }
@@ -365,6 +472,7 @@ Status Executor::RunStep(const Plan& plan, size_t step_idx,
       EXODUS_ASSIGN_OR_RETURN(std::vector<Value> elems, ElementsOf(coll));
       for (const Value& e : elems) {
         if (e.is_null()) continue;
+        ++srt.rows_examined;
         EXODUS_RETURN_IF_ERROR(bind_and_descend(e));
       }
       return Status::OK();
@@ -373,6 +481,7 @@ Status Executor::RunStep(const Plan& plan, size_t step_idx,
       JoinTable& table = (*join_tables)[step_idx];
       if (!table.built) {
         EXODUS_RETURN_IF_ERROR(BuildJoinTable(step, &table, env));
+        srt.build_rows = table.entries.size();
       }
       size_t h = 0x811c9dc5ULL;
       std::vector<Value> probe;
@@ -391,6 +500,7 @@ Status Executor::RunStep(const Plan& plan, size_t step_idx,
       auto range = table.entries.equal_range(h);
       for (auto it = range.first; it != range.second; ++it) {
         const JoinEntry& entry = it->second;
+        ++srt.rows_examined;  // bucket candidates probed
         bool match = true;
         for (size_t k = 0; k < probe.size(); ++k) {
           EXODUS_ASSIGN_OR_RETURN(bool eq,
@@ -400,7 +510,10 @@ Status Executor::RunStep(const Plan& plan, size_t step_idx,
             break;
           }
         }
-        if (match) EXODUS_RETURN_IF_ERROR(bind_and_descend(entry.element));
+        if (match) {
+          ++srt.probe_hits;
+          EXODUS_RETURN_IF_ERROR(bind_and_descend(entry.element));
+        }
       }
       return Status::OK();
     }

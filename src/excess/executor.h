@@ -20,10 +20,32 @@
 #include "index/index_manager.h"
 #include "object/heap.h"
 #include "object/value.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/result.h"
 #include "util/status.h"
 
 namespace exodus::excess {
+
+/// Cumulative per-operator registry series, one label set per
+/// PlanStep::Kind (`exodus_operator_rows_total{op="hash_join"}` etc.).
+/// The executor flushes each plan execution's actuals into these after
+/// the run, so the hot loop touches only plain (non-atomic) counters.
+struct OperatorMetrics {
+  struct PerKind {
+    obs::Counter* invocations = nullptr;
+    obs::Counter* rows = nullptr;
+    obs::Counter* time_ns = nullptr;
+  };
+  /// Indexed by static_cast<size_t>(PlanStep::Kind).
+  static constexpr size_t kNumKinds = 4;
+  PerKind kinds[kNumKinds];
+
+  /// The `op` label value of a step kind ("scan", "index_scan", ...).
+  static const char* KindLabel(PlanStep::Kind kind);
+  /// Registers all series into `registry` (idempotent).
+  void Register(obs::MetricsRegistry* registry);
+};
 
 /// The result of executing one statement: a table of values for
 /// retrieves, a message plus affected-count for updates and DDL.
@@ -54,6 +76,12 @@ struct ExecContext {
   int call_depth = 0;
   /// Optimizer rule switches (ablation; all on by default).
   OptimizerOptions optimizer_options;
+  /// Cumulative per-operator registry series (may be null: standalone
+  /// executors in tests run without a registry).
+  const OperatorMetrics* op_metrics = nullptr;
+  /// Per-statement phase trace; set by the session around a statement
+  /// execution, consumed by the top-level (call_depth == 0) executor.
+  obs::StmtTrace* trace = nullptr;
 };
 
 /// Executes bound EXCESS statements (retrieve and all updates) against
@@ -108,6 +136,10 @@ class Executor {
   /// The plan chosen for the most recent Execute (for EXPLAIN-style
   /// inspection by tests and benchmarks).
   const std::string& last_plan() const { return last_plan_; }
+
+  /// Per-step actuals of the most recent plan execution (EXPLAIN
+  /// ANALYZE; pass to Plan::Explain for the annotated rendering).
+  const PlanRuntime& last_run_stats() const { return run_stats_; }
 
   /// The default (unassigned) value of a declared type: empty set, a
   /// null-filled fixed array, an empty variable array, or NULL.
@@ -173,6 +205,12 @@ class Executor {
   util::Result<QueryResult> DispatchBound(const Stmt& stmt,
                                           const BoundQuery& query,
                                           const Plan& plan, Env* env);
+  /// DispatchBound plus phase timing / annotated-plan capture into
+  /// ctx_->trace (top-level statements only; nested function/procedure
+  /// executions leave the trace to their caller).
+  util::Result<QueryResult> TimedDispatch(const Stmt& stmt,
+                                          const BoundQuery& query,
+                                          const Plan& plan, Env* env);
 
   // --- plan execution ---
   /// One build-side row of a hash-join step: the (deep-equality) key
@@ -204,6 +242,12 @@ class Executor {
                        const BoundQuery& query, Env* env,
                        std::vector<JoinTable>* join_tables,
                        const std::function<util::Status(Env*)>& row_fn);
+  /// RunStep's body; RunStep itself only handles the end-of-pipeline
+  /// case and the per-invocation runtime accounting (sampled timing).
+  util::Status RunStepImpl(const Plan& plan, size_t step_idx,
+                           const BoundQuery& query, Env* env,
+                           std::vector<JoinTable>* join_tables,
+                           const std::function<util::Status(Env*)>& row_fn);
   /// Builds the hash table for the kHashJoin step at `step_idx`.
   util::Status BuildJoinTable(const PlanStep& step, JoinTable* table,
                               Env* env);
@@ -326,6 +370,10 @@ class Executor {
   /// Query-level aggregate values for the current output row.
   const std::map<const Expr*, object::Value>* agg_override_ = nullptr;
   std::string last_plan_;
+  /// Actuals of the most recent RunPlan (reset at its start). One
+  /// instance per Executor, so concurrent sessions executing one cached
+  /// plan never share runtime state.
+  PlanRuntime run_stats_;
 };
 
 }  // namespace exodus::excess

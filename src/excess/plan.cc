@@ -1,5 +1,7 @@
 #include "excess/plan.h"
 
+#include <cstdio>
+
 namespace exodus::excess {
 
 std::string PlanStep::Describe() const {
@@ -34,13 +36,56 @@ std::string PlanStep::Describe() const {
   return out;
 }
 
-std::string Plan::Explain() const {
+namespace {
+
+std::string FormatNs(uint64_t ns) {
+  char buf[32];
+  if (ns >= 1000000000ULL) {
+    std::snprintf(buf, sizeof buf, "%.2fs", static_cast<double>(ns) / 1e9);
+  } else if (ns >= 1000000ULL) {
+    std::snprintf(buf, sizeof buf, "%.2fms", static_cast<double>(ns) / 1e6);
+  } else if (ns >= 1000ULL) {
+    std::snprintf(buf, sizeof buf, "%.1fus", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lluns",
+                  static_cast<unsigned long long>(ns));
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Plan::Explain(const PlanRuntime* runtime) const {
+  const bool annotate = runtime && runtime->steps.size() == steps.size();
   std::string out;
   for (const ExprPtr& f : constant_filters) {
     out += "ConstFilter " + f->ToString() + "\n";
   }
   for (size_t i = 0; i < steps.size(); ++i) {
-    out += std::string(i * 2, ' ') + steps[i].Describe() + "\n";
+    std::string desc = steps[i].Describe();
+    if (annotate) {
+      const StepRuntime& rt = runtime->steps[i];
+      std::string ann = " (actual: inv=" + std::to_string(rt.invocations) +
+                        " examined=" + std::to_string(rt.rows_examined) +
+                        " produced=" + std::to_string(rt.rows_produced);
+      if (steps[i].kind == PlanStep::Kind::kHashJoin) {
+        ann += " build=" + std::to_string(rt.build_rows) +
+               " hits=" + std::to_string(rt.probe_hits);
+      }
+      ann += " time=" + FormatNs(rt.EstimatedTimeNs()) + ")";
+      // Annotate the step's own line, not its trailing filter lines.
+      size_t nl = desc.find('\n');
+      if (nl == std::string::npos) {
+        desc += ann;
+      } else {
+        desc.insert(nl, ann);
+      }
+    }
+    out += std::string(i * 2, ' ') + desc + "\n";
+  }
+  if (annotate) {
+    out += "Total: " + std::to_string(runtime->rows_out) + " row(s) in " +
+           FormatNs(runtime->total_ns) + "\n";
   }
   return out;
 }

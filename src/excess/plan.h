@@ -1,6 +1,7 @@
 #ifndef EXODUS_EXCESS_PLAN_H_
 #define EXODUS_EXCESS_PLAN_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,67 @@ struct PlanStep {
   std::string Describe() const;
 };
 
+/// Runtime actuals of one plan step during one execution. Row counters
+/// are exact; wall time is sampled (every invocation while the step has
+/// been entered fewer than kTimingSampleEvery times, then one in
+/// kTimingSampleEvery) and extrapolated, keeping the always-on
+/// instrumentation cost to a few clock reads per thousand rows.
+struct StepRuntime {
+  /// One-in-N invocation timing sample rate (power of two).
+  static constexpr uint64_t kTimingSampleEvery = 64;
+
+  /// Times the step was entered (= surviving rows of the outer steps;
+  /// 1 for the outermost step).
+  uint64_t invocations = 0;
+  /// Elements considered: scanned/unnested elements, index postings,
+  /// hash-bucket candidates probed.
+  uint64_t rows_examined = 0;
+  /// Rows that passed this step's filters and were handed to the next
+  /// step (or to the output row for the innermost step).
+  uint64_t rows_produced = 0;
+  /// kHashJoin: rows inserted into the build table (once per execution).
+  uint64_t build_rows = 0;
+  /// kHashJoin: probe matches confirmed by key equality.
+  uint64_t probe_hits = 0;
+  /// Sampled inclusive wall time (this step plus everything nested
+  /// under it) and the number of invocations that were actually timed.
+  uint64_t sampled_ns = 0;
+  uint64_t timed_invocations = 0;
+
+  /// True when this invocation should be timed (call before
+  /// incrementing nothing else; uses the current invocation count).
+  bool ShouldTime() const {
+    return invocations <= kTimingSampleEvery ||
+           (invocations & (kTimingSampleEvery - 1)) == 0;
+  }
+
+  /// Extrapolated inclusive wall time over all invocations.
+  uint64_t EstimatedTimeNs() const {
+    if (timed_invocations == 0) return 0;
+    return static_cast<uint64_t>(
+        static_cast<double>(sampled_ns) *
+        (static_cast<double>(invocations) /
+         static_cast<double>(timed_invocations)));
+  }
+};
+
+/// Per-execution actuals of a whole plan (EXPLAIN ANALYZE, slow-query
+/// log). Lives outside the shared immutable Plan: each Executor keeps
+/// its own instance, so cached plans stay safe to execute concurrently.
+struct PlanRuntime {
+  std::vector<StepRuntime> steps;
+  /// Binding rows that survived the full pipeline.
+  uint64_t rows_out = 0;
+  /// Unsampled wall time of the whole plan execution.
+  uint64_t total_ns = 0;
+
+  void Reset(size_t step_count) {
+    steps.assign(step_count, StepRuntime{});
+    rows_out = 0;
+    total_ns = 0;
+  }
+};
+
 /// An executable plan for the range/predicate part of one statement.
 struct Plan {
   std::vector<PlanStep> steps;
@@ -58,8 +120,9 @@ struct Plan {
   std::vector<ExprPtr> constant_filters;
 
   /// Human-readable plan, one step per line (used by tests and EXPLAIN-
-  /// style debugging).
-  std::string Explain() const;
+  /// style debugging). With a runtime whose step count matches, each
+  /// step line is annotated with its actuals (EXPLAIN ANALYZE).
+  std::string Explain(const PlanRuntime* runtime = nullptr) const;
 };
 
 }  // namespace exodus::excess

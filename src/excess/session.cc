@@ -1,5 +1,6 @@
 #include "excess/session.h"
 
+#include <cstdio>
 #include <mutex>
 #include <shared_mutex>
 #include <utility>
@@ -99,30 +100,70 @@ Session::Session(Database* db, std::string user) : db_(db) {
   ctx_.indexes = &db->indexes_;
   ctx_.session_ranges = &ranges_;
   ctx_.current_user = std::move(user);
+  ctx_.op_metrics = &db->op_metrics_;
 }
 
 Session::~Session() = default;
 
 Result<std::vector<QueryResult>> Session::ExecuteAll(const std::string& text) {
+  const uint64_t parse_t0 = obs::MonotonicNowNs();
   excess::Parser parser(text, &db_->adts_);
   EXODUS_ASSIGN_OR_RETURN(std::vector<excess::StmtPtr> program,
                           parser.ParseProgram());
+  // Parsing covers the whole program; its time is attributed to the
+  // first statement's trace (exact for the common one-statement case).
+  uint64_t parse_ns = obs::MonotonicNowNs() - parse_t0;
   std::vector<QueryResult> results;
   results.reserve(program.size());
   for (const excess::StmtPtr& stmt : program) {
-    EXODUS_ASSIGN_OR_RETURN(QueryResult r, ExecuteStmtLocked(*stmt));
+    EXODUS_ASSIGN_OR_RETURN(QueryResult r,
+                            ExecuteStmtLocked(*stmt, parse_ns));
+    parse_ns = 0;
     results.push_back(std::move(r));
   }
   return results;
 }
 
-Result<QueryResult> Session::ExecuteStmtLocked(const excess::Stmt& stmt) {
-  if (Database::IsReadOnly(stmt)) {
-    std::shared_lock<std::shared_mutex> lock(db_->exec_mu_);
+Result<QueryResult> Session::ExecuteStmtLocked(const excess::Stmt& stmt,
+                                               uint64_t parse_ns) {
+  obs::StmtTrace trace;
+  trace.parse_ns = parse_ns;
+  return RunTraced(stmt, &trace, [&]() -> Result<QueryResult> {
+    if (Database::IsReadOnly(stmt)) {
+      std::shared_lock<std::shared_mutex> lock(db_->exec_mu_);
+      return db_->ExecuteStmtJournaled(*this, stmt);
+    }
+    std::unique_lock<std::shared_mutex> lock(db_->exec_mu_);
     return db_->ExecuteStmtJournaled(*this, stmt);
+  });
+}
+
+Result<QueryResult> Session::RunTraced(
+    const excess::Stmt& stmt, obs::StmtTrace* trace,
+    const std::function<Result<QueryResult>()>& body) {
+  obs::QueryTracer* tracer = db_->tracer();
+  tracer->Begin(trace);
+  ctx_.trace = trace;
+  const uint64_t t0 = obs::MonotonicNowNs();
+  Result<QueryResult> result = body();
+  ctx_.trace = nullptr;
+  if (trace->execute_ns == 0) {
+    // Non-executor statements (DDL, auth, range, retrieve-into) never
+    // pass through TimedDispatch; count the whole locked execution as
+    // their execute phase.
+    trace->execute_ns = obs::MonotonicNowNs() - t0;
+    if (result.ok()) {
+      trace->rows =
+          result->rows.empty() ? result->affected : result->rows.size();
+    }
   }
-  std::unique_lock<std::shared_mutex> lock(db_->exec_mu_);
-  return db_->ExecuteStmtJournaled(*this, stmt);
+  const uint64_t total = trace->parse_ns + trace->bind_ns +
+                         trace->optimize_ns + trace->execute_ns;
+  if (trace->statement.empty() && tracer->WantsText(total)) {
+    trace->statement = stmt.ToString();
+  }
+  tracer->Finish(*trace, result.ok(), ctx_.current_user);
+  return result;
 }
 
 Result<QueryResult> Session::Execute(const std::string& text) {
@@ -137,6 +178,62 @@ Result<Value> Session::EvalExpression(const std::string& text) {
   std::shared_lock<std::shared_mutex> lock(db_->exec_mu_);
   Executor exec(&ctx_);
   return exec.EvalStandalone(*expr);
+}
+
+Result<std::string> Session::Explain(const std::string& text, bool analyze) {
+  // Parse the raw text (not the cache-normalized form), so syntax
+  // errors report line/column positions in what the user typed.
+  excess::Parser parser(text, &db_->adts_);
+  EXODUS_ASSIGN_OR_RETURN(excess::StmtPtr stmt, parser.ParseSingleStatement());
+  if (!HasExecutorPlan(*stmt)) {
+    return std::string(
+        "no plan: statement executes directly, not through the plan "
+        "executor\n");
+  }
+
+  std::set<std::string> param_names;
+  const int param_count = excess::CollectParamNames(*stmt, &param_names);
+
+  if (!analyze) {
+    // Plan-only: bind + optimize under the shared lock, never execute.
+    std::shared_lock<std::shared_mutex> lock(db_->exec_mu_);
+    Executor exec(&ctx_);
+    excess::BoundQuery query;
+    excess::Plan plan;
+    EXODUS_RETURN_IF_ERROR(
+        exec.PlanStatement(*stmt, param_names, &query, &plan));
+    return plan.Explain();
+  }
+
+  if (param_count > 0) {
+    return Status::TypeError(
+        "explain analyze executes the statement and cannot supply $n "
+        "parameters; inline the values");
+  }
+
+  obs::StmtTrace trace;
+  trace.capture_plan = true;
+  EXODUS_ASSIGN_OR_RETURN(
+      QueryResult result,
+      RunTraced(*stmt, &trace, [&]() -> Result<QueryResult> {
+        if (Database::IsReadOnly(*stmt)) {
+          std::shared_lock<std::shared_mutex> lock(db_->exec_mu_);
+          return db_->ExecuteStmtJournaled(*this, *stmt);
+        }
+        std::unique_lock<std::shared_mutex> lock(db_->exec_mu_);
+        return db_->ExecuteStmtJournaled(*this, *stmt);
+      }));
+  (void)result;
+
+  std::string out = trace.annotated_plan;
+  char phases[160];
+  std::snprintf(phases, sizeof phases,
+                "Phases: bind %.1fus, optimize %.1fus, execute %.1fus\n",
+                static_cast<double>(trace.bind_ns) / 1e3,
+                static_cast<double>(trace.optimize_ns) / 1e3,
+                static_cast<double>(trace.execute_ns) / 1e3);
+  out += phases;
+  return out;
 }
 
 Result<std::unique_ptr<PreparedStatement>> Session::Prepare(
@@ -329,12 +426,21 @@ Result<QueryResult> PreparedStatement::Execute() {
   // keeps the same source text, hence the same kind), so the right lock
   // mode is known before execution: shared for plain retrieves,
   // exclusive for mutations and DDL.
-  if (Database::IsReadOnly(*plan_->stmt)) {
-    std::shared_lock<std::shared_mutex> lock(session_->db_->exec_mu_);
-    return ExecuteLocked();
-  }
-  std::unique_lock<std::shared_mutex> lock(session_->db_->exec_mu_);
-  return ExecuteLocked();
+  //
+  // Keep the current plan alive across the call: RefreshIfStale may
+  // swap plan_ mid-execution, and the trace still needs the statement.
+  std::shared_ptr<const CachedPlan> plan = plan_;
+  obs::StmtTrace trace;
+  trace.used_cached_plan = true;
+  return session_->RunTraced(
+      *plan->stmt, &trace, [&]() -> Result<QueryResult> {
+        if (Database::IsReadOnly(*plan->stmt)) {
+          std::shared_lock<std::shared_mutex> lock(session_->db_->exec_mu_);
+          return ExecuteLocked();
+        }
+        std::unique_lock<std::shared_mutex> lock(session_->db_->exec_mu_);
+        return ExecuteLocked();
+      });
 }
 
 Result<QueryResult> PreparedStatement::ExecuteLocked() {

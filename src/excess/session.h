@@ -7,10 +7,13 @@
 #include <string>
 #include <vector>
 
+#include <functional>
+
 #include "excess/ast.h"
 #include "excess/executor.h"
 #include "excess/plan_cache.h"
 #include "object/value.h"
+#include "obs/trace.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -66,6 +69,14 @@ class Session {
   util::Result<std::unique_ptr<PreparedStatement>> Prepare(
       const std::string& text);
 
+  /// EXPLAIN / EXPLAIN ANALYZE, one code path for both modes. Parses
+  /// `text` raw — not normalized — so parse errors report positions in
+  /// the original input. Plain mode binds and optimizes only and
+  /// returns the plan tree. With `analyze` the statement is executed
+  /// for real (mutations mutate, and are journaled) and every step line
+  /// carries its runtime actuals plus a phase-timing summary.
+  util::Result<std::string> Explain(const std::string& text, bool analyze);
+
   /// The user this session authenticates as (changed by `set user`).
   const std::string& user() const { return ctx_.current_user; }
 
@@ -84,9 +95,20 @@ class Session {
   Session(Database* db, std::string user);
 
   /// Executes one parsed statement under the database lock appropriate
-  /// to its kind (shared for read-only, exclusive otherwise).
+  /// to its kind (shared for read-only, exclusive otherwise), tracing
+  /// it as one statement. `parse_ns` is the parse time to attribute.
   util::Result<excess::QueryResult> ExecuteStmtLocked(
-      const excess::Stmt& stmt);
+      const excess::Stmt& stmt, uint64_t parse_ns = 0);
+
+  /// Runs `body` (which performs the actual locked execution) bracketed
+  /// by the database tracer: assigns the query ID, sets ctx_.trace so
+  /// the executor records phases and actuals, fills fallback timings
+  /// for non-executor statements, and hands the finished trace to
+  /// QueryTracer::Finish. Statement text is rendered only when the
+  /// tracer will consume it.
+  util::Result<excess::QueryResult> RunTraced(
+      const excess::Stmt& stmt, obs::StmtTrace* trace,
+      const std::function<util::Result<excess::QueryResult>()>& body);
 
   /// Fetches the plan for normalized text `norm` from the database's
   /// plan cache, building and inserting it on a miss. The caller must

@@ -1,0 +1,184 @@
+#include "obs/metrics.h"
+
+namespace exodus::obs {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+void Histogram::Record(uint64_t value) {
+  // Bucket i covers [2^(i-1), 2^i); bucket 0 is < 1. The top bucket
+  // absorbs everything beyond the last boundary.
+  size_t idx = 0;
+  while (idx + 1 < kBuckets && (uint64_t{1} << idx) <= value) ++idx;
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t i) { return uint64_t{1} << i; }
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    total += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::ApproxSum() const {
+  uint64_t sum = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    sum += buckets_[i].load(std::memory_order_relaxed) * BucketUpperBound(i);
+  }
+  return sum;
+}
+
+void Histogram::Snapshot(uint64_t counts[kBuckets]) const {
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  uint64_t counts[kBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total));
+  if (rank >= total) rank = total - 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (seen > rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry::Entry* MetricsRegistry::FindOrCreate(
+    const std::string& name, Kind kind, const std::string& type_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  entries_.emplace_back();
+  Entry* e = &entries_.back();
+  e->kind = kind;
+  e->type_name = type_name;
+  index_[name] = e;
+  return e;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  return &FindOrCreate(name, Kind::kCounter, "counter")->counter;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  return &FindOrCreate(name, Kind::kGauge, "gauge")->gauge;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return &FindOrCreate(name, Kind::kHistogram, "histogram")->histogram;
+}
+
+void MetricsRegistry::RegisterCallback(const std::string& name,
+                                       const std::string& kind,
+                                       std::function<uint64_t()> fn) {
+  Entry* e = FindOrCreate(name, Kind::kCallback, kind);
+  std::lock_guard<std::mutex> lock(mu_);
+  e->callback = std::move(fn);
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+namespace {
+
+/// "family" of a series: the metric name with any label set stripped
+/// (`a_total{op="scan"}` -> `a_total`). One `# TYPE` line per family.
+std::string FamilyOf(const std::string& name) {
+  size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+/// Splits `name` into (family, label-block-with-braces-or-empty).
+void SplitLabels(const std::string& name, std::string* family,
+                 std::string* labels) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *family = name;
+    labels->clear();
+  } else {
+    *family = name.substr(0, brace);
+    *labels = name.substr(brace);
+  }
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  // Snapshot the index under the lock; metric values themselves are
+  // atomics (or callbacks over atomics) and are read without it.
+  std::map<std::string, const Entry*> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, entry] : index_) snapshot.emplace(name, entry);
+  }
+
+  std::string out;
+  std::string last_family;
+  for (const auto& [name, entry] : snapshot) {
+    const std::string family = FamilyOf(name);
+    if (family != last_family) {
+      out += "# TYPE " + family + " " + entry->type_name + "\n";
+      last_family = family;
+    }
+    switch (entry->kind) {
+      case Kind::kCounter:
+        out += name + " " + std::to_string(entry->counter.value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += name + " " + std::to_string(entry->gauge.value()) + "\n";
+        break;
+      case Kind::kCallback:
+        out += name + " " + std::to_string(entry->callback ? entry->callback()
+                                                           : 0) + "\n";
+        break;
+      case Kind::kHistogram: {
+        std::string fam, labels;
+        SplitLabels(name, &fam, &labels);
+        // `le` joins any existing labels inside one brace block.
+        std::string label_prefix =
+            labels.empty() ? "{"
+                           : labels.substr(0, labels.size() - 1) + ",";
+        uint64_t counts[Histogram::kBuckets];
+        entry->histogram.Snapshot(counts);
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+          cumulative += counts[i];
+          // Skip interior empty tails for brevity; always emit +Inf.
+          if (counts[i] == 0 && i + 1 < Histogram::kBuckets) continue;
+          out += fam + "_bucket" + label_prefix + "le=\"" +
+                 std::to_string(Histogram::BucketUpperBound(i)) + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += fam + "_bucket" + label_prefix + "le=\"+Inf\"} " +
+               std::to_string(cumulative) + "\n";
+        out += fam + "_sum" + labels + " " +
+               std::to_string(entry->histogram.ApproxSum()) + "\n";
+        out += fam + "_count" + labels + " " + std::to_string(cumulative) +
+               "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace exodus::obs

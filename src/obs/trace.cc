@@ -1,0 +1,158 @@
+#include "obs/trace.h"
+
+namespace exodus::obs {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string Micros(uint64_t ns) { return std::to_string(ns / 1000); }
+
+}  // namespace
+
+std::string SlowQueryRecord::ToString() const {
+  std::string out = "#" + std::to_string(query_id) + " [" + user + "] " +
+                    Micros(total_ns) + " us (parse " + Micros(parse_ns) +
+                    ", bind " + Micros(bind_ns) + ", optimize " +
+                    Micros(optimize_ns) + ", execute " + Micros(execute_ns) +
+                    "), " + std::to_string(rows) + " row(s)\n  " + statement +
+                    "\n";
+  if (!annotated_plan.empty()) {
+    // Indent the plan under the record.
+    size_t start = 0;
+    while (start < annotated_plan.size()) {
+      size_t end = annotated_plan.find('\n', start);
+      if (end == std::string::npos) end = annotated_plan.size();
+      out += "  | " + annotated_plan.substr(start, end - start) + "\n";
+      start = end + 1;
+    }
+  }
+  return out;
+}
+
+QueryTracer::QueryTracer(MetricsRegistry* registry)
+    : statements_total_(registry->GetCounter("exodus_statements_total")),
+      statement_errors_total_(
+          registry->GetCounter("exodus_statement_errors_total")),
+      slow_statements_total_(
+          registry->GetCounter("exodus_slow_statements_total")),
+      statement_latency_us_(
+          registry->GetHistogram("exodus_statement_latency_us")) {}
+
+void QueryTracer::Begin(StmtTrace* trace) {
+  trace->query_id = next_query_id_.fetch_add(1, std::memory_order_relaxed);
+  int64_t t = slow_threshold_ns_.load(std::memory_order_relaxed);
+  trace->plan_capture_threshold_ns =
+      t < 0 ? UINT64_MAX : static_cast<uint64_t>(t);
+}
+
+void QueryTracer::SetSink(TraceSink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+  has_sink_.store(static_cast<bool>(sink_), std::memory_order_relaxed);
+}
+
+void QueryTracer::SetSlowQueryThresholdMicros(int64_t micros) {
+  slow_threshold_ns_.store(micros < 0 ? -1 : micros * 1000,
+                           std::memory_order_relaxed);
+}
+
+int64_t QueryTracer::slow_query_threshold_micros() const {
+  int64_t t = slow_threshold_ns_.load(std::memory_order_relaxed);
+  return t < 0 ? -1 : t / 1000;
+}
+
+std::vector<SlowQueryRecord> QueryTracer::SlowQueries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SlowQueryRecord>(slow_.begin(), slow_.end());
+}
+
+void QueryTracer::ClearSlowQueries() {
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_.clear();
+}
+
+void QueryTracer::Finish(const StmtTrace& trace, bool ok,
+                         const std::string& user) {
+  const uint64_t total_ns =
+      trace.parse_ns + trace.bind_ns + trace.optimize_ns + trace.execute_ns;
+
+  statements_total_->Increment();
+  if (!ok) statement_errors_total_->Increment();
+  statement_latency_us_->Record(total_ns / 1000);
+
+  const int64_t threshold = slow_threshold_ns_.load(std::memory_order_relaxed);
+  const bool slow =
+      threshold >= 0 && total_ns >= static_cast<uint64_t>(threshold);
+  const bool sink = has_sink_.load(std::memory_order_relaxed);
+  if (!slow && !sink) return;
+
+  if (slow) slow_statements_total_->Increment();
+
+  std::string line;
+  if (sink) {
+    line = "{\"query_id\":" + std::to_string(trace.query_id) + ",\"user\":\"" +
+           JsonEscape(user) + "\",\"statement\":\"" +
+           JsonEscape(trace.statement) + "\",\"parse_us\":" +
+           Micros(trace.parse_ns) + ",\"bind_us\":" + Micros(trace.bind_ns) +
+           ",\"optimize_us\":" + Micros(trace.optimize_ns) +
+           ",\"execute_us\":" + Micros(trace.execute_ns) +
+           ",\"total_us\":" + Micros(total_ns) +
+           ",\"rows\":" + std::to_string(trace.rows) + ",\"cached_plan\":" +
+           (trace.used_cached_plan ? "true" : "false") + ",\"slow\":" +
+           (slow ? "true" : "false") + ",\"status\":\"" +
+           (ok ? "ok" : "error") + "\"}";
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink && sink_) sink_(line);
+  if (slow) {
+    SlowQueryRecord rec;
+    rec.query_id = trace.query_id;
+    rec.user = user;
+    rec.statement = trace.statement;
+    rec.parse_ns = trace.parse_ns;
+    rec.bind_ns = trace.bind_ns;
+    rec.optimize_ns = trace.optimize_ns;
+    rec.execute_ns = trace.execute_ns;
+    rec.total_ns = total_ns;
+    rec.rows = trace.rows;
+    rec.annotated_plan = trace.annotated_plan;
+    slow_.push_back(std::move(rec));
+    if (slow_.size() > kSlowLogCapacity) slow_.pop_front();
+  }
+}
+
+}  // namespace exodus::obs

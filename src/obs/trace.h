@@ -1,0 +1,149 @@
+#ifndef EXODUS_OBS_TRACE_H_
+#define EXODUS_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace exodus::obs {
+
+/// Monotonic nanoseconds (steady_clock) for phase and plan-step timing.
+inline uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Per-statement phase/plan trace, filled as a statement flows through
+/// parse -> bind -> optimize -> execute. One stack-allocated instance
+/// per statement execution; the executor writes phases and (when asked)
+/// the annotated plan, the session supplies text and hands the finished
+/// trace to the QueryTracer.
+struct StmtTrace {
+  /// Monotonically assigned per database (QueryTracer::Begin).
+  uint64_t query_id = 0;
+  /// Statement text; filled lazily by the session only when the tracer
+  /// will actually consume it (sink installed or statement was slow).
+  std::string statement;
+  uint64_t parse_ns = 0;
+  uint64_t bind_ns = 0;
+  uint64_t optimize_ns = 0;
+  uint64_t execute_ns = 0;
+  /// Rows returned (retrieves) or affected (updates).
+  uint64_t rows = 0;
+  /// True when execution reused a cached (prepared) plan.
+  bool used_cached_plan = false;
+  /// Force annotated-plan capture regardless of duration (EXPLAIN
+  /// ANALYZE sets this).
+  bool capture_plan = false;
+  /// The executor renders the annotated plan when execute_ns reaches
+  /// this threshold (copied from the tracer's slow-query threshold at
+  /// Begin), so the rendering cost is paid only for slow statements.
+  uint64_t plan_capture_threshold_ns = UINT64_MAX;
+  /// Plan tree with per-step actuals; empty unless captured.
+  std::string annotated_plan;
+};
+
+/// One slow-query log record.
+struct SlowQueryRecord {
+  uint64_t query_id = 0;
+  std::string user;
+  std::string statement;
+  uint64_t parse_ns = 0;
+  uint64_t bind_ns = 0;
+  uint64_t optimize_ns = 0;
+  uint64_t execute_ns = 0;
+  uint64_t total_ns = 0;
+  uint64_t rows = 0;
+  std::string annotated_plan;
+
+  /// Human-readable one-record rendering (shell \slowlog).
+  std::string ToString() const;
+};
+
+/// Escapes `s` for inclusion in a JSON string literal.
+std::string JsonEscape(const std::string& s);
+
+/// Statement-level tracing for one database: assigns query IDs, records
+/// always-on statement metrics into the registry, streams structured
+/// JSON trace lines to an optional sink, and keeps a bounded in-memory
+/// slow-query log for statements whose total time exceeds a
+/// configurable threshold.
+///
+/// Begin/Finish are called on every statement and are cheap when no
+/// sink is installed and no threshold is set: an atomic increment plus
+/// a handful of relaxed counter updates.
+class QueryTracer {
+ public:
+  using TraceSink = std::function<void(const std::string& json_line)>;
+
+  /// Number of slow-query records retained (oldest evicted first).
+  static constexpr size_t kSlowLogCapacity = 128;
+
+  explicit QueryTracer(MetricsRegistry* registry);
+
+  /// Starts a statement: assigns trace->query_id and copies the
+  /// slow-query threshold into trace->plan_capture_threshold_ns.
+  void Begin(StmtTrace* trace);
+
+  /// Completes a statement: bumps registry counters, records latency,
+  /// emits a JSON trace line to the sink (if any) and appends to the
+  /// slow-query log when the total time crosses the threshold.
+  /// `trace->statement` must be filled when WantsText() said so.
+  void Finish(const StmtTrace& trace, bool ok, const std::string& user);
+
+  /// True when Finish will consume trace.statement for a statement with
+  /// this total duration — i.e. a sink is installed or the slow-query
+  /// log will record it. Lets the session skip rendering statement text
+  /// on the fast path.
+  bool WantsText(uint64_t total_ns) const {
+    if (has_sink_.load(std::memory_order_relaxed)) return true;
+    int64_t t = slow_threshold_ns_.load(std::memory_order_relaxed);
+    return t >= 0 && total_ns >= static_cast<uint64_t>(t);
+  }
+
+  /// Installs (or clears, with nullptr) the JSON trace sink.
+  void SetSink(TraceSink sink);
+  bool sink_active() const {
+    return has_sink_.load(std::memory_order_relaxed);
+  }
+
+  /// Sets the slow-query threshold in microseconds; negative disables.
+  void SetSlowQueryThresholdMicros(int64_t micros);
+  /// The active threshold in microseconds; -1 when disabled.
+  int64_t slow_query_threshold_micros() const;
+  /// Threshold in nanoseconds; -1 when disabled (Begin copies this).
+  int64_t slow_threshold_ns() const {
+    return slow_threshold_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the retained slow-query records (oldest first).
+  std::vector<SlowQueryRecord> SlowQueries() const;
+  void ClearSlowQueries();
+
+ private:
+  std::atomic<uint64_t> next_query_id_{1};
+  std::atomic<int64_t> slow_threshold_ns_{-1};
+  std::atomic<bool> has_sink_{false};
+
+  mutable std::mutex mu_;  // guards sink_ and slow_
+  TraceSink sink_;
+  std::deque<SlowQueryRecord> slow_;
+
+  // Always-on registry series.
+  Counter* statements_total_;
+  Counter* statement_errors_total_;
+  Counter* slow_statements_total_;
+  Histogram* statement_latency_us_;
+};
+
+}  // namespace exodus::obs
+
+#endif  // EXODUS_OBS_TRACE_H_

@@ -143,6 +143,16 @@ Result<StatsPayload> Client::Stats() {
   return StatsPayload::Decode(&r);
 }
 
+Result<std::string> Client::Metrics() {
+  EXODUS_ASSIGN_OR_RETURN(Frame reply,
+                          RoundTrip(MsgType::kMetrics, std::string()));
+  if (reply.type != MsgType::kMetricsReply) {
+    return Status::IoError("unexpected METRICS response");
+  }
+  WireReader r(reply.body);
+  return r.Str();
+}
+
 Status ParseHostPort(const std::string& spec, std::string* host,
                      uint16_t* port) {
   *host = "127.0.0.1";

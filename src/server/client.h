@@ -62,6 +62,11 @@ class Client {
   /// Server + connection counters (the \stats command).
   util::Result<StatsPayload> Stats();
 
+  /// The server's full metrics registry as Prometheus text exposition
+  /// (the \metrics command) — plan-cache, per-operator, buffer-pool,
+  /// statement and server series.
+  util::Result<std::string> Metrics();
+
   /// Sends BYE (best effort) and closes the socket. Idempotent; the
   /// destructor calls it.
   void Close();

@@ -3,9 +3,10 @@
 //   excess_client [host:port] [--user NAME]
 //
 // Reads EXCESS statements (terminated by ';' or a blank line) and runs
-// them on the server. Commands: \stats prints server counters, \quit
-// exits. EOF (ctrl-D) exits cleanly with status 0; a lost server
-// connection prints a message and exits 1.
+// them on the server. Commands: \stats prints server counters,
+// \metrics dumps the Prometheus text exposition, \quit exits. EOF
+// (ctrl-D) exits cleanly with status 0; a lost server connection
+// prints a message and exits 1.
 
 #include <unistd.h>
 
@@ -80,8 +81,18 @@ int main(int argc, char** argv) {
         std::cout << stats->ToString();
         continue;
       }
+      if (line == "\\metrics") {
+        auto text = client->Metrics();
+        if (!text.ok()) {
+          std::cerr << text.status().ToString() << "\n";
+          if (!client->connected()) return 1;
+          continue;
+        }
+        std::cout << *text;
+        continue;
+      }
       std::cerr << "unknown command '" << line
-                << "' (try \\stats or \\quit)\n";
+                << "' (try \\stats, \\metrics or \\quit)\n";
       continue;
     }
     // Statement accumulation: run on ';' or on a blank line ending a

@@ -17,7 +17,7 @@ using util::Status;
 
 bool IsRequestType(uint8_t t) {
   return t >= static_cast<uint8_t>(MsgType::kHello) &&
-         t <= static_cast<uint8_t>(MsgType::kBye);
+         t <= static_cast<uint8_t>(MsgType::kMetrics);
 }
 
 // ---------------------------------------------------------------------------

@@ -42,13 +42,15 @@ enum class MsgType : uint8_t {
   kCloseStmt = 0x05, // u32 handle
   kStats = 0x06,     // (empty)
   kBye = 0x07,       // (empty)
+  kMetrics = 0x08,   // (empty)
 
   // Responses (server -> client).
-  kOk = 0x81,         // string message
-  kRows = 0x82,       // result table, see RowsPayload
-  kError = 0x83,      // u8 code, string message, u32 line, u32 column
-  kPrepared = 0x84,   // u32 handle, u32 param_count
-  kStatsReply = 0x85, // see StatsPayload
+  kOk = 0x81,          // string message
+  kRows = 0x82,        // result table, see RowsPayload
+  kError = 0x83,       // u8 code, string message, u32 line, u32 column
+  kPrepared = 0x84,    // u32 handle, u32 param_count
+  kStatsReply = 0x85,  // see StatsPayload
+  kMetricsReply = 0x86,  // string: Prometheus text exposition
 };
 
 /// True if `t` is one of the defined request types.

@@ -23,35 +23,6 @@ using util::Result;
 using util::Status;
 
 // ---------------------------------------------------------------------------
-// LatencyHistogram
-// ---------------------------------------------------------------------------
-
-void LatencyHistogram::Record(uint64_t micros) {
-  // Bucket i covers [2^(i-1), 2^i) microseconds; bucket 0 is < 1us.
-  size_t idx = 0;
-  while (idx + 1 < kBuckets && (uint64_t{1} << idx) <= micros) ++idx;
-  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
-}
-
-uint64_t LatencyHistogram::PercentileMicros(double p) const {
-  uint64_t counts[kBuckets];
-  uint64_t total = 0;
-  for (size_t i = 0; i < kBuckets; ++i) {
-    counts[i] = buckets_[i].load(std::memory_order_relaxed);
-    total += counts[i];
-  }
-  if (total == 0) return 0;
-  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total));
-  if (rank >= total) rank = total - 1;
-  uint64_t seen = 0;
-  for (size_t i = 0; i < kBuckets; ++i) {
-    seen += counts[i];
-    if (seen > rank) return uint64_t{1} << i;  // bucket upper bound
-  }
-  return uint64_t{1} << (kBuckets - 1);
-}
-
-// ---------------------------------------------------------------------------
 // Connection state
 // ---------------------------------------------------------------------------
 
@@ -75,7 +46,19 @@ struct Server::Connection {
 // ---------------------------------------------------------------------------
 
 Server::Server(Database* db, ServerOptions options)
-    : db_(db), options_(std::move(options)), pool_(options_.workers) {}
+    : db_(db), options_(std::move(options)), pool_(options_.workers) {
+  // The registry hands out stable pointers and the Database outlives the
+  // Server, so the counters can be resolved once here. Two servers on
+  // one database share the same series — they are one database's load.
+  obs::MetricsRegistry* metrics = db_->metrics();
+  counters_.connections_total =
+      metrics->GetCounter("exodus_server_connections_total");
+  counters_.connections_active =
+      metrics->GetGauge("exodus_server_connections_active");
+  counters_.queries_total = metrics->GetCounter("exodus_server_queries_total");
+  counters_.errors_total = metrics->GetCounter("exodus_server_errors_total");
+  counters_.latency = metrics->GetHistogram("exodus_server_latency_us");
+}
 
 Server::~Server() { Stop(); }
 
@@ -177,8 +160,8 @@ void Server::AcceptLoop() {
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     Connection* raw = conn.get();
-    counters_.connections_total.fetch_add(1, std::memory_order_relaxed);
-    counters_.connections_active.fetch_add(1, std::memory_order_relaxed);
+    counters_.connections_total->Increment();
+    counters_.connections_active->Add(1);
     raw->thread = std::thread([this, raw] { ServeConnection(raw); });
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns_.push_back(std::move(conn));
@@ -260,7 +243,7 @@ void Server::ServeConnection(Connection* conn) {
   ::close(conn->fd);
   conn->prepared.clear();
   conn->session.reset();
-  counters_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+  counters_.connections_active->Add(-1);
   conn->done.store(true, std::memory_order_release);
 }
 
@@ -286,7 +269,7 @@ bool Server::HandleFrame(Connection* conn, const Frame& frame) {
       auto session = db_->CreateSession(*user);
       if (!session.ok()) {
         ++conn->errors;
-        counters_.errors_total.fetch_add(1, std::memory_order_relaxed);
+        counters_.errors_total->Increment();
         SendError(conn->fd, session.status());
         return true;  // the old session (dba) stays usable
       }
@@ -334,12 +317,12 @@ bool Server::HandleFrame(Connection* conn, const Frame& frame) {
       auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
                         std::chrono::steady_clock::now() - started)
                         .count();
-      counters_.latency.Record(static_cast<uint64_t>(micros));
+      counters_.latency->Record(static_cast<uint64_t>(micros));
       ++conn->queries;
-      counters_.queries_total.fetch_add(1, std::memory_order_relaxed);
+      counters_.queries_total->Increment();
       if (!ok) {
         ++conn->errors;
-        counters_.errors_total.fetch_add(1, std::memory_order_relaxed);
+        counters_.errors_total->Increment();
         SendError(conn->fd, results.status());
         return true;
       }
@@ -359,7 +342,7 @@ bool Server::HandleFrame(Connection* conn, const Frame& frame) {
       RunOnPool([&] { stmt = conn->session->Prepare(*text); });
       if (!stmt.ok()) {
         ++conn->errors;
-        counters_.errors_total.fetch_add(1, std::memory_order_relaxed);
+        counters_.errors_total->Increment();
         SendError(conn->fd, stmt.status());
         return true;
       }
@@ -396,7 +379,7 @@ bool Server::HandleFrame(Connection* conn, const Frame& frame) {
       auto it = conn->prepared.find(*handle);
       if (it == conn->prepared.end()) {
         ++conn->errors;
-        counters_.errors_total.fetch_add(1, std::memory_order_relaxed);
+        counters_.errors_total->Increment();
         SendError(conn->fd, Status::NotFound("no prepared statement #" +
                                              std::to_string(*handle)));
         return true;
@@ -436,12 +419,12 @@ bool Server::HandleFrame(Connection* conn, const Frame& frame) {
       auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
                         std::chrono::steady_clock::now() - started)
                         .count();
-      counters_.latency.Record(static_cast<uint64_t>(micros));
+      counters_.latency->Record(static_cast<uint64_t>(micros));
       ++conn->queries;
-      counters_.queries_total.fetch_add(1, std::memory_order_relaxed);
+      counters_.queries_total->Increment();
       if (!ok) {
         ++conn->errors;
-        counters_.errors_total.fetch_add(1, std::memory_order_relaxed);
+        counters_.errors_total->Increment();
         SendError(conn->fd, result.status());
         return true;
       }
@@ -468,6 +451,14 @@ bool Server::HandleFrame(Connection* conn, const Frame& frame) {
       return WriteFrame(conn->fd, MsgType::kStatsReply, body).ok();
     }
 
+    case MsgType::kMetrics: {
+      // Pure atomic reads — no database lock, and no pool round-trip,
+      // so a scrape never queues behind a long-running statement.
+      std::string body;
+      PutString(db_->metrics()->RenderPrometheus(), &body);
+      return WriteFrame(conn->fd, MsgType::kMetricsReply, body).ok();
+    }
+
     case MsgType::kBye:
       SendOk(conn->fd, "bye");
       return false;
@@ -485,14 +476,13 @@ bool Server::HandleFrame(Connection* conn, const Frame& frame) {
 
 StatsPayload Server::BuildStats(const Connection& conn) const {
   StatsPayload s;
-  s.connections_total =
-      counters_.connections_total.load(std::memory_order_relaxed);
-  s.connections_active =
-      counters_.connections_active.load(std::memory_order_relaxed);
-  s.queries_total = counters_.queries_total.load(std::memory_order_relaxed);
-  s.errors_total = counters_.errors_total.load(std::memory_order_relaxed);
-  s.p50_micros = counters_.latency.PercentileMicros(0.50);
-  s.p99_micros = counters_.latency.PercentileMicros(0.99);
+  s.connections_total = counters_.connections_total->value();
+  int64_t active = counters_.connections_active->value();
+  s.connections_active = active > 0 ? static_cast<uint64_t>(active) : 0;
+  s.queries_total = counters_.queries_total->value();
+  s.errors_total = counters_.errors_total->value();
+  s.p50_micros = counters_.latency->Percentile(0.50);
+  s.p99_micros = counters_.latency->Percentile(0.99);
   excess::PlanCacheStats cache = db_->CacheStats();
   s.cache_hits = cache.hits;
   s.cache_misses = cache.misses;

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "server/protocol.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -31,30 +32,21 @@ struct ServerOptions {
   size_t workers = 4;
 };
 
-/// Fixed power-of-two-bucket latency histogram (microseconds). Atomic
-/// counters: many connection threads record, \stats reads concurrently.
-class LatencyHistogram {
- public:
-  static constexpr size_t kBuckets = 40;
+/// Fixed power-of-two-bucket latency histogram (microseconds). The
+/// server records into the database's metrics registry, so \stats and
+/// the Prometheus exposition read the same buckets.
+using LatencyHistogram = obs::Histogram;
 
-  void Record(uint64_t micros);
-
-  /// The upper bound (in microseconds) of the bucket containing the
-  /// p-th percentile observation (p in [0,1]); 0 when empty.
-  uint64_t PercentileMicros(double p) const;
-
- private:
-  std::atomic<uint64_t> buckets_[kBuckets] = {};
-};
-
-/// Aggregate server counters, all atomics (read by any connection's
-/// \stats while others execute).
+/// Aggregate server counters — pointers into the owning Database's
+/// MetricsRegistry (`exodus_server_*` series), so the same numbers feed
+/// \stats and the \metrics exposition. All lock-free atomics underneath:
+/// any connection's \stats reads while others execute.
 struct ServerCounters {
-  std::atomic<uint64_t> connections_total{0};
-  std::atomic<uint64_t> connections_active{0};
-  std::atomic<uint64_t> queries_total{0};
-  std::atomic<uint64_t> errors_total{0};
-  LatencyHistogram latency;
+  obs::Counter* connections_total = nullptr;
+  obs::Gauge* connections_active = nullptr;
+  obs::Counter* queries_total = nullptr;
+  obs::Counter* errors_total = nullptr;
+  obs::Histogram* latency = nullptr;
 };
 
 /// The networked front end of one Database: accepts TCP connections,

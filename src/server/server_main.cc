@@ -135,8 +135,8 @@ int main(int argc, char** argv) {
   std::cout << "\nshutting down (draining in-flight queries)...\n";
   server.Stop();
   const auto& c = server.counters();
-  std::cout << "served " << c.queries_total.load() << " quer(ies) on "
-            << c.connections_total.load() << " connection(s), "
-            << c.errors_total.load() << " error(s)\n";
+  std::cout << "served " << c.queries_total->value() << " quer(ies) on "
+            << c.connections_total->value() << " connection(s), "
+            << c.errors_total->value() << " error(s)\n";
   return 0;
 }

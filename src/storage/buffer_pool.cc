@@ -20,11 +20,11 @@ void BufferPool::Touch(size_t frame_idx) {
 Result<size_t> BufferPool::GetFrame(PageId id, bool load) {
   auto it = table_.find(id);
   if (it != table_.end()) {
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     Touch(it->second);
     return it->second;
   }
-  ++misses_;
+  misses_.fetch_add(1, std::memory_order_relaxed);
 
   // Find a free frame or evict the least-recently-used unpinned frame.
   size_t victim = capacity_;

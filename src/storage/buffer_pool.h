@@ -1,6 +1,8 @@
 #ifndef EXODUS_STORAGE_BUFFER_POOL_H_
 #define EXODUS_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
+#include <cstdint>
 #include <list>
 #include <memory>
 #include <unordered_map>
@@ -37,8 +39,8 @@ class BufferPool {
   util::Status Flush();
 
   size_t capacity() const { return capacity_; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
  private:
   struct Frame {
@@ -58,8 +60,11 @@ class BufferPool {
   std::unordered_map<PageId, size_t> table_;
   std::list<size_t> lru_;  // front = most recent
   std::unordered_map<size_t, std::list<size_t>::iterator> lru_pos_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  /// Hit/miss counters are atomics (relaxed): statistics readers — the
+  /// metrics exposition among them — may poll while another thread
+  /// faults pages in, without racing on the counts.
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
 };
 
 }  // namespace exodus::storage
