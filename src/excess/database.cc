@@ -1,6 +1,9 @@
 #include "excess/database.h"
 
 #include <cstdlib>
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
 
 #include "adt/box.h"
 #include "adt/complex.h"
@@ -31,6 +34,19 @@ using util::Result;
 using util::Status;
 
 Database::Database() {
+#if defined(__GLIBC__)
+  // Query execution allocates and frees row storage in bursts; glibc's
+  // default trim threshold hands that memory back to the kernel between
+  // statements, so every query pays brk/page-fault churn to get it
+  // again. Keep a generous pool resident instead (process-wide; set
+  // once).
+  static const bool malloc_tuned = [] {
+    mallopt(M_TRIM_THRESHOLD, 32 * 1024 * 1024);
+    mallopt(M_TOP_PAD, 1 * 1024 * 1024);
+    return true;
+  }();
+  (void)malloc_tuned;
+#endif
   // Built-in ADT library (Date, Complex, Box) + access-method rows for
   // the comparable Date ADT.
   Status st = adt::InstallBuiltinAdts(
@@ -115,6 +131,10 @@ const std::string& Database::current_user() const {
 
 excess::OptimizerOptions* Database::mutable_optimizer_options() {
   return default_session_->mutable_optimizer_options();
+}
+
+excess::ExecOptions* Database::mutable_exec_options() {
+  return default_session_->mutable_exec_options();
 }
 
 /// True for statements whose effects must be journaled for recovery.

@@ -186,6 +186,10 @@ class Database {
   /// benchmarks and tests.
   excess::OptimizerOptions* mutable_optimizer_options();
 
+  /// Executor knobs of the default session: batch (vectorized)
+  /// execution on/off and rows per batch.
+  excess::ExecOptions* mutable_exec_options();
+
   /// Registers an access-method applicability row for an ADT (the
   /// "tabular optimizer information" channel of paper §4.1.2).
   void RegisterAccessMethod(int adt_id, index::AccessMethodKind method,

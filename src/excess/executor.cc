@@ -105,6 +105,8 @@ void OperatorMetrics::Register(obs::MetricsRegistry* registry) {
     pk.rows = registry->GetCounter("exodus_operator_rows_total" + labels);
     pk.time_ns =
         registry->GetCounter("exodus_operator_time_ns_total" + labels);
+    pk.batches =
+        registry->GetCounter("exodus_operator_batches_total" + labels);
   }
 }
 
@@ -255,18 +257,22 @@ Status Executor::RunPlan(const Plan& plan, const BoundQuery& query, Env* env,
     return RunStep(plan, 0, query, env, &join_tables, row_fn);
   }();
   run_stats_.total_ns = obs::MonotonicNowNs() - t0;
-  if (ctx_->op_metrics != nullptr) {
-    for (size_t i = 0; i < plan.steps.size(); ++i) {
-      const StepRuntime& srt = run_stats_.steps[i];
-      const size_t k = static_cast<size_t>(plan.steps[i].kind);
-      if (k >= OperatorMetrics::kNumKinds) continue;
-      const OperatorMetrics::PerKind& pk = ctx_->op_metrics->kinds[k];
-      if (pk.invocations != nullptr) pk.invocations->Add(srt.invocations);
-      if (pk.rows != nullptr) pk.rows->Add(srt.rows_produced);
-      if (pk.time_ns != nullptr) pk.time_ns->Add(srt.EstimatedTimeNs());
-    }
-  }
+  FlushOperatorMetrics(plan);
   return st;
+}
+
+void Executor::FlushOperatorMetrics(const Plan& plan) const {
+  if (ctx_->op_metrics == nullptr) return;
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    const StepRuntime& srt = run_stats_.steps[i];
+    const size_t k = static_cast<size_t>(plan.steps[i].kind);
+    if (k >= OperatorMetrics::kNumKinds) continue;
+    const OperatorMetrics::PerKind& pk = ctx_->op_metrics->kinds[k];
+    if (pk.invocations != nullptr) pk.invocations->Add(srt.invocations);
+    if (pk.rows != nullptr) pk.rows->Add(srt.rows_produced);
+    if (pk.time_ns != nullptr) pk.time_ns->Add(srt.EstimatedTimeNs());
+    if (pk.batches != nullptr) pk.batches->Add(srt.batches);
+  }
 }
 
 size_t Executor::JoinKeyHash(const Value& v) {
@@ -523,6 +529,9 @@ Status Executor::RunStepImpl(const Plan& plan, size_t step_idx,
 
 Result<std::vector<std::vector<Value>>> Executor::MaterializeRows(
     const Plan& plan, const BoundQuery& query, Env* env) {
+  if (ctx_->exec_options.vectorized) {
+    return MaterializeRowsBatched(plan, query, env);
+  }
   std::vector<std::vector<Value>> rows;
   Status st = RunPlan(plan, query, env, [&](Env* e) -> Status {
     std::vector<Value> snapshot;
@@ -568,12 +577,10 @@ bool Executor::IsQueryLevelAggregate(const Expr& agg) const {
   return true;
 }
 
-namespace {
-
 /// True if the expression references range variables only inside the
 /// given aggregate nodes (the "all-aggregate projection" test).
-bool VarsOnlyInsideAggs(const Expr& expr,
-                        const std::vector<const Expr*>& aggs) {
+bool Executor::VarsOnlyInsideAggs(const Expr& expr,
+                                  const std::vector<const Expr*>& aggs) {
   if (std::find(aggs.begin(), aggs.end(), &expr) != aggs.end()) return true;
   if (expr.kind == ExprKind::kVar) return false;
   if (expr.kind == ExprKind::kAttr || expr.kind == ExprKind::kIndex ||
@@ -592,8 +599,6 @@ bool VarsOnlyInsideAggs(const Expr& expr,
   }
   return true;
 }
-
-}  // namespace
 
 Result<QueryResult> Executor::ExecRetrieve(const Stmt& stmt,
                                            const BoundQuery& query,
@@ -639,8 +644,25 @@ Result<QueryResult> Executor::ExecRetrieve(const Stmt& stmt,
 
   bool need_materialize =
       !qlevel.empty() || stmt.unique || !stmt.sort_by.empty();
+  const bool vectorized = ctx_->exec_options.vectorized;
 
   if (!need_materialize) {
+    if (vectorized) {
+      // Streaming batched retrieve: projections evaluate once per batch
+      // over columnar bindings instead of once per row through the
+      // binding stack.
+      std::vector<std::string> names;
+      names.reserve(plan.steps.size());
+      for (const PlanStep& s : plan.steps) names.push_back(s.var_name);
+      std::vector<std::vector<Value>> pscratch;
+      Status st = RunPlanBatched(plan, query, env,
+                                 [&](RowBatch& b) -> Status {
+                                   return ProjectBatch(stmt, names, b, env,
+                                                       &pscratch, &result.rows);
+                                 });
+      EXODUS_RETURN_IF_ERROR(st);
+      return result;
+    }
     Status st = RunPlan(plan, query, env, [&](Env* e) -> Status {
       std::vector<Value> row;
       row.reserve(stmt.projections.size());
@@ -681,36 +703,44 @@ Result<QueryResult> Executor::ExecRetrieve(const Stmt& stmt,
     for (size_t vi = 0; vi < query.vars.size(); ++vi) env->stack.pop_back();
   };
 
+  BatchAggResult bagg;
   if (!qlevel.empty()) {
-    for (const auto& row : bindings) {
-      push_bindings(row);
-      for (AggTable& table : tables) {
-        std::vector<Value> parts;
-        for (const ExprPtr& o : table.node->over) {
-          auto pv = Eval(*o, env);
-          if (!pv.ok()) {
-            pop_bindings();
-            return pv.status();
+    if (vectorized) {
+      // Columnar aggregation: evaluate partition keys and arguments once
+      // per column over all binding rows, then group via flat hash arrays.
+      EXODUS_ASSIGN_OR_RETURN(
+          bagg, AccumulateAggregatesBatched(qlevel, query, bindings, env));
+    } else {
+      for (const auto& row : bindings) {
+        push_bindings(row);
+        for (AggTable& table : tables) {
+          std::vector<Value> parts;
+          for (const ExprPtr& o : table.node->over) {
+            auto pv = Eval(*o, env);
+            if (!pv.ok()) {
+              pop_bindings();
+              return pv.status();
+            }
+            parts.push_back(*pv);
           }
-          parts.push_back(*pv);
-        }
-        AggAccum& acc = table.groups[std::move(parts)];
-        Value v = Value::Int(1);  // count() with no argument counts rows
-        if (!table.node->args.empty()) {
-          auto av = Eval(*table.node->args[0], env);
-          if (!av.ok()) {
-            pop_bindings();
-            return av.status();
+          AggAccum& acc = table.groups[std::move(parts)];
+          Value v = Value::Int(1);  // count() with no argument counts rows
+          if (!table.node->args.empty()) {
+            auto av = Eval(*table.node->args[0], env);
+            if (!av.ok()) {
+              pop_bindings();
+              return av.status();
+            }
+            v = *av;
           }
-          v = *av;
+          Status st = Accumulate(*table.node, &acc, v);
+          if (!st.ok()) {
+            pop_bindings();
+            return st;
+          }
         }
-        Status st = Accumulate(*table.node, &acc, v);
-        if (!st.ok()) {
-          pop_bindings();
-          return st;
-        }
+        pop_bindings();
       }
-      pop_bindings();
     }
   }
 
@@ -727,8 +757,26 @@ Result<QueryResult> Executor::ExecRetrieve(const Stmt& stmt,
   }
 
   using AggMap = std::map<const Expr*, Value>;
-  auto agg_values_for_row = [&](bool have_row) -> Result<AggMap> {
+  auto agg_values_for_row = [&](bool have_row,
+                                size_t row_idx) -> Result<AggMap> {
     AggMap out;
+    if (vectorized) {
+      // Groups and finished values were precomputed columnar-style; each
+      // binding row carries its group index per aggregate table.
+      for (size_t t = 0; t < qlevel.size(); ++t) {
+        const Expr* node = qlevel[t];
+        Value v;
+        if (have_row && row_idx < bagg.row_group[t].size()) {
+          v = bagg.finished[t][bagg.row_group[t][row_idx]];
+        } else if (node->over.empty() && !bagg.finished[t].empty()) {
+          v = bagg.finished[t][0];
+        } else {
+          v = bagg.empty_finished[t];
+        }
+        out[node] = std::move(v);
+      }
+      return out;
+    }
     for (AggTable& table : tables) {
       std::vector<Value> key;
       if (!table.node->over.empty() && have_row) {
@@ -755,7 +803,7 @@ Result<QueryResult> Executor::ExecRetrieve(const Stmt& stmt,
   std::vector<std::vector<Value>> sort_keys;
 
   if (single_row) {
-    EXODUS_ASSIGN_OR_RETURN(AggMap agg_vals, agg_values_for_row(false));
+    EXODUS_ASSIGN_OR_RETURN(AggMap agg_vals, agg_values_for_row(false, 0));
     agg_override_ = &agg_vals;
     std::vector<Value> row;
     Status st = Status::OK();
@@ -771,11 +819,11 @@ Result<QueryResult> Executor::ExecRetrieve(const Stmt& stmt,
     EXODUS_RETURN_IF_ERROR(st);
     out_rows.push_back(std::move(row));
   } else {
-    for (const auto& brow : bindings) {
-      push_bindings(brow);
+    for (size_t ri = 0; ri < bindings.size(); ++ri) {
+      push_bindings(bindings[ri]);
       AggMap agg_vals;
       if (!qlevel.empty()) {
-        auto av = agg_values_for_row(true);
+        auto av = agg_values_for_row(true, ri);
         if (!av.ok()) {
           pop_bindings();
           return av.status();

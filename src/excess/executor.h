@@ -13,6 +13,7 @@
 #include "auth/auth.h"
 #include "excess/ast.h"
 #include "excess/binder.h"
+#include "excess/exec_options.h"
 #include "excess/functions.h"
 #include "excess/optimizer.h"
 #include "excess/plan.h"
@@ -36,6 +37,9 @@ struct OperatorMetrics {
     obs::Counter* invocations = nullptr;
     obs::Counter* rows = nullptr;
     obs::Counter* time_ns = nullptr;
+    /// RowBatch windows expanded by the batch pipeline (0 under the
+    /// row-at-a-time path); rows/batches gives the realized batch size.
+    obs::Counter* batches = nullptr;
   };
   /// Indexed by static_cast<size_t>(PlanStep::Kind).
   static constexpr size_t kNumKinds = 4;
@@ -76,6 +80,8 @@ struct ExecContext {
   int call_depth = 0;
   /// Optimizer rule switches (ablation; all on by default).
   OptimizerOptions optimizer_options;
+  /// Executor knobs: batch (vectorized) execution and batch size.
+  ExecOptions exec_options;
   /// Cumulative per-operator registry series (may be null: standalone
   /// executors in tests run without a registry).
   const OperatorMetrics* op_metrics = nullptr;
@@ -261,13 +267,124 @@ class Executor {
   static size_t JoinKeyHash(const object::Value& v);
 
   /// Materializes all binding rows (used by updates — mutate after
-  /// enumeration — and by aggregate/sort/unique retrieves).
+  /// enumeration — and by aggregate/sort/unique retrieves). Rows are in
+  /// BoundQuery::vars order. Dispatches to the batch pipeline when
+  /// ExecOptions::vectorized is set.
   util::Result<std::vector<std::vector<object::Value>>> MaterializeRows(
       const Plan& plan, const BoundQuery& query, Env* env);
+
+  // --- batch (vectorized) plan execution — executor_batch.cc ---
+  /// Per-execution columnar scratch of one kHashJoin step in the batch
+  /// pipeline: build-side key values, elements and full combined-key
+  /// hashes as flat parallel arrays, chained into power-of-two buckets.
+  /// Probing walks integer chains over the contiguous hash array, so key
+  /// hashing/comparison never touches node-based containers. Built
+  /// lazily on the first probe batch, like JoinTable.
+  struct ColumnarJoinTable {
+    bool built = false;
+    std::vector<std::vector<object::Value>> key_cols;  // [key][entry]
+    std::vector<object::Value> elements;               // [entry]
+    std::vector<size_t> hashes;                        // [entry]
+    std::vector<int32_t> heads;  // [bucket] -> first entry or -1
+    std::vector<int32_t> next;   // [entry] -> next in chain or -1
+    size_t bucket_mask = 0;
+    /// Probe-side key scratch, reused across batches so each probe call
+    /// evaluates into already-sized columns instead of fresh heap
+    /// allocations.
+    std::vector<std::vector<object::Value>> probe_scratch;
+  };
+  using BatchSink = std::function<util::Status(RowBatch&)>;
+  /// Batch-at-a-time counterpart of RunPlan: operators exchange RowBatch
+  /// windows of ExecOptions::batch_size rows; `sink` receives every
+  /// surviving batch (columns in plan-step order) and may retain its
+  /// columns by moving them out. Counter semantics match RunPlan
+  /// exactly; wall time is sampled per batch (StepRuntime::
+  /// ShouldTimeBatch).
+  util::Status RunPlanBatched(const Plan& plan, const BoundQuery& query,
+                              Env* env, const BatchSink& sink);
+  /// Per-batch accounting wrapper around ExpandStepBatch (and the
+  /// end-of-pipeline case), mirroring RunStep.
+  util::Status RunStepBatched(const Plan& plan, size_t step_idx, RowBatch& in,
+                              Env* env, std::vector<ColumnarJoinTable>* tables,
+                              const BatchSink& sink);
+  util::Status ExpandStepBatch(const Plan& plan, size_t step_idx, RowBatch& in,
+                               Env* env,
+                               std::vector<ColumnarJoinTable>* tables,
+                               const BatchSink& sink);
+  util::Status BuildColumnarJoinTable(const PlanStep& step,
+                                      ColumnarJoinTable* table, Env* env);
+  /// Applies a step's filters to `batch` in place (sequential
+  /// short-circuit: filter i+1 only sees rows filter i passed).
+  util::Status ApplyStepFilters(const PlanStep& step,
+                                const std::vector<std::string>& names,
+                                RowBatch* batch, Env* env);
+  /// Vectorized expression evaluation: `out` receives one value per
+  /// batch row. Row-invariant expressions evaluate once and broadcast;
+  /// attribute access and non-short-circuit operators run as tight
+  /// per-batch loops; everything else (and/or, calls, aggregates,
+  /// quantifiers) falls back to per-row Eval with the batch variables
+  /// bound in `env` — same semantics, no vectorization.
+  util::Status EvalBatch(const Expr& expr,
+                         const std::vector<std::string>& names,
+                         const RowBatch& batch, Env* env,
+                         std::vector<object::Value>* out);
+  util::Status EvalBatchRowwise(const Expr& expr,
+                                const std::vector<std::string>& names,
+                                const RowBatch& batch, Env* env,
+                                std::vector<object::Value>* out);
+  /// Zero-copy variant of EvalBatch: when `expr` is a direct reference
+  /// to a batch variable, returns a pointer to the existing column;
+  /// otherwise evaluates into `scratch` and returns &scratch. The
+  /// result is invalidated by any mutation of `batch` or `scratch`.
+  util::Result<const std::vector<object::Value>*> EvalBatchCol(
+      const Expr& expr, const std::vector<std::string>& names,
+      const RowBatch& batch, Env* env, std::vector<object::Value>* scratch);
+  /// True if `expr` may reference any of the first `depth` batch
+  /// variables (name scan; over-approximates under shadowing, which
+  /// only costs the broadcast optimization, never correctness).
+  static bool ReferencesBatchVar(const Expr& expr,
+                                 const std::vector<std::string>& names,
+                                 size_t depth);
+  util::Result<std::vector<std::vector<object::Value>>> MaterializeRowsBatched(
+      const Plan& plan, const BoundQuery& query, Env* env);
+  /// Streaming retrieve over the batch pipeline: evaluates every
+  /// projection per batch and appends deep-copied output rows. `scratch`
+  /// holds one evaluation column per projection and is owned by the
+  /// caller so capacity survives across batches.
+  util::Status ProjectBatch(const Stmt& stmt,
+                            const std::vector<std::string>& names,
+                            const RowBatch& batch, Env* env,
+                            std::vector<std::vector<object::Value>>* scratch,
+                            std::vector<std::vector<object::Value>>* out);
+  /// Columnar two-phase aggregation over materialized binding rows: per
+  /// aggregate table, group keys live in flat per-key columns with a
+  /// chained hash directory (no per-group node allocations), finished
+  /// values are computed once per group, and each binding row remembers
+  /// its group index so the output phase never re-evaluates `over`
+  /// expressions.
+  struct BatchAggResult {
+    std::vector<std::vector<object::Value>> finished;  // [table][group]
+    std::vector<std::vector<uint32_t>> row_group;      // [table][row]
+    std::vector<object::Value> empty_finished;         // [table]
+  };
+  util::Result<BatchAggResult> AccumulateAggregatesBatched(
+      const std::vector<const Expr*>& qlevel, const BoundQuery& query,
+      const std::vector<std::vector<object::Value>>& bindings, Env* env);
 
   // --- expression evaluation ---
   util::Result<object::Value> Eval(const Expr& expr, Env* env);
   util::Result<object::Value> EvalBinary(const Expr& expr, Env* env);
+  /// EvalBinary's operator application once both operands are evaluated
+  /// (every operator except short-circuiting and/or). Shared between the
+  /// row path and the batch loops so '=' / arithmetic / ADT semantics
+  /// cannot diverge.
+  util::Result<object::Value> ApplyBinary(const std::string& op,
+                                          const object::Value& lhs,
+                                          const object::Value& rhs);
+  /// Prefix-operator application after operand evaluation (not / - /
+  /// ADT prefix operators); shared like ApplyBinary.
+  util::Result<object::Value> ApplyUnary(const std::string& op,
+                                         const object::Value& v);
   util::Result<object::Value> EvalCall(const Expr& expr, Env* env);
   util::Result<object::Value> EvalAggregate(const Expr& expr, Env* env);
   util::Result<object::Value> EvalQuantified(const Expr& expr, Env* env);
@@ -361,6 +478,14 @@ class Executor {
   bool IsQueryLevelAggregate(const Expr& agg) const;
   static void CollectAggregates(const Expr& expr,
                                 std::vector<const Expr*>* out);
+  /// True if the expression references range variables only inside the
+  /// given aggregate nodes (the "all-aggregate projection" test).
+  static bool VarsOnlyInsideAggs(const Expr& expr,
+                                 const std::vector<const Expr*>& aggs);
+
+  /// Folds one plan execution's actuals (run_stats_) into the
+  /// cumulative per-operator registry series.
+  void FlushOperatorMetrics(const Plan& plan) const;
 
   ExecContext* ctx_;
   Binder binder_;
@@ -374,6 +499,8 @@ class Executor {
   /// instance per Executor, so concurrent sessions executing one cached
   /// plan never share runtime state.
   PlanRuntime run_stats_;
+  /// Validated rows-per-batch capacity of the current RunPlanBatched.
+  size_t batch_cap_ = 1;
 };
 
 }  // namespace exodus::excess

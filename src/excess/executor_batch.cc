@@ -1,0 +1,818 @@
+// Batch (vectorized) half of the Executor: plan steps exchange RowBatch
+// windows in columnar layout instead of recursing once per binding row.
+// Semantics — filter short-circuiting, '=' join key rules, null
+// handling, error messages and the per-step counters — are kept in
+// exact parity with the row-at-a-time path in executor.cc, which stays
+// available behind ExecOptions::vectorized = false.
+
+#include <algorithm>
+#include <optional>
+
+#include "excess/executor.h"
+
+namespace exodus::excess {
+
+using extra::Type;
+using object::Oid;
+using object::Value;
+using object::ValueKind;
+using util::Result;
+using util::Status;
+
+namespace {
+
+// FNV-1a-style combine, identical to the row path's key hashing so the
+// two pipelines bucket values the same way.
+constexpr size_t kHashBasis = 0x811c9dc5ULL;
+constexpr size_t kHashPrime = 1099511628211ULL;
+
+// Smallest power of two >= 2*n (min 16): the chained-bucket directory
+// stays at load factor <= 0.5.
+size_t BucketCountFor(size_t n) {
+  size_t buckets = 16;
+  while (buckets < 2 * n) buckets <<= 1;
+  return buckets;
+}
+
+}  // namespace
+
+bool Executor::ReferencesBatchVar(const Expr& expr,
+                                  const std::vector<std::string>& names,
+                                  size_t depth) {
+  if (expr.kind == ExprKind::kVar) {
+    for (size_t k = 0; k < depth; ++k) {
+      if (names[k] == expr.name) return true;
+    }
+    return false;
+  }
+  if (expr.base && ReferencesBatchVar(*expr.base, names, depth)) return true;
+  for (const ExprPtr& a : expr.args) {
+    if (a && ReferencesBatchVar(*a, names, depth)) return true;
+  }
+  for (const ExprPtr& o : expr.over) {
+    if (o && ReferencesBatchVar(*o, names, depth)) return true;
+  }
+  for (const FromBinding& fb : expr.bindings) {
+    if (fb.range && ReferencesBatchVar(*fb.range, names, depth)) return true;
+  }
+  if (expr.where && ReferencesBatchVar(*expr.where, names, depth)) return true;
+  for (const auto& [n, e] : expr.fields) {
+    if (e && ReferencesBatchVar(*e, names, depth)) return true;
+  }
+  return false;
+}
+
+Status Executor::EvalBatchRowwise(const Expr& expr,
+                                  const std::vector<std::string>& names,
+                                  const RowBatch& b, Env* env,
+                                  std::vector<Value>* out) {
+  const size_t depth = b.cols.size();
+  const size_t base = env->stack.size();
+  for (size_t k = 0; k < depth; ++k) {
+    env->stack.emplace_back(names[k], Value::Null());
+  }
+  Status st = Status::OK();
+  for (size_t r = 0; r < b.rows; ++r) {
+    for (size_t k = 0; k < depth; ++k) {
+      env->stack[base + k].second = b.cols[k][r];
+    }
+    auto v = Eval(expr, env);
+    if (!v.ok()) {
+      st = v.status();
+      break;
+    }
+    out->push_back(std::move(*v));
+  }
+  env->stack.resize(base);
+  return st;
+}
+
+Result<const std::vector<Value>*> Executor::EvalBatchCol(
+    const Expr& expr, const std::vector<std::string>& names,
+    const RowBatch& b, Env* env, std::vector<Value>* scratch) {
+  if (expr.kind == ExprKind::kVar) {
+    // Innermost binding wins, mirroring Env::Find's back-to-front scan.
+    for (size_t k = b.cols.size(); k-- > 0;) {
+      if (names[k] == expr.name) return &b.cols[k];
+    }
+  }
+  EXODUS_RETURN_IF_ERROR(EvalBatch(expr, names, b, env, scratch));
+  return scratch;
+}
+
+Status Executor::EvalBatch(const Expr& expr,
+                           const std::vector<std::string>& names,
+                           const RowBatch& b, Env* env,
+                           std::vector<Value>* out) {
+  out->clear();
+  if (b.rows == 0) return Status::OK();
+  const size_t depth = b.cols.size();
+  // Row-invariant expressions evaluate once and broadcast. This also
+  // covers enum scoping (EnumType.label), named collections and
+  // parameters, none of which involve batch variables.
+  if (depth == 0 || !ReferencesBatchVar(expr, names, depth)) {
+    EXODUS_ASSIGN_OR_RETURN(Value v, Eval(expr, env));
+    out->assign(b.rows, v);
+    return Status::OK();
+  }
+  out->reserve(b.rows);
+  switch (expr.kind) {
+    case ExprKind::kVar: {
+      // Innermost binding wins, mirroring Env::Find's back-to-front scan.
+      for (size_t k = depth; k-- > 0;) {
+        if (names[k] == expr.name) {
+          *out = b.cols[k];
+          return Status::OK();
+        }
+      }
+      // Over-approximation miss: the name is not actually a batch column.
+      EXODUS_ASSIGN_OR_RETURN(Value v, Eval(expr, env));
+      out->assign(b.rows, v);
+      return Status::OK();
+    }
+    case ExprKind::kAttr: {
+      // Derived attributes (EXCESS functions invoked without parens)
+      // need per-row early/late binding dispatch — rowwise fallback.
+      if (ctx_->functions->HasFunction(expr.name)) break;
+      std::vector<Value> bases_scratch;
+      EXODUS_ASSIGN_OR_RETURN(
+          const std::vector<Value>* bases_ptr,
+          EvalBatchCol(*expr.base, names, b, env, &bases_scratch));
+      const std::vector<Value>& bases = *bases_ptr;
+      // Attribute offsets are resolved once per distinct runtime type,
+      // not once per row.
+      const Type* cached_type = nullptr;
+      int cached_idx = -1;
+      for (size_t r = 0; r < b.rows; ++r) {
+        const Value& bv = bases[r];
+        if (bv.is_null()) {
+          out->push_back(Value::Null());
+          continue;
+        }
+        const Type* type = nullptr;
+        const std::vector<Value>* fields = nullptr;
+        if (bv.kind() == ValueKind::kRef) {
+          const object::HeapObject* obj = ctx_->heap->Get(bv.AsRef());
+          if (obj == nullptr) {  // dangling ref ~ null (GEM)
+            out->push_back(Value::Null());
+            continue;
+          }
+          type = obj->type;
+          fields = &obj->fields;
+        } else if (bv.kind() == ValueKind::kTuple) {
+          type = bv.tuple().type;
+          fields = &bv.tuple().fields;
+        } else if (bv.kind() == ValueKind::kAdt) {
+          const adt::AdtFunction* fn =
+              ctx_->adts->FindFunction(bv.adt_id(), expr.name);
+          if (fn == nullptr) {
+            return Status::NotFound("ADT has no function '" + expr.name +
+                                    "'");
+          }
+          EXODUS_ASSIGN_OR_RETURN(Value v, fn->fn({bv}));
+          out->push_back(std::move(v));
+          continue;
+        } else {
+          return Status::TypeError("cannot select '." + expr.name +
+                                   "' from a non-object value " +
+                                   bv.ToString());
+        }
+        if (type == nullptr) {
+          return Status::TypeError("cannot select attribute '" + expr.name +
+                                   "' from an untyped tuple");
+        }
+        if (type != cached_type) {
+          cached_type = type;
+          cached_idx = type->AttributeIndex(expr.name);
+        }
+        if (cached_idx < 0) {
+          return Status::NotFound("type " + type->ToString() +
+                                  " has no attribute '" + expr.name + "'");
+        }
+        out->push_back(static_cast<size_t>(cached_idx) < fields->size()
+                           ? (*fields)[static_cast<size_t>(cached_idx)]
+                           : Value::Null());
+      }
+      return Status::OK();
+    }
+    case ExprKind::kBinary: {
+      // and/or short-circuit per row (the right side must not be
+      // evaluated for rows the left side decides) — rowwise fallback.
+      if (expr.name == "and" || expr.name == "or") break;
+      std::vector<Value> lhs_scratch;
+      std::vector<Value> rhs_scratch;
+      EXODUS_ASSIGN_OR_RETURN(
+          const std::vector<Value>* lhs,
+          EvalBatchCol(*expr.args[0], names, b, env, &lhs_scratch));
+      EXODUS_ASSIGN_OR_RETURN(
+          const std::vector<Value>* rhs,
+          EvalBatchCol(*expr.args[1], names, b, env, &rhs_scratch));
+      for (size_t r = 0; r < b.rows; ++r) {
+        EXODUS_ASSIGN_OR_RETURN(Value v,
+                                ApplyBinary(expr.name, (*lhs)[r], (*rhs)[r]));
+        out->push_back(std::move(v));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kUnary: {
+      std::vector<Value> vals_scratch;
+      EXODUS_ASSIGN_OR_RETURN(
+          const std::vector<Value>* vals,
+          EvalBatchCol(*expr.base, names, b, env, &vals_scratch));
+      for (size_t r = 0; r < b.rows; ++r) {
+        EXODUS_ASSIGN_OR_RETURN(Value v, ApplyUnary(expr.name, (*vals)[r]));
+        out->push_back(std::move(v));
+      }
+      return Status::OK();
+    }
+    default:
+      break;
+  }
+  // Calls, aggregates, quantifiers, collection literals, indexing:
+  // evaluate per row with the batch variables bound in the environment.
+  return EvalBatchRowwise(expr, names, b, env, out);
+}
+
+Status Executor::ApplyStepFilters(const PlanStep& step,
+                                  const std::vector<std::string>& names,
+                                  RowBatch* batch, Env* env) {
+  std::vector<Value> fvals;
+  for (const ExprPtr& f : step.filters) {
+    if (batch->rows == 0) return Status::OK();
+    EXODUS_RETURN_IF_ERROR(EvalBatch(*f, names, *batch, env, &fvals));
+    // In-place compaction; filter i+1 only ever sees rows filter i
+    // passed, like the row path's short-circuiting filter loop.
+    size_t w = 0;
+    for (size_t r = 0; r < batch->rows; ++r) {
+      EXODUS_ASSIGN_OR_RETURN(bool pass, Truthy(fvals[r]));
+      if (!pass) continue;
+      if (w != r) {
+        for (auto& col : batch->cols) col[w] = std::move(col[r]);
+      }
+      ++w;
+    }
+    batch->rows = w;
+    for (auto& col : batch->cols) col.resize(w);
+  }
+  return Status::OK();
+}
+
+Status Executor::BuildColumnarJoinTable(const PlanStep& step,
+                                        ColumnarJoinTable* table, Env* env) {
+  table->built = true;
+  std::vector<Value> owned;
+  const std::vector<Value>* elems = &owned;
+  if (!step.named_collection.empty()) {
+    const extra::NamedObject* named =
+        ctx_->catalog->FindNamed(step.named_collection);
+    if (named == nullptr) {
+      return Status::NotFound("named collection '" + step.named_collection +
+                              "' disappeared during execution");
+    }
+    if (named->value.kind() == ValueKind::kSet) {
+      elems = &named->value.set().elems;
+    } else if (named->value.kind() == ValueKind::kArray) {
+      elems = &named->value.array().elems;
+    }
+  } else {
+    EXODUS_ASSIGN_OR_RETURN(Value coll, Eval(*step.range, env));
+    EXODUS_ASSIGN_OR_RETURN(owned, ElementsOf(coll));
+  }
+
+  const size_t nkeys = step.build_keys.size();
+  // Non-null elements form a one-column batch so key expressions run
+  // through the vectorized evaluator instead of one Eval per element
+  // (same column-at-a-time semantics as the probe side).
+  RowBatch eb;
+  eb.cols.resize(1);
+  eb.cols[0].reserve(elems->size());
+  for (const Value& e : *elems) {
+    if (e.is_null()) continue;
+    eb.cols[0].push_back(e);
+  }
+  eb.rows = eb.cols[0].size();
+  const std::vector<std::string> bnames = {step.var_name};
+  std::vector<std::vector<Value>> kscratch(nkeys);
+  std::vector<const std::vector<Value>*> kcols(nkeys);
+  for (size_t k = 0; k < nkeys; ++k) {
+    EXODUS_ASSIGN_OR_RETURN(
+        kcols[k],
+        EvalBatchCol(*step.build_keys[k], bnames, eb, env, &kscratch[k]));
+  }
+
+  table->key_cols.assign(nkeys, {});
+  for (auto& kc : table->key_cols) kc.reserve(eb.rows);
+  table->elements.reserve(eb.rows);
+  table->hashes.reserve(eb.rows);
+
+  for (size_t r = 0; r < eb.rows; ++r) {
+    size_t h = kHashBasis;
+    bool usable = true;
+    for (size_t k = 0; k < nkeys; ++k) {
+      const Value& kv = (*kcols[k])[r];
+      if (kv.is_null()) {
+        usable = false;  // NULL keys never join
+        break;
+      }
+      if (kv.kind() == ValueKind::kRef) {
+        return Status::TypeError(
+            "references cannot be compared with '='; use 'is' / 'isnot' "
+            "(object identity)");
+      }
+      h = h * kHashPrime + JoinKeyHash(kv);
+    }
+    if (!usable) continue;
+    for (size_t k = 0; k < nkeys; ++k) {
+      table->key_cols[k].push_back((*kcols[k])[r]);
+    }
+    table->elements.push_back(eb.cols[0][r]);
+    table->hashes.push_back(h);
+  }
+
+  // Chained bucket directory over the flat hash array. Entries are
+  // inserted back-to-front so every chain enumerates in build order.
+  const size_t n = table->elements.size();
+  const size_t buckets = BucketCountFor(n);
+  table->bucket_mask = buckets - 1;
+  table->heads.assign(buckets, -1);
+  table->next.assign(n, -1);
+  for (size_t i = n; i-- > 0;) {
+    const size_t bidx = table->hashes[i] & table->bucket_mask;
+    table->next[i] = table->heads[bidx];
+    table->heads[bidx] = static_cast<int32_t>(i);
+  }
+  return Status::OK();
+}
+
+Status Executor::RunStepBatched(const Plan& plan, size_t step_idx,
+                                RowBatch& in, Env* env,
+                                std::vector<ColumnarJoinTable>* tables,
+                                const BatchSink& sink) {
+  if (in.rows == 0) return Status::OK();
+  if (step_idx == plan.steps.size()) {
+    run_stats_.rows_out += in.rows;
+    return sink(in);
+  }
+  // A batch accounts for all of its rows at once: invocations stays
+  // comparable with the row path, batches records the window count.
+  StepRuntime& srt = run_stats_.steps[step_idx];
+  srt.invocations += in.rows;
+  ++srt.batches;
+  if (srt.ShouldTimeBatch()) {
+    const uint64_t t0 = obs::MonotonicNowNs();
+    Status st = ExpandStepBatch(plan, step_idx, in, env, tables, sink);
+    StepRuntime& srt2 = run_stats_.steps[step_idx];
+    srt2.sampled_ns += obs::MonotonicNowNs() - t0;
+    srt2.timed_invocations += in.rows;
+    return st;
+  }
+  return ExpandStepBatch(plan, step_idx, in, env, tables, sink);
+}
+
+Status Executor::ExpandStepBatch(const Plan& plan, size_t step_idx,
+                                 RowBatch& in, Env* env,
+                                 std::vector<ColumnarJoinTable>* tables,
+                                 const BatchSink& sink) {
+  const PlanStep& step = plan.steps[step_idx];
+  StepRuntime& srt = run_stats_.steps[step_idx];
+  const size_t depth = in.cols.size();
+
+  std::vector<std::string> names;
+  names.reserve(step_idx + 1);
+  for (size_t k = 0; k <= step_idx; ++k) {
+    names.push_back(plan.steps[k].var_name);
+  }
+
+  RowBatch out;
+  out.cols.resize(depth + 1);
+  for (auto& c : out.cols) c.reserve(batch_cap_);
+
+  auto flush = [&]() -> Status {
+    if (out.rows == 0) return Status::OK();
+    EXODUS_RETURN_IF_ERROR(ApplyStepFilters(step, names, &out, env));
+    srt.rows_produced += out.rows;
+    if (out.rows > 0) {
+      EXODUS_RETURN_IF_ERROR(
+          RunStepBatched(plan, step_idx + 1, out, env, tables, sink));
+    }
+    // The sink may retain columns by moving them out; re-establish the
+    // column shape before refilling.
+    out.cols.clear();
+    out.cols.resize(depth + 1);
+    for (auto& c : out.cols) c.reserve(batch_cap_);
+    out.rows = 0;
+    return Status::OK();
+  };
+
+  auto emit = [&](size_t parent, const Value& element) -> Status {
+    for (size_t k = 0; k < depth; ++k) {
+      out.cols[k].push_back(in.cols[k][parent]);
+    }
+    out.cols[depth].push_back(element);
+    if (++out.rows >= batch_cap_) return flush();
+    return Status::OK();
+  };
+
+  switch (step.kind) {
+    case PlanStep::Kind::kScan: {
+      const extra::NamedObject* named =
+          ctx_->catalog->FindNamed(step.named_collection);
+      if (named == nullptr) {
+        return Status::NotFound("named collection '" + step.named_collection +
+                                "' disappeared during execution");
+      }
+      const std::vector<Value>* elems = nullptr;
+      bool skip_nulls = false;
+      if (named->value.kind() == ValueKind::kSet) {
+        elems = &named->value.set().elems;
+      } else if (named->value.kind() == ValueKind::kArray) {
+        elems = &named->value.array().elems;
+        skip_nulls = true;  // array holes
+      }
+      if (elems != nullptr && !skip_nulls) {
+        // Bulk path (sets have no holes): copy batch-capacity slices of
+        // the extent straight into the output column — a range insert
+        // instead of one push_back per row.
+        for (size_t r = 0; r < in.rows; ++r) {
+          size_t pos = 0;
+          while (pos < elems->size()) {
+            const size_t take =
+                std::min(batch_cap_ - out.rows, elems->size() - pos);
+            for (size_t k = 0; k < depth; ++k) {
+              out.cols[k].insert(out.cols[k].end(), take, in.cols[k][r]);
+            }
+            out.cols[depth].insert(out.cols[depth].end(),
+                                   elems->begin() + pos,
+                                   elems->begin() + pos + take);
+            out.rows += take;
+            srt.rows_examined += take;
+            pos += take;
+            if (out.rows >= batch_cap_) {
+              EXODUS_RETURN_IF_ERROR(flush());
+            }
+          }
+        }
+      } else if (elems != nullptr) {
+        for (size_t r = 0; r < in.rows; ++r) {
+          for (const Value& e : *elems) {
+            if (e.is_null()) continue;  // array holes
+            ++srt.rows_examined;
+            EXODUS_RETURN_IF_ERROR(emit(r, e));
+          }
+        }
+      }
+      return flush();
+    }
+    case PlanStep::Kind::kIndexScan: {
+      index::IndexInfo* idx = ctx_->indexes->Find(step.index_name);
+      if (idx == nullptr) {
+        return Status::NotFound("index '" + step.index_name +
+                                "' disappeared during execution");
+      }
+      std::vector<Value> keys;
+      EXODUS_RETURN_IF_ERROR(EvalBatch(*step.key, names, in, env, &keys));
+      std::vector<Oid> oids;
+      for (size_t r = 0; r < in.rows; ++r) {
+        const Value& key = keys[r];
+        if (key.is_null()) continue;  // null never matches
+        oids.clear();
+        if (step.key_op == "=") {
+          EXODUS_ASSIGN_OR_RETURN(oids, idx->Lookup(key));
+        } else {
+          if (idx->btree == nullptr) {
+            return Status::Internal("range scan on a non-btree index");
+          }
+          std::optional<Value> lo, hi;
+          bool lo_inc = true;
+          bool hi_inc = true;
+          if (step.key_op == "<") {
+            hi = key;
+            hi_inc = false;
+          } else if (step.key_op == "<=") {
+            hi = key;
+          } else if (step.key_op == ">") {
+            lo = key;
+            lo_inc = false;
+          } else if (step.key_op == ">=") {
+            lo = key;
+          }
+          EXODUS_ASSIGN_OR_RETURN(oids,
+                                  idx->btree->Range(lo, lo_inc, hi, hi_inc));
+        }
+        for (Oid oid : oids) {
+          ++srt.rows_examined;  // postings looked at, stale ones included
+          if (ctx_->heap->Get(oid) == nullptr) continue;  // stale entry
+          EXODUS_RETURN_IF_ERROR(emit(r, Value::Ref(oid)));
+        }
+      }
+      return flush();
+    }
+    case PlanStep::Kind::kUnnest: {
+      std::vector<Value> ranges;
+      EXODUS_RETURN_IF_ERROR(EvalBatch(*step.range, names, in, env, &ranges));
+      for (size_t r = 0; r < in.rows; ++r) {
+        const Value& coll = ranges[r];
+        if (coll.is_null()) continue;  // ElementsOf(null) -> empty
+        const std::vector<Value>* elems = nullptr;
+        if (coll.kind() == ValueKind::kSet) {
+          elems = &coll.set().elems;
+        } else if (coll.kind() == ValueKind::kArray) {
+          elems = &coll.array().elems;
+        } else {
+          return Status::TypeError("expected a set or array, got " +
+                                   coll.ToString());
+        }
+        for (const Value& e : *elems) {
+          if (e.is_null()) continue;
+          ++srt.rows_examined;
+          EXODUS_RETURN_IF_ERROR(emit(r, e));
+        }
+      }
+      return flush();
+    }
+    case PlanStep::Kind::kHashJoin: {
+      ColumnarJoinTable& table = (*tables)[step_idx];
+      if (!table.built) {
+        EXODUS_RETURN_IF_ERROR(BuildColumnarJoinTable(step, &table, env));
+        srt.build_rows = table.elements.size();
+      }
+      const size_t nkeys = step.probe_keys.size();
+      table.probe_scratch.resize(nkeys);
+      std::vector<const std::vector<Value>*> probe_cols(nkeys);
+      for (size_t k = 0; k < nkeys; ++k) {
+        EXODUS_ASSIGN_OR_RETURN(probe_cols[k],
+                                EvalBatchCol(*step.probe_keys[k], names, in,
+                                             env, &table.probe_scratch[k]));
+      }
+      for (size_t r = 0; r < in.rows; ++r) {
+        size_t h = kHashBasis;
+        bool usable = true;
+        for (size_t k = 0; k < nkeys; ++k) {
+          const Value& kv = (*probe_cols[k])[r];
+          if (kv.is_null()) {
+            usable = false;  // NULL keys never join
+            break;
+          }
+          if (kv.kind() == ValueKind::kRef) {
+            return Status::TypeError(
+                "references cannot be compared with '='; use 'is' / 'isnot' "
+                "(object identity)");
+          }
+          h = h * kHashPrime + JoinKeyHash(kv);
+        }
+        if (!usable || table.elements.empty()) continue;
+        for (int32_t e = table.heads[h & table.bucket_mask]; e >= 0;
+             e = table.next[e]) {
+          // Bucket collisions with a different full hash are skipped
+          // without counting, mirroring the row path's equal_range(h).
+          if (table.hashes[e] != h) continue;
+          ++srt.rows_examined;  // bucket candidates probed
+          bool match = true;
+          for (size_t k = 0; k < nkeys; ++k) {
+            EXODUS_ASSIGN_OR_RETURN(
+                bool eq,
+                JoinKeyEquals(table.key_cols[k][e], (*probe_cols[k])[r]));
+            if (!eq) {
+              match = false;
+              break;
+            }
+          }
+          if (match) {
+            ++srt.probe_hits;
+            EXODUS_RETURN_IF_ERROR(emit(r, table.elements[e]));
+          }
+        }
+      }
+      return flush();
+    }
+  }
+  return Status::Internal("unknown plan step kind");
+}
+
+Status Executor::RunPlanBatched(const Plan& plan, const BoundQuery& query,
+                                Env* env, const BatchSink& sink) {
+  (void)query;
+  run_stats_.Reset(plan.steps.size());
+  const uint64_t t0 = obs::MonotonicNowNs();
+  Status st = [&]() -> Status {
+    const int bs = ctx_->exec_options.batch_size;
+    if (bs < 1) {
+      return Status::OutOfRange("ExecOptions::batch_size must be >= 1 (got " +
+                                std::to_string(bs) + ")");
+    }
+    batch_cap_ = std::min(static_cast<size_t>(bs),
+                          static_cast<size_t>(ExecOptions::kMaxBatchSize));
+    for (const ExprPtr& f : plan.constant_filters) {
+      EXODUS_ASSIGN_OR_RETURN(Value v, Eval(*f, env));
+      EXODUS_ASSIGN_OR_RETURN(bool ok, Truthy(v));
+      if (!ok) return Status::OK();
+    }
+    // Columnar join scratch is per-execution (plans are shared between
+    // sessions and must stay immutable); built lazily on first probe.
+    std::vector<ColumnarJoinTable> tables(plan.steps.size());
+    // One empty parent row drives the outermost step, so step 0 records
+    // exactly one invocation like the row path.
+    RowBatch seed;
+    seed.rows = 1;
+    return RunStepBatched(plan, 0, seed, env, &tables, sink);
+  }();
+  run_stats_.total_ns = obs::MonotonicNowNs() - t0;
+  FlushOperatorMetrics(plan);
+  return st;
+}
+
+Result<std::vector<std::vector<Value>>> Executor::MaterializeRowsBatched(
+    const Plan& plan, const BoundQuery& query, Env* env) {
+  const size_t nvars = query.vars.size();
+  // Optimizer-built plans carry var_step; hand-built plans (tests) fall
+  // back to a name scan.
+  std::vector<int> var_step = plan.var_step;
+  if (var_step.size() != nvars) {
+    var_step.assign(nvars, -1);
+    for (size_t vi = 0; vi < nvars; ++vi) {
+      for (size_t s = 0; s < plan.steps.size(); ++s) {
+        if (plan.steps[s].var_name == query.vars[vi].name) {
+          var_step[vi] = static_cast<int>(s);
+          break;
+        }
+      }
+    }
+  }
+  std::vector<std::vector<Value>> rows;
+  Status st = RunPlanBatched(plan, query, env, [&](RowBatch& b) -> Status {
+    for (size_t r = 0; r < b.rows; ++r) {
+      std::vector<Value> row;
+      row.reserve(nvars);
+      for (size_t vi = 0; vi < nvars; ++vi) {
+        const int s = var_step[vi];
+        row.push_back(s >= 0 ? b.cols[static_cast<size_t>(s)][r]
+                             : Value::Null());
+      }
+      rows.push_back(std::move(row));
+    }
+    return Status::OK();
+  });
+  EXODUS_RETURN_IF_ERROR(st);
+  return rows;
+}
+
+Status Executor::ProjectBatch(const Stmt& stmt,
+                              const std::vector<std::string>& names,
+                              const RowBatch& batch, Env* env,
+                              std::vector<std::vector<Value>>* scratch,
+                              std::vector<std::vector<Value>>* out) {
+  const size_t np = stmt.projections.size();
+  std::vector<std::vector<Value>>& pscratch = *scratch;
+  pscratch.resize(np);
+  std::vector<const std::vector<Value>*> pcols(np);
+  for (size_t p = 0; p < np; ++p) {
+    EXODUS_ASSIGN_OR_RETURN(pcols[p],
+                            EvalBatchCol(*stmt.projections[p].expr, names,
+                                         batch, env, &pscratch[p]));
+  }
+  // Geometric growth: an exact per-batch reserve would reallocate the
+  // (large) row vector on every batch.
+  if (out->capacity() < out->size() + batch.rows) {
+    out->reserve(std::max(out->size() + batch.rows, out->capacity() * 2));
+  }
+  for (size_t r = 0; r < batch.rows; ++r) {
+    std::vector<Value> row;
+    row.reserve(np);
+    for (size_t p = 0; p < np; ++p) {
+      Value& v = pcols[p] == &pscratch[p]
+                     ? pscratch[p][r]
+                     : const_cast<Value&>((*pcols[p])[r]);
+      // DeepCopy is a shallow copy for every non-composite kind, so
+      // owned scratch values can be moved out without a refcount touch;
+      // composites must still detach from shared payloads, and borrowed
+      // batch columns must not be moved from.
+      switch (v.kind()) {
+        case ValueKind::kTuple:
+        case ValueKind::kSet:
+        case ValueKind::kArray:
+          row.push_back(v.DeepCopy());
+          break;
+        default:
+          row.push_back(pcols[p] == &pscratch[p] ? std::move(v)
+                                                 : Value(v));
+          break;
+      }
+    }
+    out->push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+Result<Executor::BatchAggResult> Executor::AccumulateAggregatesBatched(
+    const std::vector<const Expr*>& qlevel, const BoundQuery& query,
+    const std::vector<std::vector<Value>>& bindings, Env* env) {
+  BatchAggResult res;
+  const size_t ntab = qlevel.size();
+  res.finished.resize(ntab);
+  res.row_group.resize(ntab);
+  res.empty_finished.resize(ntab);
+
+  // Transpose the materialized binding rows into one columnar batch
+  // over the query variables; partition keys and aggregate arguments
+  // then evaluate column-at-a-time.
+  const size_t nvars = query.vars.size();
+  std::vector<std::string> names;
+  names.reserve(nvars);
+  for (const BoundVar& v : query.vars) names.push_back(v.name);
+  RowBatch b;
+  b.rows = bindings.size();
+  b.cols.resize(nvars);
+  for (size_t k = 0; k < nvars; ++k) {
+    b.cols[k].reserve(bindings.size());
+    for (const auto& row : bindings) b.cols[k].push_back(row[k]);
+  }
+
+  const Value one = Value::Int(1);  // count() with no argument counts rows
+  for (size_t t = 0; t < ntab; ++t) {
+    const Expr* node = qlevel[t];
+    const size_t nover = node->over.size();
+    std::vector<std::vector<Value>> over_cols(nover);
+    for (size_t o = 0; o < nover; ++o) {
+      EXODUS_RETURN_IF_ERROR(
+          EvalBatch(*node->over[o], names, b, env, &over_cols[o]));
+    }
+    std::vector<Value> args;
+    if (!node->args.empty()) {
+      EXODUS_RETURN_IF_ERROR(EvalBatch(*node->args[0], names, b, env, &args));
+    }
+
+    // Group directory: flat per-key columns plus a chained power-of-two
+    // bucket array over the combined ValueHash — no per-group nodes.
+    std::vector<std::vector<Value>> gkey_cols(nover);
+    std::vector<size_t> ghash;
+    std::vector<int32_t> gnext;
+    std::vector<AggAccum> accums;
+    size_t buckets = 64;
+    size_t mask = buckets - 1;
+    std::vector<int32_t> heads(buckets, -1);
+    std::vector<uint32_t>& rg = res.row_group[t];
+    rg.reserve(b.rows);
+
+    for (size_t r = 0; r < b.rows; ++r) {
+      size_t h = kHashBasis;
+      for (size_t o = 0; o < nover; ++o) {
+        h = h * kHashPrime + object::ValueHash(over_cols[o][r]);
+      }
+      int32_t g = -1;
+      for (int32_t e = heads[h & mask]; e >= 0; e = gnext[e]) {
+        if (ghash[e] != h) continue;
+        bool eq = true;
+        for (size_t o = 0; o < nover; ++o) {
+          if (!object::ValueEquals(gkey_cols[o][e], over_cols[o][r])) {
+            eq = false;
+            break;
+          }
+        }
+        if (eq) {
+          g = e;
+          break;
+        }
+      }
+      if (g < 0) {
+        g = static_cast<int32_t>(accums.size());
+        accums.emplace_back();
+        ghash.push_back(h);
+        gnext.push_back(-1);
+        for (size_t o = 0; o < nover; ++o) {
+          gkey_cols[o].push_back(over_cols[o][r]);
+        }
+        if (accums.size() * 2 > buckets) {
+          // Regrow the directory at load factor 0.5 and re-chain.
+          buckets <<= 1;
+          mask = buckets - 1;
+          heads.assign(buckets, -1);
+          for (size_t e2 = ghash.size(); e2-- > 0;) {
+            const size_t bidx = ghash[e2] & mask;
+            gnext[e2] = heads[bidx];
+            heads[bidx] = static_cast<int32_t>(e2);
+          }
+        } else {
+          const size_t bidx = h & mask;
+          gnext[g] = heads[bidx];
+          heads[bidx] = g;
+        }
+      }
+      rg.push_back(static_cast<uint32_t>(g));
+      EXODUS_RETURN_IF_ERROR(
+          Accumulate(*node, &accums[static_cast<size_t>(g)],
+                     node->args.empty() ? one : args[r]));
+    }
+
+    res.finished[t].reserve(accums.size());
+    for (const AggAccum& acc : accums) {
+      EXODUS_ASSIGN_OR_RETURN(Value v, FinishAggregate(*node, acc));
+      res.finished[t].push_back(std::move(v));
+    }
+    AggAccum empty;
+    EXODUS_ASSIGN_OR_RETURN(Value ev, FinishAggregate(*node, empty));
+    res.empty_finished[t] = std::move(ev);
+  }
+  return res;
+}
+
+}  // namespace exodus::excess

@@ -187,28 +187,8 @@ Result<Value> Executor::Eval(const Expr& expr, Env* env) {
     case ExprKind::kBinary:
       return EvalBinary(expr, env);
     case ExprKind::kUnary: {
-      if (expr.name == "not") {
-        EXODUS_ASSIGN_OR_RETURN(Value v, Eval(*expr.base, env));
-        EXODUS_ASSIGN_OR_RETURN(bool b, Truthy(v));
-        return Value::Bool(!b);
-      }
       EXODUS_ASSIGN_OR_RETURN(Value v, Eval(*expr.base, env));
-      if (expr.name == "-") {
-        if (v.is_null()) return Value::Null();
-        if (v.kind() == ValueKind::kInt) return Value::Int(-v.AsInt());
-        if (v.kind() == ValueKind::kFloat) return Value::Float(-v.AsFloat());
-      }
-      if (v.kind() == ValueKind::kAdt) {
-        const adt::OperatorDef* op = ctx_->adts->FindOperator(
-            expr.name, v.adt_id(), adt::Fixity::kPrefix);
-        if (op != nullptr) {
-          const adt::AdtFunction* fn =
-              ctx_->adts->FindFunction(op->adt_id, op->function);
-          if (fn != nullptr) return fn->fn({v});
-        }
-      }
-      return Status::TypeError("prefix operator '" + expr.name +
-                               "' is not applicable to " + v.ToString());
+      return ApplyUnary(expr.name, v);
     }
     case ExprKind::kCall:
       return EvalCall(expr, env);
@@ -255,7 +235,34 @@ Result<Value> Executor::EvalBinary(const Expr& expr, Env* env) {
 
   EXODUS_ASSIGN_OR_RETURN(Value lhs, Eval(*expr.args[0], env));
   EXODUS_ASSIGN_OR_RETURN(Value rhs, Eval(*expr.args[1], env));
+  return ApplyBinary(op, lhs, rhs);
+}
 
+Result<Value> Executor::ApplyUnary(const std::string& op, const Value& v) {
+  if (op == "not") {
+    EXODUS_ASSIGN_OR_RETURN(bool b, Truthy(v));
+    return Value::Bool(!b);
+  }
+  if (op == "-") {
+    if (v.is_null()) return Value::Null();
+    if (v.kind() == ValueKind::kInt) return Value::Int(-v.AsInt());
+    if (v.kind() == ValueKind::kFloat) return Value::Float(-v.AsFloat());
+  }
+  if (v.kind() == ValueKind::kAdt) {
+    const adt::OperatorDef* op_def =
+        ctx_->adts->FindOperator(op, v.adt_id(), adt::Fixity::kPrefix);
+    if (op_def != nullptr) {
+      const adt::AdtFunction* fn =
+          ctx_->adts->FindFunction(op_def->adt_id, op_def->function);
+      if (fn != nullptr) return fn->fn({v});
+    }
+  }
+  return Status::TypeError("prefix operator '" + op +
+                           "' is not applicable to " + v.ToString());
+}
+
+Result<Value> Executor::ApplyBinary(const std::string& op, const Value& lhs,
+                                    const Value& rhs) {
   if (op == "is" || op == "isnot") {
     // Object identity (the only comparison applicable to references).
     auto normalize = [&](Value v) {

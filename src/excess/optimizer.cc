@@ -413,6 +413,15 @@ Result<Plan> Optimizer::Optimize(const BoundQuery& query) const {
                               pc.expr->ToString());
     }
   }
+  // Map query variables to the steps binding them, so the batch executor
+  // can transpose batch columns into BoundQuery::vars order directly.
+  plan.var_step.assign(query.vars.size(), -1);
+  for (size_t s = 0; s < plan.steps.size(); ++s) {
+    const int vid = plan.steps[s].var_id;
+    if (vid >= 0 && static_cast<size_t>(vid) < plan.var_step.size()) {
+      plan.var_step[static_cast<size_t>(vid)] = static_cast<int>(s);
+    }
+  }
   return plan;
 }
 

@@ -72,6 +72,11 @@ std::string Plan::Explain(const PlanRuntime* runtime) const {
         ann += " build=" + std::to_string(rt.build_rows) +
                " hits=" + std::to_string(rt.probe_hits);
       }
+      // Only the batch pipeline counts batches; the row-at-a-time path
+      // keeps the pre-refactor annotation format.
+      if (rt.batches > 0) {
+        ann += " batches=" + std::to_string(rt.batches);
+      }
       ann += " time=" + FormatNs(rt.EstimatedTimeNs()) + ")";
       // Annotate the step's own line, not its trailing filter lines.
       size_t nl = desc.find('\n');

@@ -7,8 +7,27 @@
 
 #include "excess/ast.h"
 #include "excess/binder.h"
+#include "object/value.h"
 
 namespace exodus::excess {
+
+/// The unit of data flow in the batch (vectorized) executor: a window of
+/// binding rows in columnar layout. cols[k] holds the values bound to
+/// the k-th plan step's variable, one entry per row, so per-expression
+/// work runs as tight loops over flat Value arrays instead of
+/// name-resolving through a binding stack row by row.
+struct RowBatch {
+  size_t rows = 0;
+  /// One column per already-bound plan step (cols.size() == the depth of
+  /// the pipeline that produced this batch); every column has exactly
+  /// `rows` entries.
+  std::vector<std::vector<object::Value>> cols;
+
+  void Clear() {
+    rows = 0;
+    for (auto& c : cols) c.clear();
+  }
+};
 
 /// One level of the nested-loop pipeline. Steps run outermost-first;
 /// step i may reference variables bound by steps 0..i-1.
@@ -74,6 +93,10 @@ struct StepRuntime {
   uint64_t build_rows = 0;
   /// kHashJoin: probe matches confirmed by key equality.
   uint64_t probe_hits = 0;
+  /// Batch pipeline only: RowBatch windows this step expanded. Each
+  /// batch accounts for `rows` invocations at once, so `invocations`
+  /// stays comparable with the row-at-a-time path.
+  uint64_t batches = 0;
   /// Sampled inclusive wall time (this step plus everything nested
   /// under it) and the number of invocations that were actually timed.
   uint64_t sampled_ns = 0;
@@ -84,6 +107,16 @@ struct StepRuntime {
   bool ShouldTime() const {
     return invocations <= kTimingSampleEvery ||
            (invocations & (kTimingSampleEvery - 1)) == 0;
+  }
+
+  /// Batch-pipeline analogue of ShouldTime: samples *batches* (first 64,
+  /// then one in 64). Timed batches add their row count to
+  /// `timed_invocations`, so EstimatedTimeNs' extrapolation
+  /// (sampled_ns * invocations / timed_invocations) rescales per-batch
+  /// samples to the same per-row basis as the row-at-a-time path.
+  bool ShouldTimeBatch() const {
+    return batches <= kTimingSampleEvery ||
+           (batches & (kTimingSampleEvery - 1)) == 0;
   }
 
   /// Extrapolated inclusive wall time over all invocations.
@@ -118,6 +151,11 @@ struct Plan {
   std::vector<PlanStep> steps;
   /// Variable-free conjuncts, evaluated once before the loops.
   std::vector<ExprPtr> constant_filters;
+  /// var_step[var_id] = index of the step binding that query variable
+  /// (-1 if unplaced). Lets the batch executor materialize rows in
+  /// BoundQuery::vars order straight from batch columns, without name
+  /// lookups per row.
+  std::vector<int> var_step;
 
   /// Human-readable plan, one step per line (used by tests and EXPLAIN-
   /// style debugging). With a runtime whose step count matches, each

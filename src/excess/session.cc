@@ -101,6 +101,7 @@ Session::Session(Database* db, std::string user) : db_(db) {
   ctx_.session_ranges = &ranges_;
   ctx_.current_user = std::move(user);
   ctx_.op_metrics = &db->op_metrics_;
+  ctx_.exec_options = excess::ExecOptions::FromEnv();
 }
 
 Session::~Session() = default;
@@ -265,6 +266,15 @@ std::string Session::CacheKey(const std::string& norm) const {
                                        (o.hash_join ? 8 : 0)));
   key += '\x1f';
   key += opts;
+  // The executor options don't shape the plan tree, but cached entries
+  // carry prepared state keyed to how they will run; separating them
+  // keeps a `set batchsize`-style change from silently reusing state
+  // (and mirrors the optimizer-options lesson above).
+  const excess::ExecOptions& eo = ctx_.exec_options;
+  key += '\x1f';
+  key += eo.vectorized ? 'v' : 'r';
+  key += ':';
+  key += std::to_string(eo.batch_size);
   if (ranges_.empty()) return key;
   key += '\x1f';
   for (const auto& [name, expr] : ranges_) {

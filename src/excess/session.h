@@ -88,6 +88,11 @@ class Session {
     return &ctx_.optimizer_options;
   }
 
+  /// Executor knobs (batch execution on/off, rows per batch), scoped to
+  /// this session and part of its plan-cache key. Seeded from
+  /// EXODUS_VECTORIZED / EXODUS_BATCH_SIZE at session creation.
+  excess::ExecOptions* mutable_exec_options() { return &ctx_.exec_options; }
+
  private:
   friend class Database;
   friend class PreparedStatement;

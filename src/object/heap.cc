@@ -4,24 +4,37 @@ namespace exodus::object {
 
 using util::Status;
 
+ObjectHeap::Slot& ObjectHeap::SlotAt(size_t i) {
+  const size_t chunk = i >> kChunkShift;
+  while (chunks_.size() <= chunk) {
+    chunks_.push_back(std::make_unique<Slot[]>(size_t{1} << kChunkShift));
+  }
+  if (size_ <= i) size_ = i + 1;
+  return chunks_[chunk][i & kChunkMask];
+}
+
 Oid ObjectHeap::Allocate(const extra::Type* type, std::vector<Value> fields) {
   Oid oid = next_oid_++;
-  HeapObject obj;
-  obj.type = type;
-  obj.fields = std::move(fields);
-  objects_.emplace(oid, std::move(obj));
+  Slot& slot = SlotAt(oid - 1);
+  slot.live = true;
+  slot.obj.type = type;
+  slot.obj.fields = std::move(fields);
   ++live_count_;
   return oid;
 }
 
 HeapObject* ObjectHeap::Get(Oid oid) {
-  auto it = objects_.find(oid);
-  return it == objects_.end() ? nullptr : &it->second;
+  const size_t i = oid - 1;
+  if (oid == kInvalidOid || i >= size_) return nullptr;
+  Slot& slot = chunks_[i >> kChunkShift][i & kChunkMask];
+  return slot.live ? &slot.obj : nullptr;
 }
 
 const HeapObject* ObjectHeap::Get(Oid oid) const {
-  auto it = objects_.find(oid);
-  return it == objects_.end() ? nullptr : &it->second;
+  const size_t i = oid - 1;
+  if (oid == kInvalidOid || i >= size_) return nullptr;
+  const Slot& slot = chunks_[i >> kChunkShift][i & kChunkMask];
+  return slot.live ? &slot.obj : nullptr;
 }
 
 Status ObjectHeap::SetOwned(Oid child, Oid owner_object) {
@@ -94,17 +107,20 @@ void ObjectHeap::CollectOwnedRefs(const extra::Type* type, const Value& value,
 }
 
 size_t ObjectHeap::Delete(Oid oid) {
-  auto it = objects_.find(oid);
-  if (it == objects_.end()) return 0;
+  HeapObject* obj = Get(oid);
+  if (obj == nullptr) return 0;
 
-  // Collect owned components before erasing the object.
+  // Collect owned components before emptying the slot.
   std::vector<Oid> owned;
-  const HeapObject& obj = it->second;
-  const auto& attrs = obj.type->attributes();
-  for (size_t i = 0; i < attrs.size() && i < obj.fields.size(); ++i) {
-    CollectOwnedRefs(attrs[i].type, obj.fields[i], &owned);
+  const auto& attrs = obj->type->attributes();
+  for (size_t i = 0; i < attrs.size() && i < obj->fields.size(); ++i) {
+    CollectOwnedRefs(attrs[i].type, obj->fields[i], &owned);
   }
-  objects_.erase(it);
+  // The slot stays (dangling references must keep resolving to null and
+  // oids are never reused); only its payload is released.
+  Slot& slot = SlotAt(oid - 1);
+  slot.live = false;
+  slot.obj = HeapObject{};
   --live_count_;
 
   size_t deleted = 1;
@@ -118,17 +134,17 @@ Status ObjectHeap::Restore(Oid oid, const extra::Type* type,
   if (oid == kInvalidOid) {
     return Status::InvalidArgument("cannot restore the invalid oid");
   }
-  if (objects_.count(oid)) {
+  if (Get(oid) != nullptr) {
     return Status::AlreadyExists("oid #" + std::to_string(oid) +
                                  " already in use");
   }
-  HeapObject obj;
-  obj.type = type;
-  obj.fields = std::move(fields);
-  obj.owned = owned;
-  obj.owner_object = owner_object;
-  obj.owner_extent = std::move(owner_extent);
-  objects_.emplace(oid, std::move(obj));
+  Slot& slot = SlotAt(oid - 1);
+  slot.live = true;
+  slot.obj.type = type;
+  slot.obj.fields = std::move(fields);
+  slot.obj.owned = owned;
+  slot.obj.owner_object = owner_object;
+  slot.obj.owner_extent = std::move(owner_extent);
   ++live_count_;
   ReserveThrough(oid);
   return Status::OK();

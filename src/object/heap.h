@@ -2,7 +2,7 @@
 #define EXODUS_OBJECT_HEAP_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "extra/type.h"
@@ -81,7 +81,10 @@ class ObjectHeap {
   /// Iteration over live objects (used by persistence and tests).
   template <typename Fn>
   void ForEachLive(Fn&& fn) const {
-    for (const auto& [oid, obj] : objects_) fn(oid, obj);
+    for (size_t i = 0; i < size_; ++i) {
+      const Slot& slot = chunks_[i >> kChunkShift][i & kChunkMask];
+      if (slot.live) fn(static_cast<Oid>(i + 1), slot.obj);
+    }
   }
 
   /// Re-creates an object with a specific oid (used when loading a saved
@@ -97,13 +100,33 @@ class ObjectHeap {
   /// Removes every object and resets the allocator (used when loading a
   /// saved database image).
   void Clear() {
-    objects_.clear();
+    chunks_.clear();
+    size_ = 0;
     live_count_ = 0;
     next_oid_ = 1;
   }
 
  private:
-  std::unordered_map<Oid, HeapObject> objects_;
+  /// One slot per ever-allocated oid (oid n lives at slot n - 1), so
+  /// `Get` is a bounds check and two indexes instead of a hash lookup —
+  /// it runs once per row per attribute access in the executor's batch
+  /// loops. Slots live in fixed-size chunks: growth allocates a new
+  /// chunk without moving existing slots, keeping HeapObject* stable
+  /// across Allocate. Deleted objects keep their (emptied) slot:
+  /// dangling references must keep resolving to "gone", and oids are
+  /// never reused.
+  struct Slot {
+    bool live = false;
+    HeapObject obj;
+  };
+  static constexpr size_t kChunkShift = 12;  // 4096 slots per chunk
+  static constexpr size_t kChunkMask = (size_t{1} << kChunkShift) - 1;
+
+  /// Ensures slot index `i` exists; returns it.
+  Slot& SlotAt(size_t i);
+
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  size_t size_ = 0;  // slots in use: indexes [0, size_) are valid
   Oid next_oid_ = 1;
   size_t live_count_ = 0;
 };

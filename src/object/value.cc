@@ -33,7 +33,7 @@ Value Value::Bool(bool v) {
 Value Value::String(std::string v) {
   Value out;
   out.kind_ = ValueKind::kString;
-  out.str_ = std::make_shared<const std::string>(std::move(v));
+  out.ptr_ = std::make_shared<const std::string>(std::move(v));
   return out;
 }
 
@@ -49,14 +49,14 @@ Value Value::Adt(int adt_id, std::shared_ptr<const AdtPayload> payload) {
   Value out;
   out.kind_ = ValueKind::kAdt;
   out.int_ = adt_id;
-  out.adt_ = std::move(payload);
+  out.ptr_ = std::move(payload);
   return out;
 }
 
 Value Value::Tuple(std::shared_ptr<TupleData> data) {
   Value out;
   out.kind_ = ValueKind::kTuple;
-  out.tuple_ = std::move(data);
+  out.ptr_ = std::move(data);
   return out;
 }
 
@@ -72,14 +72,14 @@ Value Value::EmptySet() { return Set(std::make_shared<SetData>()); }
 Value Value::Set(std::shared_ptr<SetData> data) {
   Value out;
   out.kind_ = ValueKind::kSet;
-  out.set_ = std::move(data);
+  out.ptr_ = std::move(data);
   return out;
 }
 
 Value Value::Array(std::shared_ptr<ArrayData> data) {
   Value out;
   out.kind_ = ValueKind::kArray;
-  out.array_ = std::move(data);
+  out.ptr_ = std::move(data);
   return out;
 }
 
@@ -100,21 +100,21 @@ Value Value::DeepCopy() const {
   switch (kind_) {
     case ValueKind::kTuple: {
       auto data = std::make_shared<TupleData>();
-      data->type = tuple_->type;
-      data->fields.reserve(tuple_->fields.size());
-      for (const Value& f : tuple_->fields) data->fields.push_back(f.DeepCopy());
+      data->type = tuple().type;
+      data->fields.reserve(tuple().fields.size());
+      for (const Value& f : tuple().fields) data->fields.push_back(f.DeepCopy());
       return Tuple(std::move(data));
     }
     case ValueKind::kSet: {
       auto data = std::make_shared<SetData>();
-      data->elems.reserve(set_->elems.size());
-      for (const Value& e : set_->elems) data->elems.push_back(e.DeepCopy());
+      data->elems.reserve(set().elems.size());
+      for (const Value& e : set().elems) data->elems.push_back(e.DeepCopy());
       return Set(std::move(data));
     }
     case ValueKind::kArray: {
       auto data = std::make_shared<ArrayData>();
-      data->elems.reserve(array_->elems.size());
-      for (const Value& e : array_->elems) data->elems.push_back(e.DeepCopy());
+      data->elems.reserve(array().elems.size());
+      for (const Value& e : array().elems) data->elems.push_back(e.DeepCopy());
       return Array(std::move(data));
     }
     default:
@@ -134,7 +134,7 @@ std::string Value::ToString() const {
     case ValueKind::kBool:
       return bool_ ? "true" : "false";
     case ValueKind::kString:
-      return "\"" + util::EscapeString(*str_) + "\"";
+      return "\"" + util::EscapeString(AsString()) + "\"";
     case ValueKind::kEnum: {
       int ord = static_cast<int>(int_);
       if (enum_type_ != nullptr && ord >= 0 &&
@@ -144,10 +144,10 @@ std::string Value::ToString() const {
       return "<enum:" + std::to_string(ord) + ">";
     }
     case ValueKind::kAdt:
-      return adt_ ? adt_->Print() : "<adt>";
+      return ptr_ ? adt_payload().Print() : "<adt>";
     case ValueKind::kTuple: {
       std::string out = "(";
-      const auto& t = *tuple_;
+      const auto& t = tuple();
       for (size_t i = 0; i < t.fields.size(); ++i) {
         if (i > 0) out += ", ";
         if (t.type != nullptr && i < t.type->attributes().size()) {
@@ -160,18 +160,18 @@ std::string Value::ToString() const {
     }
     case ValueKind::kSet: {
       std::string out = "{";
-      for (size_t i = 0; i < set_->elems.size(); ++i) {
+      for (size_t i = 0; i < set().elems.size(); ++i) {
         if (i > 0) out += ", ";
-        out += set_->elems[i].ToString();
+        out += set().elems[i].ToString();
       }
       out += "}";
       return out;
     }
     case ValueKind::kArray: {
       std::string out = "[";
-      for (size_t i = 0; i < array_->elems.size(); ++i) {
+      for (size_t i = 0; i < array().elems.size(); ++i) {
         if (i > 0) out += ", ";
-        out += array_->elems[i].ToString();
+        out += array().elems[i].ToString();
       }
       out += "]";
       return out;

@@ -109,23 +109,43 @@ class Value {
   int64_t AsInt() const { return int_; }
   double AsFloat() const { return float_; }
   bool AsBool() const { return bool_; }
-  const std::string& AsString() const { return *str_; }
+  const std::string& AsString() const {
+    return *static_cast<const std::string*>(ptr_.get());
+  }
   const extra::Type* enum_type() const { return enum_type_; }
   int enum_ordinal() const { return static_cast<int>(int_); }
   int adt_id() const { return static_cast<int>(int_); }
-  const AdtPayload& adt_payload() const { return *adt_; }
-  std::shared_ptr<const AdtPayload> adt_payload_ptr() const { return adt_; }
+  const AdtPayload& adt_payload() const {
+    return *static_cast<const AdtPayload*>(ptr_.get());
+  }
+  std::shared_ptr<const AdtPayload> adt_payload_ptr() const {
+    return std::static_pointer_cast<const AdtPayload>(ptr_);
+  }
   Oid AsRef() const { return static_cast<Oid>(int_); }
 
-  const TupleData& tuple() const { return *tuple_; }
-  TupleData* mutable_tuple() { return tuple_.get(); }
-  std::shared_ptr<TupleData> tuple_ptr() const { return tuple_; }
+  const TupleData& tuple() const {
+    return *static_cast<const TupleData*>(ptr_.get());
+  }
+  TupleData* mutable_tuple() {
+    return static_cast<TupleData*>(const_cast<void*>(ptr_.get()));
+  }
+  std::shared_ptr<TupleData> tuple_ptr() const {
+    return std::static_pointer_cast<TupleData>(std::const_pointer_cast<void>(ptr_));
+  }
 
-  const SetData& set() const { return *set_; }
-  SetData* mutable_set() { return set_.get(); }
+  const SetData& set() const {
+    return *static_cast<const SetData*>(ptr_.get());
+  }
+  SetData* mutable_set() {
+    return static_cast<SetData*>(const_cast<void*>(ptr_.get()));
+  }
 
-  const ArrayData& array() const { return *array_; }
-  ArrayData* mutable_array() { return array_.get(); }
+  const ArrayData& array() const {
+    return *static_cast<const ArrayData*>(ptr_.get());
+  }
+  ArrayData* mutable_array() {
+    return static_cast<ArrayData*>(const_cast<void*>(ptr_.get()));
+  }
 
   /// Numeric value as double (kInt or kFloat).
   double NumericAsDouble() const {
@@ -142,15 +162,17 @@ class Value {
 
  private:
   ValueKind kind_;
+  bool bool_ = false;     // kBool
   int64_t int_ = 0;       // kInt, kEnum ordinal, kAdt id, kRef oid
   double float_ = 0;      // kFloat
-  bool bool_ = false;     // kBool
-  std::shared_ptr<const std::string> str_;  // kString
   const extra::Type* enum_type_ = nullptr;  // kEnum
-  std::shared_ptr<const AdtPayload> adt_;   // kAdt
-  std::shared_ptr<TupleData> tuple_;        // kTuple
-  std::shared_ptr<SetData> set_;            // kSet
-  std::shared_ptr<ArrayData> array_;        // kArray
+  /// Shared payload for kString / kAdt / kTuple / kSet / kArray,
+  /// downcast by kind_. A single type-erased slot instead of one
+  /// shared_ptr per kind keeps sizeof(Value) at 48 bytes and makes a
+  /// Value copy one refcount touch — the executor copies values on
+  /// every row, so this is the hot path of query execution. Mutable
+  /// accessors const_cast back; every payload is created non-const.
+  std::shared_ptr<const void> ptr_;
 };
 
 /// Deep (recursive) value equality in the sense of [Banc86]; references
