@@ -1,0 +1,182 @@
+#include "excess/concurrency.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+
+namespace exodus::excess {
+
+using object::Value;
+using object::ValueKind;
+
+Value* StatementTxn::StageCell(extra::NamedObject* named) {
+  auto it = staged_cells.find(named);
+  if (it != staged_cells.end()) return &it->second;
+  const Value& committed = named->ValueAt(heap.snapshot);
+  Value clone;
+  switch (committed.kind()) {
+    case ValueKind::kSet: {
+      auto data = std::make_shared<object::SetData>();
+      data->elems = committed.set().elems;
+      clone = Value::Set(std::move(data));
+      break;
+    }
+    case ValueKind::kArray: {
+      auto data = std::make_shared<object::ArrayData>();
+      data->elems = committed.array().elems;
+      clone = Value::Array(std::move(data));
+      break;
+    }
+    default:
+      clone = committed.DeepCopy();
+  }
+  return &staged_cells.emplace(named, std::move(clone)).first->second;
+}
+
+ConcurrencyController::ConcurrencyController(object::ObjectHeap* heap,
+                                             extra::Catalog* catalog,
+                                             index::IndexManager* indexes,
+                                             std::shared_mutex* exec_mu)
+    : heap_(heap), catalog_(catalog), indexes_(indexes), exec_mu_(exec_mu) {
+  if (const char* ms = std::getenv("EXODUS_MVCC_GC_MS")) {
+    char* end = nullptr;
+    long n = std::strtol(ms, &end, 10);
+    if (end != ms && *end == '\0' && n >= 0) {
+      gc_interval_ = std::chrono::milliseconds(n);
+    }
+  }
+  if (gc_interval_.count() > 0) {
+    gc_thread_ = std::thread([this] { GcLoop(); });
+  }
+}
+
+ConcurrencyController::~ConcurrencyController() {
+  {
+    std::lock_guard<std::mutex> lk(gc_mu_);
+    gc_stop_ = true;
+  }
+  gc_cv_.notify_all();
+  if (gc_thread_.joinable()) gc_thread_.join();
+}
+
+uint64_t ConcurrencyController::Pin() {
+  std::lock_guard<std::mutex> lk(pin_mu_);
+  uint64_t e = epoch_.load(std::memory_order_acquire);
+  pins_.insert(e);
+  return e;
+}
+
+void ConcurrencyController::Unpin(uint64_t epoch) {
+  std::lock_guard<std::mutex> lk(pin_mu_);
+  auto it = pins_.find(epoch);
+  if (it != pins_.end()) pins_.erase(it);
+}
+
+uint64_t ConcurrencyController::OldestPin() const {
+  std::lock_guard<std::mutex> lk(pin_mu_);
+  if (pins_.empty()) return epoch_.load(std::memory_order_acquire);
+  return *pins_.begin();
+}
+
+size_t ConcurrencyController::pinned_count() const {
+  std::lock_guard<std::mutex> lk(pin_mu_);
+  return pins_.size();
+}
+
+uint64_t ConcurrencyController::snapshot_age() const {
+  std::lock_guard<std::mutex> lk(pin_mu_);
+  if (pins_.empty()) return 0;
+  uint64_t e = epoch_.load(std::memory_order_acquire);
+  return e - *pins_.begin();
+}
+
+std::mutex* ConcurrencyController::ExtentLatch(const std::string& extent) {
+  std::lock_guard<std::mutex> lk(latch_mu_);
+  auto& slot = extent_latches_[extent];
+  if (!slot) slot = std::make_unique<std::mutex>();
+  return slot.get();
+}
+
+void ConcurrencyController::Commit(StatementTxn* txn) {
+  std::lock_guard<std::mutex> lk(commit_mu_);
+  const uint64_t c = epoch_.load(std::memory_order_relaxed) + 1;
+  heap_->CommitTxn(&txn->heap, c);
+  for (auto& [named, v] : txn->staged_cells) {
+    named->Publish(std::move(v), c);
+  }
+  txn->staged_cells.clear();
+  if (!txn->deferred_erases.empty()) {
+    std::lock_guard<std::mutex> elk(erase_mu_);
+    for (IndexOp& op : txn->deferred_erases) {
+      op.epoch = c;
+      pending_erases_.push_back(std::move(op));
+    }
+  }
+  txn->deferred_erases.clear();
+  txn->inserted.clear();
+  // Publish the epoch last: a reader pinning >= c is guaranteed to see
+  // every version the statement stamped with c.
+  epoch_.store(c, std::memory_order_release);
+}
+
+void ConcurrencyController::Rollback(StatementTxn* txn) {
+  heap_->RollbackTxn(&txn->heap);
+  for (auto it = txn->inserted.rbegin(); it != txn->inserted.rend(); ++it) {
+    indexes_->OnErase(it->set_name, it->attr, it->key, it->oid);
+  }
+  txn->inserted.clear();
+  txn->deferred_erases.clear();
+  txn->staged_cells.clear();
+}
+
+void ConcurrencyController::RunGcOnce() {
+  std::shared_lock<std::shared_mutex> lk(*exec_mu_);
+  const uint64_t frontier = OldestPin();
+  size_t reclaimed = heap_->GcBelow(frontier);
+  for (auto& [name, named] : *catalog_->mutable_named_objects()) {
+    reclaimed += named.cell.PruneBelow(frontier);
+  }
+  std::vector<IndexOp> mature;
+  {
+    std::lock_guard<std::mutex> elk(erase_mu_);
+    auto split = std::stable_partition(
+        pending_erases_.begin(), pending_erases_.end(),
+        [frontier](const IndexOp& op) { return op.epoch > frontier; });
+    mature.assign(std::make_move_iterator(split),
+                  std::make_move_iterator(pending_erases_.end()));
+    pending_erases_.erase(split, pending_erases_.end());
+  }
+  for (const IndexOp& op : mature) {
+    // A later statement may have changed the key back: if the entry is
+    // accurate for the currently committed object, erasing it would
+    // orphan a live row from the index. Entries are only removed while
+    // they are stale.
+    const object::HeapObject* obj = heap_->Get(op.oid);
+    if (obj != nullptr && obj->type != nullptr) {
+      int ai = obj->type->AttributeIndex(op.attr);
+      if (ai >= 0 &&
+          object::ValueEquals(obj->fields[static_cast<size_t>(ai)], op.key)) {
+        continue;
+      }
+    }
+    indexes_->OnErase(op.set_name, op.attr, op.key, op.oid);
+  }
+  reclaimed += mature.size();
+  if (reclaimed > 0) {
+    gc_reclaimed_.fetch_add(reclaimed, std::memory_order_relaxed);
+  }
+}
+
+void ConcurrencyController::GcLoop() {
+  std::unique_lock<std::mutex> lk(gc_mu_);
+  while (!gc_stop_) {
+    gc_cv_.wait_for(lk, gc_interval_);
+    if (gc_stop_) break;
+    lk.unlock();
+    RunGcOnce();
+    lk.lock();
+  }
+}
+
+}  // namespace exodus::excess

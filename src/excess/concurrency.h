@@ -1,0 +1,197 @@
+#ifndef EXODUS_EXCESS_CONCURRENCY_H_
+#define EXODUS_EXCESS_CONCURRENCY_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "extra/catalog.h"
+#include "index/index_manager.h"
+#include "object/heap.h"
+#include "object/mvcc.h"
+#include "object/value.h"
+
+namespace exodus::excess {
+
+/// One logged secondary-index maintenance operation. Inserts are applied
+/// eagerly (a statement must see its own entries) and undone from this
+/// log on rollback; erases are deferred (concurrent snapshot readers may
+/// still resolve old versions through the entry) and applied by the
+/// version-GC sweep once no pinned snapshot predates `epoch`.
+struct IndexOp {
+  std::string set_name;
+  std::string attr;
+  object::Value key;
+  object::Oid oid = object::kInvalidOid;
+  /// Commit epoch; stamped by ConcurrencyController::Commit for
+  /// deferred erases (0 while the statement is still in flight).
+  uint64_t epoch = 0;
+};
+
+/// Per-statement write transaction for snapshot-isolated mutations.
+///
+/// A snapshot writer stages everything it changes — copy-on-write heap
+/// versions (via the embedded HeapWriteTxn), clone-on-first-touch named
+/// container cells, and an index-maintenance log — then publishes the
+/// whole statement atomically in ConcurrencyController::Commit, or
+/// discards it all in Rollback. Nothing a concurrent snapshot reader
+/// can observe changes before commit.
+struct StatementTxn {
+  /// Heap-level staging: snapshot epoch, latched extents, pending
+  /// copy-on-write versions.
+  object::HeapWriteTxn heap;
+  /// Extent names whose latches this statement holds (currently at most
+  /// one; touching a second extent escalates to the exclusive path).
+  std::set<std::string> latched;
+  /// Clone-on-first-touch copies of named container cells (the extent's
+  /// top-level set/array value). Published at commit.
+  std::map<extra::NamedObject*, object::Value> staged_cells;
+  /// Eagerly applied index inserts (undone on rollback).
+  std::vector<IndexOp> inserted;
+  /// Index erases deferred to the GC sweep (discarded on rollback).
+  std::vector<IndexOp> deferred_erases;
+
+  uint64_t snapshot() const { return heap.snapshot; }
+  /// True once the statement touched state outside its latched extent
+  /// and must be rolled back and re-run under the exclusive lock.
+  bool escalate() const { return heap.needs_escalation; }
+
+  /// The statement-private mutable copy of `named`'s container value,
+  /// cloning the snapshot-visible version on first touch. Set and array
+  /// containers are cloned shallowly (fresh element vector, shared
+  /// element payloads) — the fast-path mutations only insert / erase
+  /// elements or assign whole slots, never mutate shared payloads in
+  /// place (statements that would escalate instead).
+  object::Value* StageCell(extra::NamedObject* named);
+};
+
+/// Database-wide MVCC coordination: the global commit epoch, pinned
+/// snapshots (the GC frontier), per-extent writer latches, the commit /
+/// rollback protocol for StatementTxns, and the background version-GC
+/// sweep.
+///
+/// Lock order (deadlock freedom): exec_mu (shared) -> one extent latch
+/// -> commit_mu. A statement holds at most one extent latch, latches
+/// are only acquired while holding exec_mu shared, and latch holders
+/// never wait for an exec_mu upgrade, so no ordering protocol between
+/// latches is needed.
+class ConcurrencyController {
+ public:
+  /// Starts the background GC thread (interval from EXODUS_MVCC_GC_MS,
+  /// default 50; 0 disables the thread — tests then drive RunGcOnce()).
+  ConcurrencyController(object::ObjectHeap* heap, extra::Catalog* catalog,
+                        index::IndexManager* indexes,
+                        std::shared_mutex* exec_mu);
+  ~ConcurrencyController();
+  ConcurrencyController(const ConcurrencyController&) = delete;
+  ConcurrencyController& operator=(const ConcurrencyController&) = delete;
+
+  /// Newest committed epoch.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Registers a pinned snapshot at the current epoch and returns it.
+  /// Pins are only taken while holding exec_mu shared, so exclusive
+  /// sections (DDL, legacy-locked writes) always run pin-free.
+  uint64_t Pin();
+  void Unpin(uint64_t epoch);
+  /// The GC frontier: the oldest pinned snapshot, or the current epoch
+  /// when nothing is pinned.
+  uint64_t OldestPin() const;
+  size_t pinned_count() const;
+
+  /// The writer latch serializing mutations of one named extent.
+  /// Pointers are stable for the lifetime of the controller.
+  std::mutex* ExtentLatch(const std::string& extent);
+
+  /// Publishes a statement atomically: stamps staged heap versions and
+  /// named-cell versions with the next epoch, queues deferred index
+  /// erases, then advances the global epoch. Serialized by commit_mu so
+  /// readers never observe a half-stamped statement.
+  void Commit(StatementTxn* txn);
+  /// Discards a statement: pops pending heap versions, undoes eagerly
+  /// applied index inserts, drops staged cells and deferred erases.
+  void Rollback(StatementTxn* txn);
+
+  /// One GC sweep under exec_mu shared: computes the frontier, prunes
+  /// heap version chains and named-cell chains below it, and applies
+  /// mature deferred index erases. Public so tests can drive GC
+  /// deterministically.
+  void RunGcOnce();
+
+  // --- observability (exodus_mvcc_* metrics) ---
+  uint64_t gc_reclaimed_total() const {
+    return gc_reclaimed_.load(std::memory_order_relaxed);
+  }
+  uint64_t writer_stall_ns_total() const {
+    return writer_stall_ns_.load(std::memory_order_relaxed);
+  }
+  void AddWriterStall(uint64_t ns) {
+    writer_stall_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  /// epoch() minus the oldest pin (0 when nothing is pinned).
+  uint64_t snapshot_age() const;
+
+  std::atomic<uint64_t> snapshot_writes{0};
+  std::atomic<uint64_t> locked_writes{0};
+  std::atomic<uint64_t> write_escalations{0};
+
+ private:
+  void GcLoop();
+
+  object::ObjectHeap* heap_;
+  extra::Catalog* catalog_;
+  index::IndexManager* indexes_;
+  std::shared_mutex* exec_mu_;
+
+  std::atomic<uint64_t> epoch_{0};
+  /// Serializes the stamp-and-advance commit section.
+  std::mutex commit_mu_;
+
+  mutable std::mutex pin_mu_;
+  std::multiset<uint64_t> pins_;
+
+  std::mutex latch_mu_;
+  std::map<std::string, std::unique_ptr<std::mutex>> extent_latches_;
+
+  std::mutex erase_mu_;
+  std::vector<IndexOp> pending_erases_;
+
+  std::atomic<uint64_t> gc_reclaimed_{0};
+  std::atomic<uint64_t> writer_stall_ns_{0};
+
+  std::mutex gc_mu_;
+  std::condition_variable gc_cv_;
+  bool gc_stop_ = false;
+  std::chrono::milliseconds gc_interval_{50};
+  std::thread gc_thread_;
+};
+
+/// RAII pin of a snapshot epoch for one statement's reads.
+class SnapshotPin {
+ public:
+  explicit SnapshotPin(ConcurrencyController* c) : c_(c), epoch_(c->Pin()) {}
+  ~SnapshotPin() {
+    if (c_ != nullptr) c_->Unpin(epoch_);
+  }
+  SnapshotPin(const SnapshotPin&) = delete;
+  SnapshotPin& operator=(const SnapshotPin&) = delete;
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  ConcurrencyController* c_;
+  uint64_t epoch_;
+};
+
+}  // namespace exodus::excess
+
+#endif  // EXODUS_EXCESS_CONCURRENCY_H_

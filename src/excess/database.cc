@@ -109,6 +109,41 @@ Database::Database() {
     }
   }
 
+  // MVCC coordination + the exodus_mvcc_* series. The controller must
+  // exist before the first session executes anything.
+  controller_ = std::make_unique<excess::ConcurrencyController>(
+      &heap_, &catalog_, &indexes_, &exec_mu_);
+  metrics_.RegisterCallback("exodus_mvcc_epoch", "gauge",
+                            [this] { return controller_->epoch(); });
+  metrics_.RegisterCallback(
+      "exodus_mvcc_pinned_snapshots", "gauge",
+      [this] { return static_cast<uint64_t>(controller_->pinned_count()); });
+  metrics_.RegisterCallback("exodus_mvcc_snapshot_age", "gauge",
+                            [this] { return controller_->snapshot_age(); });
+  metrics_.RegisterCallback("exodus_mvcc_live_versions", "gauge",
+                            [this] { return heap_.version_count(); });
+  metrics_.RegisterCallback(
+      "exodus_mvcc_gc_reclaimed_total", "counter",
+      [this] { return controller_->gc_reclaimed_total(); });
+  metrics_.RegisterCallback(
+      "exodus_mvcc_writer_stall_ns_total", "counter",
+      [this] { return controller_->writer_stall_ns_total(); });
+  metrics_.RegisterCallback("exodus_mvcc_snapshot_writes_total", "counter",
+                            [this] {
+                              return controller_->snapshot_writes.load(
+                                  std::memory_order_relaxed);
+                            });
+  metrics_.RegisterCallback("exodus_mvcc_locked_writes_total", "counter",
+                            [this] {
+                              return controller_->locked_writes.load(
+                                  std::memory_order_relaxed);
+                            });
+  metrics_.RegisterCallback("exodus_mvcc_write_escalations_total", "counter",
+                            [this] {
+                              return controller_->write_escalations.load(
+                                  std::memory_order_relaxed);
+                            });
+
   // The default session backs the string-only Execute/ExecuteAll API.
   default_session_.reset(new Session(this, auth::AuthManager::kDba));
 }
@@ -119,6 +154,9 @@ Database::~Database() {
 
 Result<std::unique_ptr<Session>> Database::CreateSession(
     const std::string& user) {
+  // Reads auth state, which concurrent auth statements mutate under the
+  // exclusive lock; callers no longer lock around session creation.
+  std::shared_lock<std::shared_mutex> lock(exec_mu_);
   if (user != auth::AuthManager::kDba && !auth_.UserExists(user)) {
     return Status::NotFound("no user named '" + user + "'");
   }
@@ -146,6 +184,10 @@ bool Database::IsJournaled(const Stmt& stmt) {
 }
 
 Status Database::JournalStmt(const Stmt& stmt) {
+  // Snapshot writers on different extents append concurrently (they
+  // hold exec_mu_ only shared); their statements commute, so any append
+  // order replays correctly.
+  std::lock_guard<std::mutex> lock(journal_mu_);
   std::string text = stmt.ToString();
   std::string record = std::to_string(text.size()) + "\n" + text + "\n";
   if (std::fwrite(record.data(), 1, record.size(), journal_) !=
@@ -235,6 +277,11 @@ Result<Value> Database::EvalExpression(const std::string& text) {
 Result<QueryResult> Database::ExecuteStmtJournaled(Session& session,
                                                    const Stmt& stmt) {
   EXODUS_ASSIGN_OR_RETURN(QueryResult r, ExecuteStmt(session, stmt));
+  if (session.ctx_.txn != nullptr && session.ctx_.txn->escalate()) {
+    // The snapshot attempt is about to be rolled back and re-run under
+    // the exclusive lock; journaling it too would replay it twice.
+    return r;
+  }
   if (journal_ != nullptr && IsJournaled(stmt)) {
     EXODUS_RETURN_IF_ERROR(JournalStmt(stmt));
   }
@@ -484,7 +531,7 @@ Result<QueryResult> Database::ExecDrop(Session& session, const Stmt& stmt) {
   }
   // Destroy owned members (cascade), then drop dependent indexes.
   std::vector<Oid> owned;
-  object::ObjectHeap::CollectOwnedRefs(named->type, named->value, &owned);
+  object::ObjectHeap::CollectOwnedRefs(named->type, named->value(), &owned);
   for (Oid oid : owned) heap_.Delete(oid);
   std::vector<std::string> dead_indexes;
   for (const auto& [iname, info] : indexes_.all()) {
@@ -566,7 +613,7 @@ Result<QueryResult> Database::ExecCreateIndex(const Stmt& stmt) {
                                          kind, attr->type));
   // Bulk-load existing members.
   index::IndexInfo* info = indexes_.Find(stmt.name);
-  for (const Value& e : named->value.set().elems) {
+  for (const Value& e : named->value().set().elems) {
     if (e.kind() != ValueKind::kRef) continue;
     const object::HeapObject* obj = heap_.Get(e.AsRef());
     if (obj == nullptr) continue;
@@ -798,11 +845,11 @@ Result<QueryResult> Database::ExecRetrieveInto(Session& session,
     Oid oid = heap_.Allocate(row_type, std::move(row));
     EXODUS_RETURN_IF_ERROR(heap_.SetOwned(oid, object::kInvalidOid));
     heap_.Get(oid)->owner_extent = name;
-    named->value.mutable_set()->elems.push_back(Value::Ref(oid));
+    named->mutable_value()->mutable_set()->elems.push_back(Value::Ref(oid));
   }
 
   QueryResult result;
-  result.affected = named->value.set().elems.size();
+  result.affected = named->value().set().elems.size();
   result.message = "materialized " + std::to_string(result.affected) +
                    " row(s) into " + name;
   return result;
@@ -813,9 +860,14 @@ Result<QueryResult> Database::ExecRetrieveInto(Session& session,
 // ---------------------------------------------------------------------------
 
 std::string Database::FormatValue(const Value& v, int depth) const {
+  return FormatValueAt(v, depth, object::kMaxEpoch);
+}
+
+std::string Database::FormatValueAt(const Value& v, int depth,
+                                    uint64_t epoch) const {
   switch (v.kind()) {
     case ValueKind::kRef: {
-      const object::HeapObject* obj = heap_.Get(v.AsRef());
+      const object::HeapObject* obj = heap_.GetVisible(v.AsRef(), epoch);
       if (obj == nullptr) return "null";
       std::string head =
           "<" + obj->type->name() + " #" + std::to_string(v.AsRef()) + ">";
@@ -824,7 +876,8 @@ std::string Database::FormatValue(const Value& v, int depth) const {
       const auto& attrs = obj->type->attributes();
       for (size_t i = 0; i < attrs.size() && i < obj->fields.size(); ++i) {
         if (i > 0) out += ", ";
-        out += attrs[i].name + " = " + FormatValue(obj->fields[i], depth - 1);
+        out += attrs[i].name + " = " +
+               FormatValueAt(obj->fields[i], depth - 1, epoch);
       }
       out += ")";
       return out;
@@ -837,7 +890,7 @@ std::string Database::FormatValue(const Value& v, int depth) const {
         if (td.type != nullptr && i < td.type->attributes().size()) {
           out += td.type->attributes()[i].name + " = ";
         }
-        out += FormatValue(td.fields[i], depth);
+        out += FormatValueAt(td.fields[i], depth, epoch);
       }
       out += ")";
       return out;
@@ -846,7 +899,7 @@ std::string Database::FormatValue(const Value& v, int depth) const {
       std::string out = "{";
       for (size_t i = 0; i < v.set().elems.size(); ++i) {
         if (i > 0) out += ", ";
-        out += FormatValue(v.set().elems[i], depth);
+        out += FormatValueAt(v.set().elems[i], depth, epoch);
       }
       return out + "}";
     }
@@ -854,7 +907,7 @@ std::string Database::FormatValue(const Value& v, int depth) const {
       std::string out = "[";
       for (size_t i = 0; i < v.array().elems.size(); ++i) {
         if (i > 0) out += ", ";
-        out += FormatValue(v.array().elems[i], depth);
+        out += FormatValueAt(v.array().elems[i], depth, epoch);
       }
       return out + "]";
     }
@@ -896,11 +949,15 @@ constexpr char kRecNamed = 'N';
 }  // namespace
 
 Status Database::Save(const std::string& path) {
+  // Save is a snapshot reader like any other: shared lock + pinned
+  // epoch give a consistent image while snapshot writers keep
+  // committing (their new versions are simply above the pin).
   std::shared_lock<std::shared_mutex> lock(exec_mu_);
-  return SaveLocked(path);
+  excess::SnapshotPin pin(controller_.get());
+  return SaveLocked(path, pin.epoch());
 }
 
-Status Database::SaveLocked(const std::string& path) {
+Status Database::SaveLocked(const std::string& path, uint64_t epoch) {
   EXODUS_ASSIGN_OR_RETURN(std::unique_ptr<storage::Pager> pager,
                           storage::Pager::CreateFile(path));
   storage::BufferPool pool(pager.get(), 64);
@@ -914,7 +971,7 @@ Status Database::SaveLocked(const std::string& path) {
   }
 
   Status heap_status = Status::OK();
-  heap_.ForEachLive([&](Oid oid, const object::HeapObject& obj) {
+  heap_.ForEachVisible(epoch, [&](Oid oid, const object::HeapObject& obj) {
     if (!heap_status.ok()) return;
     std::string rec(1, kRecHeap);
     storage::Serializer::PutU64(oid, &rec);
@@ -934,7 +991,7 @@ Status Database::SaveLocked(const std::string& path) {
   for (const auto& [name, named] : catalog_.named_objects()) {
     std::string rec(1, kRecNamed);
     storage::Serializer::PutString(name, &rec);
-    EXODUS_RETURN_IF_ERROR(serializer.EncodeTo(named.value, &rec));
+    EXODUS_RETURN_IF_ERROR(serializer.EncodeTo(named.ValueAt(epoch), &rec));
     EXODUS_RETURN_IF_ERROR(store.Insert(rec).status());
   }
 
@@ -1022,7 +1079,7 @@ Result<std::unique_ptr<Database>> Database::Load(const std::string& path) {
       return Status::IoError("saved image names unknown object '" + name +
                              "'");
     }
-    named->value = std::move(v);
+    named->Reset(std::move(v));
   }
   // 4. Rebuild secondary indexes from the restored extents.
   EXODUS_RETURN_IF_ERROR(db->RebuildIndexes());
@@ -1052,7 +1109,7 @@ Status Database::RebuildIndexes() {
     EXODUS_RETURN_IF_ERROR(
         indexes_.Create(s.name, s.set_name, s.attr, s.method, attr->type));
     index::IndexInfo* info = indexes_.Find(s.name);
-    for (const Value& e : named->value.set().elems) {
+    for (const Value& e : named->value().set().elems) {
       if (e.kind() != ValueKind::kRef) continue;
       const object::HeapObject* obj = heap_.Get(e.AsRef());
       if (obj == nullptr) continue;

@@ -11,6 +11,7 @@
 #include "adt/registry.h"
 #include "auth/auth.h"
 #include "excess/ast.h"
+#include "excess/concurrency.h"
 #include "excess/executor.h"
 #include "excess/functions.h"
 #include "excess/plan_cache.h"
@@ -123,11 +124,11 @@ class Database {
     return tracer_->SlowQueries();
   }
 
-  /// The statement-level reader/writer lock acquired by the Session
-  /// execution paths. Exposed so out-of-band readers (e.g. the network
-  /// server formatting result rows, which resolves references through
-  /// the live heap) can hold it shared.
-  std::shared_mutex& exec_mutex() const { return exec_mu_; }
+  /// The MVCC coordinator: commit epoch, snapshot pins, extent latches
+  /// and the background version GC. Exposed for tests (RunGcOnce, pin
+  /// bookkeeping) and benchmarks; statement execution reaches it
+  /// through the Session layer, which owns all locking.
+  excess::ConcurrencyController* concurrency() { return controller_.get(); }
 
   /// Renders a value with references resolved through the heap, up to
   /// `depth` levels (deeper references print as <Type #oid>).
@@ -206,9 +207,16 @@ class Database {
     last_plan_ = std::move(plan);
   }
 
-  /// Save() body; the caller holds exec_mu_ (shared suffices — writers
-  /// are excluded either way).
-  util::Status SaveLocked(const std::string& path);
+  /// Save() body; the caller holds exec_mu_ (shared plus a pinned
+  /// snapshot, or exclusive). `epoch` selects the object versions to
+  /// serialize (kMaxEpoch = newest committed, for exclusive contexts).
+  util::Status SaveLocked(const std::string& path,
+                          uint64_t epoch = object::kMaxEpoch);
+
+  /// FormatValue at a specific snapshot epoch (the session formatting
+  /// paths pass their pinned epoch; kMaxEpoch reads newest committed).
+  std::string FormatValueAt(const object::Value& v, int depth,
+                            uint64_t epoch) const;
 
   /// Executes one statement on behalf of `session` (DDL handled here,
   /// queries/updates dispatched to the Executor with the session's
@@ -293,8 +301,15 @@ class Database {
   mutable std::shared_mutex exec_mu_;
   mutable std::mutex last_plan_mu_;
   std::string last_plan_;
+  /// Serializes journal appends: snapshot writers on different extents
+  /// commit concurrently while holding exec_mu_ only shared.
+  std::mutex journal_mu_;
   std::FILE* journal_ = nullptr;
   std::string journal_path_;
+  /// MVCC epoch/pin/latch coordination and the background version-GC
+  /// thread. Declared last so it is destroyed (and the GC thread
+  /// joined) before the heap, catalog and indexes it sweeps.
+  std::unique_ptr<excess::ConcurrencyController> controller_;
 };
 
 }  // namespace exodus

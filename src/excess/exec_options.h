@@ -1,45 +1,14 @@
 #ifndef EXODUS_EXCESS_EXEC_OPTIONS_H_
 #define EXODUS_EXCESS_EXEC_OPTIONS_H_
 
-#include <cstdlib>
+#include "excess/session_options.h"
 
 namespace exodus::excess {
 
-/// Executor knobs, scoped to one session (like OptimizerOptions). They
-/// do not change plan *shape*, but they change how a plan is executed,
-/// and they participate in Session::CacheKey so sessions with different
-/// knobs never share a cache entry (the PR 3 options-leak lesson).
-struct ExecOptions {
-  static constexpr int kDefaultBatchSize = 1024;
-  /// Upper bound on rows per batch; larger requests are clamped so a
-  /// pipeline's scratch columns stay cache-resident.
-  static constexpr int kMaxBatchSize = 4096;
-
-  /// Batch-at-a-time (vectorized) plan execution. Off falls back to the
-  /// pre-refactor row-at-a-time interpreter — kept as the differential
-  /// oracle for parity tests and as an escape hatch.
-  bool vectorized = true;
-  /// Rows per RowBatch. Values < 1 are rejected at execution time;
-  /// values above kMaxBatchSize are clamped.
-  int batch_size = kDefaultBatchSize;
-
-  /// Reads EXODUS_VECTORIZED (0/1) and EXODUS_BATCH_SIZE. A
-  /// non-numeric EXODUS_BATCH_SIZE is ignored; numeric values are taken
-  /// verbatim (including invalid ones < 1, which execution rejects with
-  /// a clear error rather than silently correcting).
-  static ExecOptions FromEnv() {
-    ExecOptions o;
-    if (const char* v = std::getenv("EXODUS_VECTORIZED")) {
-      o.vectorized = !(v[0] == '0' && v[1] == '\0');
-    }
-    if (const char* b = std::getenv("EXODUS_BATCH_SIZE")) {
-      char* end = nullptr;
-      long n = std::strtol(b, &end, 10);
-      if (end != b && *end == '\0') o.batch_size = static_cast<int>(n);
-    }
-    return o;
-  }
-};
+/// Deprecated alias: the executor knobs were folded into SessionOptions
+/// (one value object for optimizer switches, executor knobs and the
+/// isolation mode). Existing code naming ExecOptions keeps compiling.
+using ExecOptions = SessionOptions;
 
 }  // namespace exodus::excess
 

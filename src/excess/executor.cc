@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "excess/concurrency.h"
 #include "excess/executor_internal.h"
 #include "excess/optimizer.h"
 #include "util/string_util.h"
@@ -57,6 +58,59 @@ struct RowEq {
 };
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// MVCC access helpers
+// ---------------------------------------------------------------------------
+
+const object::HeapObject* Executor::ReadObject(Oid oid) const {
+  return ctx_->heap->GetVisible(oid, ctx_->snapshot_epoch,
+                                ctx_->txn != nullptr ? &ctx_->txn->heap
+                                                     : nullptr);
+}
+
+const Value& Executor::NamedValue(const extra::NamedObject* named) const {
+  if (ctx_->txn != nullptr) {
+    auto it = ctx_->txn->staged_cells.find(
+        const_cast<extra::NamedObject*>(named));
+    if (it != ctx_->txn->staged_cells.end()) return it->second;
+  }
+  return named->ValueAt(ctx_->snapshot_epoch);
+}
+
+Value* Executor::MutableNamedValue(extra::NamedObject* named) {
+  if (ctx_->txn != nullptr) return ctx_->txn->StageCell(named);
+  return named->mutable_value();
+}
+
+void Executor::IndexInsert(const std::string& set_name, const std::string& attr,
+                           const Value& key, Oid oid) {
+  if (ctx_->txn != nullptr) {
+    auto& deferred = ctx_->txn->deferred_erases;
+    for (auto it = deferred.begin(); it != deferred.end(); ++it) {
+      if (it->oid == oid && it->attr == attr && it->set_name == set_name &&
+          object::ValueEquals(it->key, key)) {
+        // Replace keeping the key: the existing entry stays accurate, so
+        // cancel the pending erase instead of double-entering.
+        deferred.erase(it);
+        return;
+      }
+    }
+    ctx_->indexes->OnInsert(set_name, attr, key, oid);
+    ctx_->txn->inserted.push_back({set_name, attr, key, oid, 0});
+    return;
+  }
+  ctx_->indexes->OnInsert(set_name, attr, key, oid);
+}
+
+void Executor::IndexErase(const std::string& set_name, const std::string& attr,
+                          const Value& key, Oid oid) {
+  if (ctx_->txn != nullptr) {
+    ctx_->txn->deferred_erases.push_back({set_name, attr, key, oid, 0});
+    return;
+  }
+  ctx_->indexes->OnErase(set_name, attr, key, oid);
+}
 
 std::string QueryResult::ToString() const {
   std::string out;
@@ -208,8 +262,7 @@ Status Executor::PlanStatement(const Stmt& stmt,
   EXODUS_ASSIGN_OR_RETURN(*query, binder_.Bind(stmt, prebound));
   const uint64_t t1 = trace != nullptr ? obs::MonotonicNowNs() : 0;
   if (trace != nullptr) trace->bind_ns += t1 - t0;
-  Optimizer optimizer(ctx_->catalog, ctx_->indexes, &binder_,
-                      ctx_->optimizer_options);
+  Optimizer optimizer(ctx_->catalog, ctx_->indexes, &binder_, ctx_->options);
   EXODUS_ASSIGN_OR_RETURN(*plan, optimizer.Optimize(*query));
   if (trace != nullptr) trace->optimize_ns += obs::MonotonicNowNs() - t1;
   return Status::OK();
@@ -314,10 +367,11 @@ Status Executor::BuildJoinTable(const PlanStep& step, JoinTable* table,
       return Status::NotFound("named collection '" + step.named_collection +
                               "' disappeared during execution");
     }
-    if (named->value.kind() == ValueKind::kSet) {
-      elems = named->value.set().elems;
-    } else if (named->value.kind() == ValueKind::kArray) {
-      elems = named->value.array().elems;
+    const Value& nv = NamedValue(named);
+    if (nv.kind() == ValueKind::kSet) {
+      elems = nv.set().elems;
+    } else if (nv.kind() == ValueKind::kArray) {
+      elems = nv.array().elems;
     }
   } else {
     EXODUS_ASSIGN_OR_RETURN(Value coll, Eval(*step.range, env));
@@ -418,14 +472,15 @@ Status Executor::RunStepImpl(const Plan& plan, size_t step_idx,
         return Status::NotFound("named collection '" + step.named_collection +
                                 "' disappeared during execution");
       }
-      if (named->value.kind() == ValueKind::kSet) {
-        const auto& elems = named->value.set().elems;
+      const Value& nv = NamedValue(named);
+      if (nv.kind() == ValueKind::kSet) {
+        const auto& elems = nv.set().elems;
         for (size_t i = 0; i < elems.size(); ++i) {
           ++srt.rows_examined;
           EXODUS_RETURN_IF_ERROR(bind_and_descend(elems[i]));
         }
-      } else if (named->value.kind() == ValueKind::kArray) {
-        const auto& elems = named->value.array().elems;
+      } else if (nv.kind() == ValueKind::kArray) {
+        const auto& elems = nv.array().elems;
         for (size_t i = 0; i < elems.size(); ++i) {
           if (elems[i].is_null()) continue;
           ++srt.rows_examined;
@@ -463,12 +518,30 @@ Status Executor::RunStepImpl(const Plan& plan, size_t step_idx,
         } else if (step.key_op == ">=") {
           lo = key;
         }
-        EXODUS_ASSIGN_OR_RETURN(oids, idx->btree->Range(lo, lo_inc, hi,
-                                                        hi_inc));
+        EXODUS_ASSIGN_OR_RETURN(oids, idx->Range(lo, lo_inc, hi, hi_inc));
       }
       for (Oid oid : oids) {
         ++srt.rows_examined;  // postings looked at, stale ones included
-        if (ctx_->heap->Get(oid) == nullptr) continue;  // stale entry
+        const object::HeapObject* obj = ReadObject(oid);
+        if (obj == nullptr) continue;  // stale entry / invisible version
+        // Recheck the indexed attribute against the probe: entries are
+        // maintained eagerly by concurrent writers and erased lazily by
+        // the GC sweep, so a posting may not describe the version this
+        // snapshot sees — and the optimizer consumed the matched
+        // conjunct, so no residual filter would catch the mismatch.
+        int ai = obj->type != nullptr ? obj->type->AttributeIndex(idx->attr)
+                                      : -1;
+        if (ai < 0 || static_cast<size_t>(ai) >= obj->fields.size()) continue;
+        const Value& fv = obj->fields[static_cast<size_t>(ai)];
+        if (fv.is_null()) continue;
+        Result<int> cmp = Compare(fv, key);
+        if (!cmp.ok()) continue;
+        bool match = step.key_op == "=" ? *cmp == 0
+                     : step.key_op == "<" ? *cmp < 0
+                     : step.key_op == "<=" ? *cmp <= 0
+                     : step.key_op == ">" ? *cmp > 0
+                                          : *cmp >= 0;
+        if (!match) continue;
         EXODUS_RETURN_IF_ERROR(bind_and_descend(Value::Ref(oid)));
       }
       return Status::OK();
@@ -529,7 +602,7 @@ Status Executor::RunStepImpl(const Plan& plan, size_t step_idx,
 
 Result<std::vector<std::vector<Value>>> Executor::MaterializeRows(
     const Plan& plan, const BoundQuery& query, Env* env) {
-  if (ctx_->exec_options.vectorized) {
+  if (ctx_->options.vectorized) {
     return MaterializeRowsBatched(plan, query, env);
   }
   std::vector<std::vector<Value>> rows;
@@ -644,7 +717,7 @@ Result<QueryResult> Executor::ExecRetrieve(const Stmt& stmt,
 
   bool need_materialize =
       !qlevel.empty() || stmt.unique || !stmt.sort_by.empty();
-  const bool vectorized = ctx_->exec_options.vectorized;
+  const bool vectorized = ctx_->options.vectorized;
 
   if (!need_materialize) {
     if (vectorized) {
@@ -940,11 +1013,12 @@ Status Executor::CheckKeyUnique(const std::string& extent,
   for (const Value& v : key_values) {
     if (v.is_null()) return Status::OK();  // null key parts are exempt
   }
-  if (named->value.kind() != ValueKind::kSet) return Status::OK();
-  for (const Value& member : named->value.set().elems) {
+  const Value& nv = NamedValue(named);
+  if (nv.kind() != ValueKind::kSet) return Status::OK();
+  for (const Value& member : nv.set().elems) {
     if (member.kind() != ValueKind::kRef) continue;
     if (member.AsRef() == exclude) continue;
-    const object::HeapObject* obj = ctx_->heap->Get(member.AsRef());
+    const object::HeapObject* obj = ReadObject(member.AsRef());
     if (obj == nullptr) continue;
     bool all_equal = true;
     for (size_t i = 0; i < named->key_attrs.size(); ++i) {

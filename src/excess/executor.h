@@ -28,6 +28,8 @@
 
 namespace exodus::excess {
 
+struct StatementTxn;  // excess/concurrency.h
+
 /// Cumulative per-operator registry series, one label set per
 /// PlanStep::Kind (`exodus_operator_rows_total{op="hash_join"}` etc.).
 /// The executor flushes each plan execution's actuals into these after
@@ -78,10 +80,18 @@ struct ExecContext {
   const std::map<std::string, ExprPtr>* session_ranges = nullptr;
   /// Function/procedure recursion depth (guards runaway recursion).
   int call_depth = 0;
-  /// Optimizer rule switches (ablation; all on by default).
-  OptimizerOptions optimizer_options;
-  /// Executor knobs: batch (vectorized) execution and batch size.
-  ExecOptions exec_options;
+  /// All session execution knobs: optimizer rule switches, batch
+  /// (vectorized) execution, isolation mode.
+  SessionOptions options;
+  /// Snapshot epoch of the current statement. Every heap / named-cell
+  /// read resolves versions visible at this epoch. kMaxEpoch ("newest
+  /// committed") is the exclusive-context default, under which legacy
+  /// in-place execution behaves exactly as before versioning.
+  uint64_t snapshot_epoch = object::kMaxEpoch;
+  /// The snapshot write transaction of the current statement, or null
+  /// when reading or executing under the exclusive lock. Mutations
+  /// stage copy-on-write versions into it instead of mutating in place.
+  StatementTxn* txn = nullptr;
   /// Cumulative per-operator registry series (may be null: standalone
   /// executors in tests run without a registry).
   const OperatorMetrics* op_metrics = nullptr;
@@ -435,6 +445,29 @@ class Executor {
 
   /// Resolves a path expression to an assignable location.
   util::Result<LValue> ResolveLValue(const Expr& expr, Env* env);
+
+  // --- MVCC access helpers (all execution paths go through these) ---
+  /// The heap object visible at the context's snapshot epoch (pending
+  /// versions of the context's own txn included), or nullptr.
+  const object::HeapObject* ReadObject(object::Oid oid) const;
+  /// A named object's container value as the statement sees it: the
+  /// staged cell under a snapshot txn, else the version at the snapshot
+  /// epoch.
+  const object::Value& NamedValue(const extra::NamedObject* named) const;
+  /// Mutable container value of a named object: the clone-on-first-
+  /// touch staged cell under a snapshot txn, the in-place newest value
+  /// otherwise (exclusive contexts).
+  object::Value* MutableNamedValue(extra::NamedObject* named);
+  /// Index maintenance with statement-txn logging: inserts apply
+  /// eagerly and are undone on rollback; erases are deferred to the GC
+  /// sweep under a txn (concurrent snapshot readers may still resolve
+  /// old versions through them) and immediate otherwise. An insert that
+  /// exactly cancels a pending erase (replace keeping the key) drops
+  /// the erase instead of double-entering.
+  void IndexInsert(const std::string& set_name, const std::string& attr,
+                   const object::Value& key, object::Oid oid);
+  void IndexErase(const std::string& set_name, const std::string& attr,
+                  const object::Value& key, object::Oid oid);
 
   // --- authorization ---
   util::Status CheckNamedPrivilege(const std::string& object,

@@ -152,7 +152,7 @@ Status Executor::EvalBatch(const Expr& expr,
         const Type* type = nullptr;
         const std::vector<Value>* fields = nullptr;
         if (bv.kind() == ValueKind::kRef) {
-          const object::HeapObject* obj = ctx_->heap->Get(bv.AsRef());
+          const object::HeapObject* obj = ReadObject(bv.AsRef());
           if (obj == nullptr) {  // dangling ref ~ null (GEM)
             out->push_back(Value::Null());
             continue;
@@ -269,10 +269,11 @@ Status Executor::BuildColumnarJoinTable(const PlanStep& step,
       return Status::NotFound("named collection '" + step.named_collection +
                               "' disappeared during execution");
     }
-    if (named->value.kind() == ValueKind::kSet) {
-      elems = &named->value.set().elems;
-    } else if (named->value.kind() == ValueKind::kArray) {
-      elems = &named->value.array().elems;
+    const Value& nv = NamedValue(named);
+    if (nv.kind() == ValueKind::kSet) {
+      elems = &nv.set().elems;
+    } else if (nv.kind() == ValueKind::kArray) {
+      elems = &nv.array().elems;
     }
   } else {
     EXODUS_ASSIGN_OR_RETURN(Value coll, Eval(*step.range, env));
@@ -423,10 +424,11 @@ Status Executor::ExpandStepBatch(const Plan& plan, size_t step_idx,
       }
       const std::vector<Value>* elems = nullptr;
       bool skip_nulls = false;
-      if (named->value.kind() == ValueKind::kSet) {
-        elems = &named->value.set().elems;
-      } else if (named->value.kind() == ValueKind::kArray) {
-        elems = &named->value.array().elems;
+      const Value& nv = NamedValue(named);
+      if (nv.kind() == ValueKind::kSet) {
+        elems = &nv.set().elems;
+      } else if (nv.kind() == ValueKind::kArray) {
+        elems = &nv.array().elems;
         skip_nulls = true;  // array holes
       }
       if (elems != nullptr && !skip_nulls) {
@@ -496,12 +498,32 @@ Status Executor::ExpandStepBatch(const Plan& plan, size_t step_idx,
           } else if (step.key_op == ">=") {
             lo = key;
           }
-          EXODUS_ASSIGN_OR_RETURN(oids,
-                                  idx->btree->Range(lo, lo_inc, hi, hi_inc));
+          EXODUS_ASSIGN_OR_RETURN(oids, idx->Range(lo, lo_inc, hi, hi_inc));
         }
         for (Oid oid : oids) {
           ++srt.rows_examined;  // postings looked at, stale ones included
-          if (ctx_->heap->Get(oid) == nullptr) continue;  // stale entry
+          const object::HeapObject* obj = ReadObject(oid);
+          if (obj == nullptr) continue;  // stale entry / invisible version
+          // Recheck the indexed attribute against the probe key: with
+          // eager concurrent inserts and GC-deferred erases a posting
+          // may not describe this snapshot's version, and the matched
+          // conjunct was consumed by the optimizer (see the row path).
+          int ai = obj->type != nullptr
+                       ? obj->type->AttributeIndex(idx->attr)
+                       : -1;
+          if (ai < 0 || static_cast<size_t>(ai) >= obj->fields.size()) {
+            continue;
+          }
+          const Value& fv = obj->fields[static_cast<size_t>(ai)];
+          if (fv.is_null()) continue;
+          Result<int> cmp = Compare(fv, key);
+          if (!cmp.ok()) continue;
+          bool match = step.key_op == "=" ? *cmp == 0
+                       : step.key_op == "<" ? *cmp < 0
+                       : step.key_op == "<=" ? *cmp <= 0
+                       : step.key_op == ">" ? *cmp > 0
+                                            : *cmp >= 0;
+          if (!match) continue;
           EXODUS_RETURN_IF_ERROR(emit(r, Value::Ref(oid)));
         }
       }
@@ -595,13 +617,13 @@ Status Executor::RunPlanBatched(const Plan& plan, const BoundQuery& query,
   run_stats_.Reset(plan.steps.size());
   const uint64_t t0 = obs::MonotonicNowNs();
   Status st = [&]() -> Status {
-    const int bs = ctx_->exec_options.batch_size;
+    const int bs = ctx_->options.batch_size;
     if (bs < 1) {
       return Status::OutOfRange("ExecOptions::batch_size must be >= 1 (got " +
                                 std::to_string(bs) + ")");
     }
     batch_cap_ = std::min(static_cast<size_t>(bs),
-                          static_cast<size_t>(ExecOptions::kMaxBatchSize));
+                          static_cast<size_t>(SessionOptions::kMaxBatchSize));
     for (const ExprPtr& f : plan.constant_filters) {
       EXODUS_ASSIGN_OR_RETURN(Value v, Eval(*f, env));
       EXODUS_ASSIGN_OR_RETURN(bool ok, Truthy(v));

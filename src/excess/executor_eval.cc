@@ -45,7 +45,7 @@ Result<std::vector<Value>> Executor::ElementsOf(const Value& v) const {
 
 const Type* Executor::RuntimeTupleType(const Value& v) const {
   if (v.kind() == ValueKind::kRef) {
-    const object::HeapObject* obj = ctx_->heap->Get(v.AsRef());
+    const object::HeapObject* obj = ReadObject(v.AsRef());
     return obj != nullptr ? obj->type : nullptr;
   }
   if (v.kind() == ValueKind::kTuple) return v.tuple().type;
@@ -60,7 +60,7 @@ Result<Value> Executor::AttrAccess(const Value& base, const std::string& attr,
   const Type* type = nullptr;
   const std::vector<Value>* fields = nullptr;
   if (base.kind() == ValueKind::kRef) {
-    const object::HeapObject* obj = ctx_->heap->Get(base.AsRef());
+    const object::HeapObject* obj = ReadObject(base.AsRef());
     if (obj == nullptr) return Value::Null();  // dangling ref ~ null (GEM)
     type = obj->type;
     fields = &obj->fields;
@@ -95,7 +95,7 @@ Result<Value> Executor::EvalRange(const Expr& expr, Env* env) {
         named->type->is_collection()) {
       EXODUS_RETURN_IF_ERROR(
           CheckNamedPrivilege(expr.name, auth::Privilege::kRetrieve));
-      return named->value;
+      return NamedValue(named);
     }
   }
   return Eval(expr, env);
@@ -112,7 +112,7 @@ Result<Value> Executor::Eval(const Expr& expr, Env* env) {
       if (named != nullptr) {
         EXODUS_RETURN_IF_ERROR(
             CheckNamedPrivilege(expr.name, auth::Privilege::kRetrieve));
-        return named->value;
+        return NamedValue(named);
       }
       // Unique bare enum label.
       const Type* found_enum = nullptr;
@@ -266,8 +266,7 @@ Result<Value> Executor::ApplyBinary(const std::string& op, const Value& lhs,
   if (op == "is" || op == "isnot") {
     // Object identity (the only comparison applicable to references).
     auto normalize = [&](Value v) {
-      if (v.kind() == ValueKind::kRef &&
-          ctx_->heap->Get(v.AsRef()) == nullptr) {
+      if (v.kind() == ValueKind::kRef && ReadObject(v.AsRef()) == nullptr) {
         return Value::Null();  // dangling references behave as null
       }
       return v;
@@ -560,7 +559,7 @@ Result<Value> Executor::EvalCall(const Expr& expr, Env* env) {
   // 4. Built-ins.
   if (expr.name == "isnull" && args.size() == 1) {
     Value v = args[0];
-    if (v.kind() == ValueKind::kRef && ctx_->heap->Get(v.AsRef()) == nullptr) {
+    if (v.kind() == ValueKind::kRef && ReadObject(v.AsRef()) == nullptr) {
       v = Value::Null();
     }
     return Value::Bool(v.is_null());

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "excess/concurrency.h"
 #include "excess/executor.h"
 #include "excess/executor_internal.h"
 
@@ -17,6 +18,24 @@ using object::Value;
 using object::ValueKind;
 using util::Result;
 using util::Status;
+
+namespace {
+
+/// The heap-level write transaction of the context's statement txn
+/// (null under the exclusive / legacy path: in-place mutation).
+inline object::HeapWriteTxn* HeapTxn(ExecContext* ctx) {
+  return ctx->txn != nullptr ? &ctx->txn->heap : nullptr;
+}
+
+/// The error a snapshot statement returns when it must re-run under the
+/// exclusive lock; the session rolls back and retries, so the text is
+/// never user-visible.
+inline Status EscalateStatus() {
+  return Status::ConstraintViolation(
+      "statement touches state outside its latched extent (escalating)");
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Value construction and coercion
@@ -94,7 +113,7 @@ Result<Value> Executor::CoerceValue(Value v, const Type* type) const {
       // Functions declared on a schema type accept both embedded tuples
       // and references to objects of (a subtype of) that type.
       if (v.kind() == ValueKind::kRef) {
-        const object::HeapObject* obj = ctx_->heap->Get(v.AsRef());
+        const object::HeapObject* obj = ReadObject(v.AsRef());
         if (obj == nullptr) return Value::Null();
         if (!obj->type->IsSubtypeOf(type)) {
           return Status::TypeError("object of type " + obj->type->name() +
@@ -150,7 +169,7 @@ Result<Value> Executor::CoerceValue(Value v, const Type* type) const {
                                  type->target()->name() + ", got " +
                                  v.ToString());
       }
-      const object::HeapObject* obj = ctx_->heap->Get(v.AsRef());
+      const object::HeapObject* obj = ReadObject(v.AsRef());
       if (obj == nullptr) return Value::Null();  // dangling ~ null
       if (!obj->type->IsSubtypeOf(type->target())) {
         return Status::TypeError("object of type " + obj->type->name() +
@@ -201,9 +220,10 @@ Result<Value> Executor::BuildValue(const Expr& expr, const Type* type,
         }
         EXODUS_ASSIGN_OR_RETURN(std::vector<Value> fields,
                                 BuildFields(target, assigns, env));
-        Oid oid = ctx_->heap->Allocate(target, std::move(fields));
+        Oid oid = ctx_->heap->Allocate(target, std::move(fields),
+                                       HeapTxn(ctx_));
         // Nested own-ref components become owned by the new object.
-        const object::HeapObject* obj = ctx_->heap->Get(oid);
+        const object::HeapObject* obj = ReadObject(oid);
         const auto& attrs = target->attributes();
         for (size_t i = 0; i < attrs.size(); ++i) {
           EXODUS_RETURN_IF_ERROR(
@@ -266,10 +286,10 @@ Status Executor::OwnChildren(const Type* type, const Value& value,
   std::vector<Oid> owned;
   object::ObjectHeap::CollectOwnedRefs(type, value, &owned);
   for (Oid child : owned) {
-    const object::HeapObject* obj = ctx_->heap->Get(child);
+    const object::HeapObject* obj = ReadObject(child);
     if (obj == nullptr) continue;
     if (obj->owned && obj->owner_object == owner) continue;  // already ours
-    EXODUS_RETURN_IF_ERROR(ctx_->heap->SetOwned(child, owner));
+    EXODUS_RETURN_IF_ERROR(ctx_->heap->SetOwned(child, owner, HeapTxn(ctx_)));
   }
   return Status::OK();
 }
@@ -321,20 +341,26 @@ Result<Executor::LValue> Executor::ResolveLValue(const Expr& expr, Env* env) {
     if (named == nullptr) {
       return Status::NotFound("unknown target '" + cur->name + "'");
     }
-    lv.slot = &named->value;
+    lv.slot = MutableNamedValue(named);
     lv.declared_type = named->type;
     if (named->type != nullptr && named->type->is_set()) {
       lv.extent = cur->name;
     }
-    current = named->value;
+    current = *lv.slot;
   }
 
   for (const Expr* step : steps) {
     // Dereference a reference before navigating into it.
     if (current.kind() == ValueKind::kRef) {
       Oid oid = current.AsRef();
-      object::HeapObject* obj = ctx_->heap->Get(oid);
+      object::HeapObject* obj =
+          ctx_->txn != nullptr
+              ? ctx_->heap->GetForWrite(oid, &ctx_->txn->heap)
+              : ctx_->heap->Get(oid);
       if (obj == nullptr) {
+        if (ctx_->txn != nullptr && ctx_->txn->heap.needs_escalation) {
+          return EscalateStatus();
+        }
         return Status::NotFound("path traverses a deleted object");
       }
       lv.owner = oid;
@@ -358,6 +384,13 @@ Result<Executor::LValue> Executor::ResolveLValue(const Expr& expr, Env* env) {
       if (current.kind() != ValueKind::kTuple) {
         return Status::TypeError("path selects '." + step->name +
                                  "' from a non-tuple value");
+      }
+      if (ctx_->txn != nullptr) {
+        // Tuple payloads are shared between a staged copy and the committed
+        // version; navigating into one would mutate it in place. Re-run the
+        // statement under the exclusive lock instead.
+        ctx_->txn->heap.needs_escalation = true;
+        return EscalateStatus();
       }
       object::TupleData* td = current.mutable_tuple();
       const Type* tt = td->type != nullptr
@@ -390,6 +423,12 @@ Result<Executor::LValue> Executor::ResolveLValue(const Expr& expr, Env* env) {
       return Status::TypeError("array index must be an integer");
     }
     int64_t i = idx_v.AsInt();
+    if (ctx_->txn != nullptr) {
+      // Same aliasing hazard as tuple navigation above: array payloads are
+      // shared with the committed version.
+      ctx_->txn->heap.needs_escalation = true;
+      return EscalateStatus();
+    }
     object::ArrayData* ad = current.mutable_array();
     if (i < 1 || static_cast<size_t>(i) > ad->elems.size()) {
       return Status::OutOfRange("array index " + std::to_string(i) +
@@ -490,14 +529,16 @@ Result<QueryResult> Executor::ExecAppend(const Stmt& stmt,
                 KeyValuesOf(target.extent, tuple_type, fields),
                 object::kInvalidOid));
           }
-          new_oid = ctx_->heap->Allocate(tuple_type, std::move(fields));
-          const object::HeapObject* obj = ctx_->heap->Get(new_oid);
+          new_oid = ctx_->heap->Allocate(tuple_type, std::move(fields),
+                                         HeapTxn(ctx_));
+          const object::HeapObject* obj = ReadObject(new_oid);
           const auto& attrs = tuple_type->attributes();
           for (size_t i = 0; i < attrs.size(); ++i) {
             EXODUS_RETURN_IF_ERROR(
                 OwnChildren(attrs[i].type, obj->fields[i], new_oid));
           }
-          EXODUS_RETURN_IF_ERROR(ctx_->heap->SetOwned(new_oid, target.owner));
+          EXODUS_RETURN_IF_ERROR(
+              ctx_->heap->SetOwned(new_oid, target.owner, HeapTxn(ctx_)));
           element = Value::Ref(new_oid);
         } else {
           element = Value::MakeTuple(tuple_type, std::move(fields));
@@ -510,7 +551,7 @@ Result<QueryResult> Executor::ExecAppend(const Stmt& stmt,
                                 BuildValue(*stmt.value, elem_type, env));
         if (element.is_null()) return Status::OK();  // appending null: no-op
         if (!target.extent.empty() && element.kind() == ValueKind::kRef) {
-          const object::HeapObject* cand = ctx_->heap->Get(element.AsRef());
+          const object::HeapObject* cand = ReadObject(element.AsRef());
           if (cand != nullptr) {
             EXODUS_RETURN_IF_ERROR(CheckKeyUnique(
                 target.extent,
@@ -523,14 +564,14 @@ Result<QueryResult> Executor::ExecAppend(const Stmt& stmt,
           // Ownership transfer into an own-ref collection. "Already
           // owned by this exact container" requires matching owner
           // object AND extent (two named extents both have owner oid 0).
-          const object::HeapObject* obj = ctx_->heap->Get(element.AsRef());
+          const object::HeapObject* obj = ReadObject(element.AsRef());
           if (obj != nullptr) {
             bool same_owner = obj->owned &&
                               obj->owner_object == target.owner &&
                               obj->owner_extent == target.extent;
             if (!same_owner) {
-              EXODUS_RETURN_IF_ERROR(
-                  ctx_->heap->SetOwned(element.AsRef(), target.owner));
+              EXODUS_RETURN_IF_ERROR(ctx_->heap->SetOwned(
+                  element.AsRef(), target.owner, HeapTxn(ctx_)));
             }
           }
           new_oid = element.AsRef();
@@ -563,16 +604,22 @@ Result<QueryResult> Executor::ExecAppend(const Stmt& stmt,
         ++appended;
         // Tag extent membership and maintain indexes on named extents.
         if (!target.extent.empty() && new_oid != object::kInvalidOid) {
-          object::HeapObject* obj = ctx_->heap->Get(new_oid);
+          object::HeapObject* obj =
+              ctx_->txn != nullptr
+                  ? ctx_->heap->GetForWrite(new_oid, &ctx_->txn->heap)
+                  : ctx_->heap->Get(new_oid);
+          if (obj == nullptr && ctx_->txn != nullptr &&
+              ctx_->txn->heap.needs_escalation) {
+            return EscalateStatus();
+          }
           if (obj != nullptr) {
             obj->owner_extent = target.extent;
             for (index::IndexInfo* idx :
                  ctx_->indexes->IndexesOn(target.extent)) {
               int ai = obj->type->AttributeIndex(idx->attr);
               if (ai >= 0) {
-                ctx_->indexes->OnInsert(target.extent, idx->attr,
-                                        obj->fields[static_cast<size_t>(ai)],
-                                        new_oid);
+                IndexInsert(target.extent, idx->attr,
+                            obj->fields[static_cast<size_t>(ai)], new_oid);
               }
             }
           }
@@ -634,7 +681,7 @@ Result<QueryResult> Executor::ExecDelete(const Stmt& stmt,
         extra::NamedObject* named =
             ctx_->catalog->FindNamed(victim_var.named_collection);
         if (named == nullptr) return Status::OK();
-        container = &named->value;
+        container = MutableNamedValue(named);
         container_type = named->type;
         extent = victim_var.named_collection;
       } else {
@@ -673,14 +720,13 @@ Result<QueryResult> Executor::ExecDelete(const Stmt& stmt,
 
       // Index maintenance before destroying the object.
       if (!extent.empty() && elem.kind() == ValueKind::kRef) {
-        const object::HeapObject* obj = ctx_->heap->Get(elem.AsRef());
+        const object::HeapObject* obj = ReadObject(elem.AsRef());
         if (obj != nullptr) {
           for (index::IndexInfo* idx : ctx_->indexes->IndexesOn(extent)) {
             int ai = obj->type->AttributeIndex(idx->attr);
             if (ai >= 0) {
-              ctx_->indexes->OnErase(extent, idx->attr,
-                                     obj->fields[static_cast<size_t>(ai)],
-                                     elem.AsRef());
+              IndexErase(extent, idx->attr,
+                         obj->fields[static_cast<size_t>(ai)], elem.AsRef());
             }
           }
         }
@@ -692,10 +738,10 @@ Result<QueryResult> Executor::ExecDelete(const Stmt& stmt,
         if (elem_type != nullptr && elem_type->is_ref()) {
           destroy = elem_type->owned();
         } else {
-          const object::HeapObject* obj = ctx_->heap->Get(elem.AsRef());
+          const object::HeapObject* obj = ReadObject(elem.AsRef());
           destroy = obj != nullptr && obj->owned;
         }
-        if (destroy) ctx_->heap->Delete(elem.AsRef());
+        if (destroy) ctx_->heap->Delete(elem.AsRef(), HeapTxn(ctx_));
       }
       return Status::OK();
     };
@@ -762,8 +808,16 @@ Result<QueryResult> Executor::ExecReplace(const Stmt& stmt,
       Oid oid = object::kInvalidOid;
       std::string extent;
       if (v.kind() == ValueKind::kRef) {
-        object::HeapObject* obj = ctx_->heap->Get(v.AsRef());
-        if (obj == nullptr) return Status::OK();  // deleted meanwhile
+        object::HeapObject* obj =
+            ctx_->txn != nullptr
+                ? ctx_->heap->GetForWrite(v.AsRef(), &ctx_->txn->heap)
+                : ctx_->heap->Get(v.AsRef());
+        if (obj == nullptr) {
+          if (ctx_->txn != nullptr && ctx_->txn->heap.needs_escalation) {
+            return EscalateStatus();
+          }
+          return Status::OK();  // deleted meanwhile
+        }
         type = obj->type;
         fields = &obj->fields;
         oid = v.AsRef();
@@ -773,6 +827,12 @@ Result<QueryResult> Executor::ExecReplace(const Stmt& stmt,
               CheckNamedPrivilege(extent, auth::Privilege::kReplace));
         }
       } else if (v.kind() == ValueKind::kTuple) {
+        if (ctx_->txn != nullptr) {
+          // The tuple payload is shared with the committed version;
+          // replacing fields in place requires the exclusive lock.
+          ctx_->txn->heap.needs_escalation = true;
+          return EscalateStatus();
+        }
         object::TupleData* td =
             const_cast<Value&>(v).mutable_tuple();
         type = td->type;
@@ -817,7 +877,7 @@ Result<QueryResult> Executor::ExecReplace(const Stmt& stmt,
 
         // Index maintenance on the extent the object belongs to.
         if (!extent.empty() && oid != object::kInvalidOid) {
-          ctx_->indexes->OnErase(extent, assign.attr, slot, oid);
+          IndexErase(extent, assign.attr, slot, oid);
         }
 
         // Own-ref attribute replacement destroys the old component and
@@ -826,13 +886,14 @@ Result<QueryResult> Executor::ExecReplace(const Stmt& stmt,
             attr_type->owned()) {
           if (slot.kind() == ValueKind::kRef &&
               (nv.kind() != ValueKind::kRef || nv.AsRef() != slot.AsRef())) {
-            ctx_->heap->Delete(slot.AsRef());
+            ctx_->heap->Delete(slot.AsRef(), HeapTxn(ctx_));
           }
           if (nv.kind() == ValueKind::kRef) {
-            const object::HeapObject* child = ctx_->heap->Get(nv.AsRef());
+            const object::HeapObject* child = ReadObject(nv.AsRef());
             if (child != nullptr &&
                 !(child->owned && child->owner_object == oid)) {
-              EXODUS_RETURN_IF_ERROR(ctx_->heap->SetOwned(nv.AsRef(), oid));
+              EXODUS_RETURN_IF_ERROR(
+                  ctx_->heap->SetOwned(nv.AsRef(), oid, HeapTxn(ctx_)));
             }
           }
         } else if (attr_type != nullptr && !attr_type->is_ref()) {
@@ -841,7 +902,7 @@ Result<QueryResult> Executor::ExecReplace(const Stmt& stmt,
 
         slot = std::move(nv);
         if (!extent.empty() && oid != object::kInvalidOid) {
-          ctx_->indexes->OnInsert(extent, assign.attr, slot, oid);
+          IndexInsert(extent, assign.attr, slot, oid);
         }
       }
       ++replaced;

@@ -55,11 +55,14 @@ double Optimizer::EstimateCardinality(const BoundVar& var) const {
     const extra::NamedObject* named =
         catalog_->FindNamed(var.named_collection);
     if (named != nullptr) {
-      if (named->value.kind() == object::ValueKind::kSet) {
-        return static_cast<double>(named->value.set().elems.size());
+      // Planning reads the newest committed value: cardinality is only
+      // an estimate, so snapshot precision buys nothing here.
+      const object::Value& nv = named->value();
+      if (nv.kind() == object::ValueKind::kSet) {
+        return static_cast<double>(nv.set().elems.size());
       }
-      if (named->value.kind() == object::ValueKind::kArray) {
-        return static_cast<double>(named->value.array().elems.size());
+      if (nv.kind() == object::ValueKind::kArray) {
+        return static_cast<double>(nv.array().elems.size());
       }
     }
     return 1000.0;

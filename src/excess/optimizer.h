@@ -6,30 +6,19 @@
 
 #include "excess/binder.h"
 #include "excess/plan.h"
+#include "excess/session_options.h"
 #include "extra/catalog.h"
 #include "index/index_manager.h"
 #include "util/result.h"
 
 namespace exodus::excess {
 
-/// Ablation switches for the optimizer's three rule families. All on by
-/// default; benchmarks and tests turn them off individually to measure
-/// each rule's contribution (EXPERIMENTS.md B11).
-struct OptimizerOptions {
-  /// Attach conjuncts at the earliest loop level (off: all predicates
-  /// are evaluated only at the innermost level).
-  bool predicate_pushdown = true;
-  /// Greedy variable ordering by access quality and cardinality (off:
-  /// binder order, honoring only dependency constraints).
-  bool join_reordering = true;
-  /// Access-path selection through secondary indexes (off: always scan).
-  bool use_indexes = true;
-  /// Hash-based equi-joins: when equality conjuncts link a new range
-  /// variable to already-bound ones and no index applies, build a hash
-  /// table over the new variable's collection once and probe it per
-  /// outer row instead of nested-loop scanning (off: nested loop).
-  bool hash_join = true;
-};
+/// Deprecated alias: the optimizer's ablation switches
+/// (predicate_pushdown / join_reordering / use_indexes / hash_join, all
+/// on by default — EXPERIMENTS.md B11) now live in SessionOptions
+/// alongside the executor and concurrency knobs. Existing code naming
+/// OptimizerOptions keeps compiling.
+using OptimizerOptions = SessionOptions;
 
 /// Rule-driven plan construction, this reproduction's stand-in for an
 /// optimizer built with the EXODUS optimizer generator [Grae87]:

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "excess/binder.h"
+#include "excess/concurrency.h"
 #include "excess/database.h"
 #include "excess/parser.h"
 
@@ -101,7 +102,7 @@ Session::Session(Database* db, std::string user) : db_(db) {
   ctx_.session_ranges = &ranges_;
   ctx_.current_user = std::move(user);
   ctx_.op_metrics = &db->op_metrics_;
-  ctx_.exec_options = excess::ExecOptions::FromEnv();
+  ctx_.options = excess::SessionOptions::FromEnv();
 }
 
 Session::~Session() = default;
@@ -130,13 +131,152 @@ Result<QueryResult> Session::ExecuteStmtLocked(const excess::Stmt& stmt,
   obs::StmtTrace trace;
   trace.parse_ns = parse_ns;
   return RunTraced(stmt, &trace, [&]() -> Result<QueryResult> {
-    if (Database::IsReadOnly(stmt)) {
-      std::shared_lock<std::shared_mutex> lock(db_->exec_mu_);
-      return db_->ExecuteStmtJournaled(*this, stmt);
-    }
-    std::unique_lock<std::shared_mutex> lock(db_->exec_mu_);
-    return db_->ExecuteStmtJournaled(*this, stmt);
+    return ExecuteWithConcurrency(
+        stmt, [&] { return db_->ExecuteStmtJournaled(*this, stmt); });
   });
+}
+
+Session::StmtClass Session::Classify(const excess::Stmt& stmt) const {
+  if (Database::IsReadOnly(stmt)) return StmtClass::kRead;
+  if (ctx_.options.isolation != excess::IsolationMode::kSnapshot) {
+    return StmtClass::kExclusive;
+  }
+  switch (stmt.kind) {
+    case StmtKind::kAppend:
+    case StmtKind::kDelete:
+    case StmtKind::kReplace:
+      return WriteExtentOf(stmt).empty() ? StmtClass::kExclusive
+                                         : StmtClass::kSnapshotWrite;
+    default:
+      // DDL, auth, assigns (arbitrary l-value paths), procedure calls
+      // and retrieve-into mutate state no extent latch covers.
+      return StmtClass::kExclusive;
+  }
+}
+
+std::string Session::WriteExtentOf(const excess::Stmt& stmt) const {
+  // The write target must be a top-level named set or array in the
+  // catalog; nested paths, parameters and everything else return ""
+  // (exclusive path).
+  auto named_collection = [&](const Expr* e) -> std::string {
+    if (e == nullptr || e->kind != ExprKind::kVar) return "";
+    const extra::NamedObject* named = db_->catalog_.FindNamed(e->name);
+    if (named == nullptr || named->type == nullptr) return "";
+    if (!named->type->is_set() && !named->type->is_array()) return "";
+    return e->name;
+  };
+  switch (stmt.kind) {
+    case StmtKind::kAppend:
+      return named_collection(stmt.target.get());
+    case StmtKind::kDelete:
+    case StmtKind::kReplace: {
+      // The victim must be a root binding of a named collection —
+      // `delete E from E in Employees` — whether bound in the statement
+      // itself or by a session `range of` declaration.
+      const Expr* range = nullptr;
+      for (const excess::FromBinding& b : stmt.from) {
+        if (b.var == stmt.update_var) {
+          range = b.range.get();
+          break;
+        }
+      }
+      if (range == nullptr) {
+        auto it = ranges_.find(stmt.update_var);
+        if (it != ranges_.end()) range = it->second.get();
+      }
+      return named_collection(range);
+    }
+    default:
+      return "";
+  }
+}
+
+Result<QueryResult> Session::ExecuteWithConcurrency(
+    const excess::Stmt& stmt,
+    const std::function<Result<QueryResult>()>& body) {
+  excess::ConcurrencyController* cc = db_->controller_.get();
+  bool escalated_out = false;
+  {
+    // Classification reads the catalog (WriteExtentOf resolves the
+    // target extent), so it runs under the shared lock — concurrent
+    // DDL mutates the catalog map under the exclusive lock. The lock
+    // is then kept for the read / snapshot-write fast paths; only the
+    // exclusive path below re-acquires.
+    std::shared_lock<std::shared_mutex> lock(db_->exec_mu_);
+    const StmtClass cls = Classify(stmt);
+
+    if (cls == StmtClass::kRead) {
+      excess::SnapshotPin pin(cc);
+      ctx_.snapshot_epoch = pin.epoch();
+      Result<QueryResult> result = body();
+      ctx_.snapshot_epoch = object::kMaxEpoch;
+      return result;
+    }
+
+    if (cls == StmtClass::kSnapshotWrite) {
+      const std::string extent = WriteExtentOf(stmt);
+      // Latch the extent FIRST, then pin the snapshot: pinning before
+      // the latch could fix an epoch that misses a concurrent commit to
+      // this very extent (a lost update).
+      const uint64_t t0 = obs::MonotonicNowNs();
+      std::unique_lock<std::mutex> latch(*cc->ExtentLatch(extent));
+      cc->AddWriterStall(obs::MonotonicNowNs() - t0);
+
+      excess::StatementTxn txn;
+      txn.heap.snapshot = cc->Pin();
+      txn.latched.insert(extent);
+      txn.heap.latched_extents = &txn.latched;
+      ctx_.snapshot_epoch = txn.heap.snapshot;
+      ctx_.txn = &txn;
+      Result<QueryResult> result = body();
+      ctx_.txn = nullptr;
+      ctx_.snapshot_epoch = object::kMaxEpoch;
+
+      // Escalation is checked regardless of result status: a statement
+      // can return OK before noticing it touched foreign state, and its
+      // staging must be discarded either way.
+      const bool escalated = txn.escalate();
+      if (!escalated && result.ok()) {
+        cc->Commit(&txn);
+        cc->Unpin(txn.heap.snapshot);
+        cc->snapshot_writes.fetch_add(1, std::memory_order_relaxed);
+        return result;
+      }
+      cc->Rollback(&txn);
+      cc->Unpin(txn.heap.snapshot);
+      if (!escalated) return result;  // genuine statement error
+      escalated_out = true;
+    }
+  }
+  if (escalated_out) {
+    cc->write_escalations.fetch_add(1, std::memory_order_relaxed);
+    // Fall through: re-run the whole statement under the exclusive lock.
+  }
+
+  const uint64_t t0 = obs::MonotonicNowNs();
+  std::unique_lock<std::shared_mutex> lock(db_->exec_mu_);
+  cc->AddWriterStall(obs::MonotonicNowNs() - t0);
+  if (!Database::IsReadOnly(stmt)) {
+    cc->locked_writes.fetch_add(1, std::memory_order_relaxed);
+  }
+  return body();
+}
+
+std::vector<std::vector<std::string>> Session::FormatRows(
+    const QueryResult& result, int depth) {
+  std::shared_lock<std::shared_mutex> lock(db_->exec_mu_);
+  excess::SnapshotPin pin(db_->controller_.get());
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(result.rows.size());
+  for (const auto& row : result.rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const Value& v : row) {
+      cells.push_back(db_->FormatValueAt(v, depth, pin.epoch()));
+    }
+    rows.push_back(std::move(cells));
+  }
+  return rows;
 }
 
 Result<QueryResult> Session::RunTraced(
@@ -177,8 +317,12 @@ Result<Value> Session::EvalExpression(const std::string& text) {
   excess::Parser parser(text, &db_->adts_);
   EXODUS_ASSIGN_OR_RETURN(excess::ExprPtr expr, parser.ParseSingleExpression());
   std::shared_lock<std::shared_mutex> lock(db_->exec_mu_);
+  excess::SnapshotPin pin(db_->controller_.get());
+  ctx_.snapshot_epoch = pin.epoch();
   Executor exec(&ctx_);
-  return exec.EvalStandalone(*expr);
+  Result<Value> result = exec.EvalStandalone(*expr);
+  ctx_.snapshot_epoch = object::kMaxEpoch;
+  return result;
 }
 
 Result<std::string> Session::Explain(const std::string& text, bool analyze) {
@@ -217,12 +361,8 @@ Result<std::string> Session::Explain(const std::string& text, bool analyze) {
   EXODUS_ASSIGN_OR_RETURN(
       QueryResult result,
       RunTraced(*stmt, &trace, [&]() -> Result<QueryResult> {
-        if (Database::IsReadOnly(*stmt)) {
-          std::shared_lock<std::shared_mutex> lock(db_->exec_mu_);
-          return db_->ExecuteStmtJournaled(*this, *stmt);
-        }
-        std::unique_lock<std::shared_mutex> lock(db_->exec_mu_);
-        return db_->ExecuteStmtJournaled(*this, *stmt);
+        return ExecuteWithConcurrency(
+            *stmt, [&] { return db_->ExecuteStmtJournaled(*this, *stmt); });
       }));
   (void)result;
 
@@ -255,26 +395,13 @@ Result<std::unique_ptr<PreparedStatement>> Session::Prepare(
 
 std::string Session::CacheKey(const std::string& norm) const {
   std::string key = norm;
-  // The optimizer switches shape the plan, and the cache is shared
-  // across sessions: a session with hash_join (or any rule) disabled
-  // must not pick up a plan built under different switches. Fingerprint
-  // the options into the key as a bitmask character.
-  const excess::OptimizerOptions& o = ctx_.optimizer_options;
-  char opts = static_cast<char>('0' + ((o.predicate_pushdown ? 1 : 0) |
-                                       (o.join_reordering ? 2 : 0) |
-                                       (o.use_indexes ? 4 : 0) |
-                                       (o.hash_join ? 8 : 0)));
+  // The session options shape both the plan tree (optimizer switches)
+  // and the prepared state a cached entry carries (executor knobs, the
+  // isolation mode), and the cache is shared across sessions — so the
+  // whole SessionOptions value is one fingerprint contributor, and no
+  // session ever picks up a plan built under different options.
   key += '\x1f';
-  key += opts;
-  // The executor options don't shape the plan tree, but cached entries
-  // carry prepared state keyed to how they will run; separating them
-  // keeps a `set batchsize`-style change from silently reusing state
-  // (and mirrors the optimizer-options lesson above).
-  const excess::ExecOptions& eo = ctx_.exec_options;
-  key += '\x1f';
-  key += eo.vectorized ? 'v' : 'r';
-  key += ':';
-  key += std::to_string(eo.batch_size);
+  key += ctx_.options.Fingerprint();
   if (ranges_.empty()) return key;
   key += '\x1f';
   for (const auto& [name, expr] : ranges_) {
@@ -433,9 +560,8 @@ Status PreparedStatement::RefreshIfStale() {
 
 Result<QueryResult> PreparedStatement::Execute() {
   // The statement kind is known from the prepared AST (re-preparation
-  // keeps the same source text, hence the same kind), so the right lock
-  // mode is known before execution: shared for plain retrieves,
-  // exclusive for mutations and DDL.
+  // keeps the same source text, hence the same kind), so the right
+  // concurrency regime is known before execution.
   //
   // Keep the current plan alive across the call: RefreshIfStale may
   // swap plan_ mid-execution, and the trace still needs the statement.
@@ -444,12 +570,8 @@ Result<QueryResult> PreparedStatement::Execute() {
   trace.used_cached_plan = true;
   return session_->RunTraced(
       *plan->stmt, &trace, [&]() -> Result<QueryResult> {
-        if (Database::IsReadOnly(*plan->stmt)) {
-          std::shared_lock<std::shared_mutex> lock(session_->db_->exec_mu_);
-          return ExecuteLocked();
-        }
-        std::unique_lock<std::shared_mutex> lock(session_->db_->exec_mu_);
-        return ExecuteLocked();
+        return session_->ExecuteWithConcurrency(
+            *plan->stmt, [&] { return ExecuteLocked(); });
       });
 }
 
@@ -480,7 +602,10 @@ Result<QueryResult> PreparedStatement::ExecuteLocked() {
   session_->db_->set_last_plan(plan_->plan_text);
 
   if (session_->db_->journal_ != nullptr &&
-      Database::IsJournaled(*plan_->stmt)) {
+      Database::IsJournaled(*plan_->stmt) &&
+      !(session_->ctx_.txn != nullptr && session_->ctx_.txn->escalate())) {
+    // Escalated statements roll back and re-run exclusively; journaling
+    // here too would replay the statement twice.
     excess::StmtPtr journaled = plan_->stmt->Clone();
     SubstituteParams(journaled.get(), params);
     EXODUS_RETURN_IF_ERROR(session_->db_->JournalStmt(*journaled));

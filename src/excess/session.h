@@ -38,11 +38,19 @@ class PreparedStatement;
 /// their Database; PreparedStatements must not outlive their Session.
 ///
 /// Concurrency: sessions from different threads may execute against the
-/// same Database concurrently. Statement execution takes the database's
-/// reader/writer lock — shared for plain retrieves, exclusive for DDL
-/// and mutations — so readers run in parallel and writers are isolated.
-/// A single Session object is NOT internally synchronized: use one
-/// session per thread (the network server uses one per connection).
+/// same Database concurrently, and the session owns that discipline —
+/// callers never take database locks themselves. Plain retrieves pin a
+/// snapshot epoch at statement start and run lock-free against the
+/// object versions visible at that epoch (MVCC; see
+/// docs/concurrency.md). Single-extent mutations run under a
+/// per-extent writer latch, staging copy-on-write versions that commit
+/// atomically — so a writer never blocks readers and two writers on
+/// different extents run in parallel. DDL, auth, and statements that
+/// reach outside one extent take a short database-exclusive section
+/// (mutations under SessionOptions::isolation == kLocked always do,
+/// preserved as a differential oracle). A single Session object is NOT
+/// internally synchronized: use one session per thread (the network
+/// server uses one per connection).
 class Session {
  public:
   ~Session();
@@ -77,21 +85,32 @@ class Session {
   /// carries its runtime actuals plus a phase-timing summary.
   util::Result<std::string> Explain(const std::string& text, bool analyze);
 
+  /// Renders the result rows with references resolved through the heap
+  /// under the session's own concurrency discipline (shared lock plus a
+  /// pinned snapshot), so out-of-band formatters — e.g. the network
+  /// server — need no database lock of their own.
+  std::vector<std::vector<std::string>> FormatRows(
+      const excess::QueryResult& result, int depth = 2);
+
   /// The user this session authenticates as (changed by `set user`).
   const std::string& user() const { return ctx_.current_user; }
 
   Database* database() { return db_; }
 
-  /// Optimizer rule switches (predicate pushdown, join reordering,
-  /// index usage, hash joins) — ablation hooks, scoped to this session.
-  excess::OptimizerOptions* mutable_optimizer_options() {
-    return &ctx_.optimizer_options;
-  }
+  /// This session's execution options: optimizer rule switches,
+  /// executor knobs (vectorized execution, batch size) and the write
+  /// isolation mode. One value object, one contributor to the
+  /// plan-cache key; seeded from the environment (EXODUS_VECTORIZED,
+  /// EXODUS_BATCH_SIZE, EXODUS_ISOLATION) at session creation.
+  excess::SessionOptions* mutable_options() { return &ctx_.options; }
+  const excess::SessionOptions& options() const { return ctx_.options; }
 
-  /// Executor knobs (batch execution on/off, rows per batch), scoped to
-  /// this session and part of its plan-cache key. Seeded from
-  /// EXODUS_VECTORIZED / EXODUS_BATCH_SIZE at session creation.
-  excess::ExecOptions* mutable_exec_options() { return &ctx_.exec_options; }
+  /// Deprecated aliases from when optimizer and executor switches were
+  /// separate structs; both now name the one SessionOptions object.
+  excess::OptimizerOptions* mutable_optimizer_options() {
+    return &ctx_.options;
+  }
+  excess::ExecOptions* mutable_exec_options() { return &ctx_.options; }
 
  private:
   friend class Database;
@@ -99,9 +118,29 @@ class Session {
 
   Session(Database* db, std::string user);
 
-  /// Executes one parsed statement under the database lock appropriate
-  /// to its kind (shared for read-only, exclusive otherwise), tracing
-  /// it as one statement. `parse_ns` is the parse time to attribute.
+  /// How a statement executes: lock-free snapshot read, latched
+  /// single-extent snapshot write, or database-exclusive section.
+  enum class StmtClass { kRead, kSnapshotWrite, kExclusive };
+  StmtClass Classify(const excess::Stmt& stmt) const;
+
+  /// The named extent a snapshot-eligible mutation writes ("" when the
+  /// write target cannot be pinned to one catalog extent, which forces
+  /// the exclusive path).
+  std::string WriteExtentOf(const excess::Stmt& stmt) const;
+
+  /// Runs `body` under the concurrency regime Classify picks for
+  /// `stmt`: reads take the shared lock plus a snapshot pin; snapshot
+  /// writes latch their extent, stage into a StatementTxn and commit
+  /// (or roll back and re-run exclusively when the statement escalates);
+  /// everything else takes the exclusive lock. Writer stall time is
+  /// recorded on the controller either way.
+  util::Result<excess::QueryResult> ExecuteWithConcurrency(
+      const excess::Stmt& stmt,
+      const std::function<util::Result<excess::QueryResult>()>& body);
+
+  /// Executes one parsed statement under the concurrency regime
+  /// appropriate to its kind, tracing it as one statement. `parse_ns`
+  /// is the parse time to attribute.
   util::Result<excess::QueryResult> ExecuteStmtLocked(
       const excess::Stmt& stmt, uint64_t parse_ns = 0);
 

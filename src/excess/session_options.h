@@ -1,0 +1,114 @@
+#ifndef EXODUS_EXCESS_SESSION_OPTIONS_H_
+#define EXODUS_EXCESS_SESSION_OPTIONS_H_
+
+#include <cstdlib>
+#include <string>
+
+#include "util/status.h"
+
+namespace exodus::excess {
+
+/// How a session's statements interact with concurrent statements.
+enum class IsolationMode {
+  /// MVCC snapshot isolation (the default): plain retrieves pin a
+  /// snapshot epoch and run lock-free against object versions visible
+  /// at that epoch; eligible mutations copy-on-write under a
+  /// per-extent latch and publish atomically at commit. DDL and
+  /// non-extent mutations still take the short exclusive section.
+  kSnapshot,
+  /// The legacy database-wide reader/writer lock: every mutation runs
+  /// exclusively and mutates in place. Kept as the differential oracle
+  /// for parity tests and as an escape hatch.
+  kLocked,
+};
+
+/// All per-session execution knobs in one value object: optimizer rule
+/// switches, executor (batch) knobs and the concurrency mode. One
+/// struct — seeded from the environment in one place (FromEnv),
+/// validated in one place (Validate) and fingerprinted into
+/// Session::CacheKey in one place (Fingerprint) — replaces the former
+/// OptimizerOptions / ExecOptions pair; those names survive as thin
+/// deprecated aliases.
+struct SessionOptions {
+  static constexpr int kDefaultBatchSize = 1024;
+  /// Upper bound on rows per batch; larger requests are clamped so a
+  /// pipeline's scratch columns stay cache-resident.
+  static constexpr int kMaxBatchSize = 4096;
+
+  // --- optimizer rule switches (ablation hooks, EXPERIMENTS.md B11) ---
+  /// Attach conjuncts at the earliest loop level (off: all predicates
+  /// are evaluated only at the innermost level).
+  bool predicate_pushdown = true;
+  /// Greedy variable ordering by access quality and cardinality (off:
+  /// binder order, honoring only dependency constraints).
+  bool join_reordering = true;
+  /// Access-path selection through secondary indexes (off: always scan).
+  bool use_indexes = true;
+  /// Hash-based equi-joins (off: nested loop).
+  bool hash_join = true;
+
+  // --- executor knobs ---
+  /// Batch-at-a-time (vectorized) plan execution. Off falls back to the
+  /// row-at-a-time interpreter — the differential oracle.
+  bool vectorized = true;
+  /// Rows per RowBatch. Values < 1 are rejected at execution time;
+  /// values above kMaxBatchSize are clamped.
+  int batch_size = kDefaultBatchSize;
+
+  // --- concurrency ---
+  IsolationMode isolation = IsolationMode::kSnapshot;
+
+  /// Reads EXODUS_VECTORIZED (0/1), EXODUS_BATCH_SIZE and
+  /// EXODUS_ISOLATION (locked/snapshot). A non-numeric
+  /// EXODUS_BATCH_SIZE is ignored; numeric values are taken verbatim
+  /// (including invalid ones < 1, which execution rejects with a clear
+  /// error rather than silently correcting).
+  static SessionOptions FromEnv() {
+    SessionOptions o;
+    if (const char* v = std::getenv("EXODUS_VECTORIZED")) {
+      o.vectorized = !(v[0] == '0' && v[1] == '\0');
+    }
+    if (const char* b = std::getenv("EXODUS_BATCH_SIZE")) {
+      char* end = nullptr;
+      long n = std::strtol(b, &end, 10);
+      if (end != b && *end == '\0') o.batch_size = static_cast<int>(n);
+    }
+    if (const char* i = std::getenv("EXODUS_ISOLATION")) {
+      const std::string mode(i);
+      if (mode == "locked") o.isolation = IsolationMode::kLocked;
+      else if (mode == "snapshot") o.isolation = IsolationMode::kSnapshot;
+    }
+    return o;
+  }
+
+  /// The one validity rule options carry today, checked at execution
+  /// time so a bad `set batchsize` fails the statement, not the setter.
+  util::Status Validate() const {
+    if (vectorized && batch_size < 1) {
+      return util::Status::OutOfRange(
+          "ExecOptions::batch_size must be >= 1 (got " +
+          std::to_string(batch_size) + ")");
+    }
+    return util::Status::OK();
+  }
+
+  /// Deterministic encoding of every option that may change a plan or
+  /// the prepared state cached alongside it — the single options
+  /// contributor to Session::CacheKey.
+  std::string Fingerprint() const {
+    std::string f;
+    f += static_cast<char>('0' + ((predicate_pushdown ? 1 : 0) |
+                                  (join_reordering ? 2 : 0) |
+                                  (use_indexes ? 4 : 0) |
+                                  (hash_join ? 8 : 0)));
+    f += vectorized ? 'v' : 'r';
+    f += ':';
+    f += std::to_string(batch_size);
+    f += isolation == IsolationMode::kSnapshot ? ":s" : ":l";
+    return f;
+  }
+};
+
+}  // namespace exodus::excess
+
+#endif  // EXODUS_EXCESS_SESSION_OPTIONS_H_

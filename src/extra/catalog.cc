@@ -41,7 +41,7 @@ Status Catalog::CreateNamed(const std::string& name, const Type* type,
   NamedObject obj;
   obj.name = name;
   obj.type = type;
-  obj.value = std::move(initial);
+  obj.Reset(std::move(initial));
   obj.creator = creator;
   named_.emplace(name, std::move(obj));
   BumpGeneration();

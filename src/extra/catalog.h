@@ -9,6 +9,7 @@
 
 #include "extra/lattice.h"
 #include "extra/type.h"
+#include "object/mvcc.h"
 #include "object/value.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -19,19 +20,39 @@ namespace exodus::extra {
 /// (paper §2.1: EXTRA separates type from instance — databases hold
 /// user-created named sets, arrays, single objects and references, e.g.
 /// `Employees`, `TopTen`, `StarEmployee`, `Today`).
+///
+/// The current value is a version chain (object::VersionedValue):
+/// snapshot readers resolve it with ValueAt(epoch) lock-free, snapshot
+/// writers publish a new version at commit, and exclusive contexts
+/// (DDL, legacy-locked execution) read and mutate the newest version in
+/// place via value() / mutable_value().
 struct NamedObject {
   std::string name;
   /// Declared type, after top-level identity adjustment: collections of
   /// tuple type become collections of `own ref` to that type (elements
   /// of a top-level extent are objects with identity).
   const Type* type = nullptr;
-  /// Current value. Sets hold kRef elements for extents of tuple types.
-  object::Value value;
   /// User who created the object (owner for authorization purposes).
   std::string creator;
   /// Key attributes (uniqueness over members; empty = no key). Only
   /// meaningful for sets of schema-type objects.
   std::vector<std::string> key_attrs;
+
+  /// Newest (committed) value — exclusive contexts and planning.
+  const object::Value& value() const { return cell.newest(); }
+  /// In-place mutable newest value — exclusive contexts only.
+  object::Value* mutable_value() { return cell.mutable_newest(); }
+  /// Value visible at `epoch` (lock-free snapshot read).
+  const object::Value& ValueAt(uint64_t epoch) const { return cell.At(epoch); }
+  /// Pushes a new committed version (controller commit section only).
+  void Publish(object::Value v, uint64_t epoch) {
+    cell.Publish(std::move(v), epoch);
+  }
+  /// Collapses the chain to one version visible everywhere (DDL/load,
+  /// under the exclusive lock with no snapshots pinned).
+  void Reset(object::Value v) { cell.Reset(std::move(v)); }
+
+  object::VersionedValue cell;
 };
 
 /// The schema catalog of one database: named types (tuple, enum, ADT),
@@ -74,6 +95,12 @@ class Catalog {
   /// and display).
   const std::map<std::string, NamedObject>& named_objects() const {
     return named_;
+  }
+
+  /// Mutable iteration for internal maintenance (the MVCC version-GC
+  /// sweep prunes each named object's version chain in place).
+  std::map<std::string, NamedObject>* mutable_named_objects() {
+    return &named_;
   }
 
   /// All named types in definition order (for persistence).

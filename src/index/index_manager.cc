@@ -1,5 +1,7 @@
 #include "index/index_manager.h"
 
+#include <mutex>
+
 namespace exodus::index {
 
 using object::Oid;
@@ -45,23 +47,37 @@ bool AccessMethodTable::Applicable(const extra::Type* key_type,
 }
 
 Status IndexInfo::Insert(const Value& key, Oid oid) {
+  std::unique_lock<std::shared_mutex> lk(*latch);
   if (btree) return btree->Insert(key, oid);
   hash->Insert(key, oid);
   return Status::OK();
 }
 
 Status IndexInfo::Erase(const Value& key, Oid oid) {
+  std::unique_lock<std::shared_mutex> lk(*latch);
   if (btree) return btree->Erase(key, oid).status();
   hash->Erase(key, oid);
   return Status::OK();
 }
 
 Result<std::vector<Oid>> IndexInfo::Lookup(const Value& key) const {
+  std::shared_lock<std::shared_mutex> lk(*latch);
   if (btree) return btree->Lookup(key);
   return hash->Lookup(key);
 }
 
-size_t IndexInfo::size() const { return btree ? btree->size() : hash->size(); }
+Result<std::vector<Oid>> IndexInfo::Range(const std::optional<Value>& lo,
+                                          bool lo_inclusive,
+                                          const std::optional<Value>& hi,
+                                          bool hi_inclusive) const {
+  std::shared_lock<std::shared_mutex> lk(*latch);
+  return btree->Range(lo, lo_inclusive, hi, hi_inclusive);
+}
+
+size_t IndexInfo::size() const {
+  std::shared_lock<std::shared_mutex> lk(*latch);
+  return btree ? btree->size() : hash->size();
+}
 
 Status IndexManager::Create(const std::string& name,
                             const std::string& set_name,
@@ -86,6 +102,7 @@ Status IndexManager::Create(const std::string& name,
   } else {
     info.hash = std::make_unique<HashIndex>();
   }
+  info.latch = std::make_unique<std::shared_mutex>();
   indexes_.emplace(name, std::move(info));
   return Status::OK();
 }

@@ -3,6 +3,8 @@
 
 #include <map>
 #include <memory>
+#include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -52,6 +54,15 @@ class AccessMethodTable {
 };
 
 /// One secondary index over a named extent.
+///
+/// Each index carries its own reader/writer latch: snapshot readers
+/// probe (Lookup / Range / size, shared) concurrently with snapshot
+/// writers maintaining entries (Insert / Erase, exclusive). The latch
+/// lives behind a unique_ptr because IndexInfo is moved into the
+/// manager's map and shared_mutex is immovable. Probes may return
+/// entries for versions invisible at the caller's snapshot (inserts
+/// are eager, erases deferred to the GC sweep) — the executor rechecks
+/// every posting against the visible version's key.
 struct IndexInfo {
   std::string name;
   std::string set_name;
@@ -59,11 +70,16 @@ struct IndexInfo {
   AccessMethodKind method;
   std::unique_ptr<BTree> btree;    // when method == kBTree
   std::unique_ptr<HashIndex> hash; // when method == kHash
+  std::unique_ptr<std::shared_mutex> latch;
 
   util::Status Insert(const object::Value& key, object::Oid oid);
   util::Status Erase(const object::Value& key, object::Oid oid);
   util::Result<std::vector<object::Oid>> Lookup(
       const object::Value& key) const;
+  /// Latched btree range probe; method must be kBTree.
+  util::Result<std::vector<object::Oid>> Range(
+      const std::optional<object::Value>& lo, bool lo_inclusive,
+      const std::optional<object::Value>& hi, bool hi_inclusive) const;
   size_t size() const;
 };
 

@@ -4,42 +4,181 @@ namespace exodus::object {
 
 using util::Status;
 
-ObjectHeap::Slot& ObjectHeap::SlotAt(size_t i) {
-  const size_t chunk = i >> kChunkShift;
-  while (chunks_.size() <= chunk) {
-    chunks_.push_back(std::make_unique<Slot[]>(size_t{1} << kChunkShift));
+ObjectHeap::ObjectHeap()
+    : chunks_(std::make_unique<std::atomic<Slot*>[]>(kMaxChunks)) {}
+
+ObjectHeap::~ObjectHeap() {
+  const size_t n = size_.load(std::memory_order_relaxed);
+  for (size_t c = 0; c <= (n > 0 ? (n - 1) >> kChunkShift : 0); ++c) {
+    Slot* chunk = chunks_[c].load(std::memory_order_relaxed);
+    if (chunk == nullptr) continue;
+    for (size_t s = 0; s < (size_t{1} << kChunkShift); ++s) {
+      FreeChain(chunk[s].head.load(std::memory_order_relaxed));
+    }
+    delete[] chunk;
   }
-  if (size_ <= i) size_ = i + 1;
-  return chunks_[chunk][i & kChunkMask];
 }
 
-Oid ObjectHeap::Allocate(const extra::Type* type, std::vector<Value> fields) {
-  Oid oid = next_oid_++;
-  Slot& slot = SlotAt(oid - 1);
-  slot.live = true;
-  slot.obj.type = type;
-  slot.obj.fields = std::move(fields);
-  ++live_count_;
+void ObjectHeap::FreeChain(HeapVersion* v) {
+  while (v != nullptr) {
+    HeapVersion* p = v->prev.load(std::memory_order_relaxed);
+    delete v;
+    v = p;
+  }
+}
+
+ObjectHeap::Slot* ObjectHeap::SlotFor(size_t i) const {
+  const size_t chunk = i >> kChunkShift;
+  if (chunk >= kMaxChunks) return nullptr;
+  Slot* c = chunks_[chunk].load(std::memory_order_acquire);
+  if (c == nullptr) return nullptr;
+  return &c[i & kChunkMask];
+}
+
+ObjectHeap::Slot& ObjectHeap::EnsureSlot(size_t i) {
+  const size_t chunk = i >> kChunkShift;
+  Slot* c = chunks_[chunk].load(std::memory_order_acquire);
+  if (c == nullptr) {
+    Slot* fresh = new Slot[size_t{1} << kChunkShift];
+    Slot* expected = nullptr;
+    if (chunks_[chunk].compare_exchange_strong(expected, fresh,
+                                               std::memory_order_acq_rel)) {
+      c = fresh;
+    } else {
+      delete[] fresh;  // another writer installed the chunk first
+      c = expected;
+    }
+  }
+  // Advance size_ to cover index i (monotonic max).
+  size_t cur = size_.load(std::memory_order_relaxed);
+  while (cur <= i &&
+         !size_.compare_exchange_weak(cur, i + 1,
+                                      std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+  }
+  return c[i & kChunkMask];
+}
+
+HeapVersion* ObjectHeap::PushPending(Oid oid, Slot* slot, HeapObject obj,
+                                     HeapWriteTxn* txn) {
+  auto* node = new HeapVersion;
+  node->writer = txn;
+  node->obj = std::move(obj);
+  node->prev.store(slot->head.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  slot->head.store(node, std::memory_order_release);
+  txn->staged.emplace_back(oid, node);
+  version_count_.fetch_add(1, std::memory_order_relaxed);
+  return node;
+}
+
+Oid ObjectHeap::Allocate(const extra::Type* type, std::vector<Value> fields,
+                         HeapWriteTxn* txn) {
+  Oid oid = next_oid_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = EnsureSlot(oid - 1);
+  HeapObject obj;
+  obj.type = type;
+  obj.fields = std::move(fields);
+  if (txn != nullptr) {
+    PushPending(oid, &slot, std::move(obj), txn);
+    txn->live_delta += 1;
+    return oid;
+  }
+  auto* node = new HeapVersion;
+  node->obj = std::move(obj);
+  node->begin.store(0, std::memory_order_relaxed);
+  slot.head.store(node, std::memory_order_release);
+  version_count_.fetch_add(1, std::memory_order_relaxed);
+  live_count_.fetch_add(1, std::memory_order_relaxed);
   return oid;
 }
 
 HeapObject* ObjectHeap::Get(Oid oid) {
-  const size_t i = oid - 1;
-  if (oid == kInvalidOid || i >= size_) return nullptr;
-  Slot& slot = chunks_[i >> kChunkShift][i & kChunkMask];
-  return slot.live ? &slot.obj : nullptr;
+  if (oid == kInvalidOid) return nullptr;
+  Slot* slot = SlotFor(oid - 1);
+  if (slot == nullptr) return nullptr;
+  HeapVersion* v = slot->head.load(std::memory_order_acquire);
+  while (v != nullptr &&
+         v->begin.load(std::memory_order_acquire) == kPendingEpoch) {
+    v = v->prev.load(std::memory_order_acquire);
+  }
+  if (v == nullptr || v->dead) return nullptr;
+  return &v->obj;
 }
 
 const HeapObject* ObjectHeap::Get(Oid oid) const {
-  const size_t i = oid - 1;
-  if (oid == kInvalidOid || i >= size_) return nullptr;
-  const Slot& slot = chunks_[i >> kChunkShift][i & kChunkMask];
-  return slot.live ? &slot.obj : nullptr;
+  return const_cast<ObjectHeap*>(this)->Get(oid);
 }
 
-Status ObjectHeap::SetOwned(Oid child, Oid owner_object) {
-  HeapObject* obj = Get(child);
+const HeapObject* ObjectHeap::GetVisible(Oid oid, uint64_t epoch,
+                                         const HeapWriteTxn* txn) const {
+  if (oid == kInvalidOid) return nullptr;
+  Slot* slot = SlotFor(oid - 1);
+  if (slot == nullptr) return nullptr;
+  const HeapVersion* v = slot->head.load(std::memory_order_acquire);
+  while (v != nullptr) {
+    const uint64_t b = v->begin.load(std::memory_order_acquire);
+    if (b == kPendingEpoch) {
+      if (txn != nullptr && v->writer == txn) {
+        return v->dead ? nullptr : &v->obj;
+      }
+    } else if (b <= epoch) {
+      return v->dead ? nullptr : &v->obj;
+    }
+    v = v->prev.load(std::memory_order_acquire);
+  }
+  return nullptr;
+}
+
+bool ObjectHeap::Stageable(Oid oid, const HeapWriteTxn* txn) const {
+  if (txn->latched_extents == nullptr) return false;
+  const HeapObject* o = GetVisible(oid, txn->snapshot, txn);
+  // Walk the ownership chain to the extent root (bounded: ownership
+  // graphs are trees, the guard only protects against corruption).
+  for (int guard = 0; o != nullptr && guard < 64; ++guard) {
+    if (!o->owner_extent.empty()) {
+      return txn->latched_extents->count(o->owner_extent) > 0;
+    }
+    if (!o->owned || o->owner_object == kInvalidOid) return false;
+    o = GetVisible(o->owner_object, txn->snapshot, txn);
+  }
+  return false;
+}
+
+HeapObject* ObjectHeap::GetForWrite(Oid oid, HeapWriteTxn* txn) {
+  if (txn == nullptr) return Get(oid);
+  if (oid == kInvalidOid) return nullptr;
+  Slot* slot = SlotFor(oid - 1);
+  if (slot == nullptr) return nullptr;
+  HeapVersion* head = slot->head.load(std::memory_order_acquire);
+  if (head != nullptr &&
+      head->begin.load(std::memory_order_acquire) == kPendingEpoch &&
+      head->writer == txn) {
+    // Already staged by this statement (or freshly allocated).
+    return head->dead ? nullptr : &head->obj;
+  }
+  const HeapObject* vis = GetVisible(oid, txn->snapshot, txn);
+  if (vis == nullptr) return nullptr;  // gone at this snapshot
+  if (!Stageable(oid, txn)) {
+    txn->needs_escalation = true;
+    return nullptr;
+  }
+  // Copy-on-write: stage a pending copy of the visible version. Field
+  // values share payloads with the committed version; fast-path update
+  // statements only ever whole-slot-assign fields, so the committed
+  // payloads stay untouched.
+  HeapVersion* node = PushPending(oid, slot, *vis, txn);
+  return &node->obj;
+}
+
+Status ObjectHeap::SetOwned(Oid child, Oid owner_object, HeapWriteTxn* txn) {
+  HeapObject* obj = GetForWrite(child, txn);
   if (obj == nullptr) {
+    if (txn != nullptr && txn->needs_escalation) {
+      return Status::ConstraintViolation(
+          "object #" + std::to_string(child) +
+          " lies outside the statement's latched extent (escalating)");
+    }
     return Status::NotFound("cannot own object #" + std::to_string(child) +
                             ": no such object");
   }
@@ -54,9 +193,14 @@ Status ObjectHeap::SetOwned(Oid child, Oid owner_object) {
   return Status::OK();
 }
 
-Status ObjectHeap::ClearOwned(Oid child) {
-  HeapObject* obj = Get(child);
+Status ObjectHeap::ClearOwned(Oid child, HeapWriteTxn* txn) {
+  HeapObject* obj = GetForWrite(child, txn);
   if (obj == nullptr) {
+    if (txn != nullptr && txn->needs_escalation) {
+      return Status::ConstraintViolation(
+          "object #" + std::to_string(child) +
+          " lies outside the statement's latched extent (escalating)");
+    }
     return Status::NotFound("no such object #" + std::to_string(child));
   }
   obj->owned = false;
@@ -106,26 +250,116 @@ void ObjectHeap::CollectOwnedRefs(const extra::Type* type, const Value& value,
   }
 }
 
-size_t ObjectHeap::Delete(Oid oid) {
+size_t ObjectHeap::Delete(Oid oid, HeapWriteTxn* txn) {
+  if (txn != nullptr) {
+    HeapObject* w = GetForWrite(oid, txn);
+    if (w == nullptr) return 0;  // gone, or needs_escalation was set
+    std::vector<Oid> owned;
+    const auto& attrs = w->type->attributes();
+    for (size_t i = 0; i < attrs.size() && i < w->fields.size(); ++i) {
+      CollectOwnedRefs(attrs[i].type, w->fields[i], &owned);
+    }
+    // The pending version (either a fresh copy-on-write or the txn's
+    // own allocation/modification) becomes a tombstone.
+    Slot* slot = SlotFor(oid - 1);
+    HeapVersion* head = slot->head.load(std::memory_order_relaxed);
+    head->dead = true;
+    txn->live_delta -= 1;
+    size_t deleted = 1;
+    for (Oid child : owned) deleted += Delete(child, txn);
+    return deleted;
+  }
+
   HeapObject* obj = Get(oid);
   if (obj == nullptr) return 0;
-
-  // Collect owned components before emptying the slot.
+  // Collect owned components before tombstoning.
   std::vector<Oid> owned;
   const auto& attrs = obj->type->attributes();
   for (size_t i = 0; i < attrs.size() && i < obj->fields.size(); ++i) {
     CollectOwnedRefs(attrs[i].type, obj->fields[i], &owned);
   }
-  // The slot stays (dangling references must keep resolving to null and
-  // oids are never reused); only its payload is released.
-  Slot& slot = SlotAt(oid - 1);
-  slot.live = false;
-  slot.obj = HeapObject{};
-  --live_count_;
+  // Exclusive context (no pins active): collapse the chain to a single
+  // tombstone. Dangling references keep resolving to null and oids are
+  // never reused.
+  Slot* slot = SlotFor(oid - 1);
+  HeapVersion* old = slot->head.load(std::memory_order_relaxed);
+  size_t freed = 0;
+  for (HeapVersion* v = old; v != nullptr;
+       v = v->prev.load(std::memory_order_relaxed)) {
+    ++freed;
+  }
+  auto* tomb = new HeapVersion;
+  tomb->dead = true;
+  tomb->begin.store(0, std::memory_order_relaxed);
+  slot->head.store(tomb, std::memory_order_release);
+  FreeChain(old);
+  version_count_.fetch_add(1 - static_cast<long long>(freed),
+                           std::memory_order_relaxed);
+  live_count_.fetch_sub(1, std::memory_order_relaxed);
 
   size_t deleted = 1;
-  for (Oid child : owned) deleted += Delete(child);
+  for (Oid child : owned) deleted += Delete(child, nullptr);
   return deleted;
+}
+
+void ObjectHeap::CommitTxn(HeapWriteTxn* txn, uint64_t epoch) {
+  for (auto& [oid, node] : txn->staged) {
+    (void)oid;
+    node->begin.store(epoch, std::memory_order_release);
+  }
+  if (txn->live_delta != 0) {
+    live_count_.fetch_add(txn->live_delta, std::memory_order_relaxed);
+  }
+  txn->staged.clear();
+  txn->live_delta = 0;
+}
+
+void ObjectHeap::RollbackTxn(HeapWriteTxn* txn) {
+  // Pop in reverse staging order; each staged entry is the head of its
+  // chain (at most one pending version per oid per txn, and no other
+  // writer can push onto oids in our latched extents).
+  for (auto it = txn->staged.rbegin(); it != txn->staged.rend(); ++it) {
+    Slot* slot = SlotFor(it->first - 1);
+    HeapVersion* node = it->second;
+    slot->head.store(node->prev.load(std::memory_order_relaxed),
+                     std::memory_order_release);
+    delete node;
+    version_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  txn->staged.clear();
+  txn->live_delta = 0;
+  txn->needs_escalation = false;
+}
+
+size_t ObjectHeap::GcBelow(uint64_t frontier) {
+  size_t freed = 0;
+  const size_t n = size_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    Slot* slot = SlotFor(i);
+    if (slot == nullptr) continue;
+    HeapVersion* v = slot->head.load(std::memory_order_acquire);
+    // Find the newest version visible at the frontier: every active
+    // snapshot is pinned at >= frontier, so no reader ever walks past
+    // it. Everything strictly older is unreachable.
+    while (v != nullptr) {
+      const uint64_t b = v->begin.load(std::memory_order_acquire);
+      if (b != kPendingEpoch && b <= frontier) break;
+      v = v->prev.load(std::memory_order_acquire);
+    }
+    if (v == nullptr) continue;
+    HeapVersion* tail = v->prev.exchange(nullptr, std::memory_order_acq_rel);
+    while (tail != nullptr) {
+      HeapVersion* p = tail->prev.load(std::memory_order_relaxed);
+      delete tail;
+      tail = p;
+      ++freed;
+    }
+  }
+  if (freed != 0) {
+    version_count_.fetch_sub(static_cast<long long>(freed),
+                             std::memory_order_relaxed);
+  }
+  return freed;
 }
 
 Status ObjectHeap::Restore(Oid oid, const extra::Type* type,
@@ -138,20 +372,49 @@ Status ObjectHeap::Restore(Oid oid, const extra::Type* type,
     return Status::AlreadyExists("oid #" + std::to_string(oid) +
                                  " already in use");
   }
-  Slot& slot = SlotAt(oid - 1);
-  slot.live = true;
-  slot.obj.type = type;
-  slot.obj.fields = std::move(fields);
-  slot.obj.owned = owned;
-  slot.obj.owner_object = owner_object;
-  slot.obj.owner_extent = std::move(owner_extent);
-  ++live_count_;
+  Slot& slot = EnsureSlot(oid - 1);
+  // Replace any tombstone chain left at this oid.
+  HeapVersion* old = slot.head.load(std::memory_order_relaxed);
+  size_t stale = 0;
+  for (HeapVersion* v = old; v != nullptr;
+       v = v->prev.load(std::memory_order_relaxed)) {
+    ++stale;
+  }
+  auto* node = new HeapVersion;
+  node->begin.store(0, std::memory_order_relaxed);
+  node->obj.type = type;
+  node->obj.fields = std::move(fields);
+  node->obj.owned = owned;
+  node->obj.owner_object = owner_object;
+  node->obj.owner_extent = std::move(owner_extent);
+  slot.head.store(node, std::memory_order_release);
+  FreeChain(old);
+  version_count_.fetch_add(1 - static_cast<long long>(stale),
+                           std::memory_order_relaxed);
+  live_count_.fetch_add(1, std::memory_order_relaxed);
   ReserveThrough(oid);
   return Status::OK();
 }
 
 void ObjectHeap::ReserveThrough(Oid max_oid) {
-  if (next_oid_ <= max_oid) next_oid_ = max_oid + 1;
+  Oid cur = next_oid_.load(std::memory_order_relaxed);
+  while (cur <= max_oid &&
+         !next_oid_.compare_exchange_weak(cur, max_oid + 1,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+void ObjectHeap::Clear() {
+  const size_t n = size_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < n; ++i) {
+    Slot* slot = SlotFor(i);
+    if (slot == nullptr) continue;
+    FreeChain(slot->head.exchange(nullptr, std::memory_order_relaxed));
+  }
+  size_.store(0, std::memory_order_relaxed);
+  next_oid_.store(1, std::memory_order_relaxed);
+  live_count_.store(0, std::memory_order_relaxed);
+  version_count_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace exodus::object

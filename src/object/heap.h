@@ -1,11 +1,13 @@
 #ifndef EXODUS_OBJECT_HEAP_H_
 #define EXODUS_OBJECT_HEAP_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "extra/type.h"
+#include "object/mvcc.h"
 #include "object/value.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -31,64 +33,150 @@ struct HeapObject {
   std::string owner_extent;
 };
 
-/// The run-time object store: maps Oids to identity-bearing objects.
+/// One version of a heap object. Chains are newest-first via `prev`.
+/// A version with begin == kPendingEpoch belongs to the in-flight
+/// writer `writer` and is invisible to everyone else; commit stamps
+/// `begin` with the commit epoch. `dead` marks a tombstone: the object
+/// does not exist at epochs where the tombstone is the visible version.
+struct HeapVersion {
+  std::atomic<uint64_t> begin{kPendingEpoch};
+  bool dead = false;
+  /// Owning write transaction while pending; never read once begin is
+  /// stamped, so the dangling pointer after commit is harmless.
+  const HeapWriteTxn* writer = nullptr;
+  HeapObject obj;
+  /// Older version, or null. Atomic because the GC sweep severs tails
+  /// while lock-free readers walk the chain.
+  std::atomic<HeapVersion*> prev{nullptr};
+};
+
+/// The run-time object store: maps Oids to version chains of
+/// identity-bearing objects.
+///
+/// Concurrency model (MVCC, see docs/concurrency.md):
+///  - Snapshot readers call GetVisible(oid, epoch) lock-free; they see
+///    the newest version committed at or before their pinned epoch.
+///  - Snapshot writers stage copy-on-write pending versions through
+///    GetForWrite / Allocate / Delete with a HeapWriteTxn, then
+///    CommitTxn stamps everything with one epoch (or RollbackTxn pops
+///    it all). Staging is only allowed for objects inside the txn's
+///    latched extents; anything else flags needs_escalation.
+///  - Exclusive (legacy-locked) contexts call Get(), which returns the
+///    newest committed version mutably; with no snapshot pins active
+///    (guaranteed by the session layer) in-place mutation is safe.
 ///
 /// Referential integrity follows GEM (paper footnote 2): deleting an
-/// object leaves dangling references, which dereference to NULL from then
-/// on (equivalent, at the language level, to nullifying the references).
-/// Deleting an object cascade-deletes its `own` ref components, found by
-/// walking the object's state under the guidance of its type.
+/// object leaves dangling references, which dereference to NULL from
+/// then on. Deleting an object cascade-deletes its `own ref`
+/// components, found by walking the object's state under the guidance
+/// of its type. Oids are never reused; a deleted object's chain prunes
+/// down to a single tombstone version.
 class ObjectHeap {
  public:
-  ObjectHeap() = default;
+  ObjectHeap();
+  ~ObjectHeap();
   ObjectHeap(const ObjectHeap&) = delete;
   ObjectHeap& operator=(const ObjectHeap&) = delete;
 
   /// Creates a new live object and returns its Oid (never kInvalidOid).
-  Oid Allocate(const extra::Type* type, std::vector<Value> fields);
+  /// With `txn`, the object is created as a pending version visible
+  /// only to that transaction until commit.
+  Oid Allocate(const extra::Type* type, std::vector<Value> fields,
+               HeapWriteTxn* txn = nullptr);
 
-  /// The object designated by `oid`, or nullptr if it was deleted or
-  /// never existed (dangling reference).
+  /// The newest *committed* version of `oid`, or nullptr if the object
+  /// was deleted or never existed. Mutable access is for exclusive
+  /// execution contexts only (no snapshot pins active).
   HeapObject* Get(Oid oid);
   const HeapObject* Get(Oid oid) const;
 
+  /// The version of `oid` visible at `epoch`: the newest version with
+  /// begin <= epoch, or the transaction's own pending version when
+  /// `txn` staged one (read-your-writes). nullptr when the object does
+  /// not exist at that epoch. Lock-free.
+  const HeapObject* GetVisible(Oid oid, uint64_t epoch,
+                               const HeapWriteTxn* txn = nullptr) const;
+
+  /// Mutable access for writers. Without `txn`, identical to Get().
+  /// With `txn`: returns the transaction's pending version, staging a
+  /// copy-on-write version of the snapshot-visible one on first touch.
+  /// Returns nullptr if the object is invisible at the snapshot — or if
+  /// it may not be staged, in which case txn->needs_escalation is set
+  /// and the caller must abort the statement for exclusive re-run.
+  HeapObject* GetForWrite(Oid oid, HeapWriteTxn* txn);
+
   /// Marks `child` as owned. Fails with ConstraintViolation if it is
   /// already owned (an object has at most one owner at a time).
-  util::Status SetOwned(Oid child, Oid owner_object);
+  util::Status SetOwned(Oid child, Oid owner_object,
+                        HeapWriteTxn* txn = nullptr);
 
   /// Clears ownership (e.g. when an element is removed from an own-ref
   /// set without being destroyed — not reachable through EXCESS, but used
   /// by internal maintenance and tests).
-  util::Status ClearOwned(Oid child);
+  util::Status ClearOwned(Oid child, HeapWriteTxn* txn = nullptr);
 
-  /// Deletes the object and, transitively, every component it owns
-  /// (attributes / set / array elements of `own ref` type, and own-ref
-  /// components nested inside embedded tuples).
-  /// Returns the number of objects deleted. Deleting an already-dead or
-  /// unknown oid is a no-op returning 0.
-  size_t Delete(Oid oid);
+  /// Deletes the object and, transitively, every component it owns.
+  /// With `txn` the deletions are staged as tombstone versions (the
+  /// object stays visible to other snapshots until commit). Returns the
+  /// number of objects deleted. Deleting an already-dead or unknown oid
+  /// is a no-op returning 0.
+  size_t Delete(Oid oid, HeapWriteTxn* txn = nullptr);
 
-  /// Number of live objects.
-  size_t live_count() const { return live_count_; }
+  /// Stamps every version `txn` staged with `epoch` (release stores).
+  /// Called inside the controller's commit critical section.
+  void CommitTxn(HeapWriteTxn* txn, uint64_t epoch);
+
+  /// Pops and frees every pending version `txn` staged. The versions
+  /// were never visible to anyone else, so this leaves no trace.
+  void RollbackTxn(HeapWriteTxn* txn);
+
+  /// Number of live (committed, not deleted) objects.
+  size_t live_count() const {
+    return static_cast<size_t>(live_count_.load(std::memory_order_relaxed));
+  }
   /// Total oids ever allocated.
-  uint64_t allocated_count() const { return next_oid_ - 1; }
+  uint64_t allocated_count() const {
+    return next_oid_.load(std::memory_order_relaxed) - 1;
+  }
+  /// Total heap versions currently alive across all chains (the
+  /// exodus_mvcc_live_versions gauge).
+  uint64_t version_count() const {
+    return static_cast<uint64_t>(
+        version_count_.load(std::memory_order_relaxed));
+  }
 
   /// Collects the Oids of all `own ref` components reachable from `value`
   /// of declared type `type` without passing through a plain `ref`.
   static void CollectOwnedRefs(const extra::Type* type, const Value& value,
                                std::vector<Oid>* out);
 
-  /// Iteration over live objects (used by persistence and tests).
+  /// Iteration over the newest committed version of every live object
+  /// (exclusive contexts: persistence after Checkpoint, tests).
   template <typename Fn>
   void ForEachLive(Fn&& fn) const {
-    for (size_t i = 0; i < size_; ++i) {
-      const Slot& slot = chunks_[i >> kChunkShift][i & kChunkMask];
-      if (slot.live) fn(static_cast<Oid>(i + 1), slot.obj);
+    ForEachVisible(kMaxEpoch, std::forward<Fn>(fn));
+  }
+
+  /// Iteration over every object visible at `epoch` (consistent image
+  /// for Save under a pinned snapshot).
+  template <typename Fn>
+  void ForEachVisible(uint64_t epoch, Fn&& fn) const {
+    const size_t n = size_.load(std::memory_order_acquire);
+    for (size_t i = 0; i < n; ++i) {
+      const HeapObject* obj = GetVisible(static_cast<Oid>(i + 1), epoch);
+      if (obj != nullptr) fn(static_cast<Oid>(i + 1), *obj);
     }
   }
 
+  /// Frees versions no snapshot can reach: in every chain, everything
+  /// strictly older than the newest version with begin <= frontier.
+  /// Returns the number of versions freed. Safe to run concurrently
+  /// with readers pinned at epochs >= frontier and with writers (which
+  /// only push new heads).
+  size_t GcBelow(uint64_t frontier);
+
   /// Re-creates an object with a specific oid (used when loading a saved
-  /// database image). Fails if the oid is in use or >= the next oid.
+  /// database image). Fails if the oid is in use.
   util::Status Restore(Oid oid, const extra::Type* type,
                        std::vector<Value> fields, bool owned,
                        Oid owner_object, std::string owner_extent = "");
@@ -98,37 +186,45 @@ class ObjectHeap {
   void ReserveThrough(Oid max_oid);
 
   /// Removes every object and resets the allocator (used when loading a
-  /// saved database image).
-  void Clear() {
-    chunks_.clear();
-    size_ = 0;
-    live_count_ = 0;
-    next_oid_ = 1;
-  }
+  /// saved database image; exclusive contexts only).
+  void Clear();
 
  private:
-  /// One slot per ever-allocated oid (oid n lives at slot n - 1), so
-  /// `Get` is a bounds check and two indexes instead of a hash lookup —
-  /// it runs once per row per attribute access in the executor's batch
-  /// loops. Slots live in fixed-size chunks: growth allocates a new
-  /// chunk without moving existing slots, keeping HeapObject* stable
-  /// across Allocate. Deleted objects keep their (emptied) slot:
-  /// dangling references must keep resolving to "gone", and oids are
-  /// never reused.
+  /// One slot per ever-allocated oid (oid n lives at slot n - 1): the
+  /// head of the oid's version chain. Slots live in fixed-size chunks
+  /// reached through a fixed-capacity array of atomic chunk pointers,
+  /// so lock-free readers never race a growing directory: chunks are
+  /// CAS-installed once and never move. 64K chunks x 4096 slots bounds
+  /// the heap at 2^28 objects; the directory itself is 512 KiB.
   struct Slot {
-    bool live = false;
-    HeapObject obj;
+    std::atomic<HeapVersion*> head{nullptr};
   };
   static constexpr size_t kChunkShift = 12;  // 4096 slots per chunk
   static constexpr size_t kChunkMask = (size_t{1} << kChunkShift) - 1;
+  static constexpr size_t kMaxChunks = size_t{1} << 16;
 
-  /// Ensures slot index `i` exists; returns it.
-  Slot& SlotAt(size_t i);
+  /// The slot for index `i`, or nullptr if its chunk was never
+  /// allocated (read paths).
+  Slot* SlotFor(size_t i) const;
+  /// Ensures the chunk containing index `i` exists; returns the slot.
+  Slot& EnsureSlot(size_t i);
 
-  std::vector<std::unique_ptr<Slot[]>> chunks_;
-  size_t size_ = 0;  // slots in use: indexes [0, size_) are valid
-  Oid next_oid_ = 1;
-  size_t live_count_ = 0;
+  /// True if `oid`'s snapshot-visible ownership chain roots in one of
+  /// `txn`'s latched extents (the staging rule).
+  bool Stageable(Oid oid, const HeapWriteTxn* txn) const;
+
+  /// Pushes a pending version owned by `txn` in front of `slot`'s chain
+  /// and records it in the txn. `obj` is the version's payload.
+  HeapVersion* PushPending(Oid oid, Slot* slot, HeapObject obj,
+                           HeapWriteTxn* txn);
+
+  static void FreeChain(HeapVersion* v);
+
+  std::unique_ptr<std::atomic<Slot*>[]> chunks_;
+  std::atomic<size_t> size_{0};  // slots in use: [0, size_) are valid
+  std::atomic<Oid> next_oid_{1};
+  std::atomic<long long> live_count_{0};
+  std::atomic<long long> version_count_{0};
 };
 
 }  // namespace exodus::object

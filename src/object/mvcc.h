@@ -1,0 +1,174 @@
+#ifndef EXODUS_OBJECT_MVCC_H_
+#define EXODUS_OBJECT_MVCC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "object/value.h"
+
+namespace exodus::object {
+
+/// Version timestamps are epochs drawn from a database-wide atomic
+/// counter (excess::ConcurrencyController). A version whose `begin` is
+/// kPendingEpoch belongs to an in-flight writer statement and is
+/// invisible to everyone but that writer; commit stamps it with the
+/// next epoch in one short critical section, making every version a
+/// statement wrote visible atomically.
+inline constexpr uint64_t kPendingEpoch = ~uint64_t{0};
+
+/// Snapshot epoch meaning "newest committed state". Used by exclusive
+/// (legacy-locked) execution contexts, which see — and may mutate in
+/// place — the committed head of every chain.
+inline constexpr uint64_t kMaxEpoch = kPendingEpoch - 1;
+
+struct HeapVersion;
+
+/// The heap-facing half of one snapshot-mode write statement. Owned by
+/// excess::StatementTxn; the heap uses it to tag pending versions with
+/// their writer, enforce the staging rule (copy-on-write is allowed
+/// only inside the statement's latched extents), and to commit or roll
+/// back everything the statement staged.
+struct HeapWriteTxn {
+  /// Snapshot the statement reads at. Pinned *after* the extent latch
+  /// is taken, so the newest committed version of every object in the
+  /// latched extents is <= snapshot (no lost updates).
+  uint64_t snapshot = kMaxEpoch;
+  /// Names of the extents this statement holds exclusive latches on.
+  /// Objects whose ownership chain does not lead into one of these
+  /// extents cannot be staged; touching them flags needs_escalation.
+  const std::set<std::string>* latched_extents = nullptr;
+  /// Every pending version this statement pushed (one per staged oid,
+  /// in staging order). Commit stamps them; rollback pops them.
+  std::vector<std::pair<Oid, HeapVersion*>> staged;
+  /// Net change to the live-object count if this statement commits
+  /// (+1 per allocation, -1 per tombstone over a live object).
+  long long live_delta = 0;
+  /// Set when the statement touched an object it may not stage (free
+  /// object, foreign extent, shared embedded payload). The session
+  /// rolls the statement back and re-runs it under the exclusive lock.
+  bool needs_escalation = false;
+};
+
+/// One version of a named object's value (extra::NamedObject). Same
+/// lifecycle as HeapVersion, but named cells are only ever published at
+/// commit time (begin is final at publication), so no pending state.
+struct ValueVersion {
+  explicit ValueVersion(Value v, uint64_t begin_epoch)
+      : begin(begin_epoch), value(std::move(v)) {}
+  std::atomic<uint64_t> begin;
+  Value value;
+  /// Older version, or null. Atomic because the GC sweep severs tails
+  /// while lock-free readers walk the chain.
+  std::atomic<ValueVersion*> prev{nullptr};
+};
+
+/// A chain of ValueVersions with an atomic head: lock-free readers pick
+/// the newest version whose begin <= their snapshot epoch; writers
+/// publish at commit under the controller's commit mutex; exclusive
+/// contexts read and mutate the head in place (no readers can be
+/// active then). Used for the `value` cell of every named object.
+class VersionedValue {
+ public:
+  VersionedValue() : head_(new ValueVersion(Value::Null(), 0)) {}
+  explicit VersionedValue(Value v) : head_(new ValueVersion(std::move(v), 0)) {}
+  ~VersionedValue() { FreeChain(head_.load(std::memory_order_relaxed)); }
+
+  VersionedValue(const VersionedValue&) = delete;
+  VersionedValue& operator=(const VersionedValue&) = delete;
+  VersionedValue(VersionedValue&& o) noexcept
+      : head_(o.head_.exchange(nullptr, std::memory_order_relaxed)) {}
+  VersionedValue& operator=(VersionedValue&& o) noexcept {
+    if (this != &o) {
+      FreeChain(head_.exchange(
+          o.head_.exchange(nullptr, std::memory_order_relaxed),
+          std::memory_order_relaxed));
+    }
+    return *this;
+  }
+
+  /// Newest version (committed head). Exclusive contexts only — a
+  /// concurrent committer may swap the head under lock-free readers.
+  const Value& newest() const {
+    return head_.load(std::memory_order_acquire)->value;
+  }
+  Value* mutable_newest() {
+    return &head_.load(std::memory_order_relaxed)->value;
+  }
+
+  /// Newest version visible at `epoch` (lock-free).
+  const Value& At(uint64_t epoch) const {
+    const ValueVersion* v = head_.load(std::memory_order_acquire);
+    while (v != nullptr) {
+      if (v->begin.load(std::memory_order_acquire) <= epoch) return v->value;
+      v = v->prev.load(std::memory_order_acquire);
+    }
+    static const Value kNull;
+    return kNull;
+  }
+
+  /// Pushes a new head version stamped `epoch` (commit critical
+  /// section only; at most one committer at a time).
+  void Publish(Value v, uint64_t epoch) {
+    auto* node = new ValueVersion(std::move(v), epoch);
+    node->prev.store(head_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    head_.store(node, std::memory_order_release);
+  }
+
+  /// Collapses the chain to a single version visible at every epoch
+  /// (DDL / load paths, under the exclusive lock with no pins active).
+  void Reset(Value v) {
+    FreeChain(head_.exchange(new ValueVersion(std::move(v), 0),
+                             std::memory_order_relaxed));
+  }
+
+  /// Frees versions no snapshot can reach: everything strictly older
+  /// than the newest version with begin <= frontier. Returns the number
+  /// of versions freed. Safe against concurrent readers pinned at
+  /// epochs >= frontier (they never walk past that version).
+  size_t PruneBelow(uint64_t frontier) {
+    ValueVersion* v = head_.load(std::memory_order_acquire);
+    while (v != nullptr &&
+           v->begin.load(std::memory_order_acquire) > frontier) {
+      v = v->prev.load(std::memory_order_acquire);
+    }
+    if (v == nullptr) return 0;
+    ValueVersion* tail = v->prev.exchange(nullptr, std::memory_order_acq_rel);
+    size_t freed = 0;
+    while (tail != nullptr) {
+      ValueVersion* p = tail->prev.load(std::memory_order_relaxed);
+      delete tail;
+      tail = p;
+      ++freed;
+    }
+    return freed;
+  }
+
+  /// Number of versions currently in the chain (diagnostics).
+  size_t chain_length() const {
+    size_t n = 0;
+    const ValueVersion* v = head_.load(std::memory_order_acquire);
+    while (v != nullptr) {
+      ++n;
+      v = v->prev.load(std::memory_order_acquire);
+    }
+    return n;
+  }
+
+ private:
+  static void FreeChain(ValueVersion* v) {
+    while (v != nullptr) {
+      ValueVersion* p = v->prev.load(std::memory_order_relaxed);
+      delete v;
+      v = p;
+    }
+  }
+  std::atomic<ValueVersion*> head_;
+};
+
+}  // namespace exodus::object
+
+#endif  // EXODUS_OBJECT_MVCC_H_

@@ -10,7 +10,6 @@
 #include <cstring>
 #include <future>
 #include <map>
-#include <shared_mutex>
 #include <utility>
 
 #include "excess/database.h"
@@ -218,8 +217,7 @@ void SendOk(int fd, const std::string& message) {
 void Server::ServeConnection(Connection* conn) {
   {
     // Every connection starts as the built-in dba until HELLO names a
-    // user; CreateSession reads auth state, hence the shared lock.
-    std::shared_lock<std::shared_mutex> lock(db_->exec_mutex());
+    // user. CreateSession locks internally.
     auto session = db_->CreateSession();
     if (session.ok()) conn->session = std::move(*session);
   }
@@ -265,7 +263,6 @@ bool Server::HandleFrame(Connection* conn, const Frame& frame) {
                                 ", client sent " + std::to_string(*version)));
         return false;
       }
-      std::shared_lock<std::shared_mutex> lock(db_->exec_mutex());
       auto session = db_->CreateSession(*user);
       if (!session.ok()) {
         ++conn->errors;
@@ -296,23 +293,14 @@ bool Server::HandleFrame(Connection* conn, const Frame& frame) {
         ok = true;
         // A multi-statement program answers with its last statement's
         // result (the convention of Database::Execute). Formatting
-        // resolves references through the heap, so it needs the shared
-        // lock — other connections may be mutating.
+        // resolves references through the heap; the session pins a
+        // snapshot internally — other connections may be mutating.
         if (results->empty()) return;
         const QueryResult& last = results->back();
         payload.columns = last.columns;
         payload.message = last.message;
         payload.affected = last.affected;
-        std::shared_lock<std::shared_mutex> lock(db_->exec_mutex());
-        payload.rows.reserve(last.rows.size());
-        for (const auto& row : last.rows) {
-          std::vector<std::string> cells;
-          cells.reserve(row.size());
-          for (const object::Value& v : row) {
-            cells.push_back(db_->FormatValue(v));
-          }
-          payload.rows.push_back(std::move(cells));
-        }
+        payload.rows = conn->session->FormatRows(last);
       });
       auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
                         std::chrono::steady_clock::now() - started)
@@ -405,16 +393,7 @@ bool Server::HandleFrame(Connection* conn, const Frame& frame) {
         payload.columns = result->columns;
         payload.message = result->message;
         payload.affected = result->affected;
-        std::shared_lock<std::shared_mutex> lock(db_->exec_mutex());
-        payload.rows.reserve(result->rows.size());
-        for (const auto& row : result->rows) {
-          std::vector<std::string> cells;
-          cells.reserve(row.size());
-          for (const object::Value& v : row) {
-            cells.push_back(db_->FormatValue(v));
-          }
-          payload.rows.push_back(std::move(cells));
-        }
+        payload.rows = conn->session->FormatRows(*result);
       });
       auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
                         std::chrono::steady_clock::now() - started)
