@@ -149,7 +149,8 @@ Database::Database() {
 }
 
 Database::~Database() {
-  if (journal_ != nullptr) std::fclose(journal_);
+  StopAutoCheckpoint();
+  // wal_'s destructor flushes everything staged and joins the flusher.
 }
 
 Result<std::unique_ptr<Session>> Database::CreateSession(
@@ -183,47 +184,225 @@ bool Database::IsJournaled(const Stmt& stmt) {
   return stmt.kind != StmtKind::kRetrieve || !stmt.into.empty();
 }
 
-Status Database::JournalStmt(const Stmt& stmt) {
+Status Database::JournalStmt(const Stmt& stmt, wal::Durability durability) {
   // Snapshot writers on different extents append concurrently (they
   // hold exec_mu_ only shared); their statements commute, so any append
-  // order replays correctly.
-  std::lock_guard<std::mutex> lock(journal_mu_);
-  std::string text = stmt.ToString();
-  std::string record = std::to_string(text.size()) + "\n" + text + "\n";
-  if (std::fwrite(record.data(), 1, record.size(), journal_) !=
-          record.size() ||
-      std::fflush(journal_) != 0) {
-    return Status::IoError("journal append failed");
-  }
-  return Status::OK();
+  // order replays correctly. The WalWriter serializes staging and
+  // group-commits the fsync.
+  wal::WalWriter* w = wal();
+  if (w == nullptr) return Status::Internal("journaling is not enabled");
+  return w->Append(wal::RecordType::kStatement, stmt.ToString(), durability)
+      .status();
 }
 
 Status Database::EnableJournal(const std::string& path) {
   std::unique_lock<std::shared_mutex> lock(exec_mu_);
-  if (journal_ != nullptr) {
+  if (wal_ != nullptr) {
     return Status::AlreadyExists("journaling already enabled");
   }
-  std::FILE* f = std::fopen(path.c_str(), "ab");
-  if (f == nullptr) {
-    return Status::IoError("cannot open journal '" + path + "'");
-  }
-  journal_ = f;
+  EXODUS_ASSIGN_OR_RETURN(
+      wal_, wal::WalWriter::Open(path, recovered_lsn() + 1));
   journal_path_ = path;
+
+  // exodus_wal_* series render from the writer's live counters. The
+  // registry outlives the writer (member order), and the writer is
+  // never republished as null before destruction, so the acquire load
+  // in wal() is the only synchronization the callbacks need.
+  metrics_.RegisterCallback("exodus_wal_appends_total", "counter", [this] {
+    wal::WalWriter* w = wal();
+    return w != nullptr ? w->counters().appends : 0;
+  });
+  metrics_.RegisterCallback("exodus_wal_fsyncs_total", "counter", [this] {
+    wal::WalWriter* w = wal();
+    return w != nullptr ? w->counters().fsyncs : 0;
+  });
+  metrics_.RegisterCallback(
+      "exodus_wal_flush_batches_total", "counter", [this] {
+        wal::WalWriter* w = wal();
+        return w != nullptr ? w->counters().flush_batches : 0;
+      });
+  metrics_.RegisterCallback(
+      "exodus_wal_batch_records_total", "counter", [this] {
+        wal::WalWriter* w = wal();
+        return w != nullptr ? w->counters().batch_records : 0;
+      });
+  metrics_.RegisterCallback("exodus_wal_rotations_total", "counter", [this] {
+    wal::WalWriter* w = wal();
+    return w != nullptr ? w->counters().rotations : 0;
+  });
+  metrics_.RegisterCallback("exodus_wal_last_lsn", "gauge", [this] {
+    wal::WalWriter* w = wal();
+    return w != nullptr ? w->LastAppendedLsn() : 0;
+  });
+  metrics_.RegisterCallback("exodus_wal_durable_lsn", "gauge", [this] {
+    wal::WalWriter* w = wal();
+    return w != nullptr ? w->LastDurableLsn() : 0;
+  });
+  checkpoints_total_ = metrics_.GetCounter("exodus_checkpoints_total");
+  checkpoint_failures_total_ =
+      metrics_.GetCounter("exodus_checkpoint_failures_total");
+
+  // Records at or below the recovery baseline may have been dropped by
+  // the checkpoint that produced the image we loaded from.
+  wal_base_lsn_.store(recovered_lsn(), std::memory_order_release);
+  wal_ptr_.store(wal_.get(), std::memory_order_release);
   return Status::OK();
 }
 
 Status Database::Checkpoint(const std::string& path) {
-  std::unique_lock<std::shared_mutex> lock(exec_mu_);
-  EXODUS_RETURN_IF_ERROR(SaveLocked(path));
-  if (journal_ != nullptr) {
-    std::fclose(journal_);
-    journal_ = std::fopen(journal_path_.c_str(), "wb");  // truncate
-    if (journal_ == nullptr) {
-      return Status::IoError("journal truncation failed");
-    }
-    std::fflush(journal_);
+  return CheckpointInternal(path, nullptr, /*truncate=*/true);
+}
+
+Result<std::string> Database::ReplicaSnapshot(uint64_t* snapshot_lsn) {
+  if (!journal_enabled()) {
+    return Status::InvalidArgument(
+        "replica snapshot requires journaling on the primary");
   }
+  // Unique temp path per call: concurrent replica bootstraps serialize
+  // on the checkpoint mutex inside CheckpointInternal, but their slurp
+  // and unlink below would otherwise interleave on one filename.
+  static std::atomic<uint64_t> seq{0};
+  const std::string tmp = journal_path_ + ".snapshot." +
+                          std::to_string(seq.fetch_add(1) + 1) + ".tmp";
+  uint64_t cut = 0;
+  EXODUS_RETURN_IF_ERROR(CheckpointInternal(tmp, &cut, /*truncate=*/false));
+  std::FILE* f = std::fopen(tmp.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot reopen replica snapshot '" + tmp + "'");
+  }
+  std::string image;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) image.append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  std::remove(tmp.c_str());
+  if (read_error) {
+    return Status::IoError("cannot read replica snapshot '" + tmp + "'");
+  }
+  metrics_.GetCounter("exodus_replica_snapshots_total")->Increment();
+  *snapshot_lsn = cut;
+  return image;
+}
+
+Status Database::CheckpointInternal(const std::string& path,
+                                    uint64_t* cut_out, bool truncate) {
+  // One checkpoint at a time (the auto-checkpointer may race a manual
+  // call); statement execution is unaffected by this mutex.
+  std::lock_guard<std::mutex> call_lock(checkpoint_call_mu_);
+  wal::WalWriter* w = wal();
+  if (w == nullptr) {
+    // No journal: a checkpoint is just an exclusive save.
+    std::unique_lock<std::shared_mutex> lock(exec_mu_);
+    return SaveLocked(path);
+  }
+
+  const std::string tmp = path + ".tmp";
+  uint64_t cut = 0;
+  bool saved = false;
+  // Write the image without stopping the world: a brief exclusive
+  // barrier captures the WAL cut and pins the commit epoch atomically
+  // with respect to every writer (snapshot writers journal AND commit
+  // while holding exec_mu_ shared continuously, so the barrier never
+  // splits a journal/commit pair). The image itself is then written
+  // under a shared lock at the pinned epoch — readers and snapshot
+  // writers keep running; their commits land above the pin and their
+  // WAL records above the cut.
+  //
+  // Exclusive-path writers (DDL, escalations, locked isolation) mutate
+  // in place, invisible to the epoch pin — if one slips into the gap
+  // between the barrier and the shared re-acquire, the image is stale.
+  // The gap is detected via the controller's locked-write counter and
+  // the attempt retried; after a few collisions fall back to a fully
+  // exclusive (stop-the-world, but always correct) save.
+  for (int attempt = 0; attempt < 5 && !saved; ++attempt) {
+    uint64_t epoch = 0;
+    uint64_t locked_writes0 = 0;
+    {
+      std::unique_lock<std::shared_mutex> lock(exec_mu_);
+      EXODUS_ASSIGN_OR_RETURN(cut, w->Rotate());
+      epoch = controller_->Pin();
+      locked_writes0 =
+          controller_->locked_writes.load(std::memory_order_relaxed);
+    }
+    {
+      std::shared_lock<std::shared_mutex> lock(exec_mu_);
+      if (controller_->locked_writes.load(std::memory_order_relaxed) ==
+          locked_writes0) {
+        Status st = SaveLocked(tmp, epoch, cut);
+        if (!st.ok()) {
+          controller_->Unpin(epoch);
+          checkpoint_failures_total_->Increment();
+          return st;
+        }
+        saved = true;
+      }
+    }
+    controller_->Unpin(epoch);
+  }
+  if (!saved) {
+    std::unique_lock<std::shared_mutex> lock(exec_mu_);
+    EXODUS_ASSIGN_OR_RETURN(cut, w->Rotate());
+    Status st = SaveLocked(tmp, object::kMaxEpoch, cut);
+    if (!st.ok()) {
+      checkpoint_failures_total_->Increment();
+      return st;
+    }
+  }
+
+  // Durable-order publish: the image (already fsynced by SaveLocked)
+  // replaces `path` atomically, the rename is fsynced, and only then is
+  // the WAL allowed to shed segments the image subsumes. A crash before
+  // the rename recovers from the old pair; after it, from the new one.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    checkpoint_failures_total_->Increment();
+    return Status::IoError("cannot rename checkpoint '" + tmp + "' to '" +
+                           path + "'");
+  }
+  EXODUS_RETURN_IF_ERROR(wal::SyncParentDir(path));
+  if (truncate) {
+    // Publish the new base before dropping: a replica tail that checks
+    // the base and finds it above its position asks for a snapshot
+    // instead of silently skipping the dropped gap. Replica retainers
+    // hold the actual drop floor at their position regardless.
+    wal_base_lsn_.store(cut, std::memory_order_release);
+    EXODUS_RETURN_IF_ERROR(w->DropSegmentsBelow(cut));
+    checkpoints_total_->Increment();
+  }
+  if (cut_out != nullptr) *cut_out = cut;
   return Status::OK();
+}
+
+void Database::StartAutoCheckpoint(const std::string& path, int interval_ms) {
+  StopAutoCheckpoint();
+  std::lock_guard<std::mutex> lock(auto_ckpt_mu_);
+  auto_ckpt_stop_ = false;
+  auto_ckpt_path_ = path;
+  auto_ckpt_interval_ms_ = interval_ms;
+  auto_ckpt_thread_ = std::thread(&Database::AutoCheckpointLoop, this);
+}
+
+void Database::StopAutoCheckpoint() {
+  {
+    std::lock_guard<std::mutex> lock(auto_ckpt_mu_);
+    auto_ckpt_stop_ = true;
+  }
+  auto_ckpt_cv_.notify_all();
+  if (auto_ckpt_thread_.joinable()) auto_ckpt_thread_.join();
+}
+
+void Database::AutoCheckpointLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(auto_ckpt_mu_);
+      auto_ckpt_cv_.wait_for(lock,
+                             std::chrono::milliseconds(auto_ckpt_interval_ms_),
+                             [this] { return auto_ckpt_stop_; });
+      if (auto_ckpt_stop_) return;
+    }
+    // Failures already counted inside Checkpoint; retried next tick.
+    (void)Checkpoint(auto_ckpt_path_);
+  }
 }
 
 Result<std::unique_ptr<Database>> Database::Recover(
@@ -234,30 +413,26 @@ Result<std::unique_ptr<Database>> Database::Recover(
   } else {
     db = std::make_unique<Database>();
   }
-  std::FILE* f = std::fopen(journal_path.c_str(), "rb");
-  if (f != nullptr) {
-    // Record framing: "<decimal length>\n<text>\n". A torn tail (crash
-    // mid-append) terminates replay silently.
-    while (true) {
-      char header[32];
-      if (std::fgets(header, sizeof(header), f) == nullptr) break;
-      char* end = nullptr;
-      long len = std::strtol(header, &end, 10);
-      if (len <= 0 || end == header) break;
-      std::string text(static_cast<size_t>(len), '\0');
-      if (std::fread(text.data(), 1, text.size(), f) != text.size()) break;
-      int nl = std::fgetc(f);
-      if (nl != '\n') break;
-      auto st = db->Execute(text);
-      if (!st.ok()) {
-        std::fclose(f);
-        return Status::IoError("journal replay failed on '" + text +
-                               "': " + st.status().ToString());
-      }
+  const uint64_t base_lsn = db->recovered_lsn();
+  // Scan tolerates a torn tail (crash mid-append); corruption anywhere
+  // else is an error, not something to replay past.
+  EXODUS_ASSIGN_OR_RETURN(wal::ReadResult scan,
+                          wal::WalReader::ReadAll(journal_path));
+  for (const wal::WalRecord& rec : scan.records) {
+    if (rec.lsn <= base_lsn) continue;  // subsumed by the checkpoint
+    if (rec.type != wal::RecordType::kStatement) continue;
+    auto st = db->Execute(rec.payload);
+    if (!st.ok()) {
+      return Status::IoError("journal replay failed on '" + rec.payload +
+                             "': " + st.status().ToString());
     }
-    std::fclose(f);
+    db->recovered_lsn_.store(rec.lsn, std::memory_order_release);
   }
   EXODUS_RETURN_IF_ERROR(db->EnableJournal(journal_path));
+  // EnableJournal set the base to the post-replay position; the records
+  // we just replayed are in fact still on disk, so tails may start
+  // anywhere above the image's own cut.
+  db->wal_base_lsn_.store(base_lsn, std::memory_order_release);
   return db;
 }
 
@@ -282,8 +457,9 @@ Result<QueryResult> Database::ExecuteStmtJournaled(Session& session,
     // the exclusive lock; journaling it too would replay it twice.
     return r;
   }
-  if (journal_ != nullptr && IsJournaled(stmt)) {
-    EXODUS_RETURN_IF_ERROR(JournalStmt(stmt));
+  if (journal_enabled() && IsJournaled(stmt)) {
+    EXODUS_RETURN_IF_ERROR(
+        JournalStmt(stmt, session.ctx_.options.durability));
   }
   return r;
 }
@@ -945,6 +1121,9 @@ namespace {
 constexpr char kRecDdl = 'L';
 constexpr char kRecHeap = 'H';
 constexpr char kRecNamed = 'N';
+/// The WAL cut LSN this image subsumes (recovery replays records above
+/// it). Absent in images from before WAL journaling (treated as 0).
+constexpr char kRecWal = 'W';
 
 }  // namespace
 
@@ -957,12 +1136,19 @@ Status Database::Save(const std::string& path) {
   return SaveLocked(path, pin.epoch());
 }
 
-Status Database::SaveLocked(const std::string& path, uint64_t epoch) {
+Status Database::SaveLocked(const std::string& path, uint64_t epoch,
+                            uint64_t wal_lsn) {
   EXODUS_ASSIGN_OR_RETURN(std::unique_ptr<storage::Pager> pager,
                           storage::Pager::CreateFile(path));
   storage::BufferPool pool(pager.get(), 64);
   storage::ObjectStore store(&pool);
   storage::Serializer serializer(&catalog_, &adts_);
+
+  {
+    std::string rec(1, kRecWal);
+    storage::Serializer::PutU64(wal_lsn, &rec);
+    EXODUS_RETURN_IF_ERROR(store.Insert(rec).status());
+  }
 
   for (const std::string& ddl : ddl_log_) {
     std::string rec(1, kRecDdl);
@@ -999,7 +1185,10 @@ Status Database::SaveLocked(const std::string& path, uint64_t epoch) {
   // The pool dies with this call; keep its page traffic visible.
   buffer_pool_hits_->Add(pool.hits());
   buffer_pool_misses_->Add(pool.misses());
-  return flushed;
+  EXODUS_RETURN_IF_ERROR(flushed);
+  // The checkpoint contract (truncate the WAL only once the image is
+  // durable) needs a real fdatasync, not just buffered writes.
+  return pager->Sync();
 }
 
 Result<std::unique_ptr<Database>> Database::Load(const std::string& path) {
@@ -1011,10 +1200,17 @@ Result<std::unique_ptr<Database>> Database::Load(const std::string& path) {
   std::vector<std::string> ddl;
   std::vector<std::string> heap_records;
   std::vector<std::string> named_records;
+  uint64_t wal_lsn = 0;
   Status st = store.ForEach(
       [&](const storage::Rid&, const std::string& rec) -> Status {
         if (rec.empty()) return Status::IoError("empty record");
         switch (rec[0]) {
+          case kRecWal: {
+            size_t pos = 1;
+            EXODUS_ASSIGN_OR_RETURN(wal_lsn,
+                                    storage::Serializer::GetU64(rec, &pos));
+            return Status::OK();
+          }
           case kRecDdl: {
             size_t pos = 1;
             EXODUS_ASSIGN_OR_RETURN(
@@ -1035,6 +1231,7 @@ Result<std::unique_ptr<Database>> Database::Load(const std::string& path) {
   EXODUS_RETURN_IF_ERROR(st);
 
   auto db = std::make_unique<Database>();
+  db->recovered_lsn_.store(wal_lsn, std::memory_order_release);
   // 1. Replay schema DDL (types, creates, functions, indexes, auth).
   for (const std::string& text : ddl) {
     EXODUS_RETURN_IF_ERROR(db->Execute(text).status());

@@ -1,11 +1,14 @@
 #ifndef EXODUS_EXCESS_DATABASE_H_
 #define EXODUS_EXCESS_DATABASE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdio>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "adt/registry.h"
@@ -22,6 +25,7 @@
 #include "obs/trace.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "wal/wal_writer.h"
 
 namespace exodus {
 
@@ -158,19 +162,88 @@ class Database {
   /// Restores a database saved with Save().
   static util::Result<std::unique_ptr<Database>> Load(const std::string& path);
 
-  /// Enables logical (statement-level) journaling: every successful
-  /// mutating statement is appended — durably — to `path`, so a crashed
-  /// session can be recovered with Recover(). Creates the file if absent.
+  /// Enables logical (statement-level) journaling through the
+  /// write-ahead log at `path` (plus rotated segments `path.NNNNNN`):
+  /// every successful mutating statement is appended as one CRC-framed
+  /// WAL record, made durable per the executing session's
+  /// SessionOptions::durability, so a crashed process can be recovered
+  /// with Recover(). Creates the log if absent; resumes its LSN
+  /// sequence (truncating a torn tail) if not.
   util::Status EnableJournal(const std::string& path);
-  /// Checkpoints to `path` via Save() and truncates the active journal
-  /// (the checkpoint now subsumes it).
+  /// Checkpoints to `path` without stopping the world: a brief
+  /// exclusive barrier rotates the WAL (the *cut*) and pins the commit
+  /// epoch, then the image is written under a shared lock — concurrent
+  /// readers and snapshot writers keep running. The image lands in
+  /// `path.tmp`, is fsynced, renamed over `path` and the rename
+  /// fsynced; only then are WAL segments at or below the cut dropped,
+  /// so a crash at any point recovers from either the old pair or the
+  /// new one, never from a truncated journal with no durable image.
   util::Status Checkpoint(const std::string& path);
   /// Rebuilds a database from an optional checkpoint (`checkpoint_path`
-  /// may be empty for none) plus a statement journal. A torn final
-  /// record — the crash case — is ignored. The recovered database
-  /// journals to `journal_path` again.
+  /// may be empty for none) plus the WAL: loads the image, then
+  /// replays every WAL record with LSN greater than the image's
+  /// recorded cut. A torn final record — the crash case — is ignored.
+  /// The recovered database journals to `journal_path` again,
+  /// continuing the LSN sequence.
   static util::Result<std::unique_ptr<Database>> Recover(
       const std::string& checkpoint_path, const std::string& journal_path);
+
+  /// The write-ahead log, or nullptr before EnableJournal. Stable once
+  /// published; the server's replication endpoint tails it.
+  wal::WalWriter* wal() const {
+    return wal_ptr_.load(std::memory_order_acquire);
+  }
+  bool journal_enabled() const { return wal() != nullptr; }
+
+  /// Starts a background checkpointer: every `interval_ms` it runs
+  /// Checkpoint(path). Errors are counted
+  /// (exodus_checkpoint_failures_total) and retried next tick.
+  void StartAutoCheckpoint(const std::string& path, int interval_ms);
+  void StopAutoCheckpoint();
+
+  /// Read-only mode (replica): every statement that would mutate state
+  /// fails with PermissionDenied, except through a session whose
+  /// replication-apply flag is set (the WAL apply path).
+  void SetReadOnly(bool read_only) {
+    read_only_.store(read_only, std::memory_order_release);
+  }
+  bool read_only() const {
+    return read_only_.load(std::memory_order_acquire);
+  }
+
+  /// The WAL cut LSN recorded in the checkpoint this database was
+  /// loaded from plus everything replayed since (0 for a fresh
+  /// database). A replica applying records advances it.
+  uint64_t recovered_lsn() const {
+    return recovered_lsn_.load(std::memory_order_acquire);
+  }
+
+  /// Records that every WAL record up to `lsn` is reflected in this
+  /// database's state (monotonic; the replica apply path advances it).
+  void AdvanceRecoveredLsn(uint64_t lsn) {
+    uint64_t cur = recovered_lsn_.load(std::memory_order_relaxed);
+    while (lsn > cur &&
+           !recovered_lsn_.compare_exchange_weak(cur, lsn,
+                                                 std::memory_order_release,
+                                                 std::memory_order_relaxed)) {
+    }
+  }
+
+  /// The LSN at or below which WAL records may no longer exist on disk:
+  /// everything up to it is subsumed by the recovery image or the most
+  /// recent truncating checkpoint. A replica tailing from below this
+  /// needs a snapshot bootstrap, not records.
+  uint64_t wal_base_lsn() const {
+    return wal_base_lsn_.load(std::memory_order_acquire);
+  }
+
+  /// Builds a consistent checkpoint image for replica bootstrap — the
+  /// same non-stop-the-world algorithm as Checkpoint(), minus the WAL
+  /// truncation — and returns its bytes. `*snapshot_lsn` receives the
+  /// WAL cut the image subsumes: the replica loads the image, then
+  /// tails records with LSN above the cut (all still on disk, since
+  /// nothing was dropped). Requires journaling.
+  util::Result<std::string> ReplicaSnapshot(uint64_t* snapshot_lsn);
 
   // Typed access for embedding applications, tests and benchmarks.
   extra::Catalog* catalog() { return &catalog_; }
@@ -210,8 +283,11 @@ class Database {
   /// Save() body; the caller holds exec_mu_ (shared plus a pinned
   /// snapshot, or exclusive). `epoch` selects the object versions to
   /// serialize (kMaxEpoch = newest committed, for exclusive contexts).
+  /// `wal_lsn` is recorded in the image as the WAL cut this snapshot
+  /// subsumes; recovery replays only records above it.
   util::Status SaveLocked(const std::string& path,
-                          uint64_t epoch = object::kMaxEpoch);
+                          uint64_t epoch = object::kMaxEpoch,
+                          uint64_t wal_lsn = 0);
 
   /// FormatValue at a specific snapshot epoch (the session formatting
   /// paths pass their pinned epoch; kMaxEpoch reads newest committed).
@@ -229,8 +305,20 @@ class Database {
 
   /// True for statements whose effects must be journaled for recovery.
   static bool IsJournaled(const excess::Stmt& stmt);
-  /// Appends one statement record to the active journal (durably).
-  util::Status JournalStmt(const excess::Stmt& stmt);
+  /// Appends one statement record to the WAL; `durability` decides when
+  /// the append is acknowledged (sync / group / async).
+  util::Status JournalStmt(const excess::Stmt& stmt,
+                           wal::Durability durability);
+
+  void AutoCheckpointLoop();
+
+  /// Checkpoint() body: writes a consistent image to `path` (via
+  /// `path.tmp` + rename). With `truncate` the WAL sheds segments the
+  /// image subsumes and wal_base_lsn_ advances to the cut; without it
+  /// the WAL is left whole (replica snapshots). `cut_out`, when
+  /// non-null, receives the cut LSN.
+  util::Status CheckpointInternal(const std::string& path, uint64_t* cut_out,
+                                  bool truncate);
 
   // DDL handlers. Handlers that depend on who is asking (or on session
   // ranges) take the session.
@@ -301,11 +389,31 @@ class Database {
   mutable std::shared_mutex exec_mu_;
   mutable std::mutex last_plan_mu_;
   std::string last_plan_;
-  /// Serializes journal appends: snapshot writers on different extents
-  /// commit concurrently while holding exec_mu_ only shared.
-  std::mutex journal_mu_;
-  std::FILE* journal_ = nullptr;
+  /// The write-ahead log (src/wal/): snapshot writers on different
+  /// extents append concurrently while holding exec_mu_ only shared;
+  /// the WalWriter stages under its own mutex and group-commits.
+  /// `wal_ptr_` republishes the pointer for lock-free readers (metric
+  /// callbacks, the journal_enabled() fast path).
+  std::unique_ptr<wal::WalWriter> wal_;
+  std::atomic<wal::WalWriter*> wal_ptr_{nullptr};
   std::string journal_path_;
+  /// WAL cut subsumed by the loaded checkpoint + records replayed since.
+  std::atomic<uint64_t> recovered_lsn_{0};
+  /// See wal_base_lsn(): records at or below may have been dropped.
+  std::atomic<uint64_t> wal_base_lsn_{0};
+  /// Replica mode: mutations fail unless applied by replication.
+  std::atomic<bool> read_only_{false};
+  /// Serializes whole Checkpoint() calls (manual + auto-checkpointer).
+  std::mutex checkpoint_call_mu_;
+  obs::Counter* checkpoints_total_ = nullptr;
+  obs::Counter* checkpoint_failures_total_ = nullptr;
+  // Background checkpointer (StartAutoCheckpoint).
+  std::mutex auto_ckpt_mu_;
+  std::condition_variable auto_ckpt_cv_;
+  bool auto_ckpt_stop_ = false;
+  std::string auto_ckpt_path_;
+  int auto_ckpt_interval_ms_ = 0;
+  std::thread auto_ckpt_thread_;
   /// MVCC epoch/pin/latch coordination and the background version-GC
   /// thread. Declared last so it is destroyed (and the GC thread
   /// joined) before the heap, catalog and indexes it sweeps.

@@ -194,6 +194,11 @@ std::string Session::WriteExtentOf(const excess::Stmt& stmt) const {
 Result<QueryResult> Session::ExecuteWithConcurrency(
     const excess::Stmt& stmt,
     const std::function<Result<QueryResult>()>& body) {
+  if (db_->read_only() && !Database::IsReadOnly(stmt) &&
+      !replication_apply_) {
+    return Status::PermissionDenied(
+        "database is a read-only replica; writes must go to the primary");
+  }
   excess::ConcurrencyController* cc = db_->controller_.get();
   bool escalated_out = false;
   {
@@ -601,14 +606,15 @@ Result<QueryResult> PreparedStatement::ExecuteLocked() {
   if (!result.ok()) return result;
   session_->db_->set_last_plan(plan_->plan_text);
 
-  if (session_->db_->journal_ != nullptr &&
+  if (session_->db_->journal_enabled() &&
       Database::IsJournaled(*plan_->stmt) &&
       !(session_->ctx_.txn != nullptr && session_->ctx_.txn->escalate())) {
     // Escalated statements roll back and re-run exclusively; journaling
     // here too would replay the statement twice.
     excess::StmtPtr journaled = plan_->stmt->Clone();
     SubstituteParams(journaled.get(), params);
-    EXODUS_RETURN_IF_ERROR(session_->db_->JournalStmt(*journaled));
+    EXODUS_RETURN_IF_ERROR(session_->db_->JournalStmt(
+        *journaled, session_->ctx_.options.durability));
   }
   return result;
 }

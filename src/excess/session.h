@@ -112,6 +112,11 @@ class Session {
   }
   excess::ExecOptions* mutable_exec_options() { return &ctx_.options; }
 
+  /// Marks this session as the replication-apply channel: its mutations
+  /// bypass the database's read-only (replica) gate. Only the WAL
+  /// tailer should ever set this.
+  void set_replication_apply(bool apply) { replication_apply_ = apply; }
+
  private:
   friend class Database;
   friend class PreparedStatement;
@@ -173,6 +178,8 @@ class Session {
 
   Database* db_;
   excess::ExecContext ctx_;
+  /// True on the replica's WAL-apply session (see set_replication_apply).
+  bool replication_apply_ = false;
   /// This session's `range of` declarations (ctx_.session_ranges).
   std::map<std::string, excess::ExprPtr> ranges_;
   /// Bumped by every `range of`; prepared statements re-prepare when

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "util/status.h"
+#include "wal/durability.h"
 
 namespace exodus::excess {
 
@@ -58,11 +59,19 @@ struct SessionOptions {
   // --- concurrency ---
   IsolationMode isolation = IsolationMode::kSnapshot;
 
-  /// Reads EXODUS_VECTORIZED (0/1), EXODUS_BATCH_SIZE and
-  /// EXODUS_ISOLATION (locked/snapshot). A non-numeric
-  /// EXODUS_BATCH_SIZE is ignored; numeric values are taken verbatim
-  /// (including invalid ones < 1, which execution rejects with a clear
-  /// error rather than silently correcting).
+  // --- durability ---
+  /// When a journaled statement's WAL append is considered committed:
+  /// sync (fdatasync inline), group (share the flusher's next fsync;
+  /// the default) or async (ack once staged). Only meaningful when the
+  /// database journals (Database::EnableJournal).
+  wal::Durability durability = wal::Durability::kGroup;
+
+  /// Reads EXODUS_VECTORIZED (0/1), EXODUS_BATCH_SIZE,
+  /// EXODUS_ISOLATION (locked/snapshot) and EXODUS_DURABILITY
+  /// (sync/group/async). A non-numeric EXODUS_BATCH_SIZE is ignored;
+  /// numeric values are taken verbatim (including invalid ones < 1,
+  /// which execution rejects with a clear error rather than silently
+  /// correcting).
   static SessionOptions FromEnv() {
     SessionOptions o;
     if (const char* v = std::getenv("EXODUS_VECTORIZED")) {
@@ -77,6 +86,9 @@ struct SessionOptions {
       const std::string mode(i);
       if (mode == "locked") o.isolation = IsolationMode::kLocked;
       else if (mode == "snapshot") o.isolation = IsolationMode::kSnapshot;
+    }
+    if (const char* d = std::getenv("EXODUS_DURABILITY")) {
+      wal::ParseDurability(d, &o.durability);  // unknown names keep default
     }
     return o;
   }
@@ -105,6 +117,9 @@ struct SessionOptions {
     f += ':';
     f += std::to_string(batch_size);
     f += isolation == IsolationMode::kSnapshot ? ":s" : ":l";
+    // `durability` is deliberately NOT fingerprinted: it changes when a
+    // commit is acknowledged, never the plan tree or prepared state, so
+    // sessions with different durability share cached plans.
     return f;
   }
 };

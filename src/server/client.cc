@@ -59,7 +59,8 @@ void Client::Close() {
   fd_ = -1;
 }
 
-Result<Frame> Client::RoundTrip(MsgType type, const std::string& body) {
+Result<Frame> Client::RoundTrip(MsgType type, const std::string& body,
+                                uint32_t max_payload) {
   if (fd_ < 0) return Status::IoError("not connected");
   Status st = WriteFrame(fd_, type, body);
   if (!st.ok()) {
@@ -67,7 +68,7 @@ Result<Frame> Client::RoundTrip(MsgType type, const std::string& body) {
     fd_ = -1;
     return Status::IoError("server connection lost: " + st.message());
   }
-  Result<Frame> reply = ReadFrame(fd_);
+  Result<Frame> reply = ReadFrame(fd_, max_payload);
   if (!reply.ok()) {
     ::close(fd_);
     fd_ = -1;
@@ -151,6 +152,25 @@ Result<std::string> Client::Metrics() {
   }
   WireReader r(reply.body);
   return r.Str();
+}
+
+Result<Client::WalTailReply> Client::WalTail(uint64_t after_lsn) {
+  std::string body;
+  PutU64(after_lsn, &body);
+  EXODUS_ASSIGN_OR_RETURN(
+      Frame reply, RoundTrip(MsgType::kWalTail, body, kMaxSnapshotPayload));
+  WireReader r(reply.body);
+  WalTailReply result;
+  if (reply.type == MsgType::kWalSnapshotReply) {
+    result.is_snapshot = true;
+    EXODUS_ASSIGN_OR_RETURN(result.snapshot, WalSnapshotPayload::Decode(&r));
+    return result;
+  }
+  if (reply.type != MsgType::kWalRecordsReply) {
+    return Status::IoError("unexpected WAL_TAIL response");
+  }
+  EXODUS_ASSIGN_OR_RETURN(result.records, WalRecordsPayload::Decode(&r));
+  return result;
 }
 
 Status ParseHostPort(const std::string& spec, std::string* host,

@@ -67,6 +67,18 @@ class Client {
   /// statement and server series.
   util::Result<std::string> Metrics();
 
+  /// One WAL_TAIL round against a journaling primary: either the next
+  /// batch of durable records after `after_lsn` (`records`), or — when
+  /// the primary's checkpoints have already dropped that part of the
+  /// WAL — a full snapshot bootstrap (`snapshot`). The replica loads
+  /// the snapshot image and resumes tailing from its snapshot_lsn.
+  struct WalTailReply {
+    bool is_snapshot = false;
+    WalSnapshotPayload snapshot;
+    WalRecordsPayload records;
+  };
+  util::Result<WalTailReply> WalTail(uint64_t after_lsn);
+
   /// Sends BYE (best effort) and closes the socket. Idempotent; the
   /// destructor calls it.
   void Close();
@@ -77,8 +89,10 @@ class Client {
   explicit Client(int fd) : fd_(fd) {}
 
   /// Sends one request and reads one response frame; decodes ERROR
-  /// responses into their original status.
-  util::Result<Frame> RoundTrip(MsgType type, const std::string& body);
+  /// responses into their original status. `max_payload` caps the
+  /// reply frame (WAL_TAIL raises it for snapshot bootstraps).
+  util::Result<Frame> RoundTrip(MsgType type, const std::string& body,
+                                uint32_t max_payload = kMaxFramePayload);
 
   int fd_ = -1;
 };

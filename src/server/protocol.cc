@@ -17,7 +17,7 @@ using util::Status;
 
 bool IsRequestType(uint8_t t) {
   return t >= static_cast<uint8_t>(MsgType::kHello) &&
-         t <= static_cast<uint8_t>(MsgType::kMetrics);
+         t <= static_cast<uint8_t>(MsgType::kWalTail);
 }
 
 // ---------------------------------------------------------------------------
@@ -315,6 +315,12 @@ void StatsPayload::EncodeTo(std::string* out) const {
   PutU64(cache_evictions, out);
   PutU64(connection_queries, out);
   PutU64(connection_errors, out);
+  PutU64(wal_last_lsn, out);
+  PutU64(wal_durable_lsn, out);
+  PutU64(wal_fsyncs_total, out);
+  PutU64(replica_mode, out);
+  PutU64(replica_applied_lsn, out);
+  PutU64(replica_lag_records, out);
 }
 
 Result<StatsPayload> StatsPayload::Decode(WireReader* r) {
@@ -331,6 +337,12 @@ Result<StatsPayload> StatsPayload::Decode(WireReader* r) {
   EXODUS_ASSIGN_OR_RETURN(p.cache_evictions, r->U64());
   EXODUS_ASSIGN_OR_RETURN(p.connection_queries, r->U64());
   EXODUS_ASSIGN_OR_RETURN(p.connection_errors, r->U64());
+  EXODUS_ASSIGN_OR_RETURN(p.wal_last_lsn, r->U64());
+  EXODUS_ASSIGN_OR_RETURN(p.wal_durable_lsn, r->U64());
+  EXODUS_ASSIGN_OR_RETURN(p.wal_fsyncs_total, r->U64());
+  EXODUS_ASSIGN_OR_RETURN(p.replica_mode, r->U64());
+  EXODUS_ASSIGN_OR_RETURN(p.replica_applied_lsn, r->U64());
+  EXODUS_ASSIGN_OR_RETURN(p.replica_lag_records, r->U64());
   return p;
 }
 
@@ -346,9 +358,60 @@ std::string StatsPayload::ToString() const {
          std::to_string(cache_misses) + " miss(es), " +
          std::to_string(cache_invalidations) + " invalidation(s), " +
          std::to_string(cache_evictions) + " eviction(s)\n";
+  if (wal_last_lsn > 0 || wal_fsyncs_total > 0) {
+    out += "durability: wal last " + std::to_string(wal_last_lsn) +
+           ", durable " + std::to_string(wal_durable_lsn) + ", " +
+           std::to_string(wal_fsyncs_total) + " fsync(s)\n";
+  }
+  if (replica_mode != 0) {
+    out += "replica: applied lsn " + std::to_string(replica_applied_lsn) +
+           ", lag " + std::to_string(replica_lag_records) + " record(s)\n";
+  }
   out += "this connection: " + std::to_string(connection_queries) +
          " quer(ies), " + std::to_string(connection_errors) + " error(s)\n";
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// WAL replication payloads
+// ---------------------------------------------------------------------------
+
+void WalSnapshotPayload::EncodeTo(std::string* out) const {
+  PutU64(snapshot_lsn, out);
+  PutString(image, out);
+}
+
+Result<WalSnapshotPayload> WalSnapshotPayload::Decode(WireReader* r) {
+  WalSnapshotPayload p;
+  EXODUS_ASSIGN_OR_RETURN(p.snapshot_lsn, r->U64());
+  EXODUS_ASSIGN_OR_RETURN(p.image, r->Str());
+  return p;
+}
+
+void WalRecordsPayload::EncodeTo(std::string* out) const {
+  PutU64(primary_durable_lsn, out);
+  PutU32(static_cast<uint32_t>(records.size()), out);
+  for (const wal::WalRecord& rec : records) {
+    PutU64(rec.lsn, out);
+    PutU8(static_cast<uint8_t>(rec.type), out);
+    PutString(rec.payload, out);
+  }
+}
+
+Result<WalRecordsPayload> WalRecordsPayload::Decode(WireReader* r) {
+  WalRecordsPayload p;
+  EXODUS_ASSIGN_OR_RETURN(p.primary_durable_lsn, r->U64());
+  EXODUS_ASSIGN_OR_RETURN(uint32_t count, r->U32());
+  p.records.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    wal::WalRecord rec;
+    EXODUS_ASSIGN_OR_RETURN(rec.lsn, r->U64());
+    EXODUS_ASSIGN_OR_RETURN(uint8_t type, r->U8());
+    rec.type = static_cast<wal::RecordType>(type);
+    EXODUS_ASSIGN_OR_RETURN(rec.payload, r->Str());
+    p.records.push_back(std::move(rec));
+  }
+  return p;
 }
 
 // ---------------------------------------------------------------------------

@@ -8,6 +8,7 @@
 #include "object/value.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "wal/wal_format.h"
 
 /// The EXCESS wire protocol (see docs/server_protocol.md).
 ///
@@ -26,12 +27,18 @@
 namespace exodus::server {
 
 /// Protocol revision; sent by the client in HELLO and checked by the
-/// server (a mismatch is a clean ERROR, not a hang).
-constexpr uint8_t kProtocolVersion = 1;
+/// server (a mismatch is a clean ERROR, not a hang). Version 2 added
+/// WAL_TAIL and the durability/replica fields of StatsPayload.
+constexpr uint8_t kProtocolVersion = 2;
 
 /// Upper bound on a frame payload. Anything larger is treated as a
 /// malformed frame and fails the connection without allocating.
 constexpr uint32_t kMaxFramePayload = 16u << 20;  // 16 MiB
+
+/// Upper bound on a WAL_SNAPSHOT reply: a checkpoint image travels as
+/// one frame, which can legitimately exceed kMaxFramePayload. Only the
+/// replication client reads frames under this larger cap.
+constexpr uint32_t kMaxSnapshotPayload = 256u << 20;  // 256 MiB
 
 enum class MsgType : uint8_t {
   // Requests (client -> server).
@@ -43,6 +50,7 @@ enum class MsgType : uint8_t {
   kStats = 0x06,     // (empty)
   kBye = 0x07,       // (empty)
   kMetrics = 0x08,   // (empty)
+  kWalTail = 0x09,   // u64 after_lsn — see WalRecordsPayload
 
   // Responses (server -> client).
   kOk = 0x81,          // string message
@@ -51,6 +59,8 @@ enum class MsgType : uint8_t {
   kPrepared = 0x84,    // u32 handle, u32 param_count
   kStatsReply = 0x85,  // see StatsPayload
   kMetricsReply = 0x86,  // string: Prometheus text exposition
+  kWalSnapshotReply = 0x87,  // see WalSnapshotPayload (bootstrap)
+  kWalRecordsReply = 0x88,   // see WalRecordsPayload (incremental)
 };
 
 /// True if `t` is one of the defined request types.
@@ -142,7 +152,8 @@ struct ErrorPayload {
 
 /// The STATS response: aggregate server counters, latency percentiles
 /// from the server's fixed histogram, the database plan-cache counters,
-/// and the requesting connection's own counters.
+/// durability/replication state, and the requesting connection's own
+/// counters.
 struct StatsPayload {
   uint64_t connections_total = 0;
   uint64_t connections_active = 0;
@@ -156,11 +167,45 @@ struct StatsPayload {
   uint64_t cache_evictions = 0;
   uint64_t connection_queries = 0;
   uint64_t connection_errors = 0;
+  /// WAL position on a journaling primary (all zero when journaling is
+  /// off): last staged LSN, last fsynced LSN, fsync count.
+  uint64_t wal_last_lsn = 0;
+  uint64_t wal_durable_lsn = 0;
+  uint64_t wal_fsyncs_total = 0;
+  /// 1 when the server is a read-only replica; then the apply position
+  /// and its lag behind the primary's durable LSN, in records.
+  uint64_t replica_mode = 0;
+  uint64_t replica_applied_lsn = 0;
+  uint64_t replica_lag_records = 0;
 
   void EncodeTo(std::string* out) const;
   static util::Result<StatsPayload> Decode(WireReader* r);
 
   std::string ToString() const;
+};
+
+/// A WAL_SNAPSHOT response: bootstrap for a replica whose position
+/// predates the primary's retained WAL. The image is a complete
+/// checkpoint (Database::Save format) subsuming every record with LSN
+/// at or below `snapshot_lsn`; the replica loads it, then tails from
+/// `snapshot_lsn`.
+struct WalSnapshotPayload {
+  uint64_t snapshot_lsn = 0;
+  std::string image;
+
+  void EncodeTo(std::string* out) const;
+  static util::Result<WalSnapshotPayload> Decode(WireReader* r);
+};
+
+/// A WAL_RECORDS response: the batch of durable journal records after
+/// the requested LSN (possibly empty — the replica is caught up), plus
+/// the primary's current durable LSN so the replica can compute lag.
+struct WalRecordsPayload {
+  uint64_t primary_durable_lsn = 0;
+  std::vector<wal::WalRecord> records;
+
+  void EncodeTo(std::string* out) const;
+  static util::Result<WalRecordsPayload> Decode(WireReader* r);
 };
 
 // ---------------------------------------------------------------------------

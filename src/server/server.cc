@@ -14,12 +14,21 @@
 
 #include "excess/database.h"
 #include "excess/session.h"
+#include "wal/wal_writer.h"
 
 namespace exodus::server {
 
 using excess::QueryResult;
 using util::Result;
 using util::Status;
+
+namespace {
+
+/// Payload budget of one WAL_RECORDS batch — well under the frame cap
+/// even after framing overhead; a lagging replica just polls again.
+constexpr size_t kWalTailBatchBytes = 4u << 20;  // 4 MiB
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Connection state
@@ -34,6 +43,10 @@ struct Server::Connection {
   std::unique_ptr<Session> session;
   std::map<uint32_t, std::unique_ptr<PreparedStatement>> prepared;
   uint32_t next_handle = 1;
+  /// This connection's replication slot, created by its first WAL_TAIL
+  /// and advanced by each subsequent one: while it lives, checkpoints
+  /// keep every WAL record above the replica's acknowledged position.
+  std::shared_ptr<wal::WalWriter::Retainer> retainer;
   /// Touched only by this connection's serving thread (directly or via
   /// the pool job it is blocked on).
   uint64_t queries = 0;
@@ -438,6 +451,81 @@ bool Server::HandleFrame(Connection* conn, const Frame& frame) {
       return WriteFrame(conn->fd, MsgType::kMetricsReply, body).ok();
     }
 
+    case MsgType::kWalTail: {
+      auto after = r.U64();
+      if (!after.ok()) {
+        SendError(conn->fd, after.status());
+        return false;
+      }
+      wal::WalWriter* w = db_->wal();
+      if (w == nullptr) {
+        SendError(conn->fd,
+                  Status::InvalidArgument(
+                      "this server is not journaling; nothing to replicate"));
+        return true;
+      }
+      // Register the replication slot before checking availability:
+      // once the retainer exists, a concurrent checkpoint cannot drop
+      // records above the replica's position, so a base at or below
+      // `after` observed afterwards stays valid.
+      bool need_snapshot = false;
+      if (conn->retainer == nullptr) {
+        conn->retainer = w->CreateRetainer(*after);
+        need_snapshot = db_->wal_base_lsn() > *after;
+        if (need_snapshot) conn->retainer.reset();
+      } else {
+        conn->retainer->Advance(*after);
+      }
+      if (need_snapshot) {
+        // The replica predates the retained WAL: ship a checkpoint
+        // image. Retried because a truncating checkpoint can land
+        // between the image's cut and the slot registration.
+        Result<WalSnapshotPayload> snap(Status::Internal("not built"));
+        RunOnPool([&] {
+          for (int attempt = 0; attempt < 3; ++attempt) {
+            WalSnapshotPayload p;
+            auto image = db_->ReplicaSnapshot(&p.snapshot_lsn);
+            if (!image.ok()) {
+              snap = image.status();
+              return;
+            }
+            p.image = std::move(*image);
+            conn->retainer = w->CreateRetainer(p.snapshot_lsn);
+            if (db_->wal_base_lsn() <= p.snapshot_lsn) {
+              snap = std::move(p);
+              return;
+            }
+            conn->retainer.reset();
+          }
+          snap = Status::Internal(
+              "checkpoint truncation keeps outpacing the bootstrap "
+              "snapshot; retry");
+        });
+        if (!snap.ok()) {
+          ++conn->errors;
+          counters_.errors_total->Increment();
+          SendError(conn->fd, snap.status());
+          return true;
+        }
+        std::string body;
+        snap->EncodeTo(&body);
+        return WriteFrame(conn->fd, MsgType::kWalSnapshotReply, body).ok();
+      }
+      auto records = w->ReadAfter(*after, kWalTailBatchBytes);
+      if (!records.ok()) {
+        ++conn->errors;
+        counters_.errors_total->Increment();
+        SendError(conn->fd, records.status());
+        return true;
+      }
+      WalRecordsPayload p;
+      p.primary_durable_lsn = w->LastDurableLsn();
+      p.records = std::move(*records);
+      std::string body;
+      p.EncodeTo(&body);
+      return WriteFrame(conn->fd, MsgType::kWalRecordsReply, body).ok();
+    }
+
     case MsgType::kBye:
       SendOk(conn->fd, "bye");
       return false;
@@ -469,6 +557,22 @@ StatsPayload Server::BuildStats(const Connection& conn) const {
   s.cache_evictions = cache.evictions;
   s.connection_queries = conn.queries;
   s.connection_errors = conn.errors;
+  if (wal::WalWriter* w = db_->wal()) {
+    s.wal_last_lsn = w->LastAppendedLsn();
+    s.wal_durable_lsn = w->LastDurableLsn();
+    s.wal_fsyncs_total = w->counters().fsyncs;
+  }
+  if (db_->read_only()) {
+    // The replicator publishes its position as plain gauges on the
+    // database's registry; GetGauge is idempotent, so reading them
+    // before the replicator's first round just yields zeros.
+    s.replica_mode = 1;
+    obs::MetricsRegistry* metrics = db_->metrics();
+    s.replica_applied_lsn = static_cast<uint64_t>(
+        metrics->GetGauge("exodus_replica_last_applied_lsn")->value());
+    s.replica_lag_records = static_cast<uint64_t>(
+        metrics->GetGauge("exodus_replica_lag_records")->value());
+  }
   return s;
 }
 

@@ -1,5 +1,7 @@
 #include "storage/pager.h"
 
+#include <unistd.h>
+
 namespace exodus::storage {
 
 using util::Result;
@@ -81,8 +83,15 @@ Status Pager::WritePage(PageId id, const Page& page) {
 }
 
 Status Pager::Sync() {
-  if (file_ != nullptr && std::fflush(file_) != 0) {
-    return Status::IoError("fflush failed");
+  if (file_ != nullptr) {
+    if (std::fflush(file_) != 0) {
+      return Status::IoError("fflush failed");
+    }
+    // fflush only moves bytes into the kernel; a durable image (the
+    // checkpoint contract) needs them on the platter too.
+    if (::fdatasync(::fileno(file_)) != 0) {
+      return Status::IoError("fdatasync failed");
+    }
   }
   return Status::OK();
 }

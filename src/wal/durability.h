@@ -1,0 +1,43 @@
+#ifndef EXODUS_WAL_DURABILITY_H_
+#define EXODUS_WAL_DURABILITY_H_
+
+#include <string>
+
+// Light-weight header: included by SessionOptions and anything else that
+// only needs the durability knob, without dragging in the WalWriter's
+// mutex/thread machinery.
+
+namespace exodus::wal {
+
+/// When an acknowledged append is actually on disk.
+enum class Durability {
+  kSync,   ///< fdatasync before the append returns (one fsync per commit,
+           ///< minus ride-alongs that were already staged).
+  kGroup,  ///< the append waits for the flusher thread's next batched
+           ///< fdatasync — many committers share one fsync.
+  kAsync,  ///< the append returns once staged in memory; the flusher
+           ///< writes it out in the background. Crash may lose it.
+};
+
+/// "sync" | "group" | "async".
+inline const char* DurabilityName(Durability d) {
+  switch (d) {
+    case Durability::kSync: return "sync";
+    case Durability::kGroup: return "group";
+    case Durability::kAsync: return "async";
+  }
+  return "?";
+}
+
+/// Parses a durability name; returns false (leaving `*out` untouched)
+/// for anything else.
+inline bool ParseDurability(const std::string& text, Durability* out) {
+  if (text == "sync") { *out = Durability::kSync; return true; }
+  if (text == "group") { *out = Durability::kGroup; return true; }
+  if (text == "async") { *out = Durability::kAsync; return true; }
+  return false;
+}
+
+}  // namespace exodus::wal
+
+#endif  // EXODUS_WAL_DURABILITY_H_

@@ -1,0 +1,197 @@
+#include "wal/wal_format.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace exodus::wal {
+
+using util::Result;
+using util::Status;
+
+// ---------------------------------------------------------------------------
+// CRC-32
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+const Crc32Table& Table() {
+  static const Crc32Table table;
+  return table;
+}
+
+void PutU32Le(uint32_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void PutU64Le(uint64_t v, std::string* out) {
+  PutU32Le(static_cast<uint32_t>(v & 0xffffffffu), out);
+  PutU32Le(static_cast<uint32_t>(v >> 32), out);
+}
+
+uint32_t GetU32Le(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+uint64_t GetU64Le(const char* p) {
+  return static_cast<uint64_t>(GetU32Le(p)) |
+         static_cast<uint64_t>(GetU32Le(p + 4)) << 32;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  const Crc32Table& table = Table();
+  uint32_t c = seed ^ 0xffffffffu;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    c = table.entries[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+// ---------------------------------------------------------------------------
+// Record framing
+// ---------------------------------------------------------------------------
+
+void EncodeRecord(uint64_t lsn, RecordType type, const std::string& payload,
+                  std::string* out) {
+  // CRC covers lsn | type | payload, exactly as laid out on disk.
+  std::string covered;
+  covered.reserve(9 + payload.size());
+  PutU64Le(lsn, &covered);
+  covered.push_back(static_cast<char>(type));
+  covered.append(payload);
+  const uint32_t crc = Crc32(covered.data(), covered.size());
+
+  out->reserve(out->size() + kRecordHeaderBytes + payload.size());
+  PutU32Le(static_cast<uint32_t>(payload.size()), out);
+  PutU32Le(crc, out);
+  out->append(covered);
+}
+
+bool DecodeRecord(const std::string& buf, size_t* pos, WalRecord* out) {
+  const size_t start = *pos;
+  if (buf.size() - start < kRecordHeaderBytes) return false;
+  const char* p = buf.data() + start;
+  const uint32_t len = GetU32Le(p);
+  if (len > kMaxRecordPayload) return false;
+  if (buf.size() - start < kRecordHeaderBytes + len) return false;
+  const uint32_t crc = GetU32Le(p + 4);
+  // The CRC-covered region (lsn + type + payload) sits contiguously
+  // after the 8-byte (len, crc) prefix.
+  if (Crc32(p + 8, 9 + len) != crc) return false;
+  out->lsn = GetU64Le(p + 8);
+  out->type = static_cast<RecordType>(static_cast<unsigned char>(p[16]));
+  out->payload.assign(p + kRecordHeaderBytes, len);
+  *pos = start + kRecordHeaderBytes + len;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Segment naming
+// ---------------------------------------------------------------------------
+
+std::string SegmentPath(const std::string& base_path, uint64_t seq) {
+  if (seq == 0) return base_path;
+  char suffix[32];
+  std::snprintf(suffix, sizeof suffix, ".%06llu",
+                static_cast<unsigned long long>(seq));
+  return base_path + suffix;
+}
+
+uint64_t SegmentSeq(const std::string& base_path,
+                    const std::string& segment_path) {
+  if (segment_path.size() <= base_path.size() + 1) return 0;
+  return std::strtoull(segment_path.c_str() + base_path.size() + 1, nullptr,
+                       10);
+}
+
+Result<std::vector<std::string>> ListSegments(const std::string& base_path) {
+  // Split into directory + file prefix.
+  std::string dir = ".";
+  std::string prefix = base_path;
+  if (size_t slash = base_path.rfind('/'); slash != std::string::npos) {
+    dir = base_path.substr(0, slash);
+    prefix = base_path.substr(slash + 1);
+  }
+
+  std::vector<std::pair<uint64_t, std::string>> found;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    // No directory at all means no WAL yet — not an error.
+    return std::vector<std::string>{};
+  }
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == prefix) {
+      found.emplace_back(0, base_path);
+      continue;
+    }
+    // "<prefix>.NNNNNN" with an all-digit suffix.
+    if (name.size() <= prefix.size() + 1 ||
+        name.compare(0, prefix.size(), prefix) != 0 ||
+        name[prefix.size()] != '.') {
+      continue;
+    }
+    const std::string suffix = name.substr(prefix.size() + 1);
+    if (suffix.empty() ||
+        suffix.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    found.emplace_back(std::strtoull(suffix.c_str(), nullptr, 10),
+                       dir == "." ? name : dir + "/" + name);
+  }
+  ::closedir(d);
+
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> out;
+  out.reserve(found.size());
+  for (auto& [seq, path] : found) out.push_back(std::move(path));
+  return out;
+}
+
+Status SyncParentDir(const std::string& path) {
+  std::string dir = ".";
+  if (size_t slash = path.rfind('/'); slash != std::string::npos) {
+    dir = path.substr(0, slash);
+    if (dir.empty()) dir = "/";
+  }
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open directory '" + dir +
+                           "' for fsync: " + std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IoError("fsync of directory '" + dir +
+                           "' failed: " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace exodus::wal

@@ -1,0 +1,97 @@
+#ifndef EXODUS_WAL_WAL_FORMAT_H_
+#define EXODUS_WAL_WAL_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace exodus::wal {
+
+/// The write-ahead log record format (docs/durability.md).
+///
+/// A WAL is a sequence of *segment* files. Segment 0 is the base path
+/// itself (so a single-segment WAL is one ordinary file, as the legacy
+/// logical journal was); rotated segments append a numeric suffix:
+///
+///   journal.log  journal.log.000001  journal.log.000002  ...
+///
+/// Each segment is a flat run of CRC-framed records:
+///
+///   +-----------+-----------+-----------+---------+----------------+
+///   | u32 len   | u32 crc32 | u64 lsn   | u8 type | payload (len)  |
+///   +-----------+-----------+-----------+---------+----------------+
+///
+/// All header integers are little-endian. `crc32` covers the lsn, the
+/// type byte and the payload, so any torn or bit-flipped record fails
+/// verification. LSNs are assigned sequentially starting at 1 and run
+/// continuously across segment boundaries; a record whose LSN breaks
+/// the sequence is treated as corruption.
+///
+/// Durability of the *file format* is torn-tail tolerant: a crash can
+/// leave at most one partial record at the end of the newest segment,
+/// which readers silently discard (the statement it framed was never
+/// acknowledged). Corruption anywhere else is an error, not a silent
+/// truncation.
+
+/// What a WAL record frames.
+enum class RecordType : uint8_t {
+  /// One replayable EXCESS statement (UTF-8 text payload).
+  kStatement = 1,
+};
+
+/// Fixed per-record header size: len + crc + lsn + type.
+constexpr size_t kRecordHeaderBytes = 4 + 4 + 8 + 1;
+
+/// Sanity cap on one record's payload (a statement); anything larger in
+/// a header means the stream is corrupt.
+constexpr uint32_t kMaxRecordPayload = 64u << 20;  // 64 MiB
+
+/// One decoded WAL record.
+struct WalRecord {
+  uint64_t lsn = 0;
+  RecordType type = RecordType::kStatement;
+  std::string payload;
+};
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over `data`, seeded so
+/// that crc of the empty string is 0. Table-driven, no dependencies.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+/// Appends the on-disk encoding of one record to `out`.
+void EncodeRecord(uint64_t lsn, RecordType type, const std::string& payload,
+                  std::string* out);
+
+/// Attempts to decode one record from `buf` at `*pos`.
+///
+/// Returns true and advances `*pos` past the record when a complete,
+/// CRC-valid record is present. Returns false — leaving `*pos` at the
+/// record start — when the bytes from `*pos` do not form a valid
+/// record, whether truncated (torn tail) or corrupt; callers decide
+/// which of the two it is from context (tail of the newest segment vs
+/// anywhere else).
+bool DecodeRecord(const std::string& buf, size_t* pos, WalRecord* out);
+
+/// The path of segment `seq` of the WAL at `base_path` (seq 0 is the
+/// base path itself).
+std::string SegmentPath(const std::string& base_path, uint64_t seq);
+
+/// Lists the existing segment files of the WAL at `base_path`, ordered
+/// by sequence number. Missing low segments (dropped by checkpoints)
+/// are fine; the result may be empty when no WAL exists yet.
+util::Result<std::vector<std::string>> ListSegments(
+    const std::string& base_path);
+
+/// The sequence number encoded in a segment path (0 for the base path).
+uint64_t SegmentSeq(const std::string& base_path,
+                    const std::string& segment_path);
+
+/// fsync() of the directory containing `path`, making a just-created,
+/// renamed or unlinked directory entry durable.
+util::Status SyncParentDir(const std::string& path);
+
+}  // namespace exodus::wal
+
+#endif  // EXODUS_WAL_WAL_FORMAT_H_

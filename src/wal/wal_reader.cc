@@ -1,0 +1,100 @@
+#include "wal/wal_reader.h"
+
+#include <cstdio>
+
+#include "util/status.h"
+
+namespace exodus::wal {
+
+using util::Result;
+using util::Status;
+
+namespace {
+
+uint32_t GetU32Le(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open WAL segment '" + path + "'");
+  }
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    out.append(buf, n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    return Status::IoError("error reading WAL segment '" + path + "'");
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ReadResult> WalReader::ReadAll(const std::string& base_path) {
+  EXODUS_ASSIGN_OR_RETURN(std::vector<std::string> paths,
+                          ListSegments(base_path));
+  ReadResult result;
+  uint64_t expected_lsn = 0;  // 0 == not yet pinned to a sequence
+
+  for (size_t i = 0; i < paths.size(); ++i) {
+    const bool is_last = i + 1 == paths.size();
+    EXODUS_ASSIGN_OR_RETURN(std::string bytes, ReadFile(paths[i]));
+
+    SegmentInfo info;
+    info.seq = SegmentSeq(base_path, paths[i]);
+    info.path = paths[i];
+
+    size_t pos = 0;
+    WalRecord rec;
+    while (pos < bytes.size() && DecodeRecord(bytes, &pos, &rec)) {
+      if (expected_lsn != 0 && rec.lsn != expected_lsn) {
+        return Status::IoError(
+            "WAL LSN discontinuity in '" + paths[i] + "': expected " +
+            std::to_string(expected_lsn) + ", found " +
+            std::to_string(rec.lsn));
+      }
+      expected_lsn = rec.lsn + 1;
+      if (info.first_lsn == 0) info.first_lsn = rec.lsn;
+      info.last_lsn = rec.lsn;
+      result.last_lsn = rec.lsn;
+      result.records.push_back(std::move(rec));
+      info.valid_bytes = pos;
+    }
+
+    if (pos < bytes.size()) {
+      // Undecodable bytes. Only the tail of the newest segment may be
+      // torn by a crash; anywhere else this is corruption. A torn tail
+      // is strictly a truncation — a crash cannot write valid records
+      // past the tear — so if the bad frame is followed by a decodable
+      // record, the damage is mid-stream corruption, not a tear.
+      bool valid_record_follows = false;
+      if (bytes.size() - pos >= kRecordHeaderBytes) {
+        const uint32_t len = GetU32Le(bytes.data() + pos);
+        const size_t after = pos + kRecordHeaderBytes + len;
+        if (len <= kMaxRecordPayload && after <= bytes.size()) {
+          size_t probe = after;
+          WalRecord ignored;
+          valid_record_follows = DecodeRecord(bytes, &probe, &ignored);
+        }
+      }
+      if (!is_last || valid_record_follows) {
+        return Status::IoError("corrupt WAL record in segment '" + paths[i] +
+                               "' at offset " + std::to_string(pos));
+      }
+      result.tail_torn = true;
+    }
+    result.segments.push_back(std::move(info));
+  }
+  return result;
+}
+
+}  // namespace exodus::wal

@@ -1,0 +1,51 @@
+#ifndef EXODUS_WAL_WAL_READER_H_
+#define EXODUS_WAL_WAL_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "wal/wal_format.h"
+
+namespace exodus::wal {
+
+/// Per-segment summary produced by a scan.
+struct SegmentInfo {
+  uint64_t seq = 0;
+  std::string path;
+  uint64_t first_lsn = 0;  ///< 0 when the segment holds no records.
+  uint64_t last_lsn = 0;   ///< 0 when the segment holds no records.
+  size_t valid_bytes = 0;  ///< Bytes of CRC-valid records (tail excluded).
+};
+
+/// The result of scanning a WAL.
+struct ReadResult {
+  std::vector<WalRecord> records;    ///< All valid records, LSN order.
+  std::vector<SegmentInfo> segments; ///< One entry per segment file, in order.
+  bool tail_torn = false;  ///< The newest segment ended in a partial record.
+  uint64_t last_lsn = 0;   ///< LSN of the final record; 0 when empty.
+};
+
+/// Torn-tail-tolerant WAL scanner.
+///
+/// Strictness is positional: a crash can only tear the *end of the
+/// newest* segment, so an invalid record there is silently discarded
+/// (`tail_torn` is set and `valid_bytes` of the final SegmentInfo says
+/// where the good prefix ends — `WalWriter::Open` truncates to it
+/// before appending). An invalid record anywhere else — mid-file CRC
+/// mismatch, garbage between records, a non-final segment that does
+/// not parse to its last byte — is reported as an IoError, never
+/// skipped. LSNs must increase by exactly 1 across the whole stream
+/// (they survive segment boundaries); a break is corruption.
+class WalReader {
+ public:
+  /// Scans every segment of the WAL at `base_path`.
+  ///
+  /// A WAL with no segment files yields an empty, OK result.
+  static util::Result<ReadResult> ReadAll(const std::string& base_path);
+};
+
+}  // namespace exodus::wal
+
+#endif  // EXODUS_WAL_WAL_READER_H_

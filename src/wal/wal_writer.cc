@@ -1,0 +1,390 @@
+#include "wal/wal_writer.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace exodus::wal {
+
+using util::Result;
+using util::Status;
+
+// Durability invariant that makes the ride-along logic sound: bytes that
+// are staged but not yet durable live either in `pending_` or in a batch
+// being written by the current holder of `io_mu_`. So whenever a thread
+// holds `io_mu_` and finds `pending_` empty, everything ever staged is
+// already durable — which is why FlushLocked can no-op there, and why a
+// kSync append is durable as soon as its own FlushLocked returns.
+
+namespace {
+
+Status WriteFully(int fd, const char* data, size_t n, const std::string& path) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("write to WAL segment '" + path +
+                             "' failed: " + std::strerror(errno));
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(
+    const std::string& base_path, uint64_t min_next_lsn, Options opts) {
+  EXODUS_ASSIGN_OR_RETURN(ReadResult scan, WalReader::ReadAll(base_path));
+
+  std::unique_ptr<WalWriter> w(new WalWriter(base_path, opts));
+
+  if (!scan.segments.empty()) {
+    const SegmentInfo& last = scan.segments.back();
+    if (scan.tail_torn) {
+      // Cut the partial record off before appending; otherwise the next
+      // append would bury garbage mid-stream where readers treat it as
+      // corruption rather than a torn tail.
+      if (::truncate(last.path.c_str(),
+                     static_cast<off_t>(last.valid_bytes)) != 0) {
+        return Status::IoError("cannot truncate torn WAL tail in '" +
+                               last.path + "': " + std::strerror(errno));
+      }
+    }
+    w->active_seq_ = last.seq;
+    w->active_bytes_ = last.valid_bytes;
+    w->file_first_lsn_ = last.first_lsn;
+    w->file_last_lsn_ = last.last_lsn;
+    w->sealed_.assign(scan.segments.begin(), scan.segments.end() - 1);
+  }
+
+  w->active_path_ = SegmentPath(base_path, w->active_seq_);
+  w->fd_ = ::open(w->active_path_.c_str(), O_WRONLY | O_CREAT | O_APPEND,
+                  0644);
+  if (w->fd_ < 0) {
+    return Status::IoError("cannot open WAL segment '" + w->active_path_ +
+                           "' for append: " + std::strerror(errno));
+  }
+  if (scan.segments.empty()) {
+    // Freshly created — make the directory entry durable too.
+    EXODUS_RETURN_IF_ERROR(SyncParentDir(w->active_path_));
+  }
+
+  const uint64_t resume = scan.last_lsn + 1;
+  w->next_lsn_ = resume > min_next_lsn ? resume : min_next_lsn;
+  // Records already in the file survived to be read; treat them as the
+  // durable baseline.
+  w->last_staged_lsn_ = w->next_lsn_ - 1;
+  w->last_durable_lsn_ = w->next_lsn_ - 1;
+
+  w->flusher_ = std::thread(&WalWriter::FlusherLoop, w.get());
+  return w;
+}
+
+WalWriter::~WalWriter() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_flusher_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void WalWriter::FlusherLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_flusher_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+      if (stop_ && pending_.empty()) return;
+      if (!io_error_.ok()) {
+        if (stop_) return;
+        // Nothing useful to do; wake committers and idle until stop.
+        cv_durable_.notify_all();
+        cv_flusher_.wait(lock, [this] { return stop_; });
+        return;
+      }
+    }
+    std::unique_lock<std::mutex> io_lock(io_mu_);
+    (void)FlushLocked(io_lock);  // failure recorded in io_error_
+  }
+}
+
+Status WalWriter::FlushLocked(std::unique_lock<std::mutex>& io_lock) {
+  (void)io_lock;  // asserts intent: caller holds io_mu_
+  std::string batch;
+  size_t batch_count = 0;
+  uint64_t batch_first = 0;
+  uint64_t batch_last = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!io_error_.ok()) return io_error_;
+    if (pending_.empty()) return Status::OK();  // all staged is durable
+    batch.swap(pending_);
+    batch_count = pending_count_;
+    batch_first = pending_first_lsn_;
+    batch_last = last_staged_lsn_;
+    pending_count_ = 0;
+    pending_first_lsn_ = 0;
+  }
+
+  Status st = WriteFully(fd_, batch.data(), batch.size(), active_path_);
+  if (st.ok() && ::fdatasync(fd_) != 0) {
+    st = Status::IoError("fdatasync of WAL segment '" + active_path_ +
+                         "' failed: " + std::strerror(errno));
+  }
+
+  if (st.ok()) {
+    active_bytes_ += batch.size();
+    if (file_first_lsn_ == 0) file_first_lsn_ = batch_first;
+    file_last_lsn_ = batch_last;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (st.ok()) {
+      last_durable_lsn_ = batch_last;
+      counters_.fsyncs += 1;
+      counters_.flush_batches += 1;
+      counters_.batch_records += batch_count;
+    } else if (io_error_.ok()) {
+      io_error_ = st;
+    }
+  }
+  cv_durable_.notify_all();
+
+  if (st.ok() && active_bytes_ >= opts_.segment_bytes) {
+    st = RotateLocked();
+    if (!st.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (io_error_.ok()) io_error_ = st;
+    }
+  }
+  return st;
+}
+
+Status WalWriter::RotateLocked() {
+  // Caller holds io_mu_ and has flushed, so the active segment's file
+  // content is complete and durable.
+  ::close(fd_);
+  fd_ = -1;
+
+  SegmentInfo sealed;
+  sealed.seq = active_seq_;
+  sealed.path = active_path_;
+  sealed.first_lsn = file_first_lsn_;
+  sealed.last_lsn = file_last_lsn_;
+  sealed.valid_bytes = active_bytes_;
+
+  const uint64_t next_seq = active_seq_ + 1;
+  const std::string next_path = SegmentPath(base_path_, next_seq);
+  const int fd = ::open(next_path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot create WAL segment '" + next_path +
+                           "': " + std::strerror(errno));
+  }
+  EXODUS_RETURN_IF_ERROR(SyncParentDir(next_path));
+
+  fd_ = fd;
+  active_seq_ = next_seq;
+  active_bytes_ = 0;
+  file_first_lsn_ = 0;
+  file_last_lsn_ = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sealed_.push_back(std::move(sealed));
+    active_path_ = next_path;
+    counters_.rotations += 1;
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> WalWriter::Append(RecordType type, const std::string& payload,
+                                   Durability durability) {
+  if (payload.size() > kMaxRecordPayload) {
+    return Status::InvalidArgument("WAL record payload too large (" +
+                                   std::to_string(payload.size()) + " bytes)");
+  }
+  uint64_t lsn = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!io_error_.ok()) return io_error_;
+    lsn = next_lsn_++;
+    EncodeRecord(lsn, type, payload, &pending_);
+    pending_count_ += 1;
+    if (pending_first_lsn_ == 0) pending_first_lsn_ = lsn;
+    last_staged_lsn_ = lsn;
+    counters_.appends += 1;
+  }
+
+  switch (durability) {
+    case Durability::kAsync:
+      cv_flusher_.notify_one();
+      return lsn;
+
+    case Durability::kGroup: {
+      // Leader-follower group commit: the committer that finds the I/O
+      // mutex free becomes the batch leader and flushes inline, taking
+      // down every record staged so far with one fdatasync. Committers
+      // that find a flush in flight are followers: they wake the
+      // flusher thread (in case the in-flight batch was swapped out
+      // before they staged) and wait until a batch covers them. The
+      // inline leader saves the two context switches per batch that a
+      // flusher-thread handoff would cost.
+      std::unique_lock<std::mutex> io_lock(io_mu_, std::try_to_lock);
+      if (io_lock.owns_lock()) {
+        EXODUS_RETURN_IF_ERROR(FlushLocked(io_lock));
+        return lsn;
+      }
+      cv_flusher_.notify_one();
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_durable_.wait(lock, [this, lsn] {
+        return last_durable_lsn_ >= lsn || !io_error_.ok();
+      });
+      if (!io_error_.ok()) return io_error_;
+      return lsn;
+    }
+
+    case Durability::kSync: {
+      std::unique_lock<std::mutex> io_lock(io_mu_);
+      // Our record is either still pending (this flush takes it down
+      // with one fdatasync, ride-along included) or was already written
+      // and synced by an earlier io_mu_ holder — see the invariant at
+      // the top of this file. Either way it is durable on OK return.
+      EXODUS_RETURN_IF_ERROR(FlushLocked(io_lock));
+      return lsn;
+    }
+  }
+  return Status::Internal("unreachable durability mode");
+}
+
+Status WalWriter::Flush() {
+  std::unique_lock<std::mutex> io_lock(io_mu_);
+  return FlushLocked(io_lock);
+}
+
+Result<uint64_t> WalWriter::Rotate() {
+  std::unique_lock<std::mutex> io_lock(io_mu_);
+  EXODUS_RETURN_IF_ERROR(FlushLocked(io_lock));
+  const uint64_t cut = file_last_lsn_;
+  EXODUS_RETURN_IF_ERROR(RotateLocked());
+  return cut;
+}
+
+Status WalWriter::DropSegmentsBelow(uint64_t lsn) {
+  std::unique_lock<std::mutex> io_lock(io_mu_);
+  std::vector<std::string> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t floor = lsn;
+    for (const auto& [id, retained] : retained_) {
+      (void)id;
+      if (retained < floor) floor = retained;
+    }
+    auto it = sealed_.begin();
+    while (it != sealed_.end() && it->last_lsn <= floor) {
+      doomed.push_back(it->path);
+      it = sealed_.erase(it);
+    }
+  }
+  for (const std::string& path : doomed) {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::IoError("cannot unlink WAL segment '" + path +
+                             "': " + std::strerror(errno));
+    }
+  }
+  if (!doomed.empty()) {
+    EXODUS_RETURN_IF_ERROR(SyncParentDir(doomed.front()));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<WalRecord>> WalWriter::ReadAfter(uint64_t after_lsn,
+                                                    size_t max_bytes) {
+  uint64_t durable = 0;
+  std::vector<std::string> candidates;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!io_error_.ok()) return io_error_;
+    durable = last_durable_lsn_;
+    for (const SegmentInfo& s : sealed_) {
+      if (s.last_lsn > after_lsn) candidates.push_back(s.path);
+    }
+    candidates.push_back(active_path_);
+  }
+
+  std::vector<WalRecord> out;
+  size_t bytes = 0;
+  for (const std::string& path : candidates) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) continue;  // raced a checkpoint drop; later files cover
+    std::string content;
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) content.append(buf, n);
+    std::fclose(f);
+
+    size_t pos = 0;
+    WalRecord rec;
+    // Lenient decode: the active segment may end mid-write while we
+    // read it; everything past the durable LSN is excluded anyway.
+    while (pos < content.size() && DecodeRecord(content, &pos, &rec)) {
+      if (rec.lsn > durable) break;
+      if (rec.lsn <= after_lsn) continue;
+      bytes += rec.payload.size() + kRecordHeaderBytes;
+      out.push_back(std::move(rec));
+      if (bytes >= max_bytes) return out;
+    }
+  }
+  return out;
+}
+
+WalWriter::Retainer::~Retainer() {
+  std::lock_guard<std::mutex> lock(writer_->mu_);
+  writer_->retained_.erase(id_);
+}
+
+void WalWriter::Retainer::Advance(uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(writer_->mu_);
+  uint64_t& cur = writer_->retained_[id_];
+  if (lsn > cur) cur = lsn;
+}
+
+std::shared_ptr<WalWriter::Retainer> WalWriter::CreateRetainer(
+    uint64_t start_lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t id = next_retainer_id_++;
+  retained_[id] = start_lsn;
+  return std::shared_ptr<Retainer>(new Retainer(this, id));
+}
+
+uint64_t WalWriter::RetainedFloor() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t floor = UINT64_MAX;
+  for (const auto& [id, lsn] : retained_) {
+    (void)id;
+    if (lsn < floor) floor = lsn;
+  }
+  return floor;
+}
+
+uint64_t WalWriter::LastAppendedLsn() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_staged_lsn_;
+}
+
+uint64_t WalWriter::LastDurableLsn() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_durable_lsn_;
+}
+
+WalWriter::Counters WalWriter::counters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace exodus::wal

@@ -1,0 +1,181 @@
+#ifndef EXODUS_WAL_WAL_WRITER_H_
+#define EXODUS_WAL_WAL_WRITER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+#include "wal/durability.h"
+#include "wal/wal_format.h"
+#include "wal/wal_reader.h"
+
+namespace exodus::wal {
+
+/// The append side of the write-ahead log: a single writer object shared
+/// by all sessions of a `Database`.
+///
+/// Group commit: appends stage encoded records into an in-memory buffer
+/// under a cheap mutex; a flush swaps the buffer out, writes it with one
+/// `write()` and makes it durable with one `fdatasync()`. A `kGroup`
+/// committer that finds the I/O mutex free leads the batch and flushes
+/// inline; committers that find a flush in flight block until a batch's
+/// durable LSN covers their record, so any number of concurrent commits
+/// that land while one fsync is in flight share the next one. A
+/// dedicated flusher thread backstops followers whose record missed the
+/// in-flight swap and drains `kAsync` appends, which return immediately
+/// after staging. `kSync` appends run the swap-write-sync cycle inline
+/// unconditionally (carrying along whatever else is staged).
+///
+/// Thread-safe. Lock order: `io_mu_` (file I/O) before `mu_` (staging);
+/// batches therefore reach the file in LSN order.
+struct WalOptions {
+  /// Seal the active segment and start a new one once it exceeds
+  /// this many bytes (checked after each flush).
+  size_t segment_bytes = 16u << 20;
+};
+
+class WalWriter {
+ public:
+  using Options = WalOptions;
+
+  /// Monotonic totals since Open; cheap snapshot for metrics.
+  struct Counters {
+    uint64_t appends = 0;        ///< records appended
+    uint64_t fsyncs = 0;         ///< fdatasync calls on the log
+    uint64_t flush_batches = 0;  ///< swap-write-sync cycles that wrote data
+    uint64_t batch_records = 0;  ///< records across all flush batches
+    uint64_t rotations = 0;      ///< segments sealed
+  };
+
+  /// Opens (or creates) the WAL at `base_path` for appending.
+  ///
+  /// Scans existing segments, truncates a torn tail off the newest one,
+  /// and continues the LSN sequence after the last valid record (but
+  /// never below `min_next_lsn`, which a checkpoint that truncated the
+  /// whole log uses to keep LSNs monotonic). Corruption anywhere but
+  /// the tail is an error — recovery must see it, not silently append
+  /// past it.
+  static util::Result<std::unique_ptr<WalWriter>> Open(
+      const std::string& base_path, uint64_t min_next_lsn,
+      Options opts = Options());
+
+  /// Flushes everything staged, stops the flusher thread, closes the log.
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record and applies `durability` (see enum). Returns the
+  /// record's LSN. An I/O failure is sticky: every later append fails.
+  util::Result<uint64_t> Append(RecordType type, const std::string& payload,
+                                Durability durability);
+
+  /// Writes and fdatasyncs everything staged. On return, every append
+  /// that had been issued is durable.
+  util::Status Flush();
+
+  /// Flushes, seals the active segment and opens the next one. Returns
+  /// the *cut LSN*: the last LSN in sealed segments; every record with
+  /// LSN <= cut is in a sealed segment, every later one is not.
+  util::Result<uint64_t> Rotate();
+
+  /// Unlinks sealed segments all of whose records have
+  /// LSN <= min(`lsn`, every retainer's LSN). The active segment is
+  /// never dropped. Called by the checkpointer with its cut LSN once
+  /// the checkpoint image is durable.
+  util::Status DropSegmentsBelow(uint64_t lsn);
+
+  /// Durable records with LSN in (`after_lsn`, LastDurableLsn()],
+  /// stopping after ~`max_bytes` of payload. Serves replica tailing;
+  /// never returns a record that could vanish in a crash.
+  util::Result<std::vector<WalRecord>> ReadAfter(uint64_t after_lsn,
+                                                 size_t max_bytes);
+
+  /// A replication slot (lite): while alive, DropSegmentsBelow keeps
+  /// every record with LSN > the retainer's LSN, so a tailing replica
+  /// can always resume. Advance it as the replica acknowledges.
+  /// Must not outlive the WalWriter.
+  class Retainer {
+   public:
+    ~Retainer();
+    Retainer(const Retainer&) = delete;
+    Retainer& operator=(const Retainer&) = delete;
+
+    /// Raises the retained LSN (never lowers it).
+    void Advance(uint64_t lsn);
+
+   private:
+    friend class WalWriter;
+    Retainer(WalWriter* writer, uint64_t id) : writer_(writer), id_(id) {}
+    WalWriter* writer_;
+    uint64_t id_;
+  };
+
+  /// Registers a retainer at `start_lsn` (0 retains everything).
+  std::shared_ptr<Retainer> CreateRetainer(uint64_t start_lsn);
+
+  /// Lowest LSN any retainer still needs; UINT64_MAX with no retainers.
+  uint64_t RetainedFloor();
+
+  uint64_t LastAppendedLsn();
+  uint64_t LastDurableLsn();
+  Counters counters();
+  const std::string& base_path() const { return base_path_; }
+
+ private:
+  explicit WalWriter(std::string base_path, Options opts)
+      : base_path_(std::move(base_path)), opts_(opts) {}
+
+  void FlusherLoop();
+
+  /// The swap-write-sync cycle. Caller holds `io_mu_`. No-op when
+  /// nothing is staged (then everything staged is already durable —
+  /// see the io_mu_ invariant in the .cc).
+  util::Status FlushLocked(std::unique_lock<std::mutex>& io_lock);
+
+  /// Seals the active segment and opens the next. Caller holds
+  /// `io_mu_` and has just flushed.
+  util::Status RotateLocked();
+
+  const std::string base_path_;
+  const Options opts_;
+
+  // --- file state, guarded by io_mu_ ---
+  std::mutex io_mu_;
+  int fd_ = -1;
+  uint64_t active_seq_ = 0;
+  size_t active_bytes_ = 0;       // valid bytes in the active segment
+  uint64_t file_first_lsn_ = 0;   // first/last record *written* to it
+  uint64_t file_last_lsn_ = 0;
+
+  // --- staging state, guarded by mu_ ---
+  std::mutex mu_;
+  std::condition_variable cv_flusher_;  // work for the flusher
+  std::condition_variable cv_durable_;  // durable LSN advanced
+  std::string pending_;                 // encoded, not yet written
+  size_t pending_count_ = 0;
+  uint64_t pending_first_lsn_ = 0;
+  uint64_t next_lsn_ = 1;
+  uint64_t last_staged_lsn_ = 0;
+  uint64_t last_durable_lsn_ = 0;
+  util::Status io_error_;  // sticky first failure
+  bool stop_ = false;
+  Counters counters_;
+  std::vector<SegmentInfo> sealed_;  // sealed segments, ascending seq
+  std::string active_path_;          // mirror of the io-side active segment
+  std::map<uint64_t, uint64_t> retained_;  // retainer id -> LSN
+  uint64_t next_retainer_id_ = 1;
+
+  std::thread flusher_;
+};
+
+}  // namespace exodus::wal
+
+#endif  // EXODUS_WAL_WAL_WRITER_H_

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "excess/database.h"
+#include "wal/wal_format.h"
 
 namespace exodus {
 namespace {
@@ -16,12 +17,23 @@ class JournalTest : public ::testing::Test {
   void SetUp() override {
     journal_ = ::testing::TempDir() + "/exodus_journal_test.log";
     checkpoint_ = ::testing::TempDir() + "/exodus_journal_test.ckpt";
-    std::remove(journal_.c_str());
+    RemoveWal();
     std::remove(checkpoint_.c_str());
   }
   void TearDown() override {
-    std::remove(journal_.c_str());
+    RemoveWal();
     std::remove(checkpoint_.c_str());
+  }
+
+  /// The journal is a WAL now: checkpoints rotate it into numbered
+  /// segments, so a fresh test must clear all of them, not just the
+  /// base file.
+  void RemoveWal() {
+    auto segments = wal::ListSegments(journal_);
+    if (segments.ok()) {
+      for (const std::string& path : *segments) std::remove(path.c_str());
+    }
+    std::remove(journal_.c_str());
   }
 
   void Must(Database* db, const std::string& q) {

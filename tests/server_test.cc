@@ -12,6 +12,8 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -21,6 +23,8 @@
 #include "excess/database.h"
 #include "server/client.h"
 #include "server/protocol.h"
+#include "server/replica.h"
+#include "wal/wal_format.h"
 
 namespace exodus::server {
 namespace {
@@ -284,15 +288,22 @@ TEST_F(ServerTest, MidQueryDisconnectIsSurvived) {
 TEST_F(ServerTest, GracefulStopDrainsInFlightQueries) {
   auto client = MustConnect();
   ASSERT_NE(client, nullptr);
+  std::atomic<bool> started{false};
   std::atomic<bool> done{false};
   std::thread t([&] {
+    started.store(true, std::memory_order_release);
     auto rows = client->Query(
         "retrieve (E.name, E2.name, E3.name) from E in Employees, "
         "E2 in Employees, E3 in Employees");
-    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
     EXPECT_EQ(rows->rows.size(), 27u);
     done = true;
   });
+  // Let the query reach the server before stopping: Stop must drain a
+  // request the server has read, but one still in flight on the wire
+  // when SHUT_RD lands is legitimately severed.
+  while (!started.load(std::memory_order_acquire)) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
   server_->Stop();  // must drain, not sever, the in-flight query
   t.join();
   EXPECT_TRUE(done);
@@ -373,6 +384,190 @@ TEST_F(ServerTest, LoopbackLoadEightByTwoHundred) {
   ASSERT_TRUE(stats.ok());
   EXPECT_GE(stats->queries_total,
             static_cast<uint64_t>(kThreads * kQueries));
+}
+
+// ---------------------------------------------------------------------------
+// Journal-shipping replication
+// ---------------------------------------------------------------------------
+
+class ReplicaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    journal_ = ::testing::TempDir() + "/exodus_replica_test.log";
+    checkpoint_ = ::testing::TempDir() + "/exodus_replica_test.ckpt";
+    spool_ = ::testing::TempDir() + "/exodus_replica_test.bootstrap";
+    RemoveState();
+  }
+  void TearDown() override { RemoveState(); }
+
+  void RemoveState() {
+    auto segments = wal::ListSegments(journal_);
+    if (segments.ok()) {
+      for (const std::string& p : *segments) std::remove(p.c_str());
+    }
+    std::remove(journal_.c_str());
+    std::remove(checkpoint_.c_str());
+    std::remove((checkpoint_ + ".tmp").c_str());
+    std::remove(spool_.c_str());
+  }
+
+  std::unique_ptr<Replicator> MustBootstrap(uint16_t primary_port) {
+    ReplicatorOptions ropts;
+    ropts.primary_port = primary_port;
+    ropts.spool_path = spool_;
+    auto rep = Replicator::Bootstrap(ropts);
+    EXPECT_TRUE(rep.ok()) << rep.status().ToString();
+    return rep.ok() ? std::move(*rep) : nullptr;
+  }
+
+  std::string journal_;
+  std::string checkpoint_;
+  std::string spool_;
+};
+
+TEST_F(ReplicaTest, BootstrapFromWalCatchUpAndReadOnly) {
+  Database primary_db;
+  ASSERT_TRUE(primary_db.EnableJournal(journal_).ok());
+  ASSERT_TRUE(primary_db
+                  .Execute("define type T (x: int4)\n"
+                           "create S : {T}\n"
+                           "append to S (x = 1)")
+                  .ok());
+  ServerOptions popts;
+  popts.port = 0;
+  popts.workers = 2;
+  Server primary(&primary_db, popts);
+  ASSERT_TRUE(primary.Start().ok());
+
+  // The whole history is still in the WAL: bootstrap replays it.
+  auto rep = MustBootstrap(primary.port());
+  ASSERT_NE(rep, nullptr);
+  auto count = rep->database()->Execute("retrieve (count(V)) from V in S");
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(count->rows[0][0].AsInt(), 1);
+
+  // New primary writes arrive on the next (deterministic) poll.
+  ASSERT_TRUE(primary_db.Execute("append to S (x = 2)").ok());
+  ASSERT_TRUE(primary_db.Execute("append to S (x = 3)").ok());
+  auto st = rep->PollOnce();
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  count = rep->database()->Execute("retrieve (count(V)) from V in S");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0].AsInt(), 3);
+  EXPECT_EQ(rep->lag_records(), 0u);
+  EXPECT_GE(rep->last_applied_lsn(), 5u);
+
+  // Direct writes on the replica are rejected; reads are not.
+  auto write = rep->database()->Execute("append to S (x = 99)");
+  EXPECT_EQ(write.status().code(), util::StatusCode::kPermissionDenied);
+  EXPECT_TRUE(rep->database()->Execute("retrieve (V.x) from V in S").ok());
+
+  primary.Stop();
+}
+
+TEST_F(ReplicaTest, ReplicaServesQueriesAndStatsOverTheWire) {
+  Database primary_db;
+  ASSERT_TRUE(primary_db.EnableJournal(journal_).ok());
+  ASSERT_TRUE(primary_db
+                  .Execute("define type T (x: int4)\n"
+                           "create S : {T}\n"
+                           "append to S (x = 7)")
+                  .ok());
+  ServerOptions popts;
+  popts.port = 0;
+  popts.workers = 2;
+  Server primary(&primary_db, popts);
+  ASSERT_TRUE(primary.Start().ok());
+
+  auto rep = MustBootstrap(primary.port());
+  ASSERT_NE(rep, nullptr);
+  ServerOptions ropts;
+  ropts.port = 0;
+  ropts.workers = 2;
+  Server replica_server(rep->database(), ropts);
+  ASSERT_TRUE(replica_server.Start().ok());
+
+  auto client = Client::Connect("127.0.0.1", replica_server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto rows = (*client)->Query("retrieve (V.x) from V in S");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->rows.size(), 1u);
+  EXPECT_EQ(rows->rows[0][0], "7");
+
+  // Writes through the replica server carry the read-only error code.
+  auto write = (*client)->Query("append to S (x = 8)");
+  EXPECT_EQ(write.status().code(), util::StatusCode::kPermissionDenied);
+
+  // \stats flags replica mode and exposes position + lag.
+  auto stats = (*client)->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->replica_mode, 1u);
+  EXPECT_GE(stats->replica_applied_lsn, 3u);
+  EXPECT_EQ(stats->replica_lag_records, 0u);
+  EXPECT_NE(stats->ToString().find("replica: applied lsn"),
+            std::string::npos);
+
+  // Lag is visible between a primary write and the next poll.
+  ASSERT_TRUE(primary_db.Execute("append to S (x = 8)").ok());
+  ASSERT_TRUE(rep->PollOnce().ok());
+  stats = (*client)->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->replica_lag_records, 0u);
+  EXPECT_GE(stats->replica_applied_lsn, 4u);
+
+  // The replica's metrics expose the exodus_replica_* series.
+  auto metrics = (*client)->Metrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics->find("exodus_replica_last_applied_lsn"),
+            std::string::npos);
+  EXPECT_NE(metrics->find("exodus_replica_lag_records"), std::string::npos);
+
+  replica_server.Stop();
+  primary.Stop();
+}
+
+TEST_F(ReplicaTest, SnapshotBootstrapAfterCheckpointTruncation) {
+  Database primary_db;
+  ASSERT_TRUE(primary_db.EnableJournal(journal_).ok());
+  ASSERT_TRUE(primary_db
+                  .Execute("define type T (x: int4)\n"
+                           "create S : {T}\n"
+                           "append to S (x = 1)\n"
+                           "append to S (x = 2)")
+                  .ok());
+  // The checkpoint truncates the WAL: LSNs 1..4 are no longer on disk,
+  // so a fresh replica cannot replay from zero.
+  ASSERT_TRUE(primary_db.Checkpoint(checkpoint_).ok());
+  ASSERT_GT(primary_db.wal_base_lsn(), 0u);
+  ASSERT_TRUE(primary_db.Execute("append to S (x = 3)").ok());
+
+  ServerOptions popts;
+  popts.port = 0;
+  popts.workers = 2;
+  Server primary(&primary_db, popts);
+  ASSERT_TRUE(primary.Start().ok());
+
+  auto rep = MustBootstrap(primary.port());
+  ASSERT_NE(rep, nullptr);
+  ASSERT_TRUE(rep->PollOnce().ok());
+  auto sum = rep->database()->Execute("retrieve (sum(V.x)) from V in S");
+  ASSERT_TRUE(sum.ok()) << sum.status().ToString();
+  EXPECT_EQ(sum->rows[0][0].AsInt(), 6);  // snapshot (1+2) + tailed (3)
+
+  // The primary counted the snapshot bootstrap.
+  EXPECT_NE(primary_db.metrics()->RenderPrometheus().find(
+                "exodus_replica_snapshots_total"),
+            std::string::npos);
+
+  // Replication keeps flowing after the bootstrap.
+  ASSERT_TRUE(primary_db.Execute("append to S (x = 10)").ok());
+  ASSERT_TRUE(rep->PollOnce().ok());
+  sum = rep->database()->Execute("retrieve (sum(V.x)) from V in S");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->rows[0][0].AsInt(), 16);
+  EXPECT_EQ(rep->lag_records(), 0u);
+
+  primary.Stop();
 }
 
 TEST_F(ServerTest, HostPortParsing) {
