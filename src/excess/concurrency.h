@@ -177,6 +177,11 @@ class ConcurrencyController {
 };
 
 /// RAII pin of a snapshot epoch for one statement's reads.
+///
+/// One pin covers every thread reading on the statement's behalf:
+/// morsel workers (docs/parallelism.md) inherit the pinned
+/// `snapshot_epoch` through their ExecContext copies, so the GC
+/// frontier holds for all of them until the statement thread unpins.
 class SnapshotPin {
  public:
   explicit SnapshotPin(ConcurrencyController* c) : c_(c), epoch_(c->Pin()) {}

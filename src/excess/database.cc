@@ -33,6 +33,24 @@ using object::ValueKind;
 using util::Result;
 using util::Status;
 
+size_t Database::ExecPoolWidth() {
+  size_t width = std::thread::hardware_concurrency();
+  if (width == 0) width = 1;
+  // A session asking for more workers than cores (EXODUS_EXEC_THREADS >
+  // hardware_concurrency — oversubscription experiments, single-core CI
+  // exercising real concurrency) still gets them: the pool is sized to
+  // the larger of the two so TryRunPlanParallel is never starved.
+  if (const char* e = std::getenv("EXODUS_EXEC_THREADS");
+      e != nullptr && *e != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(e, &end, 10);
+    if (end != e && *end == '\0' && v > static_cast<long>(width)) {
+      width = static_cast<size_t>(v);
+    }
+  }
+  return width;
+}
+
 Database::Database() {
 #if defined(__GLIBC__)
   // Query execution allocates and frees row storage in bursts; glibc's

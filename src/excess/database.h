@@ -25,6 +25,7 @@
 #include "obs/trace.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 #include "wal/wal_writer.h"
 
 namespace exodus {
@@ -127,6 +128,12 @@ class Database {
   std::vector<obs::SlowQueryRecord> SlowQueries() const {
     return tracer_->SlowQueries();
   }
+
+  /// The shared worker pool for morsel-driven intra-query parallelism.
+  /// Sized to the machine (or EXODUS_EXEC_THREADS, if larger) once per
+  /// database; threads spawn lazily on the first parallel statement.
+  /// Per-statement width is SessionOptions::exec_threads.
+  util::ThreadPool* exec_pool() { return &exec_pool_; }
 
   /// The MVCC coordinator: commit epoch, snapshot pins, extent latches
   /// and the background version GC. Exposed for tests (RunGcOnce, pin
@@ -374,6 +381,12 @@ class Database {
   std::unique_ptr<obs::QueryTracer> tracer_;
   /// Cumulative per-operator series, shared by every session's context.
   excess::OperatorMetrics op_metrics_;
+  /// Width of the shared exec_pool_ for this machine/environment.
+  static size_t ExecPoolWidth();
+  /// Morsel workers, shared by every session (lazily spawned; see
+  /// exec_pool()). Declared before default_session_ so it outlives the
+  /// sessions whose statements submit to it.
+  util::ThreadPool exec_pool_{ExecPoolWidth()};
   /// Save/Load buffer pools are transient; their hit/miss counts are
   /// folded into these cumulative series when each operation finishes.
   obs::Counter* buffer_pool_hits_ = nullptr;

@@ -162,6 +162,12 @@ void OperatorMetrics::Register(obs::MetricsRegistry* registry) {
     pk.batches =
         registry->GetCounter("exodus_operator_batches_total" + labels);
   }
+  morsels_total = registry->GetCounter("exodus_exec_morsels_total");
+  parallel_ns = registry->GetCounter("exodus_exec_parallel_ns");
+  parallel_queries =
+      registry->GetCounter("exodus_exec_parallel_queries_total");
+  batch_clamped =
+      registry->GetCounter("exodus_exec_batch_size_clamped_total");
 }
 
 Executor::Executor(ExecContext* ctx)
@@ -727,6 +733,20 @@ Result<QueryResult> Executor::ExecRetrieve(const Stmt& stmt,
       std::vector<std::string> names;
       names.reserve(plan.steps.size());
       for (const PlanStep& s : plan.steps) names.push_back(s.var_name);
+      // Morsel-parallel when eligible: workers project their own batches
+      // into per-morsel buffers (worker-local scratch), concatenated in
+      // morsel order — same rows, same order as the serial stream.
+      EXODUS_ASSIGN_OR_RETURN(
+          bool parallel,
+          TryRunPlanParallel(
+              plan, query, env,
+              [&names, &stmt](Executor* wexec, Env* wenv, RowBatch& b,
+                              std::vector<std::vector<Value>>* out) -> Status {
+                return wexec->ProjectBatch(stmt, names, b, wenv,
+                                           &wexec->parallel_proj_scratch_, out);
+              },
+              &result.rows));
+      if (parallel) return result;
       std::vector<std::vector<Value>> pscratch;
       Status st = RunPlanBatched(plan, query, env,
                                  [&](RowBatch& b) -> Status {

@@ -26,6 +26,10 @@
 #include "util/result.h"
 #include "util/status.h"
 
+namespace exodus::util {
+class ThreadPool;  // util/thread_pool.h
+}
+
 namespace exodus::excess {
 
 struct StatementTxn;  // excess/concurrency.h
@@ -46,6 +50,16 @@ struct OperatorMetrics {
   /// Indexed by static_cast<size_t>(PlanStep::Kind).
   static constexpr size_t kNumKinds = 4;
   PerKind kinds[kNumKinds];
+
+  // --- executor-level series (morsel parallelism, PR 8) ---
+  /// Morsels scheduled by the parallel pipeline.
+  obs::Counter* morsels_total = nullptr;
+  /// Wall time spent inside parallel plan executions.
+  obs::Counter* parallel_ns = nullptr;
+  /// Plan executions that took the morsel-parallel path.
+  obs::Counter* parallel_queries = nullptr;
+  /// Executions whose requested batch_size was clamped to kMaxBatchSize.
+  obs::Counter* batch_clamped = nullptr;
 
   /// The `op` label value of a step kind ("scan", "index_scan", ...).
   static const char* KindLabel(PlanStep::Kind kind);
@@ -98,6 +112,10 @@ struct ExecContext {
   /// Per-statement phase trace; set by the session around a statement
   /// execution, consumed by the top-level (call_depth == 0) executor.
   obs::StmtTrace* trace = nullptr;
+  /// Shared worker pool for morsel-driven intra-query parallelism (null
+  /// = serial execution only; worker contexts null it out so nested
+  /// executions never re-enter the scheduler).
+  util::ThreadPool* exec_pool = nullptr;
 };
 
 /// Executes bound EXCESS statements (retrieve and all updates) against
@@ -290,6 +308,10 @@ class Executor {
   /// Probing walks integer chains over the contiguous hash array, so key
   /// hashing/comparison never touches node-based containers. Built
   /// lazily on the first probe batch, like JoinTable.
+  /// Once built the table is immutable, so the morsel pipeline can
+  /// share one instance read-only across workers; probe-side scratch
+  /// (mutated per batch) lives in the per-worker Executor instead
+  /// (probe_scratch_).
   struct ColumnarJoinTable {
     bool built = false;
     std::vector<std::vector<object::Value>> key_cols;  // [key][entry]
@@ -298,10 +320,6 @@ class Executor {
     std::vector<int32_t> heads;  // [bucket] -> first entry or -1
     std::vector<int32_t> next;   // [entry] -> next in chain or -1
     size_t bucket_mask = 0;
-    /// Probe-side key scratch, reused across batches so each probe call
-    /// evaluates into already-sized columns instead of fresh heap
-    /// allocations.
-    std::vector<std::vector<object::Value>> probe_scratch;
   };
   using BatchSink = std::function<util::Status(RowBatch&)>;
   /// Batch-at-a-time counterpart of RunPlan: operators exchange RowBatch
@@ -323,6 +341,11 @@ class Executor {
                                const BatchSink& sink);
   util::Status BuildColumnarJoinTable(const PlanStep& step,
                                       ColumnarJoinTable* table, Env* env);
+  /// Records a batch_size > kMaxBatchSize clamp: remembers the
+  /// requested value in run_stats_ (surfaced as a `\explain analyze`
+  /// note), bumps exodus_exec_batch_size_clamped_total and logs a
+  /// once-per-process stderr notice.
+  void NoteBatchClamp(int requested);
   /// Applies a step's filters to `batch` in place (sequential
   /// short-circuit: filter i+1 only sees rows filter i passed).
   util::Status ApplyStepFilters(const PlanStep& step,
@@ -380,6 +403,46 @@ class Executor {
   util::Result<BatchAggResult> AccumulateAggregatesBatched(
       const std::vector<const Expr*>& qlevel, const BoundQuery& query,
       const std::vector<std::vector<object::Value>>& bindings, Env* env);
+
+  // --- morsel-driven parallel execution — executor_parallel.cc ---
+  /// Worker count the current statement resolves to: exec_threads, or
+  /// hardware concurrency when 0 (the auto default).
+  int ResolveExecThreads() const;
+  /// Converts one surviving RowBatch into output rows appended to `out`
+  /// using worker-local executor/environment state. The two
+  /// implementations mirror the serial sinks: binding materialization
+  /// (BoundQuery::vars order) and streaming projection.
+  using MorselEmit = std::function<util::Status(
+      Executor* wexec, Env* wenv, RowBatch& batch,
+      std::vector<std::vector<object::Value>>* out)>;
+  /// Morsel scheduler: partitions the driving extent scan into
+  /// batch_cap_-aligned morsels, runs the RunStepBatched pipeline on
+  /// ResolveExecThreads() workers (pool tasks plus the calling thread,
+  /// all claiming morsels from one atomic counter) against shared
+  /// eagerly-built join tables, and concatenates per-morsel output
+  /// buffers in morsel order so row order matches the serial path.
+  /// Returns false — without touching `out_rows` — when the statement
+  /// is not eligible (one worker, no pool, nested execution, non-scan
+  /// driving step, or fewer than two morsels); the caller then falls
+  /// back to the serial batch path. Per-worker PlanRuntime counters are
+  /// folded into run_stats_ at the end, so `\explain analyze` actuals
+  /// stay exact under concurrency.
+  util::Result<bool> TryRunPlanParallel(
+      const Plan& plan, const BoundQuery& query, Env* env,
+      const MorselEmit& emit,
+      std::vector<std::vector<object::Value>>* out_rows);
+  /// Runs fn(0..total-1): total-1 pool tasks plus the calling thread as
+  /// worker 0, returning after every invocation finished. Falls back to
+  /// inline execution if the pool refuses a task (shutdown).
+  void RunOnWorkers(int total, const std::function<void(int)>& fn);
+  /// Chunk-parallel variant of BuildColumnarJoinTable: workers evaluate
+  /// build keys over contiguous element chunks into per-worker partial
+  /// tables, which are concatenated in chunk order (preserving the
+  /// serial build order, hence chain enumeration and output order)
+  /// before the chained directory is rebuilt single-threaded.
+  util::Status BuildColumnarJoinTableParallel(const PlanStep& step,
+                                              ColumnarJoinTable* table,
+                                              Env* env, int workers);
 
   // --- expression evaluation ---
   util::Result<object::Value> Eval(const Expr& expr, Env* env);
@@ -506,6 +569,35 @@ class Executor {
   util::Result<object::Value> FinishAggregate(const Expr& agg,
                                               const AggAccum& acc) const;
 
+  /// Partial aggregation state over one contiguous binding-row range:
+  /// a flat group directory (first-occurrence order within the range)
+  /// with per-group accumulators. `uniq_order` additionally records
+  /// first-seen values in row order for `unique`-qualified aggregates,
+  /// so merging re-accumulates them in exactly the order the serial
+  /// path would have.
+  struct AggPartial {
+    std::vector<std::vector<object::Value>> gkey_cols;  // [over][group]
+    std::vector<size_t> ghash;                          // [group]
+    std::vector<AggAccum> accums;                       // [group]
+    std::vector<std::vector<object::Value>> uniq_order;  // [group]
+    std::vector<uint32_t> row_group;  // [row within the range]
+  };
+  /// Accumulates rows [row_begin, row_end) of one aggregate table into
+  /// `out`, using precomputed columnar group-key hashes. Thread-safe
+  /// for concurrent calls on disjoint ranges (touches no executor
+  /// state). The single-range call is today's serial aggregation
+  /// verbatim; the parallel path runs one range per worker and merges.
+  util::Status AccumulateAggRange(
+      const Expr& node,
+      const std::vector<std::vector<object::Value>>& over_cols,
+      const std::vector<object::Value>* args,
+      const std::vector<size_t>& rhash, size_t row_begin, size_t row_end,
+      AggPartial* out) const;
+  /// Folds a partial accumulator into `into` (count/sum/min/max/values;
+  /// unique aggregates merge through uniq_order re-accumulation
+  /// instead, which this helper does not handle).
+  util::Status MergeAccum(AggAccum* into, const AggAccum& from) const;
+
   /// True if the aggregate node is computed over the statement's binding
   /// rows (no local `from`, argument not a collection).
   bool IsQueryLevelAggregate(const Expr& agg) const;
@@ -534,6 +626,13 @@ class Executor {
   PlanRuntime run_stats_;
   /// Validated rows-per-batch capacity of the current RunPlanBatched.
   size_t batch_cap_ = 1;
+  /// Probe-side key scratch per kHashJoin step, reused across batches.
+  /// Per-Executor (not per-ColumnarJoinTable) so the morsel pipeline's
+  /// workers can probe one shared table without racing on scratch.
+  std::vector<std::vector<std::vector<object::Value>>> probe_scratch_;
+  /// Streaming-projection scratch of a morsel worker (capacity survives
+  /// across batches, like the serial path's caller-owned scratch).
+  std::vector<std::vector<object::Value>> parallel_proj_scratch_;
 };
 
 }  // namespace exodus::excess

@@ -6,6 +6,8 @@
 // available behind ExecOptions::vectorized = false.
 
 #include <algorithm>
+#include <cstdio>
+#include <mutex>
 #include <optional>
 
 #include "excess/executor.h"
@@ -35,6 +37,21 @@ size_t BucketCountFor(size_t n) {
 }
 
 }  // namespace
+
+void Executor::NoteBatchClamp(int requested) {
+  run_stats_.clamped_batch_size = requested;
+  if (ctx_->op_metrics != nullptr &&
+      ctx_->op_metrics->batch_clamped != nullptr) {
+    ctx_->op_metrics->batch_clamped->Add(1);
+  }
+  static std::once_flag logged;
+  std::call_once(logged, [requested] {
+    std::fprintf(stderr,
+                 "exodus: batch_size %d exceeds the maximum of %d and was "
+                 "clamped (notice logged once per process)\n",
+                 requested, SessionOptions::kMaxBatchSize);
+  });
+}
 
 bool Executor::ReferencesBatchVar(const Expr& expr,
                                   const std::vector<std::string>& names,
@@ -559,12 +576,15 @@ Status Executor::ExpandStepBatch(const Plan& plan, size_t step_idx,
         srt.build_rows = table.elements.size();
       }
       const size_t nkeys = step.probe_keys.size();
-      table.probe_scratch.resize(nkeys);
+      // Probe scratch is per-Executor: morsel workers share `table`
+      // read-only but each evaluates probe keys into its own columns.
+      std::vector<std::vector<Value>>& pscratch = probe_scratch_[step_idx];
+      pscratch.resize(nkeys);
       std::vector<const std::vector<Value>*> probe_cols(nkeys);
       for (size_t k = 0; k < nkeys; ++k) {
         EXODUS_ASSIGN_OR_RETURN(probe_cols[k],
                                 EvalBatchCol(*step.probe_keys[k], names, in,
-                                             env, &table.probe_scratch[k]));
+                                             env, &pscratch[k]));
       }
       for (size_t r = 0; r < in.rows; ++r) {
         size_t h = kHashBasis;
@@ -622,8 +642,15 @@ Status Executor::RunPlanBatched(const Plan& plan, const BoundQuery& query,
       return Status::OutOfRange("ExecOptions::batch_size must be >= 1 (got " +
                                 std::to_string(bs) + ")");
     }
+    if (ctx_->options.exec_threads < 0) {
+      return Status::OutOfRange(
+          "ExecOptions::exec_threads must be >= 0 (got " +
+          std::to_string(ctx_->options.exec_threads) + ")");
+    }
     batch_cap_ = std::min(static_cast<size_t>(bs),
                           static_cast<size_t>(SessionOptions::kMaxBatchSize));
+    if (bs > SessionOptions::kMaxBatchSize) NoteBatchClamp(bs);
+    probe_scratch_.resize(plan.steps.size());
     for (const ExprPtr& f : plan.constant_filters) {
       EXODUS_ASSIGN_OR_RETURN(Value v, Eval(*f, env));
       EXODUS_ASSIGN_OR_RETURN(bool ok, Truthy(v));
@@ -661,7 +688,9 @@ Result<std::vector<std::vector<Value>>> Executor::MaterializeRowsBatched(
     }
   }
   std::vector<std::vector<Value>> rows;
-  Status st = RunPlanBatched(plan, query, env, [&](RowBatch& b) -> Status {
+  auto materialize = [&var_step, nvars](
+                         RowBatch& b,
+                         std::vector<std::vector<Value>>* out) -> Status {
     for (size_t r = 0; r < b.rows; ++r) {
       std::vector<Value> row;
       row.reserve(nvars);
@@ -670,9 +699,23 @@ Result<std::vector<std::vector<Value>>> Executor::MaterializeRowsBatched(
         row.push_back(s >= 0 ? b.cols[static_cast<size_t>(s)][r]
                              : Value::Null());
       }
-      rows.push_back(std::move(row));
+      out->push_back(std::move(row));
     }
     return Status::OK();
+  };
+  // Morsel-parallel when eligible: workers materialize their own batches
+  // into per-morsel buffers, concatenated in morsel order — identical
+  // rows and order to the serial sink below.
+  EXODUS_ASSIGN_OR_RETURN(
+      bool parallel,
+      TryRunPlanParallel(plan, query, env,
+                         [&materialize](Executor*, Env*, RowBatch& b,
+                                        std::vector<std::vector<Value>>* out)
+                             -> Status { return materialize(b, out); },
+                         &rows));
+  if (parallel) return rows;
+  Status st = RunPlanBatched(plan, query, env, [&](RowBatch& b) -> Status {
+    return materialize(b, &rows);
   });
   EXODUS_RETURN_IF_ERROR(st);
   return rows;
@@ -725,6 +768,101 @@ Status Executor::ProjectBatch(const Stmt& stmt,
   return Status::OK();
 }
 
+Status Executor::MergeAccum(AggAccum* into, const AggAccum& from) const {
+  into->count += from.count;
+  into->sum += from.sum;
+  into->any_float = into->any_float || from.any_float;
+  if (from.has_min) {
+    if (!into->has_min) {
+      into->min_v = from.min_v;
+      into->max_v = from.max_v;
+      into->has_min = true;
+    } else {
+      EXODUS_ASSIGN_OR_RETURN(int cmin, Compare(from.min_v, into->min_v));
+      if (cmin < 0) into->min_v = from.min_v;
+      EXODUS_ASSIGN_OR_RETURN(int cmax, Compare(from.max_v, into->max_v));
+      if (cmax > 0) into->max_v = from.max_v;
+    }
+  }
+  // Partials cover contiguous row ranges merged in range order, so the
+  // concatenation preserves row order for median / custom set fns.
+  into->values.insert(into->values.end(), from.values.begin(),
+                      from.values.end());
+  return Status::OK();
+}
+
+Status Executor::AccumulateAggRange(
+    const Expr& node, const std::vector<std::vector<Value>>& over_cols,
+    const std::vector<Value>* args, const std::vector<size_t>& rhash,
+    size_t row_begin, size_t row_end, AggPartial* out) const {
+  const size_t nover = node.over.size();
+  const bool uniq = node.unique;
+  // Group directory: flat per-key columns plus a chained power-of-two
+  // bucket array over the combined ValueHash — no per-group nodes.
+  out->gkey_cols.assign(nover, {});
+  size_t buckets = 64;
+  size_t mask = buckets - 1;
+  std::vector<int32_t> heads(buckets, -1);
+  std::vector<int32_t> gnext;
+  out->row_group.reserve(row_end - row_begin);
+  const Value one = Value::Int(1);  // count() with no argument counts rows
+
+  for (size_t r = row_begin; r < row_end; ++r) {
+    const size_t h = rhash[r];
+    int32_t g = -1;
+    for (int32_t e = heads[h & mask]; e >= 0; e = gnext[e]) {
+      if (out->ghash[e] != h) continue;
+      bool eq = true;
+      for (size_t o = 0; o < nover; ++o) {
+        if (!object::ValueEquals(out->gkey_cols[o][e], over_cols[o][r])) {
+          eq = false;
+          break;
+        }
+      }
+      if (eq) {
+        g = e;
+        break;
+      }
+    }
+    if (g < 0) {
+      g = static_cast<int32_t>(out->accums.size());
+      out->accums.emplace_back();
+      if (uniq) out->uniq_order.emplace_back();
+      out->ghash.push_back(h);
+      gnext.push_back(-1);
+      for (size_t o = 0; o < nover; ++o) {
+        out->gkey_cols[o].push_back(over_cols[o][r]);
+      }
+      if (out->accums.size() * 2 > buckets) {
+        // Regrow the directory at load factor 0.5 and re-chain.
+        buckets <<= 1;
+        mask = buckets - 1;
+        heads.assign(buckets, -1);
+        for (size_t e2 = out->ghash.size(); e2-- > 0;) {
+          const size_t bidx = out->ghash[e2] & mask;
+          gnext[e2] = heads[bidx];
+          heads[bidx] = static_cast<int32_t>(e2);
+        }
+      } else {
+        const size_t bidx = h & mask;
+        gnext[g] = heads[bidx];
+        heads[bidx] = g;
+      }
+    }
+    out->row_group.push_back(static_cast<uint32_t>(g));
+    AggAccum& acc = out->accums[static_cast<size_t>(g)];
+    const Value& v = args == nullptr ? one : (*args)[r];
+    // Record first-seen unique values in row order *before* Accumulate
+    // inserts them into `seen`: merging re-accumulates them in exactly
+    // the sequence the serial path would have used.
+    if (uniq && !v.is_null() && acc.seen.find(v) == acc.seen.end()) {
+      out->uniq_order[static_cast<size_t>(g)].push_back(v);
+    }
+    EXODUS_RETURN_IF_ERROR(Accumulate(node, &acc, v));
+  }
+  return Status::OK();
+}
+
 Result<Executor::BatchAggResult> Executor::AccumulateAggregatesBatched(
     const std::vector<const Expr*>& qlevel, const BoundQuery& query,
     const std::vector<std::vector<Value>>& bindings, Env* env) {
@@ -749,7 +887,14 @@ Result<Executor::BatchAggResult> Executor::AccumulateAggregatesBatched(
     for (const auto& row : bindings) b.cols[k].push_back(row[k]);
   }
 
-  const Value one = Value::Int(1);  // count() with no argument counts rows
+  // Partial aggregation fans out over contiguous row ranges when the
+  // statement resolves to more than one worker and has enough rows to
+  // amortize the merge.
+  constexpr size_t kMinParallelAggRows = 256;
+  const int workers = ResolveExecThreads();
+  const bool can_parallel = workers > 1 && ctx_->exec_pool != nullptr &&
+                            ctx_->call_depth == 0;
+
   for (size_t t = 0; t < ntab; ++t) {
     const Expr* node = qlevel[t];
     const size_t nover = node->over.size();
@@ -762,67 +907,120 @@ Result<Executor::BatchAggResult> Executor::AccumulateAggregatesBatched(
     if (!node->args.empty()) {
       EXODUS_RETURN_IF_ERROR(EvalBatch(*node->args[0], names, b, env, &args));
     }
+    const std::vector<Value>* argp = node->args.empty() ? nullptr : &args;
 
-    // Group directory: flat per-key columns plus a chained power-of-two
-    // bucket array over the combined ValueHash — no per-group nodes.
-    std::vector<std::vector<Value>> gkey_cols(nover);
-    std::vector<size_t> ghash;
-    std::vector<int32_t> gnext;
-    std::vector<AggAccum> accums;
-    size_t buckets = 64;
-    size_t mask = buckets - 1;
-    std::vector<int32_t> heads(buckets, -1);
+    // Columnar group-key hashing (the single-core lever B16 left on the
+    // table): combine per-key ValueHash column-at-a-time, so the
+    // grouping loop walks the directory with precomputed hashes instead
+    // of hashing every key of every row in place.
+    std::vector<size_t> rhash(b.rows, kHashBasis);
+    for (size_t o = 0; o < nover; ++o) {
+      const std::vector<Value>& col = over_cols[o];
+      for (size_t r = 0; r < b.rows; ++r) {
+        rhash[r] = rhash[r] * kHashPrime + object::ValueHash(col[r]);
+      }
+    }
+
+    size_t nranges = 1;
+    if (can_parallel && b.rows >= kMinParallelAggRows) {
+      nranges = std::min(static_cast<size_t>(workers),
+                         b.rows / (kMinParallelAggRows / 2));
+      if (nranges < 1) nranges = 1;
+    }
+
+    std::vector<AggPartial> partials(nranges);
+    if (nranges == 1) {
+      EXODUS_RETURN_IF_ERROR(AccumulateAggRange(*node, over_cols, argp, rhash,
+                                                0, b.rows, &partials[0]));
+    } else {
+      const size_t per = (b.rows + nranges - 1) / nranges;
+      std::vector<Status> sts(nranges, Status::OK());
+      RunOnWorkers(static_cast<int>(nranges), [&](int w) {
+        const size_t lo = static_cast<size_t>(w) * per;
+        const size_t hi = std::min(b.rows, lo + per);
+        if (lo >= hi) return;
+        sts[static_cast<size_t>(w)] = AccumulateAggRange(
+            *node, over_cols, argp, rhash, lo, hi,
+            &partials[static_cast<size_t>(w)]);
+      });
+      for (const Status& s : sts) EXODUS_RETURN_IF_ERROR(s);
+    }
+
     std::vector<uint32_t>& rg = res.row_group[t];
-    rg.reserve(b.rows);
-
-    for (size_t r = 0; r < b.rows; ++r) {
-      size_t h = kHashBasis;
-      for (size_t o = 0; o < nover; ++o) {
-        h = h * kHashPrime + object::ValueHash(over_cols[o][r]);
-      }
-      int32_t g = -1;
-      for (int32_t e = heads[h & mask]; e >= 0; e = gnext[e]) {
-        if (ghash[e] != h) continue;
-        bool eq = true;
-        for (size_t o = 0; o < nover; ++o) {
-          if (!object::ValueEquals(gkey_cols[o][e], over_cols[o][r])) {
-            eq = false;
-            break;
+    std::vector<AggAccum> accums;
+    if (nranges == 1) {
+      // Single range: the partial IS the full aggregation (today's
+      // serial result, moved out without a merge pass).
+      accums = std::move(partials[0].accums);
+      rg = std::move(partials[0].row_group);
+    } else {
+      // Single-threaded merge. Partials are visited in row-range order
+      // and each partial's groups in local first-occurrence order, so
+      // global group ids come out in first-occurrence order over all
+      // rows — exactly the serial path's group numbering.
+      std::vector<std::vector<Value>> gkey_cols(nover);
+      std::vector<size_t> ghash;
+      std::vector<int32_t> gnext;
+      size_t buckets = 64;
+      size_t mask = buckets - 1;
+      std::vector<int32_t> heads(buckets, -1);
+      rg.reserve(b.rows);
+      for (AggPartial& p : partials) {
+        std::vector<uint32_t> l2g(p.accums.size());
+        for (size_t lg = 0; lg < p.accums.size(); ++lg) {
+          const size_t h = p.ghash[lg];
+          int32_t g = -1;
+          for (int32_t e = heads[h & mask]; e >= 0; e = gnext[e]) {
+            if (ghash[e] != h) continue;
+            bool eq = true;
+            for (size_t o = 0; o < nover; ++o) {
+              if (!object::ValueEquals(gkey_cols[o][e], p.gkey_cols[o][lg])) {
+                eq = false;
+                break;
+              }
+            }
+            if (eq) {
+              g = e;
+              break;
+            }
+          }
+          if (g < 0) {
+            g = static_cast<int32_t>(accums.size());
+            accums.emplace_back();
+            ghash.push_back(h);
+            gnext.push_back(-1);
+            for (size_t o = 0; o < nover; ++o) {
+              gkey_cols[o].push_back(std::move(p.gkey_cols[o][lg]));
+            }
+            if (accums.size() * 2 > buckets) {
+              buckets <<= 1;
+              mask = buckets - 1;
+              heads.assign(buckets, -1);
+              for (size_t e2 = ghash.size(); e2-- > 0;) {
+                const size_t bidx = ghash[e2] & mask;
+                gnext[e2] = heads[bidx];
+                heads[bidx] = static_cast<int32_t>(e2);
+              }
+            } else {
+              const size_t bidx = h & mask;
+              gnext[g] = heads[bidx];
+              heads[bidx] = g;
+            }
+          }
+          l2g[lg] = static_cast<uint32_t>(g);
+          AggAccum& ga = accums[static_cast<size_t>(g)];
+          if (node->unique) {
+            // Re-accumulate the partial's first-seen values in row
+            // order; ga.seen collapses duplicates across ranges.
+            for (const Value& v : p.uniq_order[lg]) {
+              EXODUS_RETURN_IF_ERROR(Accumulate(*node, &ga, v));
+            }
+          } else {
+            EXODUS_RETURN_IF_ERROR(MergeAccum(&ga, p.accums[lg]));
           }
         }
-        if (eq) {
-          g = e;
-          break;
-        }
+        for (uint32_t lg : p.row_group) rg.push_back(l2g[lg]);
       }
-      if (g < 0) {
-        g = static_cast<int32_t>(accums.size());
-        accums.emplace_back();
-        ghash.push_back(h);
-        gnext.push_back(-1);
-        for (size_t o = 0; o < nover; ++o) {
-          gkey_cols[o].push_back(over_cols[o][r]);
-        }
-        if (accums.size() * 2 > buckets) {
-          // Regrow the directory at load factor 0.5 and re-chain.
-          buckets <<= 1;
-          mask = buckets - 1;
-          heads.assign(buckets, -1);
-          for (size_t e2 = ghash.size(); e2-- > 0;) {
-            const size_t bidx = ghash[e2] & mask;
-            gnext[e2] = heads[bidx];
-            heads[bidx] = static_cast<int32_t>(e2);
-          }
-        } else {
-          const size_t bidx = h & mask;
-          gnext[g] = heads[bidx];
-          heads[bidx] = g;
-        }
-      }
-      rg.push_back(static_cast<uint32_t>(g));
-      EXODUS_RETURN_IF_ERROR(
-          Accumulate(*node, &accums[static_cast<size_t>(g)],
-                     node->args.empty() ? one : args[r]));
     }
 
     res.finished[t].reserve(accums.size());

@@ -1,0 +1,451 @@
+// Morsel-driven intra-query parallelism. The driving extent scan of a
+// batch plan is partitioned into batch_cap_-aligned morsels; workers
+// (pool tasks plus the statement thread) claim morsels from one atomic
+// counter and run the RunStepBatched pipeline over them with worker-
+// local Executor/Env state, sharing the statement's snapshot epoch and
+// eagerly-built read-only join tables. Pipeline breakers merge single-
+// threaded: per-worker partial aggregates in executor_batch.cc, and
+// per-morsel output buffers concatenated in morsel order here so row
+// order matches the serial path bit for bit. EXODUS_EXEC_THREADS=1
+// never enters this file — the serial batch path is the differential
+// oracle.
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "excess/executor.h"
+#include "util/thread_pool.h"
+
+namespace exodus::excess {
+
+using extra::Type;
+using object::Value;
+using object::ValueKind;
+using util::Result;
+using util::Status;
+
+namespace {
+
+// Mirrors executor_batch.cc's FNV-1a-style combine so parallel-built
+// join tables hash identically to serially built ones.
+constexpr size_t kHashBasis = 0x811c9dc5ULL;
+constexpr size_t kHashPrime = 1099511628211ULL;
+
+size_t BucketCountFor(size_t n) {
+  size_t buckets = 16;
+  while (buckets < 2 * n) buckets <<= 1;
+  return buckets;
+}
+
+}  // namespace
+
+int Executor::ResolveExecThreads() const {
+  int t = ctx_->options.exec_threads;
+  if (t == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    t = hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return t;
+}
+
+void Executor::RunOnWorkers(int total, const std::function<void(int)>& fn) {
+  util::ThreadPool* pool = ctx_->exec_pool;
+  std::mutex mu;
+  std::condition_variable cv;
+  int pending = total - 1;
+  for (int i = 1; i < total; ++i) {
+    const bool submitted =
+        pool != nullptr && pool->Submit([&fn, &mu, &cv, &pending, i] {
+          fn(i);
+          {
+            std::lock_guard<std::mutex> lk(mu);
+            --pending;
+          }
+          cv.notify_one();
+        });
+    if (!submitted) {
+      // Pool unavailable (shutdown): degrade to inline execution.
+      fn(i);
+      std::lock_guard<std::mutex> lk(mu);
+      --pending;
+    }
+  }
+  fn(0);
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&pending] { return pending == 0; });
+}
+
+Status Executor::BuildColumnarJoinTableParallel(const PlanStep& step,
+                                                ColumnarJoinTable* table,
+                                                Env* env, int workers) {
+  // Resolve the build-side elements on the statement thread (range
+  // expressions may evaluate arbitrary EXCESS; named collections read
+  // the snapshot version, which the statement's pin keeps alive).
+  std::vector<Value> owned;
+  const std::vector<Value>* elems = &owned;
+  if (!step.named_collection.empty()) {
+    const extra::NamedObject* named =
+        ctx_->catalog->FindNamed(step.named_collection);
+    if (named == nullptr) {
+      return Status::NotFound("named collection '" + step.named_collection +
+                              "' disappeared during execution");
+    }
+    const Value& nv = NamedValue(named);
+    if (nv.kind() == ValueKind::kSet) {
+      elems = &nv.set().elems;
+    } else if (nv.kind() == ValueKind::kArray) {
+      elems = &nv.array().elems;
+    }
+  } else {
+    EXODUS_ASSIGN_OR_RETURN(Value coll, Eval(*step.range, env));
+    EXODUS_ASSIGN_OR_RETURN(owned, ElementsOf(coll));
+  }
+
+  const size_t n = elems->size();
+  if (workers <= 1 || n < 2 * batch_cap_) {
+    // Too small to amortize the fan-out — single-threaded build.
+    return BuildColumnarJoinTable(step, table, env);
+  }
+  table->built = true;
+
+  const size_t nkeys = step.build_keys.size();
+  const size_t chunk_size = batch_cap_;
+  const size_t nchunks = (n + chunk_size - 1) / chunk_size;
+
+  // Per-chunk partial tables, concatenated in chunk order below: the
+  // merged entry order equals the serial build order, so chains (built
+  // back-to-front) enumerate identically and probe output order is
+  // unchanged.
+  struct BuildChunk {
+    std::vector<std::vector<Value>> key_cols;
+    std::vector<Value> elements;
+    std::vector<size_t> hashes;
+  };
+  std::vector<BuildChunk> chunks(nchunks);
+  std::vector<Status> chunk_status(nchunks, Status::OK());
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+
+  const int total = std::min<int>(workers, static_cast<int>(nchunks));
+  RunOnWorkers(total, [&](int /*widx*/) {
+    ExecContext wctx = *ctx_;
+    wctx.trace = nullptr;
+    wctx.exec_pool = nullptr;
+    Executor wexec(&wctx);
+    wexec.batch_cap_ = batch_cap_;
+    Env wenv;
+    wenv.stack = env->stack;
+    wenv.params = env->params;
+    const std::vector<std::string> bnames = {step.var_name};
+    while (!failed.load(std::memory_order_relaxed)) {
+      const size_t c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= nchunks) break;
+      const size_t lo = c * chunk_size;
+      const size_t hi = std::min(n, lo + chunk_size);
+      Status st = [&]() -> Status {
+        RowBatch eb;
+        eb.cols.resize(1);
+        eb.cols[0].reserve(hi - lo);
+        for (size_t i = lo; i < hi; ++i) {
+          const Value& e = (*elems)[i];
+          if (e.is_null()) continue;
+          eb.cols[0].push_back(e);
+        }
+        eb.rows = eb.cols[0].size();
+        std::vector<std::vector<Value>> kscratch(nkeys);
+        std::vector<const std::vector<Value>*> kcols(nkeys);
+        for (size_t k = 0; k < nkeys; ++k) {
+          EXODUS_ASSIGN_OR_RETURN(
+              kcols[k], wexec.EvalBatchCol(*step.build_keys[k], bnames, eb,
+                                           &wenv, &kscratch[k]));
+        }
+        BuildChunk& out = chunks[c];
+        out.key_cols.assign(nkeys, {});
+        for (size_t r = 0; r < eb.rows; ++r) {
+          size_t h = kHashBasis;
+          bool usable = true;
+          for (size_t k = 0; k < nkeys; ++k) {
+            const Value& kv = (*kcols[k])[r];
+            if (kv.is_null()) {
+              usable = false;  // NULL keys never join
+              break;
+            }
+            if (kv.kind() == ValueKind::kRef) {
+              return Status::TypeError(
+                  "references cannot be compared with '='; use 'is' / "
+                  "'isnot' (object identity)");
+            }
+            h = h * kHashPrime + JoinKeyHash(kv);
+          }
+          if (!usable) continue;
+          for (size_t k = 0; k < nkeys; ++k) {
+            out.key_cols[k].push_back((*kcols[k])[r]);
+          }
+          out.elements.push_back(eb.cols[0][r]);
+          out.hashes.push_back(h);
+        }
+        return Status::OK();
+      }();
+      if (!st.ok()) {
+        chunk_status[c] = std::move(st);
+        failed.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+  });
+  for (const Status& st : chunk_status) EXODUS_RETURN_IF_ERROR(st);
+
+  size_t total_rows = 0;
+  for (const BuildChunk& c : chunks) total_rows += c.elements.size();
+  table->key_cols.assign(nkeys, {});
+  for (auto& kc : table->key_cols) kc.reserve(total_rows);
+  table->elements.reserve(total_rows);
+  table->hashes.reserve(total_rows);
+  for (BuildChunk& c : chunks) {
+    for (size_t k = 0; k < nkeys; ++k) {
+      for (Value& v : c.key_cols[k]) {
+        table->key_cols[k].push_back(std::move(v));
+      }
+    }
+    for (Value& v : c.elements) table->elements.push_back(std::move(v));
+    table->hashes.insert(table->hashes.end(), c.hashes.begin(),
+                         c.hashes.end());
+  }
+
+  const size_t rows = table->elements.size();
+  const size_t buckets = BucketCountFor(rows);
+  table->bucket_mask = buckets - 1;
+  table->heads.assign(buckets, -1);
+  table->next.assign(rows, -1);
+  for (size_t i = rows; i-- > 0;) {
+    const size_t bidx = table->hashes[i] & table->bucket_mask;
+    table->next[i] = table->heads[bidx];
+    table->heads[bidx] = static_cast<int32_t>(i);
+  }
+  return Status::OK();
+}
+
+Result<bool> Executor::TryRunPlanParallel(
+    const Plan& plan, const BoundQuery& query, Env* env,
+    const MorselEmit& emit, std::vector<std::vector<Value>>* out_rows) {
+  const int workers = ResolveExecThreads();
+  if (workers <= 1 || ctx_->exec_pool == nullptr || ctx_->call_depth > 0 ||
+      !ctx_->options.vectorized) {
+    return false;
+  }
+  if (plan.steps.empty() || plan.steps[0].kind != PlanStep::Kind::kScan) {
+    return false;  // only extent scans drive morsels today
+  }
+  const int bs = ctx_->options.batch_size;
+  if (bs < 1) return false;  // serial path reports the range error
+  const size_t cap = std::min(static_cast<size_t>(bs),
+                              static_cast<size_t>(SessionOptions::kMaxBatchSize));
+
+  const extra::NamedObject* named =
+      ctx_->catalog->FindNamed(plan.steps[0].named_collection);
+  if (named == nullptr) return false;  // serial path reports NotFound
+  const Value& nv = NamedValue(named);
+  const std::vector<Value>* elems = nullptr;
+  bool skip_nulls = false;
+  if (nv.kind() == ValueKind::kSet) {
+    elems = &nv.set().elems;
+  } else if (nv.kind() == ValueKind::kArray) {
+    elems = &nv.array().elems;
+    skip_nulls = true;  // array holes
+  } else {
+    return false;
+  }
+  const size_t n = elems->size();
+  const size_t mcount = (n + cap - 1) / cap;
+  if (mcount < 2) return false;  // one morsel == the serial path
+
+  batch_cap_ = cap;
+  run_stats_.Reset(plan.steps.size());
+  if (bs > SessionOptions::kMaxBatchSize) NoteBatchClamp(bs);
+  probe_scratch_.resize(plan.steps.size());
+  const uint64_t t0 = obs::MonotonicNowNs();
+
+  bool short_circuit = false;
+  Status setup = [&]() -> Status {
+    for (const ExprPtr& f : plan.constant_filters) {
+      EXODUS_ASSIGN_OR_RETURN(Value v, Eval(*f, env));
+      EXODUS_ASSIGN_OR_RETURN(bool ok, Truthy(v));
+      if (!ok) {
+        short_circuit = true;
+        return Status::OK();
+      }
+    }
+    return Status::OK();
+  }();
+  if (!setup.ok() || short_circuit) {
+    run_stats_.total_ns = obs::MonotonicNowNs() - t0;
+    FlushOperatorMetrics(plan);
+    if (!setup.ok()) return setup;
+    return true;  // constant filter rejected the statement: zero rows
+  }
+
+  // Pipeline breaker 1 — hash joins: build every table eagerly on the
+  // statement thread (chunk-parallel for large build sides) so workers
+  // share them read-only. The serial path builds lazily on first probe;
+  // the only observable difference at threads > 1 is build_rows > 0 for
+  // joins whose probe side turns out empty.
+  std::vector<ColumnarJoinTable> tables(plan.steps.size());
+  for (size_t s = 0; s < plan.steps.size(); ++s) {
+    if (plan.steps[s].kind != PlanStep::Kind::kHashJoin) continue;
+    Status st =
+        BuildColumnarJoinTableParallel(plan.steps[s], &tables[s], env, workers);
+    if (!st.ok()) {
+      run_stats_.total_ns = obs::MonotonicNowNs() - t0;
+      FlushOperatorMetrics(plan);
+      return st;
+    }
+    run_stats_.steps[s].build_rows = tables[s].elements.size();
+  }
+
+  const PlanStep& step0 = plan.steps[0];
+  const std::vector<std::string> names0 = {step0.var_name};
+
+  std::vector<std::vector<std::vector<Value>>> morsel_rows(mcount);
+  std::atomic<size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::mutex err_mu;
+  Status first_err = Status::OK();
+  size_t first_err_morsel = static_cast<size_t>(-1);
+
+  const int total = std::min<int>(workers, static_cast<int>(mcount));
+  std::vector<PlanRuntime> worker_stats(total);
+  std::vector<uint64_t> claimed(total, 0);
+
+  RunOnWorkers(total, [&](int widx) {
+    // Worker-local context: shares catalog/heap/indexes/txn pointers and
+    // the statement's snapshot epoch (the session's SnapshotPin covers
+    // every worker), but owns call_depth, trace (off) and exec_pool
+    // (null — no nested parallelism).
+    ExecContext wctx = *ctx_;
+    wctx.trace = nullptr;
+    wctx.exec_pool = nullptr;
+    Executor wexec(&wctx);
+    wexec.current_query_ = &query;
+    wexec.param_types_ = param_types_;
+    wexec.batch_cap_ = batch_cap_;
+    wexec.run_stats_.Reset(plan.steps.size());
+    wexec.probe_scratch_.resize(plan.steps.size());
+    Env wenv;
+    wenv.stack = env->stack;
+    wenv.params = env->params;
+
+    auto run_morsel = [&](size_t m) -> Status {
+      const size_t lo = m * cap;
+      const size_t hi = std::min(n, lo + cap);
+      std::vector<std::vector<Value>>* out = &morsel_rows[m];
+      BatchSink sink = [&](RowBatch& b) -> Status {
+        return emit(&wexec, &wenv, b, out);
+      };
+      StepRuntime& srt0 = wexec.run_stats_.steps[0];
+      srt0.invocations += 1;
+      ++srt0.batches;
+      const bool timed = srt0.ShouldTimeBatch();
+      const uint64_t m0 = timed ? obs::MonotonicNowNs() : 0;
+      Status st = [&]() -> Status {
+        RowBatch batch;
+        batch.cols.resize(1);
+        std::vector<Value>& c0 = batch.cols[0];
+        c0.reserve(hi - lo);
+        if (!skip_nulls) {
+          c0.assign(elems->begin() + static_cast<ptrdiff_t>(lo),
+                    elems->begin() + static_cast<ptrdiff_t>(hi));
+          srt0.rows_examined += hi - lo;
+        } else {
+          for (size_t i = lo; i < hi; ++i) {
+            const Value& e = (*elems)[i];
+            if (e.is_null()) continue;  // array holes
+            ++srt0.rows_examined;
+            c0.push_back(e);
+          }
+        }
+        batch.rows = c0.size();
+        EXODUS_RETURN_IF_ERROR(
+            wexec.ApplyStepFilters(step0, names0, &batch, &wenv));
+        srt0.rows_produced += batch.rows;
+        if (batch.rows == 0) return Status::OK();
+        return wexec.RunStepBatched(plan, 1, batch, &wenv, &tables, sink);
+      }();
+      if (timed) {
+        StepRuntime& srt = wexec.run_stats_.steps[0];
+        srt.sampled_ns += obs::MonotonicNowNs() - m0;
+        srt.timed_invocations += 1;
+      }
+      return st;
+    };
+
+    while (!failed.load(std::memory_order_relaxed)) {
+      const size_t m = next.fetch_add(1, std::memory_order_relaxed);
+      if (m >= mcount) break;
+      ++claimed[static_cast<size_t>(widx)];
+      Status st = run_morsel(m);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        // Keep the error of the earliest morsel in row order, the
+        // closest analogue of the serial path's first-error semantics.
+        if (m < first_err_morsel) {
+          first_err = std::move(st);
+          first_err_morsel = m;
+        }
+        failed.store(true, std::memory_order_relaxed);
+        break;
+      }
+    }
+    worker_stats[static_cast<size_t>(widx)] = std::move(wexec.run_stats_);
+  });
+
+  // Fold per-worker counters into the statement's PlanRuntime — exact
+  // totals, accumulated relaxed per worker and merged here once.
+  run_stats_.morsels = mcount;
+  for (int w = 0; w < total; ++w) {
+    if (claimed[static_cast<size_t>(w)] > 0) ++run_stats_.parallel_workers;
+    const PlanRuntime& ws = worker_stats[static_cast<size_t>(w)];
+    run_stats_.rows_out += ws.rows_out;
+    for (size_t s = 0; s < plan.steps.size(); ++s) {
+      StepRuntime& dst = run_stats_.steps[s];
+      const StepRuntime& src = ws.steps[s];
+      dst.invocations += src.invocations;
+      dst.rows_examined += src.rows_examined;
+      dst.rows_produced += src.rows_produced;
+      dst.probe_hits += src.probe_hits;
+      dst.batches += src.batches;
+      dst.sampled_ns += src.sampled_ns;
+      dst.timed_invocations += src.timed_invocations;
+      if (src.invocations > 0) ++dst.workers;
+    }
+  }
+  run_stats_.total_ns = obs::MonotonicNowNs() - t0;
+  if (ctx_->op_metrics != nullptr) {
+    if (ctx_->op_metrics->morsels_total != nullptr) {
+      ctx_->op_metrics->morsels_total->Add(mcount);
+    }
+    if (ctx_->op_metrics->parallel_queries != nullptr) {
+      ctx_->op_metrics->parallel_queries->Add(1);
+    }
+    if (ctx_->op_metrics->parallel_ns != nullptr) {
+      ctx_->op_metrics->parallel_ns->Add(run_stats_.total_ns);
+    }
+  }
+  FlushOperatorMetrics(plan);
+  if (first_err_morsel != static_cast<size_t>(-1)) return first_err;
+
+  // Order-stable concatenation: morsel buffers in morsel order equal
+  // the serial path's output order exactly (same batch boundaries, same
+  // per-batch expansion, just distributed).
+  size_t total_rows = 0;
+  for (const auto& mr : morsel_rows) total_rows += mr.size();
+  out_rows->reserve(out_rows->size() + total_rows);
+  for (auto& mr : morsel_rows) {
+    for (auto& row : mr) out_rows->push_back(std::move(row));
+  }
+  return true;
+}
+
+}  // namespace exodus::excess

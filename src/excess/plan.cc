@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "excess/session_options.h"
+
 namespace exodus::excess {
 
 std::string PlanStep::Describe() const {
@@ -77,6 +79,11 @@ std::string Plan::Explain(const PlanRuntime* runtime) const {
       if (rt.batches > 0) {
         ann += " batches=" + std::to_string(rt.batches);
       }
+      // Only the morsel pipeline records workers; serial runs keep the
+      // pre-parallel annotation format byte for byte.
+      if (rt.workers > 0) {
+        ann += " workers=" + std::to_string(rt.workers);
+      }
       ann += " time=" + FormatNs(rt.EstimatedTimeNs()) + ")";
       // Annotate the step's own line, not its trailing filter lines.
       size_t nl = desc.find('\n');
@@ -90,7 +97,17 @@ std::string Plan::Explain(const PlanRuntime* runtime) const {
   }
   if (annotate) {
     out += "Total: " + std::to_string(runtime->rows_out) + " row(s) in " +
-           FormatNs(runtime->total_ns) + "\n";
+           FormatNs(runtime->total_ns);
+    if (runtime->morsels > 0) {
+      out += " (parallel: morsels=" + std::to_string(runtime->morsels) +
+             " workers=" + std::to_string(runtime->parallel_workers) + ")";
+    }
+    out += "\n";
+    if (runtime->clamped_batch_size > 0) {
+      out += "Note: batch_size " + std::to_string(runtime->clamped_batch_size) +
+             " clamped to " + std::to_string(SessionOptions::kMaxBatchSize) +
+             "\n";
+    }
   }
   return out;
 }

@@ -101,6 +101,10 @@ struct StepRuntime {
   /// under it) and the number of invocations that were actually timed.
   uint64_t sampled_ns = 0;
   uint64_t timed_invocations = 0;
+  /// Morsel pipeline only: distinct workers that executed this step
+  /// (0 on the serial path, so serial `\explain analyze` output is
+  /// byte-identical to the pre-parallel format).
+  uint64_t workers = 0;
 
   /// True when this invocation should be timed (call before
   /// incrementing nothing else; uses the current invocation count).
@@ -138,11 +142,22 @@ struct PlanRuntime {
   uint64_t rows_out = 0;
   /// Unsampled wall time of the whole plan execution.
   uint64_t total_ns = 0;
+  /// Morsel pipeline: morsels the driving scan was split into and the
+  /// workers that claimed at least one (both 0 on the serial path).
+  uint64_t morsels = 0;
+  uint64_t parallel_workers = 0;
+  /// When ExecOptions::batch_size exceeded kMaxBatchSize, the value the
+  /// caller asked for (0 = no clamp). Surfaces the silent clamp in
+  /// `\explain analyze`.
+  int clamped_batch_size = 0;
 
   void Reset(size_t step_count) {
     steps.assign(step_count, StepRuntime{});
     rows_out = 0;
     total_ns = 0;
+    morsels = 0;
+    parallel_workers = 0;
+    clamped_batch_size = 0;
   }
 };
 

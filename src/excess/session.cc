@@ -102,6 +102,7 @@ Session::Session(Database* db, std::string user) : db_(db) {
   ctx_.session_ranges = &ranges_;
   ctx_.current_user = std::move(user);
   ctx_.op_metrics = &db->op_metrics_;
+  ctx_.exec_pool = &db->exec_pool_;
   ctx_.options = excess::SessionOptions::FromEnv();
 }
 

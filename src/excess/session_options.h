@@ -53,8 +53,14 @@ struct SessionOptions {
   /// row-at-a-time interpreter — the differential oracle.
   bool vectorized = true;
   /// Rows per RowBatch. Values < 1 are rejected at execution time;
-  /// values above kMaxBatchSize are clamped.
+  /// values above kMaxBatchSize are clamped (the clamp is surfaced in
+  /// `\explain` output and logged once per process).
   int batch_size = kDefaultBatchSize;
+  /// Worker threads for morsel-driven intra-query parallelism. 0 (the
+  /// default) resolves to hardware concurrency at execution time; 1
+  /// pins the serial batch path — the differential oracle for the
+  /// parallel executor. Values < 0 are rejected at execution time.
+  int exec_threads = 0;
 
   // --- concurrency ---
   IsolationMode isolation = IsolationMode::kSnapshot;
@@ -67,10 +73,11 @@ struct SessionOptions {
   wal::Durability durability = wal::Durability::kGroup;
 
   /// Reads EXODUS_VECTORIZED (0/1), EXODUS_BATCH_SIZE,
-  /// EXODUS_ISOLATION (locked/snapshot) and EXODUS_DURABILITY
-  /// (sync/group/async). A non-numeric EXODUS_BATCH_SIZE is ignored;
-  /// numeric values are taken verbatim (including invalid ones < 1,
-  /// which execution rejects with a clear error rather than silently
+  /// EXODUS_EXEC_THREADS, EXODUS_ISOLATION (locked/snapshot) and
+  /// EXODUS_DURABILITY (sync/group/async). A non-numeric
+  /// EXODUS_BATCH_SIZE / EXODUS_EXEC_THREADS is ignored; numeric
+  /// values are taken verbatim (including invalid ones, which
+  /// execution rejects with a clear error rather than silently
   /// correcting).
   static SessionOptions FromEnv() {
     SessionOptions o;
@@ -81,6 +88,11 @@ struct SessionOptions {
       char* end = nullptr;
       long n = std::strtol(b, &end, 10);
       if (end != b && *end == '\0') o.batch_size = static_cast<int>(n);
+    }
+    if (const char* t = std::getenv("EXODUS_EXEC_THREADS")) {
+      char* end = nullptr;
+      long n = std::strtol(t, &end, 10);
+      if (end != t && *end == '\0') o.exec_threads = static_cast<int>(n);
     }
     if (const char* i = std::getenv("EXODUS_ISOLATION")) {
       const std::string mode(i);
@@ -101,6 +113,11 @@ struct SessionOptions {
           "ExecOptions::batch_size must be >= 1 (got " +
           std::to_string(batch_size) + ")");
     }
+    if (exec_threads < 0) {
+      return util::Status::OutOfRange(
+          "ExecOptions::exec_threads must be >= 0 (got " +
+          std::to_string(exec_threads) + ")");
+    }
     return util::Status::OK();
   }
 
@@ -117,6 +134,8 @@ struct SessionOptions {
     f += ':';
     f += std::to_string(batch_size);
     f += isolation == IsolationMode::kSnapshot ? ":s" : ":l";
+    f += ":t";
+    f += std::to_string(exec_threads);
     // `durability` is deliberately NOT fingerprinted: it changes when a
     // commit is acknowledged, never the plan tree or prepared state, so
     // sessions with different durability share cached plans.

@@ -6,18 +6,23 @@ namespace exodus::util {
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
-  workers_.reserve(num_threads);
-  for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
+  target_threads_ = num_threads;
 }
 
 ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::SpawnLocked() {
+  workers_.reserve(target_threads_);
+  for (size_t i = 0; i < target_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
 
 bool ThreadPool::Submit(std::function<void()> job) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutting_down_) return false;
+    if (workers_.empty()) SpawnLocked();
     queue_.push_back(std::move(job));
   }
   cv_.notify_one();
@@ -38,6 +43,11 @@ void ThreadPool::Shutdown() {
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
+}
+
+size_t ThreadPool::spawned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
 }
 
 size_t ThreadPool::queued() const {

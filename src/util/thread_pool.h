@@ -19,11 +19,18 @@ namespace exodus::util {
 /// the workers — in-flight work is never dropped, which is what lets
 /// the query server shut down gracefully on SIGINT.
 ///
+/// Worker threads are spawned lazily on the first Submit(): a pool
+/// that is constructed but never used (every Database owns one for
+/// intra-query parallelism, including the hundreds of short-lived
+/// Databases the test suite creates) costs nothing but the object.
+/// size() reports the configured width either way.
+///
 /// Callers needing a result pair Submit with a std::promise/future or
 /// their own synchronization; the pool itself is fire-and-forget.
 class ThreadPool {
  public:
-  /// Starts `num_threads` workers (at least one).
+  /// Configures `num_threads` workers (at least one); none start until
+  /// the first Submit().
   explicit ThreadPool(size_t num_threads);
   ~ThreadPool();
 
@@ -38,18 +45,24 @@ class ThreadPool {
   /// Drains the queue and joins all workers. Idempotent.
   void Shutdown();
 
-  size_t size() const { return workers_.size(); }
+  /// Configured worker count (threads may not have spawned yet).
+  size_t size() const { return target_threads_; }
+
+  /// Threads actually running (0 until the first Submit).
+  size_t spawned() const;
 
   /// Jobs currently queued (excluding ones being executed).
   size_t queued() const;
 
  private:
   void WorkerLoop();
+  void SpawnLocked();  // requires mu_ held
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
+  size_t target_threads_ = 1;
   bool shutting_down_ = false;
 };
 

@@ -70,5 +70,26 @@ TEST(ThreadPoolTest, SubmitAfterShutdownReturnsFalse) {
   pool.Shutdown();  // idempotent
 }
 
+TEST(ThreadPoolTest, WorkersSpawnLazilyOnFirstSubmit) {
+  ThreadPool pool(4);
+  // Construction configures the width but starts nothing: a pool that
+  // is never used (every Database owns one) costs no threads.
+  EXPECT_EQ(pool.size(), 4u);
+  EXPECT_EQ(pool.spawned(), 0u);
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.Submit([&] { ++ran; }));
+  EXPECT_EQ(pool.spawned(), 4u);
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, ShutdownWithoutUseSpawnsNothing) {
+  ThreadPool pool(3);
+  pool.Shutdown();
+  EXPECT_EQ(pool.spawned(), 0u);
+  EXPECT_FALSE(pool.Submit([] {}));  // no late spawn after shutdown
+  EXPECT_EQ(pool.spawned(), 0u);
+}
+
 }  // namespace
 }  // namespace exodus::util
