@@ -9,15 +9,34 @@
 // or a zero-threshold slow-query log adds the statement-text rendering
 // and one JSON/record append per statement; EXPLAIN ANALYZE adds plan
 // annotation; a metrics scrape is independent of statement execution.
+//
+// B20 — Wait-event subsystem overhead: the same ablation discipline
+// for the wait-event profile (WaitEventGuard + per-session activity
+// slots), instrumented vs EXODUS_WAIT_EVENTS=off, on two shapes. The
+// CPU-bound B14 join shape bounds the fixed cost of guard
+// construction on paths that rarely block (try_lock fast paths mean a
+// guard is only built when an acquisition actually contends). The
+// wait-heavy B18 group-commit shape — concurrent writer sessions
+// committing appends through the full engine with group durability —
+// exercises the guards where they actually fire (wal_group_commit /
+// wal_fsync followers, contended extent latches). Budget: <= 5%
+// overhead on both shapes.
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_common.h"
 #include "excess/session.h"
+#include "obs/wait_event.h"
+#include "wal/wal_format.h"
 
 namespace exodus {
 namespace {
@@ -109,6 +128,137 @@ void BM_ExplainAnalyze(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_ExplainAnalyze)->Arg(200)->Arg(3200)->Complexity();
+
+// --- B20: wait-event subsystem overhead -----------------------------
+
+// CPU-bound shape: the B14 join, with the wait-event profile on vs
+// off. A read-only retrieve takes the shared database lock on the
+// try_lock fast path and never journals, so almost no guards are
+// constructed; the pair bounds the subsystem's cost on code that
+// doesn't block.
+void RunJoinWaitEventsBench(benchmark::State& state, bool wait_events) {
+  Database* db = Db(static_cast<int>(state.range(0)));
+  db->wait_profile()->SetEnabled(wait_events);
+  bench::MustQuery(db, kJoin);  // warm the plan cache before timing
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::MustQuery(db, kJoin));
+  }
+  db->wait_profile()->SetEnabled(true);  // Db() instances are shared
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_Join_WaitEventsOn(benchmark::State& state) {
+  RunJoinWaitEventsBench(state, true);
+}
+BENCHMARK(BM_Join_WaitEventsOn)->Arg(200)->Arg(3200)->Complexity();
+
+void BM_Join_WaitEventsOff(benchmark::State& state) {
+  RunJoinWaitEventsBench(state, false);
+}
+BENCHMARK(BM_Join_WaitEventsOff)->Arg(200)->Arg(3200)->Complexity();
+
+// Wait-heavy shape: the B18 group-commit workload driven through the
+// full engine. `writers` sessions (default group durability) each
+// commit kAppendsPerThreadPerIter appends per iteration; followers
+// park in wal_group_commit / leaders pay wal_fsync, and the writers
+// contend on the Items extent latch — the paths where WaitEventGuards
+// actually read the clock. `waits_per_commit` sanity-checks the
+// ablation: ~0 with the profile off.
+constexpr int kAppendsPerThreadPerIter = 16;
+
+std::string BenchWalPath() {
+  const char* tmp = std::getenv("TMPDIR");
+  return std::string(tmp != nullptr ? tmp : "/tmp") +
+         "/exodus_bench_observability.log";
+}
+
+void RemoveWal(const std::string& base) {
+  auto segments = wal::ListSegments(base);
+  if (segments.ok()) {
+    for (const std::string& p : *segments) std::remove(p.c_str());
+  }
+  std::remove(base.c_str());
+}
+
+void RunGroupCommitWaitEventsBench(benchmark::State& state,
+                                   bool wait_events) {
+  const int writers = static_cast<int>(state.range(0));
+  const std::string base = BenchWalPath();
+  RemoveWal(base);
+  auto db = std::make_unique<Database>();
+  bench::MustExecute(db.get(), R"(
+    define type Item (id: int4, payload: char[32])
+    create Items : {Item}
+  )");
+  auto st = db->EnableJournal(base);
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  db->wait_profile()->SetEnabled(wait_events);
+
+  std::vector<std::unique_ptr<Session>> sessions;
+  sessions.reserve(writers);
+  for (int t = 0; t < writers; ++t) {
+    auto s = db->CreateSession();
+    if (!s.ok()) std::abort();
+    sessions.push_back(std::move(*s));
+  }
+
+  const std::string append = "append to Items (id = 1, payload = \"w\")";
+  std::atomic<int> errors{0};
+  int64_t commits = 0;
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(writers);
+    for (int t = 0; t < writers; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kAppendsPerThreadPerIter; ++i) {
+          auto r = sessions[t]->Execute(append);
+          if (!r.ok()) ++errors;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    commits += writers * kAppendsPerThreadPerIter;
+  }
+  if (errors.load() > 0) state.SkipWithError("append failures");
+
+  uint64_t waits = 0;
+  for (size_t i = 1; i <= obs::kWaitEventCount; ++i) {
+    waits += db->wait_profile()->count(static_cast<obs::WaitEvent>(i));
+  }
+  state.SetItemsProcessed(commits);
+  state.counters["writers"] = writers;
+  state.counters["commits_per_sec"] = benchmark::Counter(
+      static_cast<double>(commits), benchmark::Counter::kIsRate);
+  state.counters["waits_per_commit"] =
+      commits > 0 ? static_cast<double>(waits) / static_cast<double>(commits)
+                  : 0.0;
+  sessions.clear();
+  db.reset();
+  RemoveWal(base);
+}
+
+void BM_GroupCommit_WaitEventsOn(benchmark::State& state) {
+  RunGroupCommitWaitEventsBench(state, true);
+}
+BENCHMARK(BM_GroupCommit_WaitEventsOn)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+void BM_GroupCommit_WaitEventsOff(benchmark::State& state) {
+  RunGroupCommitWaitEventsBench(state, false);
+}
+BENCHMARK(BM_GroupCommit_WaitEventsOff)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
 
 // One metrics scrape: snapshot the registry index, then lock-free
 // atomic reads. Independent of statement execution.

@@ -11,6 +11,8 @@
 //   \schema            list types and named objects
 //   \cache             show plan-cache statistics
 //   \metrics           Prometheus text exposition (local or remote)
+//   \activity          live per-session activity (local or remote)
+//   \waits             cumulative wait-event counters (local or remote)
 //   \slowlog [N]       show the slow-query log / set its threshold (us)
 //   \prepare <stmt>    prepare a statement with $n parameters
 //   \exec <v1> <v2>..  bind + execute the prepared statement
@@ -32,6 +34,7 @@
 #include <cctype>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -247,6 +250,55 @@ int main() {
           }
         } else {
           std::cout << db->metrics()->RenderPrometheus();
+        }
+        continue;
+      }
+      if (trimmed == "\\activity") {
+        if (remote != nullptr) {
+          auto activity = remote->Activity();
+          if (!activity.ok()) {
+            std::cout << activity.status().ToString() << "\n";
+            if (!remote->connected()) {
+              std::cout << "connection to server lost\n";
+              return 1;
+            }
+          } else {
+            std::cout << activity->ToString();
+          }
+        } else {
+          auto records = db->sessions()->Snapshot();
+          if (records.empty()) {
+            std::cout << "no sessions\n";
+          } else {
+            for (const auto& rec : records) std::cout << rec.ToString();
+          }
+        }
+        continue;
+      }
+      if (trimmed == "\\waits") {
+        // Wait-event counters live in the metrics registry; show just
+        // the exodus_wait_* series from the exposition.
+        std::string exposition;
+        if (remote != nullptr) {
+          auto text = remote->Metrics();
+          if (!text.ok()) {
+            std::cout << text.status().ToString() << "\n";
+            if (!remote->connected()) {
+              std::cout << "connection to server lost\n";
+              return 1;
+            }
+            continue;
+          }
+          exposition = std::move(*text);
+        } else {
+          exposition = db->metrics()->RenderPrometheus();
+        }
+        std::istringstream in(exposition);
+        std::string mline;
+        while (std::getline(in, mline)) {
+          if (mline.find("exodus_wait_") != std::string::npos) {
+            std::cout << mline << "\n";
+          }
         }
         continue;
       }

@@ -5,6 +5,9 @@
 #include <cstdlib>
 #include <memory>
 
+#include "obs/trace.h"
+#include "obs/wait_event.h"
+
 namespace exodus::excess {
 
 using object::Value;
@@ -96,6 +99,33 @@ std::mutex* ConcurrencyController::ExtentLatch(const std::string& extent) {
   auto& slot = extent_latches_[extent];
   if (!slot) slot = std::make_unique<std::mutex>();
   return slot.get();
+}
+
+std::unique_lock<std::mutex> ConcurrencyController::AcquireExtentLatch(
+    const std::string& extent) {
+  std::mutex* latch = ExtentLatch(extent);
+  const uint64_t t0 = obs::MonotonicNowNs();
+  std::unique_lock<std::mutex> lock(*latch, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    // Contended: only the actual block counts as a wait event. The
+    // uncontended path above stays guard-free.
+    obs::WaitEventGuard wait(wait_profile_, obs::WaitEvent::kMvccWriterLatch);
+    lock.lock();
+  }
+  AddWriterStall(obs::MonotonicNowNs() - t0);
+  return lock;
+}
+
+std::unique_lock<std::shared_mutex> ConcurrencyController::AcquireExclusive() {
+  const uint64_t t0 = obs::MonotonicNowNs();
+  std::unique_lock<std::shared_mutex> lock(*exec_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    obs::WaitEventGuard wait(wait_profile_,
+                             obs::WaitEvent::kMvccExclusiveLock);
+    lock.lock();
+  }
+  AddWriterStall(obs::MonotonicNowNs() - t0);
+  return lock;
 }
 
 void ConcurrencyController::Commit(StatementTxn* txn) {

@@ -21,6 +21,10 @@
 #include "object/mvcc.h"
 #include "object/value.h"
 
+namespace exodus::obs {
+class WaitProfile;  // obs/wait_event.h
+}
+
 namespace exodus::excess {
 
 /// One logged secondary-index maintenance operation. Inserts are applied
@@ -113,6 +117,21 @@ class ConcurrencyController {
   /// Pointers are stable for the lifetime of the controller.
   std::mutex* ExtentLatch(const std::string& extent);
 
+  /// Installs the database's wait profile so latch/exclusive
+  /// acquisitions publish `mvcc_writer_latch` / `mvcc_exclusive_lock`
+  /// wait events (null = no publication). Called once at startup.
+  void SetWaitProfile(obs::WaitProfile* profile) { wait_profile_ = profile; }
+
+  /// Acquires the writer latch of `extent`, recording the stall on the
+  /// writer-stall counter and — when the latch is contended — as a
+  /// `mvcc_writer_latch` wait event on the current session's activity
+  /// slot. The uncontended path stays a try_lock plus two clock reads.
+  std::unique_lock<std::mutex> AcquireExtentLatch(const std::string& extent);
+
+  /// Acquires the database-exclusive lock with the same accounting
+  /// (`mvcc_exclusive_lock`).
+  std::unique_lock<std::shared_mutex> AcquireExclusive();
+
   /// Publishes a statement atomically: stamps staged heap versions and
   /// named-cell versions with the next epoch, queues deferred index
   /// erases, then advances the global epoch. Serialized by commit_mu so
@@ -168,6 +187,9 @@ class ConcurrencyController {
 
   std::atomic<uint64_t> gc_reclaimed_{0};
   std::atomic<uint64_t> writer_stall_ns_{0};
+  /// Wait-event publication target (owned by the Database; set once
+  /// before any statement runs, read by every acquisition).
+  obs::WaitProfile* wait_profile_ = nullptr;
 
   std::mutex gc_mu_;
   std::condition_variable gc_cv_;

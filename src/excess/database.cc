@@ -161,6 +161,14 @@ Database::Database() {
                               return controller_->write_escalations.load(
                                   std::memory_order_relaxed);
                             });
+  controller_->SetWaitProfile(&wait_profile_);
+  // Queue waits in the shared morsel pool count as thread_pool_queue;
+  // the hook runs on the worker, so no statement slot is bound (the
+  // statement thread is busy elsewhere) — cumulative series only.
+  exec_pool_.SetQueueWaitHook(
+      [this](uint64_t ns) {
+        wait_profile_.Record(obs::WaitEvent::kThreadPoolQueue, ns);
+      });
 
   // The default session backs the string-only Execute/ExecuteAll API.
   default_session_.reset(new Session(this, auth::AuthManager::kDba));
@@ -220,6 +228,7 @@ Status Database::EnableJournal(const std::string& path) {
   }
   EXODUS_ASSIGN_OR_RETURN(
       wal_, wal::WalWriter::Open(path, recovered_lsn() + 1));
+  wal_->SetWaitProfile(&wait_profile_);
   journal_path_ = path;
 
   // exodus_wal_* series render from the writer's live counters. The

@@ -23,6 +23,7 @@
 #include "object/heap.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/wait_event.h"
 #include "util/result.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -109,6 +110,16 @@ class Database {
   /// Statement-level tracing: query IDs, phase timings, the slow-query
   /// log and the optional JSON sink.
   obs::QueryTracer* tracer() { return tracer_.get(); }
+
+  /// Per-class wait-event accounting (exodus_wait_events_total /
+  /// exodus_wait_time_us). EXODUS_WAIT_EVENTS=off disables at startup;
+  /// SetEnabled toggles at runtime (benchmark ablation).
+  obs::WaitProfile* wait_profile() { return &wait_profile_; }
+
+  /// The live-session directory behind `\activity` and the ACTIVITY
+  /// wire message: every Session registers an ActivitySlot here for its
+  /// lifetime.
+  obs::SessionRegistry* sessions() { return &sessions_; }
 
   /// Installs (or clears, with nullptr) a sink receiving one structured
   /// JSON line per executed statement (schema in docs/observability.md).
@@ -379,6 +390,13 @@ class Database {
   /// hold pointers into the registry, so it must outlive them.
   obs::MetricsRegistry metrics_;
   std::unique_ptr<obs::QueryTracer> tracer_;
+  /// Wait-event series (registered into metrics_ at construction).
+  /// Declared before exec_pool_ (whose queue-wait hook records into it)
+  /// and before the sessions that publish waits.
+  obs::WaitProfile wait_profile_{&metrics_};
+  /// Live-session activity slots. Declared before default_session_ so
+  /// sessions can unregister in their destructors.
+  obs::SessionRegistry sessions_;
   /// Cumulative per-operator series, shared by every session's context.
   excess::OperatorMetrics op_metrics_;
   /// Width of the shared exec_pool_ for this machine/environment.

@@ -212,6 +212,9 @@ Result<QueryResult> Executor::TimedDispatch(const Stmt& stmt,
   if (trace == nullptr || ctx_->call_depth > 0) {
     return DispatchBound(stmt, query, plan, env);
   }
+  if (ctx_->activity != nullptr) {
+    ctx_->activity->SetPhase(obs::StmtPhase::kExecute);
+  }
   const uint64_t t0 = obs::MonotonicNowNs();
   Result<QueryResult> result = DispatchBound(stmt, query, plan, env);
   trace->execute_ns += obs::MonotonicNowNs() - t0;
@@ -264,10 +267,14 @@ Status Executor::PlanStatement(const Stmt& stmt,
                                const std::set<std::string>& prebound,
                                BoundQuery* query, Plan* plan) {
   obs::StmtTrace* trace = ctx_->call_depth == 0 ? ctx_->trace : nullptr;
+  obs::ActivitySlot* activity =
+      ctx_->call_depth == 0 ? ctx_->activity : nullptr;
+  if (activity != nullptr) activity->SetPhase(obs::StmtPhase::kBind);
   const uint64_t t0 = trace != nullptr ? obs::MonotonicNowNs() : 0;
   EXODUS_ASSIGN_OR_RETURN(*query, binder_.Bind(stmt, prebound));
   const uint64_t t1 = trace != nullptr ? obs::MonotonicNowNs() : 0;
   if (trace != nullptr) trace->bind_ns += t1 - t0;
+  if (activity != nullptr) activity->SetPhase(obs::StmtPhase::kOptimize);
   Optimizer optimizer(ctx_->catalog, ctx_->indexes, &binder_, ctx_->options);
   EXODUS_ASSIGN_OR_RETURN(*plan, optimizer.Optimize(*query));
   if (trace != nullptr) trace->optimize_ns += obs::MonotonicNowNs() - t1;

@@ -116,6 +116,11 @@ struct ExecContext {
   /// = serial execution only; worker contexts null it out so nested
   /// executions never re-enter the scheduler).
   util::ThreadPool* exec_pool = nullptr;
+  /// The owning session's live-activity slot (null for standalone
+  /// executors). The top-level executor publishes phase transitions,
+  /// row/batch progress and morsel progress into it; worker contexts
+  /// keep the pointer so parallel scans report progress too.
+  obs::ActivitySlot* activity = nullptr;
 };
 
 /// Executes bound EXCESS statements (retrieve and all updates) against

@@ -369,6 +369,12 @@ Status Executor::RunStepBatched(const Plan& plan, size_t step_idx,
   if (in.rows == 0) return Status::OK();
   if (step_idx == plan.steps.size()) {
     run_stats_.rows_out += in.rows;
+    if (ctx_->activity != nullptr) {
+      // Live progress for \activity: rows/batches as the plan's output
+      // produces them (morsel workers carry the same slot pointer).
+      ctx_->activity->AddRows(in.rows);
+      ctx_->activity->AddBatches(1);
+    }
     return sink(in);
   }
   // A batch accounts for all of its rows at once: invocations stays

@@ -60,10 +60,12 @@ void Executor::RunOnWorkers(int total, const std::function<void(int)>& fn) {
     const bool submitted =
         pool != nullptr && pool->Submit([&fn, &mu, &cv, &pending, i] {
           fn(i);
-          {
-            std::lock_guard<std::mutex> lk(mu);
-            --pending;
-          }
+          // Notify while holding the lock: the statement thread destroys
+          // mu/cv (stack locals) as soon as it observes pending == 0, so
+          // the final decrement must not become visible before this
+          // worker is done touching the condition variable.
+          std::lock_guard<std::mutex> lk(mu);
+          --pending;
           cv.notify_one();
         });
     if (!submitted) {
@@ -262,6 +264,12 @@ Result<bool> Executor::TryRunPlanParallel(
   const size_t mcount = (n + cap - 1) / cap;
   if (mcount < 2) return false;  // one morsel == the serial path
 
+  if (ctx_->activity != nullptr) {
+    // Publish the morsel denominator before dispatch so \activity shows
+    // done/total progress for the whole parallel phase.
+    ctx_->activity->morsels_total.store(mcount, std::memory_order_relaxed);
+    ctx_->activity->morsels_done.store(0, std::memory_order_relaxed);
+  }
   batch_cap_ = cap;
   run_stats_.Reset(plan.steps.size());
   if (bs > SessionOptions::kMaxBatchSize) NoteBatchClamp(bs);
@@ -386,6 +394,9 @@ Result<bool> Executor::TryRunPlanParallel(
       if (m >= mcount) break;
       ++claimed[static_cast<size_t>(widx)];
       Status st = run_morsel(m);
+      if (st.ok() && wctx.activity != nullptr) {
+        wctx.activity->morsels_done.fetch_add(1, std::memory_order_relaxed);
+      }
       if (!st.ok()) {
         std::lock_guard<std::mutex> lk(err_mu);
         // Keep the error of the earliest morsel in row order, the

@@ -104,9 +104,11 @@ Session::Session(Database* db, std::string user) : db_(db) {
   ctx_.op_metrics = &db->op_metrics_;
   ctx_.exec_pool = &db->exec_pool_;
   ctx_.options = excess::SessionOptions::FromEnv();
+  slot_ = db->sessions_.Register(ctx_.current_user);
+  ctx_.activity = slot_;
 }
 
-Session::~Session() = default;
+Session::~Session() { db_->sessions_.Unregister(slot_); }
 
 Result<std::vector<QueryResult>> Session::ExecuteAll(const std::string& text) {
   const uint64_t parse_t0 = obs::MonotonicNowNs();
@@ -120,7 +122,7 @@ Result<std::vector<QueryResult>> Session::ExecuteAll(const std::string& text) {
   results.reserve(program.size());
   for (const excess::StmtPtr& stmt : program) {
     EXODUS_ASSIGN_OR_RETURN(QueryResult r,
-                            ExecuteStmtLocked(*stmt, parse_ns));
+                            ExecuteStmtLocked(*stmt, parse_ns, &text));
     parse_ns = 0;
     results.push_back(std::move(r));
   }
@@ -128,13 +130,17 @@ Result<std::vector<QueryResult>> Session::ExecuteAll(const std::string& text) {
 }
 
 Result<QueryResult> Session::ExecuteStmtLocked(const excess::Stmt& stmt,
-                                               uint64_t parse_ns) {
+                                               uint64_t parse_ns,
+                                               const std::string* source_text) {
   obs::StmtTrace trace;
   trace.parse_ns = parse_ns;
-  return RunTraced(stmt, &trace, [&]() -> Result<QueryResult> {
-    return ExecuteWithConcurrency(
-        stmt, [&] { return db_->ExecuteStmtJournaled(*this, stmt); });
-  });
+  return RunTraced(
+      stmt, &trace,
+      [&]() -> Result<QueryResult> {
+        return ExecuteWithConcurrency(
+            stmt, [&] { return db_->ExecuteStmtJournaled(*this, stmt); });
+      },
+      source_text);
 }
 
 Session::StmtClass Session::Classify(const excess::Stmt& stmt) const {
@@ -224,9 +230,7 @@ Result<QueryResult> Session::ExecuteWithConcurrency(
       // Latch the extent FIRST, then pin the snapshot: pinning before
       // the latch could fix an epoch that misses a concurrent commit to
       // this very extent (a lost update).
-      const uint64_t t0 = obs::MonotonicNowNs();
-      std::unique_lock<std::mutex> latch(*cc->ExtentLatch(extent));
-      cc->AddWriterStall(obs::MonotonicNowNs() - t0);
+      std::unique_lock<std::mutex> latch = cc->AcquireExtentLatch(extent);
 
       excess::StatementTxn txn;
       txn.heap.snapshot = cc->Pin();
@@ -259,9 +263,7 @@ Result<QueryResult> Session::ExecuteWithConcurrency(
     // Fall through: re-run the whole statement under the exclusive lock.
   }
 
-  const uint64_t t0 = obs::MonotonicNowNs();
-  std::unique_lock<std::shared_mutex> lock(db_->exec_mu_);
-  cc->AddWriterStall(obs::MonotonicNowNs() - t0);
+  std::unique_lock<std::shared_mutex> lock = cc->AcquireExclusive();
   if (!Database::IsReadOnly(stmt)) {
     cc->locked_writes.fetch_add(1, std::memory_order_relaxed);
   }
@@ -287,11 +289,20 @@ std::vector<std::vector<std::string>> Session::FormatRows(
 
 Result<QueryResult> Session::RunTraced(
     const excess::Stmt& stmt, obs::StmtTrace* trace,
-    const std::function<Result<QueryResult>()>& body) {
+    const std::function<Result<QueryResult>()>& body,
+    const std::string* source_text) {
   obs::QueryTracer* tracer = db_->tracer();
   tracer->Begin(trace);
+  trace->session_id = slot_ != nullptr ? slot_->session_id : 0;
   ctx_.trace = trace;
   const uint64_t t0 = obs::MonotonicNowNs();
+  // Bind the slot thread-locally so wait guards deep in the engine (WAL
+  // commit, latch acquisition) publish into it, and mark the statement
+  // running. Nested statements (procedures) restore the outer binding.
+  obs::ActivityBinding binding(slot_);
+  if (slot_ != nullptr) {
+    slot_->BeginStatement(trace->query_id, ctx_.current_user, source_text, t0);
+  }
   Result<QueryResult> result = body();
   ctx_.trace = nullptr;
   if (trace->execute_ns == 0) {
@@ -303,6 +314,16 @@ Result<QueryResult> Session::RunTraced(
       trace->rows =
           result->rows.empty() ? result->affected : result->rows.size();
     }
+  }
+  if (slot_ != nullptr) {
+    // Fold the statement's accumulated waits into the trace (slow log,
+    // JSON sink, explain-analyze) and publish the authoritative row
+    // count before going idle.
+    for (size_t i = 0; i < obs::kWaitEventCount; ++i) {
+      trace->wait_ns[i] = slot_->wait_ns[i].load(std::memory_order_relaxed);
+    }
+    slot_->rows.store(trace->rows, std::memory_order_relaxed);
+    slot_->EndStatement();
   }
   const uint64_t total = trace->parse_ns + trace->bind_ns +
                          trace->optimize_ns + trace->execute_ns;
@@ -366,10 +387,14 @@ Result<std::string> Session::Explain(const std::string& text, bool analyze) {
   trace.capture_plan = true;
   EXODUS_ASSIGN_OR_RETURN(
       QueryResult result,
-      RunTraced(*stmt, &trace, [&]() -> Result<QueryResult> {
-        return ExecuteWithConcurrency(
-            *stmt, [&] { return db_->ExecuteStmtJournaled(*this, *stmt); });
-      }));
+      RunTraced(
+          *stmt, &trace,
+          [&]() -> Result<QueryResult> {
+            return ExecuteWithConcurrency(*stmt, [&] {
+              return db_->ExecuteStmtJournaled(*this, *stmt);
+            });
+          },
+          &text));
   (void)result;
 
   std::string out = trace.annotated_plan;
@@ -380,6 +405,18 @@ Result<std::string> Session::Explain(const std::string& text, bool analyze) {
                 static_cast<double>(trace.optimize_ns) / 1e3,
                 static_cast<double>(trace.execute_ns) / 1e3);
   out += phases;
+  if (trace.total_wait_ns() > 0) {
+    std::string waits = "Waits:";
+    for (size_t i = 0; i < obs::kWaitEventCount; ++i) {
+      if (trace.wait_ns[i] == 0) continue;
+      char one[96];
+      std::snprintf(one, sizeof one, " %s %.1fus",
+                    obs::WaitEventName(static_cast<obs::WaitEvent>(i + 1)),
+                    static_cast<double>(trace.wait_ns[i]) / 1e3);
+      waits += one;
+    }
+    out += waits + "\n";
+  }
   return out;
 }
 
@@ -575,10 +612,12 @@ Result<QueryResult> PreparedStatement::Execute() {
   obs::StmtTrace trace;
   trace.used_cached_plan = true;
   return session_->RunTraced(
-      *plan->stmt, &trace, [&]() -> Result<QueryResult> {
+      *plan->stmt, &trace,
+      [&]() -> Result<QueryResult> {
         return session_->ExecuteWithConcurrency(
             *plan->stmt, [&] { return ExecuteLocked(); });
-      });
+      },
+      &plan->source);
 }
 
 Result<QueryResult> PreparedStatement::ExecuteLocked() {

@@ -14,6 +14,7 @@
 #include "excess/plan_cache.h"
 #include "object/value.h"
 #include "obs/trace.h"
+#include "obs/wait_event.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -145,19 +146,27 @@ class Session {
 
   /// Executes one parsed statement under the concurrency regime
   /// appropriate to its kind, tracing it as one statement. `parse_ns`
-  /// is the parse time to attribute.
+  /// is the parse time to attribute; `source_text`, when non-null, is
+  /// an existing string the statement came from, published (truncated)
+  /// into the session's activity slot without re-rendering the AST.
   util::Result<excess::QueryResult> ExecuteStmtLocked(
-      const excess::Stmt& stmt, uint64_t parse_ns = 0);
+      const excess::Stmt& stmt, uint64_t parse_ns = 0,
+      const std::string* source_text = nullptr);
 
   /// Runs `body` (which performs the actual locked execution) bracketed
   /// by the database tracer: assigns the query ID, sets ctx_.trace so
   /// the executor records phases and actuals, fills fallback timings
   /// for non-executor statements, and hands the finished trace to
-  /// QueryTracer::Finish. Statement text is rendered only when the
-  /// tracer will consume it.
+  /// QueryTracer::Finish. Also brackets the session's activity slot
+  /// (BeginStatement / EndStatement) and binds it thread-locally so
+  /// wait guards deep in the engine publish into it; `source_text` is
+  /// the activity statement text (see ExecuteStmtLocked). Statement
+  /// text for the trace is rendered only when the tracer will consume
+  /// it.
   util::Result<excess::QueryResult> RunTraced(
       const excess::Stmt& stmt, obs::StmtTrace* trace,
-      const std::function<util::Result<excess::QueryResult>()>& body);
+      const std::function<util::Result<excess::QueryResult>()>& body,
+      const std::string* source_text = nullptr);
 
   /// Fetches the plan for normalized text `norm` from the database's
   /// plan cache, building and inserting it on a miss. The caller must
@@ -178,6 +187,10 @@ class Session {
 
   Database* db_;
   excess::ExecContext ctx_;
+  /// This session's live-activity record in the database's
+  /// SessionRegistry (registered in the constructor, unregistered in
+  /// the destructor). Read lock-free by `\activity`.
+  obs::ActivitySlot* slot_ = nullptr;
   /// True on the replica's WAL-apply session (see set_replication_apply).
   bool replication_apply_ = false;
   /// This session's `range of` declarations (ctx_.session_ranges).

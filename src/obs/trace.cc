@@ -43,12 +43,23 @@ std::string Micros(uint64_t ns) { return std::to_string(ns / 1000); }
 }  // namespace
 
 std::string SlowQueryRecord::ToString() const {
-  std::string out = "#" + std::to_string(query_id) + " [" + user + "] " +
-                    Micros(total_ns) + " us (parse " + Micros(parse_ns) +
-                    ", bind " + Micros(bind_ns) + ", optimize " +
-                    Micros(optimize_ns) + ", execute " + Micros(execute_ns) +
-                    "), " + std::to_string(rows) + " row(s)\n  " + statement +
-                    "\n";
+  std::string out = "#" + std::to_string(query_id) + " [" + user + "]";
+  if (session_id != 0) out += " session " + std::to_string(session_id);
+  out += " " + Micros(total_ns) + " us (parse " + Micros(parse_ns) +
+         ", bind " + Micros(bind_ns) + ", optimize " + Micros(optimize_ns) +
+         ", execute " + Micros(execute_ns) + "), " + std::to_string(rows) +
+         " row(s)";
+  uint64_t total_wait = 0;
+  size_t dominant = 0;
+  for (size_t i = 0; i < kWaitEventCount; ++i) {
+    total_wait += wait_ns[i];
+    if (wait_ns[i] > wait_ns[dominant]) dominant = i;
+  }
+  if (total_wait > 0) {
+    out += ", waited " + Micros(total_wait) + " us (mostly " +
+           WaitEventName(static_cast<WaitEvent>(dominant + 1)) + ")";
+  }
+  out += "\n  " + statement + "\n";
   if (!annotated_plan.empty()) {
     // Indent the plan under the record.
     size_t start = 0;
@@ -123,8 +134,9 @@ void QueryTracer::Finish(const StmtTrace& trace, bool ok,
 
   std::string line;
   if (sink) {
-    line = "{\"query_id\":" + std::to_string(trace.query_id) + ",\"user\":\"" +
-           JsonEscape(user) + "\",\"statement\":\"" +
+    line = "{\"query_id\":" + std::to_string(trace.query_id) +
+           ",\"session_id\":" + std::to_string(trace.session_id) +
+           ",\"user\":\"" + JsonEscape(user) + "\",\"statement\":\"" +
            JsonEscape(trace.statement) + "\",\"parse_us\":" +
            Micros(trace.parse_ns) + ",\"bind_us\":" + Micros(trace.bind_ns) +
            ",\"optimize_us\":" + Micros(trace.optimize_ns) +
@@ -132,8 +144,19 @@ void QueryTracer::Finish(const StmtTrace& trace, bool ok,
            ",\"total_us\":" + Micros(total_ns) +
            ",\"rows\":" + std::to_string(trace.rows) + ",\"cached_plan\":" +
            (trace.used_cached_plan ? "true" : "false") + ",\"slow\":" +
-           (slow ? "true" : "false") + ",\"status\":\"" +
-           (ok ? "ok" : "error") + "\"}";
+           (slow ? "true" : "false");
+    // Wait breakdown: only classes the statement actually waited on, so
+    // the common zero-wait line stays short.
+    std::string waits;
+    for (size_t i = 0; i < kWaitEventCount; ++i) {
+      if (trace.wait_ns[i] == 0) continue;
+      if (!waits.empty()) waits += ",";
+      waits += "\"" +
+               std::string(WaitEventName(static_cast<WaitEvent>(i + 1))) +
+               "_us\":" + Micros(trace.wait_ns[i]);
+    }
+    if (!waits.empty()) line += ",\"waits\":{" + waits + "}";
+    line += ",\"status\":\"" + std::string(ok ? "ok" : "error") + "\"}";
   }
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -141,6 +164,7 @@ void QueryTracer::Finish(const StmtTrace& trace, bool ok,
   if (slow) {
     SlowQueryRecord rec;
     rec.query_id = trace.query_id;
+    rec.session_id = trace.session_id;
     rec.user = user;
     rec.statement = trace.statement;
     rec.parse_ns = trace.parse_ns;
@@ -150,6 +174,9 @@ void QueryTracer::Finish(const StmtTrace& trace, bool ok,
     rec.total_ns = total_ns;
     rec.rows = trace.rows;
     rec.annotated_plan = trace.annotated_plan;
+    for (size_t i = 0; i < kWaitEventCount; ++i) {
+      rec.wait_ns[i] = trace.wait_ns[i];
+    }
     slow_.push_back(std::move(rec));
     if (slow_.size() > kSlowLogCapacity) slow_.pop_front();
   }

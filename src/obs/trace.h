@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/wait_event.h"
 
 namespace exodus::obs {
 
@@ -29,6 +30,9 @@ inline uint64_t MonotonicNowNs() {
 struct StmtTrace {
   /// Monotonically assigned per database (QueryTracer::Begin).
   uint64_t query_id = 0;
+  /// Executing session (SessionRegistry id); 0 for sessionless
+  /// executions (standalone executors in tests).
+  uint64_t session_id = 0;
   /// Statement text; filled lazily by the session only when the tracer
   /// will actually consume it (sink installed or statement was slow).
   std::string statement;
@@ -49,11 +53,37 @@ struct StmtTrace {
   uint64_t plan_capture_threshold_ns = UINT64_MAX;
   /// Plan tree with per-step actuals; empty unless captured.
   std::string annotated_plan;
+  /// Per-class wait time during this statement (index = WaitEvent - 1);
+  /// folded from the session's ActivitySlot at statement end. Feeds the
+  /// JSON `waits` object, the slow-log dominant wait and the
+  /// `\explain analyze` Waits line.
+  uint64_t wait_ns[kWaitEventCount] = {};
+
+  uint64_t total_wait_ns() const {
+    uint64_t t = 0;
+    for (uint64_t w : wait_ns) t += w;
+    return t;
+  }
+  /// The class this statement spent the most time waiting on, or kNone.
+  WaitEvent DominantWait() const {
+    size_t best = 0;
+    uint64_t best_ns = 0;
+    for (size_t i = 0; i < kWaitEventCount; ++i) {
+      if (wait_ns[i] > best_ns) {
+        best_ns = wait_ns[i];
+        best = i + 1;
+      }
+    }
+    return static_cast<WaitEvent>(best);
+  }
 };
 
 /// One slow-query log record.
 struct SlowQueryRecord {
   uint64_t query_id = 0;
+  /// Session the statement ran on — correlates \slowlog with \activity
+  /// and the trace sink (0 = sessionless execution).
+  uint64_t session_id = 0;
   std::string user;
   std::string statement;
   uint64_t parse_ns = 0;
@@ -63,6 +93,10 @@ struct SlowQueryRecord {
   uint64_t total_ns = 0;
   uint64_t rows = 0;
   std::string annotated_plan;
+  /// Per-class wait time (index = WaitEvent - 1); the rendering names
+  /// the dominant class so a slow statement is a diagnosis, not just a
+  /// number.
+  uint64_t wait_ns[kWaitEventCount] = {};
 
   /// Human-readable one-record rendering (shell \slowlog).
   std::string ToString() const;

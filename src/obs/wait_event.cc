@@ -1,0 +1,254 @@
+#include "obs/wait_event.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/trace.h"
+
+namespace exodus::obs {
+
+namespace {
+
+/// Indexed by WaitEvent value minus one (kNone carries no series).
+constexpr const char* kWaitEventNames[kWaitEventCount] = {
+    "mvcc_writer_latch", "mvcc_exclusive_lock", "wal_fsync",
+    "wal_group_commit",  "thread_pool_queue",   "server_send",
+    "client_read",
+};
+
+/// 0 for kNone (invalid as a series index), 1..kWaitEventCount else.
+size_t EventIndex(WaitEvent e) { return static_cast<size_t>(e); }
+
+thread_local ActivitySlot* g_current_slot = nullptr;
+
+}  // namespace
+
+const char* WaitEventName(WaitEvent e) {
+  const size_t i = EventIndex(e);
+  if (i == 0 || i > kWaitEventCount) return "none";
+  return kWaitEventNames[i - 1];
+}
+
+const char* StmtPhaseName(StmtPhase p) {
+  switch (p) {
+    case StmtPhase::kIdle:
+      return "idle";
+    case StmtPhase::kParse:
+      return "parse";
+    case StmtPhase::kBind:
+      return "bind";
+    case StmtPhase::kOptimize:
+      return "optimize";
+    case StmtPhase::kExecute:
+      return "execute";
+  }
+  return "idle";
+}
+
+// ---------------------------------------------------------------------------
+// WaitProfile
+// ---------------------------------------------------------------------------
+
+bool WaitProfile::EnabledFromEnv() {
+  const char* v = std::getenv("EXODUS_WAIT_EVENTS");
+  if (v == nullptr) return true;
+  return std::strcmp(v, "off") != 0 && std::strcmp(v, "0") != 0;
+}
+
+WaitProfile::WaitProfile(MetricsRegistry* registry) {
+  enabled_.store(EnabledFromEnv(), std::memory_order_relaxed);
+  for (size_t i = 0; i < kWaitEventCount; ++i) {
+    const std::string label =
+        std::string("{event=\"") + kWaitEventNames[i] + "\"}";
+    counts_[i] =
+        registry->GetCounter("exodus_wait_events_total" + label);
+    times_[i] = registry->GetHistogram("exodus_wait_time_us" + label);
+  }
+}
+
+void WaitProfile::Record(WaitEvent e, uint64_t ns) {
+  const size_t i = EventIndex(e);
+  if (i == 0 || i > kWaitEventCount || !enabled()) return;
+  counts_[i - 1]->Increment();
+  times_[i - 1]->Record(ns / 1000);
+}
+
+uint64_t WaitProfile::count(WaitEvent e) const {
+  const size_t i = EventIndex(e);
+  if (i == 0 || i > kWaitEventCount) return 0;
+  return counts_[i - 1]->value();
+}
+
+const Histogram* WaitProfile::histogram(WaitEvent e) const {
+  const size_t i = EventIndex(e);
+  if (i == 0 || i > kWaitEventCount) return nullptr;
+  return times_[i - 1];
+}
+
+// ---------------------------------------------------------------------------
+// ActivitySlot
+// ---------------------------------------------------------------------------
+
+void ActivitySlot::BeginStatement(uint64_t qid, const std::string& user_name,
+                                  const std::string* text, uint64_t now_ns) {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    user = user_name;
+    if (text != nullptr) {
+      statement.assign(*text, 0, std::min(text->size(), kMaxStatementBytes));
+    } else {
+      statement.clear();
+    }
+  }
+  query_id.store(qid, std::memory_order_relaxed);
+  start_ns.store(now_ns, std::memory_order_relaxed);
+  phase.store(static_cast<uint8_t>(StmtPhase::kParse),
+              std::memory_order_relaxed);
+  wait.store(0, std::memory_order_relaxed);
+  rows.store(0, std::memory_order_relaxed);
+  batches.store(0, std::memory_order_relaxed);
+  morsels_done.store(0, std::memory_order_relaxed);
+  morsels_total.store(0, std::memory_order_relaxed);
+  for (auto& w : wait_ns) w.store(0, std::memory_order_relaxed);
+  active.store(true, std::memory_order_release);
+}
+
+void ActivitySlot::EndStatement() {
+  phase.store(static_cast<uint8_t>(StmtPhase::kIdle),
+              std::memory_order_relaxed);
+  wait.store(0, std::memory_order_relaxed);
+  active.store(false, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// ActivityRecord
+// ---------------------------------------------------------------------------
+
+std::string ActivityRecord::ToString() const {
+  std::string out = "session " + std::to_string(session_id) + " [" + user +
+                    "] " + (active ? "active" : "idle");
+  if (!active && statement.empty()) return out + "\n";
+  out += " #" + std::to_string(query_id);
+  if (active) {
+    out += " " + std::to_string(elapsed_us) + "us";
+    out += " phase=" + std::string(StmtPhaseName(phase));
+    if (wait != WaitEvent::kNone) {
+      out += " wait=" + std::string(WaitEventName(wait));
+    }
+  }
+  out += " rows=" + std::to_string(rows);
+  if (morsels_total > 0) {
+    out += " morsels=" + std::to_string(morsels_done) + "/" +
+           std::to_string(morsels_total);
+  }
+  if (!statement.empty()) out += "\n  " + statement;
+  out += "\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SessionRegistry
+// ---------------------------------------------------------------------------
+
+ActivitySlot* SessionRegistry::Register(const std::string& user) {
+  auto slot = std::make_unique<ActivitySlot>();
+  ActivitySlot* raw = slot.get();
+  {
+    std::lock_guard<std::mutex> lock(slot->mu);
+    slot->user = user;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  slot->session_id = next_id_++;
+  slots_.push_back(std::move(slot));
+  return raw;
+}
+
+void SessionRegistry::Unregister(ActivitySlot* slot) {
+  if (slot == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+    if (it->get() == slot) {
+      slots_.erase(it);
+      return;
+    }
+  }
+}
+
+std::vector<ActivityRecord> SessionRegistry::Snapshot() const {
+  const uint64_t now = MonotonicNowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ActivityRecord> out;
+  out.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    ActivityRecord rec;
+    rec.session_id = slot->session_id;
+    rec.active = slot->active.load(std::memory_order_acquire);
+    rec.query_id = slot->query_id.load(std::memory_order_relaxed);
+    rec.phase = static_cast<StmtPhase>(
+        slot->phase.load(std::memory_order_relaxed));
+    rec.wait =
+        static_cast<WaitEvent>(slot->wait.load(std::memory_order_relaxed));
+    rec.rows = slot->rows.load(std::memory_order_relaxed);
+    rec.batches = slot->batches.load(std::memory_order_relaxed);
+    rec.morsels_done = slot->morsels_done.load(std::memory_order_relaxed);
+    rec.morsels_total = slot->morsels_total.load(std::memory_order_relaxed);
+    if (rec.active) {
+      const uint64_t t0 = slot->start_ns.load(std::memory_order_relaxed);
+      rec.elapsed_us = now > t0 ? (now - t0) / 1000 : 0;
+    }
+    {
+      std::lock_guard<std::mutex> slot_lock(slot->mu);
+      rec.user = slot->user;
+      rec.statement = slot->statement;
+    }
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+size_t SessionRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local binding + the wait guard
+// ---------------------------------------------------------------------------
+
+ActivitySlot* CurrentActivitySlot() { return g_current_slot; }
+
+ActivityBinding::ActivityBinding(ActivitySlot* slot) : prev_(g_current_slot) {
+  g_current_slot = slot;
+}
+
+ActivityBinding::~ActivityBinding() { g_current_slot = prev_; }
+
+WaitEventGuard::WaitEventGuard(WaitProfile* profile, WaitEvent event,
+                               ActivitySlot* slot)
+    : profile_(profile != nullptr && profile->enabled() ? profile : nullptr),
+      slot_(slot),
+      event_(event) {
+  if (profile_ == nullptr) return;  // ablated: no clock, no publication
+  t0_ = MonotonicNowNs();
+  if (slot_ != nullptr) {
+    prev_ = slot_->wait.load(std::memory_order_relaxed);
+    slot_->wait.store(static_cast<uint8_t>(event_),
+                      std::memory_order_relaxed);
+  }
+}
+
+WaitEventGuard::~WaitEventGuard() {
+  if (profile_ == nullptr) return;
+  const uint64_t ns = MonotonicNowNs() - t0_;
+  if (slot_ != nullptr) {
+    slot_->wait.store(prev_, std::memory_order_relaxed);
+    const size_t i = static_cast<size_t>(event_);
+    if (i >= 1 && i <= kWaitEventCount) {
+      slot_->wait_ns[i - 1].fetch_add(ns, std::memory_order_relaxed);
+    }
+  }
+  profile_->Record(event_, ns);
+}
+
+}  // namespace exodus::obs

@@ -1,0 +1,230 @@
+#ifndef EXODUS_OBS_WAIT_EVENT_H_
+#define EXODUS_OBS_WAIT_EVENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace exodus::obs {
+
+/// Fixed taxonomy of the places a statement (or the engine on its
+/// behalf) can block. Postgres-style wait-event accounting: every class
+/// gets a cumulative count + time histogram in the metrics registry,
+/// and the *current* wait of each session is published into its
+/// ActivitySlot so `\activity` can show what a running statement is
+/// stuck on right now. See docs/observability.md for when each fires.
+enum class WaitEvent : uint8_t {
+  kNone = 0,            ///< not waiting (running on CPU)
+  kMvccWriterLatch,     ///< acquiring a per-extent writer latch
+  kMvccExclusiveLock,   ///< acquiring the database-exclusive lock
+  kWalFsync,            ///< inline WAL write + fdatasync (leader / kSync)
+  kWalGroupCommit,      ///< group-commit follower waiting for a batch
+  kThreadPoolQueue,     ///< job queued behind busy pool workers
+  kServerSend,          ///< server flushing a response frame
+  kClientRead,          ///< server blocked reading the next request
+};
+
+/// Number of real wait classes (kNone excluded from series).
+inline constexpr size_t kWaitEventCount = 7;
+
+/// The `event` label value ("mvcc_writer_latch", ...); "none" for kNone.
+const char* WaitEventName(WaitEvent e);
+
+/// Per-class cumulative wait accounting for one database:
+/// `exodus_wait_events_total{event=...}` and
+/// `exodus_wait_time_us{event=...}` (histogram). Recording is a relaxed
+/// counter add plus one histogram bucket add; the whole subsystem can
+/// be ablated with EXODUS_WAIT_EVENTS=off (or 0), under which guards
+/// skip even the clock reads.
+class WaitProfile {
+ public:
+  explicit WaitProfile(MetricsRegistry* registry);
+  WaitProfile(const WaitProfile&) = delete;
+  WaitProfile& operator=(const WaitProfile&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  /// Runtime toggle (benchmark ablation); overrides the env default.
+  void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Records one completed wait of `ns` nanoseconds. No-op when
+  /// disabled or for kNone.
+  void Record(WaitEvent e, uint64_t ns);
+
+  /// Cumulative count / time series for one class (tests, \waits).
+  uint64_t count(WaitEvent e) const;
+  const Histogram* histogram(WaitEvent e) const;
+
+  /// False iff EXODUS_WAIT_EVENTS is "off" or "0".
+  static bool EnabledFromEnv();
+
+ private:
+  std::atomic<bool> enabled_{true};
+  Counter* counts_[kWaitEventCount] = {};
+  Histogram* times_[kWaitEventCount] = {};
+};
+
+/// Statement phase published into the activity slot (coarser than the
+/// trace's timings: it answers "what is it doing *now*").
+enum class StmtPhase : uint8_t {
+  kIdle = 0,
+  kParse,
+  kBind,
+  kOptimize,
+  kExecute,
+};
+
+const char* StmtPhaseName(StmtPhase p);
+
+/// One session's live activity record, readable lock-free while the
+/// session executes. Hot fields (phase, current wait, progress
+/// counters, per-class wait accumulation) are relaxed atomics the
+/// executing thread stores and readers load; string fields (user,
+/// statement text) change only at statement boundaries and are guarded
+/// by a tiny mutex taken at begin/end and by snapshot readers — never
+/// inside the execution hot loop. TSan-clean by construction.
+struct ActivitySlot {
+  /// Truncation bound for the published statement text: enough to
+  /// recognize the statement, cheap enough to copy per statement.
+  static constexpr size_t kMaxStatementBytes = 256;
+
+  uint64_t session_id = 0;
+
+  // --- hot fields: relaxed atomics, stored by the executing thread ---
+  std::atomic<bool> active{false};
+  std::atomic<uint8_t> phase{0};   ///< StmtPhase
+  std::atomic<uint8_t> wait{0};    ///< WaitEvent currently blocking, or kNone
+  std::atomic<uint64_t> query_id{0};
+  std::atomic<uint64_t> start_ns{0};  ///< MonotonicNowNs at statement begin
+  std::atomic<uint64_t> rows{0};      ///< rows produced so far
+  std::atomic<uint64_t> batches{0};   ///< batch windows completed so far
+  std::atomic<uint64_t> morsels_done{0};
+  std::atomic<uint64_t> morsels_total{0};  ///< 0 = not a parallel plan
+  /// Per-statement wait time by class (index = WaitEvent - 1); reset at
+  /// statement begin, folded into the trace at statement end.
+  std::atomic<uint64_t> wait_ns[kWaitEventCount] = {};
+
+  // --- boundary fields: guarded by mu ---
+  mutable std::mutex mu;
+  std::string user;
+  std::string statement;  ///< truncated to kMaxStatementBytes
+
+  /// Marks a statement as running: publishes query id, start time, the
+  /// (truncated) text and the session's current user, and zeroes the
+  /// progress and wait accumulators.
+  void BeginStatement(uint64_t qid, const std::string& user_name,
+                      const std::string* text, uint64_t now_ns);
+  /// Back to idle. Progress counters stay readable until the next
+  /// BeginStatement (a `\activity` right after completion still shows
+  /// what just ran as idle).
+  void EndStatement();
+
+  void SetPhase(StmtPhase p) {
+    phase.store(static_cast<uint8_t>(p), std::memory_order_relaxed);
+  }
+  void AddRows(uint64_t n) { rows.fetch_add(n, std::memory_order_relaxed); }
+  void AddBatches(uint64_t n) {
+    batches.fetch_add(n, std::memory_order_relaxed);
+  }
+};
+
+/// A read-side copy of one slot (SessionRegistry::Snapshot).
+struct ActivityRecord {
+  uint64_t session_id = 0;
+  std::string user;
+  bool active = false;
+  uint64_t query_id = 0;
+  std::string statement;
+  uint64_t elapsed_us = 0;  ///< since statement start; 0 when idle
+  StmtPhase phase = StmtPhase::kIdle;
+  WaitEvent wait = WaitEvent::kNone;
+  uint64_t rows = 0;
+  uint64_t batches = 0;
+  uint64_t morsels_done = 0;
+  uint64_t morsels_total = 0;
+
+  /// One `\activity` line.
+  std::string ToString() const;
+};
+
+/// The per-database directory of live sessions. Register/Unregister
+/// bracket a Session's lifetime; Snapshot serves `\activity` and the
+/// ACTIVITY wire message. Slot pointers are stable until Unregister.
+class SessionRegistry {
+ public:
+  SessionRegistry() = default;
+  SessionRegistry(const SessionRegistry&) = delete;
+  SessionRegistry& operator=(const SessionRegistry&) = delete;
+
+  ActivitySlot* Register(const std::string& user);
+  void Unregister(ActivitySlot* slot);
+
+  /// Copies every live slot (idle sessions included), session-id order.
+  std::vector<ActivityRecord> Snapshot() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 1;
+  std::vector<std::unique_ptr<ActivitySlot>> slots_;
+};
+
+/// The executing thread's current activity slot, bound for the duration
+/// of a statement by ActivityBinding so deep callees (the WAL writer,
+/// the concurrency controller) publish waits without plumbing a slot
+/// through every signature. Null outside a statement.
+ActivitySlot* CurrentActivitySlot();
+
+/// RAII thread-local binding of `slot` (nesting-safe: restores the
+/// previous binding, so a statement executed inside another statement's
+/// machinery never leaks its slot).
+class ActivityBinding {
+ public:
+  explicit ActivityBinding(ActivitySlot* slot);
+  ~ActivityBinding();
+  ActivityBinding(const ActivityBinding&) = delete;
+  ActivityBinding& operator=(const ActivityBinding&) = delete;
+
+ private:
+  ActivitySlot* prev_;
+};
+
+/// RAII wait instrument. Construction publishes `event` as the bound
+/// slot's current wait (saving the previous one — guards nest) and
+/// reads the clock; destruction restores the previous wait, records
+/// count + time into the profile and accumulates per-statement wait
+/// time on the slot. With a null or disabled profile the guard is a
+/// no-op (no clock reads), which is the EXODUS_WAIT_EVENTS=off
+/// ablation path.
+class WaitEventGuard {
+ public:
+  /// Uses the thread-local CurrentActivitySlot() for publication.
+  WaitEventGuard(WaitProfile* profile, WaitEvent event)
+      : WaitEventGuard(profile, event, CurrentActivitySlot()) {}
+
+  /// Explicit-slot form for threads that are not bound to a statement
+  /// (the server's connection thread publishing send/read waits).
+  WaitEventGuard(WaitProfile* profile, WaitEvent event, ActivitySlot* slot);
+  ~WaitEventGuard();
+
+  WaitEventGuard(const WaitEventGuard&) = delete;
+  WaitEventGuard& operator=(const WaitEventGuard&) = delete;
+
+ private:
+  WaitProfile* profile_;
+  ActivitySlot* slot_;
+  WaitEvent event_;
+  uint8_t prev_ = 0;
+  uint64_t t0_ = 0;
+};
+
+}  // namespace exodus::obs
+
+#endif  // EXODUS_OBS_WAIT_EVENT_H_

@@ -154,6 +154,16 @@ Result<std::string> Client::Metrics() {
   return r.Str();
 }
 
+Result<ActivityPayload> Client::Activity() {
+  EXODUS_ASSIGN_OR_RETURN(Frame reply,
+                          RoundTrip(MsgType::kActivity, std::string()));
+  if (reply.type != MsgType::kActivityReply) {
+    return Status::IoError("unexpected ACTIVITY response");
+  }
+  WireReader r(reply.body);
+  return ActivityPayload::Decode(&r);
+}
+
 Result<Client::WalTailReply> Client::WalTail(uint64_t after_lsn) {
   std::string body;
   PutU64(after_lsn, &body);

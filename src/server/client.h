@@ -67,6 +67,12 @@ class Client {
   /// statement and server series.
   util::Result<std::string> Metrics();
 
+  /// Live per-session activity (the \activity command): what every
+  /// session is executing right now, its phase, current wait event and
+  /// row/morsel progress. Answered by the server without queuing behind
+  /// running statements.
+  util::Result<ActivityPayload> Activity();
+
   /// One WAL_TAIL round against a journaling primary: either the next
   /// batch of durable records after `after_lsn` (`records`), or — when
   /// the primary's checkpoints have already dropped that part of the

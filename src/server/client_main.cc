@@ -4,7 +4,9 @@
 //
 // Reads EXCESS statements (terminated by ';' or a blank line) and runs
 // them on the server. Commands: \stats prints server counters,
-// \metrics dumps the Prometheus text exposition, \quit exits. EOF
+// \metrics dumps the Prometheus text exposition, \activity shows the
+// live per-session activity view, \waits shows cumulative wait-event
+// counters, \quit exits. EOF
 // (ctrl-D) exits cleanly with status 0; a lost server connection
 // prints a message and exits 1.
 
@@ -13,6 +15,7 @@
 #include <cctype>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "server/client.h"
@@ -58,7 +61,8 @@ int main(int argc, char** argv) {
   }
   std::unique_ptr<exodus::server::Client> client = std::move(*connected);
   std::cout << "connected to " << host << ":" << port << " as " << user
-            << " (\\stats for counters, \\quit or ctrl-D to exit)\n";
+            << " (\\stats for counters, \\activity for live sessions, "
+               "\\quit or ctrl-D to exit)\n";
 
   std::string buffer;
   std::string line;
@@ -91,8 +95,37 @@ int main(int argc, char** argv) {
         std::cout << *text;
         continue;
       }
+      if (line == "\\activity") {
+        auto activity = client->Activity();
+        if (!activity.ok()) {
+          std::cerr << activity.status().ToString() << "\n";
+          if (!client->connected()) return 1;
+          continue;
+        }
+        std::cout << activity->ToString();
+        continue;
+      }
+      if (line == "\\waits") {
+        // The cumulative wait profile is part of the metrics exposition;
+        // show just the exodus_wait_* series (plus their HELP/TYPE).
+        auto text = client->Metrics();
+        if (!text.ok()) {
+          std::cerr << text.status().ToString() << "\n";
+          if (!client->connected()) return 1;
+          continue;
+        }
+        std::istringstream in(*text);
+        std::string mline;
+        while (std::getline(in, mline)) {
+          if (mline.find("exodus_wait_") != std::string::npos) {
+            std::cout << mline << "\n";
+          }
+        }
+        continue;
+      }
       std::cerr << "unknown command '" << line
-                << "' (try \\stats, \\metrics or \\quit)\n";
+                << "' (try \\stats, \\metrics, \\activity, \\waits or "
+                   "\\quit)\n";
       continue;
     }
     // Statement accumulation: run on ';' or on a blank line ending a

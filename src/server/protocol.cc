@@ -17,7 +17,7 @@ using util::Status;
 
 bool IsRequestType(uint8_t t) {
   return t >= static_cast<uint8_t>(MsgType::kHello) &&
-         t <= static_cast<uint8_t>(MsgType::kWalTail);
+         t <= static_cast<uint8_t>(MsgType::kActivity);
 }
 
 // ---------------------------------------------------------------------------
@@ -412,6 +412,74 @@ Result<WalRecordsPayload> WalRecordsPayload::Decode(WireReader* r) {
     p.records.push_back(std::move(rec));
   }
   return p;
+}
+
+void ActivityPayload::EncodeTo(std::string* out) const {
+  PutU32(static_cast<uint32_t>(entries.size()), out);
+  for (const Entry& e : entries) {
+    PutU64(e.session_id, out);
+    PutString(e.user, out);
+    PutU8(e.active, out);
+    PutU64(e.query_id, out);
+    PutString(e.statement, out);
+    PutU64(e.elapsed_us, out);
+    PutString(e.phase, out);
+    PutString(e.wait, out);
+    PutU64(e.rows, out);
+    PutU64(e.batches, out);
+    PutU64(e.morsels_done, out);
+    PutU64(e.morsels_total, out);
+  }
+}
+
+Result<ActivityPayload> ActivityPayload::Decode(WireReader* r) {
+  ActivityPayload p;
+  EXODUS_ASSIGN_OR_RETURN(uint32_t count, r->U32());
+  p.entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Entry e;
+    EXODUS_ASSIGN_OR_RETURN(e.session_id, r->U64());
+    EXODUS_ASSIGN_OR_RETURN(e.user, r->Str());
+    EXODUS_ASSIGN_OR_RETURN(e.active, r->U8());
+    EXODUS_ASSIGN_OR_RETURN(e.query_id, r->U64());
+    EXODUS_ASSIGN_OR_RETURN(e.statement, r->Str());
+    EXODUS_ASSIGN_OR_RETURN(e.elapsed_us, r->U64());
+    EXODUS_ASSIGN_OR_RETURN(e.phase, r->Str());
+    EXODUS_ASSIGN_OR_RETURN(e.wait, r->Str());
+    EXODUS_ASSIGN_OR_RETURN(e.rows, r->U64());
+    EXODUS_ASSIGN_OR_RETURN(e.batches, r->U64());
+    EXODUS_ASSIGN_OR_RETURN(e.morsels_done, r->U64());
+    EXODUS_ASSIGN_OR_RETURN(e.morsels_total, r->U64());
+    p.entries.push_back(std::move(e));
+  }
+  return p;
+}
+
+std::string ActivityPayload::ToString() const {
+  if (entries.empty()) return "no sessions\n";
+  std::string out;
+  for (const Entry& e : entries) {
+    out += "session " + std::to_string(e.session_id) + " [" + e.user + "] " +
+           (e.active != 0 ? "active" : "idle");
+    if (e.active == 0 && e.statement.empty()) {
+      out += "\n";
+      continue;
+    }
+    out += " #" + std::to_string(e.query_id);
+    if (e.active != 0) {
+      out += " " + std::to_string(e.elapsed_us) + "us";
+      out += " phase=" + e.phase;
+      if (!e.wait.empty()) out += " wait=" + e.wait;
+    }
+    out += " rows=" + std::to_string(e.rows);
+    if (e.morsels_total > 0) {
+      out += " morsels=" + std::to_string(e.morsels_done) + "/" +
+             std::to_string(e.morsels_total);
+    }
+    if (!e.statement.empty()) out += "\n  " + e.statement;
+    out += "\n";
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------

@@ -28,8 +28,9 @@ namespace exodus::server {
 
 /// Protocol revision; sent by the client in HELLO and checked by the
 /// server (a mismatch is a clean ERROR, not a hang). Version 2 added
-/// WAL_TAIL and the durability/replica fields of StatsPayload.
-constexpr uint8_t kProtocolVersion = 2;
+/// WAL_TAIL and the durability/replica fields of StatsPayload; version
+/// 3 added ACTIVITY (live session introspection).
+constexpr uint8_t kProtocolVersion = 3;
 
 /// Upper bound on a frame payload. Anything larger is treated as a
 /// malformed frame and fails the connection without allocating.
@@ -51,6 +52,7 @@ enum class MsgType : uint8_t {
   kBye = 0x07,       // (empty)
   kMetrics = 0x08,   // (empty)
   kWalTail = 0x09,   // u64 after_lsn — see WalRecordsPayload
+  kActivity = 0x0A,  // (empty) — see ActivityPayload
 
   // Responses (server -> client).
   kOk = 0x81,          // string message
@@ -61,6 +63,7 @@ enum class MsgType : uint8_t {
   kMetricsReply = 0x86,  // string: Prometheus text exposition
   kWalSnapshotReply = 0x87,  // see WalSnapshotPayload (bootstrap)
   kWalRecordsReply = 0x88,   // see WalRecordsPayload (incremental)
+  kActivityReply = 0x89,     // see ActivityPayload
 };
 
 /// True if `t` is one of the defined request types.
@@ -206,6 +209,34 @@ struct WalRecordsPayload {
 
   void EncodeTo(std::string* out) const;
   static util::Result<WalRecordsPayload> Decode(WireReader* r);
+};
+
+/// The ACTIVITY response (protocol v3): one entry per live session —
+/// pg_stat_activity for EXODUS. Phase and wait travel as their label
+/// strings, so old clients render entries from newer servers without
+/// knowing the enum.
+struct ActivityPayload {
+  struct Entry {
+    uint64_t session_id = 0;
+    std::string user;
+    uint8_t active = 0;
+    uint64_t query_id = 0;
+    std::string statement;  ///< truncated server-side
+    uint64_t elapsed_us = 0;
+    std::string phase;  ///< "idle" | "parse" | "bind" | "optimize" | "execute"
+    std::string wait;   ///< current wait-event name, "" when running
+    uint64_t rows = 0;
+    uint64_t batches = 0;
+    uint64_t morsels_done = 0;
+    uint64_t morsels_total = 0;
+  };
+  std::vector<Entry> entries;
+
+  void EncodeTo(std::string* out) const;
+  static util::Result<ActivityPayload> Decode(WireReader* r);
+
+  /// Plain-text rendering (one block per session, `\activity`).
+  std::string ToString() const;
 };
 
 // ---------------------------------------------------------------------------

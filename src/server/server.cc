@@ -14,6 +14,7 @@
 
 #include "excess/database.h"
 #include "excess/session.h"
+#include "obs/wait_event.h"
 #include "wal/wal_writer.h"
 
 namespace exodus::server {
@@ -192,6 +193,13 @@ void Server::ReapConnections() {
   }
 }
 
+Status Server::SendFrame(Connection* conn, MsgType type,
+                         const std::string& body) {
+  obs::WaitEventGuard wait(db_->wait_profile(),
+                           obs::WaitEvent::kServerSend);
+  return WriteFrame(conn->fd, type, body);
+}
+
 void Server::RunOnPool(std::function<void()> job) {
   std::promise<void> done;
   std::future<void> fut = done.get_future();
@@ -238,7 +246,15 @@ void Server::ServeConnection(Connection* conn) {
     SendError(conn->fd, Status::Internal("cannot open a session"));
   } else {
     while (true) {
-      Result<Frame> frame = ReadFrame(conn->fd);
+      Result<Frame> frame(Status::Internal("not read"));
+      {
+        // The connection thread blocking for the next request is the
+        // `client_read` wait class. No statement is running on this
+        // thread, so only the cumulative series move.
+        obs::WaitEventGuard wait(db_->wait_profile(),
+                                 obs::WaitEvent::kClientRead);
+        frame = ReadFrame(conn->fd);
+      }
       if (!frame.ok()) {
         // NotFound = the peer hung up between requests (normal). A
         // malformed or torn frame gets a best-effort error reply; both
@@ -329,7 +345,7 @@ bool Server::HandleFrame(Connection* conn, const Frame& frame) {
       }
       std::string body;
       payload.EncodeTo(&body);
-      return WriteFrame(conn->fd, MsgType::kRows, body).ok();
+      return SendFrame(conn, MsgType::kRows, body).ok();
     }
 
     case MsgType::kPrepare: {
@@ -353,7 +369,7 @@ bool Server::HandleFrame(Connection* conn, const Frame& frame) {
       std::string body;
       PutU32(handle, &body);
       PutU32(static_cast<uint32_t>(param_count), &body);
-      return WriteFrame(conn->fd, MsgType::kPrepared, body).ok();
+      return SendFrame(conn, MsgType::kPrepared, body).ok();
     }
 
     case MsgType::kExecute: {
@@ -422,7 +438,7 @@ bool Server::HandleFrame(Connection* conn, const Frame& frame) {
       }
       std::string body;
       payload.EncodeTo(&body);
-      return WriteFrame(conn->fd, MsgType::kRows, body).ok();
+      return SendFrame(conn, MsgType::kRows, body).ok();
     }
 
     case MsgType::kCloseStmt: {
@@ -440,7 +456,7 @@ bool Server::HandleFrame(Connection* conn, const Frame& frame) {
       StatsPayload stats = BuildStats(*conn);
       std::string body;
       stats.EncodeTo(&body);
-      return WriteFrame(conn->fd, MsgType::kStatsReply, body).ok();
+      return SendFrame(conn, MsgType::kStatsReply, body).ok();
     }
 
     case MsgType::kMetrics: {
@@ -448,7 +464,35 @@ bool Server::HandleFrame(Connection* conn, const Frame& frame) {
       // so a scrape never queues behind a long-running statement.
       std::string body;
       PutString(db_->metrics()->RenderPrometheus(), &body);
-      return WriteFrame(conn->fd, MsgType::kMetricsReply, body).ok();
+      return SendFrame(conn, MsgType::kMetricsReply, body).ok();
+    }
+
+    case MsgType::kActivity: {
+      // Like kMetrics: answered on the connection thread, never through
+      // the pool — an activity probe must work precisely when the pool
+      // is saturated by the statements being introspected.
+      ActivityPayload p;
+      for (const obs::ActivityRecord& rec : db_->sessions()->Snapshot()) {
+        ActivityPayload::Entry e;
+        e.session_id = rec.session_id;
+        e.user = rec.user;
+        e.active = rec.active ? 1 : 0;
+        e.query_id = rec.query_id;
+        e.statement = rec.statement;
+        e.elapsed_us = rec.elapsed_us;
+        e.phase = obs::StmtPhaseName(rec.phase);
+        if (rec.wait != obs::WaitEvent::kNone) {
+          e.wait = obs::WaitEventName(rec.wait);
+        }
+        e.rows = rec.rows;
+        e.batches = rec.batches;
+        e.morsels_done = rec.morsels_done;
+        e.morsels_total = rec.morsels_total;
+        p.entries.push_back(std::move(e));
+      }
+      std::string body;
+      p.EncodeTo(&body);
+      return SendFrame(conn, MsgType::kActivityReply, body).ok();
     }
 
     case MsgType::kWalTail: {
@@ -509,7 +553,7 @@ bool Server::HandleFrame(Connection* conn, const Frame& frame) {
         }
         std::string body;
         snap->EncodeTo(&body);
-        return WriteFrame(conn->fd, MsgType::kWalSnapshotReply, body).ok();
+        return SendFrame(conn, MsgType::kWalSnapshotReply, body).ok();
       }
       auto records = w->ReadAfter(*after, kWalTailBatchBytes);
       if (!records.ok()) {
@@ -523,7 +567,7 @@ bool Server::HandleFrame(Connection* conn, const Frame& frame) {
       p.records = std::move(*records);
       std::string body;
       p.EncodeTo(&body);
-      return WriteFrame(conn->fd, MsgType::kWalRecordsReply, body).ok();
+      return SendFrame(conn, MsgType::kWalRecordsReply, body).ok();
     }
 
     case MsgType::kBye:

@@ -105,6 +105,11 @@ class Server {
   /// Falls back to inline execution if the pool is shutting down.
   void RunOnPool(std::function<void()> job);
 
+  /// WriteFrame wrapped in a `server_send` wait guard: response
+  /// flushing that blocks on the socket shows up in the wait profile.
+  util::Status SendFrame(Connection* conn, MsgType type,
+                         const std::string& body);
+
   StatsPayload BuildStats(const Connection& conn) const;
 
   /// Joins finished connection threads (called from the accept loop).

@@ -1,5 +1,6 @@
 #include "util/thread_pool.h"
 
+#include <chrono>
 #include <utility>
 
 namespace exodus::util {
@@ -23,10 +24,31 @@ bool ThreadPool::Submit(std::function<void()> job) {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutting_down_) return false;
     if (workers_.empty()) SpawnLocked();
-    queue_.push_back(std::move(job));
+    if (queue_wait_hook_) {
+      // Wrap so the worker reports enqueue -> dequeue latency before
+      // running the job. Copying the hook keeps the wrapper valid even
+      // if the hook is cleared while the job is queued.
+      const auto enqueued = std::chrono::steady_clock::now();
+      queue_.push_back(
+          [hook = queue_wait_hook_, enqueued, job = std::move(job)] {
+            const auto now = std::chrono::steady_clock::now();
+            hook(static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    now - enqueued)
+                    .count()));
+            job();
+          });
+    } else {
+      queue_.push_back(std::move(job));
+    }
   }
   cv_.notify_one();
   return true;
+}
+
+void ThreadPool::SetQueueWaitHook(std::function<void(uint64_t)> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_wait_hook_ = std::move(hook);
 }
 
 void ThreadPool::Shutdown() {

@@ -42,6 +42,13 @@ class ThreadPool {
   /// effects can fall back instead of blocking forever.
   bool Submit(std::function<void()> job);
 
+  /// Installs a hook invoked on the worker thread with each job's queue
+  /// wait (enqueue -> dequeue, nanoseconds) just before the job runs.
+  /// Keeps the pool free of any observability dependency: the Database
+  /// points this at its wait profile (`thread_pool_queue` wait events).
+  /// Set once before the pool is shared across threads; null clears.
+  void SetQueueWaitHook(std::function<void(uint64_t wait_ns)> hook);
+
   /// Drains the queue and joins all workers. Idempotent.
   void Shutdown();
 
@@ -60,6 +67,7 @@ class ThreadPool {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  std::function<void(uint64_t)> queue_wait_hook_;  // guarded by mu_
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
   size_t target_threads_ = 1;

@@ -6,6 +6,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/wait_event.h"
+
 namespace exodus::wal {
 
 using util::Result;
@@ -131,10 +133,17 @@ Status WalWriter::FlushLocked(std::unique_lock<std::mutex>& io_lock) {
     pending_first_lsn_ = 0;
   }
 
-  Status st = WriteFully(fd_, batch.data(), batch.size(), active_path_);
-  if (st.ok() && ::fdatasync(fd_) != 0) {
-    st = Status::IoError("fdatasync of WAL segment '" + active_path_ +
-                         "' failed: " + std::strerror(errno));
+  Status st;
+  {
+    // The write+fdatasync is the durability stall of a leader / kSync
+    // committer; on the flusher thread no slot is bound, so only the
+    // cumulative series move.
+    obs::WaitEventGuard wait(wait_profile_, obs::WaitEvent::kWalFsync);
+    st = WriteFully(fd_, batch.data(), batch.size(), active_path_);
+    if (st.ok() && ::fdatasync(fd_) != 0) {
+      st = Status::IoError("fdatasync of WAL segment '" + active_path_ +
+                           "' failed: " + std::strerror(errno));
+    }
   }
 
   if (st.ok()) {
@@ -241,6 +250,8 @@ Result<uint64_t> WalWriter::Append(RecordType type, const std::string& payload,
         return lsn;
       }
       cv_flusher_.notify_one();
+      obs::WaitEventGuard wait(wait_profile_,
+                               obs::WaitEvent::kWalGroupCommit);
       std::unique_lock<std::mutex> lock(mu_);
       cv_durable_.wait(lock, [this, lsn] {
         return last_durable_lsn_ >= lsn || !io_error_.ok();

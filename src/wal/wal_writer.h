@@ -16,6 +16,10 @@
 #include "wal/wal_format.h"
 #include "wal/wal_reader.h"
 
+namespace exodus::obs {
+class WaitProfile;  // obs/wait_event.h
+}
+
 namespace exodus::wal {
 
 /// The append side of the write-ahead log: a single writer object shared
@@ -129,6 +133,13 @@ class WalWriter {
   Counters counters();
   const std::string& base_path() const { return base_path_; }
 
+  /// Installs the database's wait profile so commit-path blocking
+  /// publishes wait events: the inline write+fdatasync as `wal_fsync`,
+  /// a group-commit follower's wait for its batch as
+  /// `wal_group_commit`. Set once right after Open, before the writer
+  /// is shared (null = no publication).
+  void SetWaitProfile(obs::WaitProfile* profile) { wait_profile_ = profile; }
+
  private:
   explicit WalWriter(std::string base_path, Options opts)
       : base_path_(std::move(base_path)), opts_(opts) {}
@@ -146,6 +157,9 @@ class WalWriter {
 
   const std::string base_path_;
   const Options opts_;
+  /// Wait-event publication target (owned by the Database; set once
+  /// after Open, before concurrent appends).
+  obs::WaitProfile* wait_profile_ = nullptr;
 
   // --- file state, guarded by io_mu_ ---
   std::mutex io_mu_;

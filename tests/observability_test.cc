@@ -6,16 +6,19 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "excess/database.h"
 #include "excess/session.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/wait_event.h"
 #include "server/client.h"
 #include "server/server.h"
 
@@ -143,6 +146,158 @@ TEST(HistogramTest, PercentilesSplitAcrossBuckets) {
   EXPECT_EQ(h.Percentile(0.50), 16u);
   EXPECT_EQ(h.Percentile(0.89), 16u);
   EXPECT_EQ(h.Percentile(0.99), 8192u);
+}
+
+// ---------------------------------------------------------------------------
+// Wait profile: per-class count + time accounting and the RAII guard
+// ---------------------------------------------------------------------------
+
+TEST(WaitProfileTest, RecordAccumulatesCountAndHistogram) {
+  obs::MetricsRegistry reg;
+  obs::WaitProfile profile(&reg);
+  profile.SetEnabled(true);
+  profile.Record(obs::WaitEvent::kWalFsync, 2'500'000);  // 2500 us
+  profile.Record(obs::WaitEvent::kWalFsync, 100'000);    // 100 us
+
+  EXPECT_EQ(profile.count(obs::WaitEvent::kWalFsync), 2u);
+  const obs::Histogram* h = profile.histogram(obs::WaitEvent::kWalFsync);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->TotalCount(), 2u);
+  // Recorded in microseconds: 100 -> bucket [64, 128), 2500 -> [2048,
+  // 4096); the histogram math is the shared power-of-two scheme.
+  EXPECT_EQ(h->Percentile(0.0), 128u);
+  EXPECT_EQ(h->Percentile(1.0), 4096u);
+
+  std::string text = reg.RenderPrometheus();
+  EXPECT_EQ(
+      MetricValue(text, "exodus_wait_events_total{event=\"wal_fsync\"}"), 2u);
+  EXPECT_EQ(
+      MetricValue(text, "exodus_wait_time_us_count{event=\"wal_fsync\"}"),
+      2u);
+  // Every class is registered up front, untouched ones at zero.
+  EXPECT_EQ(MetricValue(
+                text, "exodus_wait_events_total{event=\"mvcc_writer_latch\"}"),
+            0u);
+}
+
+TEST(WaitProfileTest, NoneAndDisabledAreNoOps) {
+  obs::MetricsRegistry reg;
+  obs::WaitProfile profile(&reg);
+  profile.SetEnabled(true);
+  profile.Record(obs::WaitEvent::kNone, 1'000'000);
+  EXPECT_EQ(profile.count(obs::WaitEvent::kNone), 0u);
+
+  profile.SetEnabled(false);
+  profile.Record(obs::WaitEvent::kWalFsync, 1'000'000);
+  EXPECT_EQ(profile.count(obs::WaitEvent::kWalFsync), 0u);
+}
+
+TEST(WaitProfileTest, EventNamesRoundTrip) {
+  EXPECT_STREQ(obs::WaitEventName(obs::WaitEvent::kNone), "none");
+  EXPECT_STREQ(obs::WaitEventName(obs::WaitEvent::kMvccWriterLatch),
+               "mvcc_writer_latch");
+  EXPECT_STREQ(obs::WaitEventName(obs::WaitEvent::kClientRead),
+               "client_read");
+}
+
+TEST(WaitEventGuardTest, GuardsNestAndRestoreThePreviousWait) {
+  obs::MetricsRegistry reg;
+  obs::WaitProfile profile(&reg);
+  obs::ActivitySlot slot;
+  {
+    obs::WaitEventGuard outer(&profile, obs::WaitEvent::kWalGroupCommit,
+                              &slot);
+    EXPECT_EQ(slot.wait.load(),
+              static_cast<uint8_t>(obs::WaitEvent::kWalGroupCommit));
+    {
+      obs::WaitEventGuard inner(&profile, obs::WaitEvent::kWalFsync, &slot);
+      EXPECT_EQ(slot.wait.load(),
+                static_cast<uint8_t>(obs::WaitEvent::kWalFsync));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // The inner guard restored the outer wait and recorded its episode.
+    EXPECT_EQ(slot.wait.load(),
+              static_cast<uint8_t>(obs::WaitEvent::kWalGroupCommit));
+    EXPECT_EQ(profile.count(obs::WaitEvent::kWalFsync), 1u);
+    EXPECT_EQ(profile.count(obs::WaitEvent::kWalGroupCommit), 0u);
+  }
+  EXPECT_EQ(slot.wait.load(), 0u);  // back to kNone
+  EXPECT_EQ(profile.count(obs::WaitEvent::kWalGroupCommit), 1u);
+  // Both episodes accumulated per-statement time on the slot (the inner
+  // one slept, so its class is measurably non-zero).
+  EXPECT_GT(
+      slot.wait_ns[static_cast<size_t>(obs::WaitEvent::kWalFsync) - 1].load(),
+      0u);
+}
+
+TEST(WaitEventGuardTest, ReentrantSameClassEpisodesAccumulate) {
+  obs::MetricsRegistry reg;
+  obs::WaitProfile profile(&reg);
+  obs::ActivitySlot slot;
+  for (int i = 0; i < 3; ++i) {
+    obs::WaitEventGuard g(&profile, obs::WaitEvent::kMvccWriterLatch, &slot);
+  }
+  {
+    // Same class nested inside itself: restore keeps the outer value.
+    obs::WaitEventGuard outer(&profile, obs::WaitEvent::kMvccWriterLatch,
+                              &slot);
+    {
+      obs::WaitEventGuard inner(&profile, obs::WaitEvent::kMvccWriterLatch,
+                                &slot);
+    }
+    EXPECT_EQ(slot.wait.load(),
+              static_cast<uint8_t>(obs::WaitEvent::kMvccWriterLatch));
+  }
+  EXPECT_EQ(slot.wait.load(), 0u);
+  EXPECT_EQ(profile.count(obs::WaitEvent::kMvccWriterLatch), 5u);
+}
+
+TEST(WaitEventGuardTest, DisabledOrNullProfileIsANoOp) {
+  obs::MetricsRegistry reg;
+  obs::WaitProfile profile(&reg);
+  profile.SetEnabled(false);
+  obs::ActivitySlot slot;
+  {
+    obs::WaitEventGuard g(&profile, obs::WaitEvent::kWalFsync, &slot);
+    // Ablated: the guard publishes nothing, not even the current wait.
+    EXPECT_EQ(slot.wait.load(), 0u);
+  }
+  EXPECT_EQ(profile.count(obs::WaitEvent::kWalFsync), 0u);
+  EXPECT_EQ(
+      slot.wait_ns[static_cast<size_t>(obs::WaitEvent::kWalFsync) - 1].load(),
+      0u);
+  {
+    obs::WaitEventGuard g(nullptr, obs::WaitEvent::kWalFsync, &slot);
+    EXPECT_EQ(slot.wait.load(), 0u);
+  }
+}
+
+TEST(WaitEventGuardTest, ThreadLocalBindingNestsAndRestores) {
+  EXPECT_EQ(obs::CurrentActivitySlot(), nullptr);
+  obs::ActivitySlot slot;
+  obs::MetricsRegistry reg;
+  obs::WaitProfile profile(&reg);
+  {
+    obs::ActivityBinding binding(&slot);
+    EXPECT_EQ(obs::CurrentActivitySlot(), &slot);
+    {
+      obs::ActivityBinding nested(nullptr);
+      EXPECT_EQ(obs::CurrentActivitySlot(), nullptr);
+      // A guard on an unbound thread records cumulative series only.
+      obs::WaitEventGuard g(&profile, obs::WaitEvent::kServerSend);
+      EXPECT_EQ(slot.wait.load(), 0u);
+    }
+    EXPECT_EQ(obs::CurrentActivitySlot(), &slot);
+    // The slot-less guard still recorded its episode.
+    EXPECT_EQ(profile.count(obs::WaitEvent::kServerSend), 1u);
+    // A guard using the implicit binding publishes to the bound slot.
+    {
+      obs::WaitEventGuard g(&profile, obs::WaitEvent::kThreadPoolQueue);
+      EXPECT_EQ(slot.wait.load(),
+                static_cast<uint8_t>(obs::WaitEvent::kThreadPoolQueue));
+    }
+  }
+  EXPECT_EQ(obs::CurrentActivitySlot(), nullptr);
 }
 
 // ---------------------------------------------------------------------------
@@ -335,6 +490,7 @@ TEST_F(ObservabilityTest, TraceSinkReceivesJsonLines) {
 
   ASSERT_EQ(lines.size(), 2u);
   EXPECT_NE(lines[0].find("\"query_id\":"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"session_id\":"), std::string::npos) << lines[0];
   EXPECT_NE(lines[0].find("\"statement\":\"retrieve (E.name, D.floor)"),
             std::string::npos)
       << lines[0];

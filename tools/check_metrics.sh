@@ -97,12 +97,34 @@ check_increased() {
   fi
 }
 
+# Every metric family must be registered exactly once: a duplicate
+# `# TYPE` header means two call sites registered the same series and
+# Prometheus will reject the scrape.
+DUPES=$(printf '%s\n' "$SCRAPE2" | grep '^# TYPE ' | sort | uniq -d)
+if [ -n "$DUPES" ]; then
+  echo "FAIL: duplicate # TYPE families in exposition:"
+  printf '%s\n' "$DUPES"
+  fail=1
+else
+  echo "ok: no duplicate # TYPE families"
+fi
+
 check_present 'exodus_server_connections_total'
 check_present 'exodus_server_latency_us_count'
 check_present 'exodus_plan_cache_misses_total'
 check_present 'exodus_buffer_pool_hits_total'
 check_present 'exodus_operator_rows_total{op="hash_join"}'
 check_present 'exodus_statement_latency_us_bucket'
+# Wait-event profile: every class is registered up front, and the
+# connection-thread events must actually move under wire traffic.
+for ev in mvcc_writer_latch mvcc_exclusive_lock wal_fsync wal_group_commit \
+          thread_pool_queue server_send client_read; do
+  check_present "exodus_wait_events_total{event=\"$ev\"}"
+  check_present "exodus_wait_time_us_count{event=\"$ev\"}"
+done
+check_increased 'exodus_wait_events_total{event="client_read"}'
+check_increased 'exodus_wait_events_total{event="server_send"}'
+
 check_monotone 'exodus_server_errors_total'
 check_monotone 'exodus_statement_errors_total'
 check_increased 'exodus_server_queries_total'

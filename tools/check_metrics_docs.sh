@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Metrics documentation lint: every metric family the engine registers
+# must be documented in docs/observability.md. Scrapes a live server
+# (which registers the full set: engine + server + wait-event series),
+# extracts the family names from the `# TYPE` headers, and fails if any
+# is missing from the docs. Used by CI after the build:
+#
+#   tools/check_metrics_docs.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVER="$BUILD_DIR/src/excess_server"
+CLIENT="$BUILD_DIR/src/excess_client"
+DOCS="docs/observability.md"
+PORT="${EXODUS_CHECK_PORT:-40879}"
+
+[ -x "$SERVER" ] || { echo "missing $SERVER (build first)"; exit 1; }
+[ -x "$CLIENT" ] || { echo "missing $CLIENT (build first)"; exit 1; }
+[ -f "$DOCS" ] || { echo "missing $DOCS"; exit 1; }
+
+"$SERVER" --port "$PORT" --workers 2 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null; wait "$SERVER_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 50); do
+  if echo '\quit' | "$CLIENT" "127.0.0.1:$PORT" >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+
+# One statement so lazily-registered operator series show up too.
+"$CLIENT" "127.0.0.1:$PORT" >/dev/null 2>&1 <<'EOF'
+retrieve (1 + 1);
+EOF
+
+FAMILIES=$(printf '\\metrics\n' | "$CLIENT" "127.0.0.1:$PORT" 2>&1 |
+  awk '/^# TYPE exodus_/ { print $3 }' | sort -u)
+
+if [ -z "$FAMILIES" ]; then
+  echo "FAIL: no exodus_* families scraped (server broken?)"
+  exit 1
+fi
+
+fail=0
+for fam in $FAMILIES; do
+  if grep -qF "$fam" "$DOCS"; then
+    echo "ok: $fam documented"
+  else
+    echo "FAIL: family '$fam' is registered but not mentioned in $DOCS"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "metrics docs check FAILED"
+  exit 1
+fi
+echo "metrics docs check passed ($(printf '%s\n' "$FAMILIES" | wc -l) families)"
